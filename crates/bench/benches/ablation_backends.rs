@@ -1,0 +1,58 @@
+//! Back-end ablation: where does the Steno speedup come from?
+//!
+//! SumSq through: the AST interpreter (no optimization at all), the VM
+//! with the loop-fusion tier disabled (generated loops, per-instruction
+//! dispatch), the full VM (fused kernels), and the boxed-iterator LINQ
+//! baseline for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steno_expr::{DataContext, Expr, UdfRegistry};
+use steno_linq::{interp, Enumerable};
+use steno_query::Query;
+use steno_vm::query::StenoOptions;
+use steno_vm::CompiledQuery;
+
+fn backends(c: &mut Criterion) {
+    let n = 300_000;
+    let data = bench::workloads::uniform_doubles(n, 42);
+    let ctx = DataContext::new().with_source("xs", data.clone());
+    let udfs = UdfRegistry::new();
+    let q = Query::source("xs")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+
+    let fused = CompiledQuery::compile(&q, (&ctx).into(), &udfs).unwrap();
+    assert!(fused.fused_loops() > 0);
+    let unfused = CompiledQuery::compile_tuned(
+        &q,
+        (&ctx).into(),
+        &udfs,
+        StenoOptions {
+            fusion: false,
+            ..StenoOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(unfused.fused_loops(), 0);
+    let xs = Enumerable::from_vec(data);
+
+    let mut group = c.benchmark_group("ablation_backends_sumsq");
+    group.sample_size(10);
+    group.bench_function("ast_interp", |b| {
+        b.iter(|| std::hint::black_box(interp::execute(&q, &ctx, &udfs).unwrap()))
+    });
+    group.bench_function("linq_typed", |b| {
+        b.iter(|| std::hint::black_box(xs.select(|x| x * x).sum()))
+    });
+    group.bench_function("vm_no_fusion", |b| {
+        b.iter(|| std::hint::black_box(unfused.run(&ctx, &udfs).unwrap()))
+    });
+    group.bench_function("vm_fused", |b| {
+        b.iter(|| std::hint::black_box(fused.run(&ctx, &udfs).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, backends);
+criterion_main!(benches);

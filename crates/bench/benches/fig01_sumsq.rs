@@ -1,0 +1,52 @@
+//! Criterion version of Figure 1: sum of squares of N doubles through the
+//! four execution paths. Run with `cargo bench -p bench --bench
+//! fig01_sumsq`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steno::steno;
+use steno_expr::{DataContext, Expr, UdfRegistry};
+use steno_linq::Enumerable;
+use steno_query::Query;
+use steno_vm::CompiledQuery;
+
+fn fig01(c: &mut Criterion) {
+    let n = 1_000_000;
+    let data = bench::workloads::uniform_doubles(n, 42);
+    let mut group = c.benchmark_group("fig01_sumsq");
+    group.sample_size(10);
+
+    let xs = Enumerable::from_vec(data.clone());
+    group.bench_function(BenchmarkId::new("linq", n), |b| {
+        b.iter(|| std::hint::black_box(xs.select(|x| x * x).sum()))
+    });
+
+    let ctx = DataContext::new().with_source("xs", data.clone());
+    let udfs = UdfRegistry::new();
+    let q = Query::source("xs")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let compiled = CompiledQuery::compile(&q, (&ctx).into(), &udfs).unwrap();
+    group.bench_function(BenchmarkId::new("steno_vm", n), |b| {
+        b.iter(|| std::hint::black_box(compiled.run(&ctx, &udfs).unwrap()))
+    });
+
+    group.bench_function(BenchmarkId::new("steno_macro", n), |b| {
+        b.iter(|| std::hint::black_box(steno!((from x: f64 in data select x * x).sum())))
+    });
+
+    group.bench_function(BenchmarkId::new("hand", n), |b| {
+        b.iter(|| {
+            let mut s = 0.0;
+            for i in 0..data.len() {
+                let x = data[i];
+                s += x * x;
+            }
+            std::hint::black_box(s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig01);
+criterion_main!(benches);

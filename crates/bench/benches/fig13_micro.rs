@@ -1,0 +1,103 @@
+//! Criterion version of Figure 13: the four §7.1 microbenchmarks through
+//! LINQ, the Steno VM, and the hand loop (run the `fig13` binary for the
+//! full normalized table including the macro path and compile costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use steno_expr::{DataContext, Expr, UdfRegistry};
+use steno_linq::Enumerable;
+use steno_query::{GroupResult, Query, QueryExpr};
+use steno_vm::CompiledQuery;
+
+fn run_pair(
+    c: &mut Criterion,
+    name: &str,
+    ctx: &DataContext,
+    q: &QueryExpr,
+    linq: impl Fn(),
+) {
+    let udfs = UdfRegistry::new();
+    let compiled = CompiledQuery::compile(q, ctx.into(), &udfs).unwrap();
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function("linq", |b| b.iter(&linq));
+    group.bench_function("steno_vm", |b| {
+        b.iter(|| std::hint::black_box(compiled.run(ctx, &udfs).unwrap()))
+    });
+    group.finish();
+}
+
+fn fig13(c: &mut Criterion) {
+    let n = 1_000_000;
+    let uniform = bench::workloads::uniform_doubles(n, 42);
+    let gauss = bench::workloads::mixture_of_gaussians(n, 43);
+    let x = || Expr::var("x");
+
+    // Sum.
+    let ctx = DataContext::new().with_source("xs", uniform.clone());
+    let xs = Enumerable::from_vec(uniform.clone());
+    run_pair(c, "fig13_sum", &ctx, &Query::source("xs").sum().build(), {
+        let xs = xs.clone();
+        move || {
+            std::hint::black_box(xs.sum());
+        }
+    });
+
+    // SumSq.
+    run_pair(
+        c,
+        "fig13_sumsq",
+        &ctx,
+        &Query::source("xs").select(x() * x(), "x").sum().build(),
+        {
+            let xs = xs.clone();
+            move || {
+                std::hint::black_box(xs.select(|v| v * v).sum());
+            }
+        },
+    );
+
+    // Cart (scaled).
+    let outer = bench::workloads::uniform_doubles(10_000, 44);
+    let inner = bench::workloads::uniform_doubles(1000, 45);
+    let cart_ctx = DataContext::new()
+        .with_source("xs", outer.clone())
+        .with_source("ys", inner.clone());
+    let cart_q = Query::source("xs")
+        .select_many(Query::source("ys").select(x() * Expr::var("y"), "y"), "x")
+        .sum()
+        .build();
+    let xe = Enumerable::from_vec(outer);
+    let ye = Enumerable::from_vec(inner);
+    run_pair(c, "fig13_cart", &cart_ctx, &cart_q, {
+        let xe = xe.clone();
+        let ye = ye.clone();
+        move || {
+            let ye = ye.clone();
+            std::hint::black_box(xe.select_many(move |v| ye.select(move |w| v * w)).sum());
+        }
+    });
+
+    // Group.
+    let gctx = DataContext::new().with_source("xs", gauss.clone());
+    let gq = Query::source("xs")
+        .group_by_result(
+            x().floor(),
+            "x",
+            GroupResult::keyed("k", "g", Query::over(Expr::var("g")).count().build()),
+        )
+        .build();
+    let ge = Enumerable::from_vec(gauss);
+    run_pair(c, "fig13_group", &gctx, &gq, {
+        let ge = ge.clone();
+        move || {
+            std::hint::black_box(
+                ge.group_by(|v| v.floor() as i64)
+                    .select(|g| (*g.key(), g.len() as i64))
+                    .to_vec(),
+            );
+        }
+    });
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

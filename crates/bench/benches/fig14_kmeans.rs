@@ -1,0 +1,41 @@
+//! Criterion version of Figure 14: one distributed k-means iteration at a
+//! low and a high dimension, unoptimized vs Steno vertices (run the
+//! `fig14` binary for the full dimension sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use steno_cluster::{execute_distributed, ClusterSpec, DistributedCollection, VertexEngine};
+use steno_expr::DataContext;
+
+fn fig14(c: &mut Criterion) {
+    let total = 1 << 16;
+    let k = 10;
+    let mut group = c.benchmark_group("fig14_kmeans");
+    group.sample_size(10);
+    for dim in [10usize, 200] {
+        let n = total / dim;
+        let data = bench::kmeans::clustered_points(n, dim, k, 7);
+        let centroids: Vec<Vec<f64>> = (0..k)
+            .map(|i| data[i * dim..(i + 1) * dim].to_vec())
+            .collect();
+        let input = DistributedCollection::from_rows("points", data, dim, 8);
+        let broadcast = DataContext::new()
+            .with_source("centroids", bench::kmeans::centroid_column(&centroids));
+        let udfs = bench::kmeans::kmeans_udfs(dim);
+        let q = bench::kmeans::assignment_query();
+        let spec = ClusterSpec { workers: 4 };
+        for (label, engine) in [("linq", VertexEngine::Linq), ("steno", VertexEngine::Steno)] {
+            group.bench_function(BenchmarkId::new(label, dim), |b| {
+                b.iter(|| {
+                    let (v, _) =
+                        execute_distributed(&q, &input, &broadcast, &udfs, &spec, engine)
+                            .unwrap();
+                    std::hint::black_box(v)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

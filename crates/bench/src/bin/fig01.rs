@@ -1,0 +1,40 @@
+//! Figure 1: "Relative execution time for computing the sum of squares
+//! of 10^7 doubles using LINQ, an imperative loop, and a Steno-optimized
+//! query. Steno achieves a 7.4× speedup over LINQ."
+//!
+//! Scale with `STENO_SCALE` (default 1.0 = the paper's 10^7 elements).
+
+use bench::micro::bench_sumsq;
+use bench::workloads::{scaled, uniform_doubles};
+
+fn main() {
+    let n = scaled(10_000_000);
+    println!("Figure 1: sum of squares of {n} doubles\n");
+    let data = uniform_doubles(n, 42);
+    // Warm-up pass, then the measured pass.
+    let _ = bench_sumsq(&data);
+    let r = bench_sumsq(&data);
+    let linq = r.linq.as_secs_f64();
+    let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / linq;
+    println!("LINQ .Sum()        {:>10.2?}   100.0%", r.linq);
+    println!(
+        "for loop           {:>10.2?}   {:>5.1}%",
+        r.hand,
+        pct(r.hand)
+    );
+    println!(
+        "Steno .Sum() (vm)  {:>10.2?}   {:>5.1}%   ({:.2}x speedup over LINQ)",
+        r.steno_run,
+        pct(r.steno_run),
+        linq / r.steno_run.as_secs_f64()
+    );
+    println!(
+        "Steno .Sum() (macro) {:>8.2?}   {:>5.1}%   ({:.2}x speedup over LINQ)",
+        r.steno_macro,
+        pct(r.steno_macro),
+        linq / r.steno_macro.as_secs_f64()
+    );
+    println!(
+        "\n(paper: LINQ 100%, for loop 13.5%, Steno 13.6%; 7.4x speedup)"
+    );
+}

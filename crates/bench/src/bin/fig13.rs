@@ -1,0 +1,52 @@
+//! Figure 13 (§7.1): the four sequential microbenchmarks — Sum, SumSq,
+//! Cart and Group — as LINQ, Steno including compilation, Steno excluding
+//! compilation, and hand-optimized code, normalized to the LINQ time.
+//!
+//! Paper results: speedups of 3.32× (Sum) to 14.1× (Group); Steno-vs-hand
+//! overhead 53% for Sum and <3% for the others; one-off compilation cost
+//! ≈69 ms.
+//!
+//! Scale with `STENO_SCALE` (default 1.0: Sum/SumSq/Group on 10^7
+//! doubles; Cart on 10^5 × 10^3 — the paper's 10^7 × 10^3 product is
+//! scaled to keep single-core runtime reasonable, see EXPERIMENTS.md).
+
+use bench::micro::{bench_cart, bench_group, bench_sum, bench_sumsq, FourWay};
+use bench::workloads::{mixture_of_gaussians, scaled, uniform_doubles};
+
+fn main() {
+    let n = scaled(10_000_000);
+    let cart_outer = scaled(100_000);
+    let cart_inner = 1000;
+    println!("Figure 13: sequential microbenchmarks (normalized to LINQ = 1.0)");
+    println!(
+        "  Sum/SumSq/Group: {n} doubles; Cart: {cart_outer} x {cart_inner}\n"
+    );
+
+    let uniform = uniform_doubles(n, 42);
+    let gauss = mixture_of_gaussians(n, 43);
+    let cart_xs = uniform_doubles(cart_outer, 44);
+    let cart_ys = uniform_doubles(cart_inner, 45);
+
+    let mut rows: Vec<FourWay> = Vec::new();
+    for pass in 0..2 {
+        let r = [
+            bench_sum(&uniform),
+            bench_sumsq(&uniform),
+            bench_cart(&cart_xs, &cart_ys),
+            bench_group(&gauss),
+        ];
+        if pass == 1 {
+            rows.extend(r);
+        }
+    }
+    for r in &rows {
+        println!("{}", r.row());
+    }
+    let avg_compile: f64 = rows
+        .iter()
+        .map(|r| r.steno_compile.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / rows.len() as f64;
+    println!("\naverage one-off optimization cost: {avg_compile:.2} ms (paper: ~69 ms via csc)");
+    println!("paper speedups: Sum 3.32x ... Group 14.1x; worst Steno-vs-hand overhead 53% (Sum)");
+}

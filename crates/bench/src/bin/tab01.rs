@@ -1,0 +1,96 @@
+//! Table 1 (§4.1): the mapping from LINQ operator classes to QUIL
+//! symbols, regenerated from the lowering rules themselves: each
+//! representative operator is lowered and its emitted symbols printed.
+
+use steno_expr::{Expr, Ty, UdfRegistry};
+use steno_query::typing::SourceTypes;
+use steno_query::{GroupResult, Query, QueryExpr};
+use steno_quil::lower;
+
+fn symbols_of(q: QueryExpr) -> String {
+    let srcs = SourceTypes::new().with("xs", Ty::F64).with("ys", Ty::F64);
+    match lower(&q, &srcs, &UdfRegistry::new()) {
+        Ok(chain) => chain.to_string(),
+        Err(e) => format!("(unoptimized: {e})"),
+    }
+}
+
+fn main() {
+    let x = || Expr::var("x");
+    println!("Table 1: LINQ operator classes -> QUIL symbols\n");
+    println!("{:<11} {:<22} {:<28} QUIL sentence", "Class", "LINQ operator", "Haskell analogue");
+    let rows: Vec<(&str, &str, &str, QueryExpr)> = vec![
+        (
+            "Source",
+            "Range",
+            "list constructor",
+            Query::range(0, 10).build(),
+        ),
+        (
+            "Source",
+            "Repeat",
+            "list constructor",
+            Query::repeat(1.0f64, 10).build(),
+        ),
+        (
+            "Transform",
+            "Select",
+            "map",
+            Query::source("xs").select(x() * x(), "x").build(),
+        ),
+        (
+            "Predicate",
+            "Where",
+            "filter",
+            Query::source("xs").where_(x().gt(Expr::litf(0.0)), "x").build(),
+        ),
+        (
+            "Predicate",
+            "Take / Skip",
+            "filter",
+            Query::source("xs").skip(1).take(5).build(),
+        ),
+        (
+            "Sink",
+            "GroupBy",
+            "foldl",
+            Query::source("xs").group_by(x().floor(), "x").build(),
+        ),
+        (
+            "Sink",
+            "GroupBy(+agg, §4.3)",
+            "foldl",
+            Query::source("xs")
+                .group_by_result(
+                    x().floor(),
+                    "x",
+                    GroupResult::keyed("k", "g", Query::over(Expr::var("g")).sum().build()),
+                )
+                .build(),
+        ),
+        (
+            "Sink",
+            "OrderBy",
+            "foldl",
+            Query::source("xs").order_by(x(), "x").build(),
+        ),
+        (
+            "Aggregate",
+            "Sum / Min / Aggregate",
+            "foldl",
+            Query::source("xs").sum().build(),
+        ),
+        (
+            "Nested",
+            "SelectMany",
+            "concatMap",
+            Query::source("xs")
+                .select_many(Query::source("ys").select(x() * Expr::var("y"), "y"), "x")
+                .build(),
+        ),
+    ];
+    for (class, op, hask, q) in rows {
+        println!("{class:<11} {op:<22} {hask:<28} {}", symbols_of(q));
+    }
+    println!("\n(Ret terminates every sentence; a nested query substitutes for a Trans/Pred symbol)");
+}

@@ -1,0 +1,252 @@
+//! The distributed k-means workload of §7.2.
+//!
+//! "Each iteration comprises two steps: 1. In parallel, for each data
+//! point (nested Select), compute the distance to each centroid (Select),
+//! and choose the cluster with the closest centroid (Aggregate). Then
+//! group these results by cluster ID (GroupBy) and compute partial sums
+//! of the points in each cluster (Aggregate). 2. Group the partial sums
+//! from each partition by cluster ID (GroupBy), add them together
+//! (Aggregate), and compute the new cluster centroids by taking the mean
+//! (Select)."
+//!
+//! Step 1 is the distributed query built by [`assignment_query`]; its
+//! grouped partial sums decompose across partitions exactly as §6
+//! describes (per-partition `GroupByAggregate`, per-key merge). Step 2 is
+//! the cheap driver-side recomputation in [`recompute_centroids`].
+
+use rand::prelude::*;
+use steno_expr::{Column, Expr, Ty, UdfRegistry, Value};
+use steno_query::{GroupResult, Query, QueryExpr};
+
+/// Generates `n` points of dimension `dim` clustered around `k` centers
+/// (row-major).
+pub fn clustered_points(n: usize, dim: usize, k: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..k)];
+        for coord in c.iter().take(dim) {
+            data.push(coord + rng.gen_range(-1.0..1.0));
+        }
+    }
+    data
+}
+
+/// Initial centroids as a broadcast column of `(id, centroid)` pairs.
+pub fn centroid_column(centroids: &[Vec<f64>]) -> Column {
+    Column::from_values(
+        centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Value::pair(Value::I64(i as i64), Value::row(c.clone())))
+            .collect(),
+    )
+}
+
+/// The user-defined functions of the workload: squared Euclidean distance
+/// and vector sum/zero (the paper's queries freely call .NET methods; these
+/// are the equivalent opaque user functions).
+pub fn kmeans_udfs(dim: usize) -> UdfRegistry {
+    let mut udfs = UdfRegistry::new();
+    udfs.register("dist2", vec![Ty::Row, Ty::Row], Ty::F64, |args| {
+        let a = args[0].as_row().expect("row");
+        let b = args[1].as_row().expect("row");
+        let mut s = 0.0;
+        for i in 0..a.len() {
+            let d = a[i] - b[i];
+            s += d * d;
+        }
+        Value::F64(s)
+    });
+    udfs.register("vadd", vec![Ty::Row, Ty::Row], Ty::Row, |args| {
+        let a = args[0].as_row().expect("row");
+        let b = args[1].as_row().expect("row");
+        Value::row(a.iter().zip(b.iter()).map(|(x, y)| x + y).collect())
+    });
+    udfs.register("vzero", vec![], Ty::Row, move |_| {
+        Value::row(vec![0.0; dim])
+    });
+    udfs
+}
+
+/// Step 1 of a k-means iteration as one declarative query over the
+/// partitioned `points`, with `centroids` broadcast:
+///
+/// ```text
+/// points
+///   .Select(p => argmin over centroids by dist2(p, c))   // nested query
+///   .Select(best => (clusterId, p))
+///   .GroupBy(x => x.0, x => x.1,
+///            (k, g) => (k, g.Aggregate((0⃗, 0), (acc, p) => (acc.0+p, acc.1+1))))
+/// ```
+///
+/// The result is `(clusterId, (pointSum, count))` per cluster; the
+/// aggregation declares an associative combiner, so the distributed
+/// planner ships per-partition partial sums only (§6).
+pub fn assignment_query() -> QueryExpr {
+    let p = || Expr::var("p");
+    // Nested: fold over centroids carrying ((id, p), bestDist).
+    let nearest = Query::source("centroids")
+        .select(
+            Expr::mk_pair(
+                Expr::var("c").field(0),
+                Expr::call("dist2", vec![p(), Expr::var("c").field(1)]),
+            ),
+            "c",
+        )
+        .aggregate(
+            Expr::mk_pair(
+                Expr::mk_pair(Expr::liti(-1), p()),
+                Expr::litf(f64::INFINITY),
+            ),
+            "best",
+            "cur",
+            Expr::if_(
+                Expr::var("cur").field(1).lt(Expr::var("best").field(1)),
+                Expr::mk_pair(
+                    Expr::mk_pair(Expr::var("cur").field(0), p()),
+                    Expr::var("cur").field(1),
+                ),
+                Expr::var("best"),
+            ),
+        );
+    // Per-cluster partial sums with an associative combiner.
+    let partial_sum = Query::over(Expr::var("g")).aggregate_assoc(
+        Expr::mk_pair(Expr::call("vzero", vec![]), Expr::liti(0)),
+        "acc",
+        "pt",
+        Expr::mk_pair(
+            Expr::call("vadd", vec![Expr::var("acc").field(0), Expr::var("pt")]),
+            Expr::var("acc").field(1) + Expr::liti(1),
+        ),
+        steno_query::QFn2::new(
+            "a",
+            "b",
+            Expr::mk_pair(
+                Expr::call("vadd", vec![Expr::var("a").field(0), Expr::var("b").field(0)]),
+                Expr::var("a").field(1) + Expr::var("b").field(1),
+            ),
+        ),
+    );
+    Query::source("points")
+        .select_query(nearest, "p")
+        .select(Expr::var("kv").field(0), "kv")
+        .group_by_elem_result(
+            Expr::var("x").field(0),
+            Expr::var("x").field(1),
+            "x",
+            GroupResult::keyed("k", "g", partial_sum.build()),
+        )
+        .build()
+}
+
+/// Step 2: new centroids from `(clusterId, (pointSum, count))` rows,
+/// keeping the previous centroid for empty clusters.
+pub fn recompute_centroids(result: &Value, previous: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut out = previous.to_vec();
+    let rows = result.as_seq().expect("grouped result");
+    for row in rows {
+        let (k, agg) = row.as_pair().expect("(id, agg)");
+        let id = k.as_i64().expect("cluster id") as usize;
+        let (sum, count) = agg.as_pair().expect("(sum, count)");
+        let n = count.as_i64().expect("count");
+        if n > 0 {
+            let s = sum.as_row().expect("sum row");
+            out[id] = s.iter().map(|x| x / n as f64).collect();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_cluster::{execute_distributed, ClusterSpec, DistributedCollection, VertexEngine};
+    use steno_expr::DataContext;
+    use steno_linq::interp;
+
+    #[test]
+    fn assignment_assigns_points_to_nearest_centroid() {
+        // Two well-separated clusters in 2-D.
+        let points = vec![
+            0.1, 0.0, 0.0, 0.2, -0.1, 0.1, // near (0, 0)
+            9.9, 10.1, 10.0, 9.8, // near (10, 10)
+        ];
+        let centroids = vec![vec![0.0, 0.0], vec![10.0, 10.0]];
+        let ctx = DataContext::new()
+            .with_source("points", Column::from_rows(points, 2))
+            .with_source("centroids", centroid_column(&centroids));
+        let udfs = kmeans_udfs(2);
+        let q = assignment_query();
+        let result = interp::execute(&q, &ctx, &udfs).unwrap();
+        let rows = result.as_seq().unwrap();
+        assert_eq!(rows.len(), 2);
+        let (k0, agg0) = rows[0].as_pair().unwrap();
+        assert_eq!(k0.as_i64(), Some(0));
+        assert_eq!(agg0.as_pair().unwrap().1.as_i64(), Some(3));
+        let (k1, agg1) = rows[1].as_pair().unwrap();
+        assert_eq!(k1.as_i64(), Some(1));
+        assert_eq!(agg1.as_pair().unwrap().1.as_i64(), Some(2));
+    }
+
+    #[test]
+    fn distributed_iteration_matches_serial_and_both_engines_agree() {
+        let dim = 3;
+        let n = 240;
+        let k = 4;
+        let data = clustered_points(n, dim, k, 7);
+        let mut rng_centroids: Vec<Vec<f64>> = (0..k)
+            .map(|i| data[i * dim..(i + 1) * dim].to_vec())
+            .collect();
+        let udfs = kmeans_udfs(dim);
+        let q = assignment_query();
+
+        // Serial reference.
+        let serial_ctx = DataContext::new()
+            .with_source("points", Column::from_rows(data.clone(), dim))
+            .with_source("centroids", centroid_column(&rng_centroids));
+        let serial = interp::execute(&q, &serial_ctx, &udfs).unwrap();
+
+        // Distributed, both engines.
+        let input = DistributedCollection::from_rows("points", data, dim, 6);
+        let broadcast =
+            DataContext::new().with_source("centroids", centroid_column(&rng_centroids));
+        let spec = ClusterSpec { workers: 3 };
+        for engine in [VertexEngine::Steno, VertexEngine::Linq] {
+            let (got, report) =
+                execute_distributed(&q, &input, &broadcast, &udfs, &spec, engine).unwrap();
+            assert!(report.partial_aggregation, "plan must use Agg_i (§6)");
+            // Cluster counts must agree exactly; sums up to fp tolerance.
+            let mut serial_counts: Vec<(i64, i64)> = serial
+                .as_seq()
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    let (k, a) = r.as_pair().unwrap();
+                    (k.as_i64().unwrap(), a.as_pair().unwrap().1.as_i64().unwrap())
+                })
+                .collect();
+            let mut got_counts: Vec<(i64, i64)> = got
+                .as_seq()
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    let (k, a) = r.as_pair().unwrap();
+                    (k.as_i64().unwrap(), a.as_pair().unwrap().1.as_i64().unwrap())
+                })
+                .collect();
+            serial_counts.sort();
+            got_counts.sort();
+            assert_eq!(serial_counts, got_counts, "engine {engine:?}");
+        }
+
+        // One full iteration converges centroids sensibly.
+        let new_centroids = recompute_centroids(&serial, &rng_centroids);
+        assert_eq!(new_centroids.len(), k);
+        rng_centroids = new_centroids;
+        assert_eq!(rng_centroids[0].len(), dim);
+    }
+}

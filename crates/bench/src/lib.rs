@@ -1,0 +1,5 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§7). See the `fig*` binaries and the criterion benches.
+pub mod kmeans;
+pub mod micro;
+pub mod workloads;

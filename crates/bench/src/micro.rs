@@ -1,0 +1,281 @@
+#![allow(clippy::needless_range_loop, clippy::assign_op_pattern)]
+// The hand-optimized baselines deliberately use indexed loops and
+// explicit accumulator assignments: they are written in the style the
+// paper's generated code uses, for a like-for-like comparison.
+
+//! The four sequential microbenchmarks of §7.1 (Fig. 13), each in four
+//! implementations: unoptimized LINQ (boxed iterator chains), runtime
+//! Steno (the VM, with the one-off compilation measured separately),
+//! compile-time Steno (the `steno!` macro), and the hand-optimized loop.
+
+use std::time::{Duration, Instant};
+
+use steno::steno;
+use steno_expr::{DataContext, Expr, UdfRegistry, Value};
+use steno_linq::Enumerable;
+use steno_query::{GroupResult, Query, QueryExpr};
+use steno_vm::CompiledQuery;
+
+/// Timings of the four implementations of one microbenchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct FourWay {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Unoptimized LINQ (boxed iterator chains).
+    pub linq: Duration,
+    /// Runtime Steno execution (excluding compilation).
+    pub steno_run: Duration,
+    /// Runtime Steno one-off optimization cost.
+    pub steno_compile: Duration,
+    /// Compile-time Steno (`steno!` expansion, compiled by rustc).
+    pub steno_macro: Duration,
+    /// Hand-optimized imperative loop.
+    pub hand: Duration,
+}
+
+impl FourWay {
+    /// Formats one row normalized to the LINQ time, Fig. 13 style.
+    pub fn row(&self) -> String {
+        let linq = self.linq.as_secs_f64();
+        let norm = |d: Duration| d.as_secs_f64() / linq;
+        format!(
+            "{:<6} linq {:>9.1?}  steno+comp {:>6.3}  steno {:>6.3}  macro {:>6.3}  hand {:>6.3}  | speedup {:.2}x",
+            self.name,
+            self.linq,
+            norm(self.steno_run + self.steno_compile),
+            norm(self.steno_run),
+            norm(self.steno_macro),
+            norm(self.hand),
+            linq / self.steno_run.as_secs_f64(),
+        )
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+fn run_vm(q: &QueryExpr, ctx: &DataContext) -> (Value, Duration, Duration) {
+    let udfs = UdfRegistry::new();
+    let t = Instant::now();
+    let compiled = CompiledQuery::compile(q, ctx.into(), &udfs).expect("compile");
+    let compile = t.elapsed();
+    let (v, wall) = timed(|| compiled.run(ctx, &udfs).expect("run"));
+    (v, wall, compile)
+}
+
+fn assert_f64_close(a: f64, b: f64, what: &str) {
+    assert!(
+        (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+        "{what}: {a} vs {b}"
+    );
+}
+
+/// `Sum`: the sum of `n` doubles.
+pub fn bench_sum(data: &[f64]) -> FourWay {
+    // LINQ.
+    let xs = Enumerable::from_vec(data.to_vec());
+    let (linq_v, linq) = timed(|| xs.sum());
+    // Runtime Steno.
+    let ctx = DataContext::new().with_source("xs", data.to_vec());
+    let q = Query::source("xs").sum().build();
+    let (vm_v, steno_run, steno_compile) = run_vm(&q, &ctx);
+    // Compile-time Steno.
+    let (macro_v, steno_macro) = timed(|| steno!((from x: f64 in data select x).sum()));
+    // Hand loop.
+    let (hand_v, hand) = timed(|| {
+        let mut s = 0.0;
+        for i in 0..data.len() {
+            s += data[i];
+        }
+        s
+    });
+    assert_eq!(vm_v.as_f64().unwrap().to_bits(), hand_v.to_bits());
+    assert_eq!(macro_v.to_bits(), hand_v.to_bits());
+    assert_f64_close(linq_v, hand_v, "Sum");
+    FourWay {
+        name: "Sum",
+        linq,
+        steno_run,
+        steno_compile,
+        steno_macro,
+        hand,
+    }
+}
+
+/// `SumSq`: the sum of squares of `n` doubles (Fig. 1).
+pub fn bench_sumsq(data: &[f64]) -> FourWay {
+    let xs = Enumerable::from_vec(data.to_vec());
+    let (linq_v, linq) = timed(|| xs.select(|x| x * x).sum());
+    let ctx = DataContext::new().with_source("xs", data.to_vec());
+    let q = Query::source("xs")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let (vm_v, steno_run, steno_compile) = run_vm(&q, &ctx);
+    let (macro_v, steno_macro) = timed(|| steno!((from x: f64 in data select x * x).sum()));
+    let (hand_v, hand) = timed(|| {
+        let mut s = 0.0;
+        for i in 0..data.len() {
+            let x = data[i];
+            s += x * x;
+        }
+        s
+    });
+    assert_eq!(vm_v.as_f64().unwrap().to_bits(), hand_v.to_bits());
+    assert_eq!(macro_v.to_bits(), hand_v.to_bits());
+    assert_f64_close(linq_v, hand_v, "SumSq");
+    FourWay {
+        name: "SumSq",
+        linq,
+        steno_run,
+        steno_compile,
+        steno_macro,
+        hand,
+    }
+}
+
+/// `Cart`: "calculate the Cartesian product of [two collections],
+/// multiply together each pair, and sum" — the nested query of §5.
+pub fn bench_cart(outer: &[f64], inner: &[f64]) -> FourWay {
+    let xs = Enumerable::from_vec(outer.to_vec());
+    let ys = Enumerable::from_vec(inner.to_vec());
+    let (linq_v, linq) = timed(|| {
+        xs.select_many(move |x| ys.select(move |y| x * y)).sum()
+    });
+    let ctx = DataContext::new()
+        .with_source("xs", outer.to_vec())
+        .with_source("ys", inner.to_vec());
+    let q = Query::source("xs")
+        .select_many(
+            Query::source("ys").select(Expr::var("x") * Expr::var("y"), "y"),
+            "x",
+        )
+        .sum()
+        .build();
+    let (vm_v, steno_run, steno_compile) = run_vm(&q, &ctx);
+    let (macro_v, steno_macro) = timed(|| {
+        steno!((from x: f64 in outer from y: f64 in inner select x * y).sum())
+    });
+    let (hand_v, hand) = timed(|| {
+        let mut s = 0.0;
+        for i in 0..outer.len() {
+            let x = outer[i];
+            for j in 0..inner.len() {
+                s += x * inner[j];
+            }
+        }
+        s
+    });
+    assert_eq!(vm_v.as_f64().unwrap().to_bits(), hand_v.to_bits());
+    assert_eq!(macro_v.to_bits(), hand_v.to_bits());
+    assert_f64_close(linq_v, hand_v, "Cart");
+    FourWay {
+        name: "Cart",
+        linq,
+        steno_run,
+        steno_compile,
+        steno_macro,
+        hand,
+    }
+}
+
+/// `Group`: "randomly generate 10 million double values according to a
+/// one-dimensional mixture-of-Gaussians distribution, and compute a
+/// binned histogram of the data" — GroupBy with an aggregating result
+/// selector (§4.3).
+pub fn bench_group(data: &[f64]) -> FourWay {
+    // LINQ: full grouping, then counting each bag — what unoptimized
+    // GroupBy does before the GroupByAggregate specialization.
+    let xs = Enumerable::from_vec(data.to_vec());
+    let (linq_v, linq) = timed(|| {
+        let mut bins: Vec<(i64, i64)> = xs
+            .group_by(|x| x.floor() as i64)
+            .select(|g| (*g.key(), g.len() as i64))
+            .to_vec();
+        bins.sort();
+        bins
+    });
+    let ctx = DataContext::new().with_source("xs", data.to_vec());
+    let q = Query::source("xs")
+        .group_by_result(
+            Expr::var("x").floor(),
+            "x",
+            GroupResult::keyed(
+                "k",
+                "g",
+                Query::over(Expr::var("g")).count().build(),
+            ),
+        )
+        .build();
+    let (vm_v, steno_run, steno_compile) = run_vm(&q, &ctx);
+    let (macro_v, steno_macro) = timed(|| {
+        let out: Vec<(f64, i64)> =
+            steno!(data.group_by(|x: f64| x.floor()).select(|kv| (kv.0, kv.1.count())));
+        out
+    });
+    let (hand_v, hand) = timed(|| {
+        let mut index: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        let mut bins: Vec<(i64, i64)> = Vec::new();
+        for i in 0..data.len() {
+            let b = data[i].floor() as i64;
+            match index.get(&b) {
+                Some(&slot) => bins[slot].1 += 1,
+                None => {
+                    index.insert(b, bins.len());
+                    bins.push((b, 1));
+                }
+            }
+        }
+        bins
+    });
+    // Cross-check the histograms.
+    let mut hand_sorted = hand_v.clone();
+    hand_sorted.sort();
+    assert_eq!(linq_v, hand_sorted);
+    let mut vm_bins: Vec<(i64, i64)> = vm_v
+        .as_seq()
+        .unwrap()
+        .iter()
+        .map(|kv| {
+            let (k, c) = kv.as_pair().unwrap();
+            (k.as_f64().unwrap() as i64, c.as_i64().unwrap())
+        })
+        .collect();
+    vm_bins.sort();
+    assert_eq!(vm_bins, hand_sorted);
+    let mut macro_bins: Vec<(i64, i64)> = macro_v
+        .iter()
+        .map(|(k, c)| (*k as i64, *c))
+        .collect();
+    macro_bins.sort();
+    assert_eq!(macro_bins, hand_sorted);
+    FourWay {
+        name: "Group",
+        linq,
+        steno_run,
+        steno_compile,
+        steno_macro,
+        hand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn all_four_microbenchmarks_agree_across_implementations() {
+        // Small sizes: the correctness cross-checks inside each bench are
+        // the point here, not the timings.
+        let data = workloads::uniform_doubles(4000, 11);
+        let _ = bench_sum(&data);
+        let _ = bench_sumsq(&data);
+        let _ = bench_cart(&data[..200], &data[..50]);
+        let gauss = workloads::mixture_of_gaussians(4000, 12);
+        let _ = bench_group(&gauss);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators shared by the figure binaries and benches.
+use rand::prelude::*;
+
+/// Deterministic uniform doubles in [0, 1).
+pub fn uniform_doubles(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).collect()
+}
+
+/// Samples from a 1-D mixture of Gaussians (the Group workload, §7.1).
+pub fn mixture_of_gaussians(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let components = [(-4.0, 1.0), (0.0, 0.5), (3.0, 2.0)];
+    (0..n)
+        .map(|_| {
+            let (mean, sd) = components[rng.gen_range(0..components.len())];
+            // Box-Muller.
+            let u1: f64 = rng.gen::<f64>().max(1e-12);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            mean + sd * z
+        })
+        .collect()
+}
+
+/// Scale factor for workload sizes, from `STENO_SCALE` (default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("STENO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Applies the scale factor to a nominal element count.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64) * scale()).max(1.0) as usize
+}

@@ -1,0 +1,450 @@
+//! The unoptimized vertex executor: a QUIL chain run through boxed
+//! iterator state machines with per-element expression interpretation.
+//!
+//! This executes *exactly the same plan* as the Steno-compiled vertex —
+//! including partial grouped aggregation — but through the lazy iterator
+//! machinery of `steno-linq`, paying the virtual-call and interpretation
+//! overheads that Steno eliminates. It is the "unoptimized" bar in the
+//! distributed k-means experiment (Fig. 14).
+//!
+//! Environments are threaded through the iterator closures as a shared
+//! cell with bind/restore bracketing (a stack discipline), rather than
+//! cloned per element — the interpreter models the *iterator* overheads
+//! under study, not accidental allocation.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use steno_expr::eval::{eval, Env};
+use steno_expr::{DataContext, EvalError, Expr, UdfRegistry, Value};
+use steno_linq::Enumerable;
+use steno_quil::ir::{AggDesc, PredKind, QuilChain, QuilOp, SinkKind, SrcDesc, TransKind};
+
+type EnvCell = Rc<RefCell<Env>>;
+
+/// Applies an aggregate's finish projection.
+pub fn finish_agg(agg: &AggDesc, acc: Value, udfs: &UdfRegistry) -> Result<Value, EvalError> {
+    match &agg.finish {
+        None => Ok(acc),
+        Some(f) => {
+            let env = Env::new().with(agg.acc_param.clone(), acc);
+            eval(f, &env, udfs)
+        }
+    }
+}
+
+/// Combines two partial accumulators with the aggregate's combiner.
+///
+/// # Panics
+///
+/// Panics if the aggregate has no combiner (callers check
+/// [`AggDesc::is_associative`]).
+pub fn combine_agg(
+    agg: &AggDesc,
+    a: Value,
+    b: Value,
+    udfs: &UdfRegistry,
+) -> Result<Value, EvalError> {
+    let combine = agg.combine.as_ref().expect("aggregate has a combiner");
+    let env = Env::new()
+        .with(agg.acc_param.clone(), a)
+        .with(agg.rhs_param.clone(), b);
+    eval(combine, &env, udfs)
+}
+
+fn value_to_enumerable(v: Value) -> Enumerable<Value> {
+    match v {
+        Value::Seq(s) => Enumerable::from_vec(s.as_ref().clone()),
+        Value::Row(r) => Enumerable::from_vec(r.iter().map(|x| Value::F64(*x)).collect()),
+        other => panic!("expected a sequence-shaped value, found {other}"),
+    }
+}
+
+/// Evaluates `body` with `param` bound to `arg`, restoring any shadowed
+/// binding afterwards.
+fn eval_with(body: &Expr, param: &str, arg: Value, env: &EnvCell, udfs: &UdfRegistry) -> Value {
+    let mut e = env.borrow_mut();
+    let shadowed = e.bind_shadowing(param, arg);
+    let out = eval(body, &e, udfs).expect("well-typed chain body failed");
+    e.restore(param, shadowed);
+    out
+}
+
+fn src_enumerable(
+    src: &SrcDesc,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &EnvCell,
+) -> Result<Enumerable<Value>, EvalError> {
+    match src {
+        SrcDesc::Collection { name, .. } => {
+            let col = ctx
+                .source(name)
+                .ok_or_else(|| EvalError::UnboundVariable(format!("source `{name}`")))?;
+            Ok(Enumerable::from_vec(col.to_values()))
+        }
+        SrcDesc::Range { start, count } => Ok(Enumerable::range(*start, *count).select(Value::I64)),
+        SrcDesc::Repeat { value, count } => Ok(Enumerable::repeat(value.clone(), *count)),
+        SrcDesc::Expr { expr, .. } => {
+            let v = eval(expr, &env.borrow(), udfs)?;
+            Ok(value_to_enumerable(v))
+        }
+    }
+}
+
+fn chain_enumerable(
+    chain: &QuilChain,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &EnvCell,
+) -> Result<Enumerable<Value>, EvalError> {
+    let mut e = src_enumerable(&chain.src, ctx, udfs, env)?;
+    for op in &chain.ops {
+        e = apply_op(e, op, ctx, udfs, env)?;
+    }
+    Ok(e)
+}
+
+fn apply_op(
+    input: Enumerable<Value>,
+    op: &QuilOp,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &EnvCell,
+) -> Result<Enumerable<Value>, EvalError> {
+    let ctx = ctx.clone();
+    let udfs = udfs.clone();
+    let env = Rc::clone(env);
+    Ok(match op {
+        QuilOp::Trans { param, kind, .. } => match kind.clone() {
+            TransKind::Expr(body) => {
+                let param = param.clone();
+                input.select(move |v| eval_with(&body, &param, v, &env, &udfs))
+            }
+            TransKind::Nested(nested) => {
+                let param = param.clone();
+                if nested.chain.is_scalar() {
+                    // One scalar per element, optionally wrapped.
+                    input.select(move |v| {
+                        let shadowed = env.borrow_mut().bind_shadowing(&param, v);
+                        let agg = execute_chain_cell(&nested.chain, &ctx, &udfs, &env)
+                            .expect("nested chain failed");
+                        let out = match &nested.wrap {
+                            None => agg,
+                            Some((p, w)) => eval_with(w, p, agg, &env, &udfs),
+                        };
+                        env.borrow_mut().restore(&param, shadowed);
+                        out
+                    })
+                } else {
+                    // Splice (SelectMany). The binding must stay live
+                    // while the inner enumerator is pulled; the select
+                    // over the (eagerly materialized) inner results makes
+                    // the bracketing safe.
+                    input.select_many(move |v| {
+                        let shadowed = env.borrow_mut().bind_shadowing(&param, v);
+                        let inner = chain_enumerable(&nested.chain, &ctx, &udfs, &env)
+                            .expect("nested chain failed");
+                        let items = inner.to_vec();
+                        env.borrow_mut().restore(&param, shadowed);
+                        Enumerable::from_vec(items)
+                    })
+                }
+            }
+        },
+        QuilOp::Pred { param, kind, .. } => match kind.clone() {
+            PredKind::Expr(body) => {
+                let param = param.clone();
+                input.where_(move |v| {
+                    eval_with(&body, &param, v, &env, &udfs)
+                        .as_bool()
+                        .expect("predicate must yield bool")
+                })
+            }
+            PredKind::Nested(chain) => {
+                let param = param.clone();
+                input.where_(move |v| {
+                    let shadowed = env.borrow_mut().bind_shadowing(&param, v);
+                    let out = execute_chain_cell(&chain, &ctx, &udfs, &env)
+                        .expect("nested predicate failed")
+                        .as_bool()
+                        .expect("nested predicate must yield bool");
+                    env.borrow_mut().restore(&param, shadowed);
+                    out
+                })
+            }
+            PredKind::Take(n) => input.take(n),
+            PredKind::Skip(n) => input.skip(n),
+            PredKind::TakeWhile(body) => {
+                let param = param.clone();
+                input.take_while(move |v| {
+                    eval_with(&body, &param, v, &env, &udfs)
+                        .as_bool()
+                        .expect("predicate must yield bool")
+                })
+            }
+            PredKind::SkipWhile(body) => {
+                let param = param.clone();
+                input.skip_while(move |v| {
+                    eval_with(&body, &param, v, &env, &udfs)
+                        .as_bool()
+                        .expect("predicate must yield bool")
+                })
+            }
+        },
+        QuilOp::Sink(sink) => {
+            let sink = sink.clone();
+            match sink.kind.clone() {
+                SinkKind::GroupBy { key, elem, .. } => {
+                    let param = sink.param.clone();
+                    Enumerable::new(move || {
+                        let mut index = std::collections::HashMap::new();
+                        let mut groups: Vec<(Value, Vec<Value>)> = Vec::new();
+                        let mut it = input.get_enumerator();
+                        while it.move_next() {
+                            let item = it.current();
+                            let k = eval_with(&key, &param, item.clone(), &env, &udfs);
+                            let v = match &elem {
+                                Some(sel) => eval_with(sel, &param, item, &env, &udfs),
+                                None => item,
+                            };
+                            let slot = *index.entry(k.key()).or_insert_with(|| {
+                                groups.push((k, Vec::new()));
+                                groups.len() - 1
+                            });
+                            groups[slot].1.push(v);
+                        }
+                        let pairs: Vec<Value> = groups
+                            .into_iter()
+                            .map(|(k, vs)| Value::pair(k, Value::seq(vs)))
+                            .collect();
+                        Enumerable::from_vec(pairs).get_enumerator()
+                    })
+                }
+                SinkKind::GroupByAggregate {
+                    key,
+                    elem,
+                    agg,
+                    key_param,
+                    agg_param,
+                    result,
+                    ..
+                } => {
+                    let param = sink.param.clone();
+                    Enumerable::new(move || {
+                        let init =
+                            eval(&agg.init, &env.borrow(), &udfs).expect("seed failed");
+                        let mut index = std::collections::HashMap::new();
+                        let mut entries: Vec<(Value, Value)> = Vec::new();
+                        let mut it = input.get_enumerator();
+                        while it.move_next() {
+                            let item = it.current();
+                            let k = eval_with(&key, &param, item.clone(), &env, &udfs);
+                            let v = match &elem {
+                                Some(sel) => eval_with(sel, &param, item, &env, &udfs),
+                                None => item,
+                            };
+                            let slot = *index.entry(k.key()).or_insert_with(|| {
+                                entries.push((k, init.clone()));
+                                entries.len() - 1
+                            });
+                            // acc' = update(acc, v)
+                            let mut e = env.borrow_mut();
+                            let s1 = e.bind_shadowing(&agg.acc_param, entries[slot].1.clone());
+                            let s2 = e.bind_shadowing(&agg.elem_param, v);
+                            entries[slot].1 =
+                                eval(&agg.update, &e, &udfs).expect("update failed");
+                            e.restore(&agg.elem_param, s2);
+                            e.restore(&agg.acc_param, s1);
+                        }
+                        let out: Vec<Value> = entries
+                            .into_iter()
+                            .map(|(k, acc)| {
+                                let fin =
+                                    finish_agg(&agg, acc, &udfs).expect("finish failed");
+                                let mut e = env.borrow_mut();
+                                let s1 = e.bind_shadowing(&key_param, k);
+                                let s2 = e.bind_shadowing(&agg_param, fin);
+                                let r = eval(&result, &e, &udfs).expect("result failed");
+                                e.restore(&agg_param, s2);
+                                e.restore(&key_param, s1);
+                                r
+                            })
+                            .collect();
+                        Enumerable::from_vec(out).get_enumerator()
+                    })
+                }
+                SinkKind::OrderBy { key, descending } => {
+                    let param = sink.param.clone();
+                    Enumerable::new(move || {
+                        let mut decorated: Vec<(Value, Value)> = Vec::new();
+                        let mut it = input.get_enumerator();
+                        while it.move_next() {
+                            let item = it.current();
+                            decorated.push((
+                                eval_with(&key, &param, item.clone(), &env, &udfs),
+                                item,
+                            ));
+                        }
+                        decorated.sort_by(|(a, _), (b, _)| {
+                            let ord = a.cmp_total(b);
+                            if descending {
+                                ord.reverse()
+                            } else {
+                                ord
+                            }
+                        });
+                        let items: Vec<Value> =
+                            decorated.into_iter().map(|(_, v)| v).collect();
+                        Enumerable::from_vec(items).get_enumerator()
+                    })
+                }
+                SinkKind::Distinct => input.distinct_by(|v| v.key()),
+                SinkKind::ToVec => {
+                    let materialized = input.to_vec();
+                    Enumerable::from_vec(materialized)
+                }
+            }
+        }
+    })
+}
+
+fn execute_chain_cell(
+    chain: &QuilChain,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &EnvCell,
+) -> Result<Value, EvalError> {
+    let stream = chain_enumerable(chain, ctx, udfs, env)?;
+    match &chain.agg {
+        None => Ok(Value::seq(stream.to_vec())),
+        Some(agg) => {
+            let mut acc = eval(&agg.init, &env.borrow(), udfs)?;
+            let mut it = stream.get_enumerator();
+            while it.move_next() {
+                let item = it.current();
+                let mut e = env.borrow_mut();
+                let s1 = e.bind_shadowing(&agg.acc_param, acc);
+                let s2 = e.bind_shadowing(&agg.elem_param, item);
+                let next = eval(&agg.update, &e, udfs);
+                e.restore(&agg.elem_param, s2);
+                e.restore(&agg.acc_param, s1);
+                drop(e);
+                acc = next?;
+            }
+            finish_agg(agg, acc, udfs)
+        }
+    }
+}
+
+/// Executes a QUIL chain through iterator state machines, with an
+/// enclosing scope (nested chains reference outer variables).
+///
+/// # Errors
+///
+/// Returns an error for unresolvable sources; data-dependent failures
+/// panic, matching `steno_linq::interp`.
+pub fn execute_chain_in(
+    chain: &QuilChain,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &Env,
+) -> Result<Value, EvalError> {
+    let cell = Rc::new(RefCell::new(env.clone()));
+    execute_chain_cell(chain, ctx, udfs, &cell)
+}
+
+/// Executes a QUIL chain with an empty enclosing scope.
+///
+/// # Errors
+///
+/// As [`execute_chain_in`].
+pub fn execute_chain(
+    chain: &QuilChain,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+) -> Result<Value, EvalError> {
+    execute_chain_in(chain, ctx, udfs, &Env::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Ty;
+    use steno_linq::interp;
+    use steno_query::{GroupResult, Query};
+    use steno_quil::lower;
+
+    fn ctx() -> DataContext {
+        DataContext::new()
+            .with_source("xs", vec![1.0, -2.0, 3.0, 4.5])
+            .with_source("ns", vec![5i64, 2, 7, 2, 9])
+    }
+
+    /// chain-interp == AST interp for a set of plans.
+    #[track_caller]
+    fn check(q: steno_query::QueryExpr) {
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let chain = lower(&q, &(&c).into(), &udfs).unwrap();
+        let via_chain = execute_chain(&chain, &c, &udfs).unwrap();
+        let via_ast = interp::execute(&q, &c, &udfs).unwrap();
+        assert_eq!(via_chain.key(), via_ast.key(), "query {q}");
+    }
+
+    #[test]
+    fn matches_ast_interpreter() {
+        use steno_expr::Expr;
+        let x = || Expr::var("x");
+        check(Query::source("xs").select(x() * x(), "x").sum().build());
+        check(
+            Query::source("ns")
+                .where_((x() % Expr::liti(2)).eq(Expr::liti(0)), "x")
+                .build(),
+        );
+        check(Query::source("xs").take(2).min().build());
+        check(
+            Query::source("ns")
+                .group_by_result(
+                    x() % Expr::liti(3),
+                    "x",
+                    GroupResult::keyed("k", "g", Query::over(Expr::var("g")).sum().build()),
+                )
+                .build(),
+        );
+        check(
+            Query::source("xs")
+                .select_many(
+                    Query::source("xs").select(Expr::var("y") * x(), "y"),
+                    "x",
+                )
+                .sum()
+                .build(),
+        );
+        check(Query::source("xs").order_by(x(), "x").build());
+        check(Query::source("ns").distinct().count().build());
+        // Same parameter name reused across nesting levels: the
+        // bind/restore stack discipline must keep them straight.
+        check(
+            Query::source("xs")
+                .select_many(
+                    Query::source("xs").select(Expr::var("x") + Expr::litf(1.0), "x"),
+                    "x",
+                )
+                .sum()
+                .build(),
+        );
+    }
+
+    #[test]
+    fn combine_and_finish_helpers() {
+        let udfs = UdfRegistry::new();
+        let agg = steno_quil::lower::builtin_agg(steno_query::AggOp::Average, &Ty::F64).unwrap();
+        // Two partials: (sum, count) = (6, 2) and (4, 2).
+        let a = Value::pair(Value::F64(6.0), Value::I64(2));
+        let b = Value::pair(Value::F64(4.0), Value::I64(2));
+        let merged = combine_agg(&agg, a, b, &udfs).unwrap();
+        let fin = finish_agg(&agg, merged, &udfs).unwrap();
+        assert_eq!(fin, Value::F64(2.5));
+    }
+}

@@ -1,0 +1,579 @@
+//! The cluster scheduler: map vertices on a worker pool, then reduce.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use steno_expr::eval::{eval, Env};
+use steno_expr::{Column, DataContext, Ty, UdfRegistry, Value};
+use steno_query::typing::SourceTypes;
+use steno_query::QueryExpr;
+use steno_quil::ir::{QuilChain, SrcDesc};
+use steno_quil::parallel::{self, ParallelPlan, Reduce};
+use steno_quil::{lower, passes, LowerError};
+use steno_vm::CompiledQuery;
+
+use crate::chain_interp;
+use crate::job::JobGraph;
+use crate::partition::DistributedCollection;
+
+/// Which executor runs inside each map vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexEngine {
+    /// Steno-optimized: the subchain compiled once and applied per
+    /// partition (the `HomomorphicApply` of §6).
+    Steno,
+    /// Unoptimized: the same subchain through boxed iterator state
+    /// machines.
+    Linq,
+}
+
+/// The simulated cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of worker threads executing vertices.
+    pub workers: usize,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> ClusterSpec {
+        ClusterSpec { workers: 4 }
+    }
+}
+
+/// What a distributed run did, for experiments and tests.
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Number of input partitions (map vertices).
+    pub partitions: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Which engine ran the map vertices.
+    pub engine: VertexEngine,
+    /// One-off optimization cost (zero for [`VertexEngine::Linq`]).
+    pub compile_time: Duration,
+    /// Wall time of the map phase.
+    pub map_wall: Duration,
+    /// Wall time of the reduce phase.
+    pub reduce_wall: Duration,
+    /// Elements crossing the map → reduce boundary (the coordination
+    /// volume that partial aggregation shrinks, §6).
+    pub exchanged_elements: usize,
+    /// Whether the plan used `Agg_i`/partial-sink decomposition.
+    pub partial_aggregation: bool,
+    /// The job graph that ran.
+    pub graph: JobGraph,
+}
+
+/// A distributed execution error.
+#[derive(Debug)]
+pub enum DistError {
+    /// The query could not be lowered to QUIL.
+    Lower(LowerError),
+    /// The query's root source is not the partitioned collection.
+    BadRoot(String),
+    /// A vertex failed.
+    Vertex(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Lower(e) => write!(f, "{e}"),
+            DistError::BadRoot(msg) => write!(f, "bad root source: {msg}"),
+            DistError::Vertex(msg) => write!(f, "vertex failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Applies `f` to every partition on a pool of `workers` threads and
+/// collects results in partition order — the `HomomorphicApply` operator
+/// added to PLINQ in §6 ("maps a function across partitions in parallel,
+/// as opposed to each element").
+pub fn homomorphic_apply<F>(
+    partitions: &[Column],
+    workers: usize,
+    f: F,
+) -> Result<Vec<Value>, DistError>
+where
+    F: Fn(usize, &Column) -> Result<Value, String> + Sync,
+{
+    let n = partitions.len();
+    let workers = workers.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<Result<Value, String>>> = (0..n).map(|_| None).collect();
+    let slots: Vec<parking_lot::Mutex<Option<Result<Value, String>>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i, &partitions[i]);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        results[i] = slot.into_inner();
+    }
+    results
+        .into_iter()
+        .map(|r| match r {
+            Some(Ok(v)) => Ok(v),
+            Some(Err(e)) => Err(DistError::Vertex(e)),
+            None => Err(DistError::Vertex("vertex produced no result".into())),
+        })
+        .collect()
+}
+
+fn count_exchanged(values: &[Value]) -> usize {
+    values
+        .iter()
+        .map(|v| match v {
+            Value::Seq(s) => s.len(),
+            _ => 1,
+        })
+        .sum()
+}
+
+fn run_chain_serial(
+    chain: &QuilChain,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    engine: VertexEngine,
+) -> Result<Value, DistError> {
+    match engine {
+        VertexEngine::Steno => {
+            let compiled = CompiledQuery::from_chain(chain, udfs)
+                .map_err(|e| DistError::Vertex(e.to_string()))?;
+            compiled
+                .run(ctx, udfs)
+                .map_err(|e| DistError::Vertex(e.to_string()))
+        }
+        VertexEngine::Linq => chain_interp::execute_chain(chain, ctx, udfs)
+            .map_err(|e| DistError::Vertex(e.to_string())),
+    }
+}
+
+/// Executes a query over a partitioned collection on the simulated
+/// cluster (§6).
+///
+/// The query's root source must be `input`; any other named source it
+/// references is *broadcast* — available in full at every vertex (the
+/// k-means centroids, §7.2).
+///
+/// # Errors
+///
+/// Returns [`DistError`] for unloweable queries, mismatched roots, or
+/// vertex failures.
+pub fn execute_distributed(
+    q: &QueryExpr,
+    input: &DistributedCollection,
+    broadcast: &DataContext,
+    udfs: &UdfRegistry,
+    spec: &ClusterSpec,
+    engine: VertexEngine,
+) -> Result<(Value, JobReport), DistError> {
+    // Types: the partitioned source plus broadcast sources.
+    let mut sources = SourceTypes::from(broadcast);
+    let elem_ty = input
+        .partitions
+        .first()
+        .map(Column::elem_ty)
+        .unwrap_or(Ty::F64);
+    sources.insert(input.name.clone(), elem_ty);
+
+    let t0 = Instant::now();
+    let chain = lower(q, &sources, udfs).map_err(DistError::Lower)?;
+    let chain = passes::optimize(&chain);
+    match &chain.src {
+        SrcDesc::Collection { name, .. } if *name == input.name => {}
+        other => {
+            return Err(DistError::BadRoot(format!(
+                "query iterates {other:?}, expected the partitioned collection `{}`",
+                input.name
+            )))
+        }
+    }
+    let plan = parallel::plan(&chain);
+    let compiled_map = match engine {
+        VertexEngine::Steno => Some(
+            CompiledQuery::from_chain(&plan.map_chain, udfs)
+                .map_err(|e| DistError::Vertex(e.to_string()))?,
+        ),
+        VertexEngine::Linq => None,
+    };
+    let compile_time = t0.elapsed();
+
+    // ---- map phase ----
+    let t_map = Instant::now();
+    let map_chain = &plan.map_chain;
+    let partials = homomorphic_apply(&input.partitions, spec.workers, |_, part| {
+        let mut ctx = broadcast.clone();
+        ctx.insert(input.name.clone(), part.clone());
+        match &compiled_map {
+            Some(c) => c.run(&ctx, udfs).map_err(|e| e.to_string()),
+            None => chain_interp::execute_chain(map_chain, &ctx, udfs)
+                .map_err(|e| e.to_string()),
+        }
+    })?;
+    let map_wall = t_map.elapsed();
+    let exchanged_elements = count_exchanged(&partials);
+
+    // ---- reduce phase ----
+    let t_reduce = Instant::now();
+    let result = reduce(&plan, partials, broadcast, udfs, engine)?;
+    let reduce_wall = t_reduce.elapsed();
+
+    let report = JobReport {
+        partitions: input.partition_count(),
+        workers: spec.workers,
+        engine,
+        compile_time,
+        map_wall,
+        reduce_wall,
+        exchanged_elements,
+        partial_aggregation: plan.uses_partial_aggregation(),
+        graph: JobGraph::from_plan(&plan, input.partition_count()),
+    };
+    Ok((result, report))
+}
+
+/// Rebuilds a type-specialized column from boxed values, so downstream
+/// Steno-compiled chains get the indexed access they were generated for.
+fn typed_column(values: Vec<Value>, elem_ty: &Ty) -> Column {
+    match elem_ty {
+        Ty::F64 => Column::from_f64(
+            values
+                .iter()
+                .map(|v| v.as_f64().expect("f64 element"))
+                .collect(),
+        ),
+        Ty::I64 => Column::from_i64(
+            values
+                .iter()
+                .map(|v| v.as_i64().expect("i64 element"))
+                .collect(),
+        ),
+        Ty::Bool => Column::from_bool(
+            values
+                .iter()
+                .map(|v| v.as_bool().expect("bool element"))
+                .collect(),
+        ),
+        _ => Column::from_values(values),
+    }
+}
+
+fn reduce(
+    plan: &ParallelPlan,
+    partials: Vec<Value>,
+    broadcast: &DataContext,
+    udfs: &UdfRegistry,
+    engine: VertexEngine,
+) -> Result<Value, DistError> {
+    let vertex = |e: steno_expr::EvalError| DistError::Vertex(e.to_string());
+    match &plan.reduce {
+        Reduce::Concat => {
+            let mut out = Vec::new();
+            for p in partials {
+                match p {
+                    Value::Seq(s) => out.extend(s.iter().cloned()),
+                    other => out.push(other),
+                }
+            }
+            Ok(Value::seq(out))
+        }
+        Reduce::CombinePartials(agg) => {
+            // The Agg* vertex of Fig. 12.
+            let mut iter = partials.into_iter();
+            let mut acc = iter
+                .next()
+                .ok_or_else(|| DistError::Vertex("no partitions".into()))?;
+            for p in iter {
+                acc = chain_interp::combine_agg(agg, acc, p, udfs).map_err(vertex)?;
+            }
+            chain_interp::finish_agg(agg, acc, udfs).map_err(vertex)
+        }
+        Reduce::MergeGroupedPartials {
+            agg,
+            key_param,
+            agg_param,
+            result,
+        } => {
+            // Merge per-key partials in partition order, then finish and
+            // apply the result selector.
+            let mut index = std::collections::HashMap::new();
+            let mut entries: Vec<(Value, Value)> = Vec::new();
+            for p in partials {
+                let Value::Seq(pairs) = p else {
+                    return Err(DistError::Vertex(
+                        "grouped map vertex did not yield pairs".into(),
+                    ));
+                };
+                for kv in pairs.iter() {
+                    let (k, partial) = kv
+                        .as_pair()
+                        .ok_or_else(|| DistError::Vertex("expected (key, acc) pairs".into()))?;
+                    match index.get(&k.key()) {
+                        None => {
+                            index.insert(k.key(), entries.len());
+                            entries.push((k.clone(), partial.clone()));
+                        }
+                        Some(&slot) => {
+                            let merged = chain_interp::combine_agg(
+                                agg,
+                                entries[slot].1.clone(),
+                                partial.clone(),
+                                udfs,
+                            )
+                            .map_err(vertex)?;
+                            entries[slot].1 = merged;
+                        }
+                    }
+                }
+            }
+            let mut out = Vec::with_capacity(entries.len());
+            for (k, acc) in entries {
+                let fin = chain_interp::finish_agg(agg, acc, udfs).map_err(vertex)?;
+                let env = Env::new()
+                    .with(key_param.clone(), k)
+                    .with(agg_param.clone(), fin);
+                out.push(eval(result, &env, udfs).map_err(vertex)?);
+            }
+            Ok(Value::seq(out))
+        }
+        Reduce::MergeSorted {
+            param,
+            key,
+            descending,
+        } => {
+            // Partition outputs are sorted runs; merge by key.
+            let mut decorated: Vec<(Value, Value)> = Vec::new();
+            for p in partials {
+                let Value::Seq(items) = p else {
+                    return Err(DistError::Vertex("sorted vertex did not yield a run".into()));
+                };
+                for v in items.iter() {
+                    let env = Env::new().with(param.clone(), v.clone());
+                    let k = eval(key, &env, udfs).map_err(vertex)?;
+                    decorated.push((k, v.clone()));
+                }
+            }
+            decorated.sort_by(|(a, _), (b, _)| {
+                let ord = a.cmp_total(b);
+                if *descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+            Ok(Value::seq(decorated.into_iter().map(|(_, v)| v).collect()))
+        }
+        Reduce::SerialRest { ops, agg } => {
+            // Concatenate and run the remainder serially.
+            let mut merged = Vec::new();
+            for p in partials {
+                match p {
+                    Value::Seq(s) => merged.extend(s.iter().cloned()),
+                    other => merged.push(other),
+                }
+            }
+            let elem_ty = plan.map_chain.elem_ty();
+            let rest_chain = QuilChain {
+                src: SrcDesc::Collection {
+                    name: "__cluster_merged".into(),
+                    elem_ty: elem_ty.clone(),
+                },
+                ops: ops.clone(),
+                agg: agg.clone(),
+            };
+            let mut ctx = broadcast.clone();
+            ctx.insert("__cluster_merged", typed_column(merged, &elem_ty));
+            run_chain_serial(&rest_chain, &ctx, udfs, engine)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Expr;
+    use steno_linq::interp;
+    use steno_query::{GroupResult, Query};
+
+    fn x() -> Expr {
+        Expr::var("x")
+    }
+
+    /// Structural equality with a relative tolerance on floats:
+    /// partitioned partial aggregation reassociates floating-point sums,
+    /// so distributed results may differ from serial ones in the last
+    /// ulps (as on the real system).
+    fn assert_close(a: &Value, b: &Value, what: &str) {
+        match (a, b) {
+            (Value::F64(x), Value::F64(y)) => {
+                let close = (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs()))
+                    || (x.is_nan() && y.is_nan());
+                assert!(close, "{what}: {x} vs {y}");
+            }
+            (Value::Seq(xs), Value::Seq(ys)) => {
+                assert_eq!(xs.len(), ys.len(), "{what}: length");
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    assert_close(x, y, what);
+                }
+            }
+            (Value::Pair(x), Value::Pair(y)) => {
+                assert_close(&x.0, &y.0, what);
+                assert_close(&x.1, &y.1, what);
+            }
+            (x, y) => assert_eq!(x.key(), y.key(), "{what}"),
+        }
+    }
+
+    /// Distributed result == serial interpreter result, on both engines.
+    #[track_caller]
+    fn check_equivalence(q: QueryExpr, data: Vec<f64>, partitions: usize) {
+        let udfs = UdfRegistry::new();
+        let serial_ctx = DataContext::new().with_source("xs", data.clone());
+        let expected = interp::execute(&q, &serial_ctx, &udfs).unwrap();
+        let input = DistributedCollection::from_f64("xs", data, partitions);
+        let spec = ClusterSpec { workers: 3 };
+        for engine in [VertexEngine::Steno, VertexEngine::Linq] {
+            let (got, _) = execute_distributed(
+                &q,
+                &input,
+                &DataContext::new(),
+                &udfs,
+                &spec,
+                engine,
+            )
+            .unwrap();
+            assert_close(&got, &expected, &format!("engine {engine:?}, query {q}"));
+        }
+    }
+
+    #[test]
+    fn partial_sums_match_serial() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64) * 0.01 - 3.0).collect();
+        let q = Query::source("xs").select(x() * x(), "x").sum().build();
+        check_equivalence(q, data, 7);
+    }
+
+    #[test]
+    fn elementwise_chains_concatenate_in_order() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let q = Query::source("xs")
+            .where_((x() % Expr::litf(3.0)).eq(Expr::litf(0.0)), "x")
+            .select(x() * Expr::litf(2.0), "x")
+            .build();
+        check_equivalence(q, data, 4);
+    }
+
+    #[test]
+    fn grouped_aggregation_merges_across_partitions() {
+        let data: Vec<f64> = (0..500).map(|i| (i % 13) as f64).collect();
+        let q = Query::source("xs")
+            .group_by_result(
+                x().floor(),
+                "x",
+                GroupResult::keyed("k", "g", Query::over(Expr::var("g")).count().build()),
+            )
+            .build();
+        check_equivalence(q, data, 5);
+    }
+
+    #[test]
+    fn average_finishes_after_combining() {
+        let data: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let q = Query::source("xs").average().build();
+        check_equivalence(q, data, 8);
+    }
+
+    #[test]
+    fn order_by_merges_sorted_runs() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 7919) % 451) as f64).collect();
+        let q = Query::source("xs").order_by(x(), "x").build();
+        check_equivalence(q, data, 6);
+    }
+
+    #[test]
+    fn take_runs_serial_remainder() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let q = Query::source("xs")
+            .select(x() + Expr::litf(1.0), "x")
+            .take(10)
+            .sum()
+            .build();
+        check_equivalence(q, data, 4);
+    }
+
+    #[test]
+    fn partial_aggregation_reduces_exchange_volume() {
+        let data: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let q = Query::source("xs").sum().build();
+        let input = DistributedCollection::from_f64("xs", data, 10);
+        let udfs = UdfRegistry::new();
+        let (_, report) = execute_distributed(
+            &q,
+            &input,
+            &DataContext::new(),
+            &udfs,
+            &ClusterSpec { workers: 2 },
+            VertexEngine::Steno,
+        )
+        .unwrap();
+        assert!(report.partial_aggregation);
+        // One partial accumulator per partition, not 10k elements.
+        assert_eq!(report.exchanged_elements, 10);
+        assert_eq!(report.partitions, 10);
+        assert!(report.graph.to_string().contains("Agg*"));
+    }
+
+    #[test]
+    fn broadcast_sources_reach_every_vertex() {
+        // xs.Select(x => x * scale.First()) with `scale` broadcast.
+        let q = Query::source("xs")
+            .select_query(
+                Query::source("scale").first(),
+                "x",
+            )
+            .sum()
+            .build();
+        let data: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+        let input = DistributedCollection::from_f64("xs", data, 2);
+        let broadcast = DataContext::new().with_source("scale", vec![2.5f64]);
+        let udfs = UdfRegistry::new();
+        let (v, _) = execute_distributed(
+            &q,
+            &input,
+            &broadcast,
+            &udfs,
+            &ClusterSpec { workers: 2 },
+            VertexEngine::Steno,
+        )
+        .unwrap();
+        assert_eq!(v, Value::F64(10.0));
+    }
+
+    #[test]
+    fn root_must_be_the_partitioned_collection() {
+        let q = Query::source("ys").sum().build();
+        let input = DistributedCollection::from_f64("xs", vec![1.0], 1);
+        let broadcast = DataContext::new().with_source("ys", vec![1.0f64]);
+        let err = execute_distributed(
+            &q,
+            &input,
+            &broadcast,
+            &UdfRegistry::new(),
+            &ClusterSpec::default(),
+            VertexEngine::Steno,
+        );
+        assert!(matches!(err, Err(DistError::BadRoot(_))));
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for type checking and evaluation.
+
+use std::fmt;
+
+use crate::ty::Ty;
+
+/// An error produced by the type checker.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeError {
+    /// A variable was not bound in the environment.
+    UnboundVariable(String),
+    /// An operator was applied to operands of the wrong type.
+    Mismatch {
+        /// Human-readable description of the context.
+        context: String,
+        /// The type that was expected.
+        expected: String,
+        /// The type that was found.
+        found: Ty,
+    },
+    /// A user-defined function is not registered or has the wrong arity.
+    BadCall(String),
+    /// A cast between unsupported types.
+    BadCast(Ty, Ty),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            TypeError::Mismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TypeError::BadCall(msg) => write!(f, "bad call: {msg}"),
+            TypeError::BadCast(from, to) => write!(f, "unsupported cast from {from} to {to}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// An error produced by the reference evaluator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EvalError {
+    /// A variable was not bound at evaluation time.
+    UnboundVariable(String),
+    /// A value had the wrong runtime shape for the operation.
+    TypeMismatch(String),
+    /// Row index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: i64,
+        /// Length of the indexed row.
+        len: usize,
+    },
+    /// A user-defined function is not registered.
+    UnknownUdf(String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            EvalError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            EvalError::IndexOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for length {len}")
+            }
+            EvalError::UnknownUdf(name) => write!(f, "unknown user-defined function `{name}`"),
+            EvalError::DivisionByZero => write!(f, "integer division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = TypeError::Mismatch {
+            context: "operator +".into(),
+            expected: "f64".into(),
+            found: Ty::Bool,
+        };
+        assert_eq!(e.to_string(), "type mismatch in operator +: expected f64, found bool");
+        assert_eq!(
+            EvalError::IndexOutOfBounds { index: 9, len: 3 }.to_string(),
+            "row index 9 out of bounds for length 3"
+        );
+    }
+}

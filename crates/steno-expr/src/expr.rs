@@ -1,0 +1,507 @@
+//! Expression trees and lambda abstractions.
+
+use std::fmt;
+
+use crate::ty::Ty;
+
+/// A binary operator in an expression tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition (`+`).
+    Add,
+    /// Subtraction (`-`).
+    Sub,
+    /// Multiplication (`*`).
+    Mul,
+    /// Division (`/`).
+    Div,
+    /// Remainder (`%`), the operator of the paper's running example
+    /// `where x % 2 == 0`.
+    Rem,
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Less-than (`<`).
+    Lt,
+    /// Less-or-equal (`<=`).
+    Le,
+    /// Greater-than (`>`).
+    Gt,
+    /// Greater-or-equal (`>=`).
+    Ge,
+    /// Short-circuiting conjunction (`&&`).
+    And,
+    /// Short-circuiting disjunction (`||`).
+    Or,
+    /// Numeric minimum.
+    Min,
+    /// Numeric maximum.
+    Max,
+}
+
+impl BinOp {
+    /// `true` for `+ - * / %` and `min`/`max`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem | BinOp::Min | BinOp::Max
+        )
+    }
+
+    /// `true` for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// `true` for `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The surface-syntax token for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Absolute value.
+    Abs,
+    /// Square root (used by the Euclidean distance in k-means).
+    Sqrt,
+    /// Floor (used to bin samples in the Group microbenchmark).
+    Floor,
+}
+
+impl UnOp {
+    /// The surface-syntax token (or function name) for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Floor => "floor",
+        }
+    }
+}
+
+/// An expression tree.
+///
+/// Trees are built either programmatically ([`Expr::var`], the `std::ops`
+/// impls) or by the comprehension parser in `steno-syntax`. They appear as
+/// the transformation/predicate/aggregation functions of query operators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A variable reference by name.
+    Var(String),
+    /// An `f64` literal.
+    LitF64(f64),
+    /// An `i64` literal.
+    LitI64(i64),
+    /// A boolean literal.
+    LitBool(bool),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A call to a registered user-defined function.
+    Call(String, Vec<Expr>),
+    /// Projection of a pair component (`.0` or `.1`).
+    Field(Box<Expr>, usize),
+    /// Indexing into a row: `row[i]` yields `f64`.
+    RowIndex(Box<Expr>, Box<Expr>),
+    /// The length of a row, as `i64`.
+    RowLen(Box<Expr>),
+    /// Pair construction.
+    MkPair(Box<Expr>, Box<Expr>),
+    /// Conditional expression `if c { t } else { e }`.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Type cast between the numeric scalars.
+    Cast(Ty, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// An `f64` literal.
+    pub fn litf(x: f64) -> Expr {
+        Expr::LitF64(x)
+    }
+
+    /// An `i64` literal.
+    pub fn liti(x: i64) -> Expr {
+        Expr::LitI64(x)
+    }
+
+    /// A boolean literal.
+    pub fn litb(b: bool) -> Expr {
+        Expr::LitBool(b)
+    }
+
+    /// A binary operation.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// A unary operation.
+    pub fn un(op: UnOp, operand: Expr) -> Expr {
+        Expr::Un(op, Box::new(operand))
+    }
+
+    /// A call to the user-defined function `name`.
+    pub fn call(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.into(), args)
+    }
+
+    /// Projects a pair component.
+    pub fn field(self, index: usize) -> Expr {
+        Expr::Field(Box::new(self), index)
+    }
+
+    /// Indexes a row.
+    pub fn row_index(self, index: Expr) -> Expr {
+        Expr::RowIndex(Box::new(self), Box::new(index))
+    }
+
+    /// The row length.
+    pub fn row_len(self) -> Expr {
+        Expr::RowLen(Box::new(self))
+    }
+
+    /// Pair construction.
+    pub fn mk_pair(a: Expr, b: Expr) -> Expr {
+        Expr::MkPair(Box::new(a), Box::new(b))
+    }
+
+    /// A conditional expression.
+    pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::If(Box::new(cond), Box::new(then), Box::new(els))
+    }
+
+    /// A cast to `ty`.
+    pub fn cast(self, ty: Ty) -> Expr {
+        Expr::Cast(ty, Box::new(self))
+    }
+
+    /// Equality comparison.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, self, rhs)
+    }
+
+    /// Inequality comparison.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, self, rhs)
+    }
+
+    /// Less-than comparison.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Lt, self, rhs)
+    }
+
+    /// Less-or-equal comparison.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Le, self, rhs)
+    }
+
+    /// Greater-than comparison.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Gt, self, rhs)
+    }
+
+    /// Greater-or-equal comparison.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Ge, self, rhs)
+    }
+
+    /// Logical conjunction.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::And, self, rhs)
+    }
+
+    /// Logical disjunction.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Or, self, rhs)
+    }
+
+    /// Logical negation.
+    ///
+    /// Deliberately named like the operator it builds (`!`); `Expr` also
+    /// implements the `Neg` operator but not `Not`, because `!` on an
+    /// expression *tree* reads ambiguously.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::un(UnOp::Not, self)
+    }
+
+    /// Numeric minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Min, self, rhs)
+    }
+
+    /// Numeric maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Max, self, rhs)
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::un(UnOp::Sqrt, self)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::un(UnOp::Abs, self)
+    }
+
+    /// Floor.
+    pub fn floor(self) -> Expr {
+        Expr::un(UnOp::Floor, self)
+    }
+
+    /// Walks the tree, invoking `f` on every node (pre-order).
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Var(_) | Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_) => {}
+            Expr::Bin(_, a, b) | Expr::RowIndex(a, b) | Expr::MkPair(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Un(_, a) | Expr::Field(a, _) | Expr::RowLen(a) | Expr::Cast(_, a) => a.visit(f),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::If(c, t, e) => {
+                c.visit(f);
+                t.visit(f);
+                e.visit(f);
+            }
+        }
+    }
+
+    /// The number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |_| n += 1);
+        n
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl std::ops::Rem for Expr {
+    type Output = Expr;
+    fn rem(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Rem, self, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::un(UnOp::Neg, self)
+    }
+}
+
+/// A lambda abstraction: the representation of the function objects passed
+/// to query operators (`x => x * x` and friends).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lambda {
+    /// Parameter names with their types, in order.
+    pub params: Vec<(String, Ty)>,
+    /// The body expression.
+    pub body: Expr,
+}
+
+impl Lambda {
+    /// A unary lambda `param => body`.
+    pub fn unary(param: impl Into<String>, ty: Ty, body: Expr) -> Lambda {
+        Lambda {
+            params: vec![(param.into(), ty)],
+            body,
+        }
+    }
+
+    /// A binary lambda `(a, b) => body`, as used by `Aggregate`.
+    pub fn binary(
+        a: impl Into<String>,
+        ta: Ty,
+        b: impl Into<String>,
+        tb: Ty,
+        body: Expr,
+    ) -> Lambda {
+        Lambda {
+            params: vec![(a.into(), ta), (b.into(), tb)],
+            body,
+        }
+    }
+
+    /// The arity of the lambda.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::LitF64(x) => {
+                if x.fract() == 0.0 && x.is_finite() {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Expr::LitI64(x) => write!(f, "{x}"),
+            Expr::LitBool(b) => write!(f, "{b}"),
+            Expr::Bin(op, a, b) if matches!(op, BinOp::Min | BinOp::Max) => {
+                write!(f, "{a}.{}({b})", op.symbol())
+            }
+            Expr::Bin(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::Un(UnOp::Neg, a) => write!(f, "(-{a})"),
+            Expr::Un(UnOp::Not, a) => write!(f, "(!{a})"),
+            Expr::Un(op, a) => write!(f, "{a}.{}()", op.symbol()),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Field(a, i) => write!(f, "{a}.{i}"),
+            Expr::RowIndex(a, i) => write!(f, "{a}[{i}]"),
+            Expr::RowLen(a) => write!(f, "{a}.len()"),
+            Expr::MkPair(a, b) => write!(f, "({a}, {b})"),
+            Expr::If(c, t, e) => write!(f, "if {c} {{ {t} }} else {{ {e} }}"),
+            Expr::Cast(ty, a) => write!(f, "({a} as {ty})"),
+        }
+    }
+}
+
+impl fmt::Display for Lambda {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|")?;
+        for (i, (name, ty)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}: {ty}")?;
+        }
+        write!(f, "| {}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_sugar_builds_trees() {
+        let e = Expr::var("x") * Expr::var("x") + Expr::litf(1.0);
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::var("x"), Expr::var("x")),
+                Expr::litf(1.0)
+            )
+        );
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        let e = (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0));
+        assert_eq!(e.to_string(), "((x % 2) == 0)");
+        let l = Lambda::unary("x", Ty::I64, e);
+        assert_eq!(l.to_string(), "|x: i64| ((x % 2) == 0)");
+    }
+
+    #[test]
+    fn visit_counts_nodes() {
+        let e = Expr::if_(
+            Expr::var("p").not(),
+            Expr::var("a") + Expr::litf(1.0),
+            Expr::call("f", vec![Expr::var("b")]),
+        );
+        assert_eq!(e.size(), 8);
+    }
+
+    #[test]
+    fn binop_classes_partition() {
+        use BinOp::*;
+        for op in [Add, Sub, Mul, Div, Rem, Eq, Ne, Lt, Le, Gt, Ge, And, Or, Min, Max] {
+            let classes =
+                [op.is_arithmetic(), op.is_comparison(), op.is_logical()];
+            assert_eq!(classes.iter().filter(|c| **c).count(), 1, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn lambda_constructors() {
+        let l = Lambda::binary("acc", Ty::F64, "x", Ty::F64, Expr::var("acc") + Expr::var("x"));
+        assert_eq!(l.arity(), 2);
+        assert_eq!(l.params[0].0, "acc");
+    }
+}

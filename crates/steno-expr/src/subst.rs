@@ -1,0 +1,166 @@
+//! Variable substitution and renaming.
+//!
+//! During nested-loop generation the paper rewrites "all occurrences of `x`
+//! in the nested query ... with the current `elem_i` variable name in the
+//! outer query" (§5.2). The code generator also renames lambda parameters
+//! to its canonical `elem_i` / `agg_j` / `sink_k` names. Both are
+//! implemented here as capture-aware substitution over expression trees.
+
+use std::collections::HashSet;
+
+use crate::expr::{Expr, Lambda};
+
+/// Replaces every free occurrence of the variable `name` in `expr` with
+/// `replacement`.
+///
+/// Substitution is *free-variable* substitution: occurrences bound by an
+/// enclosing construct are never rewritten. (Expressions themselves have no
+/// binders — lambdas bind at the [`Lambda`] level — so within a bare
+/// expression every occurrence is free.)
+pub fn subst(expr: &Expr, name: &str, replacement: &Expr) -> Expr {
+    match expr {
+        Expr::Var(v) if v == name => replacement.clone(),
+        Expr::Var(_) | Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_) => expr.clone(),
+        Expr::Bin(op, a, b) => Expr::bin(*op, subst(a, name, replacement), subst(b, name, replacement)),
+        Expr::Un(op, a) => Expr::un(*op, subst(a, name, replacement)),
+        Expr::Call(f, args) => Expr::Call(
+            f.clone(),
+            args.iter().map(|a| subst(a, name, replacement)).collect(),
+        ),
+        Expr::Field(a, i) => Expr::Field(Box::new(subst(a, name, replacement)), *i),
+        Expr::RowIndex(a, i) => Expr::RowIndex(
+            Box::new(subst(a, name, replacement)),
+            Box::new(subst(i, name, replacement)),
+        ),
+        Expr::RowLen(a) => Expr::RowLen(Box::new(subst(a, name, replacement))),
+        Expr::MkPair(a, b) => Expr::MkPair(
+            Box::new(subst(a, name, replacement)),
+            Box::new(subst(b, name, replacement)),
+        ),
+        Expr::If(c, t, e) => Expr::if_(
+            subst(c, name, replacement),
+            subst(t, name, replacement),
+            subst(e, name, replacement),
+        ),
+        Expr::Cast(ty, a) => Expr::Cast(ty.clone(), Box::new(subst(a, name, replacement))),
+    }
+}
+
+/// Renames every free occurrence of variable `from` to `to`.
+pub fn rename(expr: &Expr, from: &str, to: &str) -> Expr {
+    subst(expr, from, &Expr::var(to))
+}
+
+/// Instantiates a lambda body by renaming each parameter to the
+/// corresponding name in `args`.
+///
+/// This is how the code generator inlines a transformation or predicate
+/// function: the lambda's parameter becomes the current `elem_i` variable
+/// (§4.2, Fig. 6).
+///
+/// # Panics
+///
+/// Panics if `args.len()` differs from the lambda arity — callers resolve
+/// arity during query canonicalization.
+pub fn instantiate(lambda: &Lambda, args: &[&str]) -> Expr {
+    assert_eq!(
+        lambda.arity(),
+        args.len(),
+        "lambda of arity {} instantiated with {} names",
+        lambda.arity(),
+        args.len()
+    );
+    let mut body = lambda.body.clone();
+    for ((param, _), arg) in lambda.params.iter().zip(args) {
+        body = rename(&body, param, arg);
+    }
+    body
+}
+
+/// Instantiates a lambda body with arbitrary replacement expressions.
+///
+/// # Panics
+///
+/// Panics if `args.len()` differs from the lambda arity.
+pub fn instantiate_exprs(lambda: &Lambda, args: &[Expr]) -> Expr {
+    assert_eq!(lambda.arity(), args.len());
+    let mut body = lambda.body.clone();
+    for ((param, _), arg) in lambda.params.iter().zip(args) {
+        body = subst(&body, param, arg);
+    }
+    body
+}
+
+/// Collects the free variables of an expression.
+pub fn free_vars(expr: &Expr) -> HashSet<String> {
+    let mut out = HashSet::new();
+    expr.visit(&mut |e| {
+        if let Expr::Var(name) = e {
+            out.insert(name.clone());
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Ty;
+
+    #[test]
+    fn subst_replaces_all_occurrences() {
+        let e = Expr::var("x") * Expr::var("x") + Expr::var("y");
+        let s = subst(&e, "x", &Expr::var("elem_0"));
+        assert_eq!(s.to_string(), "((elem_0 * elem_0) + y)");
+    }
+
+    #[test]
+    fn rename_is_subst_with_var() {
+        let e = (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0));
+        assert_eq!(rename(&e, "x", "e1").to_string(), "((e1 % 2) == 0)");
+        // Renaming an absent variable is the identity.
+        assert_eq!(rename(&e, "zz", "e1"), e);
+    }
+
+    #[test]
+    fn instantiate_inlines_lambda() {
+        let sq = Lambda::unary("x", Ty::F64, Expr::var("x") * Expr::var("x"));
+        assert_eq!(instantiate(&sq, &["elem_0"]).to_string(), "(elem_0 * elem_0)");
+        let acc = Lambda::binary(
+            "a",
+            Ty::F64,
+            "x",
+            Ty::F64,
+            Expr::var("a") + Expr::var("x"),
+        );
+        assert_eq!(
+            instantiate(&acc, &["agg_1", "elem_0"]).to_string(),
+            "(agg_1 + elem_0)"
+        );
+    }
+
+    #[test]
+    fn instantiate_exprs_substitutes_trees() {
+        let sq = Lambda::unary("x", Ty::F64, Expr::var("x") * Expr::var("x"));
+        let arg = Expr::var("p").row_index(Expr::liti(0));
+        assert_eq!(
+            instantiate_exprs(&sq, &[arg]).to_string(),
+            "(p[0] * p[0])"
+        );
+    }
+
+    #[test]
+    fn free_vars_collects_names() {
+        let e = Expr::call("f", vec![Expr::var("a"), Expr::var("b") + Expr::var("a")]);
+        let fv = free_vars(&e);
+        assert_eq!(fv.len(), 2);
+        assert!(fv.contains("a") && fv.contains("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let sq = Lambda::unary("x", Ty::F64, Expr::var("x"));
+        let _ = instantiate(&sq, &["a", "b"]);
+    }
+}

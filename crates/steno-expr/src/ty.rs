@@ -1,0 +1,97 @@
+//! The monomorphic type language used by query expressions.
+
+use std::fmt;
+
+/// A query-level type.
+///
+/// LINQ queries in the paper manipulate scalars (`double`, `int`, `bool`),
+/// points (vectors of doubles, used by the k-means workload of §7.2),
+/// key/value pairs (produced by `GroupBy`) and sequences (nested query
+/// results). `Ty` is deliberately small: it is the set of types the Steno VM
+/// can specialize code for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit floating point (`double` in the paper's benchmarks).
+    F64,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+    /// A fixed-dimension vector of `f64` (a data point in k-means).
+    Row,
+    /// A pair of values, e.g. a `(key, value)` produced by grouping.
+    Pair(Box<Ty>, Box<Ty>),
+    /// A sequence of values, e.g. the result of a nested query or the bag of
+    /// values in a group.
+    Seq(Box<Ty>),
+}
+
+impl Ty {
+    /// Convenience constructor for [`Ty::Pair`].
+    pub fn pair(a: Ty, b: Ty) -> Ty {
+        Ty::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for [`Ty::Seq`].
+    pub fn seq(elem: Ty) -> Ty {
+        Ty::Seq(Box::new(elem))
+    }
+
+    /// Returns `true` for the numeric scalar types (`F64`, `I64`).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Ty::F64 | Ty::I64)
+    }
+
+    /// Returns `true` for scalar (non-compound) types.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Ty::F64 | Ty::I64 | Ty::Bool)
+    }
+
+    /// The element type if `self` is a sequence.
+    pub fn seq_elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Seq(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::F64 => write!(f, "f64"),
+            Ty::I64 => write!(f, "i64"),
+            Ty::Bool => write!(f, "bool"),
+            Ty::Row => write!(f, "row"),
+            Ty::Pair(a, b) => write!(f, "({a}, {b})"),
+            Ty::Seq(e) => write!(f, "seq<{e}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nested() {
+        let t = Ty::seq(Ty::pair(Ty::I64, Ty::Seq(Box::new(Ty::F64))));
+        assert_eq!(t.to_string(), "seq<(i64, seq<f64>)>");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::F64.is_numeric());
+        assert!(Ty::I64.is_numeric());
+        assert!(!Ty::Bool.is_numeric());
+        assert!(Ty::Bool.is_scalar());
+        assert!(!Ty::Row.is_scalar());
+        assert!(!Ty::seq(Ty::F64).is_scalar());
+    }
+
+    #[test]
+    fn seq_elem_accessor() {
+        assert_eq!(Ty::seq(Ty::F64).seq_elem(), Some(&Ty::F64));
+        assert_eq!(Ty::F64.seq_elem(), None);
+    }
+}

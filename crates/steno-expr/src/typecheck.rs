@@ -1,0 +1,311 @@
+//! A type checker for expression trees.
+//!
+//! The paper assumes "the C# compiler has already type-checked the query
+//! expression, so Steno does not perform additional type-checking" (§4.1).
+//! In this reproduction the query AST is constructed at runtime, so we
+//! provide the checker the C# compiler would have been: it is run once per
+//! query before optimization, and the Steno VM relies on its verdicts to
+//! emit type-specialized bytecode.
+
+use std::collections::HashMap;
+
+use crate::error::TypeError;
+use crate::expr::{BinOp, Expr, Lambda, UnOp};
+use crate::ty::Ty;
+use crate::udf::UdfRegistry;
+
+/// A typing environment: variable name → type.
+#[derive(Clone, Debug, Default)]
+pub struct TyEnv {
+    vars: HashMap<String, Ty>,
+}
+
+impl TyEnv {
+    /// Creates an empty environment.
+    pub fn new() -> TyEnv {
+        TyEnv::default()
+    }
+
+    /// Binds `name` to `ty`, returning `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, ty: Ty) -> TyEnv {
+        self.vars.insert(name.into(), ty);
+        self
+    }
+
+    /// Binds `name` to `ty` in place.
+    pub fn bind(&mut self, name: impl Into<String>, ty: Ty) {
+        self.vars.insert(name.into(), ty);
+    }
+
+    /// Looks up the type of `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Ty> {
+        self.vars.get(name)
+    }
+}
+
+fn mismatch(context: impl Into<String>, expected: impl Into<String>, found: Ty) -> TypeError {
+    TypeError::Mismatch {
+        context: context.into(),
+        expected: expected.into(),
+        found,
+    }
+}
+
+/// Infers the type of `expr` under `env`, or reports the first error.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the tree references unbound variables,
+/// applies operators to incompatible operand types, calls an unregistered
+/// UDF, or casts between unsupported types.
+pub fn infer(expr: &Expr, env: &TyEnv, udfs: &UdfRegistry) -> Result<Ty, TypeError> {
+    match expr {
+        Expr::Var(name) => env
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(name.clone())),
+        Expr::LitF64(_) => Ok(Ty::F64),
+        Expr::LitI64(_) => Ok(Ty::I64),
+        Expr::LitBool(_) => Ok(Ty::Bool),
+        Expr::Bin(op, a, b) => {
+            let ta = infer(a, env, udfs)?;
+            let tb = infer(b, env, udfs)?;
+            let ctx = format!("operator {}", op.symbol());
+            if op.is_arithmetic() {
+                if !ta.is_numeric() {
+                    return Err(mismatch(ctx, "numeric", ta));
+                }
+                if ta != tb {
+                    return Err(mismatch(ctx, ta.to_string(), tb));
+                }
+                Ok(ta)
+            } else if op.is_comparison() {
+                if ta != tb {
+                    return Err(mismatch(ctx, ta.to_string(), tb));
+                }
+                // Eq/Ne apply to any matching scalars; ordering requires
+                // an ordered scalar type.
+                if matches!(op, BinOp::Eq | BinOp::Ne) || ta.is_numeric() || ta == Ty::Bool {
+                    Ok(Ty::Bool)
+                } else {
+                    Err(mismatch(ctx, "ordered scalar", ta))
+                }
+            } else {
+                // Logical.
+                if ta != Ty::Bool {
+                    return Err(mismatch(&ctx, "bool", ta));
+                }
+                if tb != Ty::Bool {
+                    return Err(mismatch(ctx, "bool", tb));
+                }
+                Ok(Ty::Bool)
+            }
+        }
+        Expr::Un(op, a) => {
+            let ta = infer(a, env, udfs)?;
+            match op {
+                UnOp::Neg => {
+                    if ta.is_numeric() {
+                        Ok(ta)
+                    } else {
+                        Err(mismatch("operator -", "numeric", ta))
+                    }
+                }
+                UnOp::Not => {
+                    if ta == Ty::Bool {
+                        Ok(Ty::Bool)
+                    } else {
+                        Err(mismatch("operator !", "bool", ta))
+                    }
+                }
+                UnOp::Abs => {
+                    if ta.is_numeric() {
+                        Ok(ta)
+                    } else {
+                        Err(mismatch("abs", "numeric", ta))
+                    }
+                }
+                UnOp::Sqrt | UnOp::Floor => {
+                    if ta == Ty::F64 {
+                        Ok(Ty::F64)
+                    } else {
+                        Err(mismatch(op.symbol(), "f64", ta))
+                    }
+                }
+            }
+        }
+        Expr::Call(name, args) => {
+            let udf = udfs
+                .get(name)
+                .ok_or_else(|| TypeError::BadCall(format!("`{name}` is not registered")))?;
+            if udf.params.len() != args.len() {
+                return Err(TypeError::BadCall(format!(
+                    "`{name}` expects {} arguments, got {}",
+                    udf.params.len(),
+                    args.len()
+                )));
+            }
+            for (i, (arg, expected)) in args.iter().zip(&udf.params).enumerate() {
+                let found = infer(arg, env, udfs)?;
+                if &found != expected {
+                    return Err(mismatch(
+                        format!("argument {i} of `{name}`"),
+                        expected.to_string(),
+                        found,
+                    ));
+                }
+            }
+            Ok(udf.ret.clone())
+        }
+        Expr::Field(a, i) => {
+            let ta = infer(a, env, udfs)?;
+            match (ta, i) {
+                (Ty::Pair(x, _), 0) => Ok(*x),
+                (Ty::Pair(_, y), 1) => Ok(*y),
+                (other, _) => Err(mismatch(format!("projection .{i}"), "pair", other)),
+            }
+        }
+        Expr::RowIndex(a, i) => {
+            let ta = infer(a, env, udfs)?;
+            if ta != Ty::Row {
+                return Err(mismatch("row indexing", "row", ta));
+            }
+            let ti = infer(i, env, udfs)?;
+            if ti != Ty::I64 {
+                return Err(mismatch("row index", "i64", ti));
+            }
+            Ok(Ty::F64)
+        }
+        Expr::RowLen(a) => {
+            let ta = infer(a, env, udfs)?;
+            if ta != Ty::Row {
+                return Err(mismatch("row length", "row", ta));
+            }
+            Ok(Ty::I64)
+        }
+        Expr::MkPair(a, b) => Ok(Ty::pair(infer(a, env, udfs)?, infer(b, env, udfs)?)),
+        Expr::If(c, t, e) => {
+            let tc = infer(c, env, udfs)?;
+            if tc != Ty::Bool {
+                return Err(mismatch("if condition", "bool", tc));
+            }
+            let tt = infer(t, env, udfs)?;
+            let te = infer(e, env, udfs)?;
+            if tt != te {
+                return Err(mismatch("if branches", tt.to_string(), te));
+            }
+            Ok(tt)
+        }
+        Expr::Cast(ty, a) => {
+            let ta = infer(a, env, udfs)?;
+            match (&ta, ty) {
+                (Ty::F64, Ty::I64)
+                | (Ty::I64, Ty::F64)
+                | (Ty::F64, Ty::F64)
+                | (Ty::I64, Ty::I64) => Ok(ty.clone()),
+                _ => Err(TypeError::BadCast(ta, ty.clone())),
+            }
+        }
+    }
+}
+
+/// Checks a lambda body under its parameter bindings and returns the body
+/// type.
+///
+/// # Errors
+///
+/// Propagates any [`TypeError`] found in the body.
+pub fn infer_lambda(lambda: &Lambda, env: &TyEnv, udfs: &UdfRegistry) -> Result<Ty, TypeError> {
+    let mut inner = env.clone();
+    for (name, ty) in &lambda.params {
+        inner.bind(name.clone(), ty.clone());
+    }
+    infer(&lambda.body, &inner, udfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_x(ty: Ty) -> TyEnv {
+        TyEnv::new().with("x", ty)
+    }
+
+    #[test]
+    fn arithmetic_is_homogeneous() {
+        let udfs = UdfRegistry::new();
+        let e = Expr::var("x") + Expr::litf(1.0);
+        assert_eq!(infer(&e, &env_x(Ty::F64), &udfs), Ok(Ty::F64));
+        assert!(infer(&e, &env_x(Ty::I64), &udfs).is_err());
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let udfs = UdfRegistry::new();
+        let e = (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0));
+        assert_eq!(infer(&e, &env_x(Ty::I64), &udfs), Ok(Ty::Bool));
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let udfs = UdfRegistry::new();
+        assert_eq!(
+            infer(&Expr::var("nope"), &TyEnv::new(), &udfs),
+            Err(TypeError::UnboundVariable("nope".into()))
+        );
+    }
+
+    #[test]
+    fn udf_arity_and_types_checked() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register("dist", vec![Ty::Row, Ty::Row], Ty::F64, |_| {
+            crate::Value::F64(0.0)
+        });
+        let env = TyEnv::new().with("p", Ty::Row).with("q", Ty::Row);
+        let good = Expr::call("dist", vec![Expr::var("p"), Expr::var("q")]);
+        assert_eq!(infer(&good, &env, &udfs), Ok(Ty::F64));
+        let bad_arity = Expr::call("dist", vec![Expr::var("p")]);
+        assert!(matches!(infer(&bad_arity, &env, &udfs), Err(TypeError::BadCall(_))));
+        let bad_ty = Expr::call("dist", vec![Expr::var("p"), Expr::litf(0.0)]);
+        assert!(infer(&bad_ty, &env, &udfs).is_err());
+        let unknown = Expr::call("nope", vec![]);
+        assert!(matches!(infer(&unknown, &env, &udfs), Err(TypeError::BadCall(_))));
+    }
+
+    #[test]
+    fn pairs_rows_and_conditionals() {
+        let udfs = UdfRegistry::new();
+        let env = TyEnv::new()
+            .with("kv", Ty::pair(Ty::I64, Ty::F64))
+            .with("p", Ty::Row);
+        assert_eq!(infer(&Expr::var("kv").field(0), &env, &udfs), Ok(Ty::I64));
+        assert_eq!(infer(&Expr::var("kv").field(1), &env, &udfs), Ok(Ty::F64));
+        assert_eq!(
+            infer(&Expr::var("p").row_index(Expr::liti(0)), &env, &udfs),
+            Ok(Ty::F64)
+        );
+        assert_eq!(infer(&Expr::var("p").row_len(), &env, &udfs), Ok(Ty::I64));
+        let cond = Expr::if_(Expr::litb(true), Expr::litf(1.0), Expr::litf(2.0));
+        assert_eq!(infer(&cond, &env, &udfs), Ok(Ty::F64));
+        let bad = Expr::if_(Expr::litb(true), Expr::litf(1.0), Expr::liti(2));
+        assert!(infer(&bad, &env, &udfs).is_err());
+    }
+
+    #[test]
+    fn casts_between_numeric_scalars_only() {
+        let udfs = UdfRegistry::new();
+        let env = env_x(Ty::F64);
+        assert_eq!(infer(&Expr::var("x").cast(Ty::I64), &env, &udfs), Ok(Ty::I64));
+        assert!(matches!(
+            infer(&Expr::litb(true).cast(Ty::F64), &env, &udfs),
+            Err(TypeError::BadCast(..))
+        ));
+    }
+
+    #[test]
+    fn lambda_binds_parameters() {
+        let udfs = UdfRegistry::new();
+        let l = Lambda::binary("acc", Ty::F64, "x", Ty::F64, Expr::var("acc") + Expr::var("x"));
+        assert_eq!(infer_lambda(&l, &TyEnv::new(), &udfs), Ok(Ty::F64));
+    }
+}

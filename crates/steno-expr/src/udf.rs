@@ -1,0 +1,122 @@
+//! User-defined functions.
+//!
+//! The paper's queries freely call into user code ("the developer \[can\] use
+//! the full .NET type system and class library", §1). Steno inlines the
+//! *expression-tree* part of each lambda and leaves opaque user functions as
+//! direct calls. A [`UdfRegistry`] holds those opaque functions together
+//! with their declared signatures so both the baseline interpreter and the
+//! Steno VM can invoke them.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ty::Ty;
+use crate::value::Value;
+
+/// The native implementation of a user-defined function.
+pub type UdfFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// A registered user-defined function: implementation plus signature.
+#[derive(Clone)]
+pub struct Udf {
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+    /// The native implementation.
+    pub imp: UdfFn,
+}
+
+impl fmt::Debug for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Udf")
+            .field("params", &self.params)
+            .field("ret", &self.ret)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A registry of user-defined functions, keyed by name.
+#[derive(Clone, Debug, Default)]
+pub struct UdfRegistry {
+    funcs: HashMap<String, Udf>,
+}
+
+impl UdfRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Registers `name` with the given signature and implementation.
+    ///
+    /// Re-registering a name replaces the previous definition.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Ty>,
+        ret: Ty,
+        imp: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(
+            name.into(),
+            Udf {
+                params,
+                ret,
+                imp: Arc::new(imp),
+            },
+        );
+    }
+
+    /// Looks up a function by name.
+    pub fn get(&self, name: &str) -> Option<&Udf> {
+        self.funcs.get(name)
+    }
+
+    /// The number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// `true` when no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over `(name, udf)` entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Udf)> {
+        self.funcs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register("hypot", vec![Ty::F64, Ty::F64], Ty::F64, |args| {
+            let a = args[0].as_f64().unwrap();
+            let b = args[1].as_f64().unwrap();
+            Value::F64(a.hypot(b))
+        });
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        let f = reg.get("hypot").unwrap();
+        assert_eq!(f.params, vec![Ty::F64, Ty::F64]);
+        let out = (f.imp)(&[Value::F64(3.0), Value::F64(4.0)]);
+        assert_eq!(out, Value::F64(5.0));
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut reg = UdfRegistry::new();
+        reg.register("k", vec![], Ty::I64, |_| Value::I64(1));
+        reg.register("k", vec![], Ty::I64, |_| Value::I64(2));
+        assert_eq!(reg.len(), 1);
+        assert_eq!((reg.get("k").unwrap().imp)(&[]), Value::I64(2));
+    }
+}

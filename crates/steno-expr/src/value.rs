@@ -1,0 +1,320 @@
+//! Runtime values shared by the LINQ interpreter and the Steno VM.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::ty::Ty;
+
+/// A dynamically-typed runtime value.
+///
+/// The baseline LINQ interpreter and the Steno bytecode VM exchange data in
+/// this representation. Compound values use [`Arc`] so that cloning an
+/// element while it flows through an iterator chain is cheap, mirroring
+/// reference semantics in the CLR.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A 64-bit float.
+    F64(f64),
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A boolean.
+    Bool(bool),
+    /// A data point: fixed-dimension vector of floats.
+    Row(Arc<Vec<f64>>),
+    /// A pair, e.g. `(key, value)`.
+    Pair(Arc<(Value, Value)>),
+    /// A sequence of values (nested query result, group contents, ...).
+    Seq(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Builds a [`Value::Row`] from a vector of floats.
+    pub fn row(values: Vec<f64>) -> Value {
+        Value::Row(Arc::new(values))
+    }
+
+    /// Builds a [`Value::Pair`].
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Arc::new((a, b)))
+    }
+
+    /// Builds a [`Value::Seq`].
+    pub fn seq(values: Vec<Value>) -> Value {
+        Value::Seq(Arc::new(values))
+    }
+
+    /// The runtime type of this value.
+    ///
+    /// Compound element types are inferred from the first element; an empty
+    /// sequence reports `seq<f64>` by convention.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::F64(_) => Ty::F64,
+            Value::I64(_) => Ty::I64,
+            Value::Bool(_) => Ty::Bool,
+            Value::Row(_) => Ty::Row,
+            Value::Pair(p) => Ty::pair(p.0.ty(), p.1.ty()),
+            Value::Seq(s) => Ty::seq(s.first().map(Value::ty).unwrap_or(Ty::F64)),
+        }
+    }
+
+    /// Extracts an `f64`, converting from `I64` if necessary.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `i64` (no implicit conversion from `F64`).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Extracts a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrows the row contents.
+    pub fn as_row(&self) -> Option<&[f64]> {
+        match self {
+            Value::Row(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrows the pair contents.
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Borrows the sequence contents.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A total ordering usable as a sort key (`OrderBy`, `Min`, `Max`).
+    ///
+    /// Floats order with `f64::total_cmp`; values of different shapes order
+    /// by discriminant so sorting heterogeneous data is deterministic.
+    pub fn cmp_total(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::F64(_) => 0,
+                Value::I64(_) => 1,
+                Value::Bool(_) => 2,
+                Value::Row(_) => 3,
+                Value::Pair(_) => 4,
+                Value::Seq(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::F64(a), Value::F64(b)) => a.total_cmp(b),
+            (Value::I64(a), Value::I64(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Row(a), Value::Row(b)) => {
+                let mut it = a.iter().zip(b.iter());
+                loop {
+                    match it.next() {
+                        Some((x, y)) => match x.total_cmp(y) {
+                            Ordering::Equal => continue,
+                            ord => return ord,
+                        },
+                        None => return a.len().cmp(&b.len()),
+                    }
+                }
+            }
+            (Value::Pair(a), Value::Pair(b)) => a
+                .0
+                .cmp_total(&b.0)
+                .then_with(|| a.1.cmp_total(&b.1)),
+            (Value::Seq(a), Value::Seq(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.cmp_total(y) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// A hashable key image of this value, for use in grouping sinks.
+    ///
+    /// `F64` keys are hashed by bit pattern (as .NET's `Double.GetHashCode`
+    /// does), so `-0.0` and `0.0` are distinct keys while `NaN` equals
+    /// itself.
+    pub fn key(&self) -> ValueKey {
+        match self {
+            Value::F64(x) => ValueKey::F64(x.to_bits()),
+            Value::I64(x) => ValueKey::I64(*x),
+            Value::Bool(b) => ValueKey::Bool(*b),
+            Value::Row(r) => ValueKey::Row(r.iter().map(|x| x.to_bits()).collect()),
+            Value::Pair(p) => ValueKey::Pair(Box::new((p.0.key(), p.1.key()))),
+            Value::Seq(s) => ValueKey::Seq(s.iter().map(Value::key).collect()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::F64(a), Value::F64(b)) => a == b,
+            (Value::I64(a), Value::I64(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Row(a), Value::Row(b)) => a == b,
+            (Value::Pair(a), Value::Pair(b)) => a.0 == b.0 && a.1 == b.1,
+            (Value::Seq(a), Value::Seq(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::F64(x) => write!(f, "{x}"),
+            Value::I64(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Row(r) => {
+                write!(f, "[")?;
+                for (i, x) in r.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+            Value::Seq(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Value {
+        Value::F64(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Value {
+        Value::I64(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+/// A hashable, equality-comparable image of a [`Value`], used as a grouping
+/// key in hash sinks (`GroupBy`, `Join`, `Distinct`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    /// Bit pattern of an `f64` key.
+    F64(u64),
+    /// Integer key.
+    I64(i64),
+    /// Boolean key.
+    Bool(bool),
+    /// Row key (bit patterns).
+    Row(Vec<u64>),
+    /// Pair key.
+    Pair(Box<(ValueKey, ValueKey)>),
+    /// Sequence key.
+    Seq(Vec<ValueKey>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from(3i64).as_i64(), Some(3));
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::F64(1.0).as_i64(), None);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = Value::pair(Value::I64(1), Value::seq(vec![Value::F64(2.0)]));
+        let b = Value::pair(Value::I64(1), Value::seq(vec![Value::F64(2.0)]));
+        assert_eq!(a, b);
+        let c = Value::pair(Value::I64(2), Value::seq(vec![Value::F64(2.0)]));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn total_order_on_floats() {
+        let mut v = vec![Value::F64(2.0), Value::F64(f64::NAN), Value::F64(-1.0)];
+        v.sort_by(Value::cmp_total);
+        assert_eq!(v[0], Value::F64(-1.0));
+        assert_eq!(v[1], Value::F64(2.0));
+        assert!(matches!(v[2], Value::F64(x) if x.is_nan()));
+    }
+
+    #[test]
+    fn rows_order_lexicographically() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let b = Value::row(vec![1.0, 3.0]);
+        let c = Value::row(vec![1.0]);
+        assert_eq!(a.cmp_total(&b), Ordering::Less);
+        assert_eq!(c.cmp_total(&a), Ordering::Less);
+        assert_eq!(a.cmp_total(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn keys_distinguish_nan_and_zero_signs() {
+        assert_ne!(Value::F64(0.0).key(), Value::F64(-0.0).key());
+        assert_eq!(Value::F64(f64::NAN).key(), Value::F64(f64::NAN).key());
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        let v = Value::pair(Value::I64(1), Value::row(vec![1.0, 2.0]));
+        assert_eq!(v.to_string(), "(1, [1, 2])");
+        assert_eq!(Value::seq(vec![]).to_string(), "{}");
+    }
+
+    #[test]
+    fn runtime_types() {
+        assert_eq!(Value::F64(0.0).ty(), Ty::F64);
+        assert_eq!(
+            Value::pair(Value::I64(0), Value::Bool(true)).ty(),
+            Ty::pair(Ty::I64, Ty::Bool)
+        );
+        assert_eq!(Value::seq(vec![Value::I64(1)]).ty(), Ty::seq(Ty::I64));
+    }
+}

@@ -1,0 +1,235 @@
+//! Eager (scalar-returning) operators: `Aggregate`, `Sum`, `Min`, ...
+//!
+//! "Aggregate operators which return a scalar (such as `Sum()`, `Min()` and
+//! `Average()`) are eagerly evaluated and contain a `foreach` loop that
+//! consumes the upstream iterator" (§2). Each method below is exactly that
+//! loop, pulling through the virtual `move_next`/`current` interface.
+
+use crate::enumerable::Enumerable;
+
+impl<T: Clone + 'static> Enumerable<T> {
+    /// `Aggregate(seed, func)`: left fold.
+    pub fn aggregate<A>(&self, seed: A, func: impl Fn(A, T) -> A) -> A {
+        let mut acc = seed;
+        let mut e = self.get_enumerator();
+        while e.move_next() {
+            acc = func(acc, e.current());
+        }
+        acc
+    }
+
+    /// `Count()`.
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        let mut e = self.get_enumerator();
+        while e.move_next() {
+            n += 1;
+        }
+        n
+    }
+
+    /// `Any(predicate)`: `true` if any element matches (short-circuits).
+    pub fn any(&self, predicate: impl Fn(T) -> bool) -> bool {
+        let mut e = self.get_enumerator();
+        while e.move_next() {
+            if predicate(e.current()) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `All(predicate)`: `true` if every element matches (short-circuits).
+    pub fn all(&self, predicate: impl Fn(T) -> bool) -> bool {
+        let mut e = self.get_enumerator();
+        while e.move_next() {
+            if !predicate(e.current()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// `FirstOrDefault()`: the first element, if any.
+    pub fn first(&self) -> Option<T> {
+        let mut e = self.get_enumerator();
+        if e.move_next() {
+            Some(e.current())
+        } else {
+            None
+        }
+    }
+
+    /// `ElementAtOrDefault(index)`.
+    pub fn element_at(&self, index: usize) -> Option<T> {
+        let mut e = self.get_enumerator();
+        let mut i = 0;
+        while e.move_next() {
+            if i == index {
+                return Some(e.current());
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// `ToList()` / `ToArray()`: materializes the sequence.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut e = self.get_enumerator();
+        while e.move_next() {
+            out.push(e.current());
+        }
+        out
+    }
+
+    /// `Min` by comparator; `None` on an empty sequence.
+    pub fn min_with(&self, cmp: impl Fn(&T, &T) -> std::cmp::Ordering) -> Option<T> {
+        self.aggregate(None, |best: Option<T>, x| match best {
+            None => Some(x),
+            Some(b) => {
+                if cmp(&x, &b).is_lt() {
+                    Some(x)
+                } else {
+                    Some(b)
+                }
+            }
+        })
+    }
+
+    /// `Max` by comparator; `None` on an empty sequence.
+    pub fn max_with(&self, cmp: impl Fn(&T, &T) -> std::cmp::Ordering) -> Option<T> {
+        self.min_with(move |a, b| cmp(b, a))
+    }
+}
+
+impl Enumerable<f64> {
+    /// `Sum()` over doubles.
+    pub fn sum(&self) -> f64 {
+        self.aggregate(0.0, |a, x| a + x)
+    }
+
+    /// `Average()`; `None` on an empty sequence (LINQ throws).
+    pub fn average(&self) -> Option<f64> {
+        let (n, s) = self.aggregate((0usize, 0.0), |(n, s), x| (n + 1, s + x));
+        if n == 0 {
+            None
+        } else {
+            Some(s / n as f64)
+        }
+    }
+
+    /// `Min()`; `None` on an empty sequence.
+    pub fn min(&self) -> Option<f64> {
+        self.min_with(|a, b| a.total_cmp(b))
+    }
+
+    /// `Max()`; `None` on an empty sequence.
+    pub fn max(&self) -> Option<f64> {
+        self.max_with(|a, b| a.total_cmp(b))
+    }
+}
+
+impl Enumerable<i64> {
+    /// `Sum()` over integers (wrapping, to match unchecked C# arithmetic).
+    pub fn sum(&self) -> i64 {
+        self.aggregate(0i64, |a, x| a.wrapping_add(x))
+    }
+
+    /// `Average()`; `None` on an empty sequence.
+    pub fn average(&self) -> Option<f64> {
+        let (n, s) = self.aggregate((0usize, 0i64), |(n, s), x| (n + 1, s.wrapping_add(x)));
+        if n == 0 {
+            None
+        } else {
+            Some(s as f64 / n as f64)
+        }
+    }
+
+    /// `Min()`; `None` on an empty sequence.
+    pub fn min(&self) -> Option<i64> {
+        self.min_with(|a, b| a.cmp(b))
+    }
+
+    /// `Max()`; `None` on an empty sequence.
+    pub fn max(&self) -> Option<i64> {
+        self.max_with(|a, b| a.cmp(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> Enumerable<f64> {
+        Enumerable::from_vec(vec![3.0, 1.0, 4.0, 1.0, 5.0])
+    }
+
+    #[test]
+    fn folds() {
+        assert_eq!(xs().sum(), 14.0);
+        assert_eq!(xs().average(), Some(2.8));
+        assert_eq!(xs().min(), Some(1.0));
+        assert_eq!(xs().max(), Some(5.0));
+        assert_eq!(xs().count(), 5);
+        assert_eq!(xs().aggregate(1.0, |a, x| a * x), 60.0);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let e = Enumerable::<f64>::empty();
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.average(), None);
+        assert_eq!(e.min(), None);
+        assert_eq!(e.max(), None);
+        assert_eq!(e.first(), None);
+        assert_eq!(e.count(), 0);
+        assert!(e.all(|_| false), "vacuous truth");
+        assert!(!e.any(|_| true));
+    }
+
+    #[test]
+    fn integer_aggregates() {
+        let v = Enumerable::from_vec(vec![5i64, -2, 9]);
+        assert_eq!(v.sum(), 12);
+        assert_eq!(v.min(), Some(-2));
+        assert_eq!(v.max(), Some(9));
+        assert_eq!(v.average(), Some(4.0));
+    }
+
+    #[test]
+    fn short_circuiting() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let pulls = Rc::new(Cell::new(0));
+        let p = Rc::clone(&pulls);
+        let q = Enumerable::from_vec((0..100i64).collect()).select(move |x| {
+            p.set(p.get() + 1);
+            x
+        });
+        assert!(q.any(|x| x == 2));
+        assert_eq!(pulls.get(), 3);
+        pulls.set(0);
+        assert!(!q.all(|x| x < 1));
+        assert_eq!(pulls.get(), 2);
+    }
+
+    #[test]
+    fn positional_accessors() {
+        let v = Enumerable::from_vec(vec![10i64, 20, 30]);
+        assert_eq!(v.first(), Some(10));
+        assert_eq!(v.element_at(2), Some(30));
+        assert_eq!(v.element_at(3), None);
+    }
+
+    #[test]
+    fn sum_of_squares_matches_closed_form() {
+        // The Fig. 1 microbenchmark shape, in miniature.
+        let n = 1000i64;
+        let q = Enumerable::range(1, n as usize)
+            .select(|x| x as f64)
+            .select(|x| x * x);
+        let expected = (n * (n + 1) * (2 * n + 1)) as f64 / 6.0;
+        assert_eq!(q.sum(), expected);
+    }
+}

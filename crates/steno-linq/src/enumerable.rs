@@ -1,0 +1,747 @@
+//! `Enumerable<T>` and the composable (lazy) query operators.
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::rc::Rc;
+
+use crate::enumerator::{BoxEnum, Enumerator, Func, Func2};
+use crate::grouping::Grouping;
+use crate::lookup::Lookup;
+
+/// A lazily-evaluated sequence: the `IEnumerable<T>` of the paper.
+///
+/// An `Enumerable` only knows how to produce fresh [`BoxEnum`] enumerators;
+/// composing operators builds a chain of factories, and enumeration builds
+/// the corresponding chain of boxed iterator state machines (Fig. 2 of the
+/// paper). Cloning an `Enumerable` is cheap (it shares the factory).
+#[derive(Clone)]
+pub struct Enumerable<T> {
+    factory: Rc<dyn Fn() -> BoxEnum<T>>,
+}
+
+impl<T> std::fmt::Debug for Enumerable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enumerable").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator state machines. Each one is the Rust transliteration of the
+// compiler-generated iterator class that C# produces for a `yield return`
+// method: a `pos`-style state plus `current` slot, advanced by `move_next`.
+// ---------------------------------------------------------------------------
+
+struct SelectEnumerator<T, U> {
+    source: BoxEnum<T>,
+    selector: Func<T, U>,
+    current: Option<U>,
+}
+
+impl<T, U: Clone> Enumerator for SelectEnumerator<T, U> {
+    type Item = U;
+    fn move_next(&mut self) -> bool {
+        if self.source.move_next() {
+            self.current = Some((self.selector)(self.source.current()));
+            true
+        } else {
+            self.current = None;
+            false
+        }
+    }
+    fn current(&self) -> U {
+        self.current.clone().expect("current() outside enumeration")
+    }
+}
+
+struct WhereEnumerator<T> {
+    source: BoxEnum<T>,
+    predicate: Func<T, bool>,
+    current: Option<T>,
+}
+
+impl<T: Clone> Enumerator for WhereEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        while self.source.move_next() {
+            let item = self.source.current();
+            if (self.predicate)(item.clone()) {
+                self.current = Some(item);
+                return true;
+            }
+        }
+        self.current = None;
+        false
+    }
+    fn current(&self) -> T {
+        self.current.clone().expect("current() outside enumeration")
+    }
+}
+
+struct SelectManyEnumerator<T, U> {
+    source: BoxEnum<T>,
+    selector: Func<T, Enumerable<U>>,
+    inner: Option<BoxEnum<U>>,
+}
+
+impl<T, U: Clone + 'static> Enumerator for SelectManyEnumerator<T, U> {
+    type Item = U;
+    fn move_next(&mut self) -> bool {
+        loop {
+            if let Some(inner) = &mut self.inner {
+                if inner.move_next() {
+                    return true;
+                }
+                self.inner = None;
+            }
+            if !self.source.move_next() {
+                return false;
+            }
+            let sub = (self.selector)(self.source.current());
+            self.inner = Some(sub.get_enumerator());
+        }
+    }
+    fn current(&self) -> U {
+        self.inner
+            .as_ref()
+            .expect("current() outside enumeration")
+            .current()
+    }
+}
+
+struct TakeEnumerator<T> {
+    source: BoxEnum<T>,
+    remaining: usize,
+}
+
+impl<T: Clone> Enumerator for TakeEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        if self.source.move_next() {
+            self.remaining -= 1;
+            true
+        } else {
+            self.remaining = 0;
+            false
+        }
+    }
+    fn current(&self) -> T {
+        self.source.current()
+    }
+}
+
+struct SkipEnumerator<T> {
+    source: BoxEnum<T>,
+    to_skip: usize,
+}
+
+impl<T: Clone> Enumerator for SkipEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        while self.to_skip > 0 {
+            self.to_skip -= 1;
+            if !self.source.move_next() {
+                return false;
+            }
+        }
+        self.source.move_next()
+    }
+    fn current(&self) -> T {
+        self.source.current()
+    }
+}
+
+struct TakeWhileEnumerator<T> {
+    source: BoxEnum<T>,
+    predicate: Func<T, bool>,
+    done: bool,
+    current: Option<T>,
+}
+
+impl<T: Clone> Enumerator for TakeWhileEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.source.move_next() {
+            let item = self.source.current();
+            if (self.predicate)(item.clone()) {
+                self.current = Some(item);
+                return true;
+            }
+        }
+        self.done = true;
+        self.current = None;
+        false
+    }
+    fn current(&self) -> T {
+        self.current.clone().expect("current() outside enumeration")
+    }
+}
+
+struct SkipWhileEnumerator<T> {
+    source: BoxEnum<T>,
+    predicate: Func<T, bool>,
+    skipping: bool,
+    current: Option<T>,
+}
+
+impl<T: Clone> Enumerator for SkipWhileEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        while self.source.move_next() {
+            let item = self.source.current();
+            if self.skipping && (self.predicate)(item.clone()) {
+                continue;
+            }
+            self.skipping = false;
+            self.current = Some(item);
+            return true;
+        }
+        self.current = None;
+        false
+    }
+    fn current(&self) -> T {
+        self.current.clone().expect("current() outside enumeration")
+    }
+}
+
+struct ConcatEnumerator<T> {
+    first: BoxEnum<T>,
+    second: BoxEnum<T>,
+    on_second: bool,
+}
+
+impl<T: Clone> Enumerator for ConcatEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        if !self.on_second {
+            if self.first.move_next() {
+                return true;
+            }
+            self.on_second = true;
+        }
+        self.second.move_next()
+    }
+    fn current(&self) -> T {
+        if self.on_second {
+            self.second.current()
+        } else {
+            self.first.current()
+        }
+    }
+}
+
+struct ZipEnumerator<A, B, R> {
+    left: BoxEnum<A>,
+    right: BoxEnum<B>,
+    selector: Func2<A, B, R>,
+    current: Option<R>,
+}
+
+impl<A, B, R: Clone> Enumerator for ZipEnumerator<A, B, R> {
+    type Item = R;
+    fn move_next(&mut self) -> bool {
+        if self.left.move_next() && self.right.move_next() {
+            self.current = Some((self.selector)(self.left.current(), self.right.current()));
+            true
+        } else {
+            self.current = None;
+            false
+        }
+    }
+    fn current(&self) -> R {
+        self.current.clone().expect("current() outside enumeration")
+    }
+}
+
+/// An eagerly-buffering operator (`OrderBy`, `Reverse`, `GroupBy` results):
+/// on the first `move_next` it drains its input through `fill`, then walks
+/// the buffer.
+struct BufferedEnumerator<T> {
+    fill: Option<Box<dyn FnOnce() -> Vec<T>>>,
+    buffer: Vec<T>,
+    pos: usize,
+}
+
+impl<T: Clone> Enumerator for BufferedEnumerator<T> {
+    type Item = T;
+    fn move_next(&mut self) -> bool {
+        if let Some(fill) = self.fill.take() {
+            self.buffer = fill();
+        }
+        if self.pos < self.buffer.len() {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+    fn current(&self) -> T {
+        assert!(self.pos > 0, "current() called before move_next()");
+        self.buffer[self.pos - 1].clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The composable operator API.
+// ---------------------------------------------------------------------------
+
+impl<T: Clone + 'static> Enumerable<T> {
+    /// Creates an enumerable from an enumerator factory.
+    pub fn new(factory: impl Fn() -> BoxEnum<T> + 'static) -> Enumerable<T> {
+        Enumerable {
+            factory: Rc::new(factory),
+        }
+    }
+
+    /// Starts a fresh enumeration (`GetEnumerator()`).
+    pub fn get_enumerator(&self) -> BoxEnum<T> {
+        (self.factory)()
+    }
+
+    /// `Select`: applies `selector` to every element.
+    pub fn select<U: Clone + 'static>(
+        &self,
+        selector: impl Fn(T) -> U + 'static,
+    ) -> Enumerable<U> {
+        let source = self.clone();
+        let selector: Func<T, U> = Rc::new(selector);
+        Enumerable::new(move || {
+            Box::new(SelectEnumerator {
+                source: source.get_enumerator(),
+                selector: Rc::clone(&selector),
+                current: None,
+            })
+        })
+    }
+
+    /// `Where`: keeps the elements matching `predicate`.
+    ///
+    /// Named `where_` because `where` is a Rust keyword.
+    pub fn where_(&self, predicate: impl Fn(T) -> bool + 'static) -> Enumerable<T> {
+        let source = self.clone();
+        let predicate: Func<T, bool> = Rc::new(predicate);
+        Enumerable::new(move || {
+            Box::new(WhereEnumerator {
+                source: source.get_enumerator(),
+                predicate: Rc::clone(&predicate),
+                current: None,
+            })
+        })
+    }
+
+    /// `SelectMany`: maps each element to a subsequence and flattens.
+    pub fn select_many<U: Clone + 'static>(
+        &self,
+        selector: impl Fn(T) -> Enumerable<U> + 'static,
+    ) -> Enumerable<U> {
+        let source = self.clone();
+        let selector: Func<T, Enumerable<U>> = Rc::new(selector);
+        Enumerable::new(move || {
+            Box::new(SelectManyEnumerator {
+                source: source.get_enumerator(),
+                selector: Rc::clone(&selector),
+                inner: None,
+            })
+        })
+    }
+
+    /// `Take`: at most the first `count` elements.
+    pub fn take(&self, count: usize) -> Enumerable<T> {
+        let source = self.clone();
+        Enumerable::new(move || {
+            Box::new(TakeEnumerator {
+                source: source.get_enumerator(),
+                remaining: count,
+            })
+        })
+    }
+
+    /// `Skip`: everything after the first `count` elements.
+    pub fn skip(&self, count: usize) -> Enumerable<T> {
+        let source = self.clone();
+        Enumerable::new(move || {
+            Box::new(SkipEnumerator {
+                source: source.get_enumerator(),
+                to_skip: count,
+            })
+        })
+    }
+
+    /// `TakeWhile`: the longest prefix matching `predicate`.
+    pub fn take_while(&self, predicate: impl Fn(T) -> bool + 'static) -> Enumerable<T> {
+        let source = self.clone();
+        let predicate: Func<T, bool> = Rc::new(predicate);
+        Enumerable::new(move || {
+            Box::new(TakeWhileEnumerator {
+                source: source.get_enumerator(),
+                predicate: Rc::clone(&predicate),
+                done: false,
+                current: None,
+            })
+        })
+    }
+
+    /// `SkipWhile`: drops the longest prefix matching `predicate`.
+    pub fn skip_while(&self, predicate: impl Fn(T) -> bool + 'static) -> Enumerable<T> {
+        let source = self.clone();
+        let predicate: Func<T, bool> = Rc::new(predicate);
+        Enumerable::new(move || {
+            Box::new(SkipWhileEnumerator {
+                source: source.get_enumerator(),
+                predicate: Rc::clone(&predicate),
+                skipping: true,
+                current: None,
+            })
+        })
+    }
+
+    /// `Concat`: `self` followed by `other`.
+    pub fn concat(&self, other: &Enumerable<T>) -> Enumerable<T> {
+        let first = self.clone();
+        let second = other.clone();
+        Enumerable::new(move || {
+            Box::new(ConcatEnumerator {
+                first: first.get_enumerator(),
+                second: second.get_enumerator(),
+                on_second: false,
+            })
+        })
+    }
+
+    /// `Zip`: pairwise combination with `other` through `selector`,
+    /// stopping at the shorter sequence.
+    pub fn zip<U: Clone + 'static, R: Clone + 'static>(
+        &self,
+        other: &Enumerable<U>,
+        selector: impl Fn(T, U) -> R + 'static,
+    ) -> Enumerable<R> {
+        let left = self.clone();
+        let right = other.clone();
+        let selector: Func2<T, U, R> = Rc::new(selector);
+        Enumerable::new(move || {
+            Box::new(ZipEnumerator {
+                left: left.get_enumerator(),
+                right: right.get_enumerator(),
+                selector: Rc::clone(&selector),
+                current: None,
+            })
+        })
+    }
+
+    /// `Reverse`: buffers the sequence and yields it back-to-front.
+    pub fn reverse(&self) -> Enumerable<T> {
+        let source = self.clone();
+        Enumerable::new(move || {
+            let source = source.clone();
+            Box::new(BufferedEnumerator {
+                fill: Some(Box::new(move || {
+                    let mut v = source.to_vec();
+                    v.reverse();
+                    v
+                })),
+                buffer: Vec::new(),
+                pos: 0,
+            })
+        })
+    }
+
+    /// `Distinct`: removes duplicates, keyed by `key`, keeping first
+    /// occurrences in order.
+    pub fn distinct_by<K: Eq + Hash + 'static>(
+        &self,
+        key: impl Fn(&T) -> K + 'static,
+    ) -> Enumerable<T> {
+        let source = self.clone();
+        let key = Rc::new(key);
+        Enumerable::new(move || {
+            let source = source.clone();
+            let key = Rc::clone(&key);
+            Box::new(BufferedEnumerator {
+                fill: Some(Box::new(move || {
+                    let mut seen = HashSet::new();
+                    let mut out = Vec::new();
+                    let mut e = source.get_enumerator();
+                    while e.move_next() {
+                        let item = e.current();
+                        if seen.insert(key(&item)) {
+                            out.push(item);
+                        }
+                    }
+                    out
+                })),
+                buffer: Vec::new(),
+                pos: 0,
+            })
+        })
+    }
+
+    /// `OrderBy`: stable sort by an `Ord` key (buffers on first pull).
+    pub fn order_by<K: Ord + 'static>(&self, key: impl Fn(&T) -> K + 'static) -> Enumerable<T> {
+        let key = Rc::new(key);
+        self.order_by_with(move |a, b| key(a).cmp(&key(b)))
+    }
+
+    /// `OrderByDescending`.
+    pub fn order_by_desc<K: Ord + 'static>(
+        &self,
+        key: impl Fn(&T) -> K + 'static,
+    ) -> Enumerable<T> {
+        let key = Rc::new(key);
+        self.order_by_with(move |a, b| key(b).cmp(&key(a)))
+    }
+
+    /// `OrderBy` with an explicit comparator (used for `f64` and
+    /// [`Value`](steno_expr::Value) keys, which are not `Ord`).
+    pub fn order_by_with(
+        &self,
+        cmp: impl Fn(&T, &T) -> Ordering + 'static,
+    ) -> Enumerable<T> {
+        let source = self.clone();
+        let cmp = Rc::new(cmp);
+        Enumerable::new(move || {
+            let source = source.clone();
+            let cmp = Rc::clone(&cmp);
+            Box::new(BufferedEnumerator {
+                fill: Some(Box::new(move || {
+                    let mut v = source.to_vec();
+                    v.sort_by(|a, b| cmp(a, b));
+                    v
+                })),
+                buffer: Vec::new(),
+                pos: 0,
+            })
+        })
+    }
+
+    /// `GroupBy`: groups elements by `key`, preserving the order in which
+    /// keys first appear (as LINQ does). The grouping is built lazily, on
+    /// the first `move_next` — the Sink behaviour of §4.1.
+    pub fn group_by<K: Eq + Hash + Clone + 'static>(
+        &self,
+        key: impl Fn(&T) -> K + 'static,
+    ) -> Enumerable<Grouping<K, T>> {
+        let source = self.clone();
+        let key = Rc::new(key);
+        Enumerable::new(move || {
+            let source = source.clone();
+            let key = Rc::clone(&key);
+            Box::new(BufferedEnumerator {
+                fill: Some(Box::new(move || {
+                    let mut lookup = Lookup::new();
+                    let mut e = source.get_enumerator();
+                    while e.move_next() {
+                        let item = e.current();
+                        lookup.add(key(&item), item);
+                    }
+                    lookup.into_groupings()
+                })),
+                buffer: Vec::new(),
+                pos: 0,
+            })
+        })
+    }
+
+    /// `GroupBy` with a result selector: applies `result` to each key and
+    /// the group's elements, like the `GroupBy(key, resultSelector)`
+    /// overload — the MapReduce `reduce()` signature (§4.3).
+    pub fn group_by_select<K, R>(
+        &self,
+        key: impl Fn(&T) -> K + 'static,
+        result: impl Fn(K, Enumerable<T>) -> R + 'static,
+    ) -> Enumerable<R>
+    where
+        K: Eq + Hash + Clone + 'static,
+        R: Clone + 'static,
+    {
+        self.group_by(key)
+            .select(move |g| result(g.key().clone(), g.elements()))
+    }
+
+    /// `Join`: hash equi-join with `inner`, combining matches with
+    /// `result`.
+    pub fn join<U, K, R>(
+        &self,
+        inner: &Enumerable<U>,
+        outer_key: impl Fn(&T) -> K + 'static,
+        inner_key: impl Fn(&U) -> K + 'static,
+        result: impl Fn(T, U) -> R + 'static,
+    ) -> Enumerable<R>
+    where
+        U: Clone + 'static,
+        K: Eq + Hash + Clone + 'static,
+        R: Clone + 'static,
+    {
+        let outer = self.clone();
+        let inner = inner.clone();
+        let outer_key = Rc::new(outer_key);
+        let inner_key = Rc::new(inner_key);
+        let result = Rc::new(result);
+        Enumerable::new(move || {
+            let outer = outer.clone();
+            let inner = inner.clone();
+            let outer_key = Rc::clone(&outer_key);
+            let inner_key = Rc::clone(&inner_key);
+            let result = Rc::clone(&result);
+            Box::new(BufferedEnumerator {
+                fill: Some(Box::new(move || {
+                    // Build a lookup of the inner side, then stream the
+                    // outer side through it (hash join, as LINQ does).
+                    let mut lookup: Lookup<K, U> = Lookup::new();
+                    let mut e = inner.get_enumerator();
+                    while e.move_next() {
+                        let item = e.current();
+                        lookup.add(inner_key(&item), item);
+                    }
+                    let mut out = Vec::new();
+                    let mut o = outer.get_enumerator();
+                    while o.move_next() {
+                        let item = o.current();
+                        if let Some(matches) = lookup.get(&outer_key(&item)) {
+                            for m in matches {
+                                out.push(result(item.clone(), m.clone()));
+                            }
+                        }
+                    }
+                    out
+                })),
+                buffer: Vec::new(),
+                pos: 0,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(n: i64) -> Enumerable<i64> {
+        Enumerable::from_vec((0..n).collect())
+    }
+
+    #[test]
+    fn select_where_compose() {
+        // The paper's running example: even squares.
+        let out = ints(10).where_(|x| x % 2 == 0).select(|x| x * x).to_vec();
+        assert_eq!(out, vec![0, 4, 16, 36, 64]);
+    }
+
+    #[test]
+    fn chains_are_lazy() {
+        use std::cell::Cell;
+        let calls = Rc::new(Cell::new(0));
+        let c = Rc::clone(&calls);
+        let q = ints(100).select(move |x| {
+            c.set(c.get() + 1);
+            x
+        });
+        assert_eq!(calls.get(), 0, "no work before enumeration");
+        let _ = q.take(3).to_vec();
+        assert_eq!(calls.get(), 3, "take(3) pulls exactly three elements");
+    }
+
+    #[test]
+    fn select_many_flattens() {
+        let out = ints(3)
+            .select_many(|x| Enumerable::from_vec(vec![x, 10 * x]))
+            .to_vec();
+        assert_eq!(out, vec![0, 0, 1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn select_many_cartesian_product() {
+        // xs.SelectMany(x => ys.Select(y => (x, y))) — §5 of the paper.
+        let ys = Enumerable::from_vec(vec![10i64, 20]);
+        let out = ints(2)
+            .select_many(move |x| ys.select(move |y| (x, y)))
+            .to_vec();
+        assert_eq!(out, vec![(0, 10), (0, 20), (1, 10), (1, 20)]);
+    }
+
+    #[test]
+    fn take_skip() {
+        assert_eq!(ints(10).take(3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(ints(10).skip(7).to_vec(), vec![7, 8, 9]);
+        assert_eq!(ints(3).take(99).to_vec(), vec![0, 1, 2]);
+        assert_eq!(ints(3).skip(99).to_vec(), Vec::<i64>::new());
+        assert_eq!(ints(10).skip(2).take(3).to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn take_while_skip_while() {
+        assert_eq!(ints(10).take_while(|x| x < 4).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(ints(6).skip_while(|x| x < 4).to_vec(), vec![4, 5]);
+        // skip_while only skips the *prefix*.
+        let v = Enumerable::from_vec(vec![1i64, 5, 1]);
+        assert_eq!(v.skip_while(|x| x < 4).to_vec(), vec![5, 1]);
+    }
+
+    #[test]
+    fn concat_zip_reverse() {
+        let a = ints(2);
+        let b = Enumerable::from_vec(vec![10i64, 11]);
+        assert_eq!(a.concat(&b).to_vec(), vec![0, 1, 10, 11]);
+        assert_eq!(a.zip(&b, |x, y| x + y).to_vec(), vec![10, 12]);
+        assert_eq!(ints(3).reverse().to_vec(), vec![2, 1, 0]);
+        // Zip stops at the shorter side.
+        assert_eq!(ints(5).zip(&b, |x, y| x + y).to_vec(), vec![10, 12]);
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrences() {
+        let v = Enumerable::from_vec(vec![3i64, 1, 3, 2, 1]);
+        assert_eq!(v.distinct_by(|x| *x).to_vec(), vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn order_by_is_stable() {
+        let v = Enumerable::from_vec(vec![(2, 'a'), (1, 'b'), (2, 'c'), (1, 'd')]);
+        let sorted = v.order_by(|p| p.0).to_vec();
+        assert_eq!(sorted, vec![(1, 'b'), (1, 'd'), (2, 'a'), (2, 'c')]);
+        let desc = v.order_by_desc(|p| p.0).to_vec();
+        assert_eq!(desc, vec![(2, 'a'), (2, 'c'), (1, 'b'), (1, 'd')]);
+    }
+
+    #[test]
+    fn group_by_preserves_first_key_order() {
+        let v = Enumerable::from_vec(vec![1i64, 4, 2, 5, 7, 8]);
+        let groups = v.group_by(|x| x % 3).to_vec();
+        let keys: Vec<i64> = groups.iter().map(|g| *g.key()).collect();
+        assert_eq!(keys, vec![1, 2]); // order of first appearance
+        assert_eq!(groups[0].to_vec(), vec![1, 4, 7]);
+        assert_eq!(groups[1].to_vec(), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn group_by_select_aggregates_groups() {
+        let v = Enumerable::from_vec(vec![1i64, 2, 3, 4, 5]);
+        let mut sums = v
+            .group_by_select(|x| x % 2, |k, g| (k, g.aggregate(0i64, |a, x| a + x)))
+            .to_vec();
+        sums.sort();
+        assert_eq!(sums, vec![(0, 6), (1, 9)]);
+    }
+
+    #[test]
+    fn join_is_an_equi_join() {
+        let people = Enumerable::from_vec(vec![(1i64, "ann"), (2, "bob"), (3, "cy")]);
+        let pets = Enumerable::from_vec(vec![(1i64, "rex"), (3, "tom"), (1, "flo")]);
+        let out = people
+            .join(&pets, |p| p.0, |q| q.0, |p, q| (p.1, q.1))
+            .to_vec();
+        assert_eq!(out, vec![("ann", "rex"), ("ann", "flo"), ("cy", "tom")]);
+    }
+
+    #[test]
+    fn enumerable_clone_shares_definition() {
+        let q = ints(4).select(|x| x + 1);
+        let q2 = q.clone();
+        assert_eq!(q.to_vec(), q2.to_vec());
+    }
+}

@@ -1,0 +1,95 @@
+//! The `IEnumerator<T>` model: virtual `move_next`/`current`.
+
+use std::rc::Rc;
+
+/// The .NET `IEnumerator<T>` interface (§2 of the paper, simplified):
+///
+/// ```text
+/// interface IEnumerator<T> {
+///     T Current { get; }
+///     bool MoveNext();
+/// }
+/// ```
+///
+/// `move_next` advances to the next element, returning `false` when no
+/// elements remain; `current` returns the element at the current position.
+/// Implementations are state machines, so `move_next` carries the
+/// coroutine-simulation logic the paper identifies as per-element overhead.
+///
+/// # Panics
+///
+/// As in .NET, calling `current` before the first `move_next` or after
+/// `move_next` has returned `false` is a usage error; implementations panic
+/// (the analogue of `InvalidOperationException`).
+pub trait Enumerator {
+    /// The element type.
+    type Item;
+
+    /// Advances to the next element; `false` when exhausted.
+    fn move_next(&mut self) -> bool;
+
+    /// The element at the current position.
+    fn current(&self) -> Self::Item;
+}
+
+/// A boxed enumerator: every call through it is an indirect (vtable) call,
+/// faithfully reproducing .NET interface dispatch.
+pub type BoxEnum<T> = Box<dyn Enumerator<Item = T>>;
+
+/// A unary function object (`Func<A, R>` in .NET): invoking it is an
+/// indirect call that the compiler cannot inline across the operator
+/// boundary.
+pub type Func<A, R> = Rc<dyn Fn(A) -> R>;
+
+/// A binary function object (`Func<A, B, R>`), used by `Aggregate`, `Join`
+/// and result selectors.
+pub type Func2<A, B, R> = Rc<dyn Fn(A, B) -> R>;
+
+/// Drains an enumerator into a vector (the `foreach` desugaring of §2).
+pub fn drain<T>(mut e: BoxEnum<T>) -> Vec<T> {
+    let mut out = Vec::new();
+    while e.move_next() {
+        out.push(e.current());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        n: i64,
+        limit: i64,
+    }
+
+    impl Enumerator for Counter {
+        type Item = i64;
+        fn move_next(&mut self) -> bool {
+            if self.n < self.limit {
+                self.n += 1;
+                true
+            } else {
+                false
+            }
+        }
+        fn current(&self) -> i64 {
+            assert!(self.n > 0, "current() before move_next()");
+            self.n
+        }
+    }
+
+    #[test]
+    fn drain_runs_the_state_machine() {
+        let e: BoxEnum<i64> = Box::new(Counter { n: 0, limit: 3 });
+        assert_eq!(drain(e), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exhausted_enumerator_stays_exhausted() {
+        let mut e = Counter { n: 0, limit: 1 };
+        assert!(e.move_next());
+        assert!(!e.move_next());
+        assert!(!e.move_next());
+    }
+}

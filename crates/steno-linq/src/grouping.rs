@@ -1,0 +1,85 @@
+//! `IGrouping<K, T>`: a key together with its elements.
+
+use std::rc::Rc;
+
+use crate::enumerable::Enumerable;
+
+/// One group produced by `GroupBy`: the .NET `IGrouping<K, T>`.
+///
+/// Cloning shares the element storage.
+#[derive(Clone, Debug)]
+pub struct Grouping<K, T> {
+    key: K,
+    elements: Rc<Vec<T>>,
+}
+
+impl<K, T> Grouping<K, T> {
+    /// Creates a grouping from a key and its elements.
+    pub fn new(key: K, elements: Vec<T>) -> Grouping<K, T> {
+        Grouping {
+            key,
+            elements: Rc::new(elements),
+        }
+    }
+
+    /// The group key.
+    pub fn key(&self) -> &K {
+        &self.key
+    }
+
+    /// The number of elements in the group.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// `true` when the group is empty (cannot happen for `GroupBy` output,
+    /// but groupings can be built directly).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Iterates over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elements.iter()
+    }
+}
+
+impl<K, T: Clone + 'static> Grouping<K, T> {
+    /// The group contents as a lazy [`Enumerable`] — groups are sequences,
+    /// so nested queries can consume them like any other source.
+    pub fn elements(&self) -> Enumerable<T> {
+        let elements = Rc::clone(&self.elements);
+        Enumerable::new(move || {
+            Enumerable::from_rc_vec(Rc::clone(&elements)).get_enumerator()
+        })
+    }
+
+    /// Copies the group contents into a vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.elements.as_ref().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_exposes_key_and_elements() {
+        let g = Grouping::new(7i64, vec![1.0f64, 2.0]);
+        assert_eq!(*g.key(), 7);
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert_eq!(g.to_vec(), vec![1.0, 2.0]);
+        assert_eq!(g.elements().to_vec(), vec![1.0, 2.0]);
+        assert_eq!(g.iter().copied().sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn grouping_elements_enumerable_is_reusable() {
+        let g = Grouping::new((), vec![1i64, 2, 3]);
+        let e = g.elements();
+        assert_eq!(e.aggregate(0, |a, x| a + x), 6);
+        assert_eq!(e.aggregate(0, |a, x| a + x), 6);
+    }
+}

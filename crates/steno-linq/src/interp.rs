@@ -1,0 +1,661 @@
+//! The unoptimized executor: runs query ASTs through iterator chains.
+//!
+//! This module instantiates the typed operator layer at
+//! [`Value`] and drives it from a
+//! [`QueryExpr`], evaluating the expression-tree
+//! lambdas per element. It is the executor a DryadLINQ vertex uses when
+//! Steno is *not* applied, and the reference implementation against which
+//! the Steno VM and macro back ends are differentially tested.
+//!
+//! # Errors and panics
+//!
+//! [`execute`] type-checks the query up front and reports structural
+//! problems as errors. Data-dependent evaluation failures inside operator
+//! closures (integer division by zero, row index out of range) panic, as
+//! the equivalent .NET exceptions would unwind through the iterator chain.
+
+use std::sync::Arc;
+
+use steno_expr::eval::{eval, Env};
+use steno_expr::{DataContext, EvalError, Ty, UdfRegistry, Value};
+use steno_query::typing::{self, SourceTypes};
+use steno_query::{AggOp, QBody, QFn, QueryExpr, SourceRef};
+
+use crate::enumerable::Enumerable;
+
+/// Shared runtime state captured by operator closures.
+#[derive(Clone)]
+struct Rt {
+    ctx: Arc<DataContext>,
+    udfs: Arc<UdfRegistry>,
+}
+
+/// The "default value" conventions this reproduction uses for aggregates
+/// over empty sequences (LINQ throws; we return the fold identity so that
+/// all back ends agree — see DESIGN.md).
+pub fn default_value(ty: &Ty) -> Value {
+    match ty {
+        Ty::F64 => Value::F64(0.0),
+        Ty::I64 => Value::I64(0),
+        Ty::Bool => Value::Bool(false),
+        Ty::Row => Value::row(Vec::new()),
+        Ty::Pair(a, b) => Value::pair(default_value(a), default_value(b)),
+        Ty::Seq(_) => Value::seq(Vec::new()),
+    }
+}
+
+/// The identity element for `Min` over `ty` (positive infinity / `i64::MAX`).
+pub fn min_identity(ty: &Ty) -> Value {
+    match ty {
+        Ty::I64 => Value::I64(i64::MAX),
+        _ => Value::F64(f64::INFINITY),
+    }
+}
+
+/// The identity element for `Max` over `ty` (negative infinity / `i64::MIN`).
+pub fn max_identity(ty: &Ty) -> Value {
+    match ty {
+        Ty::I64 => Value::I64(i64::MIN),
+        _ => Value::F64(f64::NEG_INFINITY),
+    }
+}
+
+fn ty_env_of(env: &Env) -> steno_expr::typecheck::TyEnv {
+    let mut te = steno_expr::typecheck::TyEnv::new();
+    for (name, value) in env.iter() {
+        te.bind(name, value.ty());
+    }
+    te
+}
+
+/// Converts a sequence-shaped value into an enumerable.
+fn value_to_enumerable(v: Value) -> Enumerable<Value> {
+    match v {
+        Value::Seq(s) => Enumerable::from_vec(s.as_ref().clone()),
+        Value::Row(r) => Enumerable::from_vec(r.iter().map(|x| Value::F64(*x)).collect()),
+        other => panic!("expected a sequence-shaped value, found {other}"),
+    }
+}
+
+fn apply_qfn(f: &QFn, arg: Value, rt: &Rt, env: &Env) -> Value {
+    let mut inner = env.clone();
+    inner.bind(f.param.clone(), arg);
+    match &f.body {
+        QBody::Expr(e) => eval(e, &inner, &rt.udfs).expect("well-typed query body failed"),
+        QBody::Query(q) => {
+            execute_in(q, rt, &inner).expect("well-typed nested query failed")
+        }
+    }
+}
+
+fn enumerable_of(q: &QueryExpr, rt: &Rt, env: &Env) -> Result<Enumerable<Value>, EvalError> {
+    match q {
+        QueryExpr::Source(s) => match s {
+            SourceRef::Named(name) => {
+                let col = rt
+                    .ctx
+                    .source(name)
+                    .ok_or_else(|| EvalError::UnboundVariable(format!("source `{name}`")))?;
+                Ok(Enumerable::from_vec(col.to_values()))
+            }
+            SourceRef::Range { start, count } => {
+                Ok(Enumerable::range(*start, *count).select(Value::I64))
+            }
+            SourceRef::Repeat { value, count } => {
+                Ok(Enumerable::repeat(value.clone(), *count))
+            }
+            SourceRef::Expr(e) => Ok(value_to_enumerable(eval(e, env, &rt.udfs)?)),
+        },
+        QueryExpr::Select { input, f } => {
+            let src = enumerable_of(input, rt, env)?;
+            let f = f.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            Ok(src.select(move |v| apply_qfn(&f, v, &rt, &env)))
+        }
+        QueryExpr::Where { input, p } => {
+            let src = enumerable_of(input, rt, env)?;
+            let p = p.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            Ok(src.where_(move |v| {
+                apply_qfn(&p, v, &rt, &env)
+                    .as_bool()
+                    .expect("predicate must yield bool")
+            }))
+        }
+        QueryExpr::SelectMany { input, f } => {
+            let src = enumerable_of(input, rt, env)?;
+            let f = f.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            Ok(src.select_many(move |v| {
+                // A nested sequence-valued query; materialized per element,
+                // then enumerated — the iterator-of-iterators of §5.
+                match &f.body {
+                    QBody::Query(q) => {
+                        let mut inner = env.clone();
+                        inner.bind(f.param.clone(), v);
+                        enumerable_of(q, &rt, &inner)
+                            .expect("well-typed nested query failed")
+                    }
+                    QBody::Expr(_) => value_to_enumerable(apply_qfn(&f, v, &rt, &env)),
+                }
+            }))
+        }
+        QueryExpr::Take { input, count } => Ok(enumerable_of(input, rt, env)?.take(*count)),
+        QueryExpr::Skip { input, count } => Ok(enumerable_of(input, rt, env)?.skip(*count)),
+        QueryExpr::TakeWhile { input, p } => {
+            let src = enumerable_of(input, rt, env)?;
+            let p = p.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            Ok(src.take_while(move |v| {
+                apply_qfn(&p, v, &rt, &env)
+                    .as_bool()
+                    .expect("predicate must yield bool")
+            }))
+        }
+        QueryExpr::SkipWhile { input, p } => {
+            let src = enumerable_of(input, rt, env)?;
+            let p = p.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            Ok(src.skip_while(move |v| {
+                apply_qfn(&p, v, &rt, &env)
+                    .as_bool()
+                    .expect("predicate must yield bool")
+            }))
+        }
+        QueryExpr::GroupBy {
+            input,
+            key,
+            elem,
+            result,
+        } => {
+            let src = enumerable_of(input, rt, env)?;
+            let key = key.clone();
+            let elem = elem.clone();
+            let result = result.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            // Group eagerly into (key, seq) pairs, preserving key order of
+            // first appearance — the Sink of Fig. 7(b).
+            Ok(Enumerable::new(move || {
+                let mut index = std::collections::HashMap::new();
+                let mut groups: Vec<(Value, Vec<Value>)> = Vec::new();
+                let mut e = src.get_enumerator();
+                while e.move_next() {
+                    let item = e.current();
+                    let k = apply_qfn(&key, item.clone(), &rt, &env);
+                    let v = match &elem {
+                        Some(sel) => apply_qfn(sel, item, &rt, &env),
+                        None => item,
+                    };
+                    let slot = *index.entry(k.key()).or_insert_with(|| {
+                        groups.push((k, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[slot].1.push(v);
+                }
+                let pairs: Vec<Value> = match &result {
+                    // Plain GroupBy: (key, group) pairs.
+                    None => groups
+                        .into_iter()
+                        .map(|(k, vs)| Value::pair(k, Value::seq(vs)))
+                        .collect(),
+                    // Result-selector overload: aggregate each group, then
+                    // apply the result expression to (key, aggregate).
+                    Some(r) => groups
+                        .into_iter()
+                        .map(|(k, vs)| {
+                            let mut genv = env.clone();
+                            genv.bind(r.group_param.clone(), Value::seq(vs));
+                            let agg = execute_in(&r.agg_query, &rt, &genv)
+                                .expect("well-typed group aggregation failed");
+                            let mut renv = env.clone();
+                            renv.bind(r.key_param.clone(), k);
+                            renv.bind(r.agg_param.clone(), agg);
+                            eval(&r.result, &renv, &rt.udfs)
+                                .expect("well-typed group result failed")
+                        })
+                        .collect(),
+                };
+                Enumerable::from_vec(pairs).get_enumerator()
+            }))
+        }
+        QueryExpr::OrderBy {
+            input,
+            key,
+            descending,
+        } => {
+            let src = enumerable_of(input, rt, env)?;
+            let key = key.clone();
+            let rt = rt.clone();
+            let env = env.clone();
+            let descending = *descending;
+            // Decorate-sort-undecorate to evaluate each key once.
+            Ok(Enumerable::new(move || {
+                let mut decorated: Vec<(Value, Value)> = Vec::new();
+                let mut e = src.get_enumerator();
+                while e.move_next() {
+                    let item = e.current();
+                    decorated.push((apply_qfn(&key, item.clone(), &rt, &env), item));
+                }
+                decorated.sort_by(|(ka, _), (kb, _)| {
+                    let ord = ka.cmp_total(kb);
+                    if descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                let items: Vec<Value> = decorated.into_iter().map(|(_, v)| v).collect();
+                Enumerable::from_vec(items).get_enumerator()
+            }))
+        }
+        QueryExpr::Distinct { input } => {
+            Ok(enumerable_of(input, rt, env)?.distinct_by(|v| v.key()))
+        }
+        QueryExpr::ToVec { input } => {
+            let materialized = enumerable_of(input, rt, env)?.to_vec();
+            Ok(Enumerable::from_vec(materialized))
+        }
+        QueryExpr::Concat { input, other } => {
+            Ok(enumerable_of(input, rt, env)?.concat(&enumerable_of(other, rt, env)?))
+        }
+        QueryExpr::Join { .. } => {
+            // Execute through the canonical §5 rewrite (hash-join quality
+            // is not this executor's concern; it is the unoptimized
+            // baseline).
+            let canon = q.clone().canonicalize();
+            if matches!(canon, QueryExpr::Join { .. }) {
+                return Err(EvalError::TypeMismatch(
+                    "Join with nested-query key selectors is unsupported".into(),
+                ));
+            }
+            enumerable_of(&canon, rt, env)
+        }
+        QueryExpr::Aggregate { .. } | QueryExpr::Agg { .. } => Err(EvalError::TypeMismatch(
+            "scalar query used where a sequence was expected".into(),
+        )),
+    }
+}
+
+fn add(a: &Value, b: &Value) -> Value {
+    match (a, b) {
+        (Value::F64(x), Value::F64(y)) => Value::F64(x + y),
+        (Value::I64(x), Value::I64(y)) => Value::I64(x.wrapping_add(*y)),
+        _ => panic!("sum over non-numeric elements"),
+    }
+}
+
+fn execute_in(q: &QueryExpr, rt: &Rt, env: &Env) -> Result<Value, EvalError> {
+    match q {
+        QueryExpr::Aggregate {
+            input, seed, func, ..
+        } => {
+            let src = enumerable_of(input, rt, env)?;
+            let mut acc = eval(seed, env, &rt.udfs)?;
+            let mut e = src.get_enumerator();
+            while e.move_next() {
+                let mut inner = env.clone();
+                inner.bind(func.param0.clone(), acc);
+                inner.bind(func.param1.clone(), e.current());
+                acc = eval(&func.body, &inner, &rt.udfs)?;
+            }
+            Ok(acc)
+        }
+        QueryExpr::Agg { input, op, f } => {
+            debug_assert!(f.is_none(), "run canonicalize() before execution");
+            let src = enumerable_of(input, rt, env)?;
+            // Element type decides the identity conventions for empty input.
+            let elem_ty = typing::elem_ty(
+                input,
+                &SourceTypes::from(rt.ctx.as_ref()),
+                &ty_env_of(env),
+                &rt.udfs,
+            )
+            .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+            match op {
+                AggOp::Sum => {
+                    Ok(src.aggregate(default_value(&elem_ty), |a, x| add(&a, &x)))
+                }
+                AggOp::Count => Ok(Value::I64(src.count() as i64)),
+                AggOp::Min => Ok(src.aggregate(min_identity(&elem_ty), |a, x| {
+                    if x.cmp_total(&a).is_lt() {
+                        x
+                    } else {
+                        a
+                    }
+                })),
+                AggOp::Max => Ok(src.aggregate(max_identity(&elem_ty), |a, x| {
+                    if x.cmp_total(&a).is_gt() {
+                        x
+                    } else {
+                        a
+                    }
+                })),
+                AggOp::Average => {
+                    let (n, s) = src.aggregate((0i64, 0.0f64), |(n, s), x| {
+                        (n + 1, s + x.as_f64().expect("average over non-numeric"))
+                    });
+                    Ok(Value::F64(s / n as f64))
+                }
+                AggOp::Any => Ok(Value::Bool(src.any(|_| true))),
+                AggOp::All => Ok(Value::Bool(
+                    src.all(|v| v.as_bool().expect("All over non-boolean")),
+                )),
+                AggOp::First => Ok(src
+                    .first()
+                    .unwrap_or_else(|| default_value(&elem_ty))),
+            }
+        }
+        _ => {
+            let src = enumerable_of(q, rt, env)?;
+            Ok(Value::seq(src.to_vec()))
+        }
+    }
+}
+
+/// Executes a query over the given data context through unoptimized
+/// iterator chains.
+///
+/// The query is type-checked first; run [`QueryExpr::canonicalize`] (or
+/// build with [`steno_query::Query::build`]) before calling.
+///
+/// # Errors
+///
+/// Returns an error if the query is ill-typed or references unknown
+/// sources.
+pub fn execute(
+    q: &QueryExpr,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+) -> Result<Value, EvalError> {
+    typing::check_with_context(q, ctx, udfs)
+        .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+    let rt = Rt {
+        ctx: Arc::new(ctx.clone()),
+        udfs: Arc::new(udfs.clone()),
+    };
+    execute_in(q, &rt, &Env::new())
+}
+
+/// Executes a query with outer-scope bindings (used for nested queries and
+/// by the distributed runtime for per-partition subqueries).
+///
+/// # Errors
+///
+/// As [`execute`]; the query is *not* re-type-checked.
+pub fn execute_with_env(
+    q: &QueryExpr,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    env: &Env,
+) -> Result<Value, EvalError> {
+    let rt = Rt {
+        ctx: Arc::new(ctx.clone()),
+        udfs: Arc::new(udfs.clone()),
+    };
+    execute_in(q, &rt, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Expr;
+    use steno_query::Query;
+
+    fn ctx() -> DataContext {
+        DataContext::new()
+            .with_source("xs", vec![1.0, 2.0, 3.0, 4.0])
+            .with_source("ns", vec![1i64, 2, 3, 4, 5, 6])
+    }
+
+    fn run(q: &QueryExpr) -> Value {
+        execute(q, &ctx(), &UdfRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn even_squares() {
+        let q = Query::source("ns")
+            .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .build();
+        assert_eq!(
+            run(&q),
+            Value::seq(vec![Value::I64(4), Value::I64(16), Value::I64(36)])
+        );
+    }
+
+    #[test]
+    fn sum_of_squares() {
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        assert_eq!(run(&q), Value::F64(30.0));
+    }
+
+    #[test]
+    fn aggregates() {
+        let q = Query::source("ns").count().build();
+        assert_eq!(run(&q), Value::I64(6));
+        let q = Query::source("ns").min().build();
+        assert_eq!(run(&q), Value::I64(1));
+        let q = Query::source("ns").max().build();
+        assert_eq!(run(&q), Value::I64(6));
+        let q = Query::source("xs").average().build();
+        assert_eq!(run(&q), Value::F64(2.5));
+        let q = Query::source("ns")
+            .any_by(Expr::var("x").gt(Expr::liti(5)), "x")
+            .build();
+        assert_eq!(run(&q), Value::Bool(true));
+        let q = Query::source("ns")
+            .all_by(Expr::var("x").gt(Expr::liti(0)), "x")
+            .build();
+        assert_eq!(run(&q), Value::Bool(true));
+        let q = Query::source("ns").first().build();
+        assert_eq!(run(&q), Value::I64(1));
+    }
+
+    #[test]
+    fn empty_aggregate_conventions() {
+        let empty = DataContext::new().with_source("e", Vec::<f64>::new());
+        let udfs = UdfRegistry::new();
+        let sum = Query::source("e").sum().build();
+        assert_eq!(execute(&sum, &empty, &udfs).unwrap(), Value::F64(0.0));
+        let min = Query::source("e").min().build();
+        assert_eq!(
+            execute(&min, &empty, &udfs).unwrap(),
+            Value::F64(f64::INFINITY)
+        );
+        let first = Query::source("e").first().build();
+        assert_eq!(execute(&first, &empty, &udfs).unwrap(), Value::F64(0.0));
+    }
+
+    #[test]
+    fn cartesian_product_via_nested_query() {
+        // xs.SelectMany(x => ns.Select(n => x * n)).Sum() — §5's shape.
+        let q = Query::source("ns")
+            .select_many(
+                Query::source("ns").select(Expr::var("x") * Expr::var("y"), "y"),
+                "x",
+            )
+            .sum()
+            .build();
+        // sum_{x,y in 1..=6} x*y = 21 * 21
+        assert_eq!(run(&q), Value::I64(441));
+    }
+
+    #[test]
+    fn nested_scalar_query_in_select() {
+        // ns.Select(x => xs.Count()) — nested query with scalar result.
+        let q = Query::source("ns")
+            .take(2)
+            .select_query(Query::source("xs").count(), "x")
+            .build();
+        assert_eq!(run(&q), Value::seq(vec![Value::I64(4), Value::I64(4)]));
+    }
+
+    #[test]
+    fn nested_query_uses_outer_variable() {
+        // ns.Where(x => ns.Any(y => y == x + 5)) keeps only x = 1
+        let q = Query::source("ns")
+            .where_(Expr::var("x").le(Expr::liti(1)), "x")
+            .select_query(
+                Query::source("ns")
+                    .count_by(Expr::var("y").gt(Expr::var("x")), "y"),
+                "x",
+            )
+            .build();
+        assert_eq!(run(&q), Value::seq(vec![Value::I64(5)]));
+    }
+
+    #[test]
+    fn group_by_yields_pairs_in_first_key_order() {
+        let q = Query::source("ns")
+            .group_by(Expr::var("x") % Expr::liti(3), "x")
+            .build();
+        let out = run(&q);
+        let seq = out.as_seq().unwrap();
+        assert_eq!(seq.len(), 3);
+        let (k0, g0) = seq[0].as_pair().unwrap();
+        assert_eq!(*k0, Value::I64(1));
+        assert_eq!(*g0, Value::seq(vec![Value::I64(1), Value::I64(4)]));
+    }
+
+    #[test]
+    fn group_by_then_aggregate_groups() {
+        // The GROUP BY ... aggregate pattern of §4.3: per-key sums.
+        let q = Query::source("ns")
+            .group_by(Expr::var("x") % Expr::liti(2), "x")
+            .select(
+                Expr::mk_pair(
+                    Expr::var("kv").field(0),
+                    Expr::var("kv").field(1), // placeholder, replaced below
+                ),
+                "kv",
+            )
+            .build();
+        // Instead of expression-level seq support, aggregate via nested query:
+        let q2 = Query::source("ns")
+            .group_by(Expr::var("x") % Expr::liti(2), "x")
+            .select_query(
+                Query::over(Expr::var("kv").field(1)).sum(),
+                "kv",
+            )
+            .build();
+        let _ = q; // the pair-of-seq shape itself is exercised above
+        assert_eq!(
+            run(&q2),
+            Value::seq(vec![Value::I64(9), Value::I64(12)])
+        );
+    }
+
+    #[test]
+    fn order_take_skip_distinct() {
+        let ctx = DataContext::new().with_source("v", vec![3i64, 1, 2, 3, 1]);
+        let udfs = UdfRegistry::new();
+        let q = Query::source("v")
+            .distinct()
+            .order_by(Expr::var("x"), "x")
+            .build();
+        assert_eq!(
+            execute(&q, &ctx, &udfs).unwrap(),
+            Value::seq(vec![Value::I64(1), Value::I64(2), Value::I64(3)])
+        );
+        let q = Query::source("v")
+            .order_by_desc(Expr::var("x"), "x")
+            .take(2)
+            .build();
+        assert_eq!(
+            execute(&q, &ctx, &udfs).unwrap(),
+            Value::seq(vec![Value::I64(3), Value::I64(3)])
+        );
+        let q = Query::source("v").skip(3).build();
+        assert_eq!(
+            execute(&q, &ctx, &udfs).unwrap(),
+            Value::seq(vec![Value::I64(3), Value::I64(1)])
+        );
+    }
+
+    #[test]
+    fn take_while_skip_while_and_concat() {
+        let q = Query::source("ns")
+            .take_while(Expr::var("x").lt(Expr::liti(4)), "x")
+            .concat(Query::source("ns").skip_while(Expr::var("x").lt(Expr::liti(6)), "x"))
+            .build();
+        assert_eq!(
+            run(&q),
+            Value::seq(vec![
+                Value::I64(1),
+                Value::I64(2),
+                Value::I64(3),
+                Value::I64(6)
+            ])
+        );
+    }
+
+    #[test]
+    fn range_and_repeat_sources() {
+        let udfs = UdfRegistry::new();
+        let q = Query::range(5, 3).sum().build();
+        assert_eq!(
+            execute(&q, &DataContext::new(), &udfs).unwrap(),
+            Value::I64(18)
+        );
+        let q = Query::repeat(2.5f64, 4).sum().build();
+        assert_eq!(
+            execute(&q, &DataContext::new(), &udfs).unwrap(),
+            Value::F64(10.0)
+        );
+    }
+
+    #[test]
+    fn generic_aggregate_fold() {
+        let q = Query::source("ns")
+            .aggregate(
+                Expr::liti(1),
+                "acc",
+                "x",
+                Expr::var("acc") * Expr::var("x"),
+            )
+            .build();
+        assert_eq!(run(&q), Value::I64(720));
+    }
+
+    #[test]
+    fn ill_typed_query_is_rejected() {
+        let q = Query::source("xs")
+            .where_(Expr::var("x") + Expr::litf(1.0), "x")
+            .build();
+        assert!(execute(&q, &ctx(), &UdfRegistry::new()).is_err());
+        let q = Query::source("missing").count().build();
+        assert!(execute(&q, &ctx(), &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn to_vec_materializes() {
+        let q = Query::source("ns").to_vec().count().build();
+        assert_eq!(run(&q), Value::I64(6));
+    }
+
+    #[test]
+    fn rows_iterate_as_floats() {
+        let ctx = DataContext::new().with_source(
+            "pts",
+            steno_expr::Column::from_rows(vec![1.0, 2.0, 3.0, 4.0], 2),
+        );
+        // pts.SelectMany(p => p).Sum(): flatten coordinates.
+        let q = Query::source("pts")
+            .select_many_expr(Expr::var("p"), "p")
+            .sum()
+            .build();
+        assert_eq!(
+            execute(&q, &ctx, &UdfRegistry::new()).unwrap(),
+            Value::F64(10.0)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! The LINQ runtime substrate: lazy iterator chains with dynamic dispatch.
+//!
+//! This crate reproduces the execution model that Steno optimizes *away*
+//! (§2 of the paper). Each operator is a lazily-evaluated state machine
+//! implementing the [`Enumerator`] trait; operators compose through
+//! [`BoxEnum`] trait objects, and user functions are stored as boxed
+//! function objects ([`Func`]). Per element, per operator, this costs:
+//!
+//! * one virtual call to `move_next()` (which also runs the state-machine
+//!   logic simulating coroutine behaviour),
+//! * one virtual call to `current()`,
+//! * one indirect call to the predicate/transformation function object.
+//!
+//! That is exactly the cost structure of `IEnumerator<T>` chains in .NET —
+//! indirect branches the optimizer cannot inline — and it is the baseline
+//! ("LINQ") measured in every experiment of the paper.
+//!
+//! Besides the typed generic layer, the [`interp`] module executes runtime
+//! query ASTs (from `steno-query`) by instantiating these operators at
+//! [`Value`](steno_expr::Value) and evaluating expression trees per element:
+//! this is the "unoptimized" executor that DryadLINQ vertices use before
+//! Steno is applied.
+//!
+//! # Example
+//!
+//! ```
+//! use steno_linq::Enumerable;
+//!
+//! let xs = Enumerable::from_vec((0..10i64).collect());
+//! let even_squares: Vec<i64> = xs
+//!     .where_(|x| x % 2 == 0)
+//!     .select(|x| x * x)
+//!     .to_vec();
+//! assert_eq!(even_squares, vec![0, 4, 16, 36, 64]);
+//! ```
+
+pub mod aggregates;
+pub mod enumerable;
+pub mod enumerator;
+pub mod grouping;
+pub mod interp;
+pub mod lookup;
+pub mod sources;
+
+pub use enumerable::Enumerable;
+pub use enumerator::{BoxEnum, Enumerator, Func, Func2};
+pub use grouping::Grouping;
+pub use lookup::Lookup;

@@ -1,0 +1,137 @@
+//! The `Lookup<K, T>` key–value multi-map of Fig. 7(b).
+//!
+//! "`Lookup<K, T>` is a utility class that maintains a key-value multi-map,
+//! implements the `IEnumerable<IGrouping<K, T>>` interface, and provides a
+//! `Put` method that returns the updated collection."
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::grouping::Grouping;
+
+/// An insertion-ordered multi-map from keys to bags of values.
+///
+/// Iteration yields groups in the order their keys first appeared, matching
+/// LINQ's `GroupBy`/`ToLookup` contract.
+#[derive(Clone, Debug)]
+pub struct Lookup<K, V> {
+    index: HashMap<K, usize>,
+    groups: Vec<(K, Vec<V>)>,
+}
+
+impl<K: Eq + Hash + Clone, V> Default for Lookup<K, V> {
+    fn default() -> Self {
+        Lookup::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Lookup<K, V> {
+    /// Creates an empty lookup.
+    pub fn new() -> Lookup<K, V> {
+        Lookup {
+            index: HashMap::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Appends `value` to the bag for `key`.
+    pub fn add(&mut self, key: K, value: V) {
+        match self.index.get(&key) {
+            Some(&slot) => self.groups[slot].1.push(value),
+            None => {
+                self.index.insert(key.clone(), self.groups.len());
+                self.groups.push((key, vec![value]));
+            }
+        }
+    }
+
+    /// The `Put` method of Fig. 7(b): adds and returns the updated
+    /// collection, so the generated code can write
+    /// `sink = sink.put(key, elem)`.
+    #[must_use = "put returns the updated collection"]
+    pub fn put(mut self, key: K, value: V) -> Lookup<K, V> {
+        self.add(key, value);
+        self
+    }
+
+    /// The bag of values for `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&[V]> {
+        self.index
+            .get(key)
+            .map(|&slot| self.groups[slot].1.as_slice())
+    }
+
+    /// The number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` when no keys are present.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterates `(key, values)` in key-first-appearance order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &[V])> {
+        self.groups.iter().map(|(k, vs)| (k, vs.as_slice()))
+    }
+
+    /// Consumes the lookup into `Grouping`s, in key order of first
+    /// appearance — the `IEnumerable<IGrouping<K, T>>` view.
+    pub fn into_groupings(self) -> Vec<Grouping<K, V>> {
+        self.groups
+            .into_iter()
+            .map(|(k, vs)| Grouping::new(k, vs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_groups_by_key_in_first_appearance_order() {
+        let mut l = Lookup::new();
+        for (k, v) in [(2, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (1, 'e')] {
+            l.add(k, v);
+        }
+        assert_eq!(l.len(), 3);
+        let keys: Vec<i32> = l.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![2, 1, 3]);
+        assert_eq!(l.get(&2), Some(&['a', 'c'][..]));
+        assert_eq!(l.get(&9), None);
+    }
+
+    #[test]
+    fn put_returns_updated_collection() {
+        // The exact pattern of the generated code in Fig. 7(b).
+        let mut sink = Lookup::new();
+        for x in [1i64, 2, 3, 4] {
+            sink = sink.put(x % 2, x);
+        }
+        assert_eq!(sink.get(&1), Some(&[1, 3][..]));
+        assert_eq!(sink.get(&0), Some(&[2, 4][..]));
+    }
+
+    #[test]
+    fn into_groupings_preserves_order() {
+        let mut l = Lookup::new();
+        l.add("b", 1);
+        l.add("a", 2);
+        l.add("b", 3);
+        let gs = l.into_groupings();
+        assert_eq!(gs.len(), 2);
+        assert_eq!(*gs[0].key(), "b");
+        assert_eq!(gs[0].to_vec(), vec![1, 3]);
+        assert_eq!(*gs[1].key(), "a");
+    }
+
+    #[test]
+    fn empty_lookup() {
+        let l: Lookup<i64, i64> = Lookup::new();
+        assert!(l.is_empty());
+        assert_eq!(l.len(), 0);
+        assert!(l.into_groupings().is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Source enumerators: vectors, `Range` and `Repeat`.
+
+use std::rc::Rc;
+
+use crate::enumerable::Enumerable;
+use crate::enumerator::Enumerator;
+
+/// Enumerates a shared vector. This is what `GetEnumerator()` on a
+/// `List<T>` returns: an index-walking state machine.
+pub(crate) struct VecEnumerator<T> {
+    data: Rc<Vec<T>>,
+    /// Position of the *current* element plus one; `0` means "before
+    /// the first element", as in .NET.
+    pos: usize,
+}
+
+impl<T: Clone> Enumerator for VecEnumerator<T> {
+    type Item = T;
+
+    fn move_next(&mut self) -> bool {
+        if self.pos < self.data.len() {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn current(&self) -> T {
+        assert!(self.pos > 0, "current() called before move_next()");
+        self.data[self.pos - 1].clone()
+    }
+}
+
+/// The `Enumerable.Range(start, count)` generator.
+struct RangeEnumerator {
+    next: i64,
+    remaining: usize,
+    started: bool,
+}
+
+impl Enumerator for RangeEnumerator {
+    type Item = i64;
+
+    fn move_next(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        if self.started {
+            self.next += 1;
+        }
+        self.started = true;
+        self.remaining -= 1;
+        true
+    }
+
+    fn current(&self) -> i64 {
+        assert!(self.started, "current() called before move_next()");
+        self.next
+    }
+}
+
+/// The `Enumerable.Repeat(value, count)` generator.
+struct RepeatEnumerator<T> {
+    value: T,
+    remaining: usize,
+    started: bool,
+}
+
+impl<T: Clone> Enumerator for RepeatEnumerator<T> {
+    type Item = T;
+
+    fn move_next(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.started = true;
+        self.remaining -= 1;
+        true
+    }
+
+    fn current(&self) -> T {
+        assert!(self.started, "current() called before move_next()");
+        self.value.clone()
+    }
+}
+
+impl<T: Clone + 'static> Enumerable<T> {
+    /// Wraps a vector as an enumerable source.
+    pub fn from_vec(data: Vec<T>) -> Enumerable<T> {
+        Enumerable::from_rc_vec(Rc::new(data))
+    }
+
+    /// Wraps a shared vector as an enumerable source without copying.
+    pub fn from_rc_vec(data: Rc<Vec<T>>) -> Enumerable<T> {
+        Enumerable::new(move || Box::new(VecEnumerator {
+            data: Rc::clone(&data),
+            pos: 0,
+        }))
+    }
+
+    /// An empty enumerable.
+    pub fn empty() -> Enumerable<T> {
+        Enumerable::from_vec(Vec::new())
+    }
+
+    /// `Enumerable.Repeat(value, count)`: `count` copies of `value`.
+    pub fn repeat(value: T, count: usize) -> Enumerable<T> {
+        Enumerable::new(move || {
+            Box::new(RepeatEnumerator {
+                value: value.clone(),
+                remaining: count,
+                started: false,
+            })
+        })
+    }
+}
+
+impl Enumerable<i64> {
+    /// `Enumerable.Range(start, count)`: the integers
+    /// `start, start+1, ..., start+count-1`.
+    pub fn range(start: i64, count: usize) -> Enumerable<i64> {
+        Enumerable::new(move || {
+            Box::new(RangeEnumerator {
+                next: start,
+                remaining: count,
+                started: false,
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_yields_consecutive_integers() {
+        assert_eq!(Enumerable::range(3, 4).to_vec(), vec![3, 4, 5, 6]);
+        assert_eq!(Enumerable::range(0, 0).to_vec(), Vec::<i64>::new());
+        assert_eq!(Enumerable::range(-2, 3).to_vec(), vec![-2, -1, 0]);
+    }
+
+    #[test]
+    fn repeat_yields_copies() {
+        assert_eq!(Enumerable::repeat(7.5f64, 3).to_vec(), vec![7.5, 7.5, 7.5]);
+        assert!(Enumerable::repeat(1, 0).to_vec().is_empty());
+    }
+
+    #[test]
+    fn vec_source_is_re_enumerable() {
+        // A LINQ query can be enumerated many times; each GetEnumerator()
+        // call starts a fresh pass over the source.
+        let xs = Enumerable::from_vec(vec![1, 2, 3]);
+        assert_eq!(xs.to_vec(), vec![1, 2, 3]);
+        assert_eq!(xs.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before move_next")]
+    fn current_before_move_next_panics() {
+        let xs = Enumerable::from_vec(vec![1]);
+        let e = xs.get_enumerator();
+        let _ = e.current();
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests: every lazy operator state machine agrees with
+//! the obvious eager `Vec` oracle, and the laziness contracts hold.
+
+use proptest::prelude::*;
+use steno_linq::Enumerable;
+
+fn en(v: &[i64]) -> Enumerable<i64> {
+    Enumerable::from_vec(v.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn select_matches_map(v in prop::collection::vec(-100i64..100, 0..50)) {
+        let got = en(&v).select(|x| x * 3 - 1).to_vec();
+        let want: Vec<i64> = v.iter().map(|x| x * 3 - 1).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn where_matches_filter(v in prop::collection::vec(-100i64..100, 0..50)) {
+        let got = en(&v).where_(|x| x % 3 == 0).to_vec();
+        let want: Vec<i64> = v.iter().copied().filter(|x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn take_skip_partition_the_sequence(
+        v in prop::collection::vec(-100i64..100, 0..50),
+        n in 0usize..60,
+    ) {
+        let head = en(&v).take(n).to_vec();
+        let tail = en(&v).skip(n).to_vec();
+        let mut whole = head.clone();
+        whole.extend(&tail);
+        prop_assert_eq!(whole, v.clone());
+        prop_assert_eq!(head.len(), n.min(v.len()));
+    }
+
+    #[test]
+    fn take_while_skip_while_partition(
+        v in prop::collection::vec(-100i64..100, 0..50),
+        pivot in -100i64..100,
+    ) {
+        let head = en(&v).take_while(move |x| x < pivot).to_vec();
+        let tail = en(&v).skip_while(move |x| x < pivot).to_vec();
+        let mut whole = head;
+        whole.extend(&tail);
+        prop_assert_eq!(whole, v);
+    }
+
+    #[test]
+    fn select_many_matches_flat_map(
+        v in prop::collection::vec(0i64..20, 0..20),
+    ) {
+        let got = en(&v)
+            .select_many(|x| Enumerable::from_vec((0..x % 4).collect()))
+            .to_vec();
+        let want: Vec<i64> = v.iter().flat_map(|&x| 0..x % 4).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn aggregate_is_a_left_fold(v in prop::collection::vec(-9i64..9, 0..30)) {
+        let got = en(&v).aggregate(7, |acc, x| acc * 2 + x);
+        let want = v.iter().fold(7, |acc, x| acc * 2 + x);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn order_by_matches_stable_sort(v in prop::collection::vec(-50i64..50, 0..50)) {
+        let got = en(&v).order_by(|x| *x).to_vec();
+        let mut want = v.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+        // Descending is the reverse of ascending for totally-ordered keys
+        // up to the stability of equal keys (i64 keys are their own
+        // elements, so exactly the reverse).
+        let desc = en(&v).order_by_desc(|x| *x).to_vec();
+        let mut want_desc = v.clone();
+        want_desc.sort_by(|a, b| b.cmp(a));
+        prop_assert_eq!(desc, want_desc);
+    }
+
+    #[test]
+    fn distinct_keeps_first_occurrences(v in prop::collection::vec(-10i64..10, 0..50)) {
+        let got = en(&v).distinct_by(|x| *x).to_vec();
+        let mut seen = std::collections::HashSet::new();
+        let want: Vec<i64> = v.iter().copied().filter(|x| seen.insert(*x)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_partitions_without_loss(v in prop::collection::vec(-20i64..20, 0..60)) {
+        let groups = en(&v).group_by(|x| x.rem_euclid(5)).to_vec();
+        // Every element lands in exactly one group with the right key.
+        let mut total = 0;
+        for g in &groups {
+            for x in g.iter() {
+                prop_assert_eq!(x.rem_euclid(5), *g.key());
+                total += 1;
+            }
+        }
+        prop_assert_eq!(total, v.len());
+        // Keys are unique.
+        let mut keys: Vec<i64> = groups.iter().map(|g| *g.key()).collect();
+        let n = keys.len();
+        keys.dedup();
+        prop_assert_eq!(n, keys.len());
+    }
+
+    #[test]
+    fn concat_and_zip(
+        a in prop::collection::vec(-50i64..50, 0..20),
+        b in prop::collection::vec(-50i64..50, 0..20),
+    ) {
+        let cat = en(&a).concat(&en(&b)).to_vec();
+        let mut want = a.clone();
+        want.extend(&b);
+        prop_assert_eq!(cat, want);
+
+        let zipped = en(&a).zip(&en(&b), |x, y| x + y).to_vec();
+        let want: Vec<i64> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
+        prop_assert_eq!(zipped, want);
+    }
+
+    #[test]
+    fn join_matches_nested_loop_oracle(
+        a in prop::collection::vec(0i64..8, 0..15),
+        b in prop::collection::vec(0i64..8, 0..15),
+    ) {
+        let got = en(&a)
+            .join(&en(&b), |x| x % 3, |y| y % 3, |x, y| (x, y))
+            .to_vec();
+        let mut want = Vec::new();
+        for &x in &a {
+            for &y in &b {
+                if x % 3 == y % 3 {
+                    want.push((x, y));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scalar_aggregates_match_oracles(v in prop::collection::vec(-100i64..100, 1..40)) {
+        prop_assert_eq!(en(&v).sum(), v.iter().sum::<i64>());
+        prop_assert_eq!(en(&v).min(), v.iter().copied().min());
+        prop_assert_eq!(en(&v).max(), v.iter().copied().max());
+        prop_assert_eq!(en(&v).count(), v.len());
+        prop_assert_eq!(en(&v).first(), Some(v[0]));
+        prop_assert_eq!(
+            en(&v).element_at(v.len() - 1),
+            Some(*v.last().unwrap())
+        );
+    }
+
+    #[test]
+    fn reverse_is_involutive(v in prop::collection::vec(-100i64..100, 0..40)) {
+        let twice = en(&v).reverse().reverse().to_vec();
+        prop_assert_eq!(twice, v);
+    }
+}
+
+#[test]
+fn enumeration_is_repeatable_after_composition() {
+    // A composed query is re-enumerable from scratch (the IEnumerable
+    // contract): both passes observe the same elements.
+    let q = en(&[5, 3, 8, 1])
+        .where_(|x| x > 2)
+        .select(|x| x * 10)
+        .order_by(|x| *x);
+    assert_eq!(q.to_vec(), q.to_vec());
+    assert_eq!(q.count(), 3);
+}

@@ -1,0 +1,727 @@
+//! The query AST: method-call chains over sources.
+
+use std::fmt;
+
+use steno_expr::{Expr, Value};
+
+/// Where a query's elements come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SourceRef {
+    /// A named collection in the [`DataContext`](steno_expr::DataContext)
+    /// (the `xs` of `from x in xs`).
+    Named(String),
+    /// `Enumerable.Range(start, count)`.
+    Range {
+        /// First integer produced.
+        start: i64,
+        /// Number of integers produced.
+        count: usize,
+    },
+    /// `Enumerable.Repeat(value, count)`.
+    Repeat {
+        /// The repeated value.
+        value: Value,
+        /// Number of copies.
+        count: usize,
+    },
+    /// A source computed from an in-scope expression — how a nested query
+    /// iterates over, e.g., the elements of a group (`kv.1`) or a captured
+    /// sequence-valued variable.
+    Expr(Expr),
+}
+
+impl fmt::Display for SourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceRef::Named(name) => write!(f, "{name}"),
+            SourceRef::Range { start, count } => write!(f, "Range({start}, {count})"),
+            SourceRef::Repeat { value, count } => write!(f, "Repeat({value}, {count})"),
+            SourceRef::Expr(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// The body of a unary operator function: a plain expression tree, or a
+/// nested query (§5: "a nested query may substitute for the transformation
+/// and predicate functions").
+#[derive(Clone, Debug, PartialEq)]
+pub enum QBody {
+    /// An expression over the parameter.
+    Expr(Expr),
+    /// A nested query; the parameter is free inside it.
+    Query(Box<QueryExpr>),
+}
+
+/// A unary function argument (`x => body`). Parameter types are inferred
+/// during lowering from the source element type, as the C# compiler would
+/// have established them.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QFn {
+    /// The parameter name.
+    pub param: String,
+    /// The function body.
+    pub body: QBody,
+}
+
+impl QFn {
+    /// An expression-bodied function `param => expr`.
+    pub fn expr(param: impl Into<String>, expr: Expr) -> QFn {
+        QFn {
+            param: param.into(),
+            body: QBody::Expr(expr),
+        }
+    }
+
+    /// A query-bodied function `param => query`.
+    pub fn query(param: impl Into<String>, query: QueryExpr) -> QFn {
+        QFn {
+            param: param.into(),
+            body: QBody::Query(Box::new(query)),
+        }
+    }
+}
+
+impl fmt::Display for QFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.body {
+            QBody::Expr(e) => write!(f, "|{}| {e}", self.param),
+            QBody::Query(q) => write!(f, "|{}| {q}", self.param),
+        }
+    }
+}
+
+/// A binary function argument (`(acc, x) => body`), used by `Aggregate`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QFn2 {
+    /// First parameter (the accumulator).
+    pub param0: String,
+    /// Second parameter (the element).
+    pub param1: String,
+    /// The function body.
+    pub body: Expr,
+}
+
+impl QFn2 {
+    /// Builds a binary function.
+    pub fn new(param0: impl Into<String>, param1: impl Into<String>, body: Expr) -> QFn2 {
+        QFn2 {
+            param0: param0.into(),
+            param1: param1.into(),
+            body,
+        }
+    }
+}
+
+impl fmt::Display for QFn2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "|{}, {}| {}", self.param0, self.param1, self.body)
+    }
+}
+
+/// The built-in aggregate operators (§4.1's Agg class, Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    /// `Sum()`.
+    Sum,
+    /// `Min()`.
+    Min,
+    /// `Max()`.
+    Max,
+    /// `Count()`.
+    Count,
+    /// `Average()`.
+    Average,
+    /// `Any()` — true if the (already filtered) input is non-empty.
+    Any,
+    /// `All(p)` is canonicalized to `Select(p).All(identity)` semantics:
+    /// conjunction over boolean elements.
+    All,
+    /// `FirstOrDefault()`.
+    First,
+}
+
+impl AggOp {
+    /// The LINQ method name.
+    pub fn method_name(self) -> &'static str {
+        match self {
+            AggOp::Sum => "Sum",
+            AggOp::Min => "Min",
+            AggOp::Max => "Max",
+            AggOp::Count => "Count",
+            AggOp::Average => "Average",
+            AggOp::Any => "Any",
+            AggOp::All => "All",
+            AggOp::First => "FirstOrDefault",
+        }
+    }
+}
+
+/// The `GroupBy` result selector `(key, group) => result`: an aggregation
+/// over the group followed by a result expression over the key and the
+/// aggregate.
+///
+/// This factored form is what lets Steno recognize "GroupBy operators with
+/// an aggregating result selector" and insert the specialized
+/// `GroupByAggregate` sink (§4.3): `agg_query` describes the reduction of
+/// one group, and `result` combines it with the key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupResult {
+    /// Name binding the group key in `result`.
+    pub key_param: String,
+    /// Name binding the group contents; `agg_query`'s source must iterate
+    /// it (i.e. be `Source(Expr(Var(group_param)))` at its root).
+    pub group_param: String,
+    /// The aggregation query over one group (must be scalar-valued).
+    pub agg_query: Box<QueryExpr>,
+    /// Name binding the aggregate result in `result`.
+    pub agg_param: String,
+    /// The final per-group expression, over `key_param` and `agg_param`.
+    pub result: Expr,
+}
+
+impl GroupResult {
+    /// The common `(k, g) => (k, agg(g))` selector.
+    pub fn keyed(
+        key_param: impl Into<String>,
+        group_param: impl Into<String>,
+        agg_query: QueryExpr,
+    ) -> GroupResult {
+        let key_param = key_param.into();
+        GroupResult {
+            key_param: key_param.clone(),
+            group_param: group_param.into(),
+            agg_query: Box::new(agg_query),
+            agg_param: "__agg".into(),
+            result: Expr::mk_pair(Expr::var(key_param), Expr::var("__agg")),
+        }
+    }
+}
+
+impl fmt::Display for GroupResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|{}, {}| {{ let {} = {}; {} }}",
+            self.key_param, self.group_param, self.agg_param, self.agg_query, self.result
+        )
+    }
+}
+
+/// A query in method-call form.
+///
+/// Every variant except [`QueryExpr::Source`] has an `input` — the chain
+/// is a linked list exactly like the AST of Fig. 3. A query's *result* is
+/// a sequence, unless it ends in an aggregate variant, in which case it is
+/// a scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryExpr {
+    /// The source collection.
+    Source(SourceRef),
+    /// `Select(f)`.
+    Select {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The transformation function.
+        f: QFn,
+    },
+    /// `Where(p)`.
+    Where {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The predicate.
+        p: QFn,
+    },
+    /// `SelectMany(f)` — `f` yields a subsequence per element.
+    SelectMany {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The subsequence selector.
+        f: QFn,
+    },
+    /// `Take(n)`.
+    Take {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Maximum number of elements.
+        count: usize,
+    },
+    /// `Skip(n)`.
+    Skip {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Number of elements to drop.
+        count: usize,
+    },
+    /// `TakeWhile(p)`.
+    TakeWhile {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The predicate (expression-bodied).
+        p: QFn,
+    },
+    /// `SkipWhile(p)`.
+    SkipWhile {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The predicate (expression-bodied).
+        p: QFn,
+    },
+    /// `GroupBy(key[, elem][, result])`: without a result selector, yields
+    /// `(key, seq<elem>)` pairs in key first-appearance order; with one,
+    /// applies it to each key and its group (the `reduce()` of MapReduce,
+    /// §4.3).
+    GroupBy {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Key selector.
+        key: QFn,
+        /// Optional element selector applied before grouping.
+        elem: Option<QFn>,
+        /// Optional result selector `(key, group) => r`.
+        result: Option<GroupResult>,
+    },
+    /// `OrderBy(key)` / `OrderByDescending(key)`.
+    OrderBy {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Sort-key selector (expression-bodied).
+        key: QFn,
+        /// Sort direction.
+        descending: bool,
+    },
+    /// `Distinct()`.
+    Distinct {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+    },
+    /// `ToArray()` — the explicit materialization sink of §4.2
+    /// (footnote 3).
+    ToVec {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+    },
+    /// `Concat(other)`.
+    Concat {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// The appended query.
+        other: Box<QueryExpr>,
+    },
+    /// `Join(inner, outerKey, innerKey, result)`: equi-join. Canonicalized
+    /// (§3.1) into the paper's §5 nested form,
+    /// `outer.SelectMany(o => inner.Where(i => ok(o) == ik(i)).Select(i => r(o, i)))`,
+    /// which the nested-loop generator then optimizes.
+    Join {
+        /// The outer side.
+        input: Box<QueryExpr>,
+        /// The inner side.
+        inner: Box<QueryExpr>,
+        /// Outer key selector (expression-bodied).
+        outer_key: QFn,
+        /// Inner key selector (expression-bodied).
+        inner_key: QFn,
+        /// Result selector `(outer, inner) => r`.
+        result: QFn2,
+    },
+    /// `Aggregate(seed, func[, combine])`: general left fold. `combine`
+    /// optionally declares how to merge two partial accumulators, which
+    /// marks the fold associative for distributed execution (§6).
+    Aggregate {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Seed expression, evaluated in the enclosing scope.
+        seed: Expr,
+        /// The fold function `(acc, elem) => acc'`.
+        func: QFn2,
+        /// Optional combiner `(acc, acc) => acc` for partial aggregation.
+        combine: Option<QFn2>,
+    },
+    /// A built-in aggregate (`Sum`, `Min`, ..., Table 1).
+    Agg {
+        /// Upstream query.
+        input: Box<QueryExpr>,
+        /// Which aggregate.
+        op: AggOp,
+        /// Optional predicate/selector shorthand (`Any(p)`, `Count(p)`,
+        /// `Sum(f)`); removed by [`QueryExpr::canonicalize`].
+        f: Option<QFn>,
+    },
+}
+
+impl QueryExpr {
+    /// The immediate upstream query, if any.
+    pub fn input(&self) -> Option<&QueryExpr> {
+        match self {
+            QueryExpr::Source(_) => None,
+            QueryExpr::Select { input, .. }
+            | QueryExpr::Where { input, .. }
+            | QueryExpr::SelectMany { input, .. }
+            | QueryExpr::Take { input, .. }
+            | QueryExpr::Skip { input, .. }
+            | QueryExpr::TakeWhile { input, .. }
+            | QueryExpr::SkipWhile { input, .. }
+            | QueryExpr::GroupBy { input, .. }
+            | QueryExpr::OrderBy { input, .. }
+            | QueryExpr::Distinct { input }
+            | QueryExpr::ToVec { input }
+            | QueryExpr::Concat { input, .. }
+            | QueryExpr::Join { input, .. }
+            | QueryExpr::Aggregate { input, .. }
+            | QueryExpr::Agg { input, .. } => Some(input),
+        }
+    }
+
+    /// `true` if the query produces a scalar (ends in an aggregate).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, QueryExpr::Aggregate { .. } | QueryExpr::Agg { .. })
+    }
+
+    /// The source at the root of the chain.
+    pub fn source(&self) -> &SourceRef {
+        match self {
+            QueryExpr::Source(s) => s,
+            other => other
+                .input()
+                .expect("non-source query has an input")
+                .source(),
+        }
+    }
+
+    /// The number of operators in the chain (excluding the source),
+    /// not counting nested queries.
+    pub fn chain_len(&self) -> usize {
+        match self.input() {
+            None => 0,
+            Some(i) => 1 + i.chain_len(),
+        }
+    }
+
+    /// Canonicalizes operator overloads (§3.1): rewrites shorthand
+    /// aggregates with an inline function — `Any(p)`, `Count(p)`,
+    /// `Sum(f)`, `Min(f)`, `Max(f)`, `Average(f)`, `All(p)` — into the
+    /// canonical `Where`/`Select` + bare-aggregate form.
+    pub fn canonicalize(self) -> QueryExpr {
+        match self {
+            QueryExpr::Agg {
+                input,
+                op,
+                f: Some(f),
+            } => {
+                let input = Box::new(input.canonicalize());
+                match op {
+                    // Any(p) == Where(p).Any(); Count(p) == Where(p).Count()
+                    AggOp::Any | AggOp::Count | AggOp::First => QueryExpr::Agg {
+                        input: Box::new(QueryExpr::Where { input, p: f }),
+                        op,
+                        f: None,
+                    },
+                    // Sum(f) == Select(f).Sum(), etc. All(p) == Select(p).All().
+                    AggOp::Sum | AggOp::Min | AggOp::Max | AggOp::Average | AggOp::All => {
+                        QueryExpr::Agg {
+                            input: Box::new(QueryExpr::Select { input, f }),
+                            op,
+                            f: None,
+                        }
+                    }
+                }
+            }
+            QueryExpr::Source(s) => QueryExpr::Source(s),
+            QueryExpr::Select { input, f } => QueryExpr::Select {
+                input: Box::new(input.canonicalize()),
+                f: f.canonicalize(),
+            },
+            QueryExpr::Where { input, p } => QueryExpr::Where {
+                input: Box::new(input.canonicalize()),
+                p: p.canonicalize(),
+            },
+            QueryExpr::SelectMany { input, f } => QueryExpr::SelectMany {
+                input: Box::new(input.canonicalize()),
+                f: f.canonicalize(),
+            },
+            QueryExpr::Take { input, count } => QueryExpr::Take {
+                input: Box::new(input.canonicalize()),
+                count,
+            },
+            QueryExpr::Skip { input, count } => QueryExpr::Skip {
+                input: Box::new(input.canonicalize()),
+                count,
+            },
+            QueryExpr::TakeWhile { input, p } => QueryExpr::TakeWhile {
+                input: Box::new(input.canonicalize()),
+                p,
+            },
+            QueryExpr::SkipWhile { input, p } => QueryExpr::SkipWhile {
+                input: Box::new(input.canonicalize()),
+                p,
+            },
+            QueryExpr::GroupBy {
+                input,
+                key,
+                elem,
+                result,
+            } => QueryExpr::GroupBy {
+                input: Box::new(input.canonicalize()),
+                key,
+                elem,
+                result: result.map(|r| GroupResult {
+                    agg_query: Box::new(r.agg_query.canonicalize()),
+                    ..r
+                }),
+            },
+            QueryExpr::OrderBy {
+                input,
+                key,
+                descending,
+            } => QueryExpr::OrderBy {
+                input: Box::new(input.canonicalize()),
+                key,
+                descending,
+            },
+            QueryExpr::Distinct { input } => QueryExpr::Distinct {
+                input: Box::new(input.canonicalize()),
+            },
+            QueryExpr::ToVec { input } => QueryExpr::ToVec {
+                input: Box::new(input.canonicalize()),
+            },
+            QueryExpr::Concat { input, other } => QueryExpr::Concat {
+                input: Box::new(input.canonicalize()),
+                other: Box::new(other.canonicalize()),
+            },
+            QueryExpr::Join {
+                input,
+                inner,
+                outer_key,
+                inner_key,
+                result,
+            } => {
+                // The §5 rewrite: an equi-join is a SelectMany whose nested
+                // query filters the inner side on key equality. Rename the
+                // result selector's inner parameter onto the inner binder
+                // and its outer parameter onto the SelectMany binder.
+                let (QBody::Expr(ok_body), QBody::Expr(ik_body)) =
+                    (&outer_key.body, &inner_key.body)
+                else {
+                    // Nested-query key selectors are left as-is; the
+                    // executor falls back for them.
+                    return QueryExpr::Join {
+                        input: Box::new(input.canonicalize()),
+                        inner: Box::new(inner.canonicalize()),
+                        outer_key,
+                        inner_key,
+                        result,
+                    };
+                };
+                let o = outer_key.param.clone();
+                let i = inner_key.param.clone();
+                let ok = steno_expr::subst::rename(ok_body, &outer_key.param, &o);
+                let ik = steno_expr::subst::rename(ik_body, &inner_key.param, &i);
+                let body = steno_expr::subst::rename(&result.body, &result.param0, &o);
+                let body = steno_expr::subst::rename(&body, &result.param1, &i);
+                let nested = QueryExpr::Select {
+                    input: Box::new(QueryExpr::Where {
+                        input: Box::new(inner.canonicalize()),
+                        p: QFn::expr(i.clone(), ok.eq(ik)),
+                    }),
+                    f: QFn::expr(i, body),
+                };
+                QueryExpr::SelectMany {
+                    input: Box::new(input.canonicalize()),
+                    f: QFn {
+                        param: o,
+                        body: QBody::Query(Box::new(nested)),
+                    },
+                }
+            }
+            QueryExpr::Aggregate {
+                input,
+                seed,
+                func,
+                combine,
+            } => QueryExpr::Aggregate {
+                input: Box::new(input.canonicalize()),
+                seed,
+                func,
+                combine,
+            },
+            QueryExpr::Agg { input, op, f: None } => QueryExpr::Agg {
+                input: Box::new(input.canonicalize()),
+                op,
+                f: None,
+            },
+        }
+    }
+}
+
+impl QFn {
+    fn canonicalize(self) -> QFn {
+        match self.body {
+            QBody::Expr(e) => QFn {
+                param: self.param,
+                body: QBody::Expr(e),
+            },
+            QBody::Query(q) => QFn {
+                param: self.param,
+                body: QBody::Query(Box::new(q.canonicalize())),
+            },
+        }
+    }
+}
+
+impl fmt::Display for QueryExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryExpr::Source(s) => write!(f, "{s}"),
+            QueryExpr::Select { input, f: func } => write!(f, "{input}.Select({func})"),
+            QueryExpr::Where { input, p } => write!(f, "{input}.Where({p})"),
+            QueryExpr::SelectMany { input, f: func } => {
+                write!(f, "{input}.SelectMany({func})")
+            }
+            QueryExpr::Take { input, count } => write!(f, "{input}.Take({count})"),
+            QueryExpr::Skip { input, count } => write!(f, "{input}.Skip({count})"),
+            QueryExpr::TakeWhile { input, p } => write!(f, "{input}.TakeWhile({p})"),
+            QueryExpr::SkipWhile { input, p } => write!(f, "{input}.SkipWhile({p})"),
+            QueryExpr::GroupBy {
+                input,
+                key,
+                elem,
+                result,
+            } => {
+                write!(f, "{input}.GroupBy({key}")?;
+                if let Some(e) = elem {
+                    write!(f, ", {e}")?;
+                }
+                if let Some(r) = result {
+                    write!(f, ", {r}")?;
+                }
+                write!(f, ")")
+            }
+            QueryExpr::OrderBy {
+                input,
+                key,
+                descending,
+            } => {
+                if *descending {
+                    write!(f, "{input}.OrderByDescending({key})")
+                } else {
+                    write!(f, "{input}.OrderBy({key})")
+                }
+            }
+            QueryExpr::Distinct { input } => write!(f, "{input}.Distinct()"),
+            QueryExpr::ToVec { input } => write!(f, "{input}.ToArray()"),
+            QueryExpr::Concat { input, other } => write!(f, "{input}.Concat({other})"),
+            QueryExpr::Join {
+                input,
+                inner,
+                outer_key,
+                inner_key,
+                result,
+            } => write!(f, "{input}.Join({inner}, {outer_key}, {inner_key}, {result})"),
+            QueryExpr::Aggregate {
+                input, seed, func, ..
+            } => write!(f, "{input}.Aggregate({seed}, {func})"),
+            QueryExpr::Agg { input, op, f: func } => match func {
+                Some(g) => write!(f, "{input}.{}({g})", op.method_name()),
+                None => write!(f, "{input}.{}()", op.method_name()),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xs() -> QueryExpr {
+        QueryExpr::Source(SourceRef::Named("xs".into()))
+    }
+
+    #[test]
+    fn display_matches_figure_3() {
+        let q = QueryExpr::Select {
+            input: Box::new(QueryExpr::Where {
+                input: Box::new(xs()),
+                p: QFn::expr("x", (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0))),
+            }),
+            f: QFn::expr("x", Expr::var("x") * Expr::var("x")),
+        };
+        assert_eq!(
+            q.to_string(),
+            "xs.Where(|x| ((x % 2) == 0)).Select(|x| (x * x))"
+        );
+    }
+
+    #[test]
+    fn chain_navigation() {
+        let q = QueryExpr::Agg {
+            input: Box::new(QueryExpr::Select {
+                input: Box::new(xs()),
+                f: QFn::expr("x", Expr::var("x")),
+            }),
+            op: AggOp::Sum,
+            f: None,
+        };
+        assert!(q.is_scalar());
+        assert_eq!(q.chain_len(), 2);
+        assert_eq!(q.source(), &SourceRef::Named("xs".into()));
+        assert!(!xs().is_scalar());
+    }
+
+    #[test]
+    fn canonicalize_rewrites_shorthand_aggregates() {
+        // xs.Any(p) == xs.Where(p).Any()
+        let p = QFn::expr("x", Expr::var("x").gt(Expr::litf(0.0)));
+        let q = QueryExpr::Agg {
+            input: Box::new(xs()),
+            op: AggOp::Any,
+            f: Some(p.clone()),
+        };
+        let c = q.canonicalize();
+        assert_eq!(c.to_string(), "xs.Where(|x| (x > 0.0)).Any()");
+
+        // xs.Sum(f) == xs.Select(f).Sum()
+        let q = QueryExpr::Agg {
+            input: Box::new(xs()),
+            op: AggOp::Sum,
+            f: Some(QFn::expr("x", Expr::var("x") * Expr::var("x"))),
+        };
+        assert_eq!(q.canonicalize().to_string(), "xs.Select(|x| (x * x)).Sum()");
+    }
+
+    #[test]
+    fn canonicalize_recurses_into_nested_queries() {
+        let nested = QueryExpr::Agg {
+            input: Box::new(QueryExpr::Source(SourceRef::Named("ys".into()))),
+            op: AggOp::Count,
+            f: Some(QFn::expr("y", Expr::var("y").eq(Expr::var("x")))),
+        };
+        let q = QueryExpr::Select {
+            input: Box::new(xs()),
+            f: QFn::query("x", nested),
+        };
+        let c = q.canonicalize();
+        assert_eq!(
+            c.to_string(),
+            "xs.Select(|x| ys.Where(|y| (y == x)).Count())"
+        );
+    }
+
+    #[test]
+    fn source_kinds_display() {
+        assert_eq!(
+            SourceRef::Range { start: 0, count: 5 }.to_string(),
+            "Range(0, 5)"
+        );
+        assert_eq!(
+            SourceRef::Repeat {
+                value: Value::F64(1.0),
+                count: 3
+            }
+            .to_string(),
+            "Repeat(1, 3)"
+        );
+        assert_eq!(
+            SourceRef::Expr(Expr::var("kv").field(1)).to_string(),
+            "kv.1"
+        );
+    }
+}

@@ -1,0 +1,487 @@
+//! A fluent builder mirroring the LINQ extension-method syntax.
+
+use steno_expr::{Expr, Value};
+
+use crate::ast::{AggOp, GroupResult, QFn, QFn2, QueryExpr, SourceRef};
+
+/// A fluent query builder.
+///
+/// Each method appends one operator, mirroring the C# extension-method
+/// chain the paper's Fig. 3 shows. Call [`Query::build`] to obtain the
+/// [`QueryExpr`] AST (already canonicalized).
+///
+/// # Example
+///
+/// ```
+/// use steno_expr::Expr;
+/// use steno_query::Query;
+///
+/// let q = Query::range(0, 100)
+///     .select(Expr::var("x") * Expr::var("x"), "x")
+///     .sum()
+///     .build();
+/// assert_eq!(q.to_string(), "Range(0, 100).Select(|x| (x * x)).Sum()");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Query {
+    expr: QueryExpr,
+}
+
+impl Query {
+    /// Starts a query over a named source collection.
+    pub fn source(name: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::Source(SourceRef::Named(name.into())),
+        }
+    }
+
+    /// Starts a query over `Enumerable.Range(start, count)`.
+    pub fn range(start: i64, count: usize) -> Query {
+        Query {
+            expr: QueryExpr::Source(SourceRef::Range { start, count }),
+        }
+    }
+
+    /// Starts a query over `Enumerable.Repeat(value, count)`.
+    pub fn repeat(value: impl Into<Value>, count: usize) -> Query {
+        Query {
+            expr: QueryExpr::Source(SourceRef::Repeat {
+                value: value.into(),
+                count,
+            }),
+        }
+    }
+
+    /// Starts a query over a sequence-valued expression (used in nested
+    /// queries, e.g. over the group contents `kv.1`).
+    pub fn over(expr: Expr) -> Query {
+        Query {
+            expr: QueryExpr::Source(SourceRef::Expr(expr)),
+        }
+    }
+
+    /// Wraps an existing AST.
+    pub fn from_expr(expr: QueryExpr) -> Query {
+        Query { expr }
+    }
+
+    /// `Select(param => body)`.
+    pub fn select(self, body: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::Select {
+                input: Box::new(self.expr),
+                f: QFn::expr(param, body),
+            },
+        }
+    }
+
+    /// `Select` with a nested query body (e.g. aggregating a subquery per
+    /// element, as k-means does per point).
+    pub fn select_query(self, subquery: Query, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::Select {
+                input: Box::new(self.expr),
+                f: QFn::query(param, subquery.expr),
+            },
+        }
+    }
+
+    /// `Where(param => predicate)`.
+    pub fn where_(self, predicate: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::Where {
+                input: Box::new(self.expr),
+                p: QFn::expr(param, predicate),
+            },
+        }
+    }
+
+    /// `SelectMany(param => subquery)`.
+    pub fn select_many(self, subquery: Query, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::SelectMany {
+                input: Box::new(self.expr),
+                f: QFn::query(param, subquery.expr),
+            },
+        }
+    }
+
+    /// `SelectMany(param => seq_expr)` where the body is a sequence-valued
+    /// expression.
+    pub fn select_many_expr(self, body: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::SelectMany {
+                input: Box::new(self.expr),
+                f: QFn::expr(param, body),
+            },
+        }
+    }
+
+    /// `Take(count)`.
+    pub fn take(self, count: usize) -> Query {
+        Query {
+            expr: QueryExpr::Take {
+                input: Box::new(self.expr),
+                count,
+            },
+        }
+    }
+
+    /// `Skip(count)`.
+    pub fn skip(self, count: usize) -> Query {
+        Query {
+            expr: QueryExpr::Skip {
+                input: Box::new(self.expr),
+                count,
+            },
+        }
+    }
+
+    /// `TakeWhile(param => predicate)`.
+    pub fn take_while(self, predicate: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::TakeWhile {
+                input: Box::new(self.expr),
+                p: QFn::expr(param, predicate),
+            },
+        }
+    }
+
+    /// `SkipWhile(param => predicate)`.
+    pub fn skip_while(self, predicate: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::SkipWhile {
+                input: Box::new(self.expr),
+                p: QFn::expr(param, predicate),
+            },
+        }
+    }
+
+    /// `GroupBy(param => key)`: yields `(key, seq)` pairs.
+    pub fn group_by(self, key: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::GroupBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param, key),
+                elem: None,
+                result: None,
+            },
+        }
+    }
+
+    /// `GroupBy(param => key, param => elem)`.
+    pub fn group_by_elem(
+        self,
+        key: Expr,
+        elem: Expr,
+        param: impl Into<String>,
+    ) -> Query {
+        let param = param.into();
+        Query {
+            expr: QueryExpr::GroupBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param.clone(), key),
+                elem: Some(QFn::expr(param, elem)),
+                result: None,
+            },
+        }
+    }
+
+    /// `GroupBy(key, resultSelector)`: the aggregating overload that Steno
+    /// specializes into a `GroupByAggregate` sink (§4.3).
+    pub fn group_by_result(
+        self,
+        key: Expr,
+        param: impl Into<String>,
+        result: GroupResult,
+    ) -> Query {
+        Query {
+            expr: QueryExpr::GroupBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param, key),
+                elem: None,
+                result: Some(result),
+            },
+        }
+    }
+
+    /// `GroupBy(key, elem, resultSelector)`.
+    pub fn group_by_elem_result(
+        self,
+        key: Expr,
+        elem: Expr,
+        param: impl Into<String>,
+        result: GroupResult,
+    ) -> Query {
+        let param = param.into();
+        Query {
+            expr: QueryExpr::GroupBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param.clone(), key),
+                elem: Some(QFn::expr(param, elem)),
+                result: Some(result),
+            },
+        }
+    }
+
+    /// `OrderBy(param => key)`.
+    pub fn order_by(self, key: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::OrderBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param, key),
+                descending: false,
+            },
+        }
+    }
+
+    /// `OrderByDescending(param => key)`.
+    pub fn order_by_desc(self, key: Expr, param: impl Into<String>) -> Query {
+        Query {
+            expr: QueryExpr::OrderBy {
+                input: Box::new(self.expr),
+                key: QFn::expr(param, key),
+                descending: true,
+            },
+        }
+    }
+
+    /// `Distinct()`.
+    pub fn distinct(self) -> Query {
+        Query {
+            expr: QueryExpr::Distinct {
+                input: Box::new(self.expr),
+            },
+        }
+    }
+
+    /// `ToArray()`: explicit materialization (§4.2, footnote 3).
+    pub fn to_vec(self) -> Query {
+        Query {
+            expr: QueryExpr::ToVec {
+                input: Box::new(self.expr),
+            },
+        }
+    }
+
+    /// `Concat(other)`.
+    pub fn concat(self, other: Query) -> Query {
+        Query {
+            expr: QueryExpr::Concat {
+                input: Box::new(self.expr),
+                other: Box::new(other.expr),
+            },
+        }
+    }
+
+    /// `Join(inner, o => outerKey, i => innerKey, (o, i) => result)`:
+    /// equi-join, canonicalized into the §5 `SelectMany`+`Where` form on
+    /// [`Query::build`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn join(
+        self,
+        inner: Query,
+        outer_param: impl Into<String>,
+        outer_key: Expr,
+        inner_param: impl Into<String>,
+        inner_key: Expr,
+        result: QFn2,
+    ) -> Query {
+        Query {
+            expr: QueryExpr::Join {
+                input: Box::new(self.expr),
+                inner: Box::new(inner.expr),
+                outer_key: QFn::expr(outer_param, outer_key),
+                inner_key: QFn::expr(inner_param, inner_key),
+                result,
+            },
+        }
+    }
+
+    /// `Aggregate(seed, (acc, x) => body)`.
+    pub fn aggregate(
+        self,
+        seed: Expr,
+        acc: impl Into<String>,
+        elem: impl Into<String>,
+        body: Expr,
+    ) -> Query {
+        Query {
+            expr: QueryExpr::Aggregate {
+                input: Box::new(self.expr),
+                seed,
+                func: QFn2::new(acc, elem, body),
+                combine: None,
+            },
+        }
+    }
+
+    /// `Aggregate` with an associative combiner for distributed partial
+    /// aggregation (§6).
+    pub fn aggregate_assoc(
+        self,
+        seed: Expr,
+        acc: impl Into<String>,
+        elem: impl Into<String>,
+        body: Expr,
+        combine: QFn2,
+    ) -> Query {
+        Query {
+            expr: QueryExpr::Aggregate {
+                input: Box::new(self.expr),
+                seed,
+                func: QFn2::new(acc, elem, body),
+                combine: Some(combine),
+            },
+        }
+    }
+
+    fn agg(self, op: AggOp, f: Option<QFn>) -> Query {
+        Query {
+            expr: QueryExpr::Agg {
+                input: Box::new(self.expr),
+                op,
+                f,
+            },
+        }
+    }
+
+    /// `Sum()`.
+    pub fn sum(self) -> Query {
+        self.agg(AggOp::Sum, None)
+    }
+
+    /// `Sum(param => f)` — canonicalized to `Select(f).Sum()`.
+    pub fn sum_by(self, f: Expr, param: impl Into<String>) -> Query {
+        self.agg(AggOp::Sum, Some(QFn::expr(param, f)))
+    }
+
+    /// `Min()`.
+    pub fn min(self) -> Query {
+        self.agg(AggOp::Min, None)
+    }
+
+    /// `Max()`.
+    pub fn max(self) -> Query {
+        self.agg(AggOp::Max, None)
+    }
+
+    /// `Count()`.
+    pub fn count(self) -> Query {
+        self.agg(AggOp::Count, None)
+    }
+
+    /// `Count(param => p)` — canonicalized to `Where(p).Count()`.
+    pub fn count_by(self, p: Expr, param: impl Into<String>) -> Query {
+        self.agg(AggOp::Count, Some(QFn::expr(param, p)))
+    }
+
+    /// `Average()`.
+    pub fn average(self) -> Query {
+        self.agg(AggOp::Average, None)
+    }
+
+    /// `Any()`.
+    pub fn any(self) -> Query {
+        self.agg(AggOp::Any, None)
+    }
+
+    /// `Any(param => p)` — canonicalized to `Where(p).Any()`.
+    pub fn any_by(self, p: Expr, param: impl Into<String>) -> Query {
+        self.agg(AggOp::Any, Some(QFn::expr(param, p)))
+    }
+
+    /// `All(param => p)` — canonicalized to `Select(p).All()`.
+    pub fn all_by(self, p: Expr, param: impl Into<String>) -> Query {
+        self.agg(AggOp::All, Some(QFn::expr(param, p)))
+    }
+
+    /// `FirstOrDefault()`.
+    pub fn first(self) -> Query {
+        self.agg(AggOp::First, None)
+    }
+
+    /// Finishes the builder, returning the canonicalized AST.
+    pub fn build(self) -> QueryExpr {
+        self.expr.canonicalize()
+    }
+
+    /// The AST as currently built, without canonicalization.
+    pub fn as_raw(&self) -> &QueryExpr {
+        &self.expr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_in_order() {
+        let q = Query::source("xs")
+            .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .build();
+        assert_eq!(
+            q.to_string(),
+            "xs.Where(|x| ((x % 2) == 0)).Select(|x| (x * x))"
+        );
+    }
+
+    #[test]
+    fn shorthand_aggregates_canonicalize_on_build() {
+        let q = Query::source("xs")
+            .sum_by(Expr::var("x") * Expr::var("x"), "x")
+            .build();
+        assert_eq!(q.to_string(), "xs.Select(|x| (x * x)).Sum()");
+        let q = Query::source("xs")
+            .any_by(Expr::var("x").gt(Expr::liti(9)), "x")
+            .build();
+        assert_eq!(q.to_string(), "xs.Where(|x| (x > 9)).Any()");
+    }
+
+    #[test]
+    fn nested_cartesian_query() {
+        // xs.SelectMany(x => ys.Select(y => x * y)).Sum() — §5.
+        let q = Query::source("xs")
+            .select_many(
+                Query::source("ys").select(Expr::var("x") * Expr::var("y"), "y"),
+                "x",
+            )
+            .sum()
+            .build();
+        assert_eq!(
+            q.to_string(),
+            "xs.SelectMany(|x| ys.Select(|y| (x * y))).Sum()"
+        );
+    }
+
+    #[test]
+    fn group_and_order() {
+        let q = Query::source("xs")
+            .group_by(Expr::var("x").floor(), "x")
+            .order_by(Expr::var("g").field(0), "g")
+            .build();
+        assert_eq!(
+            q.to_string(),
+            "xs.GroupBy(|x| x.floor()).OrderBy(|g| g.0)"
+        );
+    }
+
+    #[test]
+    fn aggregate_with_combiner_is_marked_associative() {
+        let q = Query::source("xs")
+            .aggregate_assoc(
+                Expr::litf(0.0),
+                "a",
+                "x",
+                Expr::var("a") + Expr::var("x"),
+                QFn2::new("p", "q", Expr::var("p") + Expr::var("q")),
+            )
+            .build();
+        match q {
+            QueryExpr::Aggregate { combine, .. } => assert!(combine.is_some()),
+            other => panic!("unexpected AST: {other}"),
+        }
+    }
+}

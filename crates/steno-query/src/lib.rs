@@ -1,0 +1,37 @@
+//! Query ASTs: the LINQ "query provider" layer.
+//!
+//! Steno begins by reconstructing the query AST at run time via the LINQ
+//! query-provider facility (§3.1 of the paper). This crate is that layer
+//! for the Rust reproduction:
+//!
+//! * [`QueryExpr`] — the method-call representation of a query
+//!   (`xs.Where(...).Select(...).Sum()`), where each operator's function
+//!   argument is either an expression-tree lambda or a *nested query*
+//!   (§5),
+//! * [`Query`] — a fluent builder mirroring the C# extension-method
+//!   syntax,
+//! * [`typing`] — element-type inference along the chain (the information
+//!   the C# compiler would have established before Steno runs),
+//! * canonicalization of operator overloads (§3.1: "yielding a canonical
+//!   operator for each method-call expression").
+//!
+//! # Example
+//!
+//! ```
+//! use steno_expr::Expr;
+//! use steno_query::Query;
+//!
+//! // from x in xs where x % 2 == 0 select x * x
+//! let q = Query::source("xs")
+//!     .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+//!     .select(Expr::var("x") * Expr::var("x"), "x")
+//!     .build();
+//! assert_eq!(q.to_string(), "xs.Where(|x| ((x % 2) == 0)).Select(|x| (x * x))");
+//! ```
+
+pub mod ast;
+pub mod builder;
+pub mod typing;
+
+pub use ast::{AggOp, GroupResult, QBody, QFn, QFn2, QueryExpr, SourceRef};
+pub use builder::Query;

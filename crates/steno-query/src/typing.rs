@@ -1,0 +1,480 @@
+//! Element-type inference along a query chain.
+//!
+//! The paper relies on the C# compiler having already type-checked the
+//! query (§4.1); this module recreates that information for runtime-built
+//! ASTs. Its verdicts drive type-specialized code generation in the Steno
+//! VM and catch malformed queries before optimization.
+
+use std::collections::HashMap;
+
+use steno_expr::typecheck::{infer, TyEnv};
+use steno_expr::{DataContext, Expr, Ty, TypeError, UdfRegistry};
+
+use crate::ast::{AggOp, QBody, QFn, QueryExpr, SourceRef};
+
+/// Element types of the named sources a query may reference.
+#[derive(Clone, Debug, Default)]
+pub struct SourceTypes {
+    types: HashMap<String, Ty>,
+}
+
+impl SourceTypes {
+    /// Creates an empty mapping.
+    pub fn new() -> SourceTypes {
+        SourceTypes::default()
+    }
+
+    /// Declares the element type of source `name`, for chaining.
+    pub fn with(mut self, name: impl Into<String>, ty: Ty) -> SourceTypes {
+        self.types.insert(name.into(), ty);
+        self
+    }
+
+    /// Declares the element type of source `name`.
+    pub fn insert(&mut self, name: impl Into<String>, ty: Ty) {
+        self.types.insert(name.into(), ty);
+    }
+
+    /// Looks up the element type of `name`.
+    pub fn get(&self, name: &str) -> Option<&Ty> {
+        self.types.get(name)
+    }
+}
+
+impl From<&DataContext> for SourceTypes {
+    fn from(ctx: &DataContext) -> SourceTypes {
+        let mut s = SourceTypes::new();
+        for (name, col) in ctx.iter() {
+            s.insert(name, col.elem_ty());
+        }
+        s
+    }
+}
+
+/// The type of a whole query: a sequence of elements, or a scalar when the
+/// query ends in an aggregate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryTy {
+    /// The query yields a sequence with this element type.
+    Seq(Ty),
+    /// The query yields a single value of this type.
+    Scalar(Ty),
+}
+
+impl QueryTy {
+    /// The element type, for sequence-valued queries.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            QueryTy::Seq(t) => Some(t),
+            QueryTy::Scalar(_) => None,
+        }
+    }
+
+    /// Converts to the [`Ty`] of the query result as a value.
+    pub fn to_ty(&self) -> Ty {
+        match self {
+            QueryTy::Seq(t) => Ty::seq(t.clone()),
+            QueryTy::Scalar(t) => t.clone(),
+        }
+    }
+}
+
+fn mismatch(context: &str, expected: &str, found: Ty) -> TypeError {
+    TypeError::Mismatch {
+        context: context.into(),
+        expected: expected.into(),
+        found,
+    }
+}
+
+/// Infers the type of the body of a unary operator function, given the
+/// parameter type. Nested query bodies are typed recursively with the
+/// parameter in scope (§5.2's free outer variable).
+///
+/// # Errors
+///
+/// Propagates [`TypeError`]s from the body.
+pub fn fn_body_ty(
+    f: &QFn,
+    param_ty: &Ty,
+    sources: &SourceTypes,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+) -> Result<QueryTy, TypeError> {
+    let mut inner = env.clone();
+    inner.bind(f.param.clone(), param_ty.clone());
+    match &f.body {
+        QBody::Expr(e) => Ok(QueryTy::Scalar(infer(e, &inner, udfs)?)),
+        QBody::Query(q) => query_ty(q, sources, &inner, udfs),
+    }
+}
+
+/// Infers the overall type of a query.
+///
+/// `env` holds the outer-scope variables visible to the query (non-empty
+/// for nested queries).
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found: unknown sources, ill-typed
+/// operator functions, aggregates over non-numeric elements, and so on.
+pub fn query_ty(
+    q: &QueryExpr,
+    sources: &SourceTypes,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+) -> Result<QueryTy, TypeError> {
+    match q {
+        QueryExpr::Source(s) => match s {
+            SourceRef::Named(name) => sources
+                .get(name)
+                .map(|t| QueryTy::Seq(t.clone()))
+                .ok_or_else(|| TypeError::UnboundVariable(format!("source `{name}`"))),
+            SourceRef::Range { .. } => Ok(QueryTy::Seq(Ty::I64)),
+            SourceRef::Repeat { value, .. } => Ok(QueryTy::Seq(value.ty())),
+            SourceRef::Expr(e) => match infer(e, env, udfs)? {
+                Ty::Seq(t) => Ok(QueryTy::Seq(*t)),
+                // Iterating a point yields its coordinates.
+                Ty::Row => Ok(QueryTy::Seq(Ty::F64)),
+                other => Err(mismatch("query source", "sequence", other)),
+            },
+        },
+        QueryExpr::Select { input, f } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            Ok(QueryTy::Seq(
+                fn_body_ty(f, &elem, sources, env, udfs)?.to_ty(),
+            ))
+        }
+        QueryExpr::Where { input, p } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            let pt = fn_body_ty(p, &elem, sources, env, udfs)?;
+            match pt {
+                QueryTy::Scalar(Ty::Bool) => Ok(QueryTy::Seq(elem)),
+                other => Err(mismatch("Where predicate", "bool", other.to_ty())),
+            }
+        }
+        QueryExpr::SelectMany { input, f } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            match fn_body_ty(f, &elem, sources, env, udfs)? {
+                QueryTy::Seq(u) => Ok(QueryTy::Seq(u)),
+                QueryTy::Scalar(Ty::Seq(u)) => Ok(QueryTy::Seq(*u)),
+                QueryTy::Scalar(Ty::Row) => Ok(QueryTy::Seq(Ty::F64)),
+                other => Err(mismatch("SelectMany selector", "sequence", other.to_ty())),
+            }
+        }
+        QueryExpr::Take { input, .. } | QueryExpr::Skip { input, .. } => {
+            Ok(QueryTy::Seq(elem_ty(input, sources, env, udfs)?))
+        }
+        QueryExpr::TakeWhile { input, p } | QueryExpr::SkipWhile { input, p } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            match fn_body_ty(p, &elem, sources, env, udfs)? {
+                QueryTy::Scalar(Ty::Bool) => Ok(QueryTy::Seq(elem)),
+                other => Err(mismatch("While predicate", "bool", other.to_ty())),
+            }
+        }
+        QueryExpr::GroupBy {
+            input,
+            key,
+            elem,
+            result,
+        } => {
+            let in_elem = elem_ty(input, sources, env, udfs)?;
+            let key_ty = fn_body_ty(key, &in_elem, sources, env, udfs)?.to_ty();
+            let val_ty = match elem {
+                Some(sel) => fn_body_ty(sel, &in_elem, sources, env, udfs)?.to_ty(),
+                None => in_elem,
+            };
+            match result {
+                None => Ok(QueryTy::Seq(Ty::pair(key_ty, Ty::seq(val_ty)))),
+                Some(r) => {
+                    // Type the aggregation query with the group in scope,
+                    // then the result expression with key and aggregate.
+                    let mut genv = env.clone();
+                    genv.bind(r.group_param.clone(), Ty::seq(val_ty));
+                    let agg_ty = match query_ty(&r.agg_query, sources, &genv, udfs)? {
+                        QueryTy::Scalar(t) => t,
+                        QueryTy::Seq(t) => {
+                            return Err(mismatch(
+                                "GroupBy result selector aggregation",
+                                "scalar query",
+                                Ty::seq(t),
+                            ))
+                        }
+                    };
+                    let mut renv = env.clone();
+                    renv.bind(r.key_param.clone(), key_ty);
+                    renv.bind(r.agg_param.clone(), agg_ty);
+                    Ok(QueryTy::Seq(infer(&r.result, &renv, udfs)?))
+                }
+            }
+        }
+        QueryExpr::OrderBy { input, key, .. } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            // Any key type is permitted: values carry a total order.
+            let _ = fn_body_ty(key, &elem, sources, env, udfs)?;
+            Ok(QueryTy::Seq(elem))
+        }
+        QueryExpr::Distinct { input } | QueryExpr::ToVec { input } => {
+            Ok(QueryTy::Seq(elem_ty(input, sources, env, udfs)?))
+        }
+        QueryExpr::Join { .. } => {
+            // Type the canonical §5 rewrite. Joins whose key selectors are
+            // nested queries do not canonicalize and are rejected.
+            let canon = q.clone().canonicalize();
+            if matches!(canon, QueryExpr::Join { .. }) {
+                return Err(TypeError::Mismatch {
+                    context: "Join key selector".into(),
+                    expected: "expression-bodied selector".into(),
+                    found: Ty::Bool,
+                });
+            }
+            query_ty(&canon, sources, env, udfs)
+        }
+        QueryExpr::Concat { input, other } => {
+            let a = elem_ty(input, sources, env, udfs)?;
+            let b = elem_ty(other, sources, env, udfs)?;
+            if a != b {
+                return Err(mismatch("Concat operands", &a.to_string(), b));
+            }
+            Ok(QueryTy::Seq(a))
+        }
+        QueryExpr::Aggregate {
+            input,
+            seed,
+            func,
+            combine,
+        } => {
+            let elem = elem_ty(input, sources, env, udfs)?;
+            let acc_ty = infer(seed, env, udfs)?;
+            let mut inner = env.clone();
+            inner.bind(func.param0.clone(), acc_ty.clone());
+            inner.bind(func.param1.clone(), elem);
+            let body_ty = infer(&func.body, &inner, udfs)?;
+            if body_ty != acc_ty {
+                return Err(mismatch("Aggregate function", &acc_ty.to_string(), body_ty));
+            }
+            if let Some(c) = combine {
+                let mut cenv = env.clone();
+                cenv.bind(c.param0.clone(), acc_ty.clone());
+                cenv.bind(c.param1.clone(), acc_ty.clone());
+                let ct = infer(&c.body, &cenv, udfs)?;
+                if ct != acc_ty {
+                    return Err(mismatch("Aggregate combiner", &acc_ty.to_string(), ct));
+                }
+            }
+            Ok(QueryTy::Scalar(acc_ty))
+        }
+        QueryExpr::Agg { input, op, f } => {
+            debug_assert!(f.is_none(), "shorthand aggregates are canonicalized away");
+            let elem = elem_ty(input, sources, env, udfs)?;
+            match op {
+                AggOp::Sum | AggOp::Min | AggOp::Max => {
+                    if elem.is_numeric() {
+                        Ok(QueryTy::Scalar(elem))
+                    } else {
+                        Err(mismatch(op.method_name(), "numeric element", elem))
+                    }
+                }
+                AggOp::Count => Ok(QueryTy::Scalar(Ty::I64)),
+                AggOp::Average => {
+                    if elem.is_numeric() {
+                        Ok(QueryTy::Scalar(Ty::F64))
+                    } else {
+                        Err(mismatch("Average", "numeric element", elem))
+                    }
+                }
+                AggOp::Any => Ok(QueryTy::Scalar(Ty::Bool)),
+                AggOp::All => {
+                    if elem == Ty::Bool {
+                        Ok(QueryTy::Scalar(Ty::Bool))
+                    } else {
+                        Err(mismatch("All", "bool element", elem))
+                    }
+                }
+                AggOp::First => Ok(QueryTy::Scalar(elem)),
+            }
+        }
+    }
+}
+
+/// Infers the element type of a sequence-valued query.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the query is scalar-valued or ill-typed.
+pub fn elem_ty(
+    q: &QueryExpr,
+    sources: &SourceTypes,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+) -> Result<Ty, TypeError> {
+    match query_ty(q, sources, env, udfs)? {
+        QueryTy::Seq(t) => Ok(t),
+        QueryTy::Scalar(t) => Err(mismatch("operator input", "sequence", t)),
+    }
+}
+
+/// Convenience wrapper: types a query that only references named sources
+/// (no enclosing scope).
+///
+/// # Errors
+///
+/// As [`query_ty`].
+pub fn check(
+    q: &QueryExpr,
+    sources: &SourceTypes,
+    udfs: &UdfRegistry,
+) -> Result<QueryTy, TypeError> {
+    query_ty(q, sources, &TyEnv::new(), udfs)
+}
+
+/// Types a query against the sources of a [`DataContext`].
+///
+/// # Errors
+///
+/// As [`query_ty`].
+pub fn check_with_context(
+    q: &QueryExpr,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+) -> Result<QueryTy, TypeError> {
+    check(q, &SourceTypes::from(ctx), udfs)
+}
+
+/// Helper used by lowering: the type of an expression in an environment.
+///
+/// # Errors
+///
+/// As [`steno_expr::typecheck::infer`].
+pub fn expr_ty(e: &Expr, env: &TyEnv, udfs: &UdfRegistry) -> Result<Ty, TypeError> {
+    infer(e, env, udfs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Query;
+    use steno_expr::Expr;
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new()
+            .with("xs", Ty::F64)
+            .with("ns", Ty::I64)
+            .with("points", Ty::Row)
+    }
+
+    #[test]
+    fn sum_of_squares_types() {
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Scalar(Ty::F64))
+        );
+    }
+
+    #[test]
+    fn filter_preserves_element_type() {
+        let q = Query::source("ns")
+            .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Seq(Ty::I64))
+        );
+    }
+
+    #[test]
+    fn group_by_yields_key_group_pairs() {
+        let q = Query::source("xs")
+            .group_by(Expr::var("x").floor(), "x")
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Seq(Ty::pair(Ty::F64, Ty::seq(Ty::F64))))
+        );
+    }
+
+    #[test]
+    fn nested_query_sees_outer_variable() {
+        // xs.SelectMany(x => ns.Select(n => x * (n as f64)))
+        let q = Query::source("xs")
+            .select_many(
+                Query::source("ns")
+                    .select(Expr::var("x") * Expr::var("n").cast(Ty::F64), "n"),
+                "x",
+            )
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Seq(Ty::F64))
+        );
+    }
+
+    #[test]
+    fn nested_aggregate_in_select() {
+        // points.Select(p => xs.Sum()) : seq<f64>
+        let q = Query::source("points")
+            .select_query(Query::source("xs").sum(), "p")
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Seq(Ty::F64))
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        // Sum over rows is ill-typed.
+        let q = Query::source("points").sum().build();
+        assert!(check(&q, &srcs(), &UdfRegistry::new()).is_err());
+        // Unknown source.
+        let q = Query::source("zzz").count().build();
+        assert!(check(&q, &srcs(), &UdfRegistry::new()).is_err());
+        // Where predicate must be boolean.
+        let q = Query::source("xs")
+            .where_(Expr::var("x") + Expr::litf(1.0), "x")
+            .build();
+        assert!(check(&q, &srcs(), &UdfRegistry::new()).is_err());
+        // Aggregate body must match the seed type.
+        let q = Query::source("xs")
+            .aggregate(Expr::liti(0), "a", "x", Expr::var("x"), )
+            .build();
+        assert!(check(&q, &srcs(), &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn source_expr_over_group_contents() {
+        // A nested query over `kv.1` where kv : (f64, seq<f64>).
+        let env = TyEnv::new().with("kv", Ty::pair(Ty::F64, Ty::seq(Ty::F64)));
+        let q = Query::over(Expr::var("kv").field(1)).count().build();
+        assert_eq!(
+            query_ty(&q, &srcs(), &env, &UdfRegistry::new()),
+            Ok(QueryTy::Scalar(Ty::I64))
+        );
+    }
+
+    #[test]
+    fn all_requires_bool_elements() {
+        let q = Query::source("xs")
+            .all_by(Expr::var("x").ge(Expr::litf(0.0)), "x")
+            .build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Scalar(Ty::Bool))
+        );
+    }
+
+    #[test]
+    fn concat_requires_matching_elements() {
+        let q = Query::source("xs").concat(Query::source("ns")).build();
+        assert!(check(&q, &srcs(), &UdfRegistry::new()).is_err());
+        let q = Query::source("xs").concat(Query::source("xs")).build();
+        assert_eq!(
+            check(&q, &srcs(), &UdfRegistry::new()),
+            Ok(QueryTy::Seq(Ty::F64))
+        );
+    }
+}

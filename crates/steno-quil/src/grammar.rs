@@ -1,0 +1,333 @@
+//! The QUIL grammar recognizers.
+//!
+//! Ignoring nesting, QUIL is the regular language
+//! `Src (Trans | Pred | Sink)* Agg? Ret`, recognized by the five-state
+//! finite state machine of Fig. 4. With nested queries the language is
+//! context-free, and the recognizer becomes a deterministic pushdown
+//! automaton (§5.1) whose stack frames mirror the code generator's
+//! insertion-pointer stack.
+
+/// A flat QUIL symbol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuilSym {
+    /// Source collection.
+    Src,
+    /// Element-wise transformation.
+    Trans,
+    /// Element-wise predicate.
+    Pred,
+    /// Sink into an intermediate collection.
+    Sink,
+    /// Scalar aggregation.
+    Agg,
+    /// End of query.
+    Ret,
+}
+
+/// A token of the *nested* QUIL language: a symbol, or a bracket around a
+/// nested query substituting for a `Trans`/`Pred`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tok {
+    /// A flat symbol.
+    Sym(QuilSym),
+    /// Start of a nested query.
+    Open,
+    /// End of a nested query.
+    Close,
+}
+
+/// The states of the Fig. 4 FSM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FsmState {
+    /// Before `Src`.
+    Start,
+    /// Streaming elements (after `Src`, `Trans` or `Pred`).
+    Iterating,
+    /// After a `Sink`: subsequent operators consume the sink collection.
+    Sinking,
+    /// After the `Agg`.
+    Aggregating,
+    /// Terminal state after `Ret`.
+    Returning,
+}
+
+/// An error from the recognizers: the offending position and a
+/// description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GrammarError {
+    /// Index of the offending token.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for GrammarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid QUIL at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for GrammarError {}
+
+/// The finite state machine of Fig. 4, for flat (non-nested) QUIL.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Fsm;
+
+impl Fsm {
+    /// One transition of the Fig. 4 state machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated rule for an invalid
+    /// `(state, symbol)` pair.
+    pub fn step(state: FsmState, sym: QuilSym) -> Result<FsmState, String> {
+        use FsmState::*;
+        use QuilSym::*;
+        match (state, sym) {
+            // The initial Src enters the streaming state.
+            (Start, Src) => Ok(Iterating),
+            // Element-wise operators keep streaming; after a Sink they
+            // consume the sink collection, which is again a stream.
+            (Iterating, Trans) | (Iterating, Pred) => Ok(Iterating),
+            (Sinking, Trans) | (Sinking, Pred) => Ok(Iterating),
+            // Sinks may follow any collection-valued state.
+            (Iterating, Sink) | (Sinking, Sink) => Ok(Sinking),
+            // Agg consumes a stream or a sink collection, and must be
+            // penultimate: only Ret may follow.
+            (Iterating, Agg) | (Sinking, Agg) => Ok(Aggregating),
+            // Ret may appear after any other symbol.
+            (Iterating, Ret) | (Sinking, Ret) | (Aggregating, Ret) => Ok(Returning),
+            (Start, s) => Err(format!("query must begin with Src, found {s:?}")),
+            (Aggregating, s) => Err(format!("only Ret may follow Agg, found {s:?}")),
+            (Returning, s) => Err(format!("no symbol may follow Ret, found {s:?}")),
+            (_, Src) => Err("Src may only appear at the start of a query".into()),
+        }
+    }
+
+    /// Recognizes a flat sentence: returns the final state, which must be
+    /// [`FsmState::Returning`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first grammar violation.
+    pub fn recognize(sentence: &[QuilSym]) -> Result<(), GrammarError> {
+        let mut state = FsmState::Start;
+        for (position, sym) in sentence.iter().enumerate() {
+            state = Fsm::step(state, *sym).map_err(|message| GrammarError { position, message })?;
+        }
+        if state == FsmState::Returning {
+            Ok(())
+        } else {
+            Err(GrammarError {
+                position: sentence.len(),
+                message: format!("query ended in state {state:?}, expected Returning"),
+            })
+        }
+    }
+
+    /// `true` when the flat sentence is a valid QUIL query.
+    pub fn accepts(sentence: &[QuilSym]) -> bool {
+        Fsm::recognize(sentence).is_ok()
+    }
+}
+
+/// The deterministic pushdown recognizer for nested QUIL (§5.1).
+///
+/// A nested query (`Open … Close`) may substitute for a `Trans` or `Pred`
+/// symbol: the automaton pushes its state, recognizes the bracketed query
+/// with a fresh FSM, and on `Close` resumes the outer query as if a
+/// `Trans` had been read.
+#[derive(Clone, Debug, Default)]
+pub struct Pda;
+
+impl Pda {
+    /// Recognizes a token sentence with nested queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first grammar violation, including unbalanced brackets.
+    pub fn recognize(tokens: &[Tok]) -> Result<(), GrammarError> {
+        let mut stack: Vec<FsmState> = Vec::new();
+        let mut state = FsmState::Start;
+        for (position, tok) in tokens.iter().enumerate() {
+            match tok {
+                Tok::Sym(sym) => {
+                    state = Fsm::step(state, *sym)
+                        .map_err(|message| GrammarError { position, message })?;
+                }
+                Tok::Open => {
+                    // A nested query substitutes for Trans/Pred, which is
+                    // only valid where such a symbol would be.
+                    if !matches!(state, FsmState::Iterating | FsmState::Sinking) {
+                        return Err(GrammarError {
+                            position,
+                            message: format!(
+                                "nested query may not begin in state {state:?}"
+                            ),
+                        });
+                    }
+                    stack.push(state);
+                    state = FsmState::Start;
+                }
+                Tok::Close => {
+                    if state != FsmState::Returning {
+                        return Err(GrammarError {
+                            position,
+                            message: format!(
+                                "nested query ended in state {state:?}, expected Returning"
+                            ),
+                        });
+                    }
+                    let outer = stack.pop().ok_or_else(|| GrammarError {
+                        position,
+                        message: "unbalanced Close".into(),
+                    })?;
+                    // Resume the outer query as if a Trans had been read.
+                    state = Fsm::step(outer, QuilSym::Trans)
+                        .map_err(|message| GrammarError { position, message })?;
+                }
+            }
+        }
+        if !stack.is_empty() {
+            return Err(GrammarError {
+                position: tokens.len(),
+                message: "unbalanced Open".into(),
+            });
+        }
+        if state == FsmState::Returning {
+            Ok(())
+        } else {
+            Err(GrammarError {
+                position: tokens.len(),
+                message: format!("query ended in state {state:?}, expected Returning"),
+            })
+        }
+    }
+
+    /// `true` when the token sentence is a valid nested QUIL query.
+    pub fn accepts(tokens: &[Tok]) -> bool {
+        Pda::recognize(tokens).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use QuilSym::*;
+
+    #[test]
+    fn accepts_grammar_examples() {
+        // The minimal query: Src Ret.
+        assert!(Fsm::accepts(&[Src, Ret]));
+        // Src Trans Agg Ret — Fig. 12's sequential query.
+        assert!(Fsm::accepts(&[Src, Trans, Agg, Ret]));
+        // GroupBy ... Where (the GROUP BY ... HAVING pattern, §4.2).
+        assert!(Fsm::accepts(&[Src, Trans, Sink, Pred, Ret]));
+        // Multiple sinks.
+        assert!(Fsm::accepts(&[Src, Sink, Sink, Agg, Ret]));
+        // Unbounded element-wise chains in arbitrary order.
+        assert!(Fsm::accepts(&[Src, Pred, Trans, Pred, Trans, Ret]));
+    }
+
+    #[test]
+    fn rejects_malformed_sentences() {
+        // Must begin with Src.
+        assert!(!Fsm::accepts(&[Trans, Ret]));
+        // Must end with Ret.
+        assert!(!Fsm::accepts(&[Src, Trans]));
+        // Agg must be penultimate.
+        assert!(!Fsm::accepts(&[Src, Agg, Trans, Ret]));
+        assert!(!Fsm::accepts(&[Src, Agg, Agg, Ret]));
+        // Nothing after Ret.
+        assert!(!Fsm::accepts(&[Src, Ret, Ret]));
+        // Src only at the start.
+        assert!(!Fsm::accepts(&[Src, Src, Ret]));
+        // Empty sentence.
+        assert!(!Fsm::accepts(&[]));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = Fsm::recognize(&[Src, Agg, Trans, Ret]).unwrap_err();
+        assert_eq!(err.position, 2);
+        assert!(err.message.contains("only Ret may follow Agg"));
+        let err = Fsm::recognize(&[Src, Trans]).unwrap_err();
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn pda_accepts_nested_queries() {
+        // xs.SelectMany(x => ys.Select(...)) . Sum:
+        // Src ( Src Trans Ret ) Agg Ret
+        let toks = vec![
+            Tok::Sym(Src),
+            Tok::Open,
+            Tok::Sym(Src),
+            Tok::Sym(Trans),
+            Tok::Sym(Ret),
+            Tok::Close,
+            Tok::Sym(Agg),
+            Tok::Sym(Ret),
+        ];
+        assert!(Pda::accepts(&toks));
+        // Two levels of nesting (the triple Cartesian product of §5).
+        let toks = vec![
+            Tok::Sym(Src),
+            Tok::Open,
+            Tok::Sym(Src),
+            Tok::Open,
+            Tok::Sym(Src),
+            Tok::Sym(Trans),
+            Tok::Sym(Ret),
+            Tok::Close,
+            Tok::Sym(Ret),
+            Tok::Close,
+            Tok::Sym(Agg),
+            Tok::Sym(Ret),
+        ];
+        assert!(Pda::accepts(&toks));
+    }
+
+    #[test]
+    fn pda_rejects_unbalanced_and_misplaced_brackets() {
+        // Nested query cannot start a query (no Src yet).
+        assert!(!Pda::accepts(&[Tok::Open, Tok::Sym(Src), Tok::Sym(Ret), Tok::Close]));
+        // Unbalanced Open.
+        assert!(!Pda::accepts(&[Tok::Sym(Src), Tok::Open, Tok::Sym(Src), Tok::Sym(Ret)]));
+        // Unbalanced Close.
+        assert!(!Pda::accepts(&[Tok::Sym(Src), Tok::Close, Tok::Sym(Ret)]));
+        // Inner query must be complete.
+        assert!(!Pda::accepts(&[
+            Tok::Sym(Src),
+            Tok::Open,
+            Tok::Sym(Src),
+            Tok::Close,
+            Tok::Sym(Ret)
+        ]));
+        // A nested query after Agg is invalid.
+        assert!(!Pda::accepts(&[
+            Tok::Sym(Src),
+            Tok::Sym(Agg),
+            Tok::Open,
+            Tok::Sym(Src),
+            Tok::Sym(Ret),
+            Tok::Close,
+            Tok::Sym(Ret)
+        ]));
+    }
+
+    #[test]
+    fn flat_sentences_agree_between_fsm_and_pda() {
+        let cases: Vec<Vec<QuilSym>> = vec![
+            vec![Src, Ret],
+            vec![Src, Trans, Ret],
+            vec![Src, Agg, Ret],
+            vec![Trans, Ret],
+            vec![Src, Agg, Trans, Ret],
+        ];
+        for s in cases {
+            let toks: Vec<Tok> = s.iter().map(|x| Tok::Sym(*x)).collect();
+            assert_eq!(Fsm::accepts(&s), Pda::accepts(&toks), "{s:?}");
+        }
+    }
+}

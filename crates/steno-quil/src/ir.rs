@@ -1,0 +1,568 @@
+//! The typed QUIL chain representation.
+//!
+//! A [`QuilChain`] is the canonical operator chain Steno builds by
+//! post-order traversal of the query AST (§3.1). Its structure mirrors the
+//! grammar `(query) ::= Src (Trans | Pred | Sink | (query))* Agg? Ret`:
+//! the `Agg? Ret` suffix is represented structurally by the optional
+//! [`QuilChain::agg`] field, which makes "Agg may only appear as the
+//! penultimate symbol" true by construction.
+//!
+//! Every operator is annotated with its input and output element types —
+//! the information the C# compiler's type checking would have provided —
+//! so back ends can generate type-specialized code (§4.2).
+
+use std::fmt;
+
+use steno_expr::{Expr, Ty, Value};
+
+use crate::grammar::{QuilSym, Tok};
+
+/// The `Src` symbol: an enumerable source, "annotated with the collection's
+/// run-time type" (§4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SrcDesc {
+    /// A named collection with the given element type.
+    Collection {
+        /// Source name in the data context.
+        name: String,
+        /// Element type.
+        elem_ty: Ty,
+    },
+    /// `Range(start, count)`, elements of type `i64`.
+    Range {
+        /// First integer.
+        start: i64,
+        /// Number of integers.
+        count: usize,
+    },
+    /// `Repeat(value, count)`.
+    Repeat {
+        /// The repeated value.
+        value: Value,
+        /// Number of copies.
+        count: usize,
+    },
+    /// A source computed from an expression over in-scope variables
+    /// (nested queries iterating a group or an outer element).
+    Expr {
+        /// The sequence-valued expression.
+        expr: Expr,
+        /// Element type of the sequence.
+        elem_ty: Ty,
+    },
+}
+
+impl SrcDesc {
+    /// The element type this source yields.
+    pub fn elem_ty(&self) -> Ty {
+        match self {
+            SrcDesc::Collection { elem_ty, .. } | SrcDesc::Expr { elem_ty, .. } => elem_ty.clone(),
+            SrcDesc::Range { .. } => Ty::I64,
+            SrcDesc::Repeat { value, .. } => value.ty(),
+        }
+    }
+}
+
+/// A nested chain substituting for a transformation function (§5).
+///
+/// If the nested chain is aggregate-terminated the transform produces one
+/// scalar per outer element (a nested `Select`); otherwise its yielded
+/// elements are spliced into the outer stream (a `SelectMany`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct NestedTrans {
+    /// The nested query chain; the outer element variable appears free in
+    /// it.
+    pub chain: Box<QuilChain>,
+    /// Optional wrapper applied to the nested result before it becomes the
+    /// next element: `(param, expr)`. Used when a result selector combines
+    /// the aggregate with other in-scope values (e.g. the group key).
+    pub wrap: Option<(String, Expr)>,
+}
+
+/// The payload of a `Trans` symbol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransKind {
+    /// An inlined expression body (`Select(x => f(x))`, Fig. 6a).
+    Expr(Expr),
+    /// A nested query (§5).
+    Nested(NestedTrans),
+}
+
+/// The payload of a `Pred` symbol. `Where` carries an expression or nested
+/// boolean query; `Take`/`Skip` and the `While` forms are the stateful
+/// predicates Table 1 also assigns to this class.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredKind {
+    /// `Where(x => p(x))` (Fig. 6b).
+    Expr(Expr),
+    /// `Where` with a nested boolean query.
+    Nested(Box<QuilChain>),
+    /// `Take(n)`.
+    Take(usize),
+    /// `Skip(n)`.
+    Skip(usize),
+    /// `TakeWhile(p)`.
+    TakeWhile(Expr),
+    /// `SkipWhile(p)`.
+    SkipWhile(Expr),
+}
+
+/// Which aggregate a canonical [`AggDesc`] came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    /// `Sum`.
+    Sum,
+    /// `Min`.
+    Min,
+    /// `Max`.
+    Max,
+    /// `Count`.
+    Count,
+    /// `Average`.
+    Average,
+    /// `Any`.
+    Any,
+    /// `All`.
+    All,
+    /// `FirstOrDefault`.
+    First,
+    /// User `Aggregate(seed, func)`.
+    Fold,
+}
+
+/// A canonicalized aggregate: declaration, per-element update, optional
+/// finishing projection, and an optional associative combiner.
+///
+/// The shape matches Fig. 7(a): the `init` expression is emitted at the α
+/// insertion point, the `update` expression at μ, and the optional
+/// `finish` at ω. `combine` merges two partial accumulators and exists for
+/// every built-in aggregate; its presence is what permits the `Agg_i` /
+/// `Agg*` decomposition of §6.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggDesc {
+    /// Which operator this fold implements.
+    pub kind: AggKind,
+    /// Accumulator type.
+    pub acc_ty: Ty,
+    /// Result type after `finish`.
+    pub out_ty: Ty,
+    /// Element type consumed.
+    pub elem_ty: Ty,
+    /// Seed expression (evaluated once, before the loop).
+    pub init: Expr,
+    /// Name binding the accumulator in `update`/`finish`/`combine`.
+    pub acc_param: String,
+    /// Name binding the element in `update`.
+    pub elem_param: String,
+    /// Name binding the right-hand accumulator in `combine`.
+    pub rhs_param: String,
+    /// Per-element update: `acc' = update(acc, elem)`.
+    pub update: Expr,
+    /// Optional final projection `out = finish(acc)`.
+    pub finish: Option<Expr>,
+    /// Optional associative combiner `acc' = combine(acc, rhs)`.
+    pub combine: Option<Expr>,
+}
+
+impl AggDesc {
+    /// `true` if the aggregate can be decomposed into per-partition
+    /// partials plus a combining step (§6).
+    pub fn is_associative(&self) -> bool {
+        self.combine.is_some()
+    }
+}
+
+/// The payload of a `Sink` symbol: operators that build an intermediate
+/// collection (§4.1).
+// IR nodes are built once per query, not per element; variant size
+// imbalance is irrelevant here.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum SinkKind {
+    /// `GroupBy`: builds a key → bag multimap; yields `(key, seq)` pairs.
+    GroupBy {
+        /// Key selector over `param`.
+        key: Expr,
+        /// Optional element selector over `param`.
+        elem: Option<Expr>,
+        /// Key type.
+        key_ty: Ty,
+        /// Grouped-value type.
+        val_ty: Ty,
+    },
+    /// The specialized `GroupByAggregate` (§4.3): stores per-key partial
+    /// aggregates instead of bags.
+    GroupByAggregate {
+        /// Key selector over `param`.
+        key: Expr,
+        /// Optional element selector over `param`, applied before `agg`.
+        elem: Option<Expr>,
+        /// The per-group aggregate.
+        agg: AggDesc,
+        /// Result selector: binds `(key_param, agg_param)` in `result`.
+        key_param: String,
+        /// Name binding the aggregate in `result`.
+        agg_param: String,
+        /// The per-group result expression.
+        result: Expr,
+        /// Key type.
+        key_ty: Ty,
+    },
+    /// `OrderBy`: buffers and sorts by key.
+    OrderBy {
+        /// Sort-key selector over `param`.
+        key: Expr,
+        /// Sort direction.
+        descending: bool,
+    },
+    /// `Distinct`: buffers unique elements in first-appearance order.
+    Distinct,
+    /// `ToArray`: explicit materialization (§4.2, footnote 3).
+    ToVec,
+}
+
+/// A `Sink` operator with its element binding and types.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SinkOp {
+    /// Name binding the incoming element in the selectors.
+    pub param: String,
+    /// The sink variant.
+    pub kind: SinkKind,
+    /// Incoming element type.
+    pub in_ty: Ty,
+    /// Element type of the sink collection.
+    pub out_ty: Ty,
+}
+
+/// One operator in a QUIL chain.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuilOp {
+    /// Element-wise transformation.
+    Trans {
+        /// Name binding the incoming element.
+        param: String,
+        /// The transformation.
+        kind: TransKind,
+        /// Incoming element type.
+        in_ty: Ty,
+        /// Outgoing element type.
+        out_ty: Ty,
+    },
+    /// Element-wise predicate (possibly stateful).
+    Pred {
+        /// Name binding the incoming element.
+        param: String,
+        /// The predicate.
+        kind: PredKind,
+        /// Element type (unchanged by predicates).
+        elem_ty: Ty,
+    },
+    /// Sink into an intermediate collection.
+    Sink(SinkOp),
+}
+
+impl QuilOp {
+    /// The flat QUIL symbol of this operator.
+    pub fn symbol(&self) -> QuilSym {
+        match self {
+            QuilOp::Trans { .. } => QuilSym::Trans,
+            QuilOp::Pred { .. } => QuilSym::Pred,
+            QuilOp::Sink(_) => QuilSym::Sink,
+        }
+    }
+
+    /// The element type produced by this operator.
+    pub fn out_ty(&self) -> Ty {
+        match self {
+            QuilOp::Trans { out_ty, .. } => out_ty.clone(),
+            QuilOp::Pred { elem_ty, .. } => elem_ty.clone(),
+            QuilOp::Sink(s) => s.out_ty.clone(),
+        }
+    }
+
+    /// `true` if the operator applies to each element independently, so a
+    /// partitioned input may be processed in parallel (§6). `Take`/`Skip`
+    /// and the `While` predicates consult global positions and are not
+    /// homomorphic; sinks coordinate across the whole collection.
+    pub fn is_homomorphic(&self) -> bool {
+        match self {
+            QuilOp::Trans { .. } => true,
+            QuilOp::Pred { kind, .. } => matches!(kind, PredKind::Expr(_) | PredKind::Nested(_)),
+            QuilOp::Sink(_) => false,
+        }
+    }
+}
+
+/// A complete QUIL chain: `Src (Trans|Pred|Sink|nested)* Agg? Ret`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuilChain {
+    /// The source.
+    pub src: SrcDesc,
+    /// The operator sequence.
+    pub ops: Vec<QuilOp>,
+    /// The optional penultimate aggregate.
+    pub agg: Option<AggDesc>,
+}
+
+impl QuilChain {
+    /// The element type flowing *out of* the last operator (before any
+    /// aggregate).
+    pub fn elem_ty(&self) -> Ty {
+        self.ops
+            .last()
+            .map(QuilOp::out_ty)
+            .unwrap_or_else(|| self.src.elem_ty())
+    }
+
+    /// The type of the whole chain's result: the aggregate output type, or
+    /// `seq<elem>`.
+    pub fn result_ty(&self) -> Ty {
+        match &self.agg {
+            Some(a) => a.out_ty.clone(),
+            None => Ty::seq(self.elem_ty()),
+        }
+    }
+
+    /// `true` if the chain ends in an aggregate.
+    pub fn is_scalar(&self) -> bool {
+        self.agg.is_some()
+    }
+
+    /// The flat symbol sentence of this chain (nested queries appear as a
+    /// single `Trans`/`Pred`), ending in `Ret` — the input alphabet of the
+    /// Fig. 4 FSM.
+    pub fn symbols(&self) -> Vec<QuilSym> {
+        let mut out = vec![QuilSym::Src];
+        out.extend(self.ops.iter().map(QuilOp::symbol));
+        if self.agg.is_some() {
+            out.push(QuilSym::Agg);
+        }
+        out.push(QuilSym::Ret);
+        out
+    }
+
+    /// The deep token sentence, with nested chains expanded between
+    /// [`Tok::Open`]/[`Tok::Close`] markers — the input of the pushdown
+    /// recognizer (§5.1).
+    pub fn tokens(&self) -> Vec<Tok> {
+        let mut out = vec![Tok::Sym(QuilSym::Src)];
+        for op in &self.ops {
+            match op {
+                QuilOp::Trans {
+                    kind: TransKind::Nested(n),
+                    ..
+                } => {
+                    out.push(Tok::Open);
+                    out.extend(n.chain.tokens());
+                    out.push(Tok::Close);
+                }
+                QuilOp::Pred {
+                    kind: PredKind::Nested(chain),
+                    ..
+                } => {
+                    out.push(Tok::Open);
+                    out.extend(chain.tokens());
+                    out.push(Tok::Close);
+                }
+                other => out.push(Tok::Sym(other.symbol())),
+            }
+        }
+        if self.agg.is_some() {
+            out.push(Tok::Sym(QuilSym::Agg));
+        }
+        out.push(Tok::Sym(QuilSym::Ret));
+        out
+    }
+
+    /// The maximum nesting depth (1 for a flat chain).
+    pub fn depth(&self) -> usize {
+        let mut max_inner = 0;
+        for op in &self.ops {
+            let d = match op {
+                QuilOp::Trans {
+                    kind: TransKind::Nested(n),
+                    ..
+                } => n.chain.depth(),
+                QuilOp::Pred {
+                    kind: PredKind::Nested(c),
+                    ..
+                } => c.depth(),
+                _ => 0,
+            };
+            max_inner = max_inner.max(d);
+        }
+        1 + max_inner
+    }
+}
+
+impl fmt::Display for QuilChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Src")?;
+        for op in &self.ops {
+            match op {
+                QuilOp::Trans {
+                    kind: TransKind::Nested(_),
+                    ..
+                } => write!(f, " (nested)")?,
+                QuilOp::Pred {
+                    kind: PredKind::Nested(_),
+                    ..
+                } => write!(f, " (nested-pred)")?,
+                QuilOp::Trans { .. } => write!(f, " Trans")?,
+                QuilOp::Pred { .. } => write!(f, " Pred")?,
+                QuilOp::Sink(s) => {
+                    let name = match &s.kind {
+                        SinkKind::GroupBy { .. } => "Sink[GroupBy]",
+                        SinkKind::GroupByAggregate { .. } => "Sink[GroupByAggregate]",
+                        SinkKind::OrderBy { .. } => "Sink[OrderBy]",
+                        SinkKind::Distinct => "Sink[Distinct]",
+                        SinkKind::ToVec => "Sink[ToVec]",
+                    };
+                    write!(f, " {name}")?;
+                }
+            }
+        }
+        if let Some(a) = &self.agg {
+            write!(f, " Agg[{:?}]", a.kind)?;
+        }
+        write!(f, " Ret")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Expr;
+
+    fn f64_src() -> SrcDesc {
+        SrcDesc::Collection {
+            name: "xs".into(),
+            elem_ty: Ty::F64,
+        }
+    }
+
+    fn sum_desc() -> AggDesc {
+        AggDesc {
+            kind: AggKind::Sum,
+            acc_ty: Ty::F64,
+            out_ty: Ty::F64,
+            elem_ty: Ty::F64,
+            init: Expr::litf(0.0),
+            acc_param: "acc".into(),
+            elem_param: "x".into(),
+            rhs_param: "rhs".into(),
+            update: Expr::var("acc") + Expr::var("x"),
+            finish: None,
+            combine: Some(Expr::var("acc") + Expr::var("rhs")),
+        }
+    }
+
+    fn trans_sq() -> QuilOp {
+        QuilOp::Trans {
+            param: "x".into(),
+            kind: TransKind::Expr(Expr::var("x") * Expr::var("x")),
+            in_ty: Ty::F64,
+            out_ty: Ty::F64,
+        }
+    }
+
+    #[test]
+    fn symbols_of_flat_chain() {
+        let chain = QuilChain {
+            src: f64_src(),
+            ops: vec![trans_sq()],
+            agg: Some(sum_desc()),
+        };
+        assert_eq!(
+            chain.symbols(),
+            vec![QuilSym::Src, QuilSym::Trans, QuilSym::Agg, QuilSym::Ret]
+        );
+        assert!(chain.is_scalar());
+        assert_eq!(chain.result_ty(), Ty::F64);
+        assert_eq!(chain.depth(), 1);
+        assert_eq!(chain.to_string(), "Src Trans Agg[Sum] Ret");
+    }
+
+    #[test]
+    fn tokens_of_nested_chain() {
+        let inner = QuilChain {
+            src: f64_src(),
+            ops: vec![],
+            agg: Some(sum_desc()),
+        };
+        let outer = QuilChain {
+            src: f64_src(),
+            ops: vec![QuilOp::Trans {
+                param: "x".into(),
+                kind: TransKind::Nested(NestedTrans {
+                    chain: Box::new(inner),
+                    wrap: None,
+                }),
+                in_ty: Ty::F64,
+                out_ty: Ty::F64,
+            }],
+            agg: None,
+        };
+        assert_eq!(outer.depth(), 2);
+        let toks = outer.tokens();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Sym(QuilSym::Src),
+                Tok::Open,
+                Tok::Sym(QuilSym::Src),
+                Tok::Sym(QuilSym::Agg),
+                Tok::Sym(QuilSym::Ret),
+                Tok::Close,
+                Tok::Sym(QuilSym::Ret),
+            ]
+        );
+        // Flat view shows the nested query as a single Trans.
+        assert_eq!(
+            outer.symbols(),
+            vec![QuilSym::Src, QuilSym::Trans, QuilSym::Ret]
+        );
+    }
+
+    #[test]
+    fn homomorphism_classification() {
+        assert!(trans_sq().is_homomorphic());
+        let wher = QuilOp::Pred {
+            param: "x".into(),
+            kind: PredKind::Expr(Expr::var("x").gt(Expr::litf(0.0))),
+            elem_ty: Ty::F64,
+        };
+        assert!(wher.is_homomorphic());
+        let take = QuilOp::Pred {
+            param: "x".into(),
+            kind: PredKind::Take(5),
+            elem_ty: Ty::F64,
+        };
+        assert!(!take.is_homomorphic());
+        let sink = QuilOp::Sink(SinkOp {
+            param: "x".into(),
+            kind: SinkKind::Distinct,
+            in_ty: Ty::F64,
+            out_ty: Ty::F64,
+        });
+        assert!(!sink.is_homomorphic());
+    }
+
+    #[test]
+    fn elem_ty_follows_last_operator() {
+        let chain = QuilChain {
+            src: SrcDesc::Range { start: 0, count: 9 },
+            ops: vec![QuilOp::Trans {
+                param: "i".into(),
+                kind: TransKind::Expr(Expr::var("i").cast(Ty::F64)),
+                in_ty: Ty::I64,
+                out_ty: Ty::F64,
+            }],
+            agg: None,
+        };
+        assert_eq!(chain.src.elem_ty(), Ty::I64);
+        assert_eq!(chain.elem_ty(), Ty::F64);
+        assert_eq!(chain.result_ty(), Ty::seq(Ty::F64));
+    }
+}

@@ -1,0 +1,44 @@
+//! QUIL: the Query Intermediate Language of Steno (§4.1).
+//!
+//! QUIL reduces the many LINQ operators to six fundamental symbols:
+//!
+//! | QUIL symbol | LINQ operators            | Haskell equivalent |
+//! |-------------|---------------------------|--------------------|
+//! | `Src`       | source, `Range`, `Repeat` | list constructor   |
+//! | `Trans`     | `Select`                  | `map`              |
+//! | `Pred`      | `Where`, `Take`, `Skip`…  | `filter`           |
+//! | `Sink`      | `GroupBy`, `OrderBy`…     | `foldl`            |
+//! | `Agg`       | `Aggregate`, `Min`, `Sum`…| `foldl`            |
+//! | (nested)    | `SelectMany`, `Join`      | `concatMap`        |
+//! | `Ret`       | —                         | —                  |
+//!
+//! and constrains their composition with the grammar
+//!
+//! ```text
+//! (query) ::= Src ( Trans | Pred | Sink | (query) )* Agg? Ret
+//! ```
+//!
+//! This crate provides:
+//!
+//! * [`ir`] — the typed QUIL chain representation ([`QuilChain`]),
+//! * [`grammar`] — the finite state machine of Fig. 4 and its pushdown
+//!   extension for nested queries (§5.1),
+//! * [`lower()`] — lowering from [`QueryExpr`](steno_query::QueryExpr) ASTs
+//!   (post-order traversal with overload canonicalization, §3.1),
+//! * [`passes`] — the GroupByAggregate operator specialization (§4.3),
+//! * [`parallel`] — homomorphic-subquery splitting and partial-aggregation
+//!   decomposition for parallel and distributed plans (§6).
+
+pub mod grammar;
+pub mod ir;
+pub mod lower;
+pub mod parallel;
+pub mod passes;
+pub mod substitute;
+
+pub use grammar::{Fsm, FsmState, QuilSym, Tok};
+pub use ir::{
+    AggDesc, AggKind, NestedTrans, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc,
+    TransKind,
+};
+pub use lower::{lower, lower_with, LowerError, LowerOptions};

@@ -1,0 +1,396 @@
+//! Parallel query optimization (§6).
+//!
+//! "To optimize a query that can execute in parallel, Steno traverses the
+//! QUIL representation of the query and identifies the homomorphic
+//! operators. Contiguous subsequences of homomorphic operators are
+//! combined into subqueries, and the subqueries are optimized separately.
+//! ... if an associative Sink or Agg operator follows a subquery, a
+//! partial `Sink_i` or `Agg_i` operator can be appended to the i-th
+//! subquery, which reduces the amount of coordination between
+//! partitions."
+//!
+//! [`plan`] splits a chain into a per-partition *map chain* and a *reduce
+//! stage*; `steno-cluster` executes the plan on partitioned data.
+
+use steno_expr::{Expr, Ty};
+
+use crate::ir::{AggDesc, QuilChain, QuilOp, SinkKind, SinkOp};
+
+/// How partition results are merged (the `Agg*` vertex of Fig. 12).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reduce {
+    /// Concatenate partition outputs in partition order.
+    Concat,
+    /// Each partition produced a partial accumulator; combine them with
+    /// the aggregate's combiner and apply its finish.
+    CombinePartials(AggDesc),
+    /// Each partition produced `(key, partial)` pairs; merge per key with
+    /// the combiner, then apply finish and the result selector.
+    MergeGroupedPartials {
+        /// The per-group aggregate (combiner + finish).
+        agg: AggDesc,
+        /// Name binding the key in `result`.
+        key_param: String,
+        /// Name binding the aggregate in `result`.
+        agg_param: String,
+        /// The per-group result expression.
+        result: Expr,
+    },
+    /// Each partition is sorted; merge the sorted runs.
+    MergeSorted {
+        /// Sort-key parameter name.
+        param: String,
+        /// Sort-key expression.
+        key: Expr,
+        /// Sort direction.
+        descending: bool,
+    },
+    /// The remaining operators are not decomposable: concatenate partition
+    /// outputs and run the rest of the chain serially over them.
+    SerialRest {
+        /// Remaining operators.
+        ops: Vec<QuilOp>,
+        /// Remaining aggregate, if any.
+        agg: Option<AggDesc>,
+    },
+}
+
+/// A parallel execution plan: the same optimized `map_chain` applied to
+/// every partition, plus a reduce stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParallelPlan {
+    /// The per-partition chain (homomorphic prefix, possibly with a
+    /// partial aggregate or partial grouped aggregate appended).
+    pub map_chain: QuilChain,
+    /// How to merge partition results.
+    pub reduce: Reduce,
+}
+
+impl ParallelPlan {
+    /// `true` when the plan moves only partial aggregates between
+    /// partitions (the coordination-reducing case of §6).
+    pub fn uses_partial_aggregation(&self) -> bool {
+        matches!(
+            self.reduce,
+            Reduce::CombinePartials(_) | Reduce::MergeGroupedPartials { .. }
+        )
+    }
+}
+
+/// Strips the finishing projection from an aggregate, leaving the partial
+/// (`Agg_i`) form whose output is the raw accumulator.
+fn partial_of(agg: &AggDesc) -> AggDesc {
+    AggDesc {
+        finish: None,
+        out_ty: agg.acc_ty.clone(),
+        ..agg.clone()
+    }
+}
+
+/// The length of the maximal homomorphic prefix of the operator list.
+pub fn homomorphic_prefix_len(ops: &[QuilOp]) -> usize {
+    ops.iter().take_while(|op| op.is_homomorphic()).count()
+}
+
+/// Builds a parallel plan for a chain (§6, Fig. 12).
+///
+/// The decomposition cases, in order:
+///
+/// 1. every operator homomorphic and the final aggregate associative →
+///    per-partition partial aggregation + `Agg*` combine;
+/// 2. the only non-homomorphic operator is a final `GroupByAggregate`
+///    with an associative fold → per-partition partial grouped
+///    aggregation + per-key merge (distributed GroupBy-Aggregate, §4.3/§6);
+/// 3. the only non-homomorphic operator is a final `OrderBy` →
+///    per-partition sort + sorted merge (the distributed sort of §6);
+/// 4. otherwise → the homomorphic prefix runs in parallel and the
+///    remainder runs serially over the concatenated outputs.
+pub fn plan(chain: &QuilChain) -> ParallelPlan {
+    let split = homomorphic_prefix_len(&chain.ops);
+    let prefix = chain.ops[..split].to_vec();
+    let suffix = &chain.ops[split..];
+
+    // Case 1: fully homomorphic, associative aggregate.
+    if suffix.is_empty() {
+        match &chain.agg {
+            Some(agg) if agg.is_associative() => {
+                return ParallelPlan {
+                    map_chain: QuilChain {
+                        src: chain.src.clone(),
+                        ops: prefix,
+                        agg: Some(partial_of(agg)),
+                    },
+                    reduce: Reduce::CombinePartials(agg.clone()),
+                };
+            }
+            Some(agg) => {
+                return ParallelPlan {
+                    map_chain: QuilChain {
+                        src: chain.src.clone(),
+                        ops: prefix,
+                        agg: None,
+                    },
+                    reduce: Reduce::SerialRest {
+                        ops: Vec::new(),
+                        agg: Some(agg.clone()),
+                    },
+                };
+            }
+            None => {
+                return ParallelPlan {
+                    map_chain: QuilChain {
+                        src: chain.src.clone(),
+                        ops: prefix,
+                        agg: None,
+                    },
+                    reduce: Reduce::Concat,
+                };
+            }
+        }
+    }
+
+    // Case 2: ... GroupByAggregate (associative) at the very end.
+    if suffix.len() == 1 && chain.agg.is_none() {
+        if let QuilOp::Sink(SinkOp {
+            param,
+            kind:
+                SinkKind::GroupByAggregate {
+                    key,
+                    elem,
+                    agg,
+                    key_param,
+                    agg_param,
+                    result,
+                    key_ty,
+                },
+            in_ty,
+            ..
+        }) = &suffix[0]
+        {
+            if agg.is_associative() {
+                // Per-partition: emit (key, partial accumulator) pairs.
+                let mut map_ops = prefix.clone();
+                let partial = partial_of(agg);
+                let pair_ty = Ty::pair(key_ty.clone(), partial.out_ty.clone());
+                map_ops.push(QuilOp::Sink(SinkOp {
+                    param: param.clone(),
+                    kind: SinkKind::GroupByAggregate {
+                        key: key.clone(),
+                        elem: elem.clone(),
+                        agg: partial,
+                        key_param: "__pk".into(),
+                        agg_param: "__pa".into(),
+                        result: Expr::mk_pair(Expr::var("__pk"), Expr::var("__pa")),
+                        key_ty: key_ty.clone(),
+                    },
+                    in_ty: in_ty.clone(),
+                    out_ty: pair_ty,
+                }));
+                return ParallelPlan {
+                    map_chain: QuilChain {
+                        src: chain.src.clone(),
+                        ops: map_ops,
+                        agg: None,
+                    },
+                    reduce: Reduce::MergeGroupedPartials {
+                        agg: agg.clone(),
+                        key_param: key_param.clone(),
+                        agg_param: agg_param.clone(),
+                        result: result.clone(),
+                    },
+                };
+            }
+        }
+        // Case 3: final OrderBy → sort partitions, merge sorted runs.
+        if let QuilOp::Sink(SinkOp {
+            param,
+            kind: SinkKind::OrderBy { key, descending },
+            ..
+        }) = &suffix[0]
+        {
+            let mut map_ops = prefix.clone();
+            map_ops.push(suffix[0].clone());
+            return ParallelPlan {
+                map_chain: QuilChain {
+                    src: chain.src.clone(),
+                    ops: map_ops,
+                    agg: None,
+                },
+                reduce: Reduce::MergeSorted {
+                    param: param.clone(),
+                    key: key.clone(),
+                    descending: *descending,
+                },
+            };
+        }
+    }
+
+    // Case 4: general fallback.
+    ParallelPlan {
+        map_chain: QuilChain {
+            src: chain.src.clone(),
+            ops: prefix,
+            agg: None,
+        },
+        reduce: Reduce::SerialRest {
+            ops: suffix.to_vec(),
+            agg: chain.agg.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use steno_expr::{Ty, UdfRegistry};
+    use steno_query::typing::SourceTypes;
+    use steno_query::{GroupResult, Query};
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new().with("xs", Ty::F64).with("ns", Ty::I64)
+    }
+
+    fn chain_of(q: steno_query::QueryExpr) -> QuilChain {
+        lower(&q, &srcs(), &UdfRegistry::new()).unwrap()
+    }
+
+    #[test]
+    fn select_sum_decomposes_into_partial_sums() {
+        // Fig. 12: Src-Trans-Agg splits into Src_i-Trans-Agg_i plus Agg*.
+        let chain = chain_of(
+            Query::source("xs")
+                .select(Expr::var("x") * Expr::var("x"), "x")
+                .sum()
+                .build(),
+        );
+        let plan = plan(&chain);
+        assert!(plan.uses_partial_aggregation());
+        assert!(plan.map_chain.agg.is_some());
+        match &plan.reduce {
+            Reduce::CombinePartials(agg) => assert!(agg.is_associative()),
+            other => panic!("unexpected reduce {other:?}"),
+        }
+    }
+
+    #[test]
+    fn average_keeps_finish_in_the_combine_stage() {
+        let chain = chain_of(Query::source("xs").average().build());
+        let plan = plan(&chain);
+        // The map stage must emit the raw (sum, count) accumulator...
+        let partial = plan.map_chain.agg.as_ref().unwrap();
+        assert!(partial.finish.is_none());
+        assert_eq!(partial.out_ty, Ty::pair(Ty::F64, Ty::I64));
+        // ...and the reduce stage applies the finish.
+        match &plan.reduce {
+            Reduce::CombinePartials(agg) => assert!(agg.finish.is_some()),
+            other => panic!("unexpected reduce {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_elementwise_chain_concatenates() {
+        let chain = chain_of(
+            Query::source("xs")
+                .where_(Expr::var("x").gt(Expr::litf(0.0)), "x")
+                .select(Expr::var("x") * Expr::litf(2.0), "x")
+                .build(),
+        );
+        let plan = plan(&chain);
+        assert_eq!(plan.reduce, Reduce::Concat);
+        assert_eq!(plan.map_chain.ops.len(), 2);
+    }
+
+    #[test]
+    fn grouped_aggregate_merges_per_key_partials() {
+        let chain = chain_of(
+            Query::source("ns")
+                .group_by_result(
+                    Expr::var("x") % Expr::liti(10),
+                    "x",
+                    GroupResult::keyed("k", "g", Query::over(Expr::var("g")).count().build()),
+                )
+                .build(),
+        );
+        let plan = plan(&chain);
+        assert!(plan.uses_partial_aggregation());
+        match &plan.reduce {
+            Reduce::MergeGroupedPartials { agg, result, .. } => {
+                assert!(agg.is_associative());
+                assert_eq!(result.to_string(), "(k, __agg)");
+            }
+            other => panic!("unexpected reduce {other:?}"),
+        }
+        // The map chain ends in a partial grouped sink emitting pairs.
+        match &plan.map_chain.ops.last().unwrap() {
+            QuilOp::Sink(SinkOp {
+                kind: SinkKind::GroupByAggregate { result, .. },
+                out_ty,
+                ..
+            }) => {
+                assert_eq!(result.to_string(), "(__pk, __pa)");
+                assert_eq!(*out_ty, Ty::pair(Ty::I64, Ty::I64));
+            }
+            other => panic!("unexpected map op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_sorts_partitions_then_merges() {
+        let chain = chain_of(
+            Query::source("xs")
+                .select(Expr::var("x") * Expr::litf(-1.0), "x")
+                .order_by(Expr::var("x"), "x")
+                .build(),
+        );
+        let plan = plan(&chain);
+        assert!(matches!(plan.reduce, Reduce::MergeSorted { .. }));
+        // Each partition sorts locally.
+        assert!(matches!(
+            plan.map_chain.ops.last().unwrap(),
+            QuilOp::Sink(SinkOp {
+                kind: SinkKind::OrderBy { .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn take_forces_serial_remainder() {
+        let chain = chain_of(
+            Query::source("xs")
+                .select(Expr::var("x") + Expr::litf(1.0), "x")
+                .take(10)
+                .count()
+                .build(),
+        );
+        let plan = plan(&chain);
+        match &plan.reduce {
+            Reduce::SerialRest { ops, agg } => {
+                assert_eq!(ops.len(), 1);
+                assert!(agg.is_some());
+            }
+            other => panic!("unexpected reduce {other:?}"),
+        }
+        // Only the Select ran in parallel.
+        assert_eq!(plan.map_chain.ops.len(), 1);
+    }
+
+    #[test]
+    fn non_associative_fold_is_serial() {
+        // A fold without a declared combiner cannot be decomposed.
+        let chain = chain_of(
+            Query::source("xs")
+                .aggregate(
+                    Expr::litf(0.0),
+                    "a",
+                    "x",
+                    Expr::var("a") * Expr::litf(0.5) + Expr::var("x"),
+                )
+                .build(),
+        );
+        let plan = plan(&chain);
+        assert!(!plan.uses_partial_aggregation());
+        assert!(matches!(plan.reduce, Reduce::SerialRest { .. }));
+    }
+}

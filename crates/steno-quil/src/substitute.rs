@@ -1,0 +1,263 @@
+//! Substitution of free variables through a QUIL chain.
+//!
+//! Nested chains reference outer-scope variables (the outer element, a
+//! group's contents, captured values). Rewriting those references — the
+//! paper's "all occurrences of `x` in the nested query are rewritten with
+//! the current `elem_i` variable name" (§5.2) — must respect the binders
+//! introduced along the chain: each operator's parameter shadows an outer
+//! variable of the same name within that operator's own expressions.
+
+use steno_expr::subst::subst;
+use steno_expr::Expr;
+
+use crate::ir::{AggDesc, NestedTrans, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, TransKind};
+
+fn subst_unless_shadowed(body: &Expr, bound: &[&str], name: &str, replacement: &Expr) -> Expr {
+    if bound.contains(&name) {
+        body.clone()
+    } else {
+        subst(body, name, replacement)
+    }
+}
+
+fn subst_agg(agg: &AggDesc, name: &str, replacement: &Expr) -> AggDesc {
+    AggDesc {
+        // The seed is evaluated in the outer scope: no binders.
+        init: subst(&agg.init, name, replacement),
+        update: subst_unless_shadowed(
+            &agg.update,
+            &[&agg.acc_param, &agg.elem_param],
+            name,
+            replacement,
+        ),
+        finish: agg
+            .finish
+            .as_ref()
+            .map(|f| subst_unless_shadowed(f, &[&agg.acc_param], name, replacement)),
+        combine: agg
+            .combine
+            .as_ref()
+            .map(|c| subst_unless_shadowed(c, &[&agg.acc_param, &agg.rhs_param], name, replacement)),
+        ..agg.clone()
+    }
+}
+
+fn subst_op(op: &QuilOp, name: &str, replacement: &Expr) -> QuilOp {
+    match op {
+        QuilOp::Trans {
+            param,
+            kind,
+            in_ty,
+            out_ty,
+        } => QuilOp::Trans {
+            param: param.clone(),
+            kind: match kind {
+                TransKind::Expr(e) => {
+                    TransKind::Expr(subst_unless_shadowed(e, &[param], name, replacement))
+                }
+                TransKind::Nested(n) => TransKind::Nested(NestedTrans {
+                    chain: if param == name {
+                        n.chain.clone()
+                    } else {
+                        Box::new(subst_chain(&n.chain, name, replacement))
+                    },
+                    wrap: n.wrap.as_ref().map(|(p, e)| {
+                        (
+                            p.clone(),
+                            subst_unless_shadowed(e, &[param, p], name, replacement),
+                        )
+                    }),
+                }),
+            },
+            in_ty: in_ty.clone(),
+            out_ty: out_ty.clone(),
+        },
+        QuilOp::Pred {
+            param,
+            kind,
+            elem_ty,
+        } => QuilOp::Pred {
+            param: param.clone(),
+            kind: match kind {
+                PredKind::Expr(e) => {
+                    PredKind::Expr(subst_unless_shadowed(e, &[param], name, replacement))
+                }
+                PredKind::Nested(c) => PredKind::Nested(if param == name {
+                    c.clone()
+                } else {
+                    Box::new(subst_chain(c, name, replacement))
+                }),
+                PredKind::Take(n) => PredKind::Take(*n),
+                PredKind::Skip(n) => PredKind::Skip(*n),
+                PredKind::TakeWhile(e) => {
+                    PredKind::TakeWhile(subst_unless_shadowed(e, &[param], name, replacement))
+                }
+                PredKind::SkipWhile(e) => {
+                    PredKind::SkipWhile(subst_unless_shadowed(e, &[param], name, replacement))
+                }
+            },
+            elem_ty: elem_ty.clone(),
+        },
+        QuilOp::Sink(s) => QuilOp::Sink(SinkOp {
+            param: s.param.clone(),
+            kind: match &s.kind {
+                SinkKind::GroupBy {
+                    key,
+                    elem,
+                    key_ty,
+                    val_ty,
+                } => SinkKind::GroupBy {
+                    key: subst_unless_shadowed(key, &[&s.param], name, replacement),
+                    elem: elem
+                        .as_ref()
+                        .map(|e| subst_unless_shadowed(e, &[&s.param], name, replacement)),
+                    key_ty: key_ty.clone(),
+                    val_ty: val_ty.clone(),
+                },
+                SinkKind::GroupByAggregate {
+                    key,
+                    elem,
+                    agg,
+                    key_param,
+                    agg_param,
+                    result,
+                    key_ty,
+                } => SinkKind::GroupByAggregate {
+                    key: subst_unless_shadowed(key, &[&s.param], name, replacement),
+                    elem: elem
+                        .as_ref()
+                        .map(|e| subst_unless_shadowed(e, &[&s.param], name, replacement)),
+                    agg: if s.param == name {
+                        agg.clone()
+                    } else {
+                        subst_agg(agg, name, replacement)
+                    },
+                    key_param: key_param.clone(),
+                    agg_param: agg_param.clone(),
+                    result: subst_unless_shadowed(
+                        result,
+                        &[key_param, agg_param],
+                        name,
+                        replacement,
+                    ),
+                    key_ty: key_ty.clone(),
+                },
+                SinkKind::OrderBy { key, descending } => SinkKind::OrderBy {
+                    key: subst_unless_shadowed(key, &[&s.param], name, replacement),
+                    descending: *descending,
+                },
+                SinkKind::Distinct => SinkKind::Distinct,
+                SinkKind::ToVec => SinkKind::ToVec,
+            },
+            in_ty: s.in_ty.clone(),
+            out_ty: s.out_ty.clone(),
+        }),
+    }
+}
+
+/// Replaces every free occurrence of variable `name` in the chain with
+/// `replacement`, respecting the binders introduced by operator
+/// parameters.
+pub fn subst_chain(chain: &QuilChain, name: &str, replacement: &Expr) -> QuilChain {
+    let src = match &chain.src {
+        crate::ir::SrcDesc::Expr { expr, elem_ty } => crate::ir::SrcDesc::Expr {
+            expr: subst(expr, name, replacement),
+            elem_ty: elem_ty.clone(),
+        },
+        other => other.clone(),
+    };
+    QuilChain {
+        src,
+        ops: chain
+            .ops
+            .iter()
+            .map(|op| subst_op(op, name, replacement))
+            .collect(),
+        agg: chain.agg.as_ref().map(|a| subst_agg(a, name, replacement)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::SrcDesc;
+    use steno_expr::Ty;
+
+    fn chain_over_var(v: &str) -> QuilChain {
+        QuilChain {
+            src: SrcDesc::Expr {
+                expr: Expr::var(v),
+                elem_ty: Ty::F64,
+            },
+            ops: vec![QuilOp::Trans {
+                param: "y".into(),
+                kind: TransKind::Expr(Expr::var("y") * Expr::var("scale")),
+                in_ty: Ty::F64,
+                out_ty: Ty::F64,
+            }],
+            agg: None,
+        }
+    }
+
+    #[test]
+    fn substitutes_source_and_bodies() {
+        let c = chain_over_var("g");
+        let s = subst_chain(&c, "g", &Expr::var("kv").field(1));
+        match &s.src {
+            SrcDesc::Expr { expr, .. } => assert_eq!(expr.to_string(), "kv.1"),
+            other => panic!("unexpected source {other:?}"),
+        }
+        let s2 = subst_chain(&c, "scale", &Expr::litf(2.0));
+        match &s2.ops[0] {
+            QuilOp::Trans {
+                kind: TransKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "(y * 2.0)"),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operator_parameter_shadows() {
+        let c = chain_over_var("g");
+        // `y` is the Trans parameter: substituting `y` must not touch the body.
+        let s = subst_chain(&c, "y", &Expr::litf(9.0));
+        match &s.ops[0] {
+            QuilOp::Trans {
+                kind: TransKind::Expr(e),
+                ..
+            } => assert_eq!(e.to_string(), "(y * scale)"),
+            other => panic!("unexpected op {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agg_params_shadow_in_update_but_not_init() {
+        let agg = AggDesc {
+            kind: crate::ir::AggKind::Fold,
+            acc_ty: Ty::F64,
+            out_ty: Ty::F64,
+            elem_ty: Ty::F64,
+            init: Expr::var("seed"),
+            acc_param: "acc".into(),
+            elem_param: "x".into(),
+            rhs_param: "rhs".into(),
+            update: Expr::var("acc") + Expr::var("x"),
+            finish: None,
+            combine: None,
+        };
+        let chain = QuilChain {
+            src: SrcDesc::Expr {
+                expr: Expr::var("g"),
+                elem_ty: Ty::F64,
+            },
+            ops: vec![],
+            agg: Some(agg),
+        };
+        let s = subst_chain(&chain, "seed", &Expr::litf(5.0));
+        assert_eq!(s.agg.as_ref().unwrap().init.to_string(), "5.0");
+        // `acc` is bound in update: substituting it is a no-op there.
+        let s = subst_chain(&chain, "acc", &Expr::litf(1.0));
+        assert_eq!(s.agg.as_ref().unwrap().update.to_string(), "(acc + x)");
+    }
+}

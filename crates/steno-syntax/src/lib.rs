@@ -1,0 +1,24 @@
+//! The query-comprehension front end.
+//!
+//! C# desugars query comprehensions into method calls before Steno ever
+//! sees them (§2): `from x in xs where p select e` becomes
+//! `xs.Where(x => p).Select(x => e)`. This crate is that desugaring for
+//! the reproduction: a lexer and recursive-descent parser turning
+//! comprehension text into [`QueryExpr`](steno_query::QueryExpr) ASTs.
+//! It accepts both comprehension syntax and the method-call form,
+//! including the aggregate suffixes:
+//!
+//! ```text
+//! (from x: f64 in xs where x > 0.0 select x * x).sum()
+//! xs.where(|x| x > 0.0).select(|x| x * x).sum()
+//! ```
+//!
+//! The same parser serves the `steno!` proc macro (which parses the
+//! token stream's text at compile time, the paper's §9 "extend the
+//! compiler" variant) and runtime string queries.
+
+pub mod lexer;
+pub mod parser;
+
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_expr, parse_query, Binders, ParseError};

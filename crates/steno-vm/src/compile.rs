@@ -1,0 +1,1446 @@
+//! Assembling imperative programs into register bytecode.
+//!
+//! Types flow from the [`ImpProgram`]'s declarations into register-bank
+//! assignment: `f64` expressions compile to F-bank instructions, `i64` and
+//! boolean expressions to I-bank instructions, and only compound values
+//! touch the boxed V bank. This is where the paper's type specialization
+//! (§4.2) pays off at run time: a numeric query's inner loop never boxes.
+
+use std::collections::HashMap;
+
+use steno_codegen::imp::{ImpProgram, LoopHeader, SinkDecl, Stmt, Terminal};
+use steno_expr::expr::{BinOp, UnOp};
+use steno_expr::{Expr, Ty, UdfRegistry, Value};
+
+use crate::instr::{Instr, Pc, Program};
+
+/// An error during bytecode assembly. Programs generated from lowered
+/// chains assemble cleanly; errors indicate unsupported shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bytecode assembly failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err(msg: impl Into<String>) -> CompileError {
+    CompileError(msg.into())
+}
+
+/// A register location.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Loc {
+    F(u32),
+    I(u32),
+    V(u32),
+}
+
+/// How a grouped-aggregate sink stores accumulators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum AccRepr {
+    /// Unboxed f64 accumulator with an unboxed scalar key (the fully
+    /// type-specialized table).
+    SF,
+    /// Unboxed i64 accumulator with an unboxed scalar key.
+    SI,
+    F,
+    I,
+    V,
+}
+
+struct SinkMeta {
+    id: u32,
+    acc: Option<(AccRepr, Ty)>,
+}
+
+struct LoopCtx {
+    cont_patches: Vec<usize>,
+    break_patches: Vec<usize>,
+}
+
+struct Compiler<'a> {
+    instrs: Vec<Instr>,
+    nf: u32,
+    ni: u32,
+    nv: u32,
+    scope: HashMap<String, (Loc, Ty)>,
+    src_ids: HashMap<String, u32>,
+    src_names: Vec<String>,
+    udf_ids: HashMap<String, u32>,
+    udf_names: Vec<String>,
+    udfs: &'a UdfRegistry,
+    sinks: HashMap<String, SinkMeta>,
+    n_sinks: u32,
+    n_fused: u32,
+    loops: Vec<LoopCtx>,
+    fusion: bool,
+}
+
+const PATCH: Pc = u32::MAX;
+
+impl<'a> Compiler<'a> {
+    fn f(&mut self) -> u32 {
+        self.nf += 1;
+        self.nf - 1
+    }
+
+    fn i(&mut self) -> u32 {
+        self.ni += 1;
+        self.ni - 1
+    }
+
+    fn v(&mut self) -> u32 {
+        self.nv += 1;
+        self.nv - 1
+    }
+
+    fn emit(&mut self, instr: Instr) -> usize {
+        self.instrs.push(instr);
+        self.instrs.len() - 1
+    }
+
+    fn here(&self) -> Pc {
+        self.instrs.len() as Pc
+    }
+
+    fn patch(&mut self, at: usize, target: Pc) {
+        match &mut self.instrs[at] {
+            Instr::Jump(p) | Instr::JumpIfFalse(_, p) | Instr::JumpIfTrue(_, p) => *p = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn alloc(&mut self, ty: &Ty) -> Loc {
+        match ty {
+            Ty::F64 => Loc::F(self.f()),
+            Ty::I64 | Ty::Bool => Loc::I(self.i()),
+            _ => Loc::V(self.v()),
+        }
+    }
+
+    fn src_id(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.src_ids.get(name) {
+            return *id;
+        }
+        let id = self.src_names.len() as u32;
+        self.src_names.push(name.to_string());
+        self.src_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn udf_id(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.udf_ids.get(name) {
+            return *id;
+        }
+        let id = self.udf_names.len() as u32;
+        self.udf_names.push(name.to_string());
+        self.udf_ids.insert(name.to_string(), id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Type inference over the compile-time scope.
+    // ------------------------------------------------------------------
+
+    fn infer(&self, e: &Expr) -> Result<Ty, CompileError> {
+        match e {
+            Expr::Var(name) => self
+                .scope
+                .get(name)
+                .map(|(_, t)| t.clone())
+                .ok_or_else(|| err(format!("unbound variable `{name}` in generated code"))),
+            Expr::LitF64(_) => Ok(Ty::F64),
+            Expr::LitI64(_) => Ok(Ty::I64),
+            Expr::LitBool(_) => Ok(Ty::Bool),
+            Expr::Bin(op, a, b) => {
+                let ta = self.infer(a)?;
+                if op.is_comparison() || op.is_logical() {
+                    Ok(Ty::Bool)
+                } else {
+                    let _ = b;
+                    Ok(ta)
+                }
+            }
+            Expr::Un(UnOp::Not, _) => Ok(Ty::Bool),
+            Expr::Un(_, a) => self.infer(a),
+            Expr::Call(name, _) => self
+                .udfs
+                .get(name)
+                .map(|u| u.ret.clone())
+                .ok_or_else(|| err(format!("unknown udf `{name}`"))),
+            Expr::Field(a, i) => match self.infer(a)? {
+                Ty::Pair(x, y) => Ok(if *i == 0 { *x } else { *y }),
+                other => Err(err(format!("projection on non-pair {other}"))),
+            },
+            Expr::RowIndex(..) => Ok(Ty::F64),
+            Expr::RowLen(_) => Ok(Ty::I64),
+            Expr::MkPair(a, b) => Ok(Ty::pair(self.infer(a)?, self.infer(b)?)),
+            Expr::If(_, t, _) => self.infer(t),
+            Expr::Cast(ty, _) => Ok(ty.clone()),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Boxing helpers.
+    // ------------------------------------------------------------------
+
+    fn box_to_v(&mut self, loc: Loc, ty: &Ty) -> u32 {
+        match loc {
+            Loc::V(r) => r,
+            Loc::F(r) => {
+                let dst = self.v();
+                self.emit(Instr::FToV(dst, r));
+                dst
+            }
+            Loc::I(r) => {
+                let dst = self.v();
+                if *ty == Ty::Bool {
+                    self.emit(Instr::BToV(dst, r));
+                } else {
+                    self.emit(Instr::IToV(dst, r));
+                }
+                dst
+            }
+        }
+    }
+
+    fn unbox_from_v(&mut self, src: u32, ty: &Ty) -> Loc {
+        match ty {
+            Ty::F64 => {
+                let dst = self.f();
+                self.emit(Instr::VToF(dst, src));
+                Loc::F(dst)
+            }
+            Ty::I64 => {
+                let dst = self.i();
+                self.emit(Instr::VToI(dst, src));
+                Loc::I(dst)
+            }
+            Ty::Bool => {
+                let dst = self.i();
+                self.emit(Instr::VToB(dst, src));
+                Loc::I(dst)
+            }
+            _ => Loc::V(src),
+        }
+    }
+
+    fn mov(&mut self, dst: Loc, src: Loc) {
+        match (dst, src) {
+            (Loc::F(d), Loc::F(s)) => {
+                if d != s {
+                    self.emit(Instr::MovF(d, s));
+                }
+            }
+            (Loc::I(d), Loc::I(s)) => {
+                if d != s {
+                    self.emit(Instr::MovI(d, s));
+                }
+            }
+            (Loc::V(d), Loc::V(s)) => {
+                if d != s {
+                    self.emit(Instr::MovV(d, s));
+                }
+            }
+            (d, s) => panic!("register bank mismatch: {d:?} <- {s:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expression compilation.
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(Loc, Ty), CompileError> {
+        match e {
+            Expr::Var(name) => self
+                .scope
+                .get(name)
+                .cloned()
+                .ok_or_else(|| err(format!("unbound variable `{name}` in generated code"))),
+            Expr::LitF64(x) => {
+                let r = self.f();
+                self.emit(Instr::ConstF(r, *x));
+                Ok((Loc::F(r), Ty::F64))
+            }
+            Expr::LitI64(x) => {
+                let r = self.i();
+                self.emit(Instr::ConstI(r, *x));
+                Ok((Loc::I(r), Ty::I64))
+            }
+            Expr::LitBool(b) => {
+                let r = self.i();
+                self.emit(Instr::ConstI(r, i64::from(*b)));
+                Ok((Loc::I(r), Ty::Bool))
+            }
+            Expr::Bin(op, a, b) if op.is_logical() => {
+                // Short-circuit, preserving the reference evaluator's
+                // semantics for traps in the right operand.
+                let (la, _) = self.expr(a)?;
+                let Loc::I(ra) = la else {
+                    return Err(err("logical operand not boolean"));
+                };
+                let dst = self.i();
+                self.emit(Instr::MovI(dst, ra));
+                let jump = match op {
+                    BinOp::And => self.emit(Instr::JumpIfFalse(dst, PATCH)),
+                    _ => self.emit(Instr::JumpIfTrue(dst, PATCH)),
+                };
+                let (lb, _) = self.expr(b)?;
+                let Loc::I(rb) = lb else {
+                    return Err(err("logical operand not boolean"));
+                };
+                self.emit(Instr::MovI(dst, rb));
+                let end = self.here();
+                self.patch(jump, end);
+                Ok((Loc::I(dst), Ty::Bool))
+            }
+            Expr::Bin(op, a, b) => {
+                let (la, ta) = self.expr(a)?;
+                let (lb, tb) = self.expr(b)?;
+                if op.is_comparison() {
+                    let dst = self.i();
+                    match (la, lb) {
+                        (Loc::F(x), Loc::F(y)) => {
+                            let instr = match op {
+                                BinOp::Eq => Instr::EqF(dst, x, y),
+                                BinOp::Ne => Instr::NeF(dst, x, y),
+                                BinOp::Lt => Instr::LtF(dst, x, y),
+                                BinOp::Le => Instr::LeF(dst, x, y),
+                                BinOp::Gt => Instr::GtF(dst, x, y),
+                                BinOp::Ge => Instr::GeF(dst, x, y),
+                                _ => unreachable!(),
+                            };
+                            self.emit(instr);
+                        }
+                        (Loc::I(x), Loc::I(y)) => {
+                            let instr = match op {
+                                BinOp::Eq => Instr::EqI(dst, x, y),
+                                BinOp::Ne => Instr::NeI(dst, x, y),
+                                BinOp::Lt => Instr::LtI(dst, x, y),
+                                BinOp::Le => Instr::LeI(dst, x, y),
+                                BinOp::Gt => Instr::GtI(dst, x, y),
+                                BinOp::Ge => Instr::GeI(dst, x, y),
+                                _ => unreachable!(),
+                            };
+                            self.emit(instr);
+                        }
+                        (Loc::V(x), Loc::V(y)) => match op {
+                            BinOp::Eq => {
+                                self.emit(Instr::EqV(dst, x, y));
+                            }
+                            BinOp::Ne => {
+                                self.emit(Instr::EqV(dst, x, y));
+                                self.emit(Instr::NotB(dst, dst));
+                            }
+                            _ => {
+                                return Err(err(format!(
+                                    "ordering comparison on compound values ({ta}, {tb})"
+                                )))
+                            }
+                        },
+                        _ => return Err(err("comparison operand bank mismatch")),
+                    }
+                    return Ok((Loc::I(dst), Ty::Bool));
+                }
+                // Arithmetic / min / max.
+                match (la, lb) {
+                    (Loc::F(x), Loc::F(y)) => {
+                        let dst = self.f();
+                        let instr = match op {
+                            BinOp::Add => Instr::AddF(dst, x, y),
+                            BinOp::Sub => Instr::SubF(dst, x, y),
+                            BinOp::Mul => Instr::MulF(dst, x, y),
+                            BinOp::Div => Instr::DivF(dst, x, y),
+                            BinOp::Rem => Instr::RemF(dst, x, y),
+                            BinOp::Min => Instr::MinF(dst, x, y),
+                            BinOp::Max => Instr::MaxF(dst, x, y),
+                            _ => unreachable!(),
+                        };
+                        self.emit(instr);
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    (Loc::I(x), Loc::I(y)) => {
+                        let dst = self.i();
+                        let instr = match op {
+                            BinOp::Add => Instr::AddI(dst, x, y),
+                            BinOp::Sub => Instr::SubI(dst, x, y),
+                            BinOp::Mul => Instr::MulI(dst, x, y),
+                            BinOp::Div => Instr::DivI(dst, x, y),
+                            BinOp::Rem => Instr::RemI(dst, x, y),
+                            BinOp::Min => Instr::MinI(dst, x, y),
+                            BinOp::Max => Instr::MaxI(dst, x, y),
+                            _ => unreachable!(),
+                        };
+                        self.emit(instr);
+                        Ok((Loc::I(dst), Ty::I64))
+                    }
+                    _ => Err(err(format!(
+                        "arithmetic on non-scalar operands ({ta}, {tb})"
+                    ))),
+                }
+            }
+            Expr::Un(op, a) => {
+                let (la, ta) = self.expr(a)?;
+                match (op, la) {
+                    (UnOp::Neg, Loc::F(x)) => {
+                        let dst = self.f();
+                        self.emit(Instr::NegF(dst, x));
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    (UnOp::Neg, Loc::I(x)) => {
+                        let dst = self.i();
+                        self.emit(Instr::NegI(dst, x));
+                        Ok((Loc::I(dst), Ty::I64))
+                    }
+                    (UnOp::Not, Loc::I(x)) => {
+                        let dst = self.i();
+                        self.emit(Instr::NotB(dst, x));
+                        Ok((Loc::I(dst), Ty::Bool))
+                    }
+                    (UnOp::Abs, Loc::F(x)) => {
+                        let dst = self.f();
+                        self.emit(Instr::AbsF(dst, x));
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    (UnOp::Abs, Loc::I(x)) => {
+                        let dst = self.i();
+                        self.emit(Instr::AbsI(dst, x));
+                        Ok((Loc::I(dst), Ty::I64))
+                    }
+                    (UnOp::Sqrt, Loc::F(x)) => {
+                        let dst = self.f();
+                        self.emit(Instr::SqrtF(dst, x));
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    (UnOp::Floor, Loc::F(x)) => {
+                        let dst = self.f();
+                        self.emit(Instr::FloorF(dst, x));
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    _ => Err(err(format!("unary {} on {ta}", op.symbol()))),
+                }
+            }
+            Expr::Call(name, args) => {
+                let udf = self
+                    .udfs
+                    .get(name)
+                    .ok_or_else(|| err(format!("unknown udf `{name}`")))?;
+                let ret = udf.ret.clone();
+                let mut vregs = Vec::with_capacity(args.len());
+                for a in args {
+                    let (loc, ty) = self.expr(a)?;
+                    vregs.push(self.box_to_v(loc, &ty));
+                }
+                let udf_id = self.udf_id(name);
+                let dst = self.v();
+                self.emit(Instr::CallUdf {
+                    dst,
+                    udf: udf_id,
+                    args: vregs,
+                });
+                Ok((self.unbox_from_v(dst, &ret), ret))
+            }
+            Expr::Field(a, idx) => {
+                let (la, ta) = self.expr(a)?;
+                let Loc::V(src) = la else {
+                    return Err(err("projection on unboxed value"));
+                };
+                let Ty::Pair(x, y) = ta else {
+                    return Err(err(format!("projection on non-pair {ta}")));
+                };
+                let component = if *idx == 0 { *x } else { *y };
+                let dst = self.v();
+                if *idx == 0 {
+                    self.emit(Instr::Field0(dst, src));
+                } else {
+                    self.emit(Instr::Field1(dst, src));
+                }
+                Ok((self.unbox_from_v(dst, &component), component))
+            }
+            Expr::RowIndex(a, i) => {
+                let (la, _) = self.expr(a)?;
+                let (li, _) = self.expr(i)?;
+                let (Loc::V(row), Loc::I(idx)) = (la, li) else {
+                    return Err(err("row indexing bank mismatch"));
+                };
+                let dst = self.f();
+                self.emit(Instr::RowIdx(dst, row, idx));
+                Ok((Loc::F(dst), Ty::F64))
+            }
+            Expr::RowLen(a) => {
+                let (la, _) = self.expr(a)?;
+                let Loc::V(row) = la else {
+                    return Err(err("row length on unboxed value"));
+                };
+                let dst = self.i();
+                self.emit(Instr::RowLen(dst, row));
+                Ok((Loc::I(dst), Ty::I64))
+            }
+            Expr::MkPair(a, b) => {
+                let (la, ta) = self.expr(a)?;
+                let ra = self.box_to_v(la, &ta);
+                let (lb, tb) = self.expr(b)?;
+                let rb = self.box_to_v(lb, &tb);
+                let dst = self.v();
+                self.emit(Instr::MkPair(dst, ra, rb));
+                Ok((Loc::V(dst), Ty::pair(ta, tb)))
+            }
+            Expr::If(c, t, els) => {
+                let result_ty = self.infer(t)?;
+                let dst = self.alloc(&result_ty);
+                let (lc, _) = self.expr(c)?;
+                let Loc::I(rc) = lc else {
+                    return Err(err("if condition not boolean"));
+                };
+                let jelse = self.emit(Instr::JumpIfFalse(rc, PATCH));
+                let (lt, _) = self.expr(t)?;
+                self.mov(dst, lt);
+                let jend = self.emit(Instr::Jump(PATCH));
+                let else_pc = self.here();
+                self.patch(jelse, else_pc);
+                let (le, _) = self.expr(els)?;
+                self.mov(dst, le);
+                let end = self.here();
+                self.patch(jend, end);
+                Ok((dst, result_ty))
+            }
+            Expr::Cast(ty, a) => {
+                let (la, ta) = self.expr(a)?;
+                match (la, ty) {
+                    (Loc::F(x), Ty::I64) => {
+                        let dst = self.i();
+                        self.emit(Instr::F2I(dst, x));
+                        Ok((Loc::I(dst), Ty::I64))
+                    }
+                    (Loc::I(x), Ty::F64) => {
+                        let dst = self.f();
+                        self.emit(Instr::I2F(dst, x));
+                        Ok((Loc::F(dst), Ty::F64))
+                    }
+                    (loc, t) if *t == ta => Ok((loc, ta)),
+                    (_, t) => Err(err(format!("unsupported cast {ta} -> {t}"))),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statement compilation.
+    // ------------------------------------------------------------------
+
+    fn bool_expr(&mut self, e: &Expr) -> Result<u32, CompileError> {
+        let (loc, _) = self.expr(e)?;
+        match loc {
+            Loc::I(r) => Ok(r),
+            _ => Err(err("expected a boolean expression")),
+        }
+    }
+
+    fn cont_jump_if_false(&mut self, cond: u32) -> Result<(), CompileError> {
+        let at = self.emit(Instr::JumpIfFalse(cond, PATCH));
+        self.loops
+            .last_mut()
+            .ok_or_else(|| err("continue outside a loop"))?
+            .cont_patches
+            .push(at);
+        Ok(())
+    }
+
+    fn stmt(&mut self, p: &ImpProgram, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl { name, ty, init } => {
+                let slot = self.alloc(ty);
+                let (loc, _) = self.expr(init)?;
+                self.mov(slot, loc);
+                self.scope.insert(name.clone(), (slot, ty.clone()));
+                Ok(())
+            }
+            Stmt::Assign { name, expr } => {
+                let (slot, _) = self
+                    .scope
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| err(format!("assignment to undeclared `{name}`")))?;
+                let (loc, _) = self.expr(expr)?;
+                self.mov(slot, loc);
+                Ok(())
+            }
+            Stmt::For {
+                header,
+                elem_var,
+                body,
+            } => {
+                if self.fusion && self.try_fuse_loop(p, header, elem_var, *body) {
+                    return Ok(());
+                }
+                self.compile_loop(p, header, elem_var, *body)
+            }
+            Stmt::IfNotContinue { cond } => {
+                let c = self.bool_expr(cond)?;
+                self.cont_jump_if_false(c)
+            }
+            Stmt::IfBreak { cond } => {
+                let c = self.bool_expr(cond)?;
+                let at = self.emit(Instr::JumpIfTrue(c, PATCH));
+                self.loops
+                    .last_mut()
+                    .ok_or_else(|| err("break outside a loop"))?
+                    .break_patches
+                    .push(at);
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let c = self.bool_expr(cond)?;
+                let jelse = self.emit(Instr::JumpIfFalse(c, PATCH));
+                for s in then {
+                    self.stmt(p, s)?;
+                }
+                if els.is_empty() {
+                    let end = self.here();
+                    self.patch(jelse, end);
+                } else {
+                    let jend = self.emit(Instr::Jump(PATCH));
+                    let else_pc = self.here();
+                    self.patch(jelse, else_pc);
+                    for s in els {
+                        self.stmt(p, s)?;
+                    }
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+                Ok(())
+            }
+            Stmt::Continue => {
+                let at = self.emit(Instr::Jump(PATCH));
+                self.loops
+                    .last_mut()
+                    .ok_or_else(|| err("continue outside a loop"))?
+                    .cont_patches
+                    .push(at);
+                Ok(())
+            }
+            Stmt::DeclSink { name, decl } => {
+                let id = self.n_sinks;
+                self.n_sinks += 1;
+                let acc = match decl {
+                    SinkDecl::Group => {
+                        self.emit(Instr::SinkNewGroup(id));
+                        None
+                    }
+                    SinkDecl::GroupAgg {
+                        init,
+                        acc_ty,
+                        key_ty,
+                    } => {
+                        let (loc, ty) = self.expr(init)?;
+                        let scalar_key = key_ty.is_scalar();
+                        match (loc, acc_ty) {
+                            (Loc::F(r), Ty::F64) if scalar_key => {
+                                self.emit(Instr::SinkNewGroupAggSF(id, r));
+                                Some((AccRepr::SF, Ty::F64))
+                            }
+                            (Loc::I(r), Ty::I64) if scalar_key => {
+                                self.emit(Instr::SinkNewGroupAggSI(id, r));
+                                Some((AccRepr::SI, Ty::I64))
+                            }
+                            (Loc::F(r), Ty::F64) => {
+                                self.emit(Instr::SinkNewGroupAggF(id, r));
+                                Some((AccRepr::F, Ty::F64))
+                            }
+                            (Loc::I(r), Ty::I64) => {
+                                self.emit(Instr::SinkNewGroupAggI(id, r));
+                                Some((AccRepr::I, Ty::I64))
+                            }
+                            (loc, _) => {
+                                let vr = self.box_to_v(loc, &ty);
+                                self.emit(Instr::SinkNewGroupAggV(id, vr));
+                                Some((AccRepr::V, acc_ty.clone()))
+                            }
+                        }
+                    }
+                    SinkDecl::SortedVec { descending } => {
+                        self.emit(Instr::SinkNewSorted(id, *descending));
+                        None
+                    }
+                    SinkDecl::DistinctVec => {
+                        self.emit(Instr::SinkNewDistinct(id));
+                        None
+                    }
+                    SinkDecl::Vec => {
+                        self.emit(Instr::SinkNewVec(id));
+                        None
+                    }
+                };
+                self.sinks.insert(name.clone(), SinkMeta { id, acc });
+                Ok(())
+            }
+            Stmt::GroupPut { sink, key, value } => {
+                let id = self.sink_id(sink)?;
+                let (kl, kt) = self.expr(key)?;
+                let kv = self.box_to_v(kl, &kt);
+                let (vl, vt) = self.expr(value)?;
+                let vv = self.box_to_v(vl, &vt);
+                self.emit(Instr::GroupPut(id, kv, vv));
+                Ok(())
+            }
+            Stmt::GroupAggUpdate {
+                sink,
+                key,
+                acc_param,
+                elem_param,
+                value,
+                update,
+            } => {
+                let (id, (acc, acc_ty)) = {
+                    let meta = self
+                        .sinks
+                        .get(sink)
+                        .ok_or_else(|| err(format!("unknown sink `{sink}`")))?;
+                    (
+                        meta.id,
+                        meta.acc
+                            .clone()
+                            .ok_or_else(|| err("sink is not a grouped aggregate"))?,
+                    )
+                };
+                // Fully-scalar tables take the key straight from its
+                // scalar register; others box it.
+                let (kl, kt) = self.expr(key)?;
+                let skey = match (kl, &kt) {
+                    (Loc::F(r), Ty::F64) => Some(crate::instr::SKey::F(r)),
+                    (Loc::I(r), Ty::I64) => Some(crate::instr::SKey::I(r)),
+                    (Loc::I(r), Ty::Bool) => Some(crate::instr::SKey::B(r)),
+                    _ => None,
+                };
+                let kv = if matches!(acc, AccRepr::SF | AccRepr::SI) {
+                    0 // unused: the scalar path reads the key register
+                } else {
+                    self.box_to_v(kl, &kt)
+                };
+                let (vl, vt) = self.expr(value)?;
+                // Bind the element parameter.
+                let saved_elem = self.scope.insert(elem_param.clone(), (vl, vt));
+                // Load the accumulator.
+                let acc_slot = match acc {
+                    AccRepr::SF => {
+                        let r = self.f();
+                        let sk = skey.ok_or_else(|| err("scalar sink with boxed key"))?;
+                        self.emit(Instr::GroupAccLoadSF(id, r, sk));
+                        (Loc::F(r), Ty::F64)
+                    }
+                    AccRepr::SI => {
+                        let r = self.i();
+                        let sk = skey.ok_or_else(|| err("scalar sink with boxed key"))?;
+                        self.emit(Instr::GroupAccLoadSI(id, r, sk));
+                        (Loc::I(r), Ty::I64)
+                    }
+                    AccRepr::F => {
+                        let r = self.f();
+                        self.emit(Instr::GroupAccLoadF(id, r, kv));
+                        (Loc::F(r), Ty::F64)
+                    }
+                    AccRepr::I => {
+                        let r = self.i();
+                        self.emit(Instr::GroupAccLoadI(id, r, kv));
+                        (Loc::I(r), Ty::I64)
+                    }
+                    AccRepr::V => {
+                        let r = self.v();
+                        self.emit(Instr::GroupAccLoadV(id, r, kv));
+                        (Loc::V(r), acc_ty.clone())
+                    }
+                };
+                let saved_acc = self.scope.insert(acc_param.clone(), acc_slot.clone());
+                let (ul, ut) = self.expr(update)?;
+                match acc {
+                    AccRepr::SF => {
+                        let Loc::F(r) = ul else {
+                            return Err(err("grouped aggregate update bank mismatch"));
+                        };
+                        self.emit(Instr::GroupAccStoreSF(id, r));
+                    }
+                    AccRepr::SI => {
+                        let Loc::I(r) = ul else {
+                            return Err(err("grouped aggregate update bank mismatch"));
+                        };
+                        self.emit(Instr::GroupAccStoreSI(id, r));
+                    }
+                    AccRepr::F => {
+                        let Loc::F(r) = ul else {
+                            return Err(err("grouped aggregate update bank mismatch"));
+                        };
+                        self.emit(Instr::GroupAccStoreF(id, r));
+                    }
+                    AccRepr::I => {
+                        let Loc::I(r) = ul else {
+                            return Err(err("grouped aggregate update bank mismatch"));
+                        };
+                        self.emit(Instr::GroupAccStoreI(id, r));
+                    }
+                    AccRepr::V => {
+                        let r = self.box_to_v(ul, &ut);
+                        self.emit(Instr::GroupAccStoreV(id, r));
+                    }
+                }
+                // Restore shadowed bindings.
+                restore(&mut self.scope, elem_param, saved_elem);
+                restore(&mut self.scope, acc_param, saved_acc);
+                Ok(())
+            }
+            Stmt::SinkPush { sink, value, key } => {
+                let id = self.sink_id(sink)?;
+                let (vl, vt) = self.expr(value)?;
+                let vv = self.box_to_v(vl, &vt);
+                match key {
+                    Some(k) => {
+                        let (kl, kt) = self.expr(k)?;
+                        let kv = self.box_to_v(kl, &kt);
+                        self.emit(Instr::SinkPushKeyed(id, kv, vv));
+                    }
+                    None => {
+                        self.emit(Instr::SinkPush(id, vv));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::SinkSeal { sink } => {
+                let id = self.sink_id(sink)?;
+                self.emit(Instr::SinkSeal(id));
+                Ok(())
+            }
+            Stmt::Yield { value } => {
+                let (vl, vt) = self.expr(value)?;
+                let vv = self.box_to_v(vl, &vt);
+                self.emit(Instr::OutPush(vv));
+                Ok(())
+            }
+            Stmt::Return { value } => {
+                let (vl, vt) = self.expr(value)?;
+                match vl {
+                    Loc::F(r) => {
+                        self.emit(Instr::HaltF(r));
+                    }
+                    Loc::I(r) => {
+                        if vt == Ty::Bool {
+                            self.emit(Instr::HaltB(r));
+                        } else {
+                            self.emit(Instr::HaltI(r));
+                        }
+                    }
+                    Loc::V(r) => {
+                        self.emit(Instr::HaltV(r));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::ReturnSink { .. } => Err(err("ReturnSink is not emitted by the generator")),
+            Stmt::BlockRef(_) => unreachable!("flatten removes block refs"),
+        }
+    }
+
+    fn sink_id(&self, name: &str) -> Result<u32, CompileError> {
+        self.sinks
+            .get(name)
+            .map(|m| m.id)
+            .ok_or_else(|| err(format!("unknown sink `{name}`")))
+    }
+
+    fn compile_loop(
+        &mut self,
+        p: &ImpProgram,
+        header: &LoopHeader,
+        elem_var: &str,
+        body: steno_codegen::imp::BlockId,
+    ) -> Result<(), CompileError> {
+        // Pre-loop setup producing: a length register, an index register,
+        // and a closure-free per-iteration element load.
+        enum Load {
+            SrcF(u32),
+            SrcI(u32),
+            SrcB(u32),
+            SrcV(u32),
+            RangeAdd { start: u32 },
+            Fixed, // element preloaded before the loop (Repeat)
+            RowF(u32),
+            SeqV { seq: u32, elem_ty: Ty },
+            SinkV { sink: u32, elem_ty: Ty },
+        }
+        let idx = self.i();
+        let len = self.i();
+        self.emit(Instr::ConstI(idx, 0));
+        let (load, elem_slot): (Load, (Loc, Ty)) = match header {
+            LoopHeader::Source { name, elem_ty } => {
+                let sid = self.src_id(name);
+                self.emit(Instr::SrcLen(len, sid));
+                let slot = self.alloc(elem_ty);
+                let load = match (elem_ty, slot) {
+                    (Ty::F64, Loc::F(_)) => Load::SrcF(sid),
+                    (Ty::I64, Loc::I(_)) => Load::SrcI(sid),
+                    (Ty::Bool, Loc::I(_)) => Load::SrcB(sid),
+                    (_, Loc::V(_)) => Load::SrcV(sid),
+                    _ => unreachable!(),
+                };
+                (load, (slot, elem_ty.clone()))
+            }
+            LoopHeader::Range { start, count } => {
+                self.emit(Instr::ConstI(len, *count as i64));
+                let start_reg = self.i();
+                self.emit(Instr::ConstI(start_reg, *start));
+                let slot = self.alloc(&Ty::I64);
+                (Load::RangeAdd { start: start_reg }, (slot, Ty::I64))
+            }
+            LoopHeader::Repeat { value, count } => {
+                self.emit(Instr::ConstI(len, *count as i64));
+                let ty = value.ty();
+                let slot = self.alloc(&ty);
+                match (value, slot) {
+                    (Value::F64(x), Loc::F(r)) => {
+                        self.emit(Instr::ConstF(r, *x));
+                    }
+                    (Value::I64(x), Loc::I(r)) => {
+                        self.emit(Instr::ConstI(r, *x));
+                    }
+                    (Value::Bool(b), Loc::I(r)) => {
+                        self.emit(Instr::ConstI(r, i64::from(*b)));
+                    }
+                    (v, Loc::V(r)) => {
+                        self.emit(Instr::ConstV(r, v.clone()));
+                    }
+                    _ => unreachable!(),
+                }
+                (Load::Fixed, (slot, ty))
+            }
+            LoopHeader::SeqExpr { expr, elem_ty } => {
+                let (loc, ty) = self.expr(expr)?;
+                let Loc::V(seq) = loc else {
+                    return Err(err("sequence source is not boxed"));
+                };
+                if ty == Ty::Row {
+                    self.emit(Instr::RowLen(len, seq));
+                    let slot = self.alloc(&Ty::F64);
+                    (Load::RowF(seq), (slot, Ty::F64))
+                } else {
+                    self.emit(Instr::SeqLen(len, seq));
+                    let slot = self.alloc(elem_ty);
+                    (
+                        Load::SeqV {
+                            seq,
+                            elem_ty: elem_ty.clone(),
+                        },
+                        (slot, elem_ty.clone()),
+                    )
+                }
+            }
+            LoopHeader::Sink { name, elem_ty } => {
+                let id = self.sink_id(name)?;
+                self.emit(Instr::SinkFreeze(id));
+                self.emit(Instr::SinkLen(len, id));
+                let slot = self.alloc(elem_ty);
+                (
+                    Load::SinkV {
+                        sink: id,
+                        elem_ty: elem_ty.clone(),
+                    },
+                    (slot, elem_ty.clone()),
+                )
+            }
+        };
+
+        let top = self.here();
+        let cmp = self.i();
+        self.emit(Instr::LtI(cmp, idx, len));
+        let exit_jump = self.emit(Instr::JumpIfFalse(cmp, PATCH));
+
+        // Per-iteration element load.
+        match (&load, elem_slot.0) {
+            (Load::SrcF(s), Loc::F(r)) => {
+                self.emit(Instr::SrcGetF(r, *s, idx));
+            }
+            (Load::SrcI(s), Loc::I(r)) => {
+                self.emit(Instr::SrcGetI(r, *s, idx));
+            }
+            (Load::SrcB(s), Loc::I(r)) => {
+                self.emit(Instr::SrcGetB(r, *s, idx));
+            }
+            (Load::SrcV(s), Loc::V(r)) => {
+                self.emit(Instr::SrcGetV(r, *s, idx));
+            }
+            (Load::RangeAdd { start }, Loc::I(r)) => {
+                self.emit(Instr::AddI(r, *start, idx));
+            }
+            (Load::Fixed, _) => {}
+            (Load::RowF(seq), Loc::F(r)) => {
+                self.emit(Instr::RowIdx(r, *seq, idx));
+            }
+            (Load::SeqV { seq, elem_ty }, slot) => {
+                let tmp = self.v();
+                self.emit(Instr::SeqIdx(tmp, *seq, idx));
+                let unboxed = self.unbox_from_v(tmp, elem_ty);
+                self.mov(slot, unboxed);
+            }
+            (Load::SinkV { sink, elem_ty }, slot) => {
+                let tmp = self.v();
+                self.emit(Instr::SinkGet(tmp, *sink, idx));
+                let unboxed = self.unbox_from_v(tmp, elem_ty);
+                self.mov(slot, unboxed);
+            }
+            _ => unreachable!("element load bank mismatch"),
+        }
+        let saved = self.scope.insert(elem_var.to_string(), elem_slot);
+
+        self.loops.push(LoopCtx {
+            cont_patches: Vec::new(),
+            break_patches: Vec::new(),
+        });
+        for s in p.flatten(body) {
+            self.stmt(p, &s)?;
+        }
+        let ctx = self.loops.pop().expect("loop context");
+
+        // Continue target: the induction-variable increment.
+        let cont = self.here();
+        for at in ctx.cont_patches {
+            self.patch(at, cont);
+        }
+        self.emit(Instr::IncI(idx));
+        self.emit(Instr::Jump(top));
+        let end = self.here();
+        self.patch(exit_jump, end);
+        for at in ctx.break_patches {
+            self.patch(at, end);
+        }
+        restore(&mut self.scope, elem_var, saved);
+        Ok(())
+    }
+}
+
+fn restore(
+    scope: &mut HashMap<String, (Loc, Ty)>,
+    name: &str,
+    saved: Option<(Loc, Ty)>,
+) {
+    match saved {
+        Some(v) => {
+            scope.insert(name.to_string(), v);
+        }
+        None => {
+            scope.remove(name);
+        }
+    }
+}
+
+/// Assembles an imperative program into bytecode.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for shapes the VM cannot execute (none are
+/// produced by the standard lower → generate pipeline).
+pub fn assemble(p: &ImpProgram, udfs: &UdfRegistry) -> Result<Program, CompileError> {
+    assemble_with(p, udfs, true)
+}
+
+/// As [`assemble`], with the loop-fusion tier switchable (used by the
+/// back-end ablation).
+///
+/// # Errors
+///
+/// As [`assemble`].
+pub fn assemble_with(
+    p: &ImpProgram,
+    udfs: &UdfRegistry,
+    fusion: bool,
+) -> Result<Program, CompileError> {
+    let mut c = Compiler {
+        instrs: Vec::new(),
+        nf: 0,
+        ni: 0,
+        nv: 0,
+        scope: HashMap::new(),
+        src_ids: HashMap::new(),
+        src_names: Vec::new(),
+        udf_ids: HashMap::new(),
+        udf_names: Vec::new(),
+        udfs,
+        sinks: HashMap::new(),
+        n_sinks: 0,
+        n_fused: 0,
+        loops: Vec::new(),
+        fusion,
+    };
+    for s in p.flatten(p.root) {
+        c.stmt(p, &s)?;
+    }
+    let result_ty = match &p.terminal {
+        Terminal::Scalar(ty) => ty.clone(),
+        Terminal::Sequence(elem) => {
+            c.emit(Instr::HaltOut);
+            Ty::seq(elem.clone())
+        }
+    };
+    Ok(Program {
+        instrs: c.instrs,
+        n_fregs: c.nf,
+        n_iregs: c.ni,
+        n_vregs: c.nv,
+        n_sinks: c.n_sinks,
+        n_fused: c.n_fused,
+        source_names: c.src_names,
+        udf_names: c.udf_names,
+        result_ty,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The loop-fusion tier (see crate::fuse).
+// ---------------------------------------------------------------------
+
+/// Builder state for one fusion attempt.
+struct FuseAttempt {
+    n_slots: u16,
+    prologue: Vec<crate::fuse::VOp>,
+    tape: Vec<crate::fuse::VOp>,
+    reductions: Vec<crate::fuse::Reduction>,
+    /// Loop-local f64 variables → slot.
+    locals: HashMap<String, u8>,
+    /// Constant cache: bits → prologue slot.
+    consts: HashMap<u64, u8>,
+    /// Outer (loop-invariant) f64 registers → prologue slot.
+    param_slots: HashMap<u32, u8>,
+    params: Vec<u32>,
+    /// Accumulator f64 registers → accumulator index.
+    acc_ids: HashMap<String, u8>,
+    accs: Vec<u32>,
+    /// Current guard mask slot.
+    mask: Option<u8>,
+}
+
+impl FuseAttempt {
+    fn slot(&mut self) -> Option<u8> {
+        if self.n_slots >= 200 {
+            return None;
+        }
+        self.n_slots += 1;
+        Some((self.n_slots - 1) as u8)
+    }
+
+    fn const_slot(&mut self, x: f64) -> Option<u8> {
+        if let Some(s) = self.consts.get(&x.to_bits()) {
+            return Some(*s);
+        }
+        let s = self.slot()?;
+        self.prologue.push(crate::fuse::VOp::Const(s, x));
+        self.consts.insert(x.to_bits(), s);
+        Some(s)
+    }
+
+    fn param_slot(&mut self, reg: u32) -> Option<u8> {
+        if let Some(s) = self.param_slots.get(&reg) {
+            return Some(*s);
+        }
+        let s = self.slot()?;
+        let idx = self.params.len() as u8;
+        self.params.push(reg);
+        self.prologue.push(crate::fuse::VOp::Param(s, idx));
+        self.param_slots.insert(reg, s);
+        Some(s)
+    }
+}
+
+impl<'a> Compiler<'a> {
+    /// Attempts to compile a loop with the fusion tier. Returns `true` and
+    /// emits a [`Instr::FusedLoop`] on success; on failure nothing is
+    /// emitted and the generic path takes over.
+    fn try_fuse_loop(
+        &mut self,
+        p: &ImpProgram,
+        header: &LoopHeader,
+        elem_var: &str,
+        body: steno_codegen::imp::BlockId,
+    ) -> bool {
+        use crate::fuse::{FusedKernel, Reduction, VOp, NO_MASK};
+
+        // Only plain f64 source columns fuse.
+        let LoopHeader::Source {
+            name,
+            elem_ty: Ty::F64,
+        } = header
+        else {
+            return false;
+        };
+        let stmts = p.flatten(body);
+
+        // Pre-scan: which names are assigned inside the loop? Those must
+        // be f64 accumulators declared outside with += / min / max shape.
+        let mut assigned: Vec<&str> = Vec::new();
+        for s in &stmts {
+            match s {
+                Stmt::Decl { ty: Ty::F64, .. } | Stmt::IfNotContinue { .. } => {}
+                Stmt::Assign { name, .. } => assigned.push(name),
+                // Grouped aggregation fuses when the sink is fully scalar
+                // with f64 keys; checked in the main pass below.
+                Stmt::GroupAggUpdate { .. } => {}
+                _ => return false,
+            }
+        }
+
+        let mut at = FuseAttempt {
+            n_slots: 0,
+            prologue: Vec::new(),
+            tape: Vec::new(),
+            reductions: Vec::new(),
+            locals: HashMap::new(),
+            consts: HashMap::new(),
+            param_slots: HashMap::new(),
+            params: Vec::new(),
+            acc_ids: HashMap::new(),
+            accs: Vec::new(),
+            mask: None,
+        };
+
+        // Register accumulators up front so expression compilation can
+        // reject any read of them inside value pipelines.
+        for name in &assigned {
+            if at.acc_ids.contains_key(*name) {
+                continue;
+            }
+            let Some((Loc::F(reg), Ty::F64)) = self.scope.get(*name) else {
+                return false;
+            };
+            let id = at.accs.len() as u8;
+            at.accs.push(*reg);
+            at.acc_ids.insert((*name).to_string(), id);
+        }
+
+        // The loop element.
+        let Some(x_slot) = at.slot() else {
+            return false;
+        };
+        at.tape.push(VOp::LoadX(x_slot));
+        at.locals.insert(elem_var.to_string(), x_slot);
+
+        // Compile the body.
+        for s in &stmts {
+            match s {
+                Stmt::Decl {
+                    name,
+                    ty: Ty::F64,
+                    init,
+                } => {
+                    let Some(slot) = self.fuse_expr(&mut at, init) else {
+                        return false;
+                    };
+                    at.locals.insert(name.clone(), slot);
+                }
+                Stmt::IfNotContinue { cond } => {
+                    let Some(c) = self.fuse_expr(&mut at, cond) else {
+                        return false;
+                    };
+                    at.mask = match at.mask {
+                        None => Some(c),
+                        Some(m) => {
+                            let Some(d) = at.slot() else { return false };
+                            at.tape.push(VOp::AndM(d, m, c));
+                            Some(d)
+                        }
+                    };
+                }
+                Stmt::GroupAggUpdate {
+                    sink,
+                    key,
+                    acc_param,
+                    elem_param,
+                    value,
+                    update,
+                } => {
+                    use crate::fuse::{Reduction, NO_MASK};
+                    let Some(meta) = self.sinks.get(sink) else {
+                        return false;
+                    };
+                    let id = meta.id;
+                    let repr = match &meta.acc {
+                        Some((AccRepr::SF, _)) => AccRepr::SF,
+                        Some((AccRepr::SI, _)) => AccRepr::SI,
+                        _ => return false,
+                    };
+                    // The key must be an f64 tape expression.
+                    let Some(key_slot) = self.fuse_expr(&mut at, key) else {
+                        return false;
+                    };
+                    // Inline the element into the update and match the
+                    // fold shape.
+                    let u = steno_expr::subst::subst(update, elem_param, value);
+                    let mask = at.mask.unwrap_or(NO_MASK);
+                    let acc_var = Expr::Var(acc_param.clone());
+                    match (repr, &u) {
+                        (AccRepr::SI, Expr::Bin(BinOp::Add, a, b)) => {
+                            let n = match (&**a, &**b) {
+                                (x, Expr::LitI64(n)) if *x == acc_var => *n,
+                                (Expr::LitI64(n), x) if *x == acc_var => *n,
+                                _ => return false,
+                            };
+                            at.reductions.push(Reduction::GroupCount {
+                                sink: id,
+                                key: key_slot,
+                                n,
+                                mask,
+                            });
+                        }
+                        (AccRepr::SF, Expr::Bin(BinOp::Add, a, b)) => {
+                            let e = if **a == acc_var {
+                                &**b
+                            } else if **b == acc_var {
+                                &**a
+                            } else {
+                                return false;
+                            };
+                            if steno_expr::subst::free_vars(e).contains(acc_param) {
+                                return false;
+                            }
+                            let Some(val) = self.fuse_expr(&mut at, e) else {
+                                return false;
+                            };
+                            at.reductions.push(Reduction::GroupAddF {
+                                sink: id,
+                                key: key_slot,
+                                val,
+                                mask,
+                            });
+                        }
+                        _ => return false,
+                    }
+                }
+                Stmt::Assign { name, expr } => {
+                    let acc = at.acc_ids[name.as_str()];
+                    // Recognize acc = acc ⊕ e / acc.min(e) / acc.max(e).
+                    let (kind, e) = match expr {
+                        Expr::Bin(BinOp::Add, a, b) => {
+                            if **a == Expr::Var(name.clone()) {
+                                ('+', b.as_ref())
+                            } else if **b == Expr::Var(name.clone()) {
+                                ('+', a.as_ref())
+                            } else {
+                                return false;
+                            }
+                        }
+                        Expr::Bin(BinOp::Min, a, b) if **a == Expr::Var(name.clone()) => {
+                            ('<', b.as_ref())
+                        }
+                        Expr::Bin(BinOp::Max, a, b) if **a == Expr::Var(name.clone()) => {
+                            ('>', b.as_ref())
+                        }
+                        _ => return false,
+                    };
+                    let Some(val) = self.fuse_expr(&mut at, e) else {
+                        return false;
+                    };
+                    let mask = at.mask.unwrap_or(NO_MASK);
+                    at.reductions.push(match kind {
+                        '+' => Reduction::Add { acc, val, mask },
+                        '<' => Reduction::Min { acc, val, mask },
+                        _ => Reduction::Max { acc, val, mask },
+                    });
+                }
+                _ => return false,
+            }
+        }
+        if at.reductions.is_empty() {
+            // A fused loop with no observable effect would be wrong for
+            // sequence-yielding loops; those stay generic.
+            return false;
+        }
+
+        let sid = self.src_id(name);
+        self.n_fused += 1;
+        self.emit(Instr::FusedLoop(std::sync::Arc::new(FusedKernel {
+            src: sid,
+            params: at.params,
+            accs: at.accs,
+            n_slots: at.n_slots as u8,
+            prologue: at.prologue,
+            tape: at.tape,
+            reductions: at.reductions,
+        })));
+        true
+    }
+
+    /// Compiles an expression into a batch slot, or fails the attempt.
+    fn fuse_expr(&mut self, at: &mut FuseAttempt, e: &Expr) -> Option<u8> {
+        use crate::fuse::VOp;
+        match e {
+            Expr::Var(name) => {
+                if let Some(s) = at.locals.get(name) {
+                    return Some(*s);
+                }
+                if at.acc_ids.contains_key(name) {
+                    // Accumulators may not feed value pipelines.
+                    return None;
+                }
+                match self.scope.get(name) {
+                    Some((Loc::F(reg), Ty::F64)) => {
+                        let reg = *reg;
+                        at.param_slot(reg)
+                    }
+                    _ => None,
+                }
+            }
+            Expr::LitF64(x) => at.const_slot(*x),
+            Expr::LitBool(b) => at.const_slot(if *b { 1.0 } else { 0.0 }),
+            Expr::Bin(op, a, b) => {
+                let ra = self.fuse_expr(at, a)?;
+                let rb = self.fuse_expr(at, b)?;
+                let d = at.slot()?;
+                let vop = match op {
+                    BinOp::Add => VOp::Add(d, ra, rb),
+                    BinOp::Sub => VOp::Sub(d, ra, rb),
+                    BinOp::Mul => VOp::Mul(d, ra, rb),
+                    BinOp::Div => VOp::Div(d, ra, rb),
+                    BinOp::Rem => VOp::Rem(d, ra, rb),
+                    BinOp::Min => VOp::Min(d, ra, rb),
+                    BinOp::Max => VOp::Max(d, ra, rb),
+                    BinOp::Lt => VOp::Lt(d, ra, rb),
+                    BinOp::Le => VOp::Le(d, ra, rb),
+                    BinOp::Gt => VOp::Gt(d, ra, rb),
+                    BinOp::Ge => VOp::Ge(d, ra, rb),
+                    BinOp::Eq => VOp::EqM(d, ra, rb),
+                    BinOp::Ne => VOp::NeM(d, ra, rb),
+                    BinOp::And => VOp::AndM(d, ra, rb),
+                    BinOp::Or => VOp::OrM(d, ra, rb),
+                };
+                at.tape.push(vop);
+                Some(d)
+            }
+            Expr::Un(op, a) => {
+                let ra = self.fuse_expr(at, a)?;
+                let d = at.slot()?;
+                let vop = match op {
+                    UnOp::Neg => VOp::Neg(d, ra),
+                    UnOp::Abs => VOp::Abs(d, ra),
+                    UnOp::Sqrt => VOp::Sqrt(d, ra),
+                    UnOp::Floor => VOp::Floor(d, ra),
+                    UnOp::Not => VOp::NotM(d, ra),
+                };
+                at.tape.push(vop);
+                Some(d)
+            }
+            Expr::If(c, t, els) => {
+                let rc = self.fuse_expr(at, c)?;
+                let rt = self.fuse_expr(at, t)?;
+                let re = self.fuse_expr(at, els)?;
+                let d = at.slot()?;
+                at.tape.push(VOp::Select {
+                    dst: d,
+                    mask: rc,
+                    t: rt,
+                    e: re,
+                });
+                Some(d)
+            }
+            // Integer literals, casts, calls, pairs, rows: generic path.
+            _ => None,
+        }
+    }
+}

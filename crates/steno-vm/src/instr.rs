@@ -1,0 +1,318 @@
+//! The register bytecode.
+//!
+//! Registers live in three banks, assigned by static type: `f64` values in
+//! the F bank, `i64` and booleans (0/1) in the I bank, and compound
+//! [`Value`]s in the V bank. Keeping scalars unboxed in their own banks is
+//! the VM-level counterpart of the paper's *type specialization* (§4):
+//! the hot loop of a numeric query touches only unboxed registers.
+
+use steno_expr::{Ty, Value};
+
+/// An F-bank (f64) register index.
+pub type FReg = u32;
+/// An I-bank (i64 / bool) register index.
+pub type IReg = u32;
+/// A V-bank (boxed [`Value`]) register index.
+pub type VReg = u32;
+/// An instruction address.
+pub type Pc = u32;
+/// A prepared-source index.
+pub type SrcId = u32;
+/// A sink index.
+pub type SinkId = u32;
+/// A UDF index.
+pub type UdfId = u32;
+
+/// A scalar grouping-key operand: which register bank holds the key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SKey {
+    /// An f64 key in the F bank.
+    F(FReg),
+    /// An i64 key in the I bank.
+    I(IReg),
+    /// A boolean key (0/1) in the I bank.
+    B(IReg),
+}
+
+/// One bytecode instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    // ---- control flow ----
+    /// Unconditional jump.
+    Jump(Pc),
+    /// Jump when the I-register is zero (false).
+    JumpIfFalse(IReg, Pc),
+    /// Jump when the I-register is non-zero (true).
+    JumpIfTrue(IReg, Pc),
+
+    // ---- constants and moves ----
+    /// Load an f64 constant.
+    ConstF(FReg, f64),
+    /// Load an i64 (or boolean) constant.
+    ConstI(IReg, i64),
+    /// Load a boxed constant (cloned from the program's pool).
+    ConstV(VReg, Value),
+    /// Copy between F registers.
+    MovF(FReg, FReg),
+    /// Copy between I registers.
+    MovI(IReg, IReg),
+    /// Copy between V registers.
+    MovV(VReg, VReg),
+
+    // ---- f64 arithmetic ----
+    /// `dst = a + b`.
+    AddF(FReg, FReg, FReg),
+    /// `dst = a - b`.
+    SubF(FReg, FReg, FReg),
+    /// `dst = a * b`.
+    MulF(FReg, FReg, FReg),
+    /// `dst = a / b` (IEEE semantics).
+    DivF(FReg, FReg, FReg),
+    /// `dst = a % b`.
+    RemF(FReg, FReg, FReg),
+    /// `dst = -a`.
+    NegF(FReg, FReg),
+    /// `dst = a.abs()`.
+    AbsF(FReg, FReg),
+    /// `dst = a.sqrt()`.
+    SqrtF(FReg, FReg),
+    /// `dst = a.floor()`.
+    FloorF(FReg, FReg),
+    /// `dst = a.min(b)`.
+    MinF(FReg, FReg, FReg),
+    /// `dst = a.max(b)`.
+    MaxF(FReg, FReg, FReg),
+
+    // ---- i64 arithmetic (wrapping, like unchecked C#) ----
+    /// `dst = a + b`.
+    AddI(IReg, IReg, IReg),
+    /// `dst = a - b`.
+    SubI(IReg, IReg, IReg),
+    /// `dst = a * b`.
+    MulI(IReg, IReg, IReg),
+    /// `dst = a / b`; errors on division by zero.
+    DivI(IReg, IReg, IReg),
+    /// `dst = a % b`; errors on division by zero.
+    RemI(IReg, IReg, IReg),
+    /// `dst = -a`.
+    NegI(IReg, IReg),
+    /// `reg += 1` (loop induction variables).
+    IncI(IReg),
+    /// `dst = a.abs()`.
+    AbsI(IReg, IReg),
+    /// `dst = a.min(b)`.
+    MinI(IReg, IReg, IReg),
+    /// `dst = a.max(b)`.
+    MaxI(IReg, IReg, IReg),
+    /// Boolean negation (`dst = 1 - a` for 0/1 values).
+    NotB(IReg, IReg),
+
+    // ---- comparisons (result in the I bank as 0/1) ----
+    /// `dst = (a == b)` over f64 (IEEE: NaN is unequal).
+    EqF(IReg, FReg, FReg),
+    /// `dst = (a != b)` over f64.
+    NeF(IReg, FReg, FReg),
+    /// `dst = (a < b)` over f64.
+    LtF(IReg, FReg, FReg),
+    /// `dst = (a <= b)` over f64.
+    LeF(IReg, FReg, FReg),
+    /// `dst = (a > b)` over f64.
+    GtF(IReg, FReg, FReg),
+    /// `dst = (a >= b)` over f64.
+    GeF(IReg, FReg, FReg),
+    /// `dst = (a == b)` over i64/bool.
+    EqI(IReg, IReg, IReg),
+    /// `dst = (a != b)` over i64/bool.
+    NeI(IReg, IReg, IReg),
+    /// `dst = (a < b)` over i64.
+    LtI(IReg, IReg, IReg),
+    /// `dst = (a <= b)` over i64.
+    LeI(IReg, IReg, IReg),
+    /// `dst = (a > b)` over i64.
+    GtI(IReg, IReg, IReg),
+    /// `dst = (a >= b)` over i64.
+    GeI(IReg, IReg, IReg),
+    /// `dst = (a == b)` over boxed values (structural).
+    EqV(IReg, VReg, VReg),
+    /// Three-way total comparison of boxed values: -1/0/1.
+    CmpV(IReg, VReg, VReg),
+
+    // ---- casts and boxing ----
+    /// `dst = a as i64`.
+    F2I(IReg, FReg),
+    /// `dst = a as f64`.
+    I2F(FReg, IReg),
+    /// Box an f64.
+    FToV(VReg, FReg),
+    /// Box an i64.
+    IToV(VReg, IReg),
+    /// Box a boolean (0/1 I-register).
+    BToV(VReg, IReg),
+    /// Unbox an f64 (accepts `I64` with conversion).
+    VToF(FReg, VReg),
+    /// Unbox an i64.
+    VToI(IReg, VReg),
+    /// Unbox a boolean into 0/1.
+    VToB(IReg, VReg),
+
+    // ---- compound values ----
+    /// `dst = (a, b)`.
+    MkPair(VReg, VReg, VReg),
+    /// `dst = pair.0`.
+    Field0(VReg, VReg),
+    /// `dst = pair.1`.
+    Field1(VReg, VReg),
+    /// `dst = row[idx]` (f64); errors when out of bounds.
+    RowIdx(FReg, VReg, IReg),
+    /// `dst = row.len()`.
+    RowLen(IReg, VReg),
+    /// `dst = seq.len()` (also accepts rows).
+    SeqLen(IReg, VReg),
+    /// `dst = seq[idx]` (boxed); errors when out of bounds.
+    SeqIdx(VReg, VReg, IReg),
+
+    // ---- user-defined functions ----
+    /// Call a registered UDF with boxed arguments.
+    CallUdf {
+        /// Destination (boxed).
+        dst: VReg,
+        /// UDF index in the prepared registry.
+        udf: UdfId,
+        /// Argument registers.
+        args: Vec<VReg>,
+    },
+
+    // ---- sources ----
+    /// `dst = len(source)`.
+    SrcLen(IReg, SrcId),
+    /// `dst = source[idx]` for an f64 column.
+    SrcGetF(FReg, SrcId, IReg),
+    /// `dst = source[idx]` for an i64 column.
+    SrcGetI(IReg, SrcId, IReg),
+    /// `dst = source[idx]` for a bool column (as 0/1).
+    SrcGetB(IReg, SrcId, IReg),
+    /// `dst = source[idx]` boxed (rows, generic values).
+    SrcGetV(VReg, SrcId, IReg),
+
+    // ---- sinks ----
+    /// Initialize a `Lookup` group sink.
+    SinkNewGroup(SinkId),
+    /// Initialize a grouped-aggregate sink with a boxed default.
+    SinkNewGroupAggV(SinkId, VReg),
+    /// Initialize a grouped-aggregate sink with an f64 default.
+    SinkNewGroupAggF(SinkId, FReg),
+    /// Initialize a grouped-aggregate sink with an i64 default.
+    SinkNewGroupAggI(SinkId, IReg),
+    /// Initialize a fully-scalar grouped-aggregate sink (f64 acc).
+    SinkNewGroupAggSF(SinkId, FReg),
+    /// Initialize a fully-scalar grouped-aggregate sink (i64 acc).
+    SinkNewGroupAggSI(SinkId, IReg),
+    /// Initialize a sort sink.
+    SinkNewSorted(SinkId, bool),
+    /// Initialize a distinct sink.
+    SinkNewDistinct(SinkId),
+    /// Initialize a plain buffer sink.
+    SinkNewVec(SinkId),
+    /// Append `(key, value)` to a group sink.
+    GroupPut(SinkId, VReg, VReg),
+    /// Load the accumulator for `key` (or the default) into a boxed
+    /// register, remembering the slot for the following store.
+    GroupAccLoadV(SinkId, VReg, VReg),
+    /// Store the boxed accumulator back to the remembered slot.
+    GroupAccStoreV(SinkId, VReg),
+    /// Scalar fast path of [`Instr::GroupAccLoadV`] for f64 accumulators.
+    GroupAccLoadF(SinkId, FReg, VReg),
+    /// Scalar fast path of [`Instr::GroupAccStoreV`].
+    GroupAccStoreF(SinkId, FReg),
+    /// Scalar fast path for i64 accumulators.
+    GroupAccLoadI(SinkId, IReg, VReg),
+    /// Scalar fast path for i64 accumulators.
+    GroupAccStoreI(SinkId, IReg),
+    /// Fully-scalar load: f64 accumulator, scalar key register.
+    GroupAccLoadSF(SinkId, FReg, SKey),
+    /// Fully-scalar load: i64 accumulator, scalar key register.
+    GroupAccLoadSI(SinkId, IReg, SKey),
+    /// Fully-scalar store to the remembered slot (f64 acc).
+    GroupAccStoreSF(SinkId, FReg),
+    /// Fully-scalar store to the remembered slot (i64 acc).
+    GroupAccStoreSI(SinkId, IReg),
+    /// Push a value into a vec/distinct sink.
+    SinkPush(SinkId, VReg),
+    /// Push a keyed value into a sort sink.
+    SinkPushKeyed(SinkId, VReg, VReg),
+    /// Finalize a sort sink (sorts its buffer).
+    SinkSeal(SinkId),
+    /// Materialize the sink contents for iteration.
+    SinkFreeze(SinkId),
+    /// `dst = frozen sink length`.
+    SinkLen(IReg, SinkId),
+    /// `dst = frozen sink [idx]` (boxed).
+    SinkGet(VReg, SinkId, IReg),
+
+    // ---- output ----
+    /// Append a boxed value to the output buffer.
+    OutPush(VReg),
+    /// A fused whole-loop kernel over an f64 source (see [`crate::fuse`]).
+    FusedLoop(crate::fuse::KernelRef),
+    /// Terminate returning an f64.
+    HaltF(FReg),
+    /// Terminate returning an i64.
+    HaltI(IReg),
+    /// Terminate returning a boolean.
+    HaltB(IReg),
+    /// Terminate returning a boxed value.
+    HaltV(VReg),
+    /// Terminate returning the output buffer as a sequence.
+    HaltOut,
+}
+
+/// A complete bytecode program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The instructions.
+    pub instrs: Vec<Instr>,
+    /// Number of F registers.
+    pub n_fregs: u32,
+    /// Number of I registers.
+    pub n_iregs: u32,
+    /// Number of V registers.
+    pub n_vregs: u32,
+    /// Number of sinks.
+    pub n_sinks: u32,
+    /// Number of loops compiled by the fusion tier.
+    pub n_fused: u32,
+    /// Source names in [`SrcId`] order.
+    pub source_names: Vec<String>,
+    /// UDF names in [`UdfId`] order.
+    pub udf_names: Vec<String>,
+    /// Result type of the program.
+    pub result_ty: Ty,
+}
+
+impl Program {
+    /// The number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` for an empty program (never produced by the compiler).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instructions_are_compact() {
+        // The interpreter's dispatch cost scales with instruction size;
+        // keep the common case within two cache lines.
+        assert!(
+            std::mem::size_of::<Instr>() <= 48,
+            "Instr grew to {} bytes",
+            std::mem::size_of::<Instr>()
+        );
+    }
+}

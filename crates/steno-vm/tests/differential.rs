@@ -1,0 +1,669 @@
+//! Differential testing: the Steno VM against the unoptimized LINQ
+//! interpreter.
+//!
+//! "We faithfully reproduced the semantics of unoptimized LINQ" (§9) —
+//! this suite holds the reproduction to that standard: every query below
+//! must produce identical results through the boxed-iterator interpreter
+//! and through the full lower → generate → assemble → execute pipeline.
+
+use proptest::prelude::*;
+use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
+use steno_linq::interp;
+use steno_query::{GroupResult, QFn2, Query, QueryExpr};
+use steno_vm::CompiledQuery;
+
+fn ctx() -> DataContext {
+    DataContext::new()
+        .with_source("xs", vec![3.0, -1.5, 4.0, 1.0, -5.0, 9.25, 2.0, 6.0])
+        .with_source("ys", vec![0.5, 2.0, -3.0])
+        .with_source("ns", vec![7i64, 1, 4, 4, -2, 8, 0, 3, 3, 5])
+        .with_source("ms", vec![2i64, -3, 5])
+        .with_source("bs", Column::from_bool(vec![true, false, true, true]))
+        .with_source(
+            "pts",
+            Column::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3),
+        )
+        .with_source("empty", Vec::<f64>::new())
+}
+
+fn udfs() -> UdfRegistry {
+    let mut u = UdfRegistry::new();
+    u.register("dist2", vec![Ty::Row, Ty::Row], Ty::F64, |args| {
+        let a = args[0].as_row().unwrap();
+        let b = args[1].as_row().unwrap();
+        Value::F64(
+            a.iter()
+                .zip(b.iter())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum(),
+        )
+    });
+    u.register("vadd", vec![Ty::Row, Ty::Row], Ty::Row, |args| {
+        let a = args[0].as_row().unwrap();
+        let b = args[1].as_row().unwrap();
+        Value::row(a.iter().zip(b.iter()).map(|(x, y)| x + y).collect())
+    });
+    u
+}
+
+/// Asserts interpreter == VM on `q`.
+#[track_caller]
+fn check(q: &QueryExpr) {
+    let c = ctx();
+    let u = udfs();
+    let expected = interp::execute(q, &c, &u).expect("interpreter failed");
+    let compiled = CompiledQuery::compile(q, (&c).into(), &u)
+        .unwrap_or_else(|e| panic!("optimization failed for {q}: {e}"));
+    let actual = compiled.run(&c, &u).expect("vm failed");
+    assert_eq!(
+        expected.key(),
+        actual.key(),
+        "mismatch for {q}:\ninterp = {expected}\nvm     = {actual}\ngenerated:\n{}",
+        compiled.rust_source()
+    );
+}
+
+fn x() -> Expr {
+    Expr::var("x")
+}
+
+#[test]
+fn scalar_aggregates() {
+    check(&Query::source("xs").sum().build());
+    check(&Query::source("xs").min().build());
+    check(&Query::source("xs").max().build());
+    check(&Query::source("xs").count().build());
+    check(&Query::source("xs").average().build());
+    check(&Query::source("xs").first().build());
+    check(&Query::source("xs").any().build());
+    check(&Query::source("ns").sum().build());
+    check(&Query::source("ns").min().build());
+    check(&Query::source("ns").max().build());
+    check(&Query::source("ns").average().build());
+}
+
+#[test]
+fn empty_source_conventions() {
+    check(&Query::source("empty").sum().build());
+    check(&Query::source("empty").count().build());
+    check(&Query::source("empty").min().build());
+    check(&Query::source("empty").max().build());
+    check(&Query::source("empty").first().build());
+    check(&Query::source("empty").any().build());
+}
+
+#[test]
+fn figure_one_sum_of_squares() {
+    check(
+        &Query::source("xs")
+            .select(x() * x(), "x")
+            .sum()
+            .build(),
+    );
+}
+
+#[test]
+fn even_squares_running_example() {
+    check(
+        &Query::source("ns")
+            .where_((x() % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .select(x() * x(), "x")
+            .build(),
+    );
+}
+
+#[test]
+fn transform_chains() {
+    check(
+        &Query::source("xs")
+            .select(x() + Expr::litf(1.0), "x")
+            .select(x() * Expr::litf(2.0), "x")
+            .select(x().abs().sqrt(), "x")
+            .build(),
+    );
+    check(
+        &Query::source("ns")
+            .select(x().cast(Ty::F64), "x")
+            .select(x() / Expr::litf(3.0), "x")
+            .sum()
+            .build(),
+    );
+}
+
+#[test]
+fn predicates_and_positional_ops() {
+    check(&Query::source("xs").take(3).build());
+    check(&Query::source("xs").skip(5).build());
+    check(&Query::source("xs").skip(2).take(3).build());
+    check(&Query::source("xs").take(100).build());
+    check(
+        &Query::source("xs")
+            .take_while(x().gt(Expr::litf(-1.0)), "x")
+            .build(),
+    );
+    check(
+        &Query::source("xs")
+            .skip_while(x().gt(Expr::litf(0.0)), "x")
+            .build(),
+    );
+    check(
+        &Query::source("xs")
+            .where_(x().gt(Expr::litf(0.0)), "x")
+            .skip(1)
+            .take(2)
+            .sum()
+            .build(),
+    );
+}
+
+#[test]
+fn boolean_sources_and_logic() {
+    check(&Query::source("bs").all_by(x(), "x").build());
+    check(&Query::source("bs").any_by(x().not(), "x").build());
+    check(
+        &Query::source("ns")
+            .where_(
+                x().gt(Expr::liti(0)).and(x().lt(Expr::liti(5))),
+                "x",
+            )
+            .count()
+            .build(),
+    );
+    check(
+        &Query::source("ns")
+            .where_(
+                x().lt(Expr::liti(0)).or(x().gt(Expr::liti(6))),
+                "x",
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn range_and_repeat_sources() {
+    check(&Query::range(-3, 10).sum().build());
+    check(
+        &Query::range(0, 20)
+            .where_((x() % Expr::liti(3)).eq(Expr::liti(0)), "x")
+            .build(),
+    );
+    check(&Query::repeat(2.5f64, 7).sum().build());
+    check(&Query::repeat(9i64, 0).count().build());
+}
+
+#[test]
+fn user_fold_aggregate() {
+    check(
+        &Query::source("ns")
+            .aggregate(Expr::liti(1), "a", "v", Expr::var("a") * Expr::var("v"))
+            .build(),
+    );
+    // Argmax via a pair accumulator.
+    check(
+        &Query::source("xs")
+            .aggregate(
+                Expr::mk_pair(Expr::litf(f64::NEG_INFINITY), Expr::litf(0.0)),
+                "a",
+                "v",
+                Expr::if_(
+                    Expr::var("v").gt(Expr::var("a").field(0)),
+                    Expr::mk_pair(Expr::var("v"), Expr::var("v") * Expr::litf(2.0)),
+                    Expr::var("a"),
+                ),
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn nested_cartesian_product_select_many() {
+    // §5: xs.SelectMany(x => ys.Select(y => x * y)).Sum()
+    check(
+        &Query::source("xs")
+            .select_many(Query::source("ys").select(x() * Expr::var("y"), "y"), "x")
+            .sum()
+            .build(),
+    );
+    // Sequence-valued result.
+    check(
+        &Query::source("ms")
+            .select_many(
+                Query::source("ns").select(Expr::var("n") + x(), "n"),
+                "x",
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn triple_nested_cartesian() {
+    // The three-array Cartesian product of §5.
+    let inner = Query::source("ms").select(
+        Expr::var("x") * Expr::var("y") * Expr::var("z").cast(Ty::F64),
+        "z",
+    );
+    check(
+        &Query::source("xs")
+            .select_many(Query::source("ys").select_many(inner, "y"), "x")
+            .sum()
+            .build(),
+    );
+}
+
+#[test]
+fn nested_scalar_select() {
+    // xs.Select(x => ys.Where(y > x).Count())
+    check(
+        &Query::source("xs")
+            .select_query(
+                Query::source("ys")
+                    .where_(Expr::var("y").gt(x()), "y")
+                    .count(),
+                "x",
+            )
+            .build(),
+    );
+    // Aggregate over the nested results.
+    check(
+        &Query::source("xs")
+            .select_query(
+                Query::source("ys")
+                    .select(Expr::var("y") - x(), "y")
+                    .min(),
+                "x",
+            )
+            .max()
+            .build(),
+    );
+}
+
+#[test]
+fn nested_predicate_query() {
+    // xs.Where(x => ys.Any(y => y > x))
+    check(
+        &Query::source("xs")
+            .select_query(
+                Query::source("ys").any_by(Expr::var("y").gt(x()), "y"),
+                "x",
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn nested_filter_inside_select_many() {
+    // The equi-join shape of §5: xs.SelectMany(x => ys.Where(y == x)).
+    check(
+        &Query::source("ns")
+            .select_many(
+                Query::source("ms").where_(Expr::var("y").eq(x()), "y"),
+                "x",
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn group_by_plain() {
+    check(
+        &Query::source("ns")
+            .group_by(x() % Expr::liti(3), "x")
+            .build(),
+    );
+    check(
+        &Query::source("xs")
+            .group_by_elem(x().floor(), x() * x(), "x")
+            .build(),
+    );
+}
+
+#[test]
+fn group_by_aggregate_specialized() {
+    // GroupBy with aggregating result selector (§4.3).
+    check(
+        &Query::source("ns")
+            .group_by_result(
+                x() % Expr::liti(3),
+                "x",
+                GroupResult::keyed("k", "g", Query::over(Expr::var("g")).sum().build()),
+            )
+            .build(),
+    );
+    check(
+        &Query::source("ns")
+            .group_by_result(
+                x() % Expr::liti(4),
+                "x",
+                GroupResult::keyed("k", "g", Query::over(Expr::var("g")).count().build()),
+            )
+            .build(),
+    );
+    // With a transforming inner chain that must fuse into the update.
+    check(
+        &Query::source("xs")
+            .group_by_result(
+                x().floor(),
+                "x",
+                GroupResult::keyed(
+                    "k",
+                    "g",
+                    Query::over(Expr::var("g"))
+                        .select(Expr::var("v") * Expr::var("v"), "v")
+                        .sum()
+                        .build(),
+                ),
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn group_by_then_having() {
+    // GROUP BY ... HAVING (§4.2).
+    check(
+        &Query::source("ns")
+            .group_by(x() % Expr::liti(3), "x")
+            .where_(Expr::var("kv").field(0).gt(Expr::liti(0)), "kv")
+            .build(),
+    );
+}
+
+#[test]
+fn group_by_then_nested_aggregate_over_groups() {
+    // GroupBy(key).Select(kv => sum(kv.1)) — the pattern the §4.3 pass
+    // recognizes.
+    check(
+        &Query::source("ns")
+            .group_by(x() % Expr::liti(3), "x")
+            .select_query(Query::over(Expr::var("kv").field(1)).sum(), "kv")
+            .build(),
+    );
+}
+
+#[test]
+fn order_by_and_distinct() {
+    check(&Query::source("xs").order_by(x(), "x").build());
+    check(&Query::source("xs").order_by_desc(x(), "x").build());
+    check(&Query::source("ns").distinct().build());
+    check(
+        &Query::source("ns")
+            .distinct()
+            .order_by(x(), "x")
+            .take(3)
+            .build(),
+    );
+    check(
+        &Query::source("xs")
+            .order_by(x().abs(), "x")
+            .skip(2)
+            .sum()
+            .build(),
+    );
+}
+
+#[test]
+fn to_vec_materialization() {
+    check(&Query::source("xs").to_vec().sum().build());
+    check(
+        &Query::source("ns")
+            .select(x() * x(), "x")
+            .to_vec()
+            .take(4)
+            .build(),
+    );
+}
+
+#[test]
+fn rows_and_udfs() {
+    // Flatten row coordinates.
+    check(
+        &Query::source("pts")
+            .select_many_expr(Expr::var("p"), "p")
+            .sum()
+            .build(),
+    );
+    // Distance between each point and a fixed reference via UDF.
+    check(
+        &Query::source("pts")
+            .select(
+                Expr::call("dist2", vec![Expr::var("p"), Expr::var("p")]),
+                "p",
+            )
+            .sum()
+            .build(),
+    );
+    // Row indexing and length.
+    check(
+        &Query::source("pts")
+            .select(
+                Expr::var("p").row_index(Expr::liti(1)) * Expr::var("p").row_len().cast(Ty::F64),
+                "p",
+            )
+            .build(),
+    );
+}
+
+#[test]
+fn kmeans_assignment_shape() {
+    // The k-means inner step (§7.2): for each point, find the nearest
+    // centroid id, then aggregate per cluster.
+    let centroids = Column::from_values(vec![
+        Value::pair(Value::I64(0), Value::row(vec![0.0, 0.0, 0.0])),
+        Value::pair(Value::I64(1), Value::row(vec![5.0, 5.0, 5.0])),
+    ]);
+    let c = ctx().with_source("centroids", centroids);
+    let u = udfs();
+    // nearest = centroids.Select(c => (c.0, dist2(p, c.1)))
+    //                     .Aggregate((-1, inf), min-by-distance)
+    let nearest = Query::source("centroids")
+        .select(
+            Expr::mk_pair(
+                Expr::var("c").field(0),
+                Expr::call("dist2", vec![Expr::var("p"), Expr::var("c").field(1)]),
+            ),
+            "c",
+        )
+        .aggregate(
+            Expr::mk_pair(Expr::liti(-1), Expr::litf(f64::INFINITY)),
+            "best",
+            "cur",
+            Expr::if_(
+                Expr::var("cur").field(1).lt(Expr::var("best").field(1)),
+                Expr::var("cur"),
+                Expr::var("best"),
+            ),
+        );
+    let q = Query::source("pts")
+        .select_query(nearest, "p")
+        .select(Expr::var("kv").field(0), "kv")
+        .group_by(Expr::var("id"), "id")
+        .build();
+    let expected = interp::execute(&q, &c, &u).unwrap();
+    let compiled = CompiledQuery::compile(&q, (&c).into(), &u).unwrap();
+    let actual = compiled.run(&c, &u).unwrap();
+    assert_eq!(expected.key(), actual.key());
+}
+
+// ---------------------------------------------------------------------
+// Property-based differential testing over randomly generated chains.
+// ---------------------------------------------------------------------
+
+/// A safe element-wise f64 transform (no division; stays finite).
+fn arb_transform() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(x() * x()),
+        Just(x() + Expr::litf(1.0)),
+        Just(x() - Expr::litf(2.5)),
+        Just(x() * Expr::litf(-0.5)),
+        Just(x().abs()),
+        Just(x().floor()),
+        Just(x().min(Expr::litf(3.0))),
+        Just(x().max(Expr::litf(-3.0))),
+        Just(x() / Expr::litf(4.0)),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(x().gt(Expr::litf(0.0))),
+        Just(x().le(Expr::litf(2.0))),
+        Just(x().ne(Expr::litf(1.0))),
+        Just(x().abs().lt(Expr::litf(5.0))),
+        Just(x().ge(Expr::litf(-1.0)).and(x().lt(Expr::litf(4.0)))),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum OpPick {
+    Select(Expr),
+    Where(Expr),
+    Take(usize),
+    Skip(usize),
+    TakeWhile(Expr),
+    SkipWhile(Expr),
+    Distinct,
+    OrderBy(bool),
+    ToVec,
+}
+
+fn arb_op() -> impl Strategy<Value = OpPick> {
+    prop_oneof![
+        4 => arb_transform().prop_map(OpPick::Select),
+        3 => arb_predicate().prop_map(OpPick::Where),
+        1 => (0usize..12).prop_map(OpPick::Take),
+        1 => (0usize..12).prop_map(OpPick::Skip),
+        1 => arb_predicate().prop_map(OpPick::TakeWhile),
+        1 => arb_predicate().prop_map(OpPick::SkipWhile),
+        1 => Just(OpPick::Distinct),
+        1 => prop::bool::ANY.prop_map(OpPick::OrderBy),
+        1 => Just(OpPick::ToVec),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum TerminalPick {
+    Collect,
+    Sum,
+    Min,
+    Max,
+    Count,
+    Average,
+    First,
+}
+
+fn arb_terminal() -> impl Strategy<Value = TerminalPick> {
+    prop_oneof![
+        Just(TerminalPick::Collect),
+        Just(TerminalPick::Sum),
+        Just(TerminalPick::Min),
+        Just(TerminalPick::Max),
+        Just(TerminalPick::Count),
+        Just(TerminalPick::Average),
+        Just(TerminalPick::First),
+    ]
+}
+
+fn build_query(ops: &[OpPick], terminal: &TerminalPick) -> QueryExpr {
+    let mut q = Query::source("data");
+    for op in ops {
+        q = match op.clone() {
+            OpPick::Select(e) => q.select(e, "x"),
+            OpPick::Where(e) => q.where_(e, "x"),
+            OpPick::Take(n) => q.take(n),
+            OpPick::Skip(n) => q.skip(n),
+            OpPick::TakeWhile(e) => q.take_while(e, "x"),
+            OpPick::SkipWhile(e) => q.skip_while(e, "x"),
+            OpPick::Distinct => q.distinct(),
+            OpPick::OrderBy(desc) => {
+                if desc {
+                    q.order_by_desc(x(), "x")
+                } else {
+                    q.order_by(x(), "x")
+                }
+            }
+            OpPick::ToVec => q.to_vec(),
+        };
+    }
+    match terminal {
+        TerminalPick::Collect => q.build(),
+        TerminalPick::Sum => q.sum().build(),
+        TerminalPick::Min => q.min().build(),
+        TerminalPick::Max => q.max().build(),
+        TerminalPick::Count => q.count().build(),
+        TerminalPick::Average => q.average().build(),
+        TerminalPick::First => q.first().build(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Random flat chains over random data agree between the interpreter
+    /// and the VM.
+    #[test]
+    fn random_chains_agree(
+        data in prop::collection::vec(-50.0f64..50.0, 0..24),
+        ops in prop::collection::vec(arb_op(), 0..6),
+        terminal in arb_terminal(),
+    ) {
+        // Average of an empty stream is NaN through both paths, but the
+        // two NaN payloads compare equal through the key; keep it in.
+        let q = build_query(&ops, &terminal);
+        let c = DataContext::new().with_source("data", data);
+        let u = UdfRegistry::new();
+        let expected = interp::execute(&q, &c, &u).expect("interp failed");
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
+        let actual = compiled.run(&c, &u).expect("vm failed");
+        prop_assert_eq!(expected.key(), actual.key(), "query {}", q);
+    }
+
+    /// Random grouped aggregations agree, with the §4.3 specialization on.
+    #[test]
+    fn random_grouped_aggregates_agree(
+        data in prop::collection::vec(-20i64..20, 0..30),
+        modulus in 1i64..6,
+        use_count in prop::bool::ANY,
+    ) {
+        let inner = if use_count {
+            Query::over(Expr::var("g")).count().build()
+        } else {
+            Query::over(Expr::var("g")).sum().build()
+        };
+        let q = Query::source("data")
+            .group_by_result(
+                x() % Expr::liti(modulus),
+                "x",
+                GroupResult::keyed("k", "g", inner),
+            )
+            .build();
+        let c = DataContext::new().with_source("data", data);
+        let u = UdfRegistry::new();
+        let expected = interp::execute(&q, &c, &u).expect("interp failed");
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
+        let actual = compiled.run(&c, &u).expect("vm failed");
+        prop_assert_eq!(expected.key(), actual.key(), "query {}", q);
+    }
+
+    /// Nested Cartesian products agree for arbitrary inner/outer data.
+    #[test]
+    fn random_nested_products_agree(
+        outer in prop::collection::vec(-8.0f64..8.0, 0..10),
+        inner in prop::collection::vec(-8.0f64..8.0, 0..10),
+    ) {
+        let q = Query::source("outer")
+            .select_many(
+                Query::source("inner").select(x() * Expr::var("y"), "y"),
+                "x",
+            )
+            .sum()
+            .build();
+        let c = DataContext::new()
+            .with_source("outer", outer)
+            .with_source("inner", inner);
+        let u = UdfRegistry::new();
+        let expected = interp::execute(&q, &c, &u).expect("interp failed");
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
+        let actual = compiled.run(&c, &u).expect("vm failed");
+        prop_assert_eq!(expected.key(), actual.key());
+    }
+}

@@ -1,0 +1,150 @@
+//! Failure injection: data-dependent runtime errors must surface as
+//! structured [`VmError`]s from the compiled pipeline, not as panics or
+//! wrong answers — and must agree with the reference semantics about
+//! *when* a failure occurs (e.g. short-circuiting skips the trap).
+
+use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
+use steno_query::{Query, QueryExpr};
+use steno_vm::{CompiledQuery, VmError};
+
+fn compile(q: &QueryExpr, ctx: &DataContext) -> CompiledQuery {
+    CompiledQuery::compile(q, ctx.into(), &UdfRegistry::new()).expect("compile")
+}
+
+#[test]
+fn integer_division_by_zero_is_reported() {
+    let ctx = DataContext::new().with_source("ns", vec![4i64, 2, 0, 5]);
+    let q = Query::source("ns")
+        .select(Expr::liti(100) / Expr::var("x"), "x")
+        .sum()
+        .build();
+    let compiled = compile(&q, &ctx);
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Err(VmError::DivisionByZero)
+    );
+}
+
+#[test]
+fn integer_remainder_by_zero_is_reported() {
+    let ctx = DataContext::new().with_source("ns", vec![3i64, 0]);
+    let q = Query::source("ns")
+        .where_((Expr::liti(7) % Expr::var("x")).eq(Expr::liti(1)), "x")
+        .count()
+        .build();
+    let compiled = compile(&q, &ctx);
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Err(VmError::DivisionByZero)
+    );
+}
+
+#[test]
+fn float_division_by_zero_follows_ieee() {
+    // No error: IEEE semantics, exactly like the reference evaluator.
+    let ctx = DataContext::new().with_source("xs", vec![1.0, 0.0]);
+    let q = Query::source("xs")
+        .select(Expr::litf(1.0) / Expr::var("x"), "x")
+        .max()
+        .build();
+    let compiled = compile(&q, &ctx);
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Ok(Value::F64(f64::INFINITY))
+    );
+}
+
+#[test]
+fn short_circuit_protects_the_trap() {
+    // false && (1/0 == 0): the reference evaluator never evaluates the
+    // right operand; neither may the compiled code.
+    let ctx = DataContext::new().with_source("ns", vec![0i64, 1]);
+    let trap = (Expr::liti(1) / Expr::var("x")).eq(Expr::liti(0));
+    let q = Query::source("ns")
+        .where_(Expr::var("x").gt(Expr::liti(0)).and(trap), "x")
+        .count()
+        .build();
+    let compiled = compile(&q, &ctx);
+    // x = 0 would trap if && were strict; short-circuiting skips it.
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Ok(Value::I64(0))
+    );
+}
+
+#[test]
+fn row_index_out_of_bounds_is_reported() {
+    let ctx = DataContext::new()
+        .with_source("pts", Column::from_rows(vec![1.0, 2.0, 3.0, 4.0], 2));
+    let q = Query::source("pts")
+        .select(Expr::var("p").row_index(Expr::liti(5)), "p")
+        .sum()
+        .build();
+    let compiled = compile(&q, &ctx);
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Err(VmError::IndexOutOfBounds { index: 5, len: 2 })
+    );
+}
+
+#[test]
+fn missing_source_at_bind_time() {
+    let build_ctx = DataContext::new().with_source("xs", vec![1.0]);
+    let q = Query::source("xs").sum().build();
+    let compiled = compile(&q, &build_ctx);
+    // Running against a context that lacks the source fails at binding.
+    let empty = DataContext::new();
+    assert!(matches!(
+        compiled.run(&empty, &UdfRegistry::new()),
+        Err(VmError::MissingBinding(_))
+    ));
+}
+
+#[test]
+fn missing_udf_at_bind_time() {
+    let mut udfs = UdfRegistry::new();
+    udfs.register("f", vec![Ty::F64], Ty::F64, |args| args[0].clone());
+    let ctx = DataContext::new().with_source("xs", vec![1.0]);
+    let q = Query::source("xs")
+        .select(Expr::call("f", vec![Expr::var("x")]), "x")
+        .sum()
+        .build();
+    let compiled = CompiledQuery::compile(&q, (&ctx).into(), &udfs).expect("compile");
+    // Works with the registry...
+    assert_eq!(compiled.run(&ctx, &udfs), Ok(Value::F64(1.0)));
+    // ...fails cleanly without it.
+    assert!(matches!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Err(VmError::MissingBinding(_))
+    ));
+}
+
+#[test]
+fn failure_position_respects_lazy_semantics() {
+    // take(2) stops before the poisoned element: no error.
+    let ctx = DataContext::new().with_source("ns", vec![4i64, 2, 0, 5]);
+    let q = Query::source("ns")
+        .take(2)
+        .select(Expr::liti(100) / Expr::var("x"), "x")
+        .sum()
+        .build();
+    let compiled = compile(&q, &ctx);
+    assert_eq!(
+        compiled.run(&ctx, &UdfRegistry::new()),
+        Ok(Value::I64(75))
+    );
+}
+
+#[test]
+fn source_type_mismatch_is_a_shape_error() {
+    // Compile against an f64 source, run against an i64 source of the
+    // same name: the typed SrcGetF instruction must refuse.
+    let f_ctx = DataContext::new().with_source("xs", vec![1.0f64]);
+    let q = Query::source("xs").sum().build();
+    let compiled = compile(&q, &f_ctx);
+    let i_ctx = DataContext::new().with_source("xs", vec![1i64]);
+    assert!(matches!(
+        compiled.run(&i_ctx, &UdfRegistry::new()),
+        Err(VmError::Shape(_))
+    ));
+}

@@ -1,0 +1,224 @@
+//! The high-level engine: `WithSteno()` as an API.
+//!
+//! The paper applies Steno by marking a query with the `WithSteno()`
+//! extension method (§3). The [`Steno`] engine is that entry point here:
+//! it runs the full optimization pipeline, caches compiled queries
+//! (§3.3), and — like the real system, which "can only optimize the
+//! standard LINQ queries" — transparently falls back to the unoptimized
+//! iterator-based executor for shapes it does not handle.
+
+use std::fmt;
+use std::sync::Arc;
+
+use steno_expr::{DataContext, EvalError, UdfRegistry, Value};
+use steno_linq::interp;
+use steno_query::typing::SourceTypes;
+use steno_query::QueryExpr;
+use steno_syntax::ParseError;
+use steno_vm::query::OptimizeError;
+use steno_vm::{CompiledQuery, QueryCache, VmError};
+
+/// Which executor ran a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// The Steno pipeline: QUIL → generated loops → bytecode.
+    Optimized,
+    /// The unoptimized boxed-iterator interpreter (fallback).
+    Fallback,
+}
+
+/// An error from the engine.
+#[derive(Debug)]
+pub enum StenoError {
+    /// Query text failed to parse.
+    Parse(ParseError),
+    /// Both the optimizer and the fallback rejected the query.
+    Eval(EvalError),
+    /// The compiled query failed at run time.
+    Vm(VmError),
+    /// Optimization failed for a reason other than an unsupported shape.
+    Optimize(OptimizeError),
+}
+
+impl fmt::Display for StenoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StenoError::Parse(e) => write!(f, "{e}"),
+            StenoError::Eval(e) => write!(f, "{e}"),
+            StenoError::Vm(e) => write!(f, "{e}"),
+            StenoError::Optimize(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StenoError {}
+
+/// The query optimizer and executor.
+///
+/// Owns a [`QueryCache`], so repeated executions of the same query pay
+/// the one-off optimization cost once (§7.1: "the compiled query object
+/// can then be cached by the application").
+#[derive(Default)]
+pub struct Steno {
+    cache: QueryCache,
+}
+
+impl Steno {
+    /// Creates an engine with an empty query cache.
+    pub fn new() -> Steno {
+        Steno::default()
+    }
+
+    /// Executes a query AST, optimizing when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StenoError`] for ill-typed queries or runtime failures.
+    pub fn execute(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+    ) -> Result<Value, StenoError> {
+        self.execute_traced(q, ctx, udfs).map(|(v, _)| v)
+    }
+
+    /// As [`Steno::execute`], also reporting which path ran.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute`].
+    pub fn execute_traced(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+    ) -> Result<(Value, ExecutionPath), StenoError> {
+        match self.cache.get_or_compile(q, SourceTypes::from(ctx), udfs) {
+            Ok(compiled) => compiled
+                .run(ctx, udfs)
+                .map(|v| (v, ExecutionPath::Optimized))
+                .map_err(StenoError::Vm),
+            Err(OptimizeError::Lower(steno_quil::LowerError::Unsupported(_))) => {
+                // The paper's behaviour: shapes Steno does not optimize
+                // run through the stock iterator implementation.
+                interp::execute(q, ctx, udfs)
+                    .map(|v| (v, ExecutionPath::Fallback))
+                    .map_err(StenoError::Eval)
+            }
+            Err(e) => Err(StenoError::Optimize(e)),
+        }
+    }
+
+    /// Parses and executes query text.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute`], plus parse errors.
+    pub fn execute_text(
+        &self,
+        text: &str,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+    ) -> Result<Value, StenoError> {
+        let (q, _) = steno_syntax::parse_query(text).map_err(StenoError::Parse)?;
+        self.execute(&q, ctx, udfs)
+    }
+
+    /// Compiles a query without running it (inspect
+    /// [`CompiledQuery::rust_source`] to see the generated loops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StenoError::Optimize`] when the query cannot be
+    /// optimized.
+    pub fn compile(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+    ) -> Result<Arc<CompiledQuery>, StenoError> {
+        self.cache
+            .get_or_compile(q, sources, udfs)
+            .map_err(StenoError::Optimize)
+    }
+
+    /// `(hits, misses)` of the query cache.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Expr;
+    use steno_query::Query;
+
+    fn ctx() -> DataContext {
+        DataContext::new().with_source("xs", vec![1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn optimized_path_runs_supported_queries() {
+        let engine = Steno::new();
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let (v, path) = engine
+            .execute_traced(&q, &ctx(), &UdfRegistry::new())
+            .unwrap();
+        assert_eq!(v, Value::F64(30.0));
+        assert_eq!(path, ExecutionPath::Optimized);
+    }
+
+    #[test]
+    fn unsupported_queries_fall_back_to_iterators() {
+        let engine = Steno::new();
+        // Concat is outside the QUIL operator classes.
+        let q = Query::source("xs").concat(Query::source("xs")).count().build();
+        let (v, path) = engine
+            .execute_traced(&q, &ctx(), &UdfRegistry::new())
+            .unwrap();
+        assert_eq!(v, Value::I64(8));
+        assert_eq!(path, ExecutionPath::Fallback);
+    }
+
+    #[test]
+    fn text_queries_execute() {
+        let engine = Steno::new();
+        let v = engine
+            .execute_text(
+                "(from x in xs where x > 1.5 select x * x).sum()",
+                &ctx(),
+                &UdfRegistry::new(),
+            )
+            .unwrap();
+        assert_eq!(v, Value::F64(29.0));
+    }
+
+    #[test]
+    fn cache_amortizes_compilation() {
+        let engine = Steno::new();
+        let q = Query::source("xs").sum().build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        for _ in 0..5 {
+            engine.execute(&q, &c, &udfs).unwrap();
+        }
+        let (hits, misses) = engine.cache_stats();
+        assert_eq!(misses, 1);
+        assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn ill_typed_queries_error() {
+        let engine = Steno::new();
+        let q = Query::source("missing").sum().build();
+        assert!(engine.execute(&q, &ctx(), &UdfRegistry::new()).is_err());
+        assert!(engine
+            .execute_text("xs.sum() nonsense", &ctx(), &UdfRegistry::new())
+            .is_err());
+    }
+}

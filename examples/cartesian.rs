@@ -1,0 +1,74 @@
+//! Nested-query optimization (§5): the triple Cartesian product.
+//!
+//! The paper's example:
+//!
+//! ```text
+//! xs.SelectMany(x => ys.SelectMany(y => zs.Select(z => F(x, y, z)))).Sum()
+//! ```
+//!
+//! A naive optimizer would leave each nesting level consuming from an
+//! iterator; Steno's pushdown automaton splices them into one triple
+//! loop, with the outermost Sum's update injected into the innermost
+//! body. This example prints the generated code so you can see exactly
+//! that, and times it against the iterator chains.
+//!
+//! Run with `cargo run --release --example cartesian`.
+
+use std::time::Instant;
+
+use steno::prelude::*;
+use steno::steno;
+
+fn main() -> Result<(), StenoError> {
+    let xs: Vec<f64> = (0..400).map(|i| (i as f64) * 0.01).collect();
+    let ys: Vec<f64> = (0..300).map(|i| (i as f64) * 0.02 - 3.0).collect();
+    let zs: Vec<f64> = (0..200).map(|i| (i as f64) * 0.05 + 1.0).collect();
+
+    // Boxed iterator chains (the §2 cost model).
+    let ex = Enumerable::from_vec(xs.clone());
+    let ey = Enumerable::from_vec(ys.clone());
+    let ez = Enumerable::from_vec(zs.clone());
+    let t = Instant::now();
+    let via_linq = ex
+        .select_many(move |x| {
+            let ez = ez.clone();
+            ey.select_many(move |y| ez.select(move |z| x * y * z))
+        })
+        .sum();
+    let linq_time = t.elapsed();
+
+    // Runtime Steno: parse, optimize, inspect, execute.
+    let ctx = DataContext::new()
+        .with_source("xs", xs.clone())
+        .with_source("ys", ys.clone())
+        .with_source("zs", zs.clone());
+    let udfs = UdfRegistry::new();
+    let engine = Steno::new();
+    let text = "(from x in xs from y in ys from z in zs select x * y * z).sum()";
+    let (query, _) = steno::syntax::parse_query(text).unwrap();
+    let compiled = engine.compile(&query, (&ctx).into(), &udfs)?;
+    println!("query: {text}");
+    println!("QUIL:  {}  (nesting depth 3)\n", compiled.quil());
+    println!("generated code — note the Sum update in the innermost loop:\n");
+    println!("{}", compiled.rust_source());
+    let t = Instant::now();
+    let via_steno = compiled.run(&ctx, &udfs).map_err(StenoError::Vm)?;
+    let steno_time = t.elapsed();
+
+    // Compile-time Steno.
+    let t = Instant::now();
+    let via_macro: f64 =
+        steno!((from x: f64 in xs from y: f64 in ys from z: f64 in zs select x * y * z).sum());
+    let macro_time = t.elapsed();
+
+    println!("linq  {linq_time:>10.2?}   -> {via_linq}");
+    println!(
+        "steno {steno_time:>10.2?}   -> {via_steno}   ({:.1}x)",
+        linq_time.as_secs_f64() / steno_time.as_secs_f64()
+    );
+    println!(
+        "macro {macro_time:>10.2?}   -> {via_macro}   ({:.1}x)",
+        linq_time.as_secs_f64() / macro_time.as_secs_f64()
+    );
+    Ok(())
+}

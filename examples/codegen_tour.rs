@@ -1,0 +1,74 @@
+//! A tour of the optimizer's internals: for each interesting query shape,
+//! print the desugared method chain (Fig. 3), the QUIL sentence (§4.1),
+//! the job graph a cluster would run (Fig. 12), and the generated
+//! imperative code (Figs. 5-11).
+//!
+//! Run with `cargo run --example codegen_tour`.
+
+use steno::prelude::*;
+use steno_quil::{lower, parallel, passes};
+
+fn tour(title: &str, text: &str, ctx: &DataContext) {
+    println!("==== {title} ====");
+    println!("query: {text}");
+    let (q, _) = steno::syntax::parse_query(text).expect("parse");
+    println!("desugared: {q}");
+    let udfs = UdfRegistry::new();
+    let chain = match lower(&q, &ctx.into(), &udfs) {
+        Ok(c) => passes::optimize(&c),
+        Err(e) => {
+            println!("not optimized: {e}\n");
+            return;
+        }
+    };
+    println!("QUIL: {chain}");
+    let plan = parallel::plan(&chain);
+    println!(
+        "parallel plan: {} + {:?}",
+        if plan.map_chain.agg.is_some() {
+            "map+partial-aggregate"
+        } else {
+            "map"
+        },
+        std::mem::discriminant(&plan.reduce)
+    );
+    println!(
+        "job graph over 3 partitions:\n{}",
+        steno::cluster::JobGraph::from_plan(&plan, 3)
+    );
+    let imp = steno::codegen::generate(&chain).expect("generate");
+    println!("\ngenerated code:\n{}", steno::codegen::render_rust(&imp));
+}
+
+fn main() {
+    let ctx = DataContext::new()
+        .with_source("xs", vec![1.0f64, 2.0, 3.0])
+        .with_source("ys", vec![1.0f64, 2.0])
+        .with_source("ns", vec![1i64, 2, 3]);
+
+    tour(
+        "iterator fusion (Fig. 6-8)",
+        "(from x in xs where x > 0.0 select x * x).sum()",
+        &ctx,
+    );
+    tour(
+        "nested loops (Fig. 9-11)",
+        "(from x in xs from y in ys select x * y).sum()",
+        &ctx,
+    );
+    tour(
+        "GroupBy-Aggregate specialization (§4.3)",
+        "xs.group_by(|x| x.floor()).select(|kv| (kv.0, kv.1.count()))",
+        &ctx,
+    );
+    tour(
+        "GROUP BY ... HAVING (two loops, §4.2)",
+        "from kv in (from x in ns group x by x % 3) where kv.0 > 0 select kv",
+        &ctx,
+    );
+    tour(
+        "stateful predicates",
+        "(from x in xs select x).skip(1).take(1)",
+        &ctx,
+    );
+}

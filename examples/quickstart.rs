@@ -1,0 +1,48 @@
+//! Quickstart: the paper's running example through every execution path.
+//!
+//! ```text
+//! var evenSquares = from x in xs.WithSteno()
+//!                   where x % 2 == 0
+//!                   select x * x;
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use steno::prelude::*;
+use steno::steno;
+
+fn main() -> Result<(), StenoError> {
+    let numbers: Vec<i64> = (0..20).collect();
+
+    // ---- 1. The unoptimized LINQ substrate: lazy boxed iterators. ----
+    let xs = Enumerable::from_vec(numbers.clone());
+    let via_linq: Vec<i64> = xs.where_(|x| x % 2 == 0).select(|x| x * x).to_vec();
+    println!("LINQ iterators:   {via_linq:?}");
+
+    // ---- 2. Runtime Steno: query text -> QUIL -> generated loops. ----
+    let ctx = DataContext::new().with_source("xs", numbers.clone());
+    let udfs = UdfRegistry::new();
+    let engine = Steno::new();
+    let via_steno = engine.execute_text(
+        "from x in xs where x % 2 == 0 select x * x",
+        &ctx,
+        &udfs,
+    )?;
+    println!("Steno (runtime):  {via_steno}");
+
+    // Peek at what the optimizer generated (the paper's Fig. 5-8 code).
+    let (query, _) =
+        steno::syntax::parse_query("from x in xs where x % 2 == 0 select x * x").unwrap();
+    let compiled = engine.compile(&query, (&ctx).into(), &udfs)?;
+    println!("\nQUIL: {}", compiled.quil());
+    println!("generated imperative code:\n{}", compiled.rust_source());
+    println!("one-off optimization cost: {:?}", compiled.compile_time());
+
+    // ---- 3. Compile-time Steno: the same loops, emitted by a macro. ----
+    let via_macro: Vec<i64> =
+        steno!(from x: i64 in numbers where x % 2 == 0 select x * x);
+    println!("Steno (macro):    {via_macro:?}");
+
+    assert_eq!(via_linq, via_macro);
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Root package hosting cross-crate integration tests and examples.

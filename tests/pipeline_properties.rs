@@ -1,0 +1,103 @@
+//! Property-based integration tests over the whole stack: random query
+//! text is round-tripped through the parser and executed by both the
+//! engine (optimized path, with its cache) and the unoptimized
+//! interpreter.
+
+use proptest::prelude::*;
+use steno::prelude::*;
+use steno_linq::interp;
+use steno_quil::grammar::{Fsm, Pda};
+
+fn clause() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("where x > 0.0".to_string()),
+        Just("where x % 2.0 == 0.0".to_string()),
+        Just("where x < 40.0 && x > -40.0".to_string()),
+        Just("orderby x".to_string()),
+        Just("orderby x descending".to_string()),
+    ]
+}
+
+fn terminal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("sum()".to_string()),
+        Just("count()".to_string()),
+        Just("min()".to_string()),
+        Just("max()".to_string()),
+        Just("average()".to_string()),
+        Just("take(7).count()".to_string()),
+        Just("to_array().first()".to_string()),
+    ]
+}
+
+fn selector() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("x * x".to_string()),
+        Just("x + 1.0".to_string()),
+        Just("x.abs()".to_string()),
+        Just("x.min(3.0) * 2.0".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_text_queries_agree(
+        data in prop::collection::vec(-50.0f64..50.0, 0..40),
+        clauses in prop::collection::vec(clause(), 0..3),
+        sel in selector(),
+        term in terminal(),
+    ) {
+        let text = format!(
+            "(from x in xs {} select {sel}).{term}",
+            clauses.join(" ")
+        );
+        let (q, _) = steno::syntax::parse_query(&text).expect("parse");
+        let ctx = DataContext::new().with_source("xs", data);
+        let udfs = UdfRegistry::new();
+        let engine = Steno::new();
+        let expected = interp::execute(&q, &ctx, &udfs).expect("interp");
+        let got = engine.execute(&q, &ctx, &udfs).expect("engine");
+        prop_assert_eq!(expected.key(), got.key(), "query: {}", text);
+    }
+
+    /// Every lowered chain satisfies the QUIL grammar — flat sentences
+    /// pass the Fig. 4 FSM; nested sentences pass the §5.1 PDA.
+    #[test]
+    fn lowered_chains_satisfy_the_grammar(
+        clauses in prop::collection::vec(clause(), 0..3),
+        sel in selector(),
+        term in terminal(),
+        nested in prop::bool::ANY,
+    ) {
+        let text = if nested {
+            format!("(from x in xs from y in ys select x * y).{term}")
+        } else {
+            format!("(from x in xs {} select {sel}).{term}", clauses.join(" "))
+        };
+        let (q, _) = steno::syntax::parse_query(&text).expect("parse");
+        let srcs = steno::query::typing::SourceTypes::new()
+            .with("xs", Ty::F64)
+            .with("ys", Ty::F64);
+        let udfs = UdfRegistry::new();
+        let chain = steno::quil::lower(&q, &srcs, &udfs).expect("lower");
+        prop_assert!(Pda::accepts(&chain.tokens()), "tokens of {}", chain);
+        prop_assert!(Fsm::accepts(&chain.symbols()), "symbols of {}", chain);
+    }
+
+    /// Parsing is a left inverse of printing for the method-chain form.
+    #[test]
+    fn parse_print_round_trip(
+        clauses in prop::collection::vec(clause(), 0..2),
+        sel in selector(),
+    ) {
+        let text = format!("from x in xs {} select {sel}", clauses.join(" "));
+        let (q1, _) = steno::syntax::parse_query(&text).expect("parse 1");
+        let printed = q1.to_string();
+        let (q2, _) = steno::syntax::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        prop_assert_eq!(q1, q2, "printed: {}", printed);
+    }
+}
