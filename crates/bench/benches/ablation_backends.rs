@@ -5,7 +5,8 @@
 //! dispatch), the full VM (fused kernels), and the boxed-iterator LINQ
 //! baseline for reference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use steno_expr::{DataContext, Expr, UdfRegistry};
 use steno_linq::{interp, Enumerable};
 use steno_query::Query;

@@ -5,7 +5,8 @@
 //! afterwards ("we can save memory by storing per-key partial aggregates
 //! instead of the group of values").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use steno_expr::{DataContext, Expr, UdfRegistry};
 use steno_query::{GroupResult, Query};
 use steno_quil::LowerOptions;

@@ -2,7 +2,8 @@
 //! four execution paths. Run with `cargo bench -p bench --bench
 //! fig01_sumsq`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use steno::steno;
 use steno_expr::{DataContext, Expr, UdfRegistry};
 use steno_linq::Enumerable;

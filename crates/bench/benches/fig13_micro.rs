@@ -2,7 +2,8 @@
 //! LINQ, the Steno VM, and the hand loop (run the `fig13` binary for the
 //! full normalized table including the macro path and compile costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Criterion;
+use bench::{criterion_group, criterion_main};
 use steno_expr::{DataContext, Expr, UdfRegistry};
 use steno_linq::Enumerable;
 use steno_query::{GroupResult, Query, QueryExpr};

@@ -2,7 +2,8 @@
 //! low and a high dimension, unoptimized vs Steno vertices (run the
 //! `fig14` binary for the full dimension sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{BenchmarkId, Criterion};
+use bench::{criterion_group, criterion_main};
 use steno_cluster::{execute_distributed, ClusterSpec, DistributedCollection, VertexEngine};
 use steno_expr::DataContext;
 

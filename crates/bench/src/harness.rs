@@ -1,0 +1,144 @@
+//! A self-contained micro-benchmark harness with a criterion-shaped API.
+//!
+//! The build environment is fully offline, so the `criterion` crate is
+//! unavailable; this shim implements the small surface the `benches/`
+//! files use (`Criterion::benchmark_group`, `BenchmarkGroup::
+//! bench_function`, `Bencher::iter`, the `criterion_group!`/
+//! `criterion_main!` macros) with plain `std::time` measurement. Results
+//! are median-of-samples over auto-calibrated batches, printed one line
+//! per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier rendered as `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// The top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut BenchmarkGroup {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: calibrate a batch size, take samples, report
+    /// the median per-iteration time.
+    pub fn bench_function<I: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut BenchmarkGroup {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                per_iter: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.per_iter);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        println!(
+            "{:>40}  median {:>12?}  best {:>12?}  ({} samples)",
+            format!("{}/{id}", self.name),
+            median,
+            best,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (output is already flushed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; measures the routine under test.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-batching fast routines so each sample spans
+    /// at least ~2 ms of wall clock.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: how many iterations fill the floor?
+        let floor = Duration::from_millis(2);
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= floor || batch >= 1 << 20 {
+                self.per_iter = elapsed / (batch as u32).max(1);
+                return;
+            }
+            batch = batch.saturating_mul(
+                ((floor.as_nanos() / elapsed.as_nanos().max(1)) as u64 + 1).clamp(2, 128),
+            );
+        }
+    }
+}
+
+/// Collects benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Expands to `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -14,22 +14,22 @@
 //! describes (per-partition `GroupByAggregate`, per-key merge). Step 2 is
 //! the cheap driver-side recomputation in [`recompute_centroids`].
 
-use rand::prelude::*;
+use crate::prng::SplitMix64;
 use steno_expr::{Column, Expr, Ty, UdfRegistry, Value};
 use steno_query::{GroupResult, Query, QueryExpr};
 
 /// Generates `n` points of dimension `dim` clustered around `k` centers
 /// (row-major).
 pub fn clustered_points(n: usize, dim: usize, k: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let centers: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .map(|_| (0..dim).map(|_| rng.range_f64(-10.0, 10.0)).collect())
         .collect();
     let mut data = Vec::with_capacity(n * dim);
     for _ in 0..n {
-        let c = &centers[rng.gen_range(0..k)];
+        let c = &centers[rng.index(k)];
         for coord in c.iter().take(dim) {
-            data.push(coord + rng.gen_range(-1.0..1.0));
+            data.push(coord + rng.range_f64(-1.0, 1.0));
         }
     }
     data

@@ -1,5 +1,8 @@
 //! Benchmark harness regenerating every table and figure of the paper's
-//! evaluation (§7). See the `fig*` binaries and the criterion benches.
+//! evaluation (§7). See the `fig*` binaries and the `benches/` targets
+//! (self-contained harness — the environment builds offline).
+pub mod harness;
 pub mod kmeans;
 pub mod micro;
+pub mod prng;
 pub mod workloads;

@@ -1,22 +1,22 @@
 //! Workload generators shared by the figure binaries and benches.
-use rand::prelude::*;
+use crate::prng::SplitMix64;
 
 /// Deterministic uniform doubles in [0, 1).
 pub fn uniform_doubles(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| rng.gen::<f64>()).collect()
+    let mut rng = SplitMix64::new(seed);
+    (0..n).map(|_| rng.next_f64()).collect()
 }
 
 /// Samples from a 1-D mixture of Gaussians (the Group workload, §7.1).
 pub fn mixture_of_gaussians(n: usize, seed: u64) -> Vec<f64> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let components = [(-4.0, 1.0), (0.0, 0.5), (3.0, 2.0)];
     (0..n)
         .map(|_| {
-            let (mean, sd) = components[rng.gen_range(0..components.len())];
+            let (mean, sd) = components[rng.index(components.len())];
             // Box-Muller.
-            let u1: f64 = rng.gen::<f64>().max(1e-12);
-            let u2: f64 = rng.gen();
+            let u1: f64 = rng.next_f64().max(1e-12);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             mean + sd * z
         })

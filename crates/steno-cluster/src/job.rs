@@ -96,7 +96,12 @@ impl fmt::Display for JobGraph {
             .filter(|v| v.partition.is_none())
             .collect();
         for v in &maps {
-            write!(f, "[{}_{}] ", v.stage, v.partition.unwrap())?;
+            // A vertex without a partition index renders as a bare
+            // stage: `[Map]` rather than panicking on the missing index.
+            match v.partition {
+                Some(p) => write!(f, "[{}_{p}] ", v.stage)?,
+                None => write!(f, "[{}] ", v.stage)?,
+            }
         }
         writeln!(f)?;
         for _ in &maps {
@@ -137,6 +142,27 @@ mod tests {
         let drawn = g.to_string();
         assert!(drawn.contains("[Map+Agg_i_0]"));
         assert!(drawn.contains("[Agg*]"));
+    }
+
+    #[test]
+    fn partitionless_vertices_render_without_an_index() {
+        // A hand-built graph whose "map side" vertex has no partition
+        // index must display as a bare stage, not panic.
+        let g = JobGraph {
+            vertices: vec![
+                Vertex {
+                    stage: "Map".into(),
+                    partition: None,
+                },
+                Vertex {
+                    stage: "Concat".into(),
+                    partition: None,
+                },
+            ],
+            edges: vec![(0, 1)],
+        };
+        let drawn = g.to_string();
+        assert!(drawn.contains("[Map]") || drawn.contains("[Concat]"), "{drawn}");
     }
 
     #[test]

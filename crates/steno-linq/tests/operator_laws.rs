@@ -1,133 +1,202 @@
-//! Property-based tests: every lazy operator state machine agrees with
+//! Property-style tests: every lazy operator state machine agrees with
 //! the obvious eager `Vec` oracle, and the laziness contracts hold.
+//!
+//! The offline build cannot pull `proptest`, so the random inputs come
+//! from a seeded SplitMix64 generator: each test explores a fixed set of
+//! deterministic cases, which makes any failure reproducible by seed.
 
-use proptest::prelude::*;
 use steno_linq::Enumerable;
+
+/// A tiny deterministic PRNG (SplitMix64) — inlined so the test has no
+/// external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    /// A vector of `0..=max_len` draws from `lo..hi`.
+    fn vec(&mut self, max_len: usize, lo: i64, hi: i64) -> Vec<i64> {
+        let len = self.index(max_len + 1);
+        (0..len).map(|_| self.range_i64(lo, hi)).collect()
+    }
+}
+
+const CASES: usize = 64;
 
 fn en(v: &[i64]) -> Enumerable<i64> {
     Enumerable::from_vec(v.to_vec())
 }
 
-proptest! {
-    #[test]
-    fn select_matches_map(v in prop::collection::vec(-100i64..100, 0..50)) {
+#[test]
+fn select_matches_map() {
+    let mut rng = Rng::new(1);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -100, 100);
         let got = en(&v).select(|x| x * 3 - 1).to_vec();
         let want: Vec<i64> = v.iter().map(|x| x * 3 - 1).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn where_matches_filter(v in prop::collection::vec(-100i64..100, 0..50)) {
+#[test]
+fn where_matches_filter() {
+    let mut rng = Rng::new(2);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -100, 100);
         let got = en(&v).where_(|x| x % 3 == 0).to_vec();
         let want: Vec<i64> = v.iter().copied().filter(|x| x % 3 == 0).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn take_skip_partition_the_sequence(
-        v in prop::collection::vec(-100i64..100, 0..50),
-        n in 0usize..60,
-    ) {
+#[test]
+fn take_skip_partition_the_sequence() {
+    let mut rng = Rng::new(3);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -100, 100);
+        let n = rng.index(60);
         let head = en(&v).take(n).to_vec();
         let tail = en(&v).skip(n).to_vec();
         let mut whole = head.clone();
         whole.extend(&tail);
-        prop_assert_eq!(whole, v.clone());
-        prop_assert_eq!(head.len(), n.min(v.len()));
+        assert_eq!(whole, v.clone());
+        assert_eq!(head.len(), n.min(v.len()));
     }
+}
 
-    #[test]
-    fn take_while_skip_while_partition(
-        v in prop::collection::vec(-100i64..100, 0..50),
-        pivot in -100i64..100,
-    ) {
+#[test]
+fn take_while_skip_while_partition() {
+    let mut rng = Rng::new(4);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -100, 100);
+        let pivot = rng.range_i64(-100, 100);
         let head = en(&v).take_while(move |x| x < pivot).to_vec();
         let tail = en(&v).skip_while(move |x| x < pivot).to_vec();
         let mut whole = head;
         whole.extend(&tail);
-        prop_assert_eq!(whole, v);
+        assert_eq!(whole, v);
     }
+}
 
-    #[test]
-    fn select_many_matches_flat_map(
-        v in prop::collection::vec(0i64..20, 0..20),
-    ) {
+#[test]
+fn select_many_matches_flat_map() {
+    let mut rng = Rng::new(5);
+    for _ in 0..CASES {
+        let v = rng.vec(19, 0, 20);
         let got = en(&v)
             .select_many(|x| Enumerable::from_vec((0..x % 4).collect()))
             .to_vec();
         let want: Vec<i64> = v.iter().flat_map(|&x| 0..x % 4).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn aggregate_is_a_left_fold(v in prop::collection::vec(-9i64..9, 0..30)) {
+#[test]
+fn aggregate_is_a_left_fold() {
+    let mut rng = Rng::new(6);
+    for _ in 0..CASES {
+        let v = rng.vec(29, -9, 9);
         let got = en(&v).aggregate(7, |acc, x| acc * 2 + x);
         let want = v.iter().fold(7, |acc, x| acc * 2 + x);
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn order_by_matches_stable_sort(v in prop::collection::vec(-50i64..50, 0..50)) {
+#[test]
+fn order_by_matches_stable_sort() {
+    let mut rng = Rng::new(7);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -50, 50);
         let got = en(&v).order_by(|x| *x).to_vec();
         let mut want = v.clone();
         want.sort();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
         // Descending is the reverse of ascending for totally-ordered keys
         // up to the stability of equal keys (i64 keys are their own
         // elements, so exactly the reverse).
         let desc = en(&v).order_by_desc(|x| *x).to_vec();
         let mut want_desc = v.clone();
         want_desc.sort_by(|a, b| b.cmp(a));
-        prop_assert_eq!(desc, want_desc);
+        assert_eq!(desc, want_desc);
     }
+}
 
-    #[test]
-    fn distinct_keeps_first_occurrences(v in prop::collection::vec(-10i64..10, 0..50)) {
+#[test]
+fn distinct_keeps_first_occurrences() {
+    let mut rng = Rng::new(8);
+    for _ in 0..CASES {
+        let v = rng.vec(49, -10, 10);
         let got = en(&v).distinct_by(|x| *x).to_vec();
         let mut seen = std::collections::HashSet::new();
         let want: Vec<i64> = v.iter().copied().filter(|x| seen.insert(*x)).collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn group_by_partitions_without_loss(v in prop::collection::vec(-20i64..20, 0..60)) {
+#[test]
+fn group_by_partitions_without_loss() {
+    let mut rng = Rng::new(9);
+    for _ in 0..CASES {
+        let v = rng.vec(59, -20, 20);
         let groups = en(&v).group_by(|x| x.rem_euclid(5)).to_vec();
         // Every element lands in exactly one group with the right key.
         let mut total = 0;
         for g in &groups {
             for x in g.iter() {
-                prop_assert_eq!(x.rem_euclid(5), *g.key());
+                assert_eq!(x.rem_euclid(5), *g.key());
                 total += 1;
             }
         }
-        prop_assert_eq!(total, v.len());
+        assert_eq!(total, v.len());
         // Keys are unique.
         let mut keys: Vec<i64> = groups.iter().map(|g| *g.key()).collect();
         let n = keys.len();
         keys.dedup();
-        prop_assert_eq!(n, keys.len());
+        assert_eq!(n, keys.len());
     }
+}
 
-    #[test]
-    fn concat_and_zip(
-        a in prop::collection::vec(-50i64..50, 0..20),
-        b in prop::collection::vec(-50i64..50, 0..20),
-    ) {
+#[test]
+fn concat_and_zip() {
+    let mut rng = Rng::new(10);
+    for _ in 0..CASES {
+        let a = rng.vec(19, -50, 50);
+        let b = rng.vec(19, -50, 50);
         let cat = en(&a).concat(&en(&b)).to_vec();
         let mut want = a.clone();
         want.extend(&b);
-        prop_assert_eq!(cat, want);
+        assert_eq!(cat, want);
 
         let zipped = en(&a).zip(&en(&b), |x, y| x + y).to_vec();
         let want: Vec<i64> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
-        prop_assert_eq!(zipped, want);
+        assert_eq!(zipped, want);
     }
+}
 
-    #[test]
-    fn join_matches_nested_loop_oracle(
-        a in prop::collection::vec(0i64..8, 0..15),
-        b in prop::collection::vec(0i64..8, 0..15),
-    ) {
+#[test]
+fn join_matches_nested_loop_oracle() {
+    let mut rng = Rng::new(11);
+    for _ in 0..CASES {
+        let a = rng.vec(14, 0, 8);
+        let b = rng.vec(14, 0, 8);
         let got = en(&a)
             .join(&en(&b), |x| x % 3, |y| y % 3, |x, y| (x, y))
             .to_vec();
@@ -139,26 +208,32 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn scalar_aggregates_match_oracles(v in prop::collection::vec(-100i64..100, 1..40)) {
-        prop_assert_eq!(en(&v).sum(), v.iter().sum::<i64>());
-        prop_assert_eq!(en(&v).min(), v.iter().copied().min());
-        prop_assert_eq!(en(&v).max(), v.iter().copied().max());
-        prop_assert_eq!(en(&v).count(), v.len());
-        prop_assert_eq!(en(&v).first(), Some(v[0]));
-        prop_assert_eq!(
-            en(&v).element_at(v.len() - 1),
-            Some(*v.last().unwrap())
-        );
+#[test]
+fn scalar_aggregates_match_oracles() {
+    let mut rng = Rng::new(12);
+    for _ in 0..CASES {
+        let mut v = rng.vec(38, -100, 100);
+        v.push(rng.range_i64(-100, 100)); // non-empty
+        assert_eq!(en(&v).sum(), v.iter().sum::<i64>());
+        assert_eq!(en(&v).min(), v.iter().copied().min());
+        assert_eq!(en(&v).max(), v.iter().copied().max());
+        assert_eq!(en(&v).count(), v.len());
+        assert_eq!(en(&v).first(), Some(v[0]));
+        assert_eq!(en(&v).element_at(v.len() - 1), Some(*v.last().unwrap()));
     }
+}
 
-    #[test]
-    fn reverse_is_involutive(v in prop::collection::vec(-100i64..100, 0..40)) {
+#[test]
+fn reverse_is_involutive() {
+    let mut rng = Rng::new(13);
+    for _ in 0..CASES {
+        let v = rng.vec(39, -100, 100);
         let twice = en(&v).reverse().reverse().to_vec();
-        prop_assert_eq!(twice, v);
+        assert_eq!(twice, v);
     }
 }
 

@@ -11,7 +11,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
 use steno_codegen::{generate, render_rust};
 use steno_expr::typecheck::TyEnv;
 use steno_expr::{DataContext, Ty, UdfRegistry, Value};
@@ -217,6 +218,13 @@ pub struct QueryCache {
     misses: Mutex<u64>,
 }
 
+/// Locks a mutex, recovering from poisoning: cache state is always
+/// internally consistent (plain inserts and counter bumps), so a panic
+/// elsewhere must not wedge the cache.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl QueryCache {
     /// Creates an empty cache.
     pub fn new() -> QueryCache {
@@ -236,31 +244,29 @@ impl QueryCache {
         udfs: &UdfRegistry,
     ) -> Result<Arc<CompiledQuery>, OptimizeError> {
         let key = q.to_string();
-        if let Some(hit) = self.entries.lock().get(&key) {
-            *self.hits.lock() += 1;
+        if let Some(hit) = lock(&self.entries).get(&key) {
+            *lock(&self.hits) += 1;
             return Ok(Arc::clone(hit));
         }
-        *self.misses.lock() += 1;
+        *lock(&self.misses) += 1;
         let compiled = Arc::new(CompiledQuery::compile(q, sources, udfs)?);
-        self.entries
-            .lock()
-            .insert(key, Arc::clone(&compiled));
+        lock(&self.entries).insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (*lock(&self.hits), *lock(&self.misses))
     }
 
     /// Number of cached queries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        lock(&self.entries).len()
     }
 
     /// `true` when the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        lock(&self.entries).is_empty()
     }
 }
 

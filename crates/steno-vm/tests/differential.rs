@@ -6,10 +6,9 @@
 //! must produce identical results through the boxed-iterator interpreter
 //! and through the full lower → generate → assemble → execute pipeline.
 
-use proptest::prelude::*;
 use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
 use steno_linq::interp;
-use steno_query::{GroupResult, QFn2, Query, QueryExpr};
+use steno_query::{GroupResult, Query, QueryExpr};
 use steno_vm::CompiledQuery;
 
 fn ctx() -> DataContext {
@@ -485,32 +484,71 @@ fn kmeans_assignment_shape() {
 }
 
 // ---------------------------------------------------------------------
-// Property-based differential testing over randomly generated chains.
+// Property-style differential testing over randomly generated chains.
+//
+// The offline build cannot pull `proptest`, so the random cases come
+// from a seeded SplitMix64 generator (inlined below): every run explores
+// the same deterministic cases.
 // ---------------------------------------------------------------------
 
-/// A safe element-wise f64 transform (no division; stays finite).
-fn arb_transform() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        Just(x() * x()),
-        Just(x() + Expr::litf(1.0)),
-        Just(x() - Expr::litf(2.5)),
-        Just(x() * Expr::litf(-0.5)),
-        Just(x().abs()),
-        Just(x().floor()),
-        Just(x().min(Expr::litf(3.0))),
-        Just(x().max(Expr::litf(-3.0))),
-        Just(x() / Expr::litf(4.0)),
-    ]
+/// A tiny deterministic PRNG (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * u
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn vec_f64(&mut self, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let len = self.index(max_len + 1);
+        (0..len).map(|_| self.range_f64(lo, hi)).collect()
+    }
 }
 
-fn arb_predicate() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        Just(x().gt(Expr::litf(0.0))),
-        Just(x().le(Expr::litf(2.0))),
-        Just(x().ne(Expr::litf(1.0))),
-        Just(x().abs().lt(Expr::litf(5.0))),
-        Just(x().ge(Expr::litf(-1.0)).and(x().lt(Expr::litf(4.0)))),
-    ]
+/// A safe element-wise f64 transform (no integer division; stays finite).
+fn arb_transform(rng: &mut Rng) -> Expr {
+    match rng.index(9) {
+        0 => x() * x(),
+        1 => x() + Expr::litf(1.0),
+        2 => x() - Expr::litf(2.5),
+        3 => x() * Expr::litf(-0.5),
+        4 => x().abs(),
+        5 => x().floor(),
+        6 => x().min(Expr::litf(3.0)),
+        7 => x().max(Expr::litf(-3.0)),
+        _ => x() / Expr::litf(4.0),
+    }
+}
+
+fn arb_predicate(rng: &mut Rng) -> Expr {
+    match rng.index(5) {
+        0 => x().gt(Expr::litf(0.0)),
+        1 => x().le(Expr::litf(2.0)),
+        2 => x().ne(Expr::litf(1.0)),
+        3 => x().abs().lt(Expr::litf(5.0)),
+        _ => x().ge(Expr::litf(-1.0)).and(x().lt(Expr::litf(4.0))),
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -526,18 +564,20 @@ enum OpPick {
     ToVec,
 }
 
-fn arb_op() -> impl Strategy<Value = OpPick> {
-    prop_oneof![
-        4 => arb_transform().prop_map(OpPick::Select),
-        3 => arb_predicate().prop_map(OpPick::Where),
-        1 => (0usize..12).prop_map(OpPick::Take),
-        1 => (0usize..12).prop_map(OpPick::Skip),
-        1 => arb_predicate().prop_map(OpPick::TakeWhile),
-        1 => arb_predicate().prop_map(OpPick::SkipWhile),
-        1 => Just(OpPick::Distinct),
-        1 => prop::bool::ANY.prop_map(OpPick::OrderBy),
-        1 => Just(OpPick::ToVec),
-    ]
+/// Weighted pick mirroring the original proptest distribution
+/// (4:3:1:1:1:1:1:1:1 over the nine operator kinds).
+fn arb_op(rng: &mut Rng) -> OpPick {
+    match rng.index(14) {
+        0..=3 => OpPick::Select(arb_transform(rng)),
+        4..=6 => OpPick::Where(arb_predicate(rng)),
+        7 => OpPick::Take(rng.index(12)),
+        8 => OpPick::Skip(rng.index(12)),
+        9 => OpPick::TakeWhile(arb_predicate(rng)),
+        10 => OpPick::SkipWhile(arb_predicate(rng)),
+        11 => OpPick::Distinct,
+        12 => OpPick::OrderBy(rng.next_u64() & 1 == 0),
+        _ => OpPick::ToVec,
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -551,16 +591,16 @@ enum TerminalPick {
     First,
 }
 
-fn arb_terminal() -> impl Strategy<Value = TerminalPick> {
-    prop_oneof![
-        Just(TerminalPick::Collect),
-        Just(TerminalPick::Sum),
-        Just(TerminalPick::Min),
-        Just(TerminalPick::Max),
-        Just(TerminalPick::Count),
-        Just(TerminalPick::Average),
-        Just(TerminalPick::First),
-    ]
+fn arb_terminal(rng: &mut Rng) -> TerminalPick {
+    match rng.index(7) {
+        0 => TerminalPick::Collect,
+        1 => TerminalPick::Sum,
+        2 => TerminalPick::Min,
+        3 => TerminalPick::Max,
+        4 => TerminalPick::Count,
+        5 => TerminalPick::Average,
+        _ => TerminalPick::First,
+    }
 }
 
 fn build_query(ops: &[OpPick], terminal: &TerminalPick) -> QueryExpr {
@@ -595,35 +635,37 @@ fn build_query(ops: &[OpPick], terminal: &TerminalPick) -> QueryExpr {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Random flat chains over random data agree between the interpreter
-    /// and the VM.
-    #[test]
-    fn random_chains_agree(
-        data in prop::collection::vec(-50.0f64..50.0, 0..24),
-        ops in prop::collection::vec(arb_op(), 0..6),
-        terminal in arb_terminal(),
-    ) {
+/// Random flat chains over random data agree between the interpreter
+/// and the VM.
+#[test]
+fn random_chains_agree() {
+    let mut rng = Rng::new(0xD1FF);
+    let u = UdfRegistry::new();
+    for case in 0..96 {
         // Average of an empty stream is NaN through both paths, but the
         // two NaN payloads compare equal through the key; keep it in.
+        let data = rng.vec_f64(23, -50.0, 50.0);
+        let ops: Vec<OpPick> = (0..rng.index(6)).map(|_| arb_op(&mut rng)).collect();
+        let terminal = arb_terminal(&mut rng);
         let q = build_query(&ops, &terminal);
         let c = DataContext::new().with_source("data", data);
-        let u = UdfRegistry::new();
         let expected = interp::execute(&q, &c, &u).expect("interp failed");
         let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
         let actual = compiled.run(&c, &u).expect("vm failed");
-        prop_assert_eq!(expected.key(), actual.key(), "query {}", q);
+        assert_eq!(expected.key(), actual.key(), "case {case}, query {q}");
     }
+}
 
-    /// Random grouped aggregations agree, with the §4.3 specialization on.
-    #[test]
-    fn random_grouped_aggregates_agree(
-        data in prop::collection::vec(-20i64..20, 0..30),
-        modulus in 1i64..6,
-        use_count in prop::bool::ANY,
-    ) {
+/// Random grouped aggregations agree, with the §4.3 specialization on.
+#[test]
+fn random_grouped_aggregates_agree() {
+    let mut rng = Rng::new(0x6A0B);
+    let u = UdfRegistry::new();
+    for case in 0..96 {
+        let len = rng.index(30);
+        let data: Vec<i64> = (0..len).map(|_| rng.range_i64(-20, 20)).collect();
+        let modulus = rng.range_i64(1, 6);
+        let use_count = rng.next_u64() & 1 == 0;
         let inner = if use_count {
             Query::over(Expr::var("g")).count().build()
         } else {
@@ -637,19 +679,21 @@ proptest! {
             )
             .build();
         let c = DataContext::new().with_source("data", data);
-        let u = UdfRegistry::new();
         let expected = interp::execute(&q, &c, &u).expect("interp failed");
         let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
         let actual = compiled.run(&c, &u).expect("vm failed");
-        prop_assert_eq!(expected.key(), actual.key(), "query {}", q);
+        assert_eq!(expected.key(), actual.key(), "case {case}, query {q}");
     }
+}
 
-    /// Nested Cartesian products agree for arbitrary inner/outer data.
-    #[test]
-    fn random_nested_products_agree(
-        outer in prop::collection::vec(-8.0f64..8.0, 0..10),
-        inner in prop::collection::vec(-8.0f64..8.0, 0..10),
-    ) {
+/// Nested Cartesian products agree for arbitrary inner/outer data.
+#[test]
+fn random_nested_products_agree() {
+    let mut rng = Rng::new(0x0CA7);
+    let u = UdfRegistry::new();
+    for case in 0..96 {
+        let outer = rng.vec_f64(9, -8.0, 8.0);
+        let inner = rng.vec_f64(9, -8.0, 8.0);
         let q = Query::source("outer")
             .select_many(
                 Query::source("inner").select(x() * Expr::var("y"), "y"),
@@ -660,10 +704,9 @@ proptest! {
         let c = DataContext::new()
             .with_source("outer", outer)
             .with_source("inner", inner);
-        let u = UdfRegistry::new();
         let expected = interp::execute(&q, &c, &u).expect("interp failed");
         let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile failed");
         let actual = compiled.run(&c, &u).expect("vm failed");
-        prop_assert_eq!(expected.key(), actual.key());
+        assert_eq!(expected.key(), actual.key(), "case {case}");
     }
 }

@@ -10,6 +10,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use steno_cluster::exec::{DistError, RuntimeConfig};
+use steno_cluster::{ClusterSpec, DistributedCollection, JobReport, VertexEngine};
 use steno_expr::{DataContext, EvalError, UdfRegistry, Value};
 use steno_linq::interp;
 use steno_query::typing::SourceTypes;
@@ -38,6 +40,15 @@ pub enum StenoError {
     Vm(VmError),
     /// Optimization failed for a reason other than an unsupported shape.
     Optimize(OptimizeError),
+    /// A distributed execution failed (vertex failure, exhausted retry
+    /// budget, caught vertex panic, bad root source).
+    Dist(DistError),
+}
+
+impl From<DistError> for StenoError {
+    fn from(e: DistError) -> StenoError {
+        StenoError::Dist(e)
+    }
 }
 
 impl fmt::Display for StenoError {
@@ -47,6 +58,7 @@ impl fmt::Display for StenoError {
             StenoError::Eval(e) => write!(f, "{e}"),
             StenoError::Vm(e) => write!(f, "{e}"),
             StenoError::Optimize(e) => write!(f, "{e}"),
+            StenoError::Dist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -61,12 +73,29 @@ impl std::error::Error for StenoError {}
 #[derive(Default)]
 pub struct Steno {
     cache: QueryCache,
+    runtime: RuntimeConfig,
 }
 
 impl Steno {
-    /// Creates an engine with an empty query cache.
+    /// Creates an engine with an empty query cache and the default
+    /// fault-tolerance runtime (retries and straggler speculation on, no
+    /// injected faults).
     pub fn new() -> Steno {
         Steno::default()
+    }
+
+    /// Sets the fault-tolerance runtime (retry policy, straggler
+    /// speculation, fault injection) used by
+    /// [`Steno::execute_distributed`].
+    #[must_use = "with_runtime returns the configured engine"]
+    pub fn with_runtime(mut self, runtime: RuntimeConfig) -> Steno {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The engine's fault-tolerance runtime configuration.
+    pub fn runtime(&self) -> &RuntimeConfig {
+        &self.runtime
     }
 
     /// Executes a query AST, optimizing when possible.
@@ -147,6 +176,41 @@ impl Steno {
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
     }
+
+    /// Executes a query over a partitioned collection on the simulated
+    /// cluster (§6), under the engine's fault-tolerance runtime: vertex
+    /// panics are isolated, transient failures retried with backoff,
+    /// stragglers speculatively duplicated, and deterministic errors
+    /// surfaced byte-identical to the single-node engines.
+    ///
+    /// The returned [`JobReport`] records retry counts, the retry log,
+    /// speculation wins, and per-vertex attempt/wall-time data alongside
+    /// the usual phase timings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StenoError::Dist`] for unloweable queries, mismatched
+    /// roots, and vertex failures that survive the retry budget.
+    pub fn execute_distributed(
+        &self,
+        q: &QueryExpr,
+        input: &DistributedCollection,
+        broadcast: &DataContext,
+        udfs: &UdfRegistry,
+        spec: &ClusterSpec,
+        engine: VertexEngine,
+    ) -> Result<(Value, JobReport), StenoError> {
+        steno_cluster::execute_distributed_with(
+            q,
+            input,
+            broadcast,
+            udfs,
+            spec,
+            engine,
+            &self.runtime,
+        )
+        .map_err(StenoError::Dist)
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +274,48 @@ mod tests {
         let (hits, misses) = engine.cache_stats();
         assert_eq!(misses, 1);
         assert_eq!(hits, 4);
+    }
+
+    #[test]
+    fn distributed_execution_through_the_facade() {
+        use steno_cluster::FaultPlan;
+
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let input = DistributedCollection::from_f64(
+            "xs",
+            (0..100).map(f64::from).collect(),
+            4,
+        );
+        // Inject one transient failure per map vertex: the answer must
+        // match the fault-free run and the report must show the retries.
+        let engine = Steno::new()
+            .with_runtime(RuntimeConfig::with_faults(FaultPlan::fail_each_once(4)));
+        let (v, report) = engine
+            .execute_distributed(
+                &q,
+                &input,
+                &DataContext::new(),
+                &UdfRegistry::new(),
+                &ClusterSpec { workers: 2 },
+                VertexEngine::Steno,
+            )
+            .unwrap();
+        let clean = Steno::new()
+            .execute_distributed(
+                &q,
+                &input,
+                &DataContext::new(),
+                &UdfRegistry::new(),
+                &ClusterSpec { workers: 2 },
+                VertexEngine::Steno,
+            )
+            .unwrap()
+            .0;
+        assert_eq!(v, clean);
+        assert!(report.retries >= 4, "one retry per vertex: {}", report.retries);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub use steno_macros::steno;
 /// The commonly-used types, in one import.
 pub mod prelude {
     pub use crate::engine::{ExecutionPath, Steno, StenoError};
+    pub use steno_cluster::{
+        ClusterSpec, DistError, DistributedCollection, FaultPlan, JobReport, RetryPolicy,
+        RuntimeConfig, SpeculationPolicy, VertexEngine,
+    };
     pub use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
     pub use steno_linq::Enumerable;
     pub use steno_query::{GroupResult, Query, QueryExpr};

@@ -12,14 +12,14 @@ use steno::vm::CompiledQuery;
 use steno_quil::LowerOptions;
 
 fn sample_mixture(n: usize, seed: u64) -> Vec<f64> {
-    use rand::prelude::*;
-    let mut rng = StdRng::seed_from_u64(seed);
+    use steno_repro::prng::SplitMix64;
+    let mut rng = SplitMix64::new(seed);
     let components = [(-4.0, 1.0), (0.0, 0.5), (3.0, 2.0)];
     (0..n)
         .map(|_| {
-            let (mean, sd) = components[rng.gen_range(0..components.len())];
-            let u1: f64 = rng.gen::<f64>().max(1e-12);
-            let u2: f64 = rng.gen();
+            let (mean, sd) = components[rng.index(components.len())];
+            let u1: f64 = rng.next_f64().max(1e-12);
+            let u2: f64 = rng.next_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             mean + sd * z
         })

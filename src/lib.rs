@@ -1,1 +1,3 @@
 //! Root package hosting cross-crate integration tests and examples.
+
+pub mod prng;

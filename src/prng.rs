@@ -1,0 +1,72 @@
+//! A tiny deterministic PRNG for examples and tests.
+//!
+//! The build environment is fully offline, so examples and the
+//! property-style tests cannot pull an external RNG crate. SplitMix64
+//! (Steele, Lea & Flood, OOPSLA 2014) is a one-liner with excellent
+//! statistical quality for data-generation purposes, and — crucially for
+//! reproducibility — the same seed always yields the same workload.
+
+/// A SplitMix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "index over an empty range");
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// A uniform draw from `lo..hi` (`hi > lo`).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(hi > lo);
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span.max(1)) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let x = a.next_f64();
+            assert_eq!(x, b.next_f64());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(c.index(13) < 13);
+            let r = c.range_i64(-5, 5);
+            assert!((-5..5).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_backends-fe87bea39c26f6db.d: crates/bench/benches/ablation_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_backends-fe87bea39c26f6db.rmeta: crates/bench/benches/ablation_backends.rs Cargo.toml
+
+crates/bench/benches/ablation_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

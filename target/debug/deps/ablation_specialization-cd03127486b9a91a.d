@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_specialization-cd03127486b9a91a.d: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_specialization-cd03127486b9a91a.rmeta: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+crates/bench/benches/ablation_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

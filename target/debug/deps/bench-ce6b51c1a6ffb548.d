@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-ce6b51c1a6ffb548.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-ce6b51c1a6ffb548.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-ce6b51c1a6ffb548.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/kmeans.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/prng.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/break_even-3239310adb1a5e3b.d: crates/bench/src/bin/break_even.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreak_even-3239310adb1a5e3b.rmeta: crates/bench/src/bin/break_even.rs Cargo.toml
+
+crates/bench/src/bin/break_even.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

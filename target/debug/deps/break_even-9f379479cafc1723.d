@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_even-9f379479cafc1723.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/debug/deps/break_even-9f379479cafc1723: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

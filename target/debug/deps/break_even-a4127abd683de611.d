@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/break_even-a4127abd683de611.d: crates/bench/src/bin/break_even.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreak_even-a4127abd683de611.rmeta: crates/bench/src/bin/break_even.rs Cargo.toml
+
+crates/bench/src/bin/break_even.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

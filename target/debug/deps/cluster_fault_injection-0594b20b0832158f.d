@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_fault_injection-0594b20b0832158f.d: crates/steno-cluster/tests/cluster_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_fault_injection-0594b20b0832158f.rmeta: crates/steno-cluster/tests/cluster_fault_injection.rs Cargo.toml
+
+crates/steno-cluster/tests/cluster_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

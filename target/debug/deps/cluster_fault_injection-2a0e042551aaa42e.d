@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_fault_injection-2a0e042551aaa42e.d: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+/root/repo/target/debug/deps/cluster_fault_injection-2a0e042551aaa42e: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+crates/steno-cluster/tests/cluster_fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-c1cdad13f02bd125.d: crates/steno-vm/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-c1cdad13f02bd125: crates/steno-vm/tests/differential.rs
+
+crates/steno-vm/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-f192b7275601c7ac.d: crates/steno-vm/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-f192b7275601c7ac.rmeta: crates/steno-vm/tests/differential.rs Cargo.toml
+
+crates/steno-vm/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3df31afd1179030a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3df31afd1179030a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

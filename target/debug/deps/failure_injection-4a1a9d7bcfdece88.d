@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-4a1a9d7bcfdece88.d: crates/steno-vm/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-4a1a9d7bcfdece88.rmeta: crates/steno-vm/tests/failure_injection.rs Cargo.toml
+
+crates/steno-vm/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

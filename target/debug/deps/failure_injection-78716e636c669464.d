@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-78716e636c669464.d: crates/steno-vm/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-78716e636c669464: crates/steno-vm/tests/failure_injection.rs
+
+crates/steno-vm/tests/failure_injection.rs:

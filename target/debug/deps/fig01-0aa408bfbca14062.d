@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-0aa408bfbca14062.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-0aa408bfbca14062.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-1bdc7fe439534ed4.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-1bdc7fe439534ed4.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

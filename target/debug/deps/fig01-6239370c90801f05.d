@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-6239370c90801f05.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-6239370c90801f05: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_sumsq-da72efe7b5ffc741.d: crates/bench/benches/fig01_sumsq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_sumsq-da72efe7b5ffc741.rmeta: crates/bench/benches/fig01_sumsq.rs Cargo.toml
+
+crates/bench/benches/fig01_sumsq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

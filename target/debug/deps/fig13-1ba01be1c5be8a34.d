@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-1ba01be1c5be8a34.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-1ba01be1c5be8a34: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

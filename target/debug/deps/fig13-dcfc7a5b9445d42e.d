@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-dcfc7a5b9445d42e.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-dcfc7a5b9445d42e.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_micro-5f8b14fb59ea5b68.d: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_micro-5f8b14fb59ea5b68.rmeta: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+crates/bench/benches/fig13_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

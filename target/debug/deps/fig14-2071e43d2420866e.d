@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-2071e43d2420866e.d: crates/bench/src/bin/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-2071e43d2420866e.rmeta: crates/bench/src/bin/fig14.rs Cargo.toml
+
+crates/bench/src/bin/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

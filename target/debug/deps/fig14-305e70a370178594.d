@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-305e70a370178594.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-305e70a370178594: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_kmeans-58c68c182748f14a.d: crates/bench/benches/fig14_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_kmeans-58c68c182748f14a.rmeta: crates/bench/benches/fig14_kmeans.rs Cargo.toml
+
+crates/bench/benches/fig14_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_expansion-d1af840f2ce7656f.d: tests/macro_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_expansion-d1af840f2ce7656f.rmeta: tests/macro_expansion.rs Cargo.toml
+
+tests/macro_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

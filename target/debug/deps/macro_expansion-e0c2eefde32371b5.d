@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_expansion-e0c2eefde32371b5.d: tests/macro_expansion.rs
+
+/root/repo/target/debug/deps/macro_expansion-e0c2eefde32371b5: tests/macro_expansion.rs
+
+tests/macro_expansion.rs:

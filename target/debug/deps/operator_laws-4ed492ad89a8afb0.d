@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/operator_laws-4ed492ad89a8afb0.d: crates/steno-linq/tests/operator_laws.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboperator_laws-4ed492ad89a8afb0.rmeta: crates/steno-linq/tests/operator_laws.rs Cargo.toml
+
+crates/steno-linq/tests/operator_laws.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/operator_laws-95afd4130a645b55.d: crates/steno-linq/tests/operator_laws.rs
+
+/root/repo/target/debug/deps/operator_laws-95afd4130a645b55: crates/steno-linq/tests/operator_laws.rs
+
+crates/steno-linq/tests/operator_laws.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-868452b6cef3d5fd.d: tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-868452b6cef3d5fd.rmeta: tests/pipeline_properties.rs Cargo.toml
+
+tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-ceb2a53a00f5dfec.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-ceb2a53a00f5dfec: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno-1346fd2c9f81f7d7.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-1346fd2c9f81f7d7.rlib: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-1346fd2c9f81f7d7.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/rt.rs:

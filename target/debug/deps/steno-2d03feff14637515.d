@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/steno-2d03feff14637515.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/steno-2d03feff14637515: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/rt.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/steno-942d18918f027438.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno-942d18918f027438.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs Cargo.toml
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

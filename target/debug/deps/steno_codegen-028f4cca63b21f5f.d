@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_codegen-028f4cca63b21f5f.d: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/debug/deps/libsteno_codegen-028f4cca63b21f5f.rlib: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/debug/deps/libsteno_codegen-028f4cca63b21f5f.rmeta: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+crates/steno-codegen/src/lib.rs:
+crates/steno-codegen/src/generate.rs:
+crates/steno-codegen/src/imp.rs:
+crates/steno-codegen/src/printer.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno_codegen-1f5f4621dcc9bab1.d: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_codegen-1f5f4621dcc9bab1.rmeta: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs Cargo.toml
+
+crates/steno-codegen/src/lib.rs:
+crates/steno-codegen/src/generate.rs:
+crates/steno-codegen/src/imp.rs:
+crates/steno-codegen/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_codegen-2b8cdedeb104a192.d: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/debug/deps/steno_codegen-2b8cdedeb104a192: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+crates/steno-codegen/src/lib.rs:
+crates/steno-codegen/src/generate.rs:
+crates/steno-codegen/src/imp.rs:
+crates/steno-codegen/src/printer.rs:

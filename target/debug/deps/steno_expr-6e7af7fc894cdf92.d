@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/steno_expr-6e7af7fc894cdf92.d: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_expr-6e7af7fc894cdf92.rmeta: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs Cargo.toml
+
+crates/steno-expr/src/lib.rs:
+crates/steno-expr/src/data.rs:
+crates/steno-expr/src/error.rs:
+crates/steno-expr/src/eval.rs:
+crates/steno-expr/src/expr.rs:
+crates/steno-expr/src/subst.rs:
+crates/steno-expr/src/ty.rs:
+crates/steno-expr/src/typecheck.rs:
+crates/steno-expr/src/udf.rs:
+crates/steno-expr/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

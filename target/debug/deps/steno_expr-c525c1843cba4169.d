@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/steno_expr-c525c1843cba4169.d: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs
+
+/root/repo/target/debug/deps/steno_expr-c525c1843cba4169: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs
+
+crates/steno-expr/src/lib.rs:
+crates/steno-expr/src/data.rs:
+crates/steno-expr/src/error.rs:
+crates/steno-expr/src/eval.rs:
+crates/steno-expr/src/expr.rs:
+crates/steno-expr/src/subst.rs:
+crates/steno-expr/src/ty.rs:
+crates/steno-expr/src/typecheck.rs:
+crates/steno-expr/src/udf.rs:
+crates/steno-expr/src/value.rs:

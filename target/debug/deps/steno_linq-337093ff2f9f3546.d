@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno_linq-337093ff2f9f3546.d: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+/root/repo/target/debug/deps/steno_linq-337093ff2f9f3546: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+crates/steno-linq/src/lib.rs:
+crates/steno-linq/src/aggregates.rs:
+crates/steno-linq/src/enumerable.rs:
+crates/steno-linq/src/enumerator.rs:
+crates/steno-linq/src/grouping.rs:
+crates/steno-linq/src/interp.rs:
+crates/steno-linq/src/lookup.rs:
+crates/steno-linq/src/sources.rs:

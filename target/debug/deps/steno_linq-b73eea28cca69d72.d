@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/steno_linq-b73eea28cca69d72.d: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_linq-b73eea28cca69d72.rmeta: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs Cargo.toml
+
+crates/steno-linq/src/lib.rs:
+crates/steno-linq/src/aggregates.rs:
+crates/steno-linq/src/enumerable.rs:
+crates/steno-linq/src/enumerator.rs:
+crates/steno-linq/src/grouping.rs:
+crates/steno-linq/src/interp.rs:
+crates/steno-linq/src/lookup.rs:
+crates/steno-linq/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

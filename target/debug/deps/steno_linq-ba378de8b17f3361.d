@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/steno_linq-ba378de8b17f3361.d: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_linq-ba378de8b17f3361.rmeta: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs Cargo.toml
+
+crates/steno-linq/src/lib.rs:
+crates/steno-linq/src/aggregates.rs:
+crates/steno-linq/src/enumerable.rs:
+crates/steno-linq/src/enumerator.rs:
+crates/steno-linq/src/grouping.rs:
+crates/steno-linq/src/interp.rs:
+crates/steno-linq/src/lookup.rs:
+crates/steno-linq/src/sources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

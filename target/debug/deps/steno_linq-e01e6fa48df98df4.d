@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/steno_linq-e01e6fa48df98df4.d: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+/root/repo/target/debug/deps/libsteno_linq-e01e6fa48df98df4.rlib: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+/root/repo/target/debug/deps/libsteno_linq-e01e6fa48df98df4.rmeta: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+crates/steno-linq/src/lib.rs:
+crates/steno-linq/src/aggregates.rs:
+crates/steno-linq/src/enumerable.rs:
+crates/steno-linq/src/enumerator.rs:
+crates/steno-linq/src/grouping.rs:
+crates/steno-linq/src/interp.rs:
+crates/steno-linq/src/lookup.rs:
+crates/steno-linq/src/sources.rs:

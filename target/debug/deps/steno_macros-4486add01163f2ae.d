@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steno_macros-4486add01163f2ae.d: crates/steno-macros/src/lib.rs
+
+/root/repo/target/debug/deps/steno_macros-4486add01163f2ae: crates/steno-macros/src/lib.rs
+
+crates/steno-macros/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_macros-65c7ad97ab7c7bfa.d: crates/steno-macros/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_macros-65c7ad97ab7c7bfa.rmeta: crates/steno-macros/src/lib.rs Cargo.toml
+
+crates/steno-macros/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_macros-7383283073c73ca3.d: crates/steno-macros/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_macros-7383283073c73ca3.rmeta: crates/steno-macros/src/lib.rs Cargo.toml
+
+crates/steno-macros/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steno_macros-a05bb86e5eab2998.d: crates/steno-macros/src/lib.rs
+
+/root/repo/target/debug/deps/libsteno_macros-a05bb86e5eab2998.so: crates/steno-macros/src/lib.rs
+
+crates/steno-macros/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_macros-bdd70e4e90cd6858.d: crates/steno-macros/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_macros-bdd70e4e90cd6858.so: crates/steno-macros/src/lib.rs Cargo.toml
+
+crates/steno-macros/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno_query-7a6b889236c3770c.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_query-7a6b889236c3770c.rmeta: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs Cargo.toml
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_query-91cb4e0983107d35.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/debug/deps/libsteno_query-91cb4e0983107d35.rlib: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/debug/deps/libsteno_query-91cb4e0983107d35.rmeta: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:

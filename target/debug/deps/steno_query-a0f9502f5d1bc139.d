@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_query-a0f9502f5d1bc139.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/debug/deps/steno_query-a0f9502f5d1bc139: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/steno_query-fafbd7d6bdb3f686.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_query-fafbd7d6bdb3f686.rlib: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_query-fafbd7d6bdb3f686.rmeta: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs Cargo.toml
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/steno_quil-2ca3384870ce5db1.d: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+/root/repo/target/debug/deps/steno_quil-2ca3384870ce5db1: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+crates/steno-quil/src/lib.rs:
+crates/steno-quil/src/grammar.rs:
+crates/steno-quil/src/ir.rs:
+crates/steno-quil/src/lower.rs:
+crates/steno-quil/src/parallel.rs:
+crates/steno-quil/src/passes.rs:
+crates/steno-quil/src/substitute.rs:

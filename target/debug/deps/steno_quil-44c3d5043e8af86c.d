@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/steno_quil-44c3d5043e8af86c.d: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_quil-44c3d5043e8af86c.rlib: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_quil-44c3d5043e8af86c.rmeta: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs Cargo.toml
+
+crates/steno-quil/src/lib.rs:
+crates/steno-quil/src/grammar.rs:
+crates/steno-quil/src/ir.rs:
+crates/steno-quil/src/lower.rs:
+crates/steno-quil/src/parallel.rs:
+crates/steno-quil/src/passes.rs:
+crates/steno-quil/src/substitute.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

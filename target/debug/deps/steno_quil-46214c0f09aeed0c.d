@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/steno_quil-46214c0f09aeed0c.d: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+/root/repo/target/debug/deps/libsteno_quil-46214c0f09aeed0c.rlib: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+/root/repo/target/debug/deps/libsteno_quil-46214c0f09aeed0c.rmeta: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+crates/steno-quil/src/lib.rs:
+crates/steno-quil/src/grammar.rs:
+crates/steno-quil/src/ir.rs:
+crates/steno-quil/src/lower.rs:
+crates/steno-quil/src/parallel.rs:
+crates/steno-quil/src/passes.rs:
+crates/steno-quil/src/substitute.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-2853b45ac4ed376a.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-2853b45ac4ed376a.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-2853b45ac4ed376a.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_repro-4d60398c18d9d2df.d: src/lib.rs src/prng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_repro-4d60398c18d9d2df.rmeta: src/lib.rs src/prng.rs Cargo.toml
+
+src/lib.rs:
+src/prng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_repro-4e47743f675ccbd6.d: src/lib.rs src/prng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_repro-4e47743f675ccbd6.rmeta: src/lib.rs src/prng.rs Cargo.toml
+
+src/lib.rs:
+src/prng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

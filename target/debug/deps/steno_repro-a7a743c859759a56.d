@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/steno_repro-a7a743c859759a56.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/steno_repro-a7a743c859759a56: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

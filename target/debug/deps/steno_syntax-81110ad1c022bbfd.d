@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_syntax-81110ad1c022bbfd.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/debug/deps/libsteno_syntax-81110ad1c022bbfd.rlib: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/debug/deps/libsteno_syntax-81110ad1c022bbfd.rmeta: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:

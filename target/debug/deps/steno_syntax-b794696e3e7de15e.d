@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/steno_syntax-b794696e3e7de15e.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/debug/deps/steno_syntax-b794696e3e7de15e: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/steno_syntax-df6725ba94084e1c.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_syntax-df6725ba94084e1c.rlib: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_syntax-df6725ba94084e1c.rmeta: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs Cargo.toml
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

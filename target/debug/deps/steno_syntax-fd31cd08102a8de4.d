@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/steno_syntax-fd31cd08102a8de4.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_syntax-fd31cd08102a8de4.rmeta: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs Cargo.toml
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01-1a8d4316da1a6d19.d: crates/bench/src/bin/tab01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01-1a8d4316da1a6d19.rmeta: crates/bench/src/bin/tab01.rs Cargo.toml
+
+crates/bench/src/bin/tab01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

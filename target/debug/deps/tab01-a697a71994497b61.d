@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01-a697a71994497b61.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/debug/deps/tab01-a697a71994497b61: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01-bc00c8a08c2e6ec8.d: crates/bench/src/bin/tab01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01-bc00c8a08c2e6ec8.rmeta: crates/bench/src/bin/tab01.rs Cargo.toml
+
+crates/bench/src/bin/tab01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

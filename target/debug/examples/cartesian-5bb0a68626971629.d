@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cartesian-5bb0a68626971629.d: examples/cartesian.rs
+
+/root/repo/target/debug/examples/cartesian-5bb0a68626971629: examples/cartesian.rs
+
+examples/cartesian.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cartesian-7884b2425c635902.d: examples/cartesian.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcartesian-7884b2425c635902.rmeta: examples/cartesian.rs Cargo.toml
+
+examples/cartesian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_tour-2aff5a4f3dc766f6.d: examples/codegen_tour.rs
+
+/root/repo/target/debug/examples/codegen_tour-2aff5a4f3dc766f6: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codegen_tour-e9c59de03e64e0a6.d: examples/codegen_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodegen_tour-e9c59de03e64e0a6.rmeta: examples/codegen_tour.rs Cargo.toml
+
+examples/codegen_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_kmeans-1eadcb6dd11432c8.d: examples/distributed_kmeans.rs
+
+/root/repo/target/debug/examples/distributed_kmeans-1eadcb6dd11432c8: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_kmeans-6d61660840f7d92d.d: examples/distributed_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_kmeans-6d61660840f7d92d.rmeta: examples/distributed_kmeans.rs Cargo.toml
+
+examples/distributed_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/histogram-0fa55a6ae2e60e79.d: examples/histogram.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhistogram-0fa55a6ae2e60e79.rmeta: examples/histogram.rs Cargo.toml
+
+examples/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-3b1fbec422ad2bdd.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-3b1fbec422ad2bdd: examples/histogram.rs
+
+examples/histogram.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-11499944904a904e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-11499944904a904e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

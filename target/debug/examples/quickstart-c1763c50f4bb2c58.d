@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c1763c50f4bb2c58.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c1763c50f4bb2c58: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/break_even-ec79e4e05001b93a.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/release/deps/break_even-ec79e4e05001b93a: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

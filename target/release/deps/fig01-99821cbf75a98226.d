@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-99821cbf75a98226.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-99821cbf75a98226: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_sumsq-70f1e080b4abad47.d: crates/bench/benches/fig01_sumsq.rs
+
+/root/repo/target/release/deps/fig01_sumsq-70f1e080b4abad47: crates/bench/benches/fig01_sumsq.rs
+
+crates/bench/benches/fig01_sumsq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-905979a3bf12a0b7.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-905979a3bf12a0b7: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

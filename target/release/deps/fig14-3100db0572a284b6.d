@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-3100db0572a284b6.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-3100db0572a284b6: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/steno-b7461feb123412ab.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+/root/repo/target/release/deps/libsteno-b7461feb123412ab.rlib: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+/root/repo/target/release/deps/libsteno-b7461feb123412ab.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/rt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/steno_codegen-12122baaf5e6fe5e.d: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/release/deps/libsteno_codegen-12122baaf5e6fe5e.rlib: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/release/deps/libsteno_codegen-12122baaf5e6fe5e.rmeta: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+crates/steno-codegen/src/lib.rs:
+crates/steno-codegen/src/generate.rs:
+crates/steno-codegen/src/imp.rs:
+crates/steno-codegen/src/printer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/steno_codegen-bac6a76ce25e511b.d: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/release/deps/libsteno_codegen-bac6a76ce25e511b.rlib: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+/root/repo/target/release/deps/libsteno_codegen-bac6a76ce25e511b.rmeta: crates/steno-codegen/src/lib.rs crates/steno-codegen/src/generate.rs crates/steno-codegen/src/imp.rs crates/steno-codegen/src/printer.rs
+
+crates/steno-codegen/src/lib.rs:
+crates/steno-codegen/src/generate.rs:
+crates/steno-codegen/src/imp.rs:
+crates/steno-codegen/src/printer.rs:

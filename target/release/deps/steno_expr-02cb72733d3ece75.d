@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/steno_expr-02cb72733d3ece75.d: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs
+
+/root/repo/target/release/deps/libsteno_expr-02cb72733d3ece75.rlib: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs
+
+/root/repo/target/release/deps/libsteno_expr-02cb72733d3ece75.rmeta: crates/steno-expr/src/lib.rs crates/steno-expr/src/data.rs crates/steno-expr/src/error.rs crates/steno-expr/src/eval.rs crates/steno-expr/src/expr.rs crates/steno-expr/src/subst.rs crates/steno-expr/src/ty.rs crates/steno-expr/src/typecheck.rs crates/steno-expr/src/udf.rs crates/steno-expr/src/value.rs
+
+crates/steno-expr/src/lib.rs:
+crates/steno-expr/src/data.rs:
+crates/steno-expr/src/error.rs:
+crates/steno-expr/src/eval.rs:
+crates/steno-expr/src/expr.rs:
+crates/steno-expr/src/subst.rs:
+crates/steno-expr/src/ty.rs:
+crates/steno-expr/src/typecheck.rs:
+crates/steno-expr/src/udf.rs:
+crates/steno-expr/src/value.rs:

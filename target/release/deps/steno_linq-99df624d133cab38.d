@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/steno_linq-99df624d133cab38.d: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+/root/repo/target/release/deps/libsteno_linq-99df624d133cab38.rlib: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+/root/repo/target/release/deps/libsteno_linq-99df624d133cab38.rmeta: crates/steno-linq/src/lib.rs crates/steno-linq/src/aggregates.rs crates/steno-linq/src/enumerable.rs crates/steno-linq/src/enumerator.rs crates/steno-linq/src/grouping.rs crates/steno-linq/src/interp.rs crates/steno-linq/src/lookup.rs crates/steno-linq/src/sources.rs
+
+crates/steno-linq/src/lib.rs:
+crates/steno-linq/src/aggregates.rs:
+crates/steno-linq/src/enumerable.rs:
+crates/steno-linq/src/enumerator.rs:
+crates/steno-linq/src/grouping.rs:
+crates/steno-linq/src/interp.rs:
+crates/steno-linq/src/lookup.rs:
+crates/steno-linq/src/sources.rs:

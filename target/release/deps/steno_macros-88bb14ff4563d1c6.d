@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/steno_macros-88bb14ff4563d1c6.d: crates/steno-macros/src/lib.rs
+
+/root/repo/target/release/deps/libsteno_macros-88bb14ff4563d1c6.so: crates/steno-macros/src/lib.rs
+
+crates/steno-macros/src/lib.rs:

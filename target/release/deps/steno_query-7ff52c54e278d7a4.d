@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/steno_query-7ff52c54e278d7a4.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/release/deps/libsteno_query-7ff52c54e278d7a4.rlib: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/release/deps/libsteno_query-7ff52c54e278d7a4.rmeta: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/steno_query-d7646b6f8e773b97.d: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/release/deps/libsteno_query-d7646b6f8e773b97.rlib: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+/root/repo/target/release/deps/libsteno_query-d7646b6f8e773b97.rmeta: crates/steno-query/src/lib.rs crates/steno-query/src/ast.rs crates/steno-query/src/builder.rs crates/steno-query/src/typing.rs
+
+crates/steno-query/src/lib.rs:
+crates/steno-query/src/ast.rs:
+crates/steno-query/src/builder.rs:
+crates/steno-query/src/typing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/steno_quil-1c56401fe5688ecf.d: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+/root/repo/target/release/deps/libsteno_quil-1c56401fe5688ecf.rlib: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+/root/repo/target/release/deps/libsteno_quil-1c56401fe5688ecf.rmeta: crates/steno-quil/src/lib.rs crates/steno-quil/src/grammar.rs crates/steno-quil/src/ir.rs crates/steno-quil/src/lower.rs crates/steno-quil/src/parallel.rs crates/steno-quil/src/passes.rs crates/steno-quil/src/substitute.rs
+
+crates/steno-quil/src/lib.rs:
+crates/steno-quil/src/grammar.rs:
+crates/steno-quil/src/ir.rs:
+crates/steno-quil/src/lower.rs:
+crates/steno-quil/src/parallel.rs:
+crates/steno-quil/src/passes.rs:
+crates/steno-quil/src/substitute.rs:

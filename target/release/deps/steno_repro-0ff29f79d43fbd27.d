@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/steno_repro-0ff29f79d43fbd27.d: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-0ff29f79d43fbd27.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-0ff29f79d43fbd27.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/steno_syntax-11b038b1cbc3f50a.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/release/deps/libsteno_syntax-11b038b1cbc3f50a.rlib: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/release/deps/libsteno_syntax-11b038b1cbc3f50a.rmeta: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:

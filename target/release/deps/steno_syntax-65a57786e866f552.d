@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/steno_syntax-65a57786e866f552.d: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/release/deps/libsteno_syntax-65a57786e866f552.rlib: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+/root/repo/target/release/deps/libsteno_syntax-65a57786e866f552.rmeta: crates/steno-syntax/src/lib.rs crates/steno-syntax/src/lexer.rs crates/steno-syntax/src/parser.rs
+
+crates/steno-syntax/src/lib.rs:
+crates/steno-syntax/src/lexer.rs:
+crates/steno-syntax/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01-bcc662b5a4c6e9f5.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/release/deps/tab01-bcc662b5a4c6e9f5: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

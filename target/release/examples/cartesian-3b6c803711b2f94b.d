@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cartesian-3b6c803711b2f94b.d: examples/cartesian.rs
+
+/root/repo/target/release/examples/cartesian-3b6c803711b2f94b: examples/cartesian.rs
+
+examples/cartesian.rs:

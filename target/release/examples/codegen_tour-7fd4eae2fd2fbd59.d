@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/codegen_tour-7fd4eae2fd2fbd59.d: examples/codegen_tour.rs
+
+/root/repo/target/release/examples/codegen_tour-7fd4eae2fd2fbd59: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

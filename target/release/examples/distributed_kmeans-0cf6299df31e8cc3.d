@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_kmeans-0cf6299df31e8cc3.d: examples/distributed_kmeans.rs
+
+/root/repo/target/release/examples/distributed_kmeans-0cf6299df31e8cc3: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/histogram-3a389b35559cd8e6.d: examples/histogram.rs
+
+/root/repo/target/release/examples/histogram-3a389b35559cd8e6: examples/histogram.rs
+
+examples/histogram.rs:

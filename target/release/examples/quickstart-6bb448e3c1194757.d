@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6bb448e3c1194757.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6bb448e3c1194757: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,103 +1,114 @@
-//! Property-based integration tests over the whole stack: random query
-//! text is round-tripped through the parser and executed by both the
-//! engine (optimized path, with its cache) and the unoptimized
-//! interpreter.
+//! Property-style integration tests over the whole stack: randomly
+//! composed query text is round-tripped through the parser and executed
+//! by both the engine (optimized path, with its cache) and the
+//! unoptimized interpreter.
+//!
+//! The offline build cannot pull `proptest`, so the random cases come
+//! from a seeded [`SplitMix64`]: every run explores the same cases,
+//! which also makes failures trivially reproducible.
 
-use proptest::prelude::*;
 use steno::prelude::*;
 use steno_linq::interp;
 use steno_quil::grammar::{Fsm, Pda};
+use steno_repro::prng::SplitMix64;
 
-fn clause() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("where x > 0.0".to_string()),
-        Just("where x % 2.0 == 0.0".to_string()),
-        Just("where x < 40.0 && x > -40.0".to_string()),
-        Just("orderby x".to_string()),
-        Just("orderby x descending".to_string()),
-    ]
+const CLAUSES: &[&str] = &[
+    "where x > 0.0",
+    "where x % 2.0 == 0.0",
+    "where x < 40.0 && x > -40.0",
+    "orderby x",
+    "orderby x descending",
+];
+
+const TERMINALS: &[&str] = &[
+    "sum()",
+    "count()",
+    "min()",
+    "max()",
+    "average()",
+    "take(7).count()",
+    "to_array().first()",
+];
+
+const SELECTORS: &[&str] = &["x", "x * x", "x + 1.0", "x.abs()", "x.min(3.0) * 2.0"];
+
+fn random_data(rng: &mut SplitMix64, max_len: usize) -> Vec<f64> {
+    let len = rng.index(max_len + 1);
+    (0..len).map(|_| rng.range_f64(-50.0, 50.0)).collect()
 }
 
-fn terminal() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("sum()".to_string()),
-        Just("count()".to_string()),
-        Just("min()".to_string()),
-        Just("max()".to_string()),
-        Just("average()".to_string()),
-        Just("take(7).count()".to_string()),
-        Just("to_array().first()".to_string()),
-    ]
+fn random_clauses(rng: &mut SplitMix64, max: usize) -> Vec<&'static str> {
+    let n = rng.index(max + 1);
+    (0..n).map(|_| CLAUSES[rng.index(CLAUSES.len())]).collect()
 }
 
-fn selector() -> impl Strategy<Value = String> {
-    prop_oneof![
-        Just("x".to_string()),
-        Just("x * x".to_string()),
-        Just("x + 1.0".to_string()),
-        Just("x.abs()".to_string()),
-        Just("x.min(3.0) * 2.0".to_string()),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_text_queries_agree(
-        data in prop::collection::vec(-50.0f64..50.0, 0..40),
-        clauses in prop::collection::vec(clause(), 0..3),
-        sel in selector(),
-        term in terminal(),
-    ) {
-        let text = format!(
-            "(from x in xs {} select {sel}).{term}",
-            clauses.join(" ")
-        );
+#[test]
+fn random_text_queries_agree() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let udfs = UdfRegistry::new();
+    let engine = Steno::new();
+    for case in 0..48 {
+        let data = random_data(&mut rng, 39);
+        let clauses = random_clauses(&mut rng, 2);
+        let sel = SELECTORS[rng.index(SELECTORS.len())];
+        let term = TERMINALS[rng.index(TERMINALS.len())];
+        let text = format!("(from x in xs {} select {sel}).{term}", clauses.join(" "));
         let (q, _) = steno::syntax::parse_query(&text).expect("parse");
         let ctx = DataContext::new().with_source("xs", data);
-        let udfs = UdfRegistry::new();
-        let engine = Steno::new();
         let expected = interp::execute(&q, &ctx, &udfs).expect("interp");
         let got = engine.execute(&q, &ctx, &udfs).expect("engine");
-        prop_assert_eq!(expected.key(), got.key(), "query: {}", text);
+        assert_eq!(
+            expected.key(),
+            got.key(),
+            "case {case}, query: {text}"
+        );
     }
+}
 
-    /// Every lowered chain satisfies the QUIL grammar — flat sentences
-    /// pass the Fig. 4 FSM; nested sentences pass the §5.1 PDA.
-    #[test]
-    fn lowered_chains_satisfy_the_grammar(
-        clauses in prop::collection::vec(clause(), 0..3),
-        sel in selector(),
-        term in terminal(),
-        nested in prop::bool::ANY,
-    ) {
+/// Every lowered chain satisfies the QUIL grammar — flat sentences pass
+/// the Fig. 4 FSM; nested sentences pass the §5.1 PDA.
+#[test]
+fn lowered_chains_satisfy_the_grammar() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    let udfs = UdfRegistry::new();
+    for case in 0..48 {
+        let nested = rng.next_u64() & 1 == 0;
+        let term = TERMINALS[rng.index(TERMINALS.len())];
         let text = if nested {
             format!("(from x in xs from y in ys select x * y).{term}")
         } else {
+            let clauses = random_clauses(&mut rng, 2);
+            let sel = SELECTORS[rng.index(SELECTORS.len())];
             format!("(from x in xs {} select {sel}).{term}", clauses.join(" "))
         };
         let (q, _) = steno::syntax::parse_query(&text).expect("parse");
         let srcs = steno::query::typing::SourceTypes::new()
             .with("xs", Ty::F64)
             .with("ys", Ty::F64);
-        let udfs = UdfRegistry::new();
         let chain = steno::quil::lower(&q, &srcs, &udfs).expect("lower");
-        prop_assert!(Pda::accepts(&chain.tokens()), "tokens of {}", chain);
-        prop_assert!(Fsm::accepts(&chain.symbols()), "symbols of {}", chain);
+        assert!(
+            Pda::accepts(&chain.tokens()),
+            "case {case}, tokens of {chain}"
+        );
+        assert!(
+            Fsm::accepts(&chain.symbols()),
+            "case {case}, symbols of {chain}"
+        );
     }
+}
 
-    /// Parsing is a left inverse of printing for the method-chain form.
-    #[test]
-    fn parse_print_round_trip(
-        clauses in prop::collection::vec(clause(), 0..2),
-        sel in selector(),
-    ) {
+/// Parsing is a left inverse of printing for the method-chain form.
+#[test]
+fn parse_print_round_trip() {
+    let mut rng = SplitMix64::new(0xF00D);
+    for case in 0..48 {
+        let clauses = random_clauses(&mut rng, 1);
+        let sel = SELECTORS[rng.index(SELECTORS.len())];
         let text = format!("from x in xs {} select {sel}", clauses.join(" "));
         let (q1, _) = steno::syntax::parse_query(&text).expect("parse 1");
         let printed = q1.to_string();
         let (q2, _) = steno::syntax::parse_query(&printed)
             .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
-        prop_assert_eq!(q1, q2, "printed: {}", printed);
+        assert_eq!(q1, q2, "case {case}, printed: {printed}");
     }
 }
