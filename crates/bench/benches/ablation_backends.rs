@@ -2,16 +2,16 @@
 //!
 //! SumSq through: the AST interpreter (no optimization at all), the VM
 //! with the loop-fusion tier disabled (generated loops, per-instruction
-//! dispatch), the full VM (fused kernels), and the boxed-iterator LINQ
-//! baseline for reference.
+//! dispatch), the fused-scalar VM, the batch-vectorized VM (the
+//! default), and the boxed-iterator LINQ baseline for reference.
 
 use bench::harness::Criterion;
 use bench::{criterion_group, criterion_main};
 use steno_expr::{DataContext, Expr, UdfRegistry};
 use steno_linq::{interp, Enumerable};
 use steno_query::Query;
-use steno_vm::query::StenoOptions;
-use steno_vm::CompiledQuery;
+use steno_vm::query::{StenoOptions, VectorizationPolicy};
+use steno_vm::{CompiledQuery, EngineKind};
 
 fn backends(c: &mut Criterion) {
     let n = 300_000;
@@ -23,14 +23,27 @@ fn backends(c: &mut Criterion) {
         .sum()
         .build();
 
-    let fused = CompiledQuery::compile(&q, (&ctx).into(), &udfs).unwrap();
+    let vectorized = CompiledQuery::compile(&q, (&ctx).into(), &udfs).unwrap();
+    assert_eq!(vectorized.engine(), EngineKind::Vectorized);
+    let fused = CompiledQuery::compile_tuned(
+        &q,
+        (&ctx).into(),
+        &udfs,
+        StenoOptions {
+            vectorize: VectorizationPolicy::Off,
+            ..StenoOptions::default()
+        },
+    )
+    .unwrap();
     assert!(fused.fused_loops() > 0);
+    assert_eq!(fused.engine(), EngineKind::Scalar);
     let unfused = CompiledQuery::compile_tuned(
         &q,
         (&ctx).into(),
         &udfs,
         StenoOptions {
             fusion: false,
+            vectorize: VectorizationPolicy::Off,
             ..StenoOptions::default()
         },
     )
@@ -51,6 +64,9 @@ fn backends(c: &mut Criterion) {
     });
     group.bench_function("vm_fused", |b| {
         b.iter(|| std::hint::black_box(fused.run(&ctx, &udfs).unwrap()))
+    });
+    group.bench_function("vm_vectorized", |b| {
+        b.iter(|| std::hint::black_box(vectorized.run(&ctx, &udfs).unwrap()))
     });
     group.finish();
 }

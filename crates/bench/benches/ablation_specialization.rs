@@ -35,7 +35,7 @@ fn specialization(c: &mut Criterion) {
             lower: LowerOptions {
                 specialize_group_aggregate: false,
             },
-            fusion: true,
+            ..StenoOptions::default()
         },
     )
     .unwrap();

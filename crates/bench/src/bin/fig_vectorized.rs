@@ -1,0 +1,287 @@
+//! `fig_vectorized`: the batch-vectorization ablation (§9's MonetDB/X100
+//! direction), and the producer of `BENCH_vm.json`.
+//!
+//! Each workload runs on four engines:
+//!
+//! * `linq` — the unoptimized boxed-iterator chains (§2's baseline),
+//! * `vm_scalar` — the bytecode VM with fusion and vectorization off
+//!   (per-instruction dispatch over unboxed registers),
+//! * `vm_fused` — the scalar whole-loop fusion tier,
+//! * `vm_vectorized` — the typed column-batch engine (the default), and
+//! * `hand` — the hand-written Rust loop, as the floor.
+//!
+//! Results print as a table and are written to `BENCH_vm.json`
+//! (workload, engine, elements, ns/elem, elements/sec). Scale the
+//! element counts with `STENO_SCALE`; set `BENCH_VM_JSON` to redirect
+//! the output path.
+
+use std::time::Duration;
+
+use bench::harness::{median_time, write_bench_json, BenchRecord};
+use bench::workloads::{scaled, uniform_doubles};
+use steno_expr::{DataContext, Expr, UdfRegistry, Value};
+use steno_linq::Enumerable;
+use steno_query::{Query, QueryExpr};
+use steno_vm::query::StenoOptions;
+use steno_vm::{CompiledQuery, EngineKind, VectorizationPolicy};
+
+const SAMPLES: usize = 7;
+
+fn opts(fusion: bool, vectorize: VectorizationPolicy) -> StenoOptions {
+    StenoOptions {
+        fusion,
+        vectorize,
+        ..StenoOptions::default()
+    }
+}
+
+/// Compiles `q` three ways and checks the engines landed where expected.
+fn compile_tiers(
+    q: &QueryExpr,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+) -> (CompiledQuery, CompiledQuery, CompiledQuery) {
+    let scalar = CompiledQuery::compile_tuned(
+        q,
+        ctx.into(),
+        udfs,
+        opts(false, VectorizationPolicy::Off),
+    )
+    .expect("compile scalar");
+    let fused =
+        CompiledQuery::compile_tuned(q, ctx.into(), udfs, opts(true, VectorizationPolicy::Off))
+            .expect("compile fused");
+    let vectorized =
+        CompiledQuery::compile_tuned(q, ctx.into(), udfs, opts(true, VectorizationPolicy::Auto))
+            .expect("compile vectorized");
+    assert_eq!(scalar.engine(), EngineKind::Scalar);
+    assert_eq!(fused.engine(), EngineKind::Scalar);
+    assert_eq!(
+        vectorized.engine(),
+        EngineKind::Vectorized,
+        "workload must vectorize; fallbacks: {:?}",
+        vectorized.batch_fallbacks()
+    );
+    (scalar, fused, vectorized)
+}
+
+struct Row {
+    engine: &'static str,
+    median: Duration,
+}
+
+fn report(workload: &str, n: usize, rows: Vec<Row>, records: &mut Vec<BenchRecord>) {
+    println!("\n== {workload} ({n} elements) ==");
+    let scalar_ns = rows
+        .iter()
+        .find(|r| r.engine == "vm_scalar")
+        .map(|r| r.median.as_nanos() as f64)
+        .unwrap_or(f64::NAN);
+    for row in rows {
+        let rec = BenchRecord::from_wall(workload, row.engine, n, row.median);
+        let vs = scalar_ns / (row.median.as_nanos() as f64).max(1.0);
+        println!(
+            "{:>14}  {:>12?}  {:>8.3} ns/elem  {:>12.0} elem/s  ({:>5.2}x vs vm_scalar)",
+            row.engine, row.median, rec.ns_per_elem, rec.elements_per_sec, vs
+        );
+        records.push(rec);
+    }
+}
+
+/// Sum of squares of 10^6 doubles — the acceptance workload.
+fn sum_of_squares(records: &mut Vec<BenchRecord>) {
+    let n = scaled(1_000_000);
+    let data = uniform_doubles(n, 42);
+    let ctx = DataContext::new().with_source("xs", data.clone());
+    let udfs = UdfRegistry::new();
+    let q = Query::source("xs")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let (scalar, fused, vectorized) = compile_tiers(&q, &ctx, &udfs);
+
+    // All engines agree before any of them is timed.
+    let expect = {
+        let mut s = 0.0;
+        for &x in &data {
+            s += x * x;
+        }
+        s
+    };
+    for c in [&scalar, &fused, &vectorized] {
+        assert_eq!(c.run(&ctx, &udfs).expect("run"), Value::F64(expect));
+    }
+
+    let xs = Enumerable::from_vec(data.clone());
+    let rows = vec![
+        Row {
+            engine: "linq",
+            median: median_time(SAMPLES, || xs.select(|x| x * x).sum()),
+        },
+        Row {
+            engine: "vm_scalar",
+            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_fused",
+            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_vectorized",
+            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "hand",
+            median: median_time(SAMPLES, || {
+                let mut s = 0.0;
+                for &x in &data {
+                    s += x * x;
+                }
+                s
+            }),
+        },
+    ];
+    report("sum_of_squares", n, rows, records);
+}
+
+/// Filtered sum: `xs.Where(x > 0.5).Select(x * 2).Sum()` — exercises the
+/// selection-vector path.
+fn filtered_sum(records: &mut Vec<BenchRecord>) {
+    let n = scaled(1_000_000);
+    let data = uniform_doubles(n, 7);
+    let ctx = DataContext::new().with_source("xs", data.clone());
+    let udfs = UdfRegistry::new();
+    let q = Query::source("xs")
+        .where_(Expr::var("x").gt(Expr::litf(0.5)), "x")
+        .select(Expr::var("x") * Expr::litf(2.0), "x")
+        .sum()
+        .build();
+    let (scalar, fused, vectorized) = compile_tiers(&q, &ctx, &udfs);
+
+    let expect = {
+        let mut s = 0.0;
+        for &x in &data {
+            if x > 0.5 {
+                s += x * 2.0;
+            }
+        }
+        s
+    };
+    for c in [&scalar, &fused, &vectorized] {
+        assert_eq!(c.run(&ctx, &udfs).expect("run"), Value::F64(expect));
+    }
+
+    let xs = Enumerable::from_vec(data.clone());
+    let rows = vec![
+        Row {
+            engine: "linq",
+            median: median_time(SAMPLES, || {
+                xs.where_(|x| x > 0.5).select(|x| x * 2.0).sum()
+            }),
+        },
+        Row {
+            engine: "vm_scalar",
+            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_fused",
+            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_vectorized",
+            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "hand",
+            median: median_time(SAMPLES, || {
+                let mut s = 0.0;
+                for &x in &data {
+                    if x > 0.5 {
+                        s += x * 2.0;
+                    }
+                }
+                s
+            }),
+        },
+    ];
+    report("filtered_sum", n, rows, records);
+}
+
+/// Integer pipeline: sum of squares of the multiples of 3 — the i64
+/// lanes plus a filter.
+fn int_even_squares(records: &mut Vec<BenchRecord>) {
+    let n = scaled(1_000_000);
+    let data: Vec<i64> = (0..n as i64).collect();
+    let ctx = DataContext::new().with_source("ns", data.clone());
+    let udfs = UdfRegistry::new();
+    let q = Query::source("ns")
+        .where_((Expr::var("x") % Expr::liti(3)).eq(Expr::liti(0)), "x")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let (scalar, fused, vectorized) = compile_tiers(&q, &ctx, &udfs);
+
+    let expect = {
+        let mut s = 0i64;
+        for &x in &data {
+            if x % 3 == 0 {
+                s = s.wrapping_add(x.wrapping_mul(x));
+            }
+        }
+        s
+    };
+    for c in [&scalar, &fused, &vectorized] {
+        assert_eq!(c.run(&ctx, &udfs).expect("run"), Value::I64(expect));
+    }
+
+    let rows = vec![
+        Row {
+            engine: "vm_scalar",
+            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_fused",
+            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_vectorized",
+            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "hand",
+            median: median_time(SAMPLES, || {
+                let mut s = 0i64;
+                for &x in &data {
+                    if x % 3 == 0 {
+                        s = s.wrapping_add(x.wrapping_mul(x));
+                    }
+                }
+                s
+            }),
+        },
+    ];
+    report("int_mult3_sumsq", n, rows, records);
+}
+
+fn main() {
+    println!("Vectorized-vs-scalar VM ablation (BENCH_vm.json producer)");
+    let mut records = Vec::new();
+    sum_of_squares(&mut records);
+    filtered_sum(&mut records);
+    int_even_squares(&mut records);
+
+    let path = std::env::var("BENCH_VM_JSON").unwrap_or_else(|_| "BENCH_vm.json".to_string());
+    write_bench_json(&path, &records).expect("write BENCH_vm.json");
+    println!("\nwrote {} records to {path}", records.len());
+
+    // The acceptance bar: vectorized ≥2× the scalar VM on sum-of-squares.
+    let ns = |engine: &str| {
+        records
+            .iter()
+            .find(|r| r.workload == "sum_of_squares" && r.engine == engine)
+            .map(|r| r.ns_per_elem)
+            .expect("record")
+    };
+    let speedup = ns("vm_scalar") / ns("vm_vectorized");
+    println!("sum_of_squares: vectorized is {speedup:.2}x the scalar VM");
+}

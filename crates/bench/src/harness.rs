@@ -9,6 +9,9 @@
 //! per benchmark.
 
 use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// A benchmark identifier rendered as `function/parameter`.
@@ -119,6 +122,110 @@ impl Bencher {
             );
         }
     }
+}
+
+/// Measures `routine` like [`Bencher::iter`] (auto-batched ~2 ms
+/// samples) and returns the median per-iteration time over `samples`
+/// samples. The standalone entry point used by the `fig_*` binaries.
+pub fn median_time<O>(samples: usize, mut routine: impl FnMut() -> O) -> Duration {
+    let n = samples.max(1);
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        b.iter(&mut routine);
+        times.push(b.per_iter);
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// One machine-readable measurement: a workload run on one engine.
+///
+/// Serialized (hand-rolled — the environment builds offline, so no
+/// `serde`) into `BENCH_vm.json` by [`write_bench_json`] for the
+/// driver's ≥2× vectorization acceptance check.
+#[derive(Clone, Debug)]
+pub struct BenchRecord {
+    /// Workload name, e.g. `sum_of_squares`.
+    pub workload: String,
+    /// Engine name, e.g. `vm_scalar`, `vm_vectorized`, `linq`, `hand`.
+    pub engine: String,
+    /// Input size in elements.
+    pub elements: usize,
+    /// Median per-element cost in nanoseconds.
+    pub ns_per_elem: f64,
+    /// Median throughput in elements per second.
+    pub elements_per_sec: f64,
+}
+
+impl BenchRecord {
+    /// Builds a record from a median per-iteration wall time over
+    /// `elements` inputs. Zero-duration medians (sub-tick clocks) are
+    /// clamped to 1 ns to keep the derived rates finite.
+    pub fn from_wall(
+        workload: impl Into<String>,
+        engine: impl Into<String>,
+        elements: usize,
+        median: Duration,
+    ) -> BenchRecord {
+        let nanos = (median.as_nanos() as f64).max(1.0);
+        let ns_per_elem = nanos / (elements as f64).max(1.0);
+        BenchRecord {
+            workload: workload.into(),
+            engine: engine.into(),
+            elements,
+            ns_per_elem,
+            elements_per_sec: 1e9 / ns_per_elem,
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders records as a JSON array (stable field order, one object per
+/// line) without any external dependency.
+pub fn render_bench_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"elements\": {}, \
+             \"ns_per_elem\": {:.4}, \"elements_per_sec\": {:.1}}}{}\n",
+            json_escape(&r.workload),
+            json_escape(&r.engine),
+            r.elements,
+            r.ns_per_elem,
+            r.elements_per_sec,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes records to `path` as JSON (see [`render_bench_json`]).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    fs::write(path, render_bench_json(records))
 }
 
 /// Collects benchmark functions into a runnable group function, mirroring

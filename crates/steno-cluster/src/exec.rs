@@ -147,6 +147,13 @@ pub struct JobReport {
     /// Elements crossing the map → reduce boundary (the coordination
     /// volume that partial aggregation shrinks, §6).
     pub exchanged_elements: usize,
+    /// Total input elements across all partitions (map-phase volume).
+    pub input_elements: usize,
+    /// Input elements per map vertex (for per-vertex throughput).
+    pub vertex_elements: Vec<usize>,
+    /// Which VM tier the Steno-compiled map vertices ran on
+    /// (`None` for [`VertexEngine::Linq`]).
+    pub map_vm_engine: Option<steno_vm::EngineKind>,
     /// Whether the plan used `Agg_i`/partial-sink decomposition.
     pub partial_aggregation: bool,
     /// The job graph that ran.
@@ -163,6 +170,74 @@ pub struct JobReport {
     pub vertex_wall: Vec<Duration>,
     /// Every retry decision taken during the map phase.
     pub retry_log: Vec<RetryEvent>,
+}
+
+/// `elems / wall`, `None` when the wall clock rounded to zero (sub-tick
+/// phases on coarse clocks must not divide by zero).
+fn throughput(elems: usize, wall: Duration) -> Option<f64> {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        Some(elems as f64 / secs)
+    } else {
+        None
+    }
+}
+
+impl JobReport {
+    /// Map-phase throughput in input elements per second, `None` when
+    /// the phase was too fast to measure.
+    pub fn map_elements_per_sec(&self) -> Option<f64> {
+        throughput(self.input_elements, self.map_wall)
+    }
+
+    /// Reduce-phase throughput in exchanged elements per second, `None`
+    /// when the phase was too fast to measure.
+    pub fn reduce_elements_per_sec(&self) -> Option<f64> {
+        throughput(self.exchanged_elements, self.reduce_wall)
+    }
+
+    /// Per-vertex throughput (input elements per second of the winning
+    /// attempt); `None` entries are vertices too fast to measure.
+    pub fn vertex_elements_per_sec(&self) -> Vec<Option<f64>> {
+        self.vertex_elements
+            .iter()
+            .zip(&self.vertex_wall)
+            .map(|(&n, &wall)| throughput(n, wall))
+            .collect()
+    }
+}
+
+impl fmt::Display for JobReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let engine = match (self.engine, self.map_vm_engine) {
+            (VertexEngine::Steno, Some(vm)) => format!("steno/{vm}"),
+            (VertexEngine::Steno, None) => "steno".to_string(),
+            (VertexEngine::Linq, _) => "linq".to_string(),
+        };
+        write!(
+            f,
+            "job: {} partitions on {} workers, engine {engine}; \
+             map {:?} ({}), reduce {:?} ({}); {} in → {} exchanged; \
+             retries {}, speculation {}/{}",
+            self.partitions,
+            self.workers,
+            self.map_wall,
+            match self.map_elements_per_sec() {
+                Some(eps) => format!("{eps:.0} elem/s"),
+                None => "too fast to measure".to_string(),
+            },
+            self.reduce_wall,
+            match self.reduce_elements_per_sec() {
+                Some(eps) => format!("{eps:.0} elem/s"),
+                None => "too fast to measure".to_string(),
+            },
+            self.input_elements,
+            self.exchanged_elements,
+            self.retries,
+            self.speculation_wins,
+            self.speculation_launched,
+        )
+    }
 }
 
 /// A distributed execution error.
@@ -880,6 +955,8 @@ pub fn execute_distributed_with(
         })?;
     let map_wall = t_map.elapsed();
     let exchanged_elements = count_exchanged(&partials);
+    let vertex_elements: Vec<usize> = input.partitions.iter().map(Column::len).collect();
+    let input_elements: usize = vertex_elements.iter().sum();
 
     // ---- reduce phase ----
     let t_reduce = Instant::now();
@@ -894,6 +971,9 @@ pub fn execute_distributed_with(
         map_wall,
         reduce_wall,
         exchanged_elements,
+        input_elements,
+        vertex_elements,
+        map_vm_engine: compiled_map.as_ref().map(CompiledQuery::engine),
         partial_aggregation: plan.uses_partial_aggregation(),
         graph: JobGraph::from_plan(&plan, input.partition_count()),
         retries: stats.retries,
@@ -1198,6 +1278,37 @@ mod tests {
         assert_eq!(report.speculation_wins, 0);
         assert!(report.vertex_attempts.iter().all(|&a| a == 1));
         assert_eq!(report.vertex_wall.len(), 10);
+        // Vectorized map vertices and coherent throughput accounting.
+        assert_eq!(report.map_vm_engine, Some(steno_vm::EngineKind::Vectorized));
+        assert_eq!(report.input_elements, 10_000);
+        assert_eq!(report.vertex_elements, vec![1_000; 10]);
+        // Throughput is either measurable and positive, or None on a
+        // sub-tick phase — never a division by zero.
+        if let Some(eps) = report.map_elements_per_sec() {
+            assert!(eps > 0.0);
+        }
+        assert_eq!(report.vertex_elements_per_sec().len(), 10);
+        let shown = report.to_string();
+        assert!(shown.contains("steno/vectorized"), "display: {shown}");
+        assert!(shown.contains("10000 in"), "display: {shown}");
+    }
+
+    #[test]
+    fn linq_vertices_report_no_vm_engine() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let q = Query::source("xs").sum().build();
+        let input = DistributedCollection::from_f64("xs", data, 4);
+        let (_, report) = execute_distributed(
+            &q,
+            &input,
+            &DataContext::new(),
+            &UdfRegistry::new(),
+            &ClusterSpec { workers: 2 },
+            VertexEngine::Linq,
+        )
+        .unwrap();
+        assert_eq!(report.map_vm_engine, None);
+        assert!(report.to_string().contains("engine linq"));
     }
 
     #[test]

@@ -76,8 +76,11 @@ struct Compiler<'a> {
     sinks: HashMap<String, SinkMeta>,
     n_sinks: u32,
     n_fused: u32,
+    n_batch: u32,
+    batch_fallbacks: Vec<String>,
     loops: Vec<LoopCtx>,
     fusion: bool,
+    vectorize: bool,
 }
 
 const PATCH: Pc = u32::MAX;
@@ -110,7 +113,7 @@ impl<'a> Compiler<'a> {
     fn patch(&mut self, at: usize, target: Pc) {
         match &mut self.instrs[at] {
             Instr::Jump(p) | Instr::JumpIfFalse(_, p) | Instr::JumpIfTrue(_, p) => *p = target,
-            other => panic!("patching non-jump {other:?}"),
+            other => unreachable!("patching non-jump {other:?}"),
         }
     }
 
@@ -246,7 +249,7 @@ impl<'a> Compiler<'a> {
                     self.emit(Instr::MovV(d, s));
                 }
             }
-            (d, s) => panic!("register bank mismatch: {d:?} <- {s:?}"),
+            (d, s) => unreachable!("register bank mismatch: {d:?} <- {s:?}"),
         }
     }
 
@@ -574,6 +577,16 @@ impl<'a> Compiler<'a> {
                 elem_var,
                 body,
             } => {
+                // Tier order: vectorized (typed batches, selection
+                // vectors) first, then the f64-only fusion tier, then the
+                // generic scalar loop. Each failed tier leaves no trace in
+                // the emitted program.
+                if self.vectorize {
+                    match self.try_vectorize_loop(p, header, elem_var, *body) {
+                        Ok(()) => return Ok(()),
+                        Err(reason) => self.batch_fallbacks.push(reason),
+                    }
+                }
                 if self.fusion && self.try_fuse_loop(p, header, elem_var, *body) {
                     return Ok(());
                 }
@@ -999,7 +1012,9 @@ impl<'a> Compiler<'a> {
         for s in p.flatten(body) {
             self.stmt(p, &s)?;
         }
-        let ctx = self.loops.pop().expect("loop context");
+        let Some(ctx) = self.loops.pop() else {
+            return Err(err("loop context underflow"));
+        };
 
         // Continue target: the induction-variable increment.
         let cont = self.here();
@@ -1040,11 +1055,12 @@ fn restore(
 /// Returns [`CompileError`] for shapes the VM cannot execute (none are
 /// produced by the standard lower → generate pipeline).
 pub fn assemble(p: &ImpProgram, udfs: &UdfRegistry) -> Result<Program, CompileError> {
-    assemble_with(p, udfs, true)
+    assemble_with(p, udfs, true, true)
 }
 
-/// As [`assemble`], with the loop-fusion tier switchable (used by the
-/// back-end ablation).
+/// As [`assemble`], with the vectorized and loop-fusion tiers switchable
+/// (used by the back-end ablation and the engine's
+/// `VectorizationPolicy`).
 ///
 /// # Errors
 ///
@@ -1053,6 +1069,7 @@ pub fn assemble_with(
     p: &ImpProgram,
     udfs: &UdfRegistry,
     fusion: bool,
+    vectorize: bool,
 ) -> Result<Program, CompileError> {
     let mut c = Compiler {
         instrs: Vec::new(),
@@ -1068,8 +1085,11 @@ pub fn assemble_with(
         sinks: HashMap::new(),
         n_sinks: 0,
         n_fused: 0,
+        n_batch: 0,
+        batch_fallbacks: Vec::new(),
         loops: Vec::new(),
         fusion,
+        vectorize,
     };
     for s in p.flatten(p.root) {
         c.stmt(p, &s)?;
@@ -1088,6 +1108,8 @@ pub fn assemble_with(
         n_vregs: c.nv,
         n_sinks: c.n_sinks,
         n_fused: c.n_fused,
+        n_batch: c.n_batch,
+        batch_fallbacks: c.batch_fallbacks,
         source_names: c.src_names,
         udf_names: c.udf_names,
         result_ty,
@@ -1441,6 +1463,755 @@ impl<'a> Compiler<'a> {
             }
             // Integer literals, casts, calls, pairs, rows: generic path.
             _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The vectorized tier (see crate::batch).
+// ---------------------------------------------------------------------
+
+/// Builder state for one vectorization attempt. All state is local to
+/// the attempt: a failed attempt leaves the compiler untouched.
+struct VecAttempt {
+    n_f: u16,
+    n_i: u16,
+    n_b: u16,
+    prologue: Vec<crate::batch::BInit>,
+    tape: Vec<crate::batch::BOp>,
+    /// Loop-local scalars → (lane, slot).
+    locals: HashMap<String, (crate::batch::Lane, u8)>,
+    /// Constant caches: value image → broadcast slot.
+    consts_f: HashMap<u64, u8>,
+    consts_i: HashMap<i64, u8>,
+    consts_b: [Option<u8>; 2],
+    /// Loop-invariant registers → broadcast slot, per destination lane.
+    f_param_slots: HashMap<u32, u8>,
+    i_param_slots: HashMap<u32, u8>,
+    b_param_slots: HashMap<u32, u8>,
+    /// F-bank registers snapshotted at loop entry.
+    f_params: Vec<u32>,
+    /// I-bank registers snapshotted at loop entry (i64 *and* bool —
+    /// booleans live in I registers).
+    i_params: Vec<u32>,
+    i_param_idx: HashMap<u32, u8>,
+    /// Accumulators: name → index, plus their registers in order.
+    f_acc_ids: HashMap<String, u8>,
+    f_accs: Vec<u32>,
+    i_acc_ids: HashMap<String, u8>,
+    i_accs: Vec<u32>,
+    /// Trapping ops (integer div/rem) emitted so far. Snapshotted around
+    /// lazily-evaluated subexpressions (short-circuit right operands,
+    /// conditional branches): batch execution is eager, so a trap there
+    /// could fire on lanes the scalar semantics never evaluates.
+    n_traps: u32,
+    /// Yields emitted so far (at most one: a second yield per iteration
+    /// interleaves per element, which batching would reorder).
+    n_outs: u32,
+    /// Whether any observable effect (fold, group upsert, yield) exists.
+    effects: bool,
+}
+
+const VEC_SLOT_CAP: u16 = 200;
+
+impl VecAttempt {
+    fn slot_f(&mut self) -> Result<u8, String> {
+        if self.n_f >= VEC_SLOT_CAP {
+            return Err("f64 slot budget exceeded".into());
+        }
+        self.n_f += 1;
+        Ok((self.n_f - 1) as u8)
+    }
+
+    fn slot_i(&mut self) -> Result<u8, String> {
+        if self.n_i >= VEC_SLOT_CAP {
+            return Err("i64 slot budget exceeded".into());
+        }
+        self.n_i += 1;
+        Ok((self.n_i - 1) as u8)
+    }
+
+    fn slot_b(&mut self) -> Result<u8, String> {
+        if self.n_b >= VEC_SLOT_CAP {
+            return Err("bool slot budget exceeded".into());
+        }
+        self.n_b += 1;
+        Ok((self.n_b - 1) as u8)
+    }
+
+    fn const_f(&mut self, x: f64) -> Result<u8, String> {
+        if let Some(s) = self.consts_f.get(&x.to_bits()) {
+            return Ok(*s);
+        }
+        let s = self.slot_f()?;
+        self.prologue.push(crate::batch::BInit::ConstF(s, x));
+        self.consts_f.insert(x.to_bits(), s);
+        Ok(s)
+    }
+
+    fn const_i(&mut self, x: i64) -> Result<u8, String> {
+        if let Some(s) = self.consts_i.get(&x) {
+            return Ok(*s);
+        }
+        let s = self.slot_i()?;
+        self.prologue.push(crate::batch::BInit::ConstI(s, x));
+        self.consts_i.insert(x, s);
+        Ok(s)
+    }
+
+    fn const_b(&mut self, x: bool) -> Result<u8, String> {
+        if let Some(s) = self.consts_b[usize::from(x)] {
+            return Ok(s);
+        }
+        let s = self.slot_b()?;
+        self.prologue.push(crate::batch::BInit::ConstB(s, x));
+        self.consts_b[usize::from(x)] = Some(s);
+        Ok(s)
+    }
+
+    /// Index of an I-bank register in the loop-entry snapshot.
+    fn iparam_index(&mut self, reg: u32) -> Result<u8, String> {
+        if let Some(i) = self.i_param_idx.get(&reg) {
+            return Ok(*i);
+        }
+        if self.i_params.len() >= VEC_SLOT_CAP as usize {
+            return Err("parameter budget exceeded".into());
+        }
+        let idx = self.i_params.len() as u8;
+        self.i_params.push(reg);
+        self.i_param_idx.insert(reg, idx);
+        Ok(idx)
+    }
+
+    fn param_f(&mut self, reg: u32) -> Result<u8, String> {
+        if let Some(s) = self.f_param_slots.get(&reg) {
+            return Ok(*s);
+        }
+        if self.f_params.len() >= VEC_SLOT_CAP as usize {
+            return Err("parameter budget exceeded".into());
+        }
+        let s = self.slot_f()?;
+        let idx = self.f_params.len() as u8;
+        self.f_params.push(reg);
+        self.prologue.push(crate::batch::BInit::ParamF(s, idx));
+        self.f_param_slots.insert(reg, s);
+        Ok(s)
+    }
+
+    fn param_i(&mut self, reg: u32) -> Result<u8, String> {
+        if let Some(s) = self.i_param_slots.get(&reg) {
+            return Ok(*s);
+        }
+        let s = self.slot_i()?;
+        let idx = self.iparam_index(reg)?;
+        self.prologue.push(crate::batch::BInit::ParamI(s, idx));
+        self.i_param_slots.insert(reg, s);
+        Ok(s)
+    }
+
+    fn param_b(&mut self, reg: u32) -> Result<u8, String> {
+        if let Some(s) = self.b_param_slots.get(&reg) {
+            return Ok(*s);
+        }
+        let s = self.slot_b()?;
+        let idx = self.iparam_index(reg)?;
+        self.prologue.push(crate::batch::BInit::ParamB(s, idx));
+        self.b_param_slots.insert(reg, s);
+        Ok(s)
+    }
+}
+
+/// One-word description of a statement for the fallback taxonomy.
+fn stmt_kind(s: &Stmt) -> &'static str {
+    match s {
+        Stmt::Decl { .. } => "declaration",
+        Stmt::Assign { .. } => "assignment",
+        Stmt::For { .. } => "nested loop",
+        Stmt::IfNotContinue { .. } => "filter",
+        Stmt::IfBreak { .. } => "early break",
+        Stmt::If { .. } => "branching statement",
+        Stmt::Continue => "continue",
+        Stmt::DeclSink { .. } => "sink declaration",
+        Stmt::GroupPut { .. } => "group-put sink",
+        Stmt::GroupAggUpdate { .. } => "grouped aggregate",
+        Stmt::SinkPush { .. } => "order-sensitive sink push",
+        Stmt::SinkSeal { .. } => "sink seal",
+        Stmt::Yield { .. } => "yield",
+        Stmt::Return { .. } => "return",
+        Stmt::ReturnSink { .. } => "return-sink",
+        Stmt::BlockRef(_) => "block reference",
+    }
+}
+
+/// One-word description of an expression for the fallback taxonomy.
+fn expr_kind(e: &Expr) -> &'static str {
+    match e {
+        Expr::Var(_) => "variable",
+        Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_) => "literal",
+        Expr::Bin(..) => "binary operator",
+        Expr::Un(..) => "unary operator",
+        Expr::Call(..) => "udf call",
+        Expr::Field(..) => "pair projection",
+        Expr::RowIndex(..) => "row indexing",
+        Expr::RowLen(_) => "row length",
+        Expr::MkPair(..) => "pair construction",
+        Expr::If(..) => "conditional",
+        Expr::Cast(..) => "cast",
+    }
+}
+
+/// Conservative syntactic check: could evaluating `e` trap at run time?
+/// Used for expressions the vectorizer would *drop* (a grouped-count's
+/// unused value operand): dropping a trapping expression would erase an
+/// error the scalar semantics produces.
+fn may_trap(e: &Expr) -> bool {
+    match e {
+        // Type-blind: f64 div/rem never traps, but we cannot tell here.
+        Expr::Bin(BinOp::Div | BinOp::Rem, ..) | Expr::RowIndex(..) => true,
+        Expr::Bin(_, a, b) | Expr::MkPair(a, b) => may_trap(a) || may_trap(b),
+        Expr::Un(_, a) | Expr::Field(a, _) | Expr::Cast(_, a) | Expr::RowLen(a) => may_trap(a),
+        Expr::If(c, t, els) => may_trap(c) || may_trap(t) || may_trap(els),
+        Expr::Call(_, args) => args.iter().any(may_trap),
+        Expr::Var(_) | Expr::LitF64(_) | Expr::LitI64(_) | Expr::LitBool(_) => false,
+    }
+}
+
+impl<'a> Compiler<'a> {
+    /// Attempts to compile a loop with the vectorized tier, emitting one
+    /// [`Instr::BatchLoop`] on success. On failure nothing is emitted,
+    /// no compiler state changes, and the returned reason joins the
+    /// program's fallback taxonomy.
+    fn try_vectorize_loop(
+        &mut self,
+        p: &ImpProgram,
+        header: &LoopHeader,
+        elem_var: &str,
+        body: steno_codegen::imp::BlockId,
+    ) -> Result<(), String> {
+        use crate::batch::{BOp, BatchProgram, KeyRef, Lane};
+
+        let LoopHeader::Source { name, elem_ty } = header else {
+            return Err("loop is not over a source column".into());
+        };
+        let src_lane = match elem_ty {
+            Ty::F64 => Lane::F,
+            Ty::I64 => Lane::I,
+            Ty::Bool => Lane::B,
+            other => return Err(format!("source element type {other} is boxed")),
+        };
+        let stmts = p.flatten(body);
+
+        // Pre-scan: statement shapes, and which names are assigned (those
+        // must be unboxed accumulators declared outside the loop).
+        let mut assigned: Vec<&str> = Vec::new();
+        for s in &stmts {
+            match s {
+                Stmt::Decl { ty, .. } => {
+                    if !matches!(ty, Ty::F64 | Ty::I64 | Ty::Bool) {
+                        return Err(format!("loop-local of boxed type {ty}"));
+                    }
+                }
+                Stmt::IfNotContinue { .. }
+                | Stmt::GroupAggUpdate { .. }
+                | Stmt::Yield { .. } => {}
+                Stmt::Assign { name, .. } => assigned.push(name),
+                other => {
+                    return Err(format!("statement not batch-eligible: {}", stmt_kind(other)))
+                }
+            }
+        }
+
+        let mut at = VecAttempt {
+            n_f: 0,
+            n_i: 0,
+            n_b: 0,
+            prologue: Vec::new(),
+            tape: Vec::new(),
+            locals: HashMap::new(),
+            consts_f: HashMap::new(),
+            consts_i: HashMap::new(),
+            consts_b: [None, None],
+            f_param_slots: HashMap::new(),
+            i_param_slots: HashMap::new(),
+            b_param_slots: HashMap::new(),
+            f_params: Vec::new(),
+            i_params: Vec::new(),
+            i_param_idx: HashMap::new(),
+            f_acc_ids: HashMap::new(),
+            f_accs: Vec::new(),
+            i_acc_ids: HashMap::new(),
+            i_accs: Vec::new(),
+            n_traps: 0,
+            n_outs: 0,
+            effects: false,
+        };
+
+        // Register accumulators up front so expression compilation can
+        // reject reads of them inside value pipelines.
+        for name in &assigned {
+            if at.f_acc_ids.contains_key(*name) || at.i_acc_ids.contains_key(*name) {
+                continue;
+            }
+            match self.scope.get(*name) {
+                Some((Loc::F(reg), Ty::F64)) => {
+                    if at.f_accs.len() >= VEC_SLOT_CAP as usize {
+                        return Err("accumulator budget exceeded".into());
+                    }
+                    let id = at.f_accs.len() as u8;
+                    at.f_accs.push(*reg);
+                    at.f_acc_ids.insert((*name).to_string(), id);
+                }
+                Some((Loc::I(reg), Ty::I64)) => {
+                    if at.i_accs.len() >= VEC_SLOT_CAP as usize {
+                        return Err("accumulator budget exceeded".into());
+                    }
+                    let id = at.i_accs.len() as u8;
+                    at.i_accs.push(*reg);
+                    at.i_acc_ids.insert((*name).to_string(), id);
+                }
+                _ => {
+                    return Err(format!(
+                        "assigned variable `{name}` is not an unboxed f64/i64 accumulator"
+                    ))
+                }
+            }
+        }
+
+        // The loop element.
+        let elem_slot = match src_lane {
+            Lane::F => {
+                let s = at.slot_f()?;
+                at.tape.push(BOp::LoadF(s));
+                (Lane::F, s)
+            }
+            Lane::I => {
+                let s = at.slot_i()?;
+                at.tape.push(BOp::LoadI(s));
+                (Lane::I, s)
+            }
+            Lane::B => {
+                let s = at.slot_b()?;
+                at.tape.push(BOp::LoadB(s));
+                (Lane::B, s)
+            }
+        };
+        at.locals.insert(elem_var.to_string(), elem_slot);
+
+        // Compile the body in statement order onto the unified tape.
+        for s in &stmts {
+            match s {
+                Stmt::Decl { name, ty, init } => {
+                    let (lane, slot) = self.vec_expr(&mut at, init)?;
+                    let matches_ty = matches!(
+                        (ty, lane),
+                        (Ty::F64, Lane::F) | (Ty::I64, Lane::I) | (Ty::Bool, Lane::B)
+                    );
+                    if !matches_ty {
+                        return Err(format!("declaration of type {ty} got the wrong lane"));
+                    }
+                    at.locals.insert(name.clone(), (lane, slot));
+                }
+                Stmt::IfNotContinue { cond } => {
+                    let (lane, c) = self.vec_expr(&mut at, cond)?;
+                    if lane != Lane::B {
+                        return Err("filter predicate is not boolean".into());
+                    }
+                    at.tape.push(BOp::Filter(c));
+                }
+                Stmt::Assign { name, expr } => {
+                    // Recognize acc = acc + e / acc.min(e) / acc.max(e).
+                    let (kind, e) = match expr {
+                        Expr::Bin(BinOp::Add, a, b) => {
+                            if **a == Expr::Var(name.clone()) {
+                                ('+', b.as_ref())
+                            } else if **b == Expr::Var(name.clone()) {
+                                ('+', a.as_ref())
+                            } else {
+                                return Err("assignment is not an accumulator fold".into());
+                            }
+                        }
+                        Expr::Bin(BinOp::Min, a, b) if **a == Expr::Var(name.clone()) => {
+                            ('<', b.as_ref())
+                        }
+                        Expr::Bin(BinOp::Max, a, b) if **a == Expr::Var(name.clone()) => {
+                            ('>', b.as_ref())
+                        }
+                        _ => return Err("assignment is not an accumulator fold".into()),
+                    };
+                    let (lane, val) = self.vec_expr(&mut at, e)?;
+                    if let Some(acc) = at.f_acc_ids.get(name.as_str()).copied() {
+                        if lane != Lane::F {
+                            return Err("fold lane mismatch".into());
+                        }
+                        at.tape.push(match kind {
+                            '+' => BOp::RedAddF { acc, val },
+                            '<' => BOp::RedMinF { acc, val },
+                            _ => BOp::RedMaxF { acc, val },
+                        });
+                    } else if let Some(acc) = at.i_acc_ids.get(name.as_str()).copied() {
+                        if lane != Lane::I {
+                            return Err("fold lane mismatch".into());
+                        }
+                        at.tape.push(match kind {
+                            '+' => BOp::RedAddI { acc, val },
+                            '<' => BOp::RedMinI { acc, val },
+                            _ => BOp::RedMaxI { acc, val },
+                        });
+                    } else {
+                        return Err("assignment target is not an accumulator".into());
+                    }
+                    at.effects = true;
+                }
+                Stmt::GroupAggUpdate {
+                    sink,
+                    key,
+                    acc_param,
+                    elem_param,
+                    value,
+                    update,
+                } => {
+                    let Some(meta) = self.sinks.get(sink) else {
+                        return Err(format!("unknown sink `{sink}`"));
+                    };
+                    let id = meta.id;
+                    let repr = match &meta.acc {
+                        Some((AccRepr::SF, _)) => AccRepr::SF,
+                        Some((AccRepr::SI, _)) => AccRepr::SI,
+                        _ => return Err("grouped aggregate is not fully scalar".into()),
+                    };
+                    let (klane, kslot) = self.vec_expr(&mut at, key)?;
+                    let keyref = match klane {
+                        Lane::F => KeyRef::F(kslot),
+                        Lane::I => KeyRef::I(kslot),
+                        Lane::B => KeyRef::B(kslot),
+                    };
+                    // The scalar semantics evaluates `value` per element
+                    // even when the fold ignores it; dropping it is only
+                    // sound when it cannot trap.
+                    let update_vars = steno_expr::subst::free_vars(update);
+                    if !update_vars.contains(elem_param) && may_trap(value) {
+                        return Err("dropped group value could trap".into());
+                    }
+                    let u = steno_expr::subst::subst(update, elem_param, value);
+                    let acc_var = Expr::Var(acc_param.clone());
+                    let Expr::Bin(BinOp::Add, a, b) = &u else {
+                        return Err("grouped fold is not a sum".into());
+                    };
+                    let e = if **a == acc_var {
+                        &**b
+                    } else if **b == acc_var {
+                        &**a
+                    } else {
+                        return Err("grouped fold is not `acc + e`".into());
+                    };
+                    if steno_expr::subst::free_vars(e).contains(acc_param) {
+                        return Err("grouped fold reads the accumulator non-linearly".into());
+                    }
+                    let (vlane, val) = self.vec_expr(&mut at, e)?;
+                    match (repr, vlane) {
+                        (AccRepr::SF, Lane::F) => at.tape.push(BOp::GroupAddF {
+                            sink: id,
+                            key: keyref,
+                            val,
+                        }),
+                        (AccRepr::SI, Lane::I) => at.tape.push(BOp::GroupAddI {
+                            sink: id,
+                            key: keyref,
+                            val,
+                        }),
+                        _ => return Err("grouped fold lane mismatch".into()),
+                    }
+                    at.effects = true;
+                }
+                Stmt::Yield { value } => {
+                    if at.n_outs >= 1 {
+                        return Err("multiple yields per iteration".into());
+                    }
+                    let (lane, slot) = self.vec_expr(&mut at, value)?;
+                    at.tape.push(match lane {
+                        Lane::F => BOp::OutF(slot),
+                        Lane::I => BOp::OutI(slot),
+                        Lane::B => BOp::OutB(slot),
+                    });
+                    at.n_outs += 1;
+                    at.effects = true;
+                }
+                other => {
+                    return Err(format!("statement not batch-eligible: {}", stmt_kind(other)))
+                }
+            }
+        }
+        if !at.effects {
+            return Err("loop has no batchable effects".into());
+        }
+
+        // Success: only now does compiler state change.
+        let sid = self.src_id(name);
+        self.n_batch += 1;
+        self.emit(Instr::BatchLoop(std::sync::Arc::new(BatchProgram {
+            src: sid,
+            src_lane,
+            f_params: at.f_params,
+            i_params: at.i_params,
+            f_accs: at.f_accs,
+            i_accs: at.i_accs,
+            n_f: at.n_f as u8,
+            n_i: at.n_i as u8,
+            n_b: at.n_b as u8,
+            prologue: at.prologue,
+            tape: at.tape,
+        })));
+        Ok(())
+    }
+
+    /// Compiles an expression into a typed batch slot, or fails the
+    /// attempt with a taxonomy reason.
+    fn vec_expr(
+        &mut self,
+        at: &mut VecAttempt,
+        e: &Expr,
+    ) -> Result<(crate::batch::Lane, u8), String> {
+        use crate::batch::{BOp, Lane};
+        match e {
+            Expr::Var(name) => {
+                if let Some(ls) = at.locals.get(name) {
+                    return Ok(*ls);
+                }
+                if at.f_acc_ids.contains_key(name) || at.i_acc_ids.contains_key(name) {
+                    return Err(format!("accumulator `{name}` read inside a value pipeline"));
+                }
+                match self.scope.get(name) {
+                    Some((Loc::F(reg), Ty::F64)) => {
+                        let reg = *reg;
+                        Ok((Lane::F, at.param_f(reg)?))
+                    }
+                    Some((Loc::I(reg), Ty::I64)) => {
+                        let reg = *reg;
+                        Ok((Lane::I, at.param_i(reg)?))
+                    }
+                    Some((Loc::I(reg), Ty::Bool)) => {
+                        let reg = *reg;
+                        Ok((Lane::B, at.param_b(reg)?))
+                    }
+                    _ => Err(format!("variable `{name}` is not an unboxed scalar")),
+                }
+            }
+            Expr::LitF64(x) => Ok((Lane::F, at.const_f(*x)?)),
+            Expr::LitI64(x) => Ok((Lane::I, at.const_i(*x)?)),
+            Expr::LitBool(b) => Ok((Lane::B, at.const_b(*b)?)),
+            Expr::Bin(op, a, b) if op.is_logical() => {
+                let (la, ra) = self.vec_expr(at, a)?;
+                let traps_before = at.n_traps;
+                let (lb, rb) = self.vec_expr(at, b)?;
+                if la != Lane::B || lb != Lane::B {
+                    return Err("logical operand is not boolean".into());
+                }
+                if at.n_traps != traps_before {
+                    // Eager evaluation would trap on lanes the scalar
+                    // short-circuit never reaches.
+                    return Err("trapping op under a short-circuit operand".into());
+                }
+                let d = at.slot_b()?;
+                at.tape.push(match op {
+                    BinOp::And => BOp::AndB(d, ra, rb),
+                    _ => BOp::OrB(d, ra, rb),
+                });
+                Ok((Lane::B, d))
+            }
+            Expr::Bin(op, a, b) if op.is_comparison() => {
+                let (la, ra) = self.vec_expr(at, a)?;
+                let (lb, rb) = self.vec_expr(at, b)?;
+                if la != lb {
+                    return Err("comparison lane mismatch".into());
+                }
+                let d = at.slot_b()?;
+                let bop = match (la, op) {
+                    (Lane::F, BinOp::Eq) => BOp::EqFB(d, ra, rb),
+                    (Lane::F, BinOp::Ne) => BOp::NeFB(d, ra, rb),
+                    (Lane::F, BinOp::Lt) => BOp::LtFB(d, ra, rb),
+                    (Lane::F, BinOp::Le) => BOp::LeFB(d, ra, rb),
+                    (Lane::F, BinOp::Gt) => BOp::GtFB(d, ra, rb),
+                    (Lane::F, BinOp::Ge) => BOp::GeFB(d, ra, rb),
+                    (Lane::I, BinOp::Eq) => BOp::EqIB(d, ra, rb),
+                    (Lane::I, BinOp::Ne) => BOp::NeIB(d, ra, rb),
+                    (Lane::I, BinOp::Lt) => BOp::LtIB(d, ra, rb),
+                    (Lane::I, BinOp::Le) => BOp::LeIB(d, ra, rb),
+                    (Lane::I, BinOp::Gt) => BOp::GtIB(d, ra, rb),
+                    (Lane::I, BinOp::Ge) => BOp::GeIB(d, ra, rb),
+                    (Lane::B, BinOp::Eq) => BOp::EqBB(d, ra, rb),
+                    (Lane::B, BinOp::Ne) => BOp::NeBB(d, ra, rb),
+                    (Lane::B, _) => return Err("ordering comparison on booleans".into()),
+                    _ => unreachable!("non-comparison op in comparison arm"),
+                };
+                at.tape.push(bop);
+                Ok((Lane::B, d))
+            }
+            Expr::Bin(op, a, b) => {
+                let (la, ra) = self.vec_expr(at, a)?;
+                let (lb, rb) = self.vec_expr(at, b)?;
+                if la != lb {
+                    return Err("arithmetic lane mismatch".into());
+                }
+                match la {
+                    Lane::F => {
+                        let d = at.slot_f()?;
+                        let bop = match op {
+                            BinOp::Add => BOp::AddF(d, ra, rb),
+                            BinOp::Sub => BOp::SubF(d, ra, rb),
+                            BinOp::Mul => BOp::MulF(d, ra, rb),
+                            BinOp::Div => BOp::DivF(d, ra, rb),
+                            BinOp::Rem => BOp::RemF(d, ra, rb),
+                            BinOp::Min => BOp::MinF(d, ra, rb),
+                            BinOp::Max => BOp::MaxF(d, ra, rb),
+                            _ => {
+                                return Err(format!(
+                                    "operator {} not vectorizable on f64",
+                                    op.symbol()
+                                ))
+                            }
+                        };
+                        at.tape.push(bop);
+                        Ok((Lane::F, d))
+                    }
+                    Lane::I => {
+                        let d = at.slot_i()?;
+                        let bop = match op {
+                            BinOp::Add => BOp::AddI(d, ra, rb),
+                            BinOp::Sub => BOp::SubI(d, ra, rb),
+                            BinOp::Mul => BOp::MulI(d, ra, rb),
+                            BinOp::Min => BOp::MinI(d, ra, rb),
+                            BinOp::Max => BOp::MaxI(d, ra, rb),
+                            BinOp::Div => {
+                                at.n_traps += 1;
+                                BOp::DivI(d, ra, rb)
+                            }
+                            BinOp::Rem => {
+                                at.n_traps += 1;
+                                BOp::RemI(d, ra, rb)
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "operator {} not vectorizable on i64",
+                                    op.symbol()
+                                ))
+                            }
+                        };
+                        at.tape.push(bop);
+                        Ok((Lane::I, d))
+                    }
+                    Lane::B => Err("arithmetic on booleans".into()),
+                }
+            }
+            Expr::Un(op, a) => {
+                let (la, ra) = self.vec_expr(at, a)?;
+                match (op, la) {
+                    (UnOp::Neg, Lane::F) => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::NegF(d, ra));
+                        Ok((Lane::F, d))
+                    }
+                    (UnOp::Abs, Lane::F) => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::AbsF(d, ra));
+                        Ok((Lane::F, d))
+                    }
+                    (UnOp::Sqrt, Lane::F) => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::SqrtF(d, ra));
+                        Ok((Lane::F, d))
+                    }
+                    (UnOp::Floor, Lane::F) => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::FloorF(d, ra));
+                        Ok((Lane::F, d))
+                    }
+                    (UnOp::Neg, Lane::I) => {
+                        let d = at.slot_i()?;
+                        at.tape.push(BOp::NegI(d, ra));
+                        Ok((Lane::I, d))
+                    }
+                    (UnOp::Abs, Lane::I) => {
+                        let d = at.slot_i()?;
+                        at.tape.push(BOp::AbsI(d, ra));
+                        Ok((Lane::I, d))
+                    }
+                    (UnOp::Not, Lane::B) => {
+                        let d = at.slot_b()?;
+                        at.tape.push(BOp::NotB(d, ra));
+                        Ok((Lane::B, d))
+                    }
+                    _ => Err(format!("unary {} on the wrong lane", op.symbol())),
+                }
+            }
+            Expr::If(c, t, els) => {
+                let (lc, rc) = self.vec_expr(at, c)?;
+                if lc != Lane::B {
+                    return Err("conditional condition is not boolean".into());
+                }
+                let traps_before = at.n_traps;
+                let (lt, rt) = self.vec_expr(at, t)?;
+                let (le, re) = self.vec_expr(at, els)?;
+                if at.n_traps != traps_before {
+                    // Lane-wise select evaluates both branches on every
+                    // lane; the scalar semantics evaluates only one.
+                    return Err("trapping op under a conditional branch".into());
+                }
+                if lt != le {
+                    return Err("conditional branch lane mismatch".into());
+                }
+                match lt {
+                    Lane::F => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::SelF {
+                            dst: d,
+                            mask: rc,
+                            t: rt,
+                            e: re,
+                        });
+                        Ok((Lane::F, d))
+                    }
+                    Lane::I => {
+                        let d = at.slot_i()?;
+                        at.tape.push(BOp::SelI {
+                            dst: d,
+                            mask: rc,
+                            t: rt,
+                            e: re,
+                        });
+                        Ok((Lane::I, d))
+                    }
+                    Lane::B => {
+                        let d = at.slot_b()?;
+                        at.tape.push(BOp::SelB {
+                            dst: d,
+                            mask: rc,
+                            t: rt,
+                            e: re,
+                        });
+                        Ok((Lane::B, d))
+                    }
+                }
+            }
+            Expr::Cast(ty, a) => {
+                let (la, ra) = self.vec_expr(at, a)?;
+                match (la, ty) {
+                    (Lane::F, Ty::I64) => {
+                        let d = at.slot_i()?;
+                        at.tape.push(BOp::F2I(d, ra));
+                        Ok((Lane::I, d))
+                    }
+                    (Lane::I, Ty::F64) => {
+                        let d = at.slot_f()?;
+                        at.tape.push(BOp::I2F(d, ra));
+                        Ok((Lane::F, d))
+                    }
+                    (Lane::F, Ty::F64) | (Lane::I, Ty::I64) | (Lane::B, Ty::Bool) => {
+                        Ok((la, ra))
+                    }
+                    _ => Err(format!("cast to {ty} not vectorizable")),
+                }
+            }
+            other => Err(format!("expression not vectorizable: {}", expr_kind(other))),
         }
     }
 }

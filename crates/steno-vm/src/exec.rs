@@ -80,6 +80,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
     let mut frozen: Vec<Vec<Value>> = (0..p.n_sinks).map(|_| Vec::new()).collect();
     let mut out: Vec<Value> = Vec::new();
 
+    // Scratch buffer for UDF arguments, reused across calls so the
+    // dispatch loop does not allocate per element.
+    let mut udf_args: Vec<Value> = Vec::new();
+
     let instrs = &p.instrs;
     let mut pc = 0usize;
     loop {
@@ -278,11 +282,11 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
             }
 
             Instr::CallUdf { dst, udf, args } => {
-                let mut values = Vec::with_capacity(args.len());
+                udf_args.clear();
                 for a in args {
-                    values.push(vregs[*a as usize].clone());
+                    udf_args.push(vregs[*a as usize].clone());
                 }
-                vregs[*dst as usize] = (bindings.udfs[*udf as usize])(&values);
+                vregs[*dst as usize] = (bindings.udfs[*udf as usize])(&udf_args);
             }
 
             Instr::SrcLen(d, s) => {
@@ -377,14 +381,11 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     return Err(shape("sink is not a group"));
                 };
                 let key = &vregs[*k as usize];
-                let slot = match index.get(&key.key()) {
-                    Some(slot) => *slot,
-                    None => {
-                        index.insert(key.key(), entries.len());
-                        entries.push((key.clone(), Vec::new()));
-                        entries.len() - 1
-                    }
-                };
+                // One key-image computation per element, not two.
+                let slot = *index.entry(key.key()).or_insert_with(|| {
+                    entries.push((key.clone(), Vec::new()));
+                    entries.len() - 1
+                });
                 entries[slot].1.push(vregs[*v as usize].clone());
             }
             Instr::GroupAccLoadF(s, d, k) => {
@@ -398,14 +399,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     return Err(shape("sink is not an f64 grouped aggregate"));
                 };
                 let key = &vregs[*k as usize];
-                let slot = match index.get(&key.key()) {
-                    Some(slot) => *slot,
-                    None => {
-                        index.insert(key.key(), entries.len());
-                        entries.push((key.clone(), *default));
-                        entries.len() - 1
-                    }
-                };
+                let slot = *index.entry(key.key()).or_insert_with(|| {
+                    entries.push((key.clone(), *default));
+                    entries.len() - 1
+                });
                 *last = slot;
                 fregs[*d as usize] = entries[slot].1;
             }
@@ -426,14 +423,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     return Err(shape("sink is not an i64 grouped aggregate"));
                 };
                 let key = &vregs[*k as usize];
-                let slot = match index.get(&key.key()) {
-                    Some(slot) => *slot,
-                    None => {
-                        index.insert(key.key(), entries.len());
-                        entries.push((key.clone(), *default));
-                        entries.len() - 1
-                    }
-                };
+                let slot = *index.entry(key.key()).or_insert_with(|| {
+                    entries.push((key.clone(), *default));
+                    entries.len() - 1
+                });
                 *last = slot;
                 iregs[*d as usize] = entries[slot].1;
             }
@@ -454,14 +447,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     return Err(shape("sink is not a grouped aggregate"));
                 };
                 let key = &vregs[*k as usize];
-                let slot = match index.get(&key.key()) {
-                    Some(slot) => *slot,
-                    None => {
-                        index.insert(key.key(), entries.len());
-                        entries.push((key.clone(), default.clone()));
-                        entries.len() - 1
-                    }
-                };
+                let slot = *index.entry(key.key()).or_insert_with(|| {
+                    entries.push((key.clone(), default.clone()));
+                    entries.len() - 1
+                });
                 *last = slot;
                 vregs[*d as usize] = entries[slot].1.clone();
             }
@@ -580,11 +569,47 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     fregs[*r as usize] = acc_values[i];
                 }
             }
+            Instr::BatchLoop(bp) => {
+                use crate::batch::{BatchData, Lane};
+                let data = match (&bindings.sources[bp.src as usize], bp.src_lane) {
+                    (PreparedSource::F64(v), Lane::F) => BatchData::F(v.as_slice()),
+                    (PreparedSource::I64(v), Lane::I) => BatchData::I(v.as_slice()),
+                    (PreparedSource::Bool(v), Lane::B) => BatchData::B(v.as_slice()),
+                    _ => return Err(shape("batch source lane mismatch")),
+                };
+                let mut f_accs: Vec<f64> =
+                    bp.f_accs.iter().map(|r| fregs[*r as usize]).collect();
+                let mut i_accs: Vec<i64> =
+                    bp.i_accs.iter().map(|r| iregs[*r as usize]).collect();
+                let f_params: Vec<f64> =
+                    bp.f_params.iter().map(|r| fregs[*r as usize]).collect();
+                let i_params: Vec<i64> =
+                    bp.i_params.iter().map(|r| iregs[*r as usize]).collect();
+                crate::batch::run_batch(
+                    bp,
+                    data,
+                    &mut f_accs,
+                    &mut i_accs,
+                    &f_params,
+                    &i_params,
+                    &mut sinks,
+                    &mut out,
+                )?;
+                for (i, r) in bp.f_accs.iter().enumerate() {
+                    fregs[*r as usize] = f_accs[i];
+                }
+                for (i, r) in bp.i_accs.iter().enumerate() {
+                    iregs[*r as usize] = i_accs[i];
+                }
+            }
             Instr::OutPush(v) => out.push(vregs[*v as usize].clone()),
             Instr::HaltF(r) => return Ok(Value::F64(fregs[*r as usize])),
             Instr::HaltI(r) => return Ok(Value::I64(iregs[*r as usize])),
             Instr::HaltB(r) => return Ok(Value::Bool(iregs[*r as usize] != 0)),
-            Instr::HaltV(r) => return Ok(vregs[*r as usize].clone()),
+            Instr::HaltV(r) => {
+                // Move, don't clone: the register bank dies here anyway.
+                return Ok(std::mem::replace(&mut vregs[*r as usize], Value::I64(0)));
+            }
             Instr::HaltOut => return Ok(Value::seq(std::mem::take(&mut out))),
         }
     }

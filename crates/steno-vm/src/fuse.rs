@@ -22,7 +22,7 @@
 use std::sync::Arc;
 
 use crate::instr::{FReg, SinkId, SrcId};
-use crate::sink::{ScalarKey, SinkRt};
+use crate::sink::{upsert_sf, upsert_si, ScalarKey, SinkRt};
 
 /// Batch width. One batch of slots fits comfortably in L1.
 pub const BATCH: usize = 1024;
@@ -264,11 +264,7 @@ pub fn run_kernel(
                         if mask != NO_MASK && slots[mask as usize][i] == 0.0 {
                             continue;
                         }
-                        let k = keys[i];
-                        let slot = *index.entry(k.to_bits()).or_insert_with(|| {
-                            entries.push((ScalarKey::F(k), *default));
-                            entries.len() - 1
-                        });
+                        let slot = upsert_si(index, entries, *default, ScalarKey::F(keys[i]));
                         entries[slot].1 += n;
                     }
                 }
@@ -287,11 +283,7 @@ pub fn run_kernel(
                         if mask != NO_MASK && slots[mask as usize][i] == 0.0 {
                             continue;
                         }
-                        let k = keys[i];
-                        let slot = *index.entry(k.to_bits()).or_insert_with(|| {
-                            entries.push((ScalarKey::F(k), *default));
-                            entries.len() - 1
-                        });
+                        let slot = upsert_sf(index, entries, *default, ScalarKey::F(keys[i]));
                         entries[slot].1 += slots[val as usize][i];
                     }
                 }

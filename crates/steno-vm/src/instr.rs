@@ -254,6 +254,9 @@ pub enum Instr {
     OutPush(VReg),
     /// A fused whole-loop kernel over an f64 source (see [`crate::fuse`]).
     FusedLoop(crate::fuse::KernelRef),
+    /// A vectorized whole-loop batch program over a typed source
+    /// (see [`crate::batch`]).
+    BatchLoop(crate::batch::BatchRef),
     /// Terminate returning an f64.
     HaltF(FReg),
     /// Terminate returning an i64.
@@ -281,6 +284,12 @@ pub struct Program {
     pub n_sinks: u32,
     /// Number of loops compiled by the fusion tier.
     pub n_fused: u32,
+    /// Number of loops compiled by the vectorized tier.
+    pub n_batch: u32,
+    /// Why loops (if any) fell back from the vectorized tier, in
+    /// compilation order. Empty when everything vectorized or the tier
+    /// was disabled.
+    pub batch_fallbacks: Vec<String>,
     /// Source names in [`SrcId`] order.
     pub source_names: Vec<String>,
     /// UDF names in [`UdfId`] order.

@@ -1,0 +1,257 @@
+//! Typed batch kernels: the data-parallel primitives of the vectorized
+//! tier ([`crate::batch`]).
+//!
+//! Each kernel processes one 1024-lane batch of a single unboxed type
+//! (`f64`, `i64`, or `bool`). Compute kernels run **dense** — every lane,
+//! selected or not — because pure arithmetic on a dead lane is
+//! unobservable and branch-free loops are what the auto-vectorizer eats.
+//! Only three kinds of operation consult the selection vector:
+//!
+//! * **trapping ops** (integer division/remainder), which must fault on
+//!   exactly the lanes the scalar reference semantics would evaluate;
+//! * **folds** into accumulators, which must consume surviving lanes in
+//!   ascending element order so floating-point results stay bit-identical
+//!   to sequential execution; and
+//! * **effects** (grouped-aggregate upserts, output pushes), for the same
+//!   ordering reason.
+
+use crate::batch::BATCH;
+use crate::exec::VmError;
+
+/// Fills every lane of a batch with one value (constant broadcast).
+#[inline]
+pub fn splat<T: Copy>(dst: &mut [T; BATCH], x: T) {
+    for d in dst.iter_mut() {
+        *d = x;
+    }
+}
+
+/// `dst[k] = f(a[k])` for the first `len` lanes.
+#[inline]
+pub fn map1<T: Copy>(dst: &mut [T; BATCH], a: &[T; BATCH], len: usize, f: impl Fn(T) -> T) {
+    for k in 0..len {
+        dst[k] = f(a[k]);
+    }
+}
+
+/// `dst[k] = f(a[k], b[k])` for the first `len` lanes.
+#[inline]
+pub fn map2<T: Copy>(
+    dst: &mut [T; BATCH],
+    a: &[T; BATCH],
+    b: &[T; BATCH],
+    len: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    for k in 0..len {
+        dst[k] = f(a[k], b[k]);
+    }
+}
+
+/// Comparison into the boolean bank: `dst[k] = f(a[k], b[k])`.
+#[inline]
+pub fn cmp2<T: Copy>(
+    dst: &mut [bool; BATCH],
+    a: &[T; BATCH],
+    b: &[T; BATCH],
+    len: usize,
+    f: impl Fn(T, T) -> bool,
+) {
+    for k in 0..len {
+        dst[k] = f(a[k], b[k]);
+    }
+}
+
+/// Type conversion between banks: `dst[k] = f(a[k])`.
+#[inline]
+pub fn convert<A: Copy, B: Copy>(
+    dst: &mut [B; BATCH],
+    a: &[A; BATCH],
+    len: usize,
+    f: impl Fn(A) -> B,
+) {
+    for k in 0..len {
+        dst[k] = f(a[k]);
+    }
+}
+
+/// Lane-wise select: `dst[k] = if mask[k] { t[k] } else { e[k] }`.
+#[inline]
+pub fn select<T: Copy>(
+    dst: &mut [T; BATCH],
+    mask: &[bool; BATCH],
+    t: &[T; BATCH],
+    e: &[T; BATCH],
+    len: usize,
+) {
+    for k in 0..len {
+        dst[k] = if mask[k] { t[k] } else { e[k] };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Selection vectors.
+// ---------------------------------------------------------------------
+
+/// Builds a selection vector from a mask over a dense (identity) batch.
+#[inline]
+pub fn filter_dense(sel: &mut Vec<u32>, mask: &[bool; BATCH], len: usize) {
+    sel.clear();
+    for (k, keep) in mask[..len].iter().enumerate() {
+        if *keep {
+            sel.push(k as u32);
+        }
+    }
+}
+
+/// Intersects an existing selection vector with a mask (order preserved).
+#[inline]
+pub fn filter_sel(sel: &mut Vec<u32>, mask: &[bool; BATCH]) {
+    sel.retain(|&k| mask[k as usize]);
+}
+
+// ---------------------------------------------------------------------
+// Trapping integer division.
+// ---------------------------------------------------------------------
+
+/// Checks every live divisor lane, in ascending element order, before the
+/// division runs — the batch-tier analogue of the scalar interpreter's
+/// per-element zero check.
+///
+/// # Errors
+///
+/// [`VmError::DivisionByZero`] when any live lane divides by zero, the
+/// same error (and the same observable outcome — all partial state is
+/// discarded by the caller) the scalar loop would produce.
+#[inline]
+pub fn check_divisors(
+    b: &[i64; BATCH],
+    sel: Option<&[u32]>,
+    len: usize,
+) -> Result<(), VmError> {
+    match sel {
+        None => {
+            for &d in &b[..len] {
+                if d == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+            }
+        }
+        Some(sel) => {
+            for &k in sel {
+                if b[k as usize] == 0 {
+                    return Err(VmError::DivisionByZero);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `dst[k] = f(a[k], b[k])` over the live lanes only (dead lanes may hold
+/// zero divisors and must not be touched).
+#[inline]
+pub fn map2_sel<T: Copy>(
+    dst: &mut [T; BATCH],
+    a: &[T; BATCH],
+    b: &[T; BATCH],
+    sel: Option<&[u32]>,
+    len: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    match sel {
+        None => map2(dst, a, b, len, f),
+        Some(sel) => {
+            for &k in sel {
+                let k = k as usize;
+                dst[k] = f(a[k], b[k]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strict folds: surviving lanes in ascending element order, so results
+// are bit-identical to sequential execution.
+// ---------------------------------------------------------------------
+
+/// Folds live lanes of a batch into a scalar accumulator, in order.
+#[inline]
+pub fn fold<T: Copy>(
+    acc: &mut T,
+    v: &[T; BATCH],
+    sel: Option<&[u32]>,
+    len: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    match sel {
+        None => {
+            for &x in &v[..len] {
+                *acc = f(*acc, x);
+            }
+        }
+        Some(sel) => {
+            for &k in sel {
+                *acc = f(*acc, v[k as usize]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_from(xs: &[f64]) -> [f64; BATCH] {
+        let mut b = [0.0; BATCH];
+        b[..xs.len()].copy_from_slice(xs);
+        b
+    }
+
+    #[test]
+    fn fold_is_strict_and_ordered() {
+        let v = batch_from(&[1e16, 1.0, -1e16, 1.0]);
+        let mut acc = 0.0;
+        fold(&mut acc, &v, None, 4, |a, x| a + x);
+        // Sequential: ((1e16 + 1) - 1e16) + 1 — order-sensitive.
+        let mut expected = 0.0f64;
+        for x in [1e16, 1.0, -1e16, 1.0] {
+            expected += x;
+        }
+        assert_eq!(acc.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    fn selected_fold_skips_dead_lanes() {
+        let v = batch_from(&[1.0, 2.0, 4.0, 8.0]);
+        let mut acc = 0.0;
+        fold(&mut acc, &v, Some(&[0, 2]), 4, |a, x| a + x);
+        assert_eq!(acc, 5.0);
+    }
+
+    #[test]
+    fn divisor_check_ignores_dead_lanes() {
+        let mut b = [1i64; BATCH];
+        b[1] = 0;
+        assert_eq!(
+            check_divisors(&b, None, 4),
+            Err(VmError::DivisionByZero)
+        );
+        assert_eq!(check_divisors(&b, Some(&[0, 2, 3]), 4), Ok(()));
+    }
+
+    #[test]
+    fn filters_compose_in_order() {
+        let mut mask = [false; BATCH];
+        mask[0] = true;
+        mask[2] = true;
+        mask[3] = true;
+        let mut sel = Vec::new();
+        filter_dense(&mut sel, &mask, 5);
+        assert_eq!(sel, vec![0, 2, 3]);
+        let mut mask2 = [true; BATCH];
+        mask2[2] = false;
+        filter_sel(&mut sel, &mask2);
+        assert_eq!(sel, vec![0, 3]);
+    }
+}

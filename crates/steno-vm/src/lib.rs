@@ -34,10 +34,17 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod batch;
 pub mod compile;
 pub mod fuse;
 pub mod exec;
 pub mod instr;
+pub mod kernels;
 pub mod prepared;
 pub mod query;
 pub mod sink;
@@ -45,4 +52,4 @@ pub mod sink;
 pub use compile::{assemble, CompileError};
 pub use exec::{run_program, VmError};
 pub use instr::{Instr, Program};
-pub use query::{CompiledQuery, QueryCache};
+pub use query::{CompiledQuery, EngineKind, QueryCache, StenoOptions, VectorizationPolicy};

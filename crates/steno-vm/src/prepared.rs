@@ -124,6 +124,8 @@ mod tests {
             n_vregs: 0,
             n_sinks: 0,
             n_fused: 0,
+            n_batch: 0,
+            batch_fallbacks: vec![],
             source_names: vec!["zzz".into()],
             udf_names: vec![],
             result_ty: Ty::F64,

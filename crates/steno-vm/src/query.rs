@@ -48,6 +48,38 @@ impl std::fmt::Display for OptimizeError {
 
 impl std::error::Error for OptimizeError {}
 
+/// Whether the compiler may emit batch-vectorized loops.
+///
+/// `Auto` (the default) vectorizes every eligible fused loop and falls
+/// back to the scalar tiers otherwise; `Off` disables the tier entirely
+/// (ablation baselines, debugging). Per-loop fallback reasons are
+/// reported by [`CompiledQuery::batch_fallbacks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VectorizationPolicy {
+    /// Vectorize when the operator chain and element types allow it.
+    Auto,
+    /// Never vectorize; use the scalar/fused tiers only.
+    Off,
+}
+
+/// Which execution tier a compiled query's hot loops landed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// All loops run element-at-a-time (scalar or fused-scalar).
+    Scalar,
+    /// At least one loop runs on the typed column-batch engine.
+    Vectorized,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineKind::Scalar => write!(f, "scalar"),
+            EngineKind::Vectorized => write!(f, "vectorized"),
+        }
+    }
+}
+
 /// Tuning knobs for the optimization pipeline, used by the ablation
 /// benchmarks. The defaults are the full Steno configuration.
 #[derive(Clone, Copy, Debug)]
@@ -56,6 +88,8 @@ pub struct StenoOptions {
     pub lower: LowerOptions,
     /// Whether the VM's loop-fusion tier runs.
     pub fusion: bool,
+    /// Whether the VM's batch-vectorization tier runs.
+    pub vectorize: VectorizationPolicy,
 }
 
 impl Default for StenoOptions {
@@ -63,6 +97,7 @@ impl Default for StenoOptions {
         StenoOptions {
             lower: LowerOptions::default(),
             fusion: true,
+            vectorize: VectorizationPolicy::Auto,
         }
     }
 }
@@ -109,7 +144,7 @@ impl CompiledQuery {
             udfs,
             StenoOptions {
                 lower: opts,
-                fusion: true,
+                ..StenoOptions::default()
             },
         )
     }
@@ -133,7 +168,13 @@ impl CompiledQuery {
         } else {
             passes::fold_constants(&chain)
         };
-        Self::finish_tuned(chain, udfs, start, opts.fusion)
+        Self::finish_tuned(
+            chain,
+            udfs,
+            start,
+            opts.fusion,
+            opts.vectorize == VectorizationPolicy::Auto,
+        )
     }
 
     /// Compiles a pre-lowered QUIL chain (used by the distributed planner,
@@ -143,7 +184,7 @@ impl CompiledQuery {
     ///
     /// Returns [`OptimizeError::Gen`] for internal failures.
     pub fn from_chain(chain: &QuilChain, udfs: &UdfRegistry) -> Result<CompiledQuery, OptimizeError> {
-        Self::finish_tuned(chain.clone(), udfs, Instant::now(), true)
+        Self::finish_tuned(chain.clone(), udfs, Instant::now(), true, true)
     }
 
     fn finish_tuned(
@@ -151,12 +192,13 @@ impl CompiledQuery {
         udfs: &UdfRegistry,
         start: Instant,
         fusion: bool,
+        vectorize: bool,
     ) -> Result<CompiledQuery, OptimizeError> {
         let quil = chain.to_string();
         let imp = generate(&chain).map_err(|e| OptimizeError::Gen(e.to_string()))?;
         let rust_source = render_rust(&imp);
-        let program =
-            assemble_with(&imp, udfs, fusion).map_err(|e| OptimizeError::Gen(e.to_string()))?;
+        let program = assemble_with(&imp, udfs, fusion, vectorize)
+            .map_err(|e| OptimizeError::Gen(e.to_string()))?;
         Ok(CompiledQuery {
             program,
             rust_source,
@@ -206,6 +248,33 @@ impl CompiledQuery {
     pub fn fused_loops(&self) -> u32 {
         self.program.n_fused
     }
+
+    /// How many loops the vectorization tier compiled to column-batch
+    /// programs (§9's MonetDB/X100-style execution).
+    pub fn vectorized_loops(&self) -> u32 {
+        self.program.n_batch
+    }
+
+    /// Which engine the query's hot loops run on.
+    pub fn engine(&self) -> EngineKind {
+        if self.program.n_batch > 0 {
+            EngineKind::Vectorized
+        } else {
+            EngineKind::Scalar
+        }
+    }
+
+    /// The batch size used by the vectorized engine.
+    pub fn batch_size(&self) -> usize {
+        crate::batch::BATCH
+    }
+
+    /// Why loops fell back from the vectorized tier (one reason per
+    /// loop that was attempted and rejected; empty when everything
+    /// vectorized or vectorization was off).
+    pub fn batch_fallbacks(&self) -> &[String] {
+        &self.program.batch_fallbacks
+    }
 }
 
 /// A cache of compiled queries, keyed by their printed AST — "the query
@@ -250,6 +319,30 @@ impl QueryCache {
         }
         *lock(&self.misses) += 1;
         let compiled = Arc::new(CompiledQuery::compile(q, sources, udfs)?);
+        lock(&self.entries).insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// As [`QueryCache::get_or_compile`] with explicit tuning options;
+    /// distinct options compile (and cache) separately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (which are not cached).
+    pub fn get_or_compile_tuned(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        opts: StenoOptions,
+    ) -> Result<Arc<CompiledQuery>, OptimizeError> {
+        let key = format!("{opts:?}|{q}");
+        if let Some(hit) = lock(&self.entries).get(&key) {
+            *lock(&self.hits) += 1;
+            return Ok(Arc::clone(hit));
+        }
+        *lock(&self.misses) += 1;
+        let compiled = Arc::new(CompiledQuery::compile_tuned(q, sources, udfs, opts)?);
         lock(&self.entries).insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }

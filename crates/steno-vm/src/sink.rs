@@ -90,6 +90,37 @@ impl ScalarKey {
     }
 }
 
+/// Finds (or inserts, seeded with `default`) the entry slot for `key` in
+/// a scalar-key f64 grouped-aggregate table. Shared by the fused and
+/// vectorized tiers and the scalar interpreter so first-appearance order
+/// is defined in exactly one place.
+#[inline]
+pub fn upsert_sf(
+    index: &mut HashMap<u64, usize, FastBuild>,
+    entries: &mut Vec<(ScalarKey, f64)>,
+    default: f64,
+    key: ScalarKey,
+) -> usize {
+    *index.entry(key.bits()).or_insert_with(|| {
+        entries.push((key, default));
+        entries.len() - 1
+    })
+}
+
+/// As [`upsert_sf`] for i64 accumulators.
+#[inline]
+pub fn upsert_si(
+    index: &mut HashMap<u64, usize, FastBuild>,
+    entries: &mut Vec<(ScalarKey, i64)>,
+    default: i64,
+    key: ScalarKey,
+) -> usize {
+    *index.entry(key.bits()).or_insert_with(|| {
+        entries.push((key, default));
+        entries.len() - 1
+    })
+}
+
 /// One sink's runtime state.
 #[derive(Clone, Debug)]
 pub enum SinkRt {

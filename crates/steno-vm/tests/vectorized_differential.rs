@@ -1,0 +1,494 @@
+//! Differential testing of the batch-vectorized tier: the LINQ
+//! interpreter, the scalar VM ([`VectorizationPolicy::Off`]), and the
+//! vectorized VM ([`VectorizationPolicy::Auto`]) must agree bit-for-bit
+//! — on results *and* on data-dependent errors.
+//!
+//! Vectorization reorders evaluation (a whole batch of multiplications
+//! before a whole batch of additions), so bitwise agreement is the
+//! strongest possible statement that the tier is an optimization and not
+//! a semantics change. Error parity (`DivisionByZero` raised by the
+//! right engine-independent element, never by a filtered-out lane) pins
+//! the trap semantics under eager batch execution.
+
+use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
+use steno_linq::interp;
+use steno_query::{GroupResult, Query, QueryExpr};
+use steno_vm::query::StenoOptions;
+use steno_vm::{CompiledQuery, EngineKind, VectorizationPolicy, VmError};
+
+const BATCH: usize = 1024;
+
+fn x() -> Expr {
+    Expr::var("x")
+}
+
+fn scalar_opts() -> StenoOptions {
+    StenoOptions {
+        vectorize: VectorizationPolicy::Off,
+        ..StenoOptions::default()
+    }
+}
+
+/// Compiles `q` twice: scalar-only and vectorization-enabled.
+fn compile_pair(q: &QueryExpr, c: &DataContext, u: &UdfRegistry) -> (CompiledQuery, CompiledQuery) {
+    let scalar = CompiledQuery::compile_tuned(q, c.into(), u, scalar_opts())
+        .unwrap_or_else(|e| panic!("scalar compile failed for {q}: {e}"));
+    let vectorized = CompiledQuery::compile_tuned(q, c.into(), u, StenoOptions::default())
+        .unwrap_or_else(|e| panic!("vectorized compile failed for {q}: {e}"));
+    assert_eq!(scalar.engine(), EngineKind::Scalar);
+    (scalar, vectorized)
+}
+
+/// Asserts interpreter == scalar VM == vectorized VM on `q`, comparing
+/// values through `key()` (bit-exact on floats, NaN-normalizing).
+#[track_caller]
+fn check3(q: &QueryExpr, c: &DataContext, u: &UdfRegistry) {
+    let expected = interp::execute(q, c, u).expect("interpreter failed");
+    let (scalar, vectorized) = compile_pair(q, c, u);
+    let s = scalar.run(c, u).expect("scalar vm failed");
+    let v = vectorized.run(c, u).expect("vectorized vm failed");
+    assert_eq!(
+        expected.key(),
+        s.key(),
+        "interp vs scalar mismatch for {q}"
+    );
+    assert_eq!(
+        s.key(),
+        v.key(),
+        "scalar vs vectorized mismatch for {q} (engine {:?}, fallbacks {:?})",
+        vectorized.engine(),
+        vectorized.batch_fallbacks()
+    );
+}
+
+/// As [`check3`], also requiring that the query really exercised the
+/// batch tier (so the comparison is not fallback-vs-fallback).
+#[track_caller]
+fn check3_vectorized(q: &QueryExpr, c: &DataContext, u: &UdfRegistry) {
+    let (_, vectorized) = compile_pair(q, c, u);
+    assert_eq!(
+        vectorized.engine(),
+        EngineKind::Vectorized,
+        "expected {q} to vectorize; fallbacks: {:?}",
+        vectorized.batch_fallbacks()
+    );
+    check3(q, c, u);
+}
+
+// ---------------------------------------------------------------------
+// Edge sizes: empty, singleton, batch-boundary, non-multiple-of-batch.
+// ---------------------------------------------------------------------
+
+#[test]
+fn edge_sizes_agree_bit_for_bit() {
+    let u = UdfRegistry::new();
+    let sizes = [0, 1, 2, BATCH - 1, BATCH, BATCH + 1, 2 * BATCH + 37];
+    for &n in &sizes {
+        // Deterministic but non-trivial data: sign flips and fractions.
+        let data: Vec<f64> = (0..n)
+            .map(|i| ((i as f64) * 0.37 - (n as f64) / 3.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let c = DataContext::new().with_source("xs", data);
+        check3_vectorized(
+            &Query::source("xs").select(x() * x(), "x").sum().build(),
+            &c,
+            &u,
+        );
+        check3_vectorized(
+            &Query::source("xs")
+                .where_(x().gt(Expr::litf(0.0)), "x")
+                .select(x() + Expr::litf(1.5), "x")
+                .sum()
+                .build(),
+            &c,
+            &u,
+        );
+        check3_vectorized(&Query::source("xs").min().build(), &c, &u);
+        check3_vectorized(&Query::source("xs").max().build(), &c, &u);
+        check3_vectorized(&Query::source("xs").count().build(), &c, &u);
+    }
+}
+
+#[test]
+fn i64_edge_sizes_agree() {
+    let u = UdfRegistry::new();
+    for &n in &[0usize, 1, BATCH, BATCH + 1, 3 * BATCH - 5] {
+        let data: Vec<i64> = (0..n as i64).map(|i| i * 7 - (n as i64) * 3).collect();
+        let c = DataContext::new().with_source("ns", data);
+        check3_vectorized(
+            &Query::source("ns")
+                .where_((x() % Expr::liti(3)).eq(Expr::liti(0)), "x")
+                .select(x() * x(), "x")
+                .sum()
+                .build(),
+            &c,
+            &u,
+        );
+        check3_vectorized(&Query::source("ns").min().build(), &c, &u);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error parity: traps fire on the same inputs in both tiers, with the
+// same error value, and never from filtered-out lanes.
+// ---------------------------------------------------------------------
+
+/// Runs `q` on both VM tiers and asserts the outcomes (value or error)
+/// are identical; returns the common outcome.
+#[track_caller]
+fn outcomes_match(q: &QueryExpr, c: &DataContext, u: &UdfRegistry) -> Result<Value, VmError> {
+    let (scalar, vectorized) = compile_pair(q, c, u);
+    let s = scalar.run(c, u);
+    let v = vectorized.run(c, u);
+    match (&s, &v) {
+        (Ok(a), Ok(b)) => assert_eq!(a.key(), b.key(), "value mismatch for {q}"),
+        (a, b) => assert_eq!(a, b, "outcome mismatch for {q}"),
+    }
+    s
+}
+
+#[test]
+fn division_by_zero_parity() {
+    let u = UdfRegistry::new();
+    // A zero divisor in the data traps identically in both tiers, and
+    // the interpreter also rejects it.
+    let mut data: Vec<i64> = (1..2000).collect();
+    data[1500] = 0;
+    let c = DataContext::new().with_source("ns", data);
+    let q = Query::source("ns")
+        .select(Expr::liti(840) / x(), "x")
+        .sum()
+        .build();
+    let (_, vectorized) = compile_pair(&q, &c, &u);
+    assert_eq!(vectorized.engine(), EngineKind::Vectorized);
+    let out = outcomes_match(&q, &c, &u);
+    assert_eq!(out, Err(VmError::DivisionByZero));
+
+    // Remainder traps the same way.
+    let qr = Query::source("ns")
+        .select(Expr::liti(7) % x(), "x")
+        .sum()
+        .build();
+    assert_eq!(outcomes_match(&qr, &c, &u), Err(VmError::DivisionByZero));
+}
+
+#[test]
+fn filtered_out_zero_divisors_do_not_trap() {
+    let u = UdfRegistry::new();
+    // Zeros exist in the data but the Where clause removes them before
+    // the division: no engine may trap on a dead lane.
+    let data: Vec<i64> = (0..3000).map(|i| i % 5).collect();
+    let c = DataContext::new().with_source("ns", data.clone());
+    let q = Query::source("ns")
+        .where_(x().ne(Expr::liti(0)), "x")
+        .select(Expr::liti(60) / x(), "x")
+        .sum()
+        .build();
+    let (_, vectorized) = compile_pair(&q, &c, &u);
+    assert_eq!(
+        vectorized.engine(),
+        EngineKind::Vectorized,
+        "fallbacks: {:?}",
+        vectorized.batch_fallbacks()
+    );
+    let out = outcomes_match(&q, &c, &u).expect("no lane should trap");
+    let expect: i64 = data.iter().filter(|&&v| v != 0).map(|&v| 60 / v).sum();
+    assert_eq!(out, Value::I64(expect));
+
+    // ...and with the filter removed, both tiers trap identically.
+    let q_unfiltered = Query::source("ns")
+        .select(Expr::liti(60) / x(), "x")
+        .sum()
+        .build();
+    assert_eq!(
+        outcomes_match(&q_unfiltered, &c, &u),
+        Err(VmError::DivisionByZero)
+    );
+}
+
+#[test]
+fn index_out_of_bounds_parity() {
+    let u = UdfRegistry::new();
+    // Row indexing is outside the batch tier (it falls back), but the
+    // engine toggle must not change observable behaviour either way.
+    let c = DataContext::new().with_source(
+        "pts",
+        Column::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3),
+    );
+    let q = Query::source("pts")
+        .select(Expr::var("p").row_index(Expr::liti(9)), "p")
+        .sum()
+        .build();
+    let out = outcomes_match(&q, &c, &u);
+    assert_eq!(out, Err(VmError::IndexOutOfBounds { index: 9, len: 3 }));
+
+    // In-range indexing agrees on the value.
+    let ok = Query::source("pts")
+        .select(Expr::var("p").row_index(Expr::liti(1)), "p")
+        .sum()
+        .build();
+    check3(&ok, &c, &u);
+}
+
+// ---------------------------------------------------------------------
+// Seeded random pipelines across all three engines.
+// ---------------------------------------------------------------------
+
+/// A tiny deterministic PRNG (SplitMix64).
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + (hi - lo) * u
+    }
+
+    fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+}
+
+/// A batch-eligible f64 transform.
+fn arb_transform(rng: &mut Rng) -> Expr {
+    match rng.index(10) {
+        0 => x() * x(),
+        1 => x() + Expr::litf(1.0),
+        2 => x() - Expr::litf(2.5),
+        3 => x() * Expr::litf(-0.5),
+        4 => x().abs(),
+        5 => x().floor(),
+        6 => x().min(Expr::litf(3.0)),
+        7 => x().max(Expr::litf(-3.0)),
+        8 => x() / Expr::litf(4.0),
+        _ => Expr::if_(
+            x().gt(Expr::litf(0.0)),
+            x() * Expr::litf(2.0),
+            x() - Expr::litf(1.0),
+        ),
+    }
+}
+
+fn arb_predicate(rng: &mut Rng) -> Expr {
+    match rng.index(6) {
+        0 => x().gt(Expr::litf(0.0)),
+        1 => x().le(Expr::litf(2.0)),
+        2 => x().ne(Expr::litf(1.0)),
+        3 => x().abs().lt(Expr::litf(5.0)),
+        4 => x().ge(Expr::litf(-1.0)).and(x().lt(Expr::litf(4.0))),
+        _ => x().lt(Expr::litf(-2.0)).or(x().gt(Expr::litf(2.0))),
+    }
+}
+
+/// Random batch-eligible pipelines (Select/Where chains into a fold)
+/// agree across interpreter, scalar VM, and vectorized VM.
+#[test]
+fn random_vectorizable_pipelines_agree() {
+    let mut rng = Rng::new(0xBA7C);
+    let u = UdfRegistry::new();
+    for case in 0..160 {
+        let len = match case % 4 {
+            0 => rng.index(40),
+            1 => BATCH - 1 + rng.index(3),
+            2 => rng.index(3 * BATCH),
+            _ => 2 * BATCH + rng.index(200),
+        };
+        let data: Vec<f64> = (0..len).map(|_| rng.range_f64(-50.0, 50.0)).collect();
+        let mut q = Query::source("data");
+        for _ in 0..rng.index(5) {
+            q = if rng.next_u64() & 1 == 0 {
+                q.select(arb_transform(&mut rng), "x")
+            } else {
+                q.where_(arb_predicate(&mut rng), "x")
+            };
+        }
+        let q = match rng.index(5) {
+            0 => q.sum().build(),
+            1 => q.min().build(),
+            2 => q.max().build(),
+            3 => q.count().build(),
+            _ => q.sum().build(),
+        };
+        let c = DataContext::new().with_source("data", data);
+        let expected = interp::execute(&q, &c, &u).expect("interp failed");
+        let (scalar, vectorized) = compile_pair(&q, &c, &u);
+        assert_eq!(
+            vectorized.engine(),
+            EngineKind::Vectorized,
+            "case {case}: {q} should vectorize; fallbacks: {:?}",
+            vectorized.batch_fallbacks()
+        );
+        let s = scalar.run(&c, &u).expect("scalar failed");
+        let v = vectorized.run(&c, &u).expect("vectorized failed");
+        assert_eq!(expected.key(), s.key(), "case {case}, query {q}");
+        assert_eq!(s.key(), v.key(), "case {case}, query {q}");
+    }
+}
+
+/// Random i64 pipelines with data-dependent division: all three engines
+/// agree on the value when no divisor is zero, and the two VM tiers
+/// agree on the error when one is.
+#[test]
+fn random_int_division_error_parity() {
+    let mut rng = Rng::new(0x51D0);
+    let u = UdfRegistry::new();
+    let mut traps = 0;
+    let mut values = 0;
+    for case in 0..120 {
+        let len = 1 + rng.index(2 * BATCH);
+        // Half the cases are zero-free; the other half plant at least
+        // one zero divisor at a random position.
+        let want_zero = case % 2 == 1;
+        let mut data: Vec<i64> = (0..len)
+            .map(|_| {
+                let d = rng.range_i64(-9, 10);
+                if d == 0 {
+                    1
+                } else {
+                    d
+                }
+            })
+            .collect();
+        if want_zero {
+            let at = rng.index(len);
+            data[at] = 0;
+        }
+        let has_zero = data.contains(&0);
+        let numerator = rng.range_i64(1, 1000);
+        let q = Query::source("data")
+            .select(Expr::liti(numerator) / x(), "x")
+            .sum()
+            .build();
+        let c = DataContext::new().with_source("data", data);
+        let (_, vectorized) = compile_pair(&q, &c, &u);
+        assert_eq!(vectorized.engine(), EngineKind::Vectorized);
+        match outcomes_match(&q, &c, &u) {
+            Ok(v) => {
+                values += 1;
+                assert!(!has_zero, "case {case}: zero divisor but no trap");
+                let expected = interp::execute(&q, &c, &u).expect("interp failed");
+                assert_eq!(expected.key(), v.key(), "case {case}");
+            }
+            Err(e) => {
+                traps += 1;
+                assert!(has_zero, "case {case}: trap without zero divisor");
+                assert_eq!(e, VmError::DivisionByZero, "case {case}");
+            }
+        }
+    }
+    // The distribution must actually exercise both paths.
+    assert!(traps > 5, "too few trapping cases: {traps}");
+    assert!(values > 5, "too few value cases: {values}");
+}
+
+/// Random grouped aggregations agree across all three engines,
+/// including group-entry ordering.
+#[test]
+fn random_grouped_aggregates_agree_vectorized() {
+    let mut rng = Rng::new(0x6B0B);
+    let u = UdfRegistry::new();
+    for _case in 0..96 {
+        let len = rng.index(2 * BATCH);
+        let data: Vec<i64> = (0..len).map(|_| rng.range_i64(-20, 20)).collect();
+        let modulus = rng.range_i64(1, 6);
+        let use_count = rng.next_u64() & 1 == 0;
+        let inner = if use_count {
+            Query::over(Expr::var("g")).count().build()
+        } else {
+            Query::over(Expr::var("g")).sum().build()
+        };
+        let q = Query::source("data")
+            .group_by_result(
+                x() % Expr::liti(modulus),
+                "x",
+                GroupResult::keyed("k", "g", inner),
+            )
+            .build();
+        let c = DataContext::new().with_source("data", data);
+        check3(&q, &c, &u);
+    }
+}
+
+/// Queries the batch tier cannot take (UDF calls, rows, ordering,
+/// multi-yield) silently fall back and still agree everywhere.
+#[test]
+fn non_vectorizable_shapes_fall_back_and_agree() {
+    let u = UdfRegistry::new();
+    let c = DataContext::new()
+        .with_source("xs", vec![3.0, -1.5, 4.0, 1.0, -5.0, 9.25, 2.0, 6.0])
+        .with_source("ys", vec![0.5, 2.0, -3.0])
+        .with_source("ns", vec![7i64, 1, 4, 4, -2, 8, 0, 3, 3, 5]);
+
+    let cases = vec![
+        Query::source("xs").order_by(x(), "x").build(),
+        Query::source("ns").distinct().build(),
+        Query::source("xs").take(3).sum().build(),
+        Query::source("xs").skip(2).take(3).build(),
+        Query::source("xs")
+            .select_many(Query::source("ys").select(x() * Expr::var("y"), "y"), "x")
+            .sum()
+            .build(),
+        Query::source("xs").average().build(),
+        Query::source("xs").first().build(),
+    ];
+    for q in &cases {
+        let (_, vectorized) = compile_pair(q, &c, &u);
+        check3(q, &c, &u);
+        // When the loop was attempted and rejected, a reason is logged.
+        if vectorized.engine() == EngineKind::Scalar {
+            // Fallback reasons are advisory; just ensure accessors work.
+            let _ = vectorized.batch_fallbacks();
+        }
+    }
+}
+
+#[test]
+fn boolean_lane_pipelines_agree() {
+    let u = UdfRegistry::new();
+    let bools: Vec<bool> = (0..(BATCH + 100)).map(|i| i % 3 != 1).collect();
+    let c = DataContext::new().with_source("bs", Column::from_bool(bools));
+    check3(&Query::source("bs").all_by(x(), "x").build(), &c, &u);
+    check3(&Query::source("bs").any_by(x().not(), "x").build(), &c, &u);
+    check3(&Query::source("bs").count().build(), &c, &u);
+}
+
+#[test]
+fn casts_cross_lanes_bit_for_bit() {
+    let u = UdfRegistry::new();
+    let ns: Vec<i64> = (-700..700).map(|i| i * 13).collect();
+    let c = DataContext::new().with_source("ns", ns);
+    check3_vectorized(
+        &Query::source("ns")
+            .select(x().cast(Ty::F64), "x")
+            .select(x() / Expr::litf(3.0), "x")
+            .sum()
+            .build(),
+        &c,
+        &u,
+    );
+    let xs: Vec<f64> = (0..1500).map(|i| (i as f64) * 0.71 - 400.0).collect();
+    let c2 = DataContext::new().with_source("xs", xs);
+    check3_vectorized(
+        &Query::source("xs")
+            .select(x().floor().cast(Ty::I64), "x")
+            .sum()
+            .build(),
+        &c2,
+        &u,
+    );
+}

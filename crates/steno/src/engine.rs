@@ -18,7 +18,7 @@ use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
 use steno_syntax::ParseError;
 use steno_vm::query::OptimizeError;
-use steno_vm::{CompiledQuery, QueryCache, VmError};
+use steno_vm::{CompiledQuery, QueryCache, StenoOptions, VectorizationPolicy, VmError};
 
 /// Which executor ran a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +74,7 @@ impl std::error::Error for StenoError {}
 pub struct Steno {
     cache: QueryCache,
     runtime: RuntimeConfig,
+    options: StenoOptions,
 }
 
 impl Steno {
@@ -96,6 +97,21 @@ impl Steno {
     /// The engine's fault-tolerance runtime configuration.
     pub fn runtime(&self) -> &RuntimeConfig {
         &self.runtime
+    }
+
+    /// Sets the vectorization policy for every query this engine
+    /// compiles. [`VectorizationPolicy::Auto`] (the default) batch-
+    /// compiles eligible loops; [`VectorizationPolicy::Off`] pins the
+    /// scalar tiers (ablation baselines, debugging).
+    #[must_use = "with_vectorization returns the configured engine"]
+    pub fn with_vectorization(mut self, policy: VectorizationPolicy) -> Steno {
+        self.options.vectorize = policy;
+        self
+    }
+
+    /// The engine's compilation options.
+    pub fn options(&self) -> &StenoOptions {
+        &self.options
     }
 
     /// Executes a query AST, optimizing when possible.
@@ -123,7 +139,10 @@ impl Steno {
         ctx: &DataContext,
         udfs: &UdfRegistry,
     ) -> Result<(Value, ExecutionPath), StenoError> {
-        match self.cache.get_or_compile(q, SourceTypes::from(ctx), udfs) {
+        match self
+            .cache
+            .get_or_compile_tuned(q, SourceTypes::from(ctx), udfs, self.options)
+        {
             Ok(compiled) => compiled
                 .run(ctx, udfs)
                 .map(|v| (v, ExecutionPath::Optimized))
@@ -168,7 +187,7 @@ impl Steno {
         udfs: &UdfRegistry,
     ) -> Result<Arc<CompiledQuery>, StenoError> {
         self.cache
-            .get_or_compile(q, sources, udfs)
+            .get_or_compile_tuned(q, sources, udfs, self.options)
             .map_err(StenoError::Optimize)
     }
 
@@ -260,6 +279,34 @@ mod tests {
             )
             .unwrap();
         assert_eq!(v, Value::F64(29.0));
+    }
+
+    #[test]
+    fn vectorization_knob_selects_the_engine() {
+        use steno_vm::EngineKind;
+
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+
+        let auto = Steno::new();
+        let compiled = auto.compile(&q, SourceTypes::from(&c), &udfs).unwrap();
+        assert_eq!(compiled.engine(), EngineKind::Vectorized);
+        assert!(compiled.vectorized_loops() > 0);
+
+        let scalar = Steno::new().with_vectorization(VectorizationPolicy::Off);
+        let compiled_off = scalar.compile(&q, SourceTypes::from(&c), &udfs).unwrap();
+        assert_eq!(compiled_off.engine(), EngineKind::Scalar);
+        assert_eq!(compiled_off.vectorized_loops(), 0);
+
+        // Both engines agree on the answer.
+        assert_eq!(
+            auto.execute(&q, &c, &udfs).unwrap(),
+            scalar.execute(&q, &c, &udfs).unwrap()
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod prelude {
     pub use steno_linq::Enumerable;
     pub use steno_query::{GroupResult, Query, QueryExpr};
     pub use steno_macros::steno;
+    pub use steno_vm::{EngineKind, StenoOptions, VectorizationPolicy};
 }
 
 // Re-export the component crates for direct access.

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lower: LowerOptions {
                 specialize_group_aggregate: false,
             },
-            fusion: true,
+            ..StenoOptions::default()
         },
     )?;
     let t = Instant::now();

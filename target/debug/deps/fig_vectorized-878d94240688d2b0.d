@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_vectorized-878d94240688d2b0.d: crates/bench/src/bin/fig_vectorized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_vectorized-878d94240688d2b0.rmeta: crates/bench/src/bin/fig_vectorized.rs Cargo.toml
+
+crates/bench/src/bin/fig_vectorized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

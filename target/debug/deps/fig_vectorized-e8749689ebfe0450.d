@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_vectorized-e8749689ebfe0450.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/debug/deps/fig_vectorized-e8749689ebfe0450: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

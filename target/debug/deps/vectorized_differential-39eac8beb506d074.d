@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vectorized_differential-39eac8beb506d074.d: crates/steno-vm/tests/vectorized_differential.rs
+
+/root/repo/target/debug/deps/vectorized_differential-39eac8beb506d074: crates/steno-vm/tests/vectorized_differential.rs
+
+crates/steno-vm/tests/vectorized_differential.rs:

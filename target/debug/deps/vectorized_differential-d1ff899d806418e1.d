@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vectorized_differential-d1ff899d806418e1.d: crates/steno-vm/tests/vectorized_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvectorized_differential-d1ff899d806418e1.rmeta: crates/steno-vm/tests/vectorized_differential.rs Cargo.toml
+
+crates/steno-vm/tests/vectorized_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

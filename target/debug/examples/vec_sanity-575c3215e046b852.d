@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vec_sanity-575c3215e046b852.d: crates/steno-vm/examples/vec_sanity.rs
+
+/root/repo/target/debug/examples/vec_sanity-575c3215e046b852: crates/steno-vm/examples/vec_sanity.rs
+
+crates/steno-vm/examples/vec_sanity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_vectorized-cd25e2a0a815df4d.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/release/deps/fig_vectorized-cd25e2a0a815df4d: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:
