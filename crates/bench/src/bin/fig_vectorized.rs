@@ -263,16 +263,55 @@ fn int_even_squares(records: &mut Vec<BenchRecord>) {
     report("int_mult3_sumsq", n, rows, records);
 }
 
+/// One observed run of the acceptance workload through the facade with
+/// a live collector: prints the per-query profile and the metrics
+/// snapshot, and proves the snapshot JSON parses back.
+fn profiled_acceptance_run() {
+    use std::sync::Arc;
+
+    let n = scaled(1_000_000);
+    let data = uniform_doubles(n, 42);
+    let ctx = DataContext::new().with_source("xs", data);
+    let udfs = UdfRegistry::new();
+    let metrics = Arc::new(steno_obs::MemoryCollector::new());
+    let engine = steno::Steno::new().with_collector(metrics.clone());
+    let q = Query::source("xs")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let (_, _, profile) = engine
+        .execute_profiled(&q, &ctx, &udfs)
+        .expect("profiled run");
+    println!("\n== profiled sum_of_squares ==");
+    println!("{profile}");
+    let snapshot = metrics.snapshot();
+    println!("{snapshot}");
+    let json = snapshot.to_json();
+    steno_obs::json::parse(&json).expect("snapshot JSON must parse back");
+    let path =
+        std::env::var("METRICS_VM_JSON").unwrap_or_else(|_| "METRICS_vm.json".to_string());
+    std::fs::write(&path, &json).expect("write METRICS_vm.json");
+    println!("wrote metrics snapshot to {path}");
+}
+
 fn main() {
     println!("Vectorized-vs-scalar VM ablation (BENCH_vm.json producer)");
     let mut records = Vec::new();
     sum_of_squares(&mut records);
     filtered_sum(&mut records);
     int_even_squares(&mut records);
+    profiled_acceptance_run();
 
     let path = std::env::var("BENCH_VM_JSON").unwrap_or_else(|_| "BENCH_vm.json".to_string());
     write_bench_json(&path, &records).expect("write BENCH_vm.json");
     println!("\nwrote {} records to {path}", records.len());
+    let reread = std::fs::read_to_string(&path).expect("reread BENCH_vm.json");
+    assert_eq!(
+        bench::harness::parse_bench_json(&reread)
+            .expect("BENCH_vm.json must parse back")
+            .len(),
+        records.len()
+    );
 
     // The acceptance bar: vectorized ≥2× the scalar VM on sum-of-squares.
     let ns = |engine: &str| {

@@ -228,6 +228,42 @@ pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::
     fs::write(path, render_bench_json(records))
 }
 
+/// Parses the JSON emitted by [`render_bench_json`] back into records.
+///
+/// The inverse guarantees `BENCH_vm.json` stays machine-readable: any
+/// drift between writer and reader fails the round-trip test below.
+///
+/// # Errors
+///
+/// Returns a message naming the malformed element when `input` is not a
+/// valid record array.
+pub fn parse_bench_json(input: &str) -> Result<Vec<BenchRecord>, String> {
+    let v = steno_obs::json::parse(input).map_err(|e| e.to_string())?;
+    let arr = v.as_array().ok_or("bench JSON must be an array")?;
+    let mut records = Vec::with_capacity(arr.len());
+    for (i, obj) in arr.iter().enumerate() {
+        let str_field = |name: &str| -> Result<String, String> {
+            obj.get(name)
+                .and_then(|f| f.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("record {i}: missing string field {name:?}"))
+        };
+        let num_field = |name: &str| -> Result<f64, String> {
+            obj.get(name)
+                .and_then(|f| f.as_f64())
+                .ok_or_else(|| format!("record {i}: missing number field {name:?}"))
+        };
+        records.push(BenchRecord {
+            workload: str_field("workload")?,
+            engine: str_field("engine")?,
+            elements: num_field("elements")? as usize,
+            ns_per_elem: num_field("ns_per_elem")?,
+            elements_per_sec: num_field("elements_per_sec")?,
+        });
+    }
+    Ok(records)
+}
+
 /// Collects benchmark functions into a runnable group function, mirroring
 /// `criterion::criterion_group!`.
 #[macro_export]
@@ -248,4 +284,51 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_round_trips() {
+        let records = vec![
+            BenchRecord::from_wall(
+                "sum_of_squares",
+                "vm_vectorized",
+                1_000_000,
+                Duration::from_micros(750),
+            ),
+            BenchRecord {
+                workload: "join \"quoted\"".to_string(),
+                engine: "linq".to_string(),
+                elements: 4096,
+                ns_per_elem: 12.5,
+                elements_per_sec: 8e7,
+            },
+        ];
+        let json = render_bench_json(&records);
+        let parsed = parse_bench_json(&json).unwrap();
+        assert_eq!(parsed.len(), records.len());
+        for (p, r) in parsed.iter().zip(&records) {
+            assert_eq!(p.workload, r.workload);
+            assert_eq!(p.engine, r.engine);
+            assert_eq!(p.elements, r.elements);
+            // Rendering rounds to 4 (ns) / 1 (rate) decimal places.
+            assert!((p.ns_per_elem - r.ns_per_elem).abs() < 1e-3);
+            assert!((p.elements_per_sec - r.elements_per_sec).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_records() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("[{\"workload\": \"w\"}]").is_err());
+        assert!(parse_bench_json("[").is_err());
+    }
+
+    #[test]
+    fn empty_record_list_round_trips() {
+        assert!(parse_bench_json(&render_bench_json(&[])).unwrap().is_empty());
+    }
 }

@@ -205,6 +205,45 @@ impl JobReport {
             .map(|(&n, &wall)| throughput(n, wall))
             .collect()
     }
+
+    /// Total attempts launched across all map vertices (equals the
+    /// partition count on a clean run).
+    pub fn total_attempts(&self) -> u64 {
+        self.vertex_attempts.iter().map(|&a| u64::from(a)).sum()
+    }
+
+    /// Folds the report into a metrics [`steno_obs::Collector`]:
+    /// volume/fault counters plus phase, per-vertex, and retry-backoff
+    /// wall-time histograms. Cheap no-op on a disabled collector, so
+    /// callers can record unconditionally.
+    pub fn record_to(&self, c: &dyn steno_obs::Collector) {
+        fn ns(d: Duration) -> u64 {
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+        }
+        if !c.enabled() {
+            return;
+        }
+        c.add("cluster.jobs", 1);
+        c.add("cluster.input_elements", self.input_elements as u64);
+        c.add("cluster.exchanged_elements", self.exchanged_elements as u64);
+        c.add("cluster.retries", self.retries as u64);
+        c.add(
+            "cluster.speculation_launched",
+            self.speculation_launched as u64,
+        );
+        c.add("cluster.speculation_wins", self.speculation_wins as u64);
+        c.add("cluster.vertex_attempts", self.total_attempts());
+        c.add("cluster.retry_events", self.retry_log.len() as u64);
+        c.observe_ns("cluster.compile_ns", ns(self.compile_time));
+        c.observe_ns("cluster.map_wall_ns", ns(self.map_wall));
+        c.observe_ns("cluster.reduce_wall_ns", ns(self.reduce_wall));
+        for w in &self.vertex_wall {
+            c.observe_ns("cluster.vertex_wall_ns", ns(*w));
+        }
+        for ev in &self.retry_log {
+            c.observe_ns("cluster.retry_backoff_ns", ns(ev.backoff));
+        }
+    }
 }
 
 impl fmt::Display for JobReport {
@@ -218,7 +257,7 @@ impl fmt::Display for JobReport {
             f,
             "job: {} partitions on {} workers, engine {engine}; \
              map {:?} ({}), reduce {:?} ({}); {} in → {} exchanged; \
-             retries {}, speculation {}/{}",
+             retries {}, speculation {}/{}, {} attempts, {} retry events",
             self.partitions,
             self.workers,
             self.map_wall,
@@ -236,6 +275,8 @@ impl fmt::Display for JobReport {
             self.retries,
             self.speculation_wins,
             self.speculation_launched,
+            self.total_attempts(),
+            self.retry_log.len(),
         )
     }
 }
@@ -1291,6 +1332,58 @@ mod tests {
         let shown = report.to_string();
         assert!(shown.contains("steno/vectorized"), "display: {shown}");
         assert!(shown.contains("10000 in"), "display: {shown}");
+        // The fault-tolerance summary is part of the human-readable form.
+        assert!(shown.contains("retries 0"), "display: {shown}");
+        assert!(shown.contains("speculation 0/"), "display: {shown}");
+        assert!(shown.contains("10 attempts"), "display: {shown}");
+        assert!(shown.contains("0 retry events"), "display: {shown}");
+    }
+
+    #[test]
+    fn job_reports_fold_into_a_collector() {
+        use steno_obs::{Collector, MemoryCollector};
+
+        let data: Vec<f64> = (0..1_000).map(|i| i as f64).collect();
+        let q = Query::source("xs").sum().build();
+        let input = DistributedCollection::from_f64("xs", data, 4);
+        let runtime = RuntimeConfig::with_faults(FaultPlan::fail_each_once(4));
+        let (_, report) = execute_distributed_with(
+            &q,
+            &input,
+            &DataContext::new(),
+            &UdfRegistry::new(),
+            &ClusterSpec { workers: 2 },
+            VertexEngine::Steno,
+            &runtime,
+        )
+        .unwrap();
+        let metrics = MemoryCollector::new();
+        report.record_to(&metrics);
+        assert_eq!(metrics.counter_value("cluster.jobs"), 1);
+        assert_eq!(metrics.counter_value("cluster.input_elements"), 1_000);
+        assert_eq!(metrics.counter_value("cluster.retries"), report.retries as u64);
+        assert!(metrics.counter_value("cluster.retries") >= 4);
+        assert_eq!(
+            metrics.counter_value("cluster.vertex_attempts"),
+            report.total_attempts()
+        );
+        assert_eq!(
+            metrics.counter_value("cluster.retry_events"),
+            report.retry_log.len() as u64
+        );
+        let snap = metrics.snapshot();
+        let vertex_hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "cluster.vertex_wall_ns")
+            .unwrap();
+        assert_eq!(vertex_hist.count as usize, report.vertex_wall.len());
+        // Recording twice accumulates; a disabled collector is a no-op.
+        report.record_to(&metrics);
+        assert_eq!(metrics.counter_value("cluster.jobs"), 2);
+        let noop = steno_obs::NoopCollector;
+        assert!(!noop.enabled());
+        report.record_to(&noop);
     }
 
     #[test]

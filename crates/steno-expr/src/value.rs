@@ -278,7 +278,7 @@ mod tests {
 
     #[test]
     fn total_order_on_floats() {
-        let mut v = vec![Value::F64(2.0), Value::F64(f64::NAN), Value::F64(-1.0)];
+        let mut v = [Value::F64(2.0), Value::F64(f64::NAN), Value::F64(-1.0)];
         v.sort_by(Value::cmp_total);
         assert_eq!(v[0], Value::F64(-1.0));
         assert_eq!(v[1], Value::F64(2.0));

@@ -380,10 +380,11 @@ impl QueryExpr {
     pub fn source(&self) -> &SourceRef {
         match self {
             QueryExpr::Source(s) => s,
-            other => other
-                .input()
-                .expect("non-source query has an input")
-                .source(),
+            other => match other.input() {
+                Some(input) => input.source(),
+                // input() returns Some for every non-Source variant.
+                None => unreachable!(),
+            },
         }
     }
 

@@ -29,6 +29,11 @@
 //! assert_eq!(q.to_string(), "xs.Where(|x| ((x % 2) == 0)).Select(|x| (x * x))");
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod ast;
 pub mod builder;
 pub mod typing;

@@ -29,6 +29,11 @@
 //! * [`parallel`] — homomorphic-subquery splitting and partial-aggregation
 //!   decomposition for parallel and distributed plans (§6).
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod grammar;
 pub mod ir;
 pub mod lower;

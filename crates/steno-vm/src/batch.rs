@@ -365,6 +365,9 @@ impl BatchData<'_> {
 /// `f_accs`/`i_accs` are the accumulator snapshots (updated in place and
 /// written back to registers by the caller); `f_params`/`i_params` are
 /// loop-invariant snapshots; `out` receives yielded elements in order.
+/// When `prof` is set, per-chunk batch counts and selection-vector
+/// density are accumulated into it (the `None` path stays untouched by
+/// profiling).
 ///
 /// # Errors
 ///
@@ -382,6 +385,7 @@ pub fn run_batch(
     i_params: &[i64],
     sinks: &mut [SinkRt],
     out: &mut Vec<Value>,
+    mut prof: Option<&mut crate::profile::QueryProfile>,
 ) -> Result<(), VmError> {
     let mut f_bank: Vec<[f64; BATCH]> = vec![[0.0; BATCH]; bp.n_f as usize];
     let mut i_bank: Vec<[i64; BATCH]> = vec![[0; BATCH]; bp.n_i as usize];
@@ -706,6 +710,11 @@ pub fn run_batch(
                 }
             }
         }
+        if let Some(p) = prof.as_deref_mut() {
+            p.batches += 1;
+            p.batch_elements_in += len as u64;
+            p.batch_elements_selected += if dense { len } else { sel.len() } as u64;
+        }
         start += len;
     }
     Ok(())
@@ -785,6 +794,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         )
         .unwrap();
         let mut expected = 0.0;
@@ -830,6 +840,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         )
         .unwrap();
         assert_eq!(i_accs[0], 5);
@@ -871,6 +882,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         )
         .unwrap();
         assert_eq!(i_accs[0], 2 + 5);
@@ -895,6 +907,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         );
         assert_eq!(r, Err(VmError::DivisionByZero));
     }
@@ -940,6 +953,7 @@ mod tests {
             &[],
             &mut sinks,
             &mut out,
+            None,
         )
         .unwrap();
         let SinkRt::GroupAggSF { entries, .. } = &sinks[0] else {
@@ -991,6 +1005,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         )
         .unwrap();
         assert_eq!(
@@ -1034,6 +1049,7 @@ mod tests {
             &[],
             &mut empty_sinks(),
             &mut out,
+            None,
         )
         .unwrap();
         let mut expected = 0.0;

@@ -12,7 +12,7 @@ use steno_codegen::imp::{ImpProgram, LoopHeader, SinkDecl, Stmt, Terminal};
 use steno_expr::expr::{BinOp, UnOp};
 use steno_expr::{Expr, Ty, UdfRegistry, Value};
 
-use crate::instr::{Instr, Pc, Program};
+use crate::instr::{Instr, LoopPlan, LoopTier, Pc, Program};
 
 /// An error during bytecode assembly. Programs generated from lowered
 /// chains assemble cleanly; errors indicate unsupported shapes.
@@ -78,6 +78,7 @@ struct Compiler<'a> {
     n_fused: u32,
     n_batch: u32,
     batch_fallbacks: Vec<String>,
+    loop_plans: Vec<LoopPlan>,
     loops: Vec<LoopCtx>,
     fusion: bool,
     vectorize: bool,
@@ -581,13 +582,32 @@ impl<'a> Compiler<'a> {
                 // vectors) first, then the f64-only fusion tier, then the
                 // generic scalar loop. Each failed tier leaves no trace in
                 // the emitted program.
+                let mut vectorize_fallback = None;
                 if self.vectorize {
                     match self.try_vectorize_loop(p, header, elem_var, *body) {
-                        Ok(()) => return Ok(()),
-                        Err(reason) => self.batch_fallbacks.push(reason),
+                        Ok(()) => {
+                            self.loop_plans.push(LoopPlan {
+                                tier: LoopTier::Vectorized,
+                                vectorize_fallback: None,
+                            });
+                            return Ok(());
+                        }
+                        Err(reason) => {
+                            self.batch_fallbacks.push(reason.clone());
+                            vectorize_fallback = Some(reason);
+                        }
                     }
                 }
+                // Record the plan before compiling the body, so for
+                // nested loops the outer plan precedes the inner ones;
+                // the tier is patched if fusion succeeds.
+                let plan_idx = self.loop_plans.len();
+                self.loop_plans.push(LoopPlan {
+                    tier: LoopTier::Scalar,
+                    vectorize_fallback,
+                });
                 if self.fusion && self.try_fuse_loop(p, header, elem_var, *body) {
+                    self.loop_plans[plan_idx].tier = LoopTier::Fused;
                     return Ok(());
                 }
                 self.compile_loop(p, header, elem_var, *body)
@@ -1087,6 +1107,7 @@ pub fn assemble_with(
         n_fused: 0,
         n_batch: 0,
         batch_fallbacks: Vec::new(),
+        loop_plans: Vec::new(),
         loops: Vec::new(),
         fusion,
         vectorize,
@@ -1110,6 +1131,7 @@ pub fn assemble_with(
         n_fused: c.n_fused,
         n_batch: c.n_batch,
         batch_fallbacks: c.batch_fallbacks,
+        loop_plans: c.loop_plans,
         source_names: c.src_names,
         udf_names: c.udf_names,
         result_ty,

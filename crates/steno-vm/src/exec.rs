@@ -14,6 +14,7 @@ use steno_expr::Value;
 use crate::instr::{Instr, Program};
 use crate::prepared::{Bindings, PreparedSource};
 use crate::instr::SKey;
+use crate::profile::QueryProfile;
 use crate::sink::{ScalarKey, SinkRt};
 
 /// A runtime error during bytecode execution.
@@ -73,6 +74,35 @@ fn idx_check(index: i64, len: usize) -> Result<usize, VmError> {
 /// out-of-range indexing) or shape mismatches (only possible with
 /// hand-assembled programs).
 pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
+    let mut unused = QueryProfile::default();
+    run_impl::<false>(p, bindings, &mut unused)
+}
+
+/// As [`run_program`], additionally filling a [`QueryProfile`] with
+/// per-operator element counts and wall time. This is a separate
+/// monomorphization of the same dispatch loop, so [`run_program`]
+/// compiles every profiling branch out and pays nothing for the
+/// feature's existence.
+///
+/// # Errors
+///
+/// As [`run_program`].
+pub fn run_program_profiled(
+    p: &Program,
+    bindings: &Bindings,
+) -> Result<(Value, QueryProfile), VmError> {
+    let mut prof = QueryProfile::default();
+    let start = std::time::Instant::now();
+    let value = run_impl::<true>(p, bindings, &mut prof)?;
+    prof.wall = start.elapsed();
+    Ok((value, prof))
+}
+
+fn run_impl<const PROFILE: bool>(
+    p: &Program,
+    bindings: &Bindings,
+    prof: &mut QueryProfile,
+) -> Result<Value, VmError> {
     let mut fregs = vec![0.0f64; p.n_fregs as usize];
     let mut iregs = vec![0i64; p.n_iregs as usize];
     let mut vregs = vec![Value::I64(0); p.n_vregs as usize];
@@ -89,6 +119,9 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
     loop {
         let instr = instrs.get(pc).ok_or(VmError::PcOutOfRange)?;
         pc += 1;
+        if PROFILE {
+            prof.scalar_instrs += 1;
+        }
         match instr {
             Instr::Jump(t) => pc = *t as usize,
             Instr::JumpIfFalse(c, t) => {
@@ -282,6 +315,9 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
             }
 
             Instr::CallUdf { dst, udf, args } => {
+                if PROFILE {
+                    prof.udf_calls += 1;
+                }
                 udf_args.clear();
                 for a in args {
                     udf_args.push(vregs[*a as usize].clone());
@@ -296,24 +332,36 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                 let PreparedSource::F64(v) = &bindings.sources[*s as usize] else {
                     return Err(shape("source is not f64"));
                 };
+                if PROFILE {
+                    prof.src_reads += 1;
+                }
                 fregs[*d as usize] = v[iregs[*i as usize] as usize];
             }
             Instr::SrcGetI(d, s, i) => {
                 let PreparedSource::I64(v) = &bindings.sources[*s as usize] else {
                     return Err(shape("source is not i64"));
                 };
+                if PROFILE {
+                    prof.src_reads += 1;
+                }
                 iregs[*d as usize] = v[iregs[*i as usize] as usize];
             }
             Instr::SrcGetB(d, s, i) => {
                 let PreparedSource::Bool(v) = &bindings.sources[*s as usize] else {
                     return Err(shape("source is not bool"));
                 };
+                if PROFILE {
+                    prof.src_reads += 1;
+                }
                 iregs[*d as usize] = i64::from(v[iregs[*i as usize] as usize]);
             }
             Instr::SrcGetV(d, s, i) => {
                 let PreparedSource::Values(v) = &bindings.sources[*s as usize] else {
                     return Err(shape("source is not boxed"));
                 };
+                if PROFILE {
+                    prof.src_reads += 1;
+                }
                 vregs[*d as usize] = v[iregs[*i as usize] as usize].clone();
             }
 
@@ -377,6 +425,9 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
             }
             Instr::SinkNewVec(s) => sinks[*s as usize] = SinkRt::Vec { items: Vec::new() },
             Instr::GroupPut(s, k, v) => {
+                if PROFILE {
+                    prof.sink_pushes += 1;
+                }
                 let SinkRt::Group { index, entries } = &mut sinks[*s as usize] else {
                     return Err(shape("sink is not a group"));
                 };
@@ -516,17 +567,25 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                 };
                 entries[*last].1 = iregs[*r as usize];
             }
-            Instr::SinkPush(s, v) => match &mut sinks[*s as usize] {
-                SinkRt::Vec { items } => items.push(vregs[*v as usize].clone()),
-                SinkRt::Distinct { seen, items } => {
-                    let value = &vregs[*v as usize];
-                    if seen.insert(value.key()) {
-                        items.push(value.clone());
-                    }
+            Instr::SinkPush(s, v) => {
+                if PROFILE {
+                    prof.sink_pushes += 1;
                 }
-                _ => return Err(shape("sink is not a buffer")),
-            },
+                match &mut sinks[*s as usize] {
+                    SinkRt::Vec { items } => items.push(vregs[*v as usize].clone()),
+                    SinkRt::Distinct { seen, items } => {
+                        let value = &vregs[*v as usize];
+                        if seen.insert(value.key()) {
+                            items.push(value.clone());
+                        }
+                    }
+                    _ => return Err(shape("sink is not a buffer")),
+                }
+            }
             Instr::SinkPushKeyed(s, k, v) => {
+                if PROFILE {
+                    prof.sink_pushes += 1;
+                }
                 let SinkRt::Sorted { items, .. } = &mut sinks[*s as usize] else {
                     return Err(shape("sink is not sorted"));
                 };
@@ -554,6 +613,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                 let PreparedSource::F64(data) = &bindings.sources[kernel.src as usize] else {
                     return Err(shape("fused source is not f64"));
                 };
+                if PROFILE {
+                    prof.fused_loops_run += 1;
+                    prof.fused_elements += data.len() as u64;
+                }
                 // acc_values layout: [accumulators..., params...].
                 let mut acc_values =
                     Vec::with_capacity(kernel.accs.len() + kernel.params.len());
@@ -585,6 +648,10 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     bp.f_params.iter().map(|r| fregs[*r as usize]).collect();
                 let i_params: Vec<i64> =
                     bp.i_params.iter().map(|r| iregs[*r as usize]).collect();
+                if PROFILE {
+                    prof.batch_loops += 1;
+                }
+                let out_before = out.len();
                 crate::batch::run_batch(
                     bp,
                     data,
@@ -594,7 +661,11 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     &i_params,
                     &mut sinks,
                     &mut out,
+                    if PROFILE { Some(prof) } else { None },
                 )?;
+                if PROFILE {
+                    prof.out_elements += (out.len() - out_before) as u64;
+                }
                 for (i, r) in bp.f_accs.iter().enumerate() {
                     fregs[*r as usize] = f_accs[i];
                 }
@@ -602,7 +673,12 @@ pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
                     iregs[*r as usize] = i_accs[i];
                 }
             }
-            Instr::OutPush(v) => out.push(vregs[*v as usize].clone()),
+            Instr::OutPush(v) => {
+                if PROFILE {
+                    prof.out_elements += 1;
+                }
+                out.push(vregs[*v as usize].clone());
+            }
             Instr::HaltF(r) => return Ok(Value::F64(fregs[*r as usize])),
             Instr::HaltI(r) => return Ok(Value::I64(iregs[*r as usize])),
             Instr::HaltB(r) => return Ok(Value::Bool(iregs[*r as usize] != 0)),

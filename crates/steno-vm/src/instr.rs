@@ -269,6 +269,38 @@ pub enum Instr {
     HaltOut,
 }
 
+/// Which execution tier a source loop landed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopTier {
+    /// Compiled to a [`Instr::BatchLoop`] column-at-a-time program.
+    Vectorized,
+    /// Compiled to a [`Instr::FusedLoop`] whole-loop kernel.
+    Fused,
+    /// Compiled to plain element-at-a-time bytecode.
+    Scalar,
+}
+
+impl std::fmt::Display for LoopTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LoopTier::Vectorized => "vectorized",
+            LoopTier::Fused => "fused",
+            LoopTier::Scalar => "scalar",
+        })
+    }
+}
+
+/// The compiler's tier decision for one loop, in compilation order
+/// (outer loops before the loops nested inside them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopPlan {
+    /// The tier the loop landed in.
+    pub tier: LoopTier,
+    /// When the vectorizer was enabled but refused this loop, the exact
+    /// reason it gave; `None` for vectorized loops or a disabled tier.
+    pub vectorize_fallback: Option<String>,
+}
+
 /// A complete bytecode program.
 #[derive(Clone, Debug)]
 pub struct Program {
@@ -290,6 +322,9 @@ pub struct Program {
     /// compilation order. Empty when everything vectorized or the tier
     /// was disabled.
     pub batch_fallbacks: Vec<String>,
+    /// Tier decision per compiled loop, in compilation order. The EXPLAIN
+    /// facility renders these; counts agree with `n_fused`/`n_batch`.
+    pub loop_plans: Vec<LoopPlan>,
     /// Source names in [`SrcId`] order.
     pub source_names: Vec<String>,
     /// UDF names in [`UdfId`] order.

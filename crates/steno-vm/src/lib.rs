@@ -46,10 +46,12 @@ pub mod exec;
 pub mod instr;
 pub mod kernels;
 pub mod prepared;
+pub mod profile;
 pub mod query;
 pub mod sink;
 
 pub use compile::{assemble, CompileError};
-pub use exec::{run_program, VmError};
-pub use instr::{Instr, Program};
+pub use exec::{run_program, run_program_profiled, VmError};
+pub use instr::{Instr, LoopPlan, LoopTier, Program};
+pub use profile::QueryProfile;
 pub use query::{CompiledQuery, EngineKind, QueryCache, StenoOptions, VectorizationPolicy};

@@ -126,6 +126,7 @@ mod tests {
             n_fused: 0,
             n_batch: 0,
             batch_fallbacks: vec![],
+            loop_plans: vec![],
             source_names: vec!["zzz".into()],
             udf_names: vec![],
             result_ty: Ty::F64,

@@ -218,6 +218,23 @@ impl CompiledQuery {
         run_program(&self.program, &bindings)
     }
 
+    /// As [`CompiledQuery::run`], additionally returning a
+    /// [`crate::profile::QueryProfile`] of where elements and time went.
+    /// Runs the profiled monomorphization of the interpreter; use
+    /// [`CompiledQuery::run`] when the counters are not needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledQuery::run`].
+    pub fn run_profiled(
+        &self,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+    ) -> Result<(Value, crate::profile::QueryProfile), VmError> {
+        let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
+        crate::exec::run_program_profiled(&self.program, &bindings)
+    }
+
     /// The generated Rust source (the paper's generated C#, Fig. 5–8).
     pub fn rust_source(&self) -> &str {
         &self.rust_source
@@ -274,6 +291,13 @@ impl CompiledQuery {
     /// vectorized or vectorization was off).
     pub fn batch_fallbacks(&self) -> &[String] {
         &self.program.batch_fallbacks
+    }
+
+    /// The compiler's tier decision per loop, in compilation order
+    /// (outer loops before the loops nested inside them). This is what
+    /// `Steno::explain` renders.
+    pub fn loop_plans(&self) -> &[crate::instr::LoopPlan] {
+        &self.program.loop_plans
     }
 }
 
@@ -336,15 +360,33 @@ impl QueryCache {
         udfs: &UdfRegistry,
         opts: StenoOptions,
     ) -> Result<Arc<CompiledQuery>, OptimizeError> {
+        self.get_or_compile_tuned_traced(q, sources, udfs, opts)
+            .map(|(compiled, _hit)| compiled)
+    }
+
+    /// As [`QueryCache::get_or_compile_tuned`], additionally reporting
+    /// whether the lookup hit (`true`) or compiled fresh (`false`) —
+    /// the per-query view of the aggregate [`QueryCache::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation errors (which are not cached).
+    pub fn get_or_compile_tuned_traced(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        opts: StenoOptions,
+    ) -> Result<(Arc<CompiledQuery>, bool), OptimizeError> {
         let key = format!("{opts:?}|{q}");
         if let Some(hit) = lock(&self.entries).get(&key) {
             *lock(&self.hits) += 1;
-            return Ok(Arc::clone(hit));
+            return Ok((Arc::clone(hit), true));
         }
         *lock(&self.misses) += 1;
         let compiled = Arc::new(CompiledQuery::compile_tuned(q, sources, udfs, opts)?);
         lock(&self.entries).insert(key, Arc::clone(&compiled));
-        Ok(compiled)
+        Ok((compiled, false))
     }
 
     /// `(hits, misses)` counters.
@@ -433,5 +475,152 @@ mod tests {
         assert_eq!(compiled.quil(), "Src Agg[Sum] Ret");
         assert!(compiled.instr_count() > 0);
         assert_eq!(compiled.result_ty(), &Ty::F64);
+    }
+
+    #[test]
+    fn loop_plans_record_vectorized_tier() {
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &UdfRegistry::new()).unwrap();
+        assert_eq!(compiled.vectorized_loops(), 1);
+        let plans = compiled.loop_plans();
+        assert_eq!(plans.len(), 1);
+        assert_eq!(plans[0].tier, crate::instr::LoopTier::Vectorized);
+        assert_eq!(plans[0].vectorize_fallback, None);
+    }
+
+    #[test]
+    fn loop_plans_record_fallback_reason_when_refused() {
+        // A UDF call is not batch-eligible, so the vectorizer must
+        // refuse and the plan must carry its exact reason string, which
+        // also appears in batch_fallbacks.
+        let mut udfs = UdfRegistry::new();
+        udfs.register("twice", vec![Ty::F64], Ty::F64, |args: &[Value]| {
+            Value::F64(args[0].as_f64().unwrap_or(0.0) * 2.0)
+        });
+        let q = Query::source("xs")
+            .select(Expr::call("twice", vec![Expr::var("x")]), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &udfs).unwrap();
+        assert_eq!(compiled.vectorized_loops(), 0);
+        let plans = compiled.loop_plans();
+        assert_eq!(plans.len(), 1);
+        assert_ne!(plans[0].tier, crate::instr::LoopTier::Vectorized);
+        let reason = plans[0].vectorize_fallback.as_deref().unwrap();
+        assert_eq!(compiled.batch_fallbacks(), [reason.to_string()]);
+        assert!(!reason.is_empty());
+    }
+
+    #[test]
+    fn loop_plans_skip_fallbacks_when_tier_disabled() {
+        let q = Query::source("xs").sum().build();
+        let c = ctx();
+        let opts = StenoOptions {
+            vectorize: VectorizationPolicy::Off,
+            ..StenoOptions::default()
+        };
+        let compiled =
+            CompiledQuery::compile_tuned(&q, (&c).into(), &UdfRegistry::new(), opts).unwrap();
+        assert_eq!(compiled.vectorized_loops(), 0);
+        assert!(compiled.batch_fallbacks().is_empty());
+        for plan in compiled.loop_plans() {
+            assert_ne!(plan.tier, crate::instr::LoopTier::Vectorized);
+            assert_eq!(plan.vectorize_fallback, None);
+        }
+    }
+
+    #[test]
+    fn tuned_cache_keys_on_options() {
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = QueryCache::new();
+        let q = Query::source("xs").sum().build();
+        let auto = StenoOptions::default();
+        let off = StenoOptions {
+            vectorize: VectorizationPolicy::Off,
+            ..StenoOptions::default()
+        };
+        // Distinct options must not collide.
+        let a = cache.get_or_compile_tuned(&q, (&c).into(), &udfs, auto).unwrap();
+        let b = cache.get_or_compile_tuned(&q, (&c).into(), &udfs, off).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.engine(), EngineKind::Vectorized);
+        assert_eq!(b.engine(), EngineKind::Scalar);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (0, 2));
+        // Identical options must hit.
+        let a2 = cache.get_or_compile_tuned(&q, (&c).into(), &udfs, auto).unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        let b2 = cache.get_or_compile_tuned(&q, (&c).into(), &udfs, off).unwrap();
+        assert!(Arc::ptr_eq(&b, &b2));
+        // Counters must agree: every miss is a cached entry, every
+        // lookup is either a hit or a miss.
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (2, 2));
+        assert_eq!(misses as usize, cache.len());
+    }
+
+    #[test]
+    fn profiled_run_counts_batches_and_selection_density() {
+        // Where keeps half the elements: density must land at 3/6.
+        let q = Query::source("ns")
+            .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &udfs).unwrap();
+        assert_eq!(compiled.engine(), EngineKind::Vectorized);
+        let (value, prof) = compiled.run_profiled(&c, &udfs).unwrap();
+        assert_eq!(compiled.run(&c, &udfs).unwrap(), value);
+        assert_eq!(prof.batch_loops, 1);
+        assert_eq!(prof.batches, 1);
+        assert_eq!(prof.batch_elements_in, 6);
+        assert_eq!(prof.batch_elements_selected, 3);
+        assert_eq!(prof.selection_density(), Some(0.5));
+        assert_eq!(prof.out_elements, 3);
+        assert!(prof.wall > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn profiled_run_counts_scalar_work_and_udf_calls() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register("twice", vec![Ty::F64], Ty::F64, |args: &[Value]| {
+            Value::F64(args[0].as_f64().unwrap_or(0.0) * 2.0)
+        });
+        let q = Query::source("xs")
+            .select(Expr::call("twice", vec![Expr::var("x")]), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &udfs).unwrap();
+        let (value, prof) = compiled.run_profiled(&c, &udfs).unwrap();
+        assert_eq!(value, Value::F64(20.0));
+        assert_eq!(prof.udf_calls, 4);
+        assert_eq!(prof.src_reads, 4);
+        assert!(prof.scalar_instrs > 0);
+        assert_eq!(prof.batch_loops, 0);
+    }
+
+    #[test]
+    fn tuned_and_default_compiles_share_no_entries() {
+        // The default-keyed and option-keyed entries are distinct even
+        // for the same query text, so mixing entry points cannot serve a
+        // differently-tuned program.
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = QueryCache::new();
+        let q = Query::source("xs").sum().build();
+        let plain = cache.get_or_compile(&q, (&c).into(), &udfs).unwrap();
+        let tuned = cache
+            .get_or_compile_tuned(&q, (&c).into(), &udfs, StenoOptions::default())
+            .unwrap();
+        assert!(!Arc::ptr_eq(&plain, &tuned));
+        assert_eq!(cache.len(), 2);
     }
 }

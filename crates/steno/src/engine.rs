@@ -14,11 +14,16 @@ use steno_cluster::exec::{DistError, RuntimeConfig};
 use steno_cluster::{ClusterSpec, DistributedCollection, JobReport, VertexEngine};
 use steno_expr::{DataContext, EvalError, UdfRegistry, Value};
 use steno_linq::interp;
+use steno_obs::{Collector, NoopCollector};
 use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
 use steno_syntax::ParseError;
 use steno_vm::query::OptimizeError;
-use steno_vm::{CompiledQuery, QueryCache, StenoOptions, VectorizationPolicy, VmError};
+use steno_vm::{
+    CompiledQuery, QueryCache, QueryProfile, StenoOptions, VectorizationPolicy, VmError,
+};
+
+use crate::explain::{Explain, ExplainPlan};
 
 /// Which executor ran a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,11 +75,22 @@ impl std::error::Error for StenoError {}
 /// Owns a [`QueryCache`], so repeated executions of the same query pay
 /// the one-off optimization cost once (§7.1: "the compiled query object
 /// can then be cached by the application").
-#[derive(Default)]
 pub struct Steno {
     cache: QueryCache,
     runtime: RuntimeConfig,
     options: StenoOptions,
+    collector: Arc<dyn Collector>,
+}
+
+impl Default for Steno {
+    fn default() -> Steno {
+        Steno {
+            cache: QueryCache::new(),
+            runtime: RuntimeConfig::default(),
+            options: StenoOptions::default(),
+            collector: Arc::new(NoopCollector),
+        }
+    }
 }
 
 impl Steno {
@@ -83,6 +99,22 @@ impl Steno {
     /// injected faults).
     pub fn new() -> Steno {
         Steno::default()
+    }
+
+    /// Attaches a metrics [`Collector`]: every execution reports cache
+    /// hit/miss counters, optimized/fallback path counters, and
+    /// compile/execution latency histograms, and
+    /// [`Steno::execute_distributed`] folds the [`JobReport`] in too.
+    /// The default is [`NoopCollector`], which costs nothing.
+    #[must_use = "with_collector returns the configured engine"]
+    pub fn with_collector(mut self, collector: Arc<dyn Collector>) -> Steno {
+        self.collector = collector;
+        self
+    }
+
+    /// The engine's metrics collector.
+    pub fn collector(&self) -> &Arc<dyn Collector> {
+        &self.collector
     }
 
     /// Sets the fault-tolerance runtime (retry policy, straggler
@@ -128,6 +160,31 @@ impl Steno {
         self.execute_traced(q, ctx, udfs).map(|(v, _)| v)
     }
 
+    /// Compiles through the cache, reporting hit/miss into the
+    /// engine's collector (compile latency is recorded on misses).
+    fn compile_metered(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+    ) -> Result<(Arc<CompiledQuery>, bool), OptimizeError> {
+        let result = self
+            .cache
+            .get_or_compile_tuned_traced(q, sources, udfs, self.options);
+        if self.collector.enabled() {
+            match &result {
+                Ok((_, true)) => self.collector.add("steno.cache.hit", 1),
+                Ok((compiled, false)) => {
+                    self.collector.add("steno.cache.miss", 1);
+                    let ns = u64::try_from(compiled.compile_time().as_nanos()).unwrap_or(u64::MAX);
+                    self.collector.observe_ns("steno.compile_ns", ns);
+                }
+                Err(_) => self.collector.add("steno.compile.error", 1),
+            }
+        }
+        result
+    }
+
     /// As [`Steno::execute`], also reporting which path ran.
     ///
     /// # Errors
@@ -139,21 +196,113 @@ impl Steno {
         ctx: &DataContext,
         udfs: &UdfRegistry,
     ) -> Result<(Value, ExecutionPath), StenoError> {
-        match self
-            .cache
-            .get_or_compile_tuned(q, SourceTypes::from(ctx), udfs, self.options)
-        {
-            Ok(compiled) => compiled
-                .run(ctx, udfs)
-                .map(|v| (v, ExecutionPath::Optimized))
-                .map_err(StenoError::Vm),
+        match self.compile_metered(q, SourceTypes::from(ctx), udfs) {
+            Ok((compiled, _hit)) => {
+                let span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let result = compiled.run(ctx, udfs);
+                drop(span);
+                self.collector.add("steno.query.executed", 1);
+                result
+                    .map(|v| (v, ExecutionPath::Optimized))
+                    .map_err(StenoError::Vm)
+            }
             Err(OptimizeError::Lower(steno_quil::LowerError::Unsupported(_))) => {
                 // The paper's behaviour: shapes Steno does not optimize
                 // run through the stock iterator implementation.
+                self.collector.add("steno.query.fallback", 1);
+                let _span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
                 interp::execute(q, ctx, udfs)
                     .map(|v| (v, ExecutionPath::Fallback))
                     .map_err(StenoError::Eval)
             }
+            Err(e) => Err(StenoError::Optimize(e)),
+        }
+    }
+
+    /// As [`Steno::execute_traced`], additionally returning a
+    /// [`QueryProfile`] of where elements and time went: per-operator
+    /// element counts, batches executed, selection-vector density, and
+    /// whether this compilation hit the query cache. Runs the profiled
+    /// interpreter monomorphization; use [`Steno::execute`] when the
+    /// counters are not needed. Fallback executions return the profile
+    /// with only `wall` and `cache_hit: Some(false)` semantics absent
+    /// (`cache_hit` is `None` — the fallback never touches the cache).
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute`].
+    pub fn execute_profiled(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+    ) -> Result<(Value, ExecutionPath, QueryProfile), StenoError> {
+        match self.compile_metered(q, SourceTypes::from(ctx), udfs) {
+            Ok((compiled, hit)) => {
+                let span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let result = compiled.run_profiled(ctx, udfs);
+                drop(span);
+                self.collector.add("steno.query.executed", 1);
+                result
+                    .map(|(v, mut prof)| {
+                        prof.cache_hit = Some(hit);
+                        (v, ExecutionPath::Optimized, prof)
+                    })
+                    .map_err(StenoError::Vm)
+            }
+            Err(OptimizeError::Lower(steno_quil::LowerError::Unsupported(_))) => {
+                self.collector.add("steno.query.fallback", 1);
+                let start = std::time::Instant::now();
+                let value = interp::execute(q, ctx, udfs).map_err(StenoError::Eval)?;
+                let prof = QueryProfile {
+                    wall: start.elapsed(),
+                    ..QueryProfile::default()
+                };
+                Ok((value, ExecutionPath::Fallback, prof))
+            }
+            Err(e) => Err(StenoError::Optimize(e)),
+        }
+    }
+
+    /// Explains how this engine would execute `q` against sources of
+    /// the given types: the canonical QUIL form, the engine the hot
+    /// loops land on, and the tier decision per loop — including the
+    /// vectorizer's exact refusal reason for loops that fell back.
+    /// Unsupported shapes explain as the iterator-interpreter fallback
+    /// with the lowering error. Compilation goes through the query
+    /// cache, so explaining then executing compiles once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StenoError::Optimize`] only for internal compilation
+    /// failures; unsupported shapes are a successful `Fallback` plan.
+    pub fn explain(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+    ) -> Result<Explain, StenoError> {
+        let query = q.to_string();
+        match self.compile_metered(q, sources, udfs) {
+            Ok((compiled, _hit)) => Ok(Explain {
+                query,
+                plan: ExplainPlan::Optimized {
+                    quil: compiled.quil().to_string(),
+                    engine: compiled.engine(),
+                    instr_count: compiled.instr_count(),
+                    loops: compiled.loop_plans().to_vec(),
+                    vectorized_loops: compiled.vectorized_loops(),
+                    fused_loops: compiled.fused_loops(),
+                    batch_size: compiled.batch_size(),
+                    result_ty: compiled.result_ty().to_string(),
+                },
+            }),
+            Err(OptimizeError::Lower(e @ steno_quil::LowerError::Unsupported(_))) => Ok(Explain {
+                query,
+                plan: ExplainPlan::Fallback {
+                    reason: e.to_string(),
+                },
+            }),
             Err(e) => Err(StenoError::Optimize(e)),
         }
     }
@@ -186,8 +335,8 @@ impl Steno {
         sources: SourceTypes,
         udfs: &UdfRegistry,
     ) -> Result<Arc<CompiledQuery>, StenoError> {
-        self.cache
-            .get_or_compile_tuned(q, sources, udfs, self.options)
+        self.compile_metered(q, sources, udfs)
+            .map(|(compiled, _hit)| compiled)
             .map_err(StenoError::Optimize)
     }
 
@@ -219,7 +368,7 @@ impl Steno {
         spec: &ClusterSpec,
         engine: VertexEngine,
     ) -> Result<(Value, JobReport), StenoError> {
-        steno_cluster::execute_distributed_with(
+        let result = steno_cluster::execute_distributed_with(
             q,
             input,
             broadcast,
@@ -228,14 +377,20 @@ impl Steno {
             engine,
             &self.runtime,
         )
-        .map_err(StenoError::Dist)
+        .map_err(StenoError::Dist);
+        if let Ok((_, report)) = &result {
+            // Unified telemetry: cluster jobs land in the same
+            // collector as single-node executions.
+            report.record_to(self.collector.as_ref());
+        }
+        result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use steno_expr::Expr;
+    use steno_expr::{Expr, Ty};
     use steno_query::Query;
 
     fn ctx() -> DataContext {
@@ -363,6 +518,146 @@ mod tests {
             .0;
         assert_eq!(v, clean);
         assert!(report.retries >= 4, "one retry per vertex: {}", report.retries);
+    }
+
+    #[test]
+    fn explain_names_the_tier_for_where_select_sum() {
+        let engine = Steno::new();
+        let q = Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(1.5)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let explain = engine
+            .explain(&q, SourceTypes::from(&c), &UdfRegistry::new())
+            .unwrap();
+        assert!(explain.is_optimized());
+        let text = explain.render();
+        assert!(text.contains("QUIL:"), "{text}");
+        assert!(text.contains("loop 0: tier=vectorized"), "{text}");
+        let v = steno_obs::json::parse(&explain.to_json()).unwrap();
+        assert_eq!(v.get("optimized").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("engine").unwrap().as_str(), Some("vectorized"));
+        let loops = v.get("loops").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(loops[0].get("tier").unwrap().as_str(), Some("vectorized"));
+    }
+
+    #[test]
+    fn explain_reports_the_exact_vectorize_fallback_reason() {
+        // A UDF call refuses vectorization; EXPLAIN must carry the
+        // compiler's exact reason string.
+        let mut udfs = UdfRegistry::new();
+        udfs.register("twice", vec![Ty::F64], Ty::F64, |args: &[Value]| {
+            Value::F64(args[0].as_f64().unwrap_or(0.0) * 2.0)
+        });
+        let engine = Steno::new();
+        let q = Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(1.5)), "x")
+            .select(Expr::call("twice", vec![Expr::var("x")]), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let compiled = engine.compile(&q, SourceTypes::from(&c), &udfs).unwrap();
+        let expected_reason = compiled.batch_fallbacks()[0].clone();
+        let explain = engine.explain(&q, SourceTypes::from(&c), &udfs).unwrap();
+        let text = explain.render();
+        assert!(
+            text.contains(&format!("vectorize-fallback: \"{expected_reason}\"")),
+            "explain must quote the exact reason {expected_reason:?}: {text}"
+        );
+        let v = steno_obs::json::parse(&explain.to_json()).unwrap();
+        let loops = v.get("loops").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(
+            loops[0].get("vectorize_fallback").unwrap().as_str(),
+            Some(expected_reason.as_str())
+        );
+    }
+
+    #[test]
+    fn explain_renders_the_fallback_path_for_unsupported_shapes() {
+        let engine = Steno::new();
+        let q = Query::source("xs").concat(Query::source("xs")).count().build();
+        let c = ctx();
+        let explain = engine
+            .explain(&q, SourceTypes::from(&c), &UdfRegistry::new())
+            .unwrap();
+        assert!(!explain.is_optimized());
+        assert!(explain.render().contains("fallback"), "{}", explain.render());
+    }
+
+    #[test]
+    fn profiled_execution_reports_cache_and_density() {
+        let engine = Steno::new();
+        let q = Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(1.5)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let (v, path, prof) = engine.execute_profiled(&q, &c, &udfs).unwrap();
+        assert_eq!(v, Value::F64(29.0));
+        assert_eq!(path, ExecutionPath::Optimized);
+        assert_eq!(prof.cache_hit, Some(false));
+        assert_eq!(prof.batch_elements_in, 4);
+        assert_eq!(prof.batch_elements_selected, 3);
+        // Second run: same counters, but served from the cache.
+        let (_, _, prof2) = engine.execute_profiled(&q, &c, &udfs).unwrap();
+        assert_eq!(prof2.cache_hit, Some(true));
+        assert_eq!(prof2.selection_density(), Some(0.75));
+    }
+
+    #[test]
+    fn collector_sees_cache_and_execution_metrics() {
+        use steno_obs::MemoryCollector;
+
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new().with_collector(metrics.clone());
+        let q = Query::source("xs").sum().build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        for _ in 0..3 {
+            engine.execute(&q, &c, &udfs).unwrap();
+        }
+        assert_eq!(metrics.counter_value("steno.cache.miss"), 1);
+        assert_eq!(metrics.counter_value("steno.cache.hit"), 2);
+        assert_eq!(metrics.counter_value("steno.query.executed"), 3);
+        assert_eq!(metrics.counter_value("steno.query.fallback"), 0);
+        let snap = metrics.snapshot();
+        let exec = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "steno.exec_ns")
+            .unwrap();
+        assert_eq!(exec.count, 3);
+        assert!(snap.histograms.iter().any(|h| h.name == "steno.compile_ns"));
+        // The snapshot JSON parses back.
+        assert!(steno_obs::json::parse(&snap.to_json()).is_ok());
+    }
+
+    #[test]
+    fn distributed_jobs_report_into_the_collector() {
+        use steno_obs::MemoryCollector;
+
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new().with_collector(metrics.clone());
+        let q = Query::source("xs").sum().build();
+        let input =
+            DistributedCollection::from_f64("xs", (0..100).map(f64::from).collect(), 4);
+        engine
+            .execute_distributed(
+                &q,
+                &input,
+                &DataContext::new(),
+                &UdfRegistry::new(),
+                &ClusterSpec { workers: 2 },
+                VertexEngine::Steno,
+            )
+            .unwrap();
+        assert_eq!(metrics.counter_value("cluster.jobs"), 1);
+        assert_eq!(metrics.counter_value("cluster.input_elements"), 100);
+        assert_eq!(metrics.counter_value("cluster.vertex_attempts"), 4);
     }
 
     #[test]

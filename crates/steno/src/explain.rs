@@ -1,0 +1,223 @@
+//! `EXPLAIN` for Steno queries: where the optimizer sent each loop, and
+//! why.
+//!
+//! [`crate::engine::Steno::explain`] renders the full lowering pipeline
+//! for a query — the original AST, the canonical QUIL sentence it
+//! lowered to, and the tier decision for every compiled loop
+//! (vectorized / fused / scalar, with the vectorizer's exact refusal
+//! reason when one was recorded). Queries outside the QUIL operator
+//! classes explain as the fallback path with the lowering error.
+//!
+//! Two renderings: [`Explain::render`] for humans, [`Explain::to_json`]
+//! as a stable machine-readable form (field order fixed; volatile data
+//! like compile time deliberately excluded so equal plans render
+//! byte-equal).
+
+use steno_obs::json;
+use steno_vm::{EngineKind, LoopPlan, LoopTier};
+
+/// The explained plan for one query.
+#[derive(Clone, Debug)]
+pub struct Explain {
+    /// The query, printed in its canonical AST form.
+    pub query: String,
+    /// What the optimizer decided.
+    pub plan: ExplainPlan,
+}
+
+/// The optimizer's decision for a query.
+#[derive(Clone, Debug)]
+pub enum ExplainPlan {
+    /// The query lowered to QUIL and compiled to bytecode.
+    Optimized {
+        /// The canonical QUIL sentence.
+        quil: String,
+        /// Which engine the hot loops run on.
+        engine: EngineKind,
+        /// Total bytecode instructions.
+        instr_count: usize,
+        /// Tier decision per loop, in compilation order.
+        loops: Vec<LoopPlan>,
+        /// Loops on the vectorized tier (agrees with `loops`).
+        vectorized_loops: u32,
+        /// Loops on the fused tier (agrees with `loops`).
+        fused_loops: u32,
+        /// Batch width of the vectorized engine.
+        batch_size: usize,
+        /// The query's result type.
+        result_ty: String,
+    },
+    /// The query runs on the unoptimized iterator interpreter.
+    Fallback {
+        /// The lowering error that sent it there.
+        reason: String,
+    },
+}
+
+impl Explain {
+    /// `true` when the query compiled (the plan is
+    /// [`ExplainPlan::Optimized`]).
+    pub fn is_optimized(&self) -> bool {
+        matches!(self.plan, ExplainPlan::Optimized { .. })
+    }
+
+    /// The human-readable plan, one decision per line.
+    pub fn render(&self) -> String {
+        let mut out = format!("EXPLAIN: {}\n", self.query);
+        match &self.plan {
+            ExplainPlan::Optimized {
+                quil,
+                engine,
+                instr_count,
+                loops,
+                batch_size,
+                result_ty,
+                ..
+            } => {
+                out.push_str(&format!("  QUIL: {quil}\n"));
+                out.push_str(&format!(
+                    "  engine: {engine} (batch size {batch_size}), {instr_count} instrs, result {result_ty}\n"
+                ));
+                if loops.is_empty() {
+                    out.push_str("  loops: none (straight-line program)\n");
+                }
+                for (i, plan) in loops.iter().enumerate() {
+                    out.push_str(&format!("  loop {i}: tier={}", plan.tier));
+                    if let Some(reason) = &plan.vectorize_fallback {
+                        out.push_str(&format!("  vectorize-fallback: \"{reason}\""));
+                    }
+                    out.push('\n');
+                }
+            }
+            ExplainPlan::Fallback { reason } => {
+                out.push_str("  fallback: unoptimized iterator interpreter\n");
+                out.push_str(&format!("  reason: {reason}\n"));
+            }
+        }
+        out
+    }
+
+    /// The stable JSON form: fixed field order, no volatile fields
+    /// (compile time is excluded so equal plans serialize byte-equal).
+    pub fn to_json(&self) -> String {
+        match &self.plan {
+            ExplainPlan::Optimized {
+                quil,
+                engine,
+                instr_count,
+                loops,
+                vectorized_loops,
+                fused_loops,
+                batch_size,
+                result_ty,
+            } => {
+                let loops_json: Vec<String> = loops
+                    .iter()
+                    .map(|p| {
+                        let fallback = match &p.vectorize_fallback {
+                            Some(r) => format!("\"{}\"", json::escape(r)),
+                            None => "null".to_string(),
+                        };
+                        format!(
+                            "{{\"tier\": \"{}\", \"vectorize_fallback\": {fallback}}}",
+                            tier_name(p.tier)
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"query\": \"{}\", \"optimized\": true, \"quil\": \"{}\", \
+                     \"engine\": \"{engine}\", \"instr_count\": {instr_count}, \
+                     \"vectorized_loops\": {vectorized_loops}, \"fused_loops\": {fused_loops}, \
+                     \"batch_size\": {batch_size}, \"result_ty\": \"{}\", \"loops\": [{}]}}",
+                    json::escape(&self.query),
+                    json::escape(quil),
+                    json::escape(result_ty),
+                    loops_json.join(", ")
+                )
+            }
+            ExplainPlan::Fallback { reason } => format!(
+                "{{\"query\": \"{}\", \"optimized\": false, \"reason\": \"{}\"}}",
+                json::escape(&self.query),
+                json::escape(reason)
+            ),
+        }
+    }
+}
+
+fn tier_name(t: LoopTier) -> &'static str {
+    match t {
+        LoopTier::Vectorized => "vectorized",
+        LoopTier::Fused => "fused",
+        LoopTier::Scalar => "scalar",
+    }
+}
+
+impl std::fmt::Display for Explain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_renders_reason_in_text_and_json() {
+        let e = Explain {
+            query: "xs.concat(ys)".to_string(),
+            plan: ExplainPlan::Fallback {
+                reason: "unsupported operator: Concat".to_string(),
+            },
+        };
+        assert!(!e.is_optimized());
+        let text = e.render();
+        assert!(text.contains("fallback: unoptimized iterator interpreter"));
+        assert!(text.contains("unsupported operator: Concat"));
+        let v = steno_obs::json::parse(&e.to_json()).unwrap();
+        assert_eq!(v.get("optimized").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            v.get("reason").unwrap().as_str(),
+            Some("unsupported operator: Concat")
+        );
+    }
+
+    #[test]
+    fn optimized_plan_json_round_trips_loop_tiers() {
+        let e = Explain {
+            query: "q".to_string(),
+            plan: ExplainPlan::Optimized {
+                quil: "Src Agg[Sum] Ret".to_string(),
+                engine: EngineKind::Vectorized,
+                instr_count: 7,
+                loops: vec![
+                    LoopPlan {
+                        tier: LoopTier::Vectorized,
+                        vectorize_fallback: None,
+                    },
+                    LoopPlan {
+                        tier: LoopTier::Scalar,
+                        vectorize_fallback: Some("loop is \"weird\"".to_string()),
+                    },
+                ],
+                vectorized_loops: 1,
+                fused_loops: 0,
+                batch_size: 1024,
+                result_ty: "f64".to_string(),
+            },
+        };
+        let v = steno_obs::json::parse(&e.to_json()).unwrap();
+        let loops = v.get("loops").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(loops[0].get("tier").unwrap().as_str(), Some("vectorized"));
+        assert_eq!(
+            loops[1].get("vectorize_fallback").unwrap().as_str(),
+            Some("loop is \"weird\"")
+        );
+        let text = e.render();
+        assert!(text.contains("loop 0: tier=vectorized"), "{text}");
+        assert!(
+            text.contains("loop 1: tier=scalar  vectorize-fallback: \"loop is \"weird\"\""),
+            "{text}"
+        );
+    }
+}

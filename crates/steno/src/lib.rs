@@ -45,28 +45,41 @@
 //! # Ok::<(), steno::StenoError>(())
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod engine;
+pub mod explain;
 pub mod rt;
 
 pub use engine::{ExecutionPath, Steno, StenoError};
+pub use explain::{Explain, ExplainPlan};
 pub use steno_macros::steno;
 
 /// The commonly-used types, in one import.
 pub mod prelude {
     pub use crate::engine::{ExecutionPath, Steno, StenoError};
+    pub use crate::explain::{Explain, ExplainPlan};
     pub use steno_cluster::{
         ClusterSpec, DistError, DistributedCollection, FaultPlan, JobReport, RetryPolicy,
         RuntimeConfig, SpeculationPolicy, VertexEngine,
     };
     pub use steno_expr::{Column, DataContext, Expr, Ty, UdfRegistry, Value};
     pub use steno_linq::Enumerable;
+    pub use steno_obs::{Collector, MemoryCollector, MetricsSnapshot, NoopCollector};
     pub use steno_query::{GroupResult, Query, QueryExpr};
     pub use steno_macros::steno;
-    pub use steno_vm::{EngineKind, StenoOptions, VectorizationPolicy};
+    pub use steno_vm::{
+        CompiledQuery, EngineKind, LoopPlan, LoopTier, QueryProfile, StenoOptions,
+        VectorizationPolicy,
+    };
 }
 
 // Re-export the component crates for direct access.
 pub use steno_cluster as cluster;
+pub use steno_obs as obs;
 pub use steno_codegen as codegen;
 pub use steno_expr as expr;
 pub use steno_linq as linq;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_specialization-7f121e5634c16583.d: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_specialization-7f121e5634c16583.rmeta: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+crates/bench/benches/ablation_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_even-c22274f2081b03f0.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/debug/deps/break_even-c22274f2081b03f0: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_fault_injection-9c970623d40bf4ac.d: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+/root/repo/target/debug/deps/cluster_fault_injection-9c970623d40bf4ac: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+crates/steno-cluster/tests/cluster_fault_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-edc8a30e0d19fda0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-edc8a30e0d19fda0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

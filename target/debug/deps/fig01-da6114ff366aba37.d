@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-da6114ff366aba37.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-da6114ff366aba37: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

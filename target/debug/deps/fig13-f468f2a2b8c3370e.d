@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f468f2a2b8c3370e.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f468f2a2b8c3370e: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_micro-8dab16af711f8c31.d: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_micro-8dab16af711f8c31.rmeta: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+crates/bench/benches/fig13_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

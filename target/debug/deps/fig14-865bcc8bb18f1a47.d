@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-865bcc8bb18f1a47.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-865bcc8bb18f1a47: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

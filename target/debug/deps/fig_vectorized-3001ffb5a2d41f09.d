@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_vectorized-3001ffb5a2d41f09.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/debug/deps/fig_vectorized-3001ffb5a2d41f09: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

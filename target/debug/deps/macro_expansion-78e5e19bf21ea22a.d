@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_expansion-78e5e19bf21ea22a.d: tests/macro_expansion.rs
+
+/root/repo/target/debug/deps/macro_expansion-78e5e19bf21ea22a: tests/macro_expansion.rs
+
+tests/macro_expansion.rs:

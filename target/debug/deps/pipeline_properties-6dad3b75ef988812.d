@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-6dad3b75ef988812.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-6dad3b75ef988812: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

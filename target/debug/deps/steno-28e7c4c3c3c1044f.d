@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno-28e7c4c3c3c1044f.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/steno-28e7c4c3c3c1044f: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:

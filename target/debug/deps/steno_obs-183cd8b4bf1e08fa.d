@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/steno_obs-183cd8b4bf1e08fa.d: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_obs-183cd8b4bf1e08fa.rmeta: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs Cargo.toml
+
+crates/steno-obs/src/lib.rs:
+crates/steno-obs/src/json.rs:
+crates/steno-obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

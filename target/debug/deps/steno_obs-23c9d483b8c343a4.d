@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/steno_obs-23c9d483b8c343a4.d: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+/root/repo/target/debug/deps/steno_obs-23c9d483b8c343a4: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+crates/steno-obs/src/lib.rs:
+crates/steno-obs/src/json.rs:
+crates/steno-obs/src/metrics.rs:

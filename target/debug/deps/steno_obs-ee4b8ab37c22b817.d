@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_obs-ee4b8ab37c22b817.d: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libsteno_obs-ee4b8ab37c22b817.rlib: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libsteno_obs-ee4b8ab37c22b817.rmeta: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+crates/steno-obs/src/lib.rs:
+crates/steno-obs/src/json.rs:
+crates/steno-obs/src/metrics.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/steno_repro-808308934500d0fc.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/steno_repro-808308934500d0fc: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-d08fb9163eb709b0.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-d08fb9163eb709b0.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-d08fb9163eb709b0.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/steno_vm-7f733a37385e8aa8.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/debug/deps/steno_vm-7f733a37385e8aa8.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
-/root/repo/target/debug/deps/steno_vm-7f733a37385e8aa8: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/debug/deps/steno_vm-7f733a37385e8aa8: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
 crates/steno-vm/src/lib.rs:
 crates/steno-vm/src/batch.rs:
@@ -10,5 +10,6 @@ crates/steno-vm/src/exec.rs:
 crates/steno-vm/src/instr.rs:
 crates/steno-vm/src/kernels.rs:
 crates/steno-vm/src/prepared.rs:
+crates/steno-vm/src/profile.rs:
 crates/steno-vm/src/query.rs:
 crates/steno-vm/src/sink.rs:

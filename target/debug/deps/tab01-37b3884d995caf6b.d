@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01-37b3884d995caf6b.d: crates/bench/src/bin/tab01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01-37b3884d995caf6b.rmeta: crates/bench/src/bin/tab01.rs Cargo.toml
+
+crates/bench/src/bin/tab01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

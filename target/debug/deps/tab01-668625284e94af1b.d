@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01-668625284e94af1b.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/debug/deps/tab01-668625284e94af1b: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

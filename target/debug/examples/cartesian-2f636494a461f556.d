@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cartesian-2f636494a461f556.d: examples/cartesian.rs
+
+/root/repo/target/debug/examples/cartesian-2f636494a461f556: examples/cartesian.rs
+
+examples/cartesian.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cartesian-9b6b8fe7aa92f31c.d: examples/cartesian.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcartesian-9b6b8fe7aa92f31c.rmeta: examples/cartesian.rs Cargo.toml
+
+examples/cartesian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_tour-59d1feb1ef6e432a.d: examples/codegen_tour.rs
+
+/root/repo/target/debug/examples/codegen_tour-59d1feb1ef6e432a: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_kmeans-aef77b4b0c2d1942.d: examples/distributed_kmeans.rs
+
+/root/repo/target/debug/examples/distributed_kmeans-aef77b4b0c2d1942: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_profile-ed169de009b6db3e.d: examples/explain_profile.rs
+
+/root/repo/target/debug/examples/explain_profile-ed169de009b6db3e: examples/explain_profile.rs
+
+examples/explain_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-76af537a096f5dfa.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-76af537a096f5dfa: examples/histogram.rs
+
+examples/histogram.rs:

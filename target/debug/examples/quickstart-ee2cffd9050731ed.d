@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ee2cffd9050731ed.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ee2cffd9050731ed: examples/quickstart.rs
+
+examples/quickstart.rs:

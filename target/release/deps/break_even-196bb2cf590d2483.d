@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/break_even-196bb2cf590d2483.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/release/deps/break_even-196bb2cf590d2483: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

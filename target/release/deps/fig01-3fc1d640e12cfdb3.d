@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01-3fc1d640e12cfdb3.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/release/deps/fig01-3fc1d640e12cfdb3: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-24a598a81ca7b257.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-24a598a81ca7b257: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-3a7032d7521c069e.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-3a7032d7521c069e: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_vectorized-7cc68f5c6f29585e.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/release/deps/fig_vectorized-7cc68f5c6f29585e: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/steno_obs-6e7a3eff20e6e2b1.d: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+/root/repo/target/release/deps/libsteno_obs-6e7a3eff20e6e2b1.rlib: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+/root/repo/target/release/deps/libsteno_obs-6e7a3eff20e6e2b1.rmeta: crates/steno-obs/src/lib.rs crates/steno-obs/src/json.rs crates/steno-obs/src/metrics.rs
+
+crates/steno-obs/src/lib.rs:
+crates/steno-obs/src/json.rs:
+crates/steno-obs/src/metrics.rs:

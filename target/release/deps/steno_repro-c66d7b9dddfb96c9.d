@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/steno_repro-c66d7b9dddfb96c9.d: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-c66d7b9dddfb96c9.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-c66d7b9dddfb96c9.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

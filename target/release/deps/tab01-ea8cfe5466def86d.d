@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01-ea8cfe5466def86d.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/release/deps/tab01-ea8cfe5466def86d: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__probe_fallback-67ca55c09de73766.d: examples/__probe_fallback.rs
+
+/root/repo/target/release/examples/__probe_fallback-67ca55c09de73766: examples/__probe_fallback.rs
+
+examples/__probe_fallback.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_kmeans-0139b7367e7c5a36.d: examples/distributed_kmeans.rs
+
+/root/repo/target/release/examples/distributed_kmeans-0139b7367e7c5a36: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

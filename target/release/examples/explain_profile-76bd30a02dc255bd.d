@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explain_profile-76bd30a02dc255bd.d: examples/explain_profile.rs
+
+/root/repo/target/release/examples/explain_profile-76bd30a02dc255bd: examples/explain_profile.rs
+
+examples/explain_profile.rs:

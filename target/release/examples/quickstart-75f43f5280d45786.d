@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-75f43f5280d45786.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-75f43f5280d45786: examples/quickstart.rs
+
+examples/quickstart.rs:
