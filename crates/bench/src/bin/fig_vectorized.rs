@@ -263,6 +263,82 @@ fn int_even_squares(records: &mut Vec<BenchRecord>) {
     report("int_mult3_sumsq", n, rows, records);
 }
 
+/// Guarded division under a conditional: the Collatz step
+/// `if x % 2 == 0 { x / 2 } else { 3x + 1 }`. Before range analysis the
+/// vectorizer refused this loop outright ("trapping op under a
+/// conditional branch"), so its batch-tier time *was* the vm_scalar
+/// row; the interval proof that both divisors exclude zero drops the
+/// per-lane guards and admits it to the batch tier.
+fn guarded_div_collatz(records: &mut Vec<BenchRecord>) {
+    let n = scaled(1_000_000);
+    let data: Vec<i64> = (1..=n as i64).collect();
+    let ctx = DataContext::new().with_source("ns", data.clone());
+    let udfs = UdfRegistry::new();
+    let x = || Expr::var("x");
+    let q = Query::source("ns")
+        .select(
+            Expr::if_(
+                (x() % Expr::liti(2)).eq(Expr::liti(0)),
+                x() / Expr::liti(2),
+                Expr::liti(3) * x() + Expr::liti(1),
+            ),
+            "x",
+        )
+        .sum_by(Expr::var("y"), "y")
+        .build();
+    let (scalar, fused, vectorized) = compile_tiers(&q, &ctx, &udfs);
+    assert!(
+        vectorized.guards_dropped() >= 2,
+        "range analysis must drop both the % 2 and / 2 guards: {}",
+        vectorized.guards_dropped()
+    );
+
+    let expect = {
+        let mut s = 0i64;
+        for &x in &data {
+            s = s.wrapping_add(if x % 2 == 0 {
+                x / 2
+            } else {
+                3i64.wrapping_mul(x).wrapping_add(1)
+            });
+        }
+        s
+    };
+    for c in [&scalar, &fused, &vectorized] {
+        assert_eq!(c.run(&ctx, &udfs).expect("run"), Value::I64(expect));
+    }
+
+    let rows = vec![
+        Row {
+            engine: "vm_scalar",
+            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_fused",
+            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "vm_vectorized",
+            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+        },
+        Row {
+            engine: "hand",
+            median: median_time(SAMPLES, || {
+                let mut s = 0i64;
+                for &x in &data {
+                    s = s.wrapping_add(if x % 2 == 0 {
+                        x / 2
+                    } else {
+                        3i64.wrapping_mul(x).wrapping_add(1)
+                    });
+                }
+                s
+            }),
+        },
+    ];
+    report("guarded_div_collatz", n, rows, records);
+}
+
 /// One observed run of the acceptance workload through the facade with
 /// a live collector: prints the per-query profile and the metrics
 /// snapshot, and proves the snapshot JSON parses back.
@@ -300,6 +376,7 @@ fn main() {
     sum_of_squares(&mut records);
     filtered_sum(&mut records);
     int_even_squares(&mut records);
+    guarded_div_collatz(&mut records);
     profiled_acceptance_run();
 
     let path = std::env::var("BENCH_VM_JSON").unwrap_or_else(|_| "BENCH_vm.json".to_string());

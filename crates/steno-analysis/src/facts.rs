@@ -1,0 +1,1020 @@
+//! Effect & totality analysis over expression trees.
+//!
+//! A bottom-up abstract interpreter computing, per expression: purity,
+//! may-trap flags (integer division by zero, row index out of bounds,
+//! cast failure), an integer interval range, and boolean constancy. The
+//! facts respect the reference semantics in `steno_expr::eval`: i64
+//! arithmetic wraps (so interval propagation bails to ⊤ on overflow),
+//! `&&`/`||` short-circuit, and f64 division follows IEEE (never traps).
+//!
+//! The analysis is deliberately trap-sound rather than complete: it may
+//! report that a total expression could trap, but it must never report
+//! [`ExprFacts::never_traps`] for an expression whose concrete
+//! evaluation can fail. The seeded-generator tests in this crate check
+//! exactly that property against the reference evaluator.
+
+use std::collections::HashMap;
+
+use steno_expr::typecheck::TyEnv;
+use steno_expr::{BinOp, Expr, Ty, UnOp};
+
+/// A (possibly half-open) interval of `i64` values; `None` bounds mean
+/// unbounded. `Interval::top()` is the lattice top: no information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound, or unbounded below.
+    pub lo: Option<i64>,
+    /// Inclusive upper bound, or unbounded above.
+    pub hi: Option<i64>,
+}
+
+impl Interval {
+    /// The unbounded interval.
+    pub fn top() -> Interval {
+        Interval { lo: None, hi: None }
+    }
+
+    /// The singleton interval `[n, n]`.
+    pub fn exact(n: i64) -> Interval {
+        Interval {
+            lo: Some(n),
+            hi: Some(n),
+        }
+    }
+
+    /// The interval `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        Interval {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// The single value, if the interval is a singleton.
+    pub fn singleton(&self) -> Option<i64> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// `true` when `0` may lie in the interval.
+    pub fn contains_zero(&self) -> bool {
+        self.lo.is_none_or(|l| l <= 0) && self.hi.is_none_or(|h| h >= 0)
+    }
+
+    /// `true` when the interval provably excludes `0` — the fact that
+    /// licenses dropping a division-by-zero guard.
+    pub fn excludes_zero(&self) -> bool {
+        !self.contains_zero()
+    }
+
+    /// `true` when `n` may lie in the interval.
+    pub fn contains(&self, n: i64) -> bool {
+        self.lo.is_none_or(|l| l <= n) && self.hi.is_none_or(|h| h >= n)
+    }
+
+    /// The smallest interval containing both operands.
+    pub fn union(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).map(|(a, b)| a.min(b)),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.max(b)),
+        }
+    }
+
+    /// The intersection, or `None` if the intervals are disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = match (self.lo, other.lo) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let hi = match (self.hi, other.hi) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let (Some(l), Some(h)) = (lo, hi) {
+            if l > h {
+                return None;
+            }
+        }
+        Some(Interval { lo, hi })
+    }
+
+    fn add(&self, other: &Interval) -> Interval {
+        // Wrapping semantics: a sum can only be bounded when both inputs
+        // are fully bounded and neither corner overflows — a wrap on one
+        // side would jump past the bound on the other.
+        match (
+            self.lo.zip(other.lo).and_then(|(a, b)| a.checked_add(b)),
+            self.hi.zip(other.hi).and_then(|(a, b)| a.checked_add(b)),
+        ) {
+            (Some(lo), Some(hi)) => Interval::new(lo, hi),
+            _ => Interval::top(),
+        }
+    }
+
+    fn sub(&self, other: &Interval) -> Interval {
+        match (
+            self.lo.zip(other.hi).and_then(|(a, b)| a.checked_sub(b)),
+            self.hi.zip(other.lo).and_then(|(a, b)| a.checked_sub(b)),
+        ) {
+            (Some(lo), Some(hi)) => Interval::new(lo, hi),
+            _ => Interval::top(),
+        }
+    }
+
+    fn mul(&self, other: &Interval) -> Interval {
+        let (Some(al), Some(ah), Some(bl), Some(bh)) = (self.lo, self.hi, other.lo, other.hi)
+        else {
+            return Interval::top();
+        };
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for a in [al, ah] {
+            for b in [bl, bh] {
+                match a.checked_mul(b) {
+                    Some(p) => {
+                        lo = lo.min(p);
+                        hi = hi.max(p);
+                    }
+                    None => return Interval::top(),
+                }
+            }
+        }
+        Interval::new(lo, hi)
+    }
+
+    fn neg(&self) -> Interval {
+        // `-i64::MIN` wraps back to `i64::MIN`, outside any bounded
+        // negation, so an overflowing corner poisons the whole result.
+        match (
+            self.hi.and_then(i64::checked_neg),
+            self.lo.and_then(i64::checked_neg),
+        ) {
+            (Some(lo), Some(hi)) => Interval::new(lo, hi),
+            _ => Interval::top(),
+        }
+    }
+
+    fn abs(&self) -> Interval {
+        // `abs(i64::MIN)` wraps back to `i64::MIN`, so any bound whose
+        // magnitude overflows poisons the result to ⊤ (not `[0, ∞)`).
+        let mag = |n: i64| n.checked_abs();
+        match (self.lo, self.hi) {
+            (Some(l), Some(h)) if l >= 0 => Interval::new(l, h),
+            (Some(l), Some(h)) if h <= 0 => match (mag(h), mag(l)) {
+                (Some(lo), Some(hi)) => Interval::new(lo, hi),
+                _ => Interval::top(),
+            },
+            (Some(l), Some(h)) => match (mag(l), mag(h)) {
+                (Some(a), Some(b)) => Interval::new(0, a.max(b)),
+                _ => Interval::top(),
+            },
+            _ => Interval::top(),
+        }
+    }
+
+    /// `a % b` under wrapping semantics, assuming `b` excludes zero: the
+    /// result magnitude is strictly below `max(|b.lo|, |b.hi|)`, and the
+    /// sign follows the dividend.
+    fn rem(&self, divisor: &Interval) -> Interval {
+        let (Some(bl), Some(bh)) = (divisor.lo, divisor.hi) else {
+            return Interval::top();
+        };
+        let (Some(ma), Some(mb)) = (bl.checked_abs(), bh.checked_abs()) else {
+            return Interval::top();
+        };
+        let k = ma.max(mb);
+        if k == 0 {
+            // Degenerate divisor [0,0]: the operation always traps; any
+            // interval is vacuously sound.
+            return Interval::top();
+        }
+        let mut out = Interval::new(-(k - 1), k - 1);
+        if self.lo.is_some_and(|l| l >= 0) {
+            out.lo = Some(0);
+        }
+        if self.hi.is_some_and(|h| h <= 0) {
+            out.hi = Some(0);
+        }
+        out
+    }
+
+    /// `a / b` under wrapping semantics, assuming `b` excludes zero: with
+    /// `|b| >= 1` the quotient magnitude never exceeds the dividend's.
+    fn div(&self, _divisor: &Interval) -> Interval {
+        let (Some(al), Some(ah)) = (self.lo, self.hi) else {
+            return Interval::top();
+        };
+        let (Some(ma), Some(mb)) = (al.checked_abs(), ah.checked_abs()) else {
+            return Interval::top();
+        };
+        let k = ma.max(mb);
+        Interval::new(-k, k)
+    }
+
+    fn min_op(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.zip(other.lo).map(|(a, b)| a.min(b)),
+            hi: match (self.hi, other.hi) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            },
+        }
+    }
+
+    fn max_op(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: match (self.lo, other.lo) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            },
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.max(b)),
+        }
+    }
+
+}
+
+/// Which run-time failures an expression may exhibit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traps {
+    /// Integer `/` or `%` whose divisor may be zero.
+    pub div_by_zero: bool,
+    /// `row[i]` whose index is not provably in bounds.
+    pub index_oob: bool,
+    /// A cast that may fail at run time. The current expression language
+    /// only casts between `f64` and `i64` with saturating `as` semantics,
+    /// so this flag is never set today; it exists so the lattice stays
+    /// complete if a fallible cast is ever added.
+    pub bad_cast: bool,
+}
+
+impl Traps {
+    fn none() -> Traps {
+        Traps::default()
+    }
+
+    fn join(self, other: Traps) -> Traps {
+        Traps {
+            div_by_zero: self.div_by_zero || other.div_by_zero,
+            index_oob: self.index_oob || other.index_oob,
+            bad_cast: self.bad_cast || other.bad_cast,
+        }
+    }
+
+    /// `true` when any trap flag is set.
+    pub fn any(self) -> bool {
+        self.div_by_zero || self.index_oob || self.bad_cast
+    }
+}
+
+/// The per-expression facts computed by [`analyze`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExprFacts {
+    /// `false` when the expression calls a user-defined function, which
+    /// the analysis cannot see into.
+    pub pure: bool,
+    /// May-trap flags, sound with respect to the reference evaluator.
+    pub traps: Traps,
+    /// For `i64`-typed expressions: an interval containing every possible
+    /// value. `None` means no information (or a non-`i64` type).
+    pub range: Option<Interval>,
+    /// For `bool`-typed expressions: the constant value, if the
+    /// expression provably always evaluates to it.
+    pub bool_const: Option<bool>,
+}
+
+impl ExprFacts {
+    fn unknown() -> ExprFacts {
+        ExprFacts {
+            pure: true,
+            traps: Traps::none(),
+            range: None,
+            bool_const: None,
+        }
+    }
+
+    /// `true` when the expression provably cannot trap.
+    pub fn never_traps(&self) -> bool {
+        !self.traps.any()
+    }
+
+    /// `true` when the expression may trap at run time.
+    pub fn may_trap(&self) -> bool {
+        self.traps.any()
+    }
+}
+
+/// Variable refinements gathered from dominating conditions (`len > 0`
+/// guarding a division, `x != 0`, …).
+#[derive(Clone, Debug, Default)]
+struct Ctx {
+    ranges: HashMap<String, Interval>,
+}
+
+impl Ctx {
+    fn refined(&self, name: &str, iv: Interval) -> Ctx {
+        let mut next = self.clone();
+        let merged = match next.ranges.get(name) {
+            Some(prev) => prev.intersect(&iv).unwrap_or(iv),
+            None => iv,
+        };
+        next.ranges.insert(name.to_string(), merged);
+        next
+    }
+}
+
+/// Computes [`ExprFacts`] for `expr` under the typing environment `env`.
+///
+/// The environment supplies variable types only; variable *values* are
+/// unknown (⊤), so ranges arise from literals and operator algebra (for
+/// example `x % 16` lies in `[-15, 15]`, and `x % 16 + 20` therefore
+/// provably excludes zero). Conditions refine variables inside `if`
+/// branches: in `if len > 0 { total / len } else { 0 }` the division
+/// cannot trap.
+pub fn analyze(expr: &Expr, env: &TyEnv) -> ExprFacts {
+    go(expr, env, &Ctx::default()).1
+}
+
+/// The scalar type of an expression, when the analysis can determine it.
+fn ty_of(expr: &Expr, env: &TyEnv) -> Option<Ty> {
+    go(expr, env, &Ctx::default()).0
+}
+
+fn go(expr: &Expr, env: &TyEnv, ctx: &Ctx) -> (Option<Ty>, ExprFacts) {
+    match expr {
+        Expr::Var(name) => {
+            let ty = env.lookup(name).cloned();
+            let mut facts = ExprFacts::unknown();
+            if ty == Some(Ty::I64) {
+                facts.range = ctx.ranges.get(name).copied();
+            }
+            (ty, facts)
+        }
+        Expr::LitF64(_) => (Some(Ty::F64), ExprFacts::unknown()),
+        Expr::LitI64(n) => (
+            Some(Ty::I64),
+            ExprFacts {
+                range: Some(Interval::exact(*n)),
+                ..ExprFacts::unknown()
+            },
+        ),
+        Expr::LitBool(b) => (
+            Some(Ty::Bool),
+            ExprFacts {
+                bool_const: Some(*b),
+                ..ExprFacts::unknown()
+            },
+        ),
+        Expr::Bin(op, a, b) => bin(*op, a, b, env, ctx),
+        Expr::Un(op, a) => {
+            let (ta, fa) = go(a, env, ctx);
+            // `abs(i64::MIN)` wraps back to `i64::MIN`, so abs of an
+            // unbounded input proves nothing, not even the sign.
+            let range = match (op, fa.range) {
+                (UnOp::Neg, Some(r)) => Some(r.neg()),
+                (UnOp::Abs, Some(r)) => Some(r.abs()),
+                _ => None,
+            };
+            let ty = match op {
+                UnOp::Neg | UnOp::Abs => ta,
+                UnOp::Not => Some(Ty::Bool),
+                UnOp::Sqrt | UnOp::Floor => Some(Ty::F64),
+            };
+            let bool_const = match op {
+                UnOp::Not => fa.bool_const.map(|b| !b),
+                _ => None,
+            };
+            (
+                ty,
+                ExprFacts {
+                    pure: fa.pure,
+                    traps: fa.traps,
+                    range,
+                    bool_const,
+                },
+            )
+        }
+        Expr::Call(_, args) => {
+            let mut traps = Traps::none();
+            for a in args {
+                traps = traps.join(go(a, env, ctx).1.traps);
+            }
+            // The callee is opaque: assume impure, learn nothing about the
+            // result. (Registered UDFs are native functions that return a
+            // `Value` rather than raising the evaluator's traps.)
+            (
+                None,
+                ExprFacts {
+                    pure: false,
+                    traps,
+                    range: None,
+                    bool_const: None,
+                },
+            )
+        }
+        Expr::Field(a, i) => {
+            let (ta, fa) = go(a, env, ctx);
+            let ty = match (ta, i) {
+                (Some(Ty::Pair(x, _)), 0) => Some(*x),
+                (Some(Ty::Pair(_, y)), 1) => Some(*y),
+                _ => None,
+            };
+            (
+                ty,
+                ExprFacts {
+                    pure: fa.pure,
+                    traps: fa.traps,
+                    range: None,
+                    bool_const: None,
+                },
+            )
+        }
+        Expr::RowIndex(a, i) => {
+            let (_, fa) = go(a, env, ctx);
+            let (_, fi) = go(i, env, ctx);
+            // Row lengths are not tracked, so indexing may always be out
+            // of bounds.
+            (
+                Some(Ty::F64),
+                ExprFacts {
+                    pure: fa.pure && fi.pure,
+                    traps: fa.traps.join(fi.traps).join(Traps {
+                        index_oob: true,
+                        ..Traps::none()
+                    }),
+                    range: None,
+                    bool_const: None,
+                },
+            )
+        }
+        Expr::RowLen(a) => {
+            let (_, fa) = go(a, env, ctx);
+            (
+                Some(Ty::I64),
+                ExprFacts {
+                    pure: fa.pure,
+                    traps: fa.traps,
+                    range: Some(Interval {
+                        lo: Some(0),
+                        hi: None,
+                    }),
+                    bool_const: None,
+                },
+            )
+        }
+        Expr::MkPair(a, b) => {
+            let (ta, fa) = go(a, env, ctx);
+            let (tb, fb) = go(b, env, ctx);
+            (
+                ta.zip(tb).map(|(x, y)| Ty::pair(x, y)),
+                ExprFacts {
+                    pure: fa.pure && fb.pure,
+                    traps: fa.traps.join(fb.traps),
+                    range: None,
+                    bool_const: None,
+                },
+            )
+        }
+        Expr::If(c, t, e) => {
+            let (_, fc) = go(c, env, ctx);
+            let then_ctx = refine(c, true, env, ctx);
+            let else_ctx = refine(c, false, env, ctx);
+            let (tt, ft) = go(t, env, &then_ctx);
+            let (te, fe) = go(e, env, &else_ctx);
+            let ty = tt.or(te);
+            match fc.bool_const {
+                // A constant condition selects one branch; the other is
+                // never evaluated.
+                Some(true) => (
+                    ty,
+                    ExprFacts {
+                        pure: fc.pure && ft.pure,
+                        traps: fc.traps.join(ft.traps),
+                        range: ft.range,
+                        bool_const: ft.bool_const,
+                    },
+                ),
+                Some(false) => (
+                    ty,
+                    ExprFacts {
+                        pure: fc.pure && fe.pure,
+                        traps: fc.traps.join(fe.traps),
+                        range: fe.range,
+                        bool_const: fe.bool_const,
+                    },
+                ),
+                None => (
+                    ty,
+                    ExprFacts {
+                        pure: fc.pure && ft.pure && fe.pure,
+                        traps: fc.traps.join(ft.traps).join(fe.traps),
+                        range: ft.range.zip(fe.range).map(|(a, b)| a.union(&b)),
+                        bool_const: match (ft.bool_const, fe.bool_const) {
+                            (Some(a), Some(b)) if a == b => Some(a),
+                            _ => None,
+                        },
+                    },
+                ),
+            }
+        }
+        Expr::Cast(ty, a) => {
+            let (_, fa) = go(a, env, ctx);
+            let range = match ty {
+                // i64 → i64 is the identity; f64 → i64 saturates, so no
+                // interval without float tracking.
+                Ty::I64 if ty_of(a, env) == Some(Ty::I64) => fa.range,
+                _ => None,
+            };
+            (
+                Some(ty.clone()),
+                ExprFacts {
+                    pure: fa.pure,
+                    traps: fa.traps,
+                    range,
+                    bool_const: None,
+                },
+            )
+        }
+    }
+}
+
+fn bin(op: BinOp, a: &Expr, b: &Expr, env: &TyEnv, ctx: &Ctx) -> (Option<Ty>, ExprFacts) {
+    if op.is_logical() {
+        let (_, fa) = go(a, env, ctx);
+        // The RHS only evaluates when the LHS does not short-circuit, and
+        // then the LHS outcome refines variables in the RHS (e.g.
+        // `x != 0 && k / x > 1`).
+        let rhs_ctx = refine(a, op == BinOp::And, env, ctx);
+        let (_, fb) = go(b, env, &rhs_ctx);
+        let (decides, decided) = match op {
+            BinOp::And => (fa.bool_const == Some(false), Some(false)),
+            BinOp::Or => (fa.bool_const == Some(true), Some(true)),
+            _ => unreachable!("logical operator expected"),
+        };
+        let facts = if decides {
+            ExprFacts {
+                pure: fa.pure,
+                traps: fa.traps,
+                range: None,
+                bool_const: decided,
+            }
+        } else {
+            let bool_const = match (op, fa.bool_const, fb.bool_const) {
+                (BinOp::And, Some(true), r) => r,
+                (BinOp::Or, Some(false), r) => r,
+                (BinOp::And, None, Some(false)) | (BinOp::Or, None, Some(true)) => {
+                    // Can't decide: the LHS value is the result when it
+                    // short-circuits.
+                    None
+                }
+                (BinOp::And, None, Some(true)) | (BinOp::Or, None, Some(false)) => None,
+                _ => None,
+            };
+            ExprFacts {
+                pure: fa.pure && fb.pure,
+                traps: fa.traps.join(fb.traps),
+                range: None,
+                bool_const,
+            }
+        };
+        return (Some(Ty::Bool), facts);
+    }
+
+    let (ta, fa) = go(a, env, ctx);
+    let (tb, fb) = go(b, env, ctx);
+    let pure = fa.pure && fb.pure;
+    let mut traps = fa.traps.join(fb.traps);
+
+    if op.is_comparison() {
+        let bool_const = compare_intervals(op, fa.range, fb.range);
+        return (
+            Some(Ty::Bool),
+            ExprFacts {
+                pure,
+                traps,
+                range: None,
+                bool_const,
+            },
+        );
+    }
+
+    // Arithmetic. Integer division/remainder traps unless the divisor
+    // interval excludes zero; all other arithmetic is total (i64 wraps,
+    // f64 follows IEEE).
+    let int_operands = ta == Some(Ty::I64) || tb == Some(Ty::I64);
+    let unknown_operands = ta.is_none() && tb.is_none();
+    let range = if int_operands {
+        match op {
+            BinOp::Add => fa.range.zip(fb.range).map(|(x, y)| x.add(&y)),
+            BinOp::Sub => fa.range.zip(fb.range).map(|(x, y)| x.sub(&y)),
+            BinOp::Mul => fa.range.zip(fb.range).map(|(x, y)| x.mul(&y)),
+            BinOp::Min => fa.range.zip(fb.range).map(|(x, y)| x.min_op(&y)),
+            BinOp::Max => fa.range.zip(fb.range).map(|(x, y)| x.max_op(&y)),
+            BinOp::Rem => fb
+                .range
+                .filter(Interval::excludes_zero)
+                .map(|d| fa.range.unwrap_or_else(Interval::top).rem(&d)),
+            BinOp::Div => fb
+                .range
+                .filter(Interval::excludes_zero)
+                .map(|d| fa.range.unwrap_or_else(Interval::top).div(&d)),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    if matches!(op, BinOp::Div | BinOp::Rem) && (int_operands || unknown_operands) {
+        let divisor_safe = fb.range.is_some_and(|d| d.excludes_zero());
+        if !divisor_safe {
+            traps.div_by_zero = true;
+        }
+    }
+    (
+        ta.or(tb),
+        ExprFacts {
+            pure,
+            traps,
+            range,
+            bool_const: None,
+        },
+    )
+}
+
+fn compare_intervals(op: BinOp, a: Option<Interval>, b: Option<Interval>) -> Option<bool> {
+    let (a, b) = (a?, b?);
+    let (al, ah, bl, bh) = (a.lo, a.hi, b.lo, b.hi);
+    let lt_always = ah.zip(bl).map(|(x, y)| x < y);
+    let le_always = ah.zip(bl).map(|(x, y)| x <= y);
+    let gt_always = al.zip(bh).map(|(x, y)| x > y);
+    let ge_always = al.zip(bh).map(|(x, y)| x >= y);
+    match op {
+        BinOp::Lt => pick(lt_always, ge_always),
+        BinOp::Le => pick(le_always, gt_always),
+        BinOp::Gt => pick(gt_always, le_always),
+        BinOp::Ge => pick(ge_always, lt_always),
+        BinOp::Eq => match (a.singleton(), b.singleton()) {
+            (Some(x), Some(y)) => Some(x == y),
+            _ if a.intersect(&b).is_none() => Some(false),
+            _ => None,
+        },
+        BinOp::Ne => match (a.singleton(), b.singleton()) {
+            (Some(x), Some(y)) => Some(x != y),
+            _ if a.intersect(&b).is_none() => Some(true),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn pick(always: Option<bool>, never_via: Option<bool>) -> Option<bool> {
+    if always == Some(true) {
+        Some(true)
+    } else if never_via == Some(true) {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Refines variable ranges from a branch condition. `positive` selects
+/// whether the condition is assumed true (then-branch, `&&` RHS) or
+/// false (else-branch).
+fn refine(cond: &Expr, positive: bool, env: &TyEnv, ctx: &Ctx) -> Ctx {
+    match cond {
+        Expr::Un(UnOp::Not, inner) => refine(inner, !positive, env, ctx),
+        Expr::Bin(BinOp::And, a, b) if positive => {
+            let ctx = refine(a, true, env, ctx);
+            refine(b, true, env, &ctx)
+        }
+        Expr::Bin(BinOp::Or, a, b) if !positive => {
+            // ¬(a ∨ b) = ¬a ∧ ¬b.
+            let ctx = refine(a, false, env, ctx);
+            refine(b, false, env, &ctx)
+        }
+        Expr::Bin(op, a, b) if op.is_comparison() => {
+            let eff = if positive { *op } else { negate_cmp(*op) };
+            match (&**a, &**b) {
+                (Expr::Var(x), Expr::LitI64(n)) if env.lookup(x) == Some(&Ty::I64) => {
+                    var_bound(ctx, x, eff, *n)
+                }
+                (Expr::LitI64(n), Expr::Var(x)) if env.lookup(x) == Some(&Ty::I64) => {
+                    var_bound(ctx, x, flip_cmp(eff), *n)
+                }
+                _ => ctx.clone(),
+            }
+        }
+        _ => ctx.clone(),
+    }
+}
+
+fn negate_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Eq => BinOp::Ne,
+        BinOp::Ne => BinOp::Eq,
+        BinOp::Lt => BinOp::Ge,
+        BinOp::Le => BinOp::Gt,
+        BinOp::Gt => BinOp::Le,
+        BinOp::Ge => BinOp::Lt,
+        other => other,
+    }
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Applies `x <op> n` as a range refinement for `x`.
+fn var_bound(ctx: &Ctx, x: &str, op: BinOp, n: i64) -> Ctx {
+    let iv = match op {
+        BinOp::Eq => Interval::exact(n),
+        BinOp::Lt => match n.checked_sub(1) {
+            Some(h) => Interval {
+                lo: None,
+                hi: Some(h),
+            },
+            None => return ctx.clone(),
+        },
+        BinOp::Le => Interval {
+            lo: None,
+            hi: Some(n),
+        },
+        BinOp::Gt => match n.checked_add(1) {
+            Some(l) => Interval {
+                lo: Some(l),
+                hi: None,
+            },
+            None => return ctx.clone(),
+        },
+        BinOp::Ge => Interval {
+            lo: Some(n),
+            hi: None,
+        },
+        // `x != n` excludes a point, which an interval can only express
+        // at the ends.
+        BinOp::Ne => {
+            let prev = ctx
+                .ranges
+                .get(x)
+                .copied()
+                .unwrap_or_else(Interval::top);
+            let mut next = prev;
+            if prev.lo == Some(n) {
+                match n.checked_add(1) {
+                    Some(l) => next.lo = Some(l),
+                    None => return ctx.clone(),
+                }
+            }
+            if prev.hi == Some(n) {
+                match n.checked_sub(1) {
+                    Some(h) => next.hi = Some(h),
+                    None => return ctx.clone(),
+                }
+            }
+            // The common guard `x != 0` with no prior bound still proves
+            // nothing interval-shaped unless we split; approximate the
+            // zero case as "nonzero ⇒ magnitude ≥ 1" only when one side
+            // is already bounded by 0.
+            if next == prev && n == 0 {
+                if prev.lo.is_some_and(|l| l >= 0) {
+                    next.lo = Some(prev.lo.unwrap_or(0).max(1));
+                } else if prev.hi.is_some_and(|h| h <= 0) {
+                    next.hi = Some(prev.hi.unwrap_or(0).min(-1));
+                }
+            }
+            return ctx.refined(x, next);
+        }
+        _ => return ctx.clone(),
+    };
+    ctx.refined(x, iv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::eval::{eval, Env};
+    use steno_expr::{UdfRegistry, Value};
+
+    fn env_i(name: &str) -> TyEnv {
+        TyEnv::new().with(name, Ty::I64)
+    }
+
+    #[test]
+    fn literal_and_modulo_ranges() {
+        let f = analyze(&Expr::liti(7), &TyEnv::new());
+        assert_eq!(f.range, Some(Interval::exact(7)));
+        // x % 16 ∈ [-15, 15] for unknown x.
+        let f = analyze(&(Expr::var("x") % Expr::liti(16)), &env_i("x"));
+        assert_eq!(f.range, Some(Interval::new(-15, 15)));
+        assert!(f.never_traps());
+    }
+
+    #[test]
+    fn shifted_modulo_excludes_zero() {
+        // x % 7 + 9 ∈ [3, 15]: a provably nonzero divisor.
+        let d = Expr::var("x") % Expr::liti(7) + Expr::liti(9);
+        let f = analyze(&d, &env_i("x"));
+        assert_eq!(f.range, Some(Interval::new(3, 15)));
+        assert!(f.range.unwrap().excludes_zero());
+        // Dividing by it therefore cannot trap.
+        let q = Expr::var("y") / d;
+        let env = env_i("x").with("y", Ty::I64);
+        assert!(analyze(&q, &env).never_traps());
+    }
+
+    #[test]
+    fn unknown_divisor_may_trap() {
+        let q = Expr::var("y") / Expr::var("x");
+        let env = env_i("x").with("y", Ty::I64);
+        let f = analyze(&q, &env);
+        assert!(f.traps.div_by_zero);
+        // A literal nonzero divisor is safe; literal zero is not.
+        assert!(analyze(&(Expr::var("y") / Expr::liti(2)), &env).never_traps());
+        assert!(analyze(&(Expr::var("y") / Expr::liti(0)), &env).traps.div_by_zero);
+    }
+
+    #[test]
+    fn float_division_never_traps() {
+        let env = TyEnv::new().with("x", Ty::F64);
+        let f = analyze(&(Expr::var("x") / Expr::litf(0.0)), &env);
+        assert!(f.never_traps());
+    }
+
+    #[test]
+    fn guard_dominates_division() {
+        // if len > 0 { total / len } else { 0 }: the division is guarded.
+        let e = Expr::if_(
+            Expr::var("len").gt(Expr::liti(0)),
+            Expr::var("total") / Expr::var("len"),
+            Expr::liti(0),
+        );
+        let env = env_i("len").with("total", Ty::I64);
+        assert!(analyze(&e, &env).never_traps());
+        // Without the guard the same division may trap.
+        let bare = Expr::var("total") / Expr::var("len");
+        assert!(analyze(&bare, &env).traps.div_by_zero);
+    }
+
+    #[test]
+    fn short_circuit_guards_rhs() {
+        // x != 0 is not interval-expressible for unknown x, but x > 0 is.
+        let e = Expr::var("x")
+            .gt(Expr::liti(0))
+            .and((Expr::liti(100) / Expr::var("x") % Expr::liti(3)).eq(Expr::liti(0)));
+        let f = analyze(&e, &env_i("x"));
+        assert!(f.never_traps());
+    }
+
+    #[test]
+    fn constant_predicates_fold() {
+        // x % 4 < 10 is always true.
+        let e = (Expr::var("x") % Expr::liti(4)).lt(Expr::liti(10));
+        assert_eq!(analyze(&e, &env_i("x")).bool_const, Some(true));
+        // x % 4 > 10 is always false.
+        let e = (Expr::var("x") % Expr::liti(4)).gt(Expr::liti(10));
+        assert_eq!(analyze(&e, &env_i("x")).bool_const, Some(false));
+        // Plain literals fold through logic.
+        let e = Expr::litb(true).and(Expr::litb(false));
+        assert_eq!(analyze(&e, &TyEnv::new()).bool_const, Some(false));
+        // Data-dependent predicates don't.
+        let e = (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0));
+        assert_eq!(analyze(&e, &env_i("x")).bool_const, None);
+    }
+
+    #[test]
+    fn udf_calls_are_impure() {
+        let e = Expr::call("f", vec![Expr::var("x")]);
+        let f = analyze(&e, &env_i("x"));
+        assert!(!f.pure);
+        assert!(analyze(&Expr::var("x"), &env_i("x")).pure);
+    }
+
+    #[test]
+    fn row_indexing_may_be_out_of_bounds() {
+        let env = TyEnv::new().with("p", Ty::Row);
+        let f = analyze(&Expr::var("p").row_index(Expr::liti(0)), &env);
+        assert!(f.traps.index_oob);
+        let f = analyze(&Expr::var("p").row_len(), &env);
+        assert!(f.never_traps());
+        assert_eq!(
+            f.range,
+            Some(Interval {
+                lo: Some(0),
+                hi: None
+            })
+        );
+    }
+
+    #[test]
+    fn wrapping_overflow_widens_to_top() {
+        let e = Expr::liti(i64::MAX) + Expr::liti(1);
+        let f = analyze(&e, &TyEnv::new());
+        assert_eq!(f.range, Some(Interval::top()));
+        assert!(f.never_traps());
+    }
+
+    #[test]
+    fn interval_algebra() {
+        let a = Interval::new(-3, 5);
+        assert!(a.contains_zero());
+        assert!(!a.excludes_zero());
+        assert!(Interval::new(1, 9).excludes_zero());
+        assert!(Interval::new(-9, -1).excludes_zero());
+        assert_eq!(
+            Interval::new(0, 3).union(&Interval::new(5, 7)),
+            Interval::new(0, 7)
+        );
+        assert_eq!(Interval::new(0, 3).intersect(&Interval::new(5, 7)), None);
+        assert_eq!(Interval::exact(4).singleton(), Some(4));
+    }
+
+    /// A tiny deterministic LCG so the generator tests are reproducible
+    /// without external crates.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn pick(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Generates a random i64-typed expression over variable `x`.
+    fn gen_expr(rng: &mut Lcg, depth: u32) -> Expr {
+        if depth == 0 {
+            return match rng.pick(3) {
+                0 => Expr::var("x"),
+                1 => Expr::liti(rng.pick(7) as i64 - 3),
+                _ => Expr::liti(rng.pick(20) as i64),
+            };
+        }
+        match rng.pick(8) {
+            0 => gen_expr(rng, depth - 1) + gen_expr(rng, depth - 1),
+            1 => gen_expr(rng, depth - 1) - gen_expr(rng, depth - 1),
+            2 => gen_expr(rng, depth - 1) * gen_expr(rng, depth - 1),
+            3 => gen_expr(rng, depth - 1) / gen_expr(rng, depth - 1),
+            4 => gen_expr(rng, depth - 1) % gen_expr(rng, depth - 1),
+            5 => Expr::if_(
+                gen_expr(rng, depth - 1).lt(gen_expr(rng, depth - 1)),
+                gen_expr(rng, depth - 1),
+                gen_expr(rng, depth - 1),
+            ),
+            6 => gen_expr(rng, depth - 1).min(gen_expr(rng, depth - 1)),
+            _ => -gen_expr(rng, depth - 1),
+        }
+    }
+
+    /// Soundness: no expression whose concrete evaluation traps is ever
+    /// marked `never_traps`, and reported ranges contain the concrete
+    /// result.
+    #[test]
+    fn seeded_generator_range_and_trap_soundness() {
+        let env = env_i("x");
+        let udfs = UdfRegistry::new();
+        let mut rng = Lcg(0x5353_7454_454e_4f21);
+        let mut trapped = 0usize;
+        let mut ranged = 0usize;
+        for _ in 0..400 {
+            let e = gen_expr(&mut rng, 3);
+            let facts = analyze(&e, &env);
+            for x in [-5i64, -1, 0, 1, 2, 7, 100] {
+                let renv = Env::new().with("x", Value::I64(x));
+                match eval(&e, &renv, &udfs) {
+                    Ok(Value::I64(v)) => {
+                        if let Some(iv) = facts.range {
+                            ranged += 1;
+                            assert!(
+                                iv.contains(v),
+                                "range {iv:?} of `{e}` omits concrete value {v} at x={x}"
+                            );
+                        }
+                    }
+                    Ok(_) => {}
+                    Err(_) => {
+                        trapped += 1;
+                        assert!(
+                            facts.may_trap(),
+                            "`{e}` trapped concretely at x={x} but was marked never_traps"
+                        );
+                    }
+                }
+            }
+        }
+        // The generator must actually exercise both properties.
+        assert!(trapped > 50, "generator produced too few trapping cases");
+        assert!(ranged > 200, "generator produced too few ranged cases");
+    }
+}

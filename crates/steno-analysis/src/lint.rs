@@ -1,0 +1,567 @@
+//! The query lint framework.
+//!
+//! Lints inspect a *lowered, pre-optimization* chain — the shape closest
+//! to what the user wrote — and report suspicious patterns without
+//! failing the compile. Diagnostics carry the operator provenance
+//! ([`OpSpan`]) recorded during lowering, so messages point at `Where
+//! (op #1)` rather than a lowered loop index. The [`Lint`] trait plus
+//! [`LintRegistry`] let downstream crates add their own checks.
+
+use std::fmt;
+
+use steno_expr::typecheck::TyEnv;
+use steno_expr::{Expr, UdfRegistry};
+use steno_quil::ir::OpSpan;
+use steno_quil::{PredKind, QuilChain, QuilOp, SinkKind, SinkOp, TransKind};
+
+use crate::facts::analyze;
+
+/// How serious a diagnostic is. Lints never fail a compile; severity
+/// only affects presentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Something the optimizer will handle, surfaced for awareness.
+    Info,
+    /// A probable mistake in the query.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One finding from a lint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The lint that produced this finding.
+    pub lint: &'static str,
+    /// Presentation severity.
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Provenance of the offending operator.
+    pub span: OpSpan,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {} ({})",
+            self.severity, self.lint, self.message, self.span
+        )
+    }
+}
+
+/// A single query lint.
+pub trait Lint {
+    /// Stable kebab-case identifier, shown in diagnostics.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint detects.
+    fn description(&self) -> &'static str;
+    /// Checks `chain`, appending findings to `out`.
+    fn check(&self, chain: &QuilChain, udfs: &UdfRegistry, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lints run over a chain (and, via
+/// [`LintRegistry::run`], every nested chain).
+#[derive(Default)]
+pub struct LintRegistry {
+    lints: Vec<Box<dyn Lint>>,
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> LintRegistry {
+        LintRegistry::default()
+    }
+
+    /// The built-in lint set.
+    pub fn with_defaults() -> LintRegistry {
+        let mut r = LintRegistry::new();
+        r.register(Box::new(DeadFilter));
+        r.register(Box::new(RedundantAdjacent));
+        r.register(Box::new(DegenerateTakeSkip));
+        r.register(Box::new(OpaqueUdfReordered));
+        r
+    }
+
+    /// Adds a lint to the registry.
+    pub fn register(&mut self, lint: Box<dyn Lint>) {
+        self.lints.push(lint);
+    }
+
+    /// The registered lint names, in run order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.lints.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs every lint over `chain` and all nested chains.
+    pub fn run(&self, chain: &QuilChain, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.run_into(chain, udfs, &mut out);
+        out
+    }
+
+    fn run_into(&self, chain: &QuilChain, udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+        for lint in &self.lints {
+            lint.check(chain, udfs, out);
+        }
+        for op in &chain.ops {
+            match op {
+                QuilOp::Trans {
+                    kind: TransKind::Nested(n),
+                    ..
+                } => self.run_into(&n.chain, udfs, out),
+                QuilOp::Pred {
+                    kind: PredKind::Nested(c),
+                    ..
+                } => self.run_into(c, udfs, out),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Runs the default lint set over a chain.
+pub fn run_default_lints(chain: &QuilChain, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+    LintRegistry::with_defaults().run(chain, udfs)
+}
+
+/// Flags predicates that are provably always true (redundant) or always
+/// false (the rest of the query is dead).
+struct DeadFilter;
+
+impl Lint for DeadFilter {
+    fn name(&self) -> &'static str {
+        "dead-filter"
+    }
+
+    fn description(&self) -> &'static str {
+        "predicate is constant: always-false filters kill the query, always-true ones are no-ops"
+    }
+
+    fn check(&self, chain: &QuilChain, _udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+        for op in &chain.ops {
+            if let QuilOp::Pred {
+                param,
+                kind: PredKind::Expr(p),
+                elem_ty,
+                ..
+            } = op
+            {
+                let env = TyEnv::new().with(param.clone(), elem_ty.clone());
+                match analyze(p, &env).bool_const {
+                    Some(false) => out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        message: format!("filter `{p}` is always false: no element can pass"),
+                        span: op.span(),
+                    }),
+                    Some(true) => out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        message: format!("filter `{p}` is always true: the operator is redundant"),
+                        span: op.span(),
+                    }),
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+/// Flags adjacent operators where the second makes the first redundant.
+struct RedundantAdjacent;
+
+impl Lint for RedundantAdjacent {
+    fn name(&self) -> &'static str {
+        "redundant-adjacent"
+    }
+
+    fn description(&self) -> &'static str {
+        "adjacent operator pairs where one is redundant (double OrderBy, Distinct∘Distinct, \
+         Select∘Select)"
+    }
+
+    fn check(&self, chain: &QuilChain, _udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+        for pair in chain.ops.windows(2) {
+            match (&pair[0], &pair[1]) {
+                (
+                    QuilOp::Sink(SinkOp {
+                        kind: SinkKind::OrderBy { .. },
+                        ..
+                    }),
+                    QuilOp::Sink(SinkOp {
+                        kind: SinkKind::OrderBy { .. },
+                        ..
+                    }),
+                ) => out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    message: "OrderBy immediately followed by OrderBy: the first sort is \
+                              discarded"
+                        .into(),
+                    span: pair[0].span(),
+                }),
+                (
+                    QuilOp::Sink(SinkOp {
+                        kind: SinkKind::Distinct,
+                        ..
+                    }),
+                    QuilOp::Sink(SinkOp {
+                        kind: SinkKind::Distinct,
+                        ..
+                    }),
+                ) => out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Info,
+                    message: "Distinct applied twice in a row: the second pass is a no-op".into(),
+                    span: pair[1].span(),
+                }),
+                (
+                    QuilOp::Trans {
+                        kind: TransKind::Expr(_),
+                        ..
+                    },
+                    QuilOp::Trans {
+                        kind: TransKind::Expr(_),
+                        ..
+                    },
+                ) => out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Info,
+                    message: "adjacent Select operators: the optimizer will fuse them into one"
+                        .into(),
+                    span: pair[1].span(),
+                }),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Flags `Take`/`Skip` shapes that yield nothing or do nothing.
+struct DegenerateTakeSkip;
+
+impl Lint for DegenerateTakeSkip {
+    fn name(&self) -> &'static str {
+        "degenerate-take-skip"
+    }
+
+    fn description(&self) -> &'static str {
+        "Take/Skip combinations that yield no elements or have no effect"
+    }
+
+    fn check(&self, chain: &QuilChain, _udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+        for op in &chain.ops {
+            match op {
+                QuilOp::Pred {
+                    kind: PredKind::Take(0),
+                    ..
+                } => out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    message: "Take(0): the query yields no elements".into(),
+                    span: op.span(),
+                }),
+                QuilOp::Pred {
+                    kind: PredKind::Skip(0),
+                    ..
+                } => out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Info,
+                    message: "Skip(0) has no effect".into(),
+                    span: op.span(),
+                }),
+                _ => {}
+            }
+        }
+        for pair in chain.ops.windows(2) {
+            if let (
+                QuilOp::Pred {
+                    kind: PredKind::Take(n),
+                    ..
+                },
+                QuilOp::Pred {
+                    kind: PredKind::Skip(m),
+                    ..
+                },
+            ) = (&pair[0], &pair[1])
+            {
+                if m >= n {
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        message: format!(
+                            "Take({n}) followed by Skip({m}) yields no elements"
+                        ),
+                        span: pair[1].span(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Flags opaque UDF calls in positions the optimizer reorders.
+///
+/// Steno assumes UDFs are pure (§4): operators in the homomorphic prefix
+/// may be fused with neighbors and split across partitions, so a UDF
+/// with side effects there would observe a different call order — or
+/// call count — than the naïve evaluation.
+struct OpaqueUdfReordered;
+
+impl Lint for OpaqueUdfReordered {
+    fn name(&self) -> &'static str {
+        "opaque-udf-reordered"
+    }
+
+    fn description(&self) -> &'static str {
+        "a UDF the optimizer cannot see into sits in a position subject to fusion or parallel \
+         splitting"
+    }
+
+    fn check(&self, chain: &QuilChain, _udfs: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+        for op in &chain.ops {
+            if !op.is_homomorphic() {
+                break;
+            }
+            for name in called_udfs(op) {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Info,
+                    message: format!(
+                        "UDF `{name}` is opaque to the optimizer and assumed pure; fusion and \
+                         parallel splitting may reorder its calls"
+                    ),
+                    span: op.span(),
+                });
+            }
+        }
+    }
+}
+
+/// Collects UDF names called directly in an operator's own expressions
+/// (not in nested chains, which are linted separately).
+fn called_udfs(op: &QuilOp) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut grab = |e: &Expr| {
+        e.visit(&mut |node| {
+            if let Expr::Call(name, _) = node {
+                if !names.contains(name) {
+                    names.push(name.clone());
+                }
+            }
+        });
+    };
+    match op {
+        QuilOp::Trans {
+            kind: TransKind::Expr(e),
+            ..
+        } => grab(e),
+        QuilOp::Pred { kind, .. } => match kind {
+            PredKind::Expr(e) | PredKind::TakeWhile(e) | PredKind::SkipWhile(e) => grab(e),
+            _ => {}
+        },
+        QuilOp::Sink(s) => match &s.kind {
+            SinkKind::GroupBy { key, elem, .. } => {
+                grab(key);
+                if let Some(e) = elem {
+                    grab(e);
+                }
+            }
+            SinkKind::GroupByAggregate { key, elem, .. } => {
+                grab(key);
+                if let Some(e) = elem {
+                    grab(e);
+                }
+            }
+            SinkKind::OrderBy { key, .. } => grab(key),
+            SinkKind::Distinct | SinkKind::ToVec => {}
+        },
+        QuilOp::Trans {
+            kind: TransKind::Nested(_),
+            ..
+        } => {}
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::{Ty, Value};
+    use steno_query::typing::SourceTypes;
+    use steno_query::Query;
+    use steno_quil::lower;
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new().with("xs", Ty::F64).with("ns", Ty::I64)
+    }
+
+    fn lints_of(q: steno_query::QueryExpr) -> Vec<Diagnostic> {
+        lints_of_with(q, &UdfRegistry::new())
+    }
+
+    fn lints_of_with(q: steno_query::QueryExpr, udfs: &UdfRegistry) -> Vec<Diagnostic> {
+        let chain = lower(&q, &srcs(), udfs).unwrap();
+        run_default_lints(&chain, udfs)
+    }
+
+    #[test]
+    fn dead_filter_always_false() {
+        // x % 4 > 10 can never hold.
+        let d = lints_of(
+            Query::source("ns")
+                .where_((Expr::var("x") % Expr::liti(4)).gt(Expr::liti(10)), "x")
+                .count()
+                .build(),
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "dead-filter" && d.message.contains("always false")),
+            "{d:?}"
+        );
+        // The span names the offending operator.
+        let dead = d.iter().find(|d| d.lint == "dead-filter").unwrap();
+        assert_eq!(dead.span.operator, Some("Where"));
+    }
+
+    #[test]
+    fn dead_filter_always_true() {
+        let d = lints_of(
+            Query::source("ns")
+                .where_((Expr::var("x") % Expr::liti(4)).lt(Expr::liti(100)), "x")
+                .count()
+                .build(),
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "dead-filter" && d.message.contains("always true")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn honest_filters_are_silent() {
+        let d = lints_of(
+            Query::source("ns")
+                .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+                .count()
+                .build(),
+        );
+        assert!(d.iter().all(|d| d.lint != "dead-filter"), "{d:?}");
+    }
+
+    #[test]
+    fn double_order_by_flagged() {
+        let d = lints_of(
+            Query::source("xs")
+                .order_by(Expr::var("x"), "x")
+                .order_by(-Expr::var("x"), "x")
+                .build(),
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "redundant-adjacent" && d.message.contains("OrderBy")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn adjacent_selects_noted() {
+        let d = lints_of(
+            Query::source("xs")
+                .select(Expr::var("x") * Expr::litf(2.0), "x")
+                .select(Expr::var("x") + Expr::litf(1.0), "x")
+                .build(),
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "redundant-adjacent" && d.severity == Severity::Info),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn degenerate_take_skip() {
+        let d = lints_of(Query::source("xs").take(0).build());
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "degenerate-take-skip" && d.message.contains("Take(0)")),
+            "{d:?}"
+        );
+        let d = lints_of(Query::source("xs").take(3).skip(5).build());
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "degenerate-take-skip" && d.message.contains("yields no")),
+            "{d:?}"
+        );
+        // Skip within the taken prefix is fine.
+        let d = lints_of(Query::source("xs").take(5).skip(2).build());
+        assert!(
+            d.iter().all(|d| !d.message.contains("yields no")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn opaque_udf_in_homomorphic_prefix() {
+        let mut udfs = UdfRegistry::new();
+        udfs.register("noisy", vec![Ty::F64], Ty::F64, |args| {
+            Value::F64(args[0].as_f64().unwrap_or(0.0))
+        });
+        let d = lints_of_with(
+            Query::source("xs")
+                .select(Expr::call("noisy", vec![Expr::var("x")]), "x")
+                .sum()
+                .build(),
+            &udfs,
+        );
+        assert!(
+            d.iter()
+                .any(|d| d.lint == "opaque-udf-reordered" && d.message.contains("`noisy`")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn registry_is_extensible() {
+        struct CountOps;
+        impl Lint for CountOps {
+            fn name(&self) -> &'static str {
+                "count-ops"
+            }
+            fn description(&self) -> &'static str {
+                "reports the operator count"
+            }
+            fn check(&self, chain: &QuilChain, _u: &UdfRegistry, out: &mut Vec<Diagnostic>) {
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Info,
+                    message: format!("{} operators", chain.ops.len()),
+                    span: OpSpan::none(),
+                });
+            }
+        }
+        let mut reg = LintRegistry::new();
+        reg.register(Box::new(CountOps));
+        assert_eq!(reg.names(), vec!["count-ops"]);
+        let udfs = UdfRegistry::new();
+        let chain = lower(
+            &Query::source("xs").distinct().build(),
+            &srcs(),
+            &udfs,
+        )
+        .unwrap();
+        let d = reg.run(&chain, &udfs);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].message, "1 operators");
+    }
+}

@@ -1,0 +1,718 @@
+//! The QUIL plan verifier.
+//!
+//! Every compile in a debug build (and the CI `verify` job) re-checks the
+//! lowered and optimized chains from first principles, independently of
+//! the code that produced them:
+//!
+//! 1. **Grammar** — the deep token sentence must be accepted by the
+//!    pushdown recognizer of §5.1.
+//! 2. **Typing** — element types are re-threaded through every operator
+//!    and each selector body is re-typechecked with `steno-expr`'s
+//!    checker, so a pass that rewrites an expression into an ill-typed
+//!    one is caught before code generation.
+//! 3. **Homomorphism** — each operator's parallel-safety class is
+//!    re-derived from its structure and compared against
+//!    [`QuilOp::is_homomorphic`]; a wrong flag would silently produce
+//!    wrong answers on the cluster path, so a mismatch is a hard error.
+//! 4. **Parallel plan** — [`steno_quil::parallel::plan`] is re-run and
+//!    its claims are cross-checked: the map chain must itself verify,
+//!    partial aggregation requires a declared combiner, and the combiner
+//!    is tested for associativity on a grid of exactly-representable
+//!    sample values (so legitimate floating-point reassociation is not
+//!    flagged).
+
+use std::fmt;
+
+use steno_expr::eval::{eval, Env};
+use steno_expr::typecheck::{infer, TyEnv};
+use steno_expr::{Expr, Ty, TypeError, UdfRegistry, Value};
+use steno_quil::grammar::Pda;
+use steno_quil::ir::OpSpan;
+use steno_quil::parallel::{plan, Reduce};
+use steno_quil::{AggDesc, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc, TransKind};
+
+/// A verification failure: the plan does not satisfy an invariant the
+/// optimizer claims to preserve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// The token sentence violates the QUIL grammar.
+    Grammar(String),
+    /// An operator or selector failed re-typechecking.
+    Type {
+        /// Provenance of the offending operator.
+        span: OpSpan,
+        /// What was being checked.
+        context: String,
+        /// The expected type (or shape).
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// An operator's homomorphism claim disagrees with the re-derivation.
+    Homomorphism {
+        /// Provenance of the offending operator.
+        span: OpSpan,
+        /// The value of `is_homomorphic()` the operator claims.
+        claimed: bool,
+    },
+    /// An aggregate used for partial aggregation is not associative.
+    Associativity {
+        /// What failed, including the counterexample.
+        detail: String,
+    },
+    /// The parallel plan is structurally inconsistent with its chain.
+    Plan {
+        /// What is inconsistent.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Grammar(msg) => write!(f, "QUIL grammar violation: {msg}"),
+            VerifyError::Type {
+                span,
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type error at {span}: {context}: expected {expected}, found {found}"
+            ),
+            VerifyError::Homomorphism { span, claimed } => write!(
+                f,
+                "homomorphism mismatch at {span}: operator claims {} but re-derivation disagrees",
+                if *claimed {
+                    "homomorphic"
+                } else {
+                    "non-homomorphic"
+                }
+            ),
+            VerifyError::Associativity { detail } => {
+                write!(f, "associativity violation: {detail}")
+            }
+            VerifyError::Plan { detail } => write!(f, "inconsistent parallel plan: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// What a successful verification covered, for `explain` output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Operators re-typechecked, including nested chains.
+    pub ops_checked: usize,
+    /// Nested chains descended into.
+    pub nested_chains: usize,
+    /// `(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)` sample triples evaluated.
+    pub assoc_samples: usize,
+}
+
+/// Verifies a lowered (or optimized) QUIL chain against the invariants
+/// listed in the module docs.
+///
+/// Nested chains reference outer-scope variables; a selector whose type
+/// cannot be decided because of such free variables is skipped rather
+/// than rejected, so the verifier never produces false alarms on valid
+/// plans.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a [`VerifyError`].
+pub fn verify(chain: &QuilChain, udfs: &UdfRegistry) -> Result<VerifyReport, VerifyError> {
+    let mut report = VerifyReport::default();
+    verify_in(chain, &TyEnv::new(), udfs, &mut report)?;
+    verify_plan(chain, udfs, &mut report)?;
+    Ok(report)
+}
+
+fn verify_in(
+    chain: &QuilChain,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+    report: &mut VerifyReport,
+) -> Result<(), VerifyError> {
+    Pda::recognize(&chain.tokens()).map_err(|e| VerifyError::Grammar(e.to_string()))?;
+
+    let mut cur = chain.src.elem_ty();
+    if let SrcDesc::Expr { expr, elem_ty } = &chain.src {
+        check_expr(
+            expr,
+            env,
+            udfs,
+            &Ty::seq(elem_ty.clone()),
+            OpSpan::none(),
+            "source expression",
+        )?;
+    }
+
+    for op in &chain.ops {
+        report.ops_checked += 1;
+        let span = op.span();
+        let derived = derive_homomorphic(op);
+        if derived != op.is_homomorphic() {
+            return Err(VerifyError::Homomorphism {
+                span,
+                claimed: op.is_homomorphic(),
+            });
+        }
+        match op {
+            QuilOp::Trans {
+                param,
+                kind,
+                in_ty,
+                out_ty,
+                ..
+            } => {
+                require_ty(&cur, in_ty, span, "transform input")?;
+                let inner = env.clone().with(param.clone(), in_ty.clone());
+                match kind {
+                    TransKind::Expr(e) => {
+                        check_expr(e, &inner, udfs, out_ty, span, "transform body")?;
+                    }
+                    TransKind::Nested(n) => {
+                        report.nested_chains += 1;
+                        verify_in(&n.chain, &inner, udfs, report)?;
+                        let produced = n.chain.result_ty();
+                        match &n.wrap {
+                            Some((p, e)) => {
+                                let wrap_env = inner.clone().with(p.clone(), produced);
+                                check_expr(e, &wrap_env, udfs, out_ty, span, "nested wrapper")?;
+                            }
+                            None => {
+                                // Aggregate-terminated nested queries
+                                // yield one scalar per outer element;
+                                // sequence-valued ones splice their
+                                // elements into the stream (SelectMany).
+                                let expected = if n.chain.is_scalar() {
+                                    produced
+                                } else {
+                                    n.chain.elem_ty()
+                                };
+                                require_ty(&expected, out_ty, span, "nested result")?;
+                            }
+                        }
+                    }
+                }
+                cur = out_ty.clone();
+            }
+            QuilOp::Pred {
+                param,
+                kind,
+                elem_ty,
+                ..
+            } => {
+                require_ty(&cur, elem_ty, span, "predicate input")?;
+                let inner = env.clone().with(param.clone(), elem_ty.clone());
+                match kind {
+                    PredKind::Expr(e) | PredKind::TakeWhile(e) | PredKind::SkipWhile(e) => {
+                        check_expr(e, &inner, udfs, &Ty::Bool, span, "predicate body")?;
+                    }
+                    PredKind::Nested(c) => {
+                        report.nested_chains += 1;
+                        verify_in(c, &inner, udfs, report)?;
+                        require_ty(&c.result_ty(), &Ty::Bool, span, "nested predicate result")?;
+                    }
+                    PredKind::Take(_) | PredKind::Skip(_) => {}
+                }
+            }
+            QuilOp::Sink(s) => {
+                require_ty(&cur, &s.in_ty, span, "sink input")?;
+                verify_sink(s, env, udfs, report)?;
+                cur = s.out_ty.clone();
+            }
+        }
+    }
+
+    if let Some(agg) = &chain.agg {
+        require_ty(&cur, &agg.elem_ty, OpSpan::none(), "aggregate input")?;
+        verify_agg(agg, env, udfs, OpSpan::none())?;
+    }
+    Ok(())
+}
+
+/// Re-derives the parallel-safety class of an operator from structure
+/// alone, independently of [`QuilOp::is_homomorphic`]: an operator is a
+/// list homomorphism exactly when its effect on an element does not
+/// depend on the element's position or on other elements.
+fn derive_homomorphic(op: &QuilOp) -> bool {
+    match op {
+        // `map f (xs ++ ys) = map f xs ++ map f ys` for any per-element
+        // transform, including nested subqueries over the element.
+        QuilOp::Trans { .. } => true,
+        QuilOp::Pred { kind, .. } => match kind {
+            // Stateless filters distribute over concatenation.
+            PredKind::Expr(_) | PredKind::Nested(_) => true,
+            // Positional predicates consult a global element counter.
+            PredKind::Take(_)
+            | PredKind::Skip(_)
+            | PredKind::TakeWhile(_)
+            | PredKind::SkipWhile(_) => false,
+        },
+        // Sinks coordinate across the whole collection (grouping tables,
+        // sort buffers, distinct sets).
+        QuilOp::Sink(_) => false,
+    }
+}
+
+fn verify_sink(
+    s: &SinkOp,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+    report: &mut VerifyReport,
+) -> Result<(), VerifyError> {
+    let span = s.span;
+    let elem_env = env.clone().with(s.param.clone(), s.in_ty.clone());
+    match &s.kind {
+        SinkKind::GroupBy {
+            key,
+            elem,
+            key_ty,
+            val_ty,
+        } => {
+            check_expr(key, &elem_env, udfs, key_ty, span, "group key selector")?;
+            match elem {
+                Some(e) => check_expr(e, &elem_env, udfs, val_ty, span, "group element selector")?,
+                None => require_ty(&s.in_ty, val_ty, span, "group element")?,
+            }
+            let expected = Ty::pair(key_ty.clone(), Ty::seq(val_ty.clone()));
+            require_ty(&expected, &s.out_ty, span, "GroupBy output")?;
+        }
+        SinkKind::GroupByAggregate {
+            key,
+            elem,
+            agg,
+            key_param,
+            agg_param,
+            result,
+            key_ty,
+        } => {
+            check_expr(key, &elem_env, udfs, key_ty, span, "group key selector")?;
+            match elem {
+                Some(e) => check_expr(
+                    e,
+                    &elem_env,
+                    udfs,
+                    &agg.elem_ty,
+                    span,
+                    "group element selector",
+                )?,
+                None => require_ty(&s.in_ty, &agg.elem_ty, span, "group element")?,
+            }
+            verify_agg(agg, env, udfs, span)?;
+            report.assoc_samples += check_associativity(agg, udfs)?;
+            let result_env = env
+                .clone()
+                .with(key_param.clone(), key_ty.clone())
+                .with(agg_param.clone(), agg.out_ty.clone());
+            check_expr(result, &result_env, udfs, &s.out_ty, span, "group result")?;
+        }
+        SinkKind::OrderBy { key, .. } => {
+            // Any inferable key type is sortable under the VM's total
+            // order; the body just has to typecheck.
+            if let Err(e) = lenient_infer(key, &elem_env, udfs) {
+                return Err(type_error(span, "sort key selector", "well-typed", e));
+            }
+            require_ty(&s.in_ty, &s.out_ty, span, "OrderBy output")?;
+        }
+        SinkKind::Distinct => require_ty(&s.in_ty, &s.out_ty, span, "Distinct output")?,
+        SinkKind::ToVec => require_ty(&s.in_ty, &s.out_ty, span, "ToVec output")?,
+    }
+    Ok(())
+}
+
+fn verify_agg(
+    agg: &AggDesc,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+    span: OpSpan,
+) -> Result<(), VerifyError> {
+    check_expr(&agg.init, env, udfs, &agg.acc_ty, span, "aggregate seed")?;
+    let upd_env = env
+        .clone()
+        .with(agg.acc_param.clone(), agg.acc_ty.clone())
+        .with(agg.elem_param.clone(), agg.elem_ty.clone());
+    check_expr(
+        &agg.update,
+        &upd_env,
+        udfs,
+        &agg.acc_ty,
+        span,
+        "aggregate update",
+    )?;
+    match &agg.finish {
+        Some(fin) => {
+            let fin_env = env.clone().with(agg.acc_param.clone(), agg.acc_ty.clone());
+            check_expr(fin, &fin_env, udfs, &agg.out_ty, span, "aggregate finish")?;
+        }
+        None => require_ty(&agg.acc_ty, &agg.out_ty, span, "aggregate output")?,
+    }
+    if let Some(comb) = &agg.combine {
+        let comb_env = env
+            .clone()
+            .with(agg.acc_param.clone(), agg.acc_ty.clone())
+            .with(agg.rhs_param.clone(), agg.acc_ty.clone());
+        check_expr(
+            comb,
+            &comb_env,
+            udfs,
+            &agg.acc_ty,
+            span,
+            "aggregate combiner",
+        )?;
+    }
+    Ok(())
+}
+
+fn verify_plan(
+    chain: &QuilChain,
+    udfs: &UdfRegistry,
+    report: &mut VerifyReport,
+) -> Result<(), VerifyError> {
+    let p = plan(chain);
+
+    // The map chain must itself be a valid QUIL plan. (Plan cross-checks
+    // are not re-run on it: its own plan is not what executes.)
+    verify_in(&p.map_chain, &TyEnv::new(), udfs, report)?;
+
+    // Every map-chain operator must be homomorphic, except a partial
+    // sink/sort appended as the per-partition stage.
+    let appended_partial = matches!(
+        p.reduce,
+        Reduce::MergeGroupedPartials { .. } | Reduce::MergeSorted { .. }
+    );
+    let body = if appended_partial {
+        &p.map_chain.ops[..p.map_chain.ops.len().saturating_sub(1)]
+    } else {
+        &p.map_chain.ops[..]
+    };
+    for op in body {
+        if !derive_homomorphic(op) {
+            return Err(VerifyError::Plan {
+                detail: format!(
+                    "non-homomorphic operator {} scheduled in the parallel map stage",
+                    op.span()
+                ),
+            });
+        }
+    }
+
+    match &p.reduce {
+        Reduce::Concat => {}
+        Reduce::CombinePartials(agg) => {
+            if !agg.is_associative() {
+                return Err(VerifyError::Plan {
+                    detail: "partial aggregation planned for an aggregate with no combiner".into(),
+                });
+            }
+            let partial = p.map_chain.agg.as_ref().ok_or_else(|| VerifyError::Plan {
+                detail: "partial aggregation planned but the map chain has no aggregate".into(),
+            })?;
+            if partial.out_ty != partial.acc_ty {
+                return Err(VerifyError::Plan {
+                    detail: "map-stage partial aggregate must emit the raw accumulator".into(),
+                });
+            }
+            report.assoc_samples += check_associativity(agg, udfs)?;
+        }
+        Reduce::MergeGroupedPartials { agg, .. } => {
+            if !agg.is_associative() {
+                return Err(VerifyError::Plan {
+                    detail: "grouped partial aggregation planned for an aggregate with no combiner"
+                        .into(),
+                });
+            }
+            let last = p.map_chain.ops.last();
+            if !matches!(
+                last,
+                Some(QuilOp::Sink(SinkOp {
+                    kind: SinkKind::GroupByAggregate { .. },
+                    ..
+                }))
+            ) {
+                return Err(VerifyError::Plan {
+                    detail: "grouped merge planned but the map chain does not end in a grouped \
+                             aggregate sink"
+                        .into(),
+                });
+            }
+            report.assoc_samples += check_associativity(agg, udfs)?;
+        }
+        Reduce::MergeSorted { .. } => {
+            if !matches!(
+                p.map_chain.ops.last(),
+                Some(QuilOp::Sink(SinkOp {
+                    kind: SinkKind::OrderBy { .. },
+                    ..
+                }))
+            ) {
+                return Err(VerifyError::Plan {
+                    detail: "sorted merge planned but the map chain does not end in OrderBy".into(),
+                });
+            }
+        }
+        Reduce::SerialRest { .. } => {}
+    }
+    Ok(())
+}
+
+/// Tests `combine` for associativity on a grid of sample accumulator
+/// values that are exactly representable (small halves for `f64`), so
+/// floating-point reassociation — which the distributed plan accepts by
+/// design — cannot produce spurious counterexamples. Returns the number
+/// of triples checked.
+fn check_associativity(agg: &AggDesc, udfs: &UdfRegistry) -> Result<usize, VerifyError> {
+    let Some(comb) = &agg.combine else {
+        return Ok(0);
+    };
+    let samples = sample_values(&agg.acc_ty, 4);
+    if samples.is_empty() {
+        return Ok(0);
+    }
+    let apply = |a: &Value, b: &Value| -> Option<Value> {
+        let env = Env::new()
+            .with(agg.acc_param.clone(), a.clone())
+            .with(agg.rhs_param.clone(), b.clone());
+        eval(comb, &env, udfs).ok()
+    };
+    let mut checked = 0;
+    for a in &samples {
+        for b in &samples {
+            for c in &samples {
+                let left = apply(a, b).and_then(|ab| apply(&ab, c));
+                let right = apply(b, c).and_then(|bc| apply(a, &bc));
+                let (Some(l), Some(r)) = (left, right) else {
+                    continue;
+                };
+                checked += 1;
+                if l != r {
+                    return Err(VerifyError::Associativity {
+                        detail: format!(
+                            "combine `{comb}` of {:?} aggregate: (({a} ⊕ {b}) ⊕ {c}) = {l} but \
+                             ({a} ⊕ ({b} ⊕ {c})) = {r}",
+                            agg.kind
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(checked)
+}
+
+/// Sample accumulator values of type `ty`, exactly representable so
+/// associative operators stay exact.
+fn sample_values(ty: &Ty, per_side: usize) -> Vec<Value> {
+    match ty {
+        Ty::F64 => [-2.0, -0.5, 0.0, 1.0, 2.5]
+            .into_iter()
+            .map(Value::F64)
+            .collect(),
+        Ty::I64 => [-3, -1, 0, 1, 2, 7].into_iter().map(Value::I64).collect(),
+        Ty::Bool => vec![Value::Bool(false), Value::Bool(true)],
+        Ty::Pair(a, b) => {
+            let xs = sample_values(a, per_side);
+            let ys = sample_values(b, per_side);
+            let mut out = Vec::new();
+            for x in xs.iter().take(per_side) {
+                for y in ys.iter().take(per_side) {
+                    out.push(Value::pair(x.clone(), y.clone()));
+                }
+            }
+            out
+        }
+        // Rows and sequences have no meaningful small sample grid.
+        Ty::Row | Ty::Seq(_) => Vec::new(),
+    }
+}
+
+/// Infers the type of `e`, treating unbound variables (outer-scope
+/// references the verifier cannot see) as "unknown" rather than an
+/// error.
+fn lenient_infer(e: &Expr, env: &TyEnv, udfs: &UdfRegistry) -> Result<Option<Ty>, String> {
+    match infer(e, env, udfs) {
+        Ok(t) => Ok(Some(t)),
+        Err(TypeError::UnboundVariable(_)) => Ok(None),
+        Err(other) => Err(other.to_string()),
+    }
+}
+
+fn check_expr(
+    e: &Expr,
+    env: &TyEnv,
+    udfs: &UdfRegistry,
+    expected: &Ty,
+    span: OpSpan,
+    context: &str,
+) -> Result<(), VerifyError> {
+    match lenient_infer(e, env, udfs) {
+        Ok(Some(t)) if &t == expected => Ok(()),
+        Ok(Some(t)) => Err(VerifyError::Type {
+            span,
+            context: context.to_string(),
+            expected: expected.to_string(),
+            found: t.to_string(),
+        }),
+        Ok(None) => Ok(()),
+        Err(msg) => Err(type_error(span, context, "well-typed", msg)),
+    }
+}
+
+fn require_ty(found: &Ty, expected: &Ty, span: OpSpan, context: &str) -> Result<(), VerifyError> {
+    if found == expected {
+        Ok(())
+    } else {
+        Err(VerifyError::Type {
+            span,
+            context: context.to_string(),
+            expected: expected.to_string(),
+            found: found.to_string(),
+        })
+    }
+}
+
+fn type_error(span: OpSpan, context: &str, expected: &str, found: String) -> VerifyError {
+    VerifyError::Type {
+        span,
+        context: context.to_string(),
+        expected: expected.to_string(),
+        found,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_query::typing::SourceTypes;
+    use steno_query::{GroupResult, Query};
+    use steno_quil::lower;
+    use steno_quil::passes::optimize;
+
+    fn srcs() -> SourceTypes {
+        SourceTypes::new().with("xs", Ty::F64).with("ns", Ty::I64)
+    }
+
+    fn verified(q: steno_query::QueryExpr) -> VerifyReport {
+        let udfs = UdfRegistry::new();
+        let chain = lower(&q, &srcs(), &udfs).unwrap();
+        let r = verify(&chain, &udfs).unwrap();
+        // The optimized chain must verify too.
+        verify(&optimize(&chain), &udfs).unwrap();
+        r
+    }
+
+    #[test]
+    fn accepts_lowered_chains() {
+        let r = verified(
+            Query::source("xs")
+                .where_(Expr::var("x").gt(Expr::litf(0.0)), "x")
+                .select(Expr::var("x") * Expr::var("x"), "x")
+                .sum()
+                .build(),
+        );
+        assert_eq!(r.ops_checked, 4); // chain (2) + map chain (2)
+        assert!(r.assoc_samples > 0);
+    }
+
+    #[test]
+    fn accepts_grouped_aggregates() {
+        let r = verified(
+            Query::source("ns")
+                .group_by_result(
+                    Expr::var("x") % Expr::liti(10),
+                    "x",
+                    GroupResult::keyed("k", "g", Query::over(Expr::var("g")).count().build()),
+                )
+                .build(),
+        );
+        assert!(r.ops_checked > 0);
+    }
+
+    #[test]
+    fn accepts_nested_chains() {
+        verified(
+            Query::source("xs")
+                .select_many(Query::source("ns"), "x")
+                .count()
+                .build(),
+        );
+    }
+
+    #[test]
+    fn rejects_ill_typed_transform() {
+        let udfs = UdfRegistry::new();
+        let mut chain = lower(
+            &Query::source("xs")
+                .select(Expr::var("x") * Expr::var("x"), "x")
+                .build(),
+            &srcs(),
+            &udfs,
+        )
+        .unwrap();
+        // Corrupt the transform: claim it yields i64 while the body is f64.
+        if let QuilOp::Trans { out_ty, .. } = &mut chain.ops[0] {
+            *out_ty = Ty::I64;
+        }
+        let err = verify(&chain, &udfs).unwrap_err();
+        assert!(matches!(err, VerifyError::Type { .. }), "{err}");
+        assert!(err.to_string().contains("Select (op #0)"), "{err}");
+    }
+
+    #[test]
+    fn rejects_broken_type_thread() {
+        let udfs = UdfRegistry::new();
+        let mut chain = lower(
+            &Query::source("xs")
+                .select(Expr::var("x") + Expr::litf(1.0), "x")
+                .where_(Expr::var("x").gt(Expr::litf(0.0)), "x")
+                .build(),
+            &srcs(),
+            &udfs,
+        )
+        .unwrap();
+        // Corrupt the predicate's element type.
+        if let QuilOp::Pred { elem_ty, .. } = &mut chain.ops[1] {
+            *elem_ty = Ty::I64;
+        }
+        let err = verify(&chain, &udfs).unwrap_err();
+        assert!(matches!(err, VerifyError::Type { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_associative_combiner() {
+        let udfs = UdfRegistry::new();
+        let mut chain = lower(&Query::source("xs").sum().build(), &srcs(), &udfs).unwrap();
+        // Claim `acc - rhs` combines partial sums: not associative.
+        let agg = chain.agg.as_mut().unwrap();
+        agg.combine = Some(Expr::var(agg.acc_param.clone()) - Expr::var(agg.rhs_param.clone()));
+        let err = verify(&chain, &udfs).unwrap_err();
+        assert!(matches!(err, VerifyError::Associativity { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_degenerate_grammar() {
+        let udfs = UdfRegistry::new();
+        let chain = QuilChain {
+            src: SrcDesc::Collection {
+                name: "xs".into(),
+                elem_ty: Ty::F64,
+            },
+            ops: vec![],
+            agg: None,
+        };
+        // A bare Src…Ret chain is fine.
+        verify(&chain, &udfs).unwrap();
+    }
+
+    #[test]
+    fn verifies_take_and_orderby_plans() {
+        verified(
+            Query::source("xs")
+                .order_by(Expr::var("x"), "x")
+                .take(3)
+                .build(),
+        );
+    }
+}

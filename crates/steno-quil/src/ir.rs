@@ -79,6 +79,54 @@ pub struct NestedTrans {
     pub wrap: Option<(String, Expr)>,
 }
 
+/// Provenance of a QUIL operator: which query-level operator produced
+/// it, so verifier and lint diagnostics can point at the offending
+/// source operator instead of a lowered position.
+///
+/// Provenance is metadata, not plan structure: `PartialEq` always
+/// returns `true`, so two chains that differ only in spans compare
+/// equal (rewrite passes and their tests rely on structural equality).
+#[derive(Clone, Copy, Debug, Default, Eq)]
+pub struct OpSpan {
+    /// Zero-based position of the originating operator in the lowered
+    /// chain, when known.
+    pub op_index: Option<u32>,
+    /// Query-operator name (`"Select"`, `"Where"`, `"GroupBy"`, …).
+    pub operator: Option<&'static str>,
+}
+
+impl OpSpan {
+    /// A span for a synthesized operator with no source counterpart.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A span at the given chain position for the named query operator.
+    pub fn at(op_index: u32, operator: &'static str) -> Self {
+        Self {
+            op_index: Some(op_index),
+            operator: Some(operator),
+        }
+    }
+}
+
+impl PartialEq for OpSpan {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for OpSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.operator, self.op_index) {
+            (Some(name), Some(i)) => write!(f, "{name} (op #{i})"),
+            (Some(name), None) => write!(f, "{name}"),
+            (None, Some(i)) => write!(f, "op #{i}"),
+            (None, None) => write!(f, "synthesized operator"),
+        }
+    }
+}
+
 /// The payload of a `Trans` symbol.
 #[derive(Clone, Debug, PartialEq)]
 pub enum TransKind {
@@ -232,6 +280,8 @@ pub struct SinkOp {
     pub in_ty: Ty,
     /// Element type of the sink collection.
     pub out_ty: Ty,
+    /// Source provenance (ignored by equality).
+    pub span: OpSpan,
 }
 
 /// One operator in a QUIL chain.
@@ -248,6 +298,8 @@ pub enum QuilOp {
         in_ty: Ty,
         /// Outgoing element type.
         out_ty: Ty,
+        /// Source provenance (ignored by equality).
+        span: OpSpan,
     },
     /// Element-wise predicate (possibly stateful).
     Pred {
@@ -257,6 +309,8 @@ pub enum QuilOp {
         kind: PredKind,
         /// Element type (unchanged by predicates).
         elem_ty: Ty,
+        /// Source provenance (ignored by equality).
+        span: OpSpan,
     },
     /// Sink into an intermediate collection.
     Sink(SinkOp),
@@ -269,6 +323,14 @@ impl QuilOp {
             QuilOp::Trans { .. } => QuilSym::Trans,
             QuilOp::Pred { .. } => QuilSym::Pred,
             QuilOp::Sink(_) => QuilSym::Sink,
+        }
+    }
+
+    /// The operator's source provenance.
+    pub fn span(&self) -> OpSpan {
+        match self {
+            QuilOp::Trans { span, .. } | QuilOp::Pred { span, .. } => *span,
+            QuilOp::Sink(s) => s.span,
         }
     }
 
@@ -464,6 +526,7 @@ mod tests {
             kind: TransKind::Expr(Expr::var("x") * Expr::var("x")),
             in_ty: Ty::F64,
             out_ty: Ty::F64,
+            span: OpSpan::none(),
         }
     }
 
@@ -501,6 +564,7 @@ mod tests {
                 }),
                 in_ty: Ty::F64,
                 out_ty: Ty::F64,
+                span: OpSpan::none(),
             }],
             agg: None,
         };
@@ -532,12 +596,14 @@ mod tests {
             param: "x".into(),
             kind: PredKind::Expr(Expr::var("x").gt(Expr::litf(0.0))),
             elem_ty: Ty::F64,
+            span: OpSpan::none(),
         };
         assert!(wher.is_homomorphic());
         let take = QuilOp::Pred {
             param: "x".into(),
             kind: PredKind::Take(5),
             elem_ty: Ty::F64,
+            span: OpSpan::none(),
         };
         assert!(!take.is_homomorphic());
         let sink = QuilOp::Sink(SinkOp {
@@ -545,6 +611,7 @@ mod tests {
             kind: SinkKind::Distinct,
             in_ty: Ty::F64,
             out_ty: Ty::F64,
+            span: OpSpan::none(),
         });
         assert!(!sink.is_homomorphic());
     }
@@ -558,6 +625,7 @@ mod tests {
                 kind: TransKind::Expr(Expr::var("i").cast(Ty::F64)),
                 in_ty: Ty::I64,
                 out_ty: Ty::F64,
+                span: OpSpan::none(),
             }],
             agg: None,
         };

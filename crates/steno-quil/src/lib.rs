@@ -43,7 +43,7 @@ pub mod substitute;
 
 pub use grammar::{Fsm, FsmState, QuilSym, Tok};
 pub use ir::{
-    AggDesc, AggKind, NestedTrans, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc,
+    AggDesc, AggKind, NestedTrans, OpSpan, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc,
     TransKind,
 };
 pub use lower::{lower, lower_with, LowerError, LowerOptions};

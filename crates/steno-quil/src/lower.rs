@@ -23,7 +23,7 @@ use steno_query::{AggOp, GroupResult, QBody, QFn, QueryExpr, SourceRef};
 
 use crate::grammar::Pda;
 use crate::ir::{
-    AggDesc, AggKind, NestedTrans, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc,
+    AggDesc, AggKind, NestedTrans, OpSpan, PredKind, QuilChain, QuilOp, SinkKind, SinkOp, SrcDesc,
     TransKind,
 };
 use crate::substitute::subst_chain;
@@ -143,6 +143,7 @@ impl<'a> Lowerer<'a> {
             QueryExpr::Select { input, f } => {
                 let mut chain = self.input_chain(input, env)?;
                 let in_ty = chain.elem_ty();
+                let span = OpSpan::at(chain.ops.len() as u32, "Select");
                 let op = match &f.body {
                     QBody::Expr(e) => {
                         let out_ty = self.expr_ty_with(e, env, &f.param, &in_ty)?;
@@ -151,6 +152,7 @@ impl<'a> Lowerer<'a> {
                             kind: TransKind::Expr(e.clone()),
                             in_ty,
                             out_ty,
+                            span,
                         }
                     }
                     QBody::Query(nested) => {
@@ -171,6 +173,7 @@ impl<'a> Lowerer<'a> {
                             }),
                             in_ty,
                             out_ty,
+                            span,
                         }
                     }
                 };
@@ -206,10 +209,12 @@ impl<'a> Lowerer<'a> {
                         PredKind::Nested(Box::new(nested_chain))
                     }
                 };
+                let span = OpSpan::at(chain.ops.len() as u32, "Where");
                 chain.ops.push(QuilOp::Pred {
                     param: p.param.clone(),
                     kind,
                     elem_ty,
+                    span,
                 });
                 Ok(chain)
             }
@@ -250,6 +255,7 @@ impl<'a> Lowerer<'a> {
                     ));
                 }
                 let out_ty = nested_chain.elem_ty();
+                let span = OpSpan::at(chain.ops.len() as u32, "SelectMany");
                 chain.ops.push(QuilOp::Trans {
                     param: f.param.clone(),
                     kind: TransKind::Nested(NestedTrans {
@@ -258,6 +264,7 @@ impl<'a> Lowerer<'a> {
                     }),
                     in_ty,
                     out_ty,
+                    span,
                 });
                 Ok(chain)
             }
@@ -295,6 +302,7 @@ impl<'a> Lowerer<'a> {
                     }
                 };
                 let _ = self.expr_ty_with(&key_body, env, &key.param, &elem_ty)?;
+                let span = OpSpan::at(chain.ops.len() as u32, "OrderBy");
                 chain.ops.push(QuilOp::Sink(SinkOp {
                     param: key.param.clone(),
                     kind: SinkKind::OrderBy {
@@ -303,28 +311,33 @@ impl<'a> Lowerer<'a> {
                     },
                     in_ty: elem_ty.clone(),
                     out_ty: elem_ty,
+                    span,
                 }));
                 Ok(chain)
             }
             QueryExpr::Distinct { input } => {
                 let mut chain = self.input_chain(input, env)?;
                 let elem_ty = chain.elem_ty();
+                let span = OpSpan::at(chain.ops.len() as u32, "Distinct");
                 chain.ops.push(QuilOp::Sink(SinkOp {
                     param: "it".into(),
                     kind: SinkKind::Distinct,
                     in_ty: elem_ty.clone(),
                     out_ty: elem_ty,
+                    span,
                 }));
                 Ok(chain)
             }
             QueryExpr::ToVec { input } => {
                 let mut chain = self.input_chain(input, env)?;
                 let elem_ty = chain.elem_ty();
+                let span = OpSpan::at(chain.ops.len() as u32, "ToVec");
                 chain.ops.push(QuilOp::Sink(SinkOp {
                     param: "it".into(),
                     kind: SinkKind::ToVec,
                     in_ty: elem_ty.clone(),
                     out_ty: elem_ty,
+                    span,
                 }));
                 Ok(chain)
             }
@@ -431,10 +444,19 @@ impl<'a> Lowerer<'a> {
                 }));
             }
         }
+        let operator = match &kind {
+            PredKind::Take(_) => "Take",
+            PredKind::Skip(_) => "Skip",
+            PredKind::TakeWhile(_) => "TakeWhile",
+            PredKind::SkipWhile(_) => "SkipWhile",
+            PredKind::Expr(_) | PredKind::Nested(_) => "Where",
+        };
+        let span = OpSpan::at(chain.ops.len() as u32, operator);
         chain.ops.push(QuilOp::Pred {
             param: param.to_string(),
             kind,
             elem_ty,
+            span,
         });
         Ok(chain)
     }
@@ -472,6 +494,7 @@ impl<'a> Lowerer<'a> {
 
         let Some(r) = result else {
             let out_ty = Ty::pair(key_ty.clone(), Ty::seq(val_ty.clone()));
+            let span = OpSpan::at(chain.ops.len() as u32, "GroupBy");
             chain.ops.push(QuilOp::Sink(SinkOp {
                 param: key.param.clone(),
                 kind: SinkKind::GroupBy {
@@ -482,6 +505,7 @@ impl<'a> Lowerer<'a> {
                 },
                 in_ty,
                 out_ty,
+                span,
             }));
             return Ok(chain);
         };
@@ -503,6 +527,7 @@ impl<'a> Lowerer<'a> {
                 renv.bind(r.key_param.clone(), key_ty.clone());
                 renv.bind(r.agg_param.clone(), agg.out_ty.clone());
                 let out_ty = expr_ty(&r.result, &renv, self.udfs)?;
+                let span = OpSpan::at(chain.ops.len() as u32, "GroupBy");
                 chain.ops.push(QuilOp::Sink(SinkOp {
                     param: key.param.clone(),
                     kind: SinkKind::GroupByAggregate {
@@ -516,6 +541,7 @@ impl<'a> Lowerer<'a> {
                     },
                     in_ty,
                     out_ty,
+                    span,
                 }));
                 return Ok(chain);
             }
@@ -526,6 +552,7 @@ impl<'a> Lowerer<'a> {
         // each (key, group) pair.
         let pair_param = format!("{}_kv", r.group_param);
         let pair_ty = Ty::pair(key_ty.clone(), Ty::seq(val_ty.clone()));
+        let span = OpSpan::at(chain.ops.len() as u32, "GroupBy");
         chain.ops.push(QuilOp::Sink(SinkOp {
             param: key.param.clone(),
             kind: SinkKind::GroupBy {
@@ -536,6 +563,7 @@ impl<'a> Lowerer<'a> {
             },
             in_ty,
             out_ty: pair_ty.clone(),
+            span,
         }));
         let group_ref = Expr::var(pair_param.clone()).field(1);
         let nested = subst_chain(&gchain, &r.group_param, &group_ref);
@@ -548,6 +576,7 @@ impl<'a> Lowerer<'a> {
         renv.bind(pair_param.clone(), pair_ty.clone());
         renv.bind(r.agg_param.clone(), nested.result_ty());
         let out_ty = expr_ty(&wrap_expr, &renv, self.udfs)?;
+        let span = OpSpan::at(chain.ops.len() as u32, "GroupBy");
         chain.ops.push(QuilOp::Trans {
             param: pair_param,
             kind: TransKind::Nested(NestedTrans {
@@ -556,6 +585,7 @@ impl<'a> Lowerer<'a> {
             }),
             in_ty: pair_ty,
             out_ty,
+            span,
         });
         Ok(chain)
     }

@@ -185,6 +185,7 @@ pub fn plan(chain: &QuilChain) -> ParallelPlan {
                     },
                     in_ty: in_ty.clone(),
                     out_ty: pair_ty,
+                    span: suffix[0].span(),
                 }));
                 return ParallelPlan {
                     map_chain: QuilChain {

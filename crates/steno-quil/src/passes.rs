@@ -133,6 +133,8 @@ fn try_fuse_at(ops: &[QuilOp], i: usize) -> Option<QuilOp> {
         },
         in_ty: in_ty.clone(),
         out_ty: out_ty.clone(),
+        // The fused sink stands in for the original GroupBy.
+        span: ops[i].span(),
     }))
 }
 
@@ -151,6 +153,7 @@ pub fn specialize_group_aggregate(chain: &QuilChain) -> (QuilChain, bool) {
                 kind: TransKind::Nested(n),
                 in_ty,
                 out_ty,
+                span,
             } => {
                 let (inner, ch) = specialize_group_aggregate(&n.chain);
                 changed |= ch;
@@ -162,6 +165,7 @@ pub fn specialize_group_aggregate(chain: &QuilChain) -> (QuilChain, bool) {
                     }),
                     in_ty: in_ty.clone(),
                     out_ty: out_ty.clone(),
+                    span: *span,
                 }
             }
             other => other.clone(),
@@ -466,6 +470,7 @@ pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
                 kind: TransKind::Nested(n),
                 in_ty,
                 out_ty,
+                span,
             } => {
                 let (inner, ch) = fuse_elementwise(&n.chain);
                 changed |= ch;
@@ -477,6 +482,7 @@ pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
                     }),
                     in_ty: in_ty.clone(),
                     out_ty: out_ty.clone(),
+                    span: *span,
                 }
             }
             other => other.clone(),
@@ -491,6 +497,7 @@ pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
                     param: p1,
                     kind: TransKind::Expr(e1),
                     in_ty,
+                    span,
                     ..
                 },
                 QuilOp::Trans {
@@ -504,12 +511,14 @@ pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
                 kind: TransKind::Expr(subst(e2, p2, e1)),
                 in_ty: in_ty.clone(),
                 out_ty: out_ty.clone(),
+                span: *span,
             }),
             (
                 QuilOp::Pred {
                     param: p1,
                     kind: PredKind::Expr(e1),
                     elem_ty,
+                    span,
                 },
                 QuilOp::Pred {
                     param: p2,
@@ -523,6 +532,7 @@ pub fn fuse_elementwise(chain: &QuilChain) -> (QuilChain, bool) {
                         .and(steno_expr::subst::rename(e2, p2, p1)),
                 ),
                 elem_ty: elem_ty.clone(),
+                span: *span,
             }),
             _ => None,
         };

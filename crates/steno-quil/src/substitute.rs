@@ -49,6 +49,7 @@ fn subst_op(op: &QuilOp, name: &str, replacement: &Expr) -> QuilOp {
             kind,
             in_ty,
             out_ty,
+            span,
         } => QuilOp::Trans {
             param: param.clone(),
             kind: match kind {
@@ -71,11 +72,13 @@ fn subst_op(op: &QuilOp, name: &str, replacement: &Expr) -> QuilOp {
             },
             in_ty: in_ty.clone(),
             out_ty: out_ty.clone(),
+            span: *span,
         },
         QuilOp::Pred {
             param,
             kind,
             elem_ty,
+            span,
         } => QuilOp::Pred {
             param: param.clone(),
             kind: match kind {
@@ -97,6 +100,7 @@ fn subst_op(op: &QuilOp, name: &str, replacement: &Expr) -> QuilOp {
                 }
             },
             elem_ty: elem_ty.clone(),
+            span: *span,
         },
         QuilOp::Sink(s) => QuilOp::Sink(SinkOp {
             param: s.param.clone(),
@@ -151,6 +155,7 @@ fn subst_op(op: &QuilOp, name: &str, replacement: &Expr) -> QuilOp {
             },
             in_ty: s.in_ty.clone(),
             out_ty: s.out_ty.clone(),
+            span: s.span,
         }),
     }
 }
@@ -194,6 +199,7 @@ mod tests {
                 kind: TransKind::Expr(Expr::var("y") * Expr::var("scale")),
                 in_ty: Ty::F64,
                 out_ty: Ty::F64,
+                span: crate::ir::OpSpan::none(),
             }],
             agg: None,
         }

@@ -142,6 +142,16 @@ pub enum BOp {
     /// `i[d] = i[a].wrapping_rem(i[b])` on live lanes; faults as `DivI`.
     RemI(u8, u8, u8),
 
+    // -- guard-free i64 division (dense) -------------------------------
+    /// `i[d] = i[a].wrapping_div(i[b])` dense, with no zero-divisor
+    /// check and no selection consult: emitted only when interval
+    /// analysis proved the divisor expression excludes zero on *every*
+    /// input, so no lane — live or dead — can fault.
+    DivIUnchecked(u8, u8, u8),
+    /// `i[d] = i[a].wrapping_rem(i[b])` dense; same proof obligation as
+    /// `DivIUnchecked`.
+    RemIUnchecked(u8, u8, u8),
+
     // -- comparisons into the bool bank --------------------------------
     /// `b[d] = f[a] == f[b]`.
     EqFB(u8, u8, u8),
@@ -542,6 +552,13 @@ pub fn run_batch(
                         len,
                         |x: i64, y: i64| x.wrapping_rem(y),
                     );
+                }
+
+                BOp::DivIUnchecked(d, a, b) => {
+                    bini!(d, a, b, |x: i64, y: i64| x.wrapping_div(y))
+                }
+                BOp::RemIUnchecked(d, a, b) => {
+                    bini!(d, a, b, |x: i64, y: i64| x.wrapping_rem(y))
                 }
 
                 BOp::EqFB(d, a, b) => cmpf!(d, a, b, |x: f64, y: f64| x == y),

@@ -12,7 +12,7 @@ use steno_codegen::imp::{ImpProgram, LoopHeader, SinkDecl, Stmt, Terminal};
 use steno_expr::expr::{BinOp, UnOp};
 use steno_expr::{Expr, Ty, UdfRegistry, Value};
 
-use crate::instr::{Instr, LoopPlan, LoopTier, Pc, Program};
+use crate::instr::{FallbackReason, Instr, LoopPlan, LoopTier, Pc, Program};
 
 /// An error during bytecode assembly. Programs generated from lowered
 /// chains assemble cleanly; errors indicate unsupported shapes.
@@ -77,7 +77,8 @@ struct Compiler<'a> {
     n_sinks: u32,
     n_fused: u32,
     n_batch: u32,
-    batch_fallbacks: Vec<String>,
+    batch_fallbacks: Vec<FallbackReason>,
+    n_guards_dropped: u32,
     loop_plans: Vec<LoopPlan>,
     loops: Vec<LoopCtx>,
     fusion: bool,
@@ -593,7 +594,9 @@ impl<'a> Compiler<'a> {
                             return Ok(());
                         }
                         Err(reason) => {
-                            self.batch_fallbacks.push(reason.clone());
+                            if !self.batch_fallbacks.contains(&reason) {
+                                self.batch_fallbacks.push(reason.clone());
+                            }
                             vectorize_fallback = Some(reason);
                         }
                     }
@@ -1107,6 +1110,7 @@ pub fn assemble_with(
         n_fused: 0,
         n_batch: 0,
         batch_fallbacks: Vec::new(),
+        n_guards_dropped: 0,
         loop_plans: Vec::new(),
         loops: Vec::new(),
         fusion,
@@ -1131,6 +1135,7 @@ pub fn assemble_with(
         n_fused: c.n_fused,
         n_batch: c.n_batch,
         batch_fallbacks: c.batch_fallbacks,
+        n_guards_dropped: c.n_guards_dropped,
         loop_plans: c.loop_plans,
         source_names: c.src_names,
         udf_names: c.udf_names,
@@ -1527,6 +1532,10 @@ struct VecAttempt {
     /// conditional branches): batch execution is eager, so a trap there
     /// could fire on lanes the scalar semantics never evaluates.
     n_traps: u32,
+    /// Integer divisions whose zero-divisor guard was dropped because
+    /// range analysis proved the divisor excludes zero. Tallied into
+    /// `Program::n_guards_dropped` only when the attempt succeeds.
+    guards_dropped: u32,
     /// Yields emitted so far (at most one: a second yield per iteration
     /// interleaves per element, which batching would reorder).
     n_outs: u32,
@@ -1537,31 +1546,31 @@ struct VecAttempt {
 const VEC_SLOT_CAP: u16 = 200;
 
 impl VecAttempt {
-    fn slot_f(&mut self) -> Result<u8, String> {
+    fn slot_f(&mut self) -> Result<u8, FallbackReason> {
         if self.n_f >= VEC_SLOT_CAP {
-            return Err("f64 slot budget exceeded".into());
+            return Err(FallbackReason::Budget("f64 slot"));
         }
         self.n_f += 1;
         Ok((self.n_f - 1) as u8)
     }
 
-    fn slot_i(&mut self) -> Result<u8, String> {
+    fn slot_i(&mut self) -> Result<u8, FallbackReason> {
         if self.n_i >= VEC_SLOT_CAP {
-            return Err("i64 slot budget exceeded".into());
+            return Err(FallbackReason::Budget("i64 slot"));
         }
         self.n_i += 1;
         Ok((self.n_i - 1) as u8)
     }
 
-    fn slot_b(&mut self) -> Result<u8, String> {
+    fn slot_b(&mut self) -> Result<u8, FallbackReason> {
         if self.n_b >= VEC_SLOT_CAP {
-            return Err("bool slot budget exceeded".into());
+            return Err(FallbackReason::Budget("bool slot"));
         }
         self.n_b += 1;
         Ok((self.n_b - 1) as u8)
     }
 
-    fn const_f(&mut self, x: f64) -> Result<u8, String> {
+    fn const_f(&mut self, x: f64) -> Result<u8, FallbackReason> {
         if let Some(s) = self.consts_f.get(&x.to_bits()) {
             return Ok(*s);
         }
@@ -1571,7 +1580,7 @@ impl VecAttempt {
         Ok(s)
     }
 
-    fn const_i(&mut self, x: i64) -> Result<u8, String> {
+    fn const_i(&mut self, x: i64) -> Result<u8, FallbackReason> {
         if let Some(s) = self.consts_i.get(&x) {
             return Ok(*s);
         }
@@ -1581,7 +1590,7 @@ impl VecAttempt {
         Ok(s)
     }
 
-    fn const_b(&mut self, x: bool) -> Result<u8, String> {
+    fn const_b(&mut self, x: bool) -> Result<u8, FallbackReason> {
         if let Some(s) = self.consts_b[usize::from(x)] {
             return Ok(s);
         }
@@ -1592,12 +1601,12 @@ impl VecAttempt {
     }
 
     /// Index of an I-bank register in the loop-entry snapshot.
-    fn iparam_index(&mut self, reg: u32) -> Result<u8, String> {
+    fn iparam_index(&mut self, reg: u32) -> Result<u8, FallbackReason> {
         if let Some(i) = self.i_param_idx.get(&reg) {
             return Ok(*i);
         }
         if self.i_params.len() >= VEC_SLOT_CAP as usize {
-            return Err("parameter budget exceeded".into());
+            return Err(FallbackReason::Budget("parameter"));
         }
         let idx = self.i_params.len() as u8;
         self.i_params.push(reg);
@@ -1605,12 +1614,12 @@ impl VecAttempt {
         Ok(idx)
     }
 
-    fn param_f(&mut self, reg: u32) -> Result<u8, String> {
+    fn param_f(&mut self, reg: u32) -> Result<u8, FallbackReason> {
         if let Some(s) = self.f_param_slots.get(&reg) {
             return Ok(*s);
         }
         if self.f_params.len() >= VEC_SLOT_CAP as usize {
-            return Err("parameter budget exceeded".into());
+            return Err(FallbackReason::Budget("parameter"));
         }
         let s = self.slot_f()?;
         let idx = self.f_params.len() as u8;
@@ -1620,7 +1629,7 @@ impl VecAttempt {
         Ok(s)
     }
 
-    fn param_i(&mut self, reg: u32) -> Result<u8, String> {
+    fn param_i(&mut self, reg: u32) -> Result<u8, FallbackReason> {
         if let Some(s) = self.i_param_slots.get(&reg) {
             return Ok(*s);
         }
@@ -1631,7 +1640,7 @@ impl VecAttempt {
         Ok(s)
     }
 
-    fn param_b(&mut self, reg: u32) -> Result<u8, String> {
+    fn param_b(&mut self, reg: u32) -> Result<u8, FallbackReason> {
         if let Some(s) = self.b_param_slots.get(&reg) {
             return Ok(*s);
         }
@@ -1699,6 +1708,33 @@ fn may_trap(e: &Expr) -> bool {
 }
 
 impl<'a> Compiler<'a> {
+    /// Whether range analysis proves the integer divisor `e` can never
+    /// be zero, on *any* input — the proof that lets the vectorizer
+    /// drop the per-lane zero-divisor guard (and, because the division
+    /// then counts as non-trapping, accept loops whose divisions sit
+    /// under conditionals or short-circuit operands). Conservative:
+    /// unknown types and unbounded intervals answer `false`.
+    fn divisor_excludes_zero(&self, at: &VecAttempt, e: &Expr) -> bool {
+        use crate::batch::Lane;
+        let mut env = steno_expr::typecheck::TyEnv::new();
+        for (name, (_, ty)) in &self.scope {
+            if matches!(ty, Ty::F64 | Ty::I64 | Ty::Bool) {
+                env = env.with(name.clone(), ty.clone());
+            }
+        }
+        // Loop locals shadow outer registers, so they bind last.
+        for (name, (lane, _)) in &at.locals {
+            let ty = match lane {
+                Lane::F => Ty::F64,
+                Lane::I => Ty::I64,
+                Lane::B => Ty::Bool,
+            };
+            env = env.with(name.clone(), ty);
+        }
+        let facts = steno_analysis::analyze(e, &env);
+        facts.range.is_some_and(|r| r.excludes_zero())
+    }
+
     /// Attempts to compile a loop with the vectorized tier, emitting one
     /// [`Instr::BatchLoop`] on success. On failure nothing is emitted,
     /// no compiler state changes, and the returned reason joins the
@@ -1709,17 +1745,17 @@ impl<'a> Compiler<'a> {
         header: &LoopHeader,
         elem_var: &str,
         body: steno_codegen::imp::BlockId,
-    ) -> Result<(), String> {
+    ) -> Result<(), FallbackReason> {
         use crate::batch::{BOp, BatchProgram, KeyRef, Lane};
 
         let LoopHeader::Source { name, elem_ty } = header else {
-            return Err("loop is not over a source column".into());
+            return Err(FallbackReason::NotSourceLoop);
         };
         let src_lane = match elem_ty {
             Ty::F64 => Lane::F,
             Ty::I64 => Lane::I,
             Ty::Bool => Lane::B,
-            other => return Err(format!("source element type {other} is boxed")),
+            other => return Err(FallbackReason::BoxedSource(other.clone())),
         };
         let stmts = p.flatten(body);
 
@@ -1730,7 +1766,7 @@ impl<'a> Compiler<'a> {
             match s {
                 Stmt::Decl { ty, .. } => {
                     if !matches!(ty, Ty::F64 | Ty::I64 | Ty::Bool) {
-                        return Err(format!("loop-local of boxed type {ty}"));
+                        return Err(FallbackReason::BoxedLocal(ty.clone()));
                     }
                 }
                 Stmt::IfNotContinue { .. }
@@ -1738,7 +1774,7 @@ impl<'a> Compiler<'a> {
                 | Stmt::Yield { .. } => {}
                 Stmt::Assign { name, .. } => assigned.push(name),
                 other => {
-                    return Err(format!("statement not batch-eligible: {}", stmt_kind(other)))
+                    return Err(FallbackReason::Statement(stmt_kind(other)))
                 }
             }
         }
@@ -1764,6 +1800,7 @@ impl<'a> Compiler<'a> {
             i_acc_ids: HashMap::new(),
             i_accs: Vec::new(),
             n_traps: 0,
+            guards_dropped: 0,
             n_outs: 0,
             effects: false,
         };
@@ -1777,7 +1814,7 @@ impl<'a> Compiler<'a> {
             match self.scope.get(*name) {
                 Some((Loc::F(reg), Ty::F64)) => {
                     if at.f_accs.len() >= VEC_SLOT_CAP as usize {
-                        return Err("accumulator budget exceeded".into());
+                        return Err(FallbackReason::Budget("accumulator"));
                     }
                     let id = at.f_accs.len() as u8;
                     at.f_accs.push(*reg);
@@ -1785,16 +1822,14 @@ impl<'a> Compiler<'a> {
                 }
                 Some((Loc::I(reg), Ty::I64)) => {
                     if at.i_accs.len() >= VEC_SLOT_CAP as usize {
-                        return Err("accumulator budget exceeded".into());
+                        return Err(FallbackReason::Budget("accumulator"));
                     }
                     let id = at.i_accs.len() as u8;
                     at.i_accs.push(*reg);
                     at.i_acc_ids.insert((*name).to_string(), id);
                 }
                 _ => {
-                    return Err(format!(
-                        "assigned variable `{name}` is not an unboxed f64/i64 accumulator"
-                    ))
+                    return Err(FallbackReason::NotUnboxedAccumulator((*name).to_string()))
                 }
             }
         }
@@ -1829,14 +1864,14 @@ impl<'a> Compiler<'a> {
                         (Ty::F64, Lane::F) | (Ty::I64, Lane::I) | (Ty::Bool, Lane::B)
                     );
                     if !matches_ty {
-                        return Err(format!("declaration of type {ty} got the wrong lane"));
+                        return Err(FallbackReason::DeclLaneMismatch(ty.clone()));
                     }
                     at.locals.insert(name.clone(), (lane, slot));
                 }
                 Stmt::IfNotContinue { cond } => {
                     let (lane, c) = self.vec_expr(&mut at, cond)?;
                     if lane != Lane::B {
-                        return Err("filter predicate is not boolean".into());
+                        return Err(FallbackReason::Shape("filter predicate is not boolean"));
                     }
                     at.tape.push(BOp::Filter(c));
                 }
@@ -1849,7 +1884,7 @@ impl<'a> Compiler<'a> {
                             } else if **b == Expr::Var(name.clone()) {
                                 ('+', a.as_ref())
                             } else {
-                                return Err("assignment is not an accumulator fold".into());
+                                return Err(FallbackReason::Shape("assignment is not an accumulator fold"));
                             }
                         }
                         Expr::Bin(BinOp::Min, a, b) if **a == Expr::Var(name.clone()) => {
@@ -1858,12 +1893,12 @@ impl<'a> Compiler<'a> {
                         Expr::Bin(BinOp::Max, a, b) if **a == Expr::Var(name.clone()) => {
                             ('>', b.as_ref())
                         }
-                        _ => return Err("assignment is not an accumulator fold".into()),
+                        _ => return Err(FallbackReason::Shape("assignment is not an accumulator fold")),
                     };
                     let (lane, val) = self.vec_expr(&mut at, e)?;
                     if let Some(acc) = at.f_acc_ids.get(name.as_str()).copied() {
                         if lane != Lane::F {
-                            return Err("fold lane mismatch".into());
+                            return Err(FallbackReason::LaneMismatch("fold"));
                         }
                         at.tape.push(match kind {
                             '+' => BOp::RedAddF { acc, val },
@@ -1872,7 +1907,7 @@ impl<'a> Compiler<'a> {
                         });
                     } else if let Some(acc) = at.i_acc_ids.get(name.as_str()).copied() {
                         if lane != Lane::I {
-                            return Err("fold lane mismatch".into());
+                            return Err(FallbackReason::LaneMismatch("fold"));
                         }
                         at.tape.push(match kind {
                             '+' => BOp::RedAddI { acc, val },
@@ -1880,7 +1915,7 @@ impl<'a> Compiler<'a> {
                             _ => BOp::RedMaxI { acc, val },
                         });
                     } else {
-                        return Err("assignment target is not an accumulator".into());
+                        return Err(FallbackReason::Shape("assignment target is not an accumulator"));
                     }
                     at.effects = true;
                 }
@@ -1893,13 +1928,13 @@ impl<'a> Compiler<'a> {
                     update,
                 } => {
                     let Some(meta) = self.sinks.get(sink) else {
-                        return Err(format!("unknown sink `{sink}`"));
+                        return Err(FallbackReason::UnknownSink(sink.clone()));
                     };
                     let id = meta.id;
                     let repr = match &meta.acc {
                         Some((AccRepr::SF, _)) => AccRepr::SF,
                         Some((AccRepr::SI, _)) => AccRepr::SI,
-                        _ => return Err("grouped aggregate is not fully scalar".into()),
+                        _ => return Err(FallbackReason::Shape("grouped aggregate is not fully scalar")),
                     };
                     let (klane, kslot) = self.vec_expr(&mut at, key)?;
                     let keyref = match klane {
@@ -1912,22 +1947,22 @@ impl<'a> Compiler<'a> {
                     // sound when it cannot trap.
                     let update_vars = steno_expr::subst::free_vars(update);
                     if !update_vars.contains(elem_param) && may_trap(value) {
-                        return Err("dropped group value could trap".into());
+                        return Err(FallbackReason::DroppedValueMayTrap);
                     }
                     let u = steno_expr::subst::subst(update, elem_param, value);
                     let acc_var = Expr::Var(acc_param.clone());
                     let Expr::Bin(BinOp::Add, a, b) = &u else {
-                        return Err("grouped fold is not a sum".into());
+                        return Err(FallbackReason::Shape("grouped fold is not a sum"));
                     };
                     let e = if **a == acc_var {
                         &**b
                     } else if **b == acc_var {
                         &**a
                     } else {
-                        return Err("grouped fold is not `acc + e`".into());
+                        return Err(FallbackReason::Shape("grouped fold is not `acc + e`"));
                     };
                     if steno_expr::subst::free_vars(e).contains(acc_param) {
-                        return Err("grouped fold reads the accumulator non-linearly".into());
+                        return Err(FallbackReason::Shape("grouped fold reads the accumulator non-linearly"));
                     }
                     let (vlane, val) = self.vec_expr(&mut at, e)?;
                     match (repr, vlane) {
@@ -1941,13 +1976,13 @@ impl<'a> Compiler<'a> {
                             key: keyref,
                             val,
                         }),
-                        _ => return Err("grouped fold lane mismatch".into()),
+                        _ => return Err(FallbackReason::LaneMismatch("grouped fold")),
                     }
                     at.effects = true;
                 }
                 Stmt::Yield { value } => {
                     if at.n_outs >= 1 {
-                        return Err("multiple yields per iteration".into());
+                        return Err(FallbackReason::Shape("multiple yields per iteration"));
                     }
                     let (lane, slot) = self.vec_expr(&mut at, value)?;
                     at.tape.push(match lane {
@@ -1959,17 +1994,18 @@ impl<'a> Compiler<'a> {
                     at.effects = true;
                 }
                 other => {
-                    return Err(format!("statement not batch-eligible: {}", stmt_kind(other)))
+                    return Err(FallbackReason::Statement(stmt_kind(other)))
                 }
             }
         }
         if !at.effects {
-            return Err("loop has no batchable effects".into());
+            return Err(FallbackReason::Shape("loop has no batchable effects"));
         }
 
         // Success: only now does compiler state change.
         let sid = self.src_id(name);
         self.n_batch += 1;
+        self.n_guards_dropped += at.guards_dropped;
         self.emit(Instr::BatchLoop(std::sync::Arc::new(BatchProgram {
             src: sid,
             src_lane,
@@ -1992,7 +2028,7 @@ impl<'a> Compiler<'a> {
         &mut self,
         at: &mut VecAttempt,
         e: &Expr,
-    ) -> Result<(crate::batch::Lane, u8), String> {
+    ) -> Result<(crate::batch::Lane, u8), FallbackReason> {
         use crate::batch::{BOp, Lane};
         match e {
             Expr::Var(name) => {
@@ -2000,7 +2036,7 @@ impl<'a> Compiler<'a> {
                     return Ok(*ls);
                 }
                 if at.f_acc_ids.contains_key(name) || at.i_acc_ids.contains_key(name) {
-                    return Err(format!("accumulator `{name}` read inside a value pipeline"));
+                    return Err(FallbackReason::AccumulatorInPipeline(name.clone()));
                 }
                 match self.scope.get(name) {
                     Some((Loc::F(reg), Ty::F64)) => {
@@ -2015,7 +2051,7 @@ impl<'a> Compiler<'a> {
                         let reg = *reg;
                         Ok((Lane::B, at.param_b(reg)?))
                     }
-                    _ => Err(format!("variable `{name}` is not an unboxed scalar")),
+                    _ => Err(FallbackReason::NotUnboxedScalar(name.clone())),
                 }
             }
             Expr::LitF64(x) => Ok((Lane::F, at.const_f(*x)?)),
@@ -2026,12 +2062,12 @@ impl<'a> Compiler<'a> {
                 let traps_before = at.n_traps;
                 let (lb, rb) = self.vec_expr(at, b)?;
                 if la != Lane::B || lb != Lane::B {
-                    return Err("logical operand is not boolean".into());
+                    return Err(FallbackReason::Shape("logical operand is not boolean"));
                 }
                 if at.n_traps != traps_before {
                     // Eager evaluation would trap on lanes the scalar
                     // short-circuit never reaches.
-                    return Err("trapping op under a short-circuit operand".into());
+                    return Err(FallbackReason::TrapUnderShortCircuit);
                 }
                 let d = at.slot_b()?;
                 at.tape.push(match op {
@@ -2044,7 +2080,7 @@ impl<'a> Compiler<'a> {
                 let (la, ra) = self.vec_expr(at, a)?;
                 let (lb, rb) = self.vec_expr(at, b)?;
                 if la != lb {
-                    return Err("comparison lane mismatch".into());
+                    return Err(FallbackReason::LaneMismatch("comparison"));
                 }
                 let d = at.slot_b()?;
                 let bop = match (la, op) {
@@ -2062,7 +2098,7 @@ impl<'a> Compiler<'a> {
                     (Lane::I, BinOp::Ge) => BOp::GeIB(d, ra, rb),
                     (Lane::B, BinOp::Eq) => BOp::EqBB(d, ra, rb),
                     (Lane::B, BinOp::Ne) => BOp::NeBB(d, ra, rb),
-                    (Lane::B, _) => return Err("ordering comparison on booleans".into()),
+                    (Lane::B, _) => return Err(FallbackReason::Shape("ordering comparison on booleans")),
                     _ => unreachable!("non-comparison op in comparison arm"),
                 };
                 at.tape.push(bop);
@@ -2072,7 +2108,7 @@ impl<'a> Compiler<'a> {
                 let (la, ra) = self.vec_expr(at, a)?;
                 let (lb, rb) = self.vec_expr(at, b)?;
                 if la != lb {
-                    return Err("arithmetic lane mismatch".into());
+                    return Err(FallbackReason::LaneMismatch("arithmetic"));
                 }
                 match la {
                     Lane::F => {
@@ -2086,10 +2122,10 @@ impl<'a> Compiler<'a> {
                             BinOp::Min => BOp::MinF(d, ra, rb),
                             BinOp::Max => BOp::MaxF(d, ra, rb),
                             _ => {
-                                return Err(format!(
-                                    "operator {} not vectorizable on f64",
-                                    op.symbol()
-                                ))
+                                return Err(FallbackReason::Operator {
+                                    op: op.symbol(),
+                                    lane: "f64",
+                                })
                             }
                         };
                         at.tape.push(bop);
@@ -2104,24 +2140,34 @@ impl<'a> Compiler<'a> {
                             BinOp::Min => BOp::MinI(d, ra, rb),
                             BinOp::Max => BOp::MaxI(d, ra, rb),
                             BinOp::Div => {
-                                at.n_traps += 1;
-                                BOp::DivI(d, ra, rb)
+                                if self.divisor_excludes_zero(at, b) {
+                                    at.guards_dropped += 1;
+                                    BOp::DivIUnchecked(d, ra, rb)
+                                } else {
+                                    at.n_traps += 1;
+                                    BOp::DivI(d, ra, rb)
+                                }
                             }
                             BinOp::Rem => {
-                                at.n_traps += 1;
-                                BOp::RemI(d, ra, rb)
+                                if self.divisor_excludes_zero(at, b) {
+                                    at.guards_dropped += 1;
+                                    BOp::RemIUnchecked(d, ra, rb)
+                                } else {
+                                    at.n_traps += 1;
+                                    BOp::RemI(d, ra, rb)
+                                }
                             }
                             _ => {
-                                return Err(format!(
-                                    "operator {} not vectorizable on i64",
-                                    op.symbol()
-                                ))
+                                return Err(FallbackReason::Operator {
+                                    op: op.symbol(),
+                                    lane: "i64",
+                                })
                             }
                         };
                         at.tape.push(bop);
                         Ok((Lane::I, d))
                     }
-                    Lane::B => Err("arithmetic on booleans".into()),
+                    Lane::B => Err(FallbackReason::Shape("arithmetic on booleans")),
                 }
             }
             Expr::Un(op, a) => {
@@ -2162,13 +2208,13 @@ impl<'a> Compiler<'a> {
                         at.tape.push(BOp::NotB(d, ra));
                         Ok((Lane::B, d))
                     }
-                    _ => Err(format!("unary {} on the wrong lane", op.symbol())),
+                    _ => Err(FallbackReason::UnaryWrongLane(op.symbol())),
                 }
             }
             Expr::If(c, t, els) => {
                 let (lc, rc) = self.vec_expr(at, c)?;
                 if lc != Lane::B {
-                    return Err("conditional condition is not boolean".into());
+                    return Err(FallbackReason::Shape("conditional condition is not boolean"));
                 }
                 let traps_before = at.n_traps;
                 let (lt, rt) = self.vec_expr(at, t)?;
@@ -2176,10 +2222,10 @@ impl<'a> Compiler<'a> {
                 if at.n_traps != traps_before {
                     // Lane-wise select evaluates both branches on every
                     // lane; the scalar semantics evaluates only one.
-                    return Err("trapping op under a conditional branch".into());
+                    return Err(FallbackReason::TrapUnderConditional);
                 }
                 if lt != le {
-                    return Err("conditional branch lane mismatch".into());
+                    return Err(FallbackReason::LaneMismatch("conditional branch"));
                 }
                 match lt {
                     Lane::F => {
@@ -2230,10 +2276,10 @@ impl<'a> Compiler<'a> {
                     (Lane::F, Ty::F64) | (Lane::I, Ty::I64) | (Lane::B, Ty::Bool) => {
                         Ok((la, ra))
                     }
-                    _ => Err(format!("cast to {ty} not vectorizable")),
+                    _ => Err(FallbackReason::CastUnsupported(ty.clone())),
                 }
             }
-            other => Err(format!("expression not vectorizable: {}", expr_kind(other))),
+            other => Err(FallbackReason::Expression(expr_kind(other))),
         }
     }
 }

@@ -290,15 +290,155 @@ impl std::fmt::Display for LoopTier {
     }
 }
 
+/// Why the vectorizer refused a loop.
+///
+/// Structured counterpart of the old free-form fallback strings:
+/// `Display` reproduces those strings byte-for-byte (the EXPLAIN text
+/// and JSON forms are stable across the conversion), while
+/// [`FallbackReason::code`] gives a coarse machine-readable category.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FallbackReason {
+    /// The loop header is not a scan over a prepared source column.
+    NotSourceLoop,
+    /// The source's element type has no unboxed batch lane.
+    BoxedSource(Ty),
+    /// A loop-local declaration has a boxed type.
+    BoxedLocal(Ty),
+    /// A declaration's type disagrees with its initializer's lane.
+    DeclLaneMismatch(Ty),
+    /// A cast with no batch kernel.
+    CastUnsupported(Ty),
+    /// A statement form with no batch equivalent (payload from
+    /// `stmt_kind`).
+    Statement(&'static str),
+    /// An expression form with no batch equivalent (payload from
+    /// `expr_kind`).
+    Expression(&'static str),
+    /// An operator with no batch kernel on the given lane.
+    Operator {
+        /// The operator symbol.
+        op: &'static str,
+        /// The lane it was applied on (`"f64"` / `"i64"`).
+        lane: &'static str,
+    },
+    /// A unary operator applied on a lane it has no kernel for.
+    UnaryWrongLane(&'static str),
+    /// A compile-time resource budget was exceeded (payload names the
+    /// budget: `"f64 slot"`, `"parameter"`, `"accumulator"`, …).
+    Budget(&'static str),
+    /// A trapping op under a conditional branch: lane-wise select
+    /// evaluates both branches on every lane, the scalar semantics only
+    /// one.
+    TrapUnderConditional,
+    /// A trapping op in a short-circuit right operand: eager batch
+    /// evaluation would trap on lanes the scalar semantics never
+    /// reaches.
+    TrapUnderShortCircuit,
+    /// A grouped fold ignores its value operand, but dropping it would
+    /// erase a trap the scalar semantics produces.
+    DroppedValueMayTrap,
+    /// An accumulator was read inside a value pipeline.
+    AccumulatorInPipeline(String),
+    /// A free variable is not an unboxed scalar register.
+    NotUnboxedScalar(String),
+    /// An assigned variable is not an unboxed f64/i64 accumulator.
+    NotUnboxedAccumulator(String),
+    /// A sink name with no compiled sink (indicates a codegen bug).
+    UnknownSink(String),
+    /// Operand lanes disagree (payload names the construct:
+    /// `"comparison"`, `"arithmetic"`, `"fold"`, …).
+    LaneMismatch(&'static str),
+    /// A loop/statement shape the batcher does not recognize; the
+    /// payload is the full message.
+    Shape(&'static str),
+}
+
+impl FallbackReason {
+    /// A coarse kebab-case category for machine consumption (JSON
+    /// explain output groups on this).
+    pub fn code(&self) -> &'static str {
+        match self {
+            FallbackReason::NotSourceLoop
+            | FallbackReason::UnknownSink(_)
+            | FallbackReason::Shape(_) => "loop-shape",
+            FallbackReason::BoxedSource(_)
+            | FallbackReason::BoxedLocal(_)
+            | FallbackReason::NotUnboxedScalar(_)
+            | FallbackReason::NotUnboxedAccumulator(_)
+            | FallbackReason::AccumulatorInPipeline(_) => "boxed-value",
+            FallbackReason::DeclLaneMismatch(_) | FallbackReason::LaneMismatch(_) => {
+                "lane-mismatch"
+            }
+            FallbackReason::CastUnsupported(_)
+            | FallbackReason::Expression(_)
+            | FallbackReason::Operator { .. }
+            | FallbackReason::UnaryWrongLane(_) => "unsupported-expression",
+            FallbackReason::Statement(_) => "unsupported-statement",
+            FallbackReason::Budget(_) => "budget",
+            FallbackReason::TrapUnderConditional
+            | FallbackReason::TrapUnderShortCircuit
+            | FallbackReason::DroppedValueMayTrap => "trap-semantics",
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FallbackReason::NotSourceLoop => f.write_str("loop is not over a source column"),
+            FallbackReason::BoxedSource(ty) => {
+                write!(f, "source element type {ty} is boxed")
+            }
+            FallbackReason::BoxedLocal(ty) => write!(f, "loop-local of boxed type {ty}"),
+            FallbackReason::DeclLaneMismatch(ty) => {
+                write!(f, "declaration of type {ty} got the wrong lane")
+            }
+            FallbackReason::CastUnsupported(ty) => write!(f, "cast to {ty} not vectorizable"),
+            FallbackReason::Statement(kind) => {
+                write!(f, "statement not batch-eligible: {kind}")
+            }
+            FallbackReason::Expression(kind) => {
+                write!(f, "expression not vectorizable: {kind}")
+            }
+            FallbackReason::Operator { op, lane } => {
+                write!(f, "operator {op} not vectorizable on {lane}")
+            }
+            FallbackReason::UnaryWrongLane(op) => write!(f, "unary {op} on the wrong lane"),
+            FallbackReason::Budget(what) => write!(f, "{what} budget exceeded"),
+            FallbackReason::TrapUnderConditional => {
+                f.write_str("trapping op under a conditional branch")
+            }
+            FallbackReason::TrapUnderShortCircuit => {
+                f.write_str("trapping op under a short-circuit operand")
+            }
+            FallbackReason::DroppedValueMayTrap => {
+                f.write_str("dropped group value could trap")
+            }
+            FallbackReason::AccumulatorInPipeline(name) => {
+                write!(f, "accumulator `{name}` read inside a value pipeline")
+            }
+            FallbackReason::NotUnboxedScalar(name) => {
+                write!(f, "variable `{name}` is not an unboxed scalar")
+            }
+            FallbackReason::NotUnboxedAccumulator(name) => {
+                write!(f, "assigned variable `{name}` is not an unboxed f64/i64 accumulator")
+            }
+            FallbackReason::UnknownSink(name) => write!(f, "unknown sink `{name}`"),
+            FallbackReason::LaneMismatch(what) => write!(f, "{what} lane mismatch"),
+            FallbackReason::Shape(msg) => f.write_str(msg),
+        }
+    }
+}
+
 /// The compiler's tier decision for one loop, in compilation order
 /// (outer loops before the loops nested inside them).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LoopPlan {
     /// The tier the loop landed in.
     pub tier: LoopTier,
     /// When the vectorizer was enabled but refused this loop, the exact
     /// reason it gave; `None` for vectorized loops or a disabled tier.
-    pub vectorize_fallback: Option<String>,
+    pub vectorize_fallback: Option<FallbackReason>,
 }
 
 /// A complete bytecode program.
@@ -319,9 +459,13 @@ pub struct Program {
     /// Number of loops compiled by the vectorized tier.
     pub n_batch: u32,
     /// Why loops (if any) fell back from the vectorized tier, in
-    /// compilation order. Empty when everything vectorized or the tier
-    /// was disabled.
-    pub batch_fallbacks: Vec<String>,
+    /// compilation order and deduplicated (two loops refused for the
+    /// same reason list it once). Empty when everything vectorized or
+    /// the tier was disabled.
+    pub batch_fallbacks: Vec<FallbackReason>,
+    /// Per-lane integer-division trap guards the compiler dropped
+    /// because range analysis proved the divisor non-zero.
+    pub n_guards_dropped: u32,
     /// Tier decision per compiled loop, in compilation order. The EXPLAIN
     /// facility renders these; counts agree with `n_fused`/`n_batch`.
     pub loop_plans: Vec<LoopPlan>,

@@ -52,6 +52,6 @@ pub mod sink;
 
 pub use compile::{assemble, CompileError};
 pub use exec::{run_program, run_program_profiled, VmError};
-pub use instr::{Instr, LoopPlan, LoopTier, Program};
+pub use instr::{FallbackReason, Instr, LoopPlan, LoopTier, Program};
 pub use profile::QueryProfile;
 pub use query::{CompiledQuery, EngineKind, QueryCache, StenoOptions, VectorizationPolicy};

@@ -126,6 +126,7 @@ mod tests {
             n_fused: 0,
             n_batch: 0,
             batch_fallbacks: vec![],
+            n_guards_dropped: 0,
             loop_plans: vec![],
             source_names: vec!["zzz".into()],
             udf_names: vec![],

@@ -109,6 +109,7 @@ pub struct CompiledQuery {
     rust_source: String,
     compile_time: Duration,
     quil: String,
+    chain: QuilChain,
 }
 
 impl CompiledQuery {
@@ -204,7 +205,14 @@ impl CompiledQuery {
             rust_source,
             compile_time: start.elapsed(),
             quil,
+            chain,
         })
+    }
+
+    /// The optimized QUIL chain this query compiled from — the input to
+    /// the plan verifier (`steno-analysis`) and the lint framework.
+    pub fn chain(&self) -> &QuilChain {
+        &self.chain
     }
 
     /// Executes the compiled query against a context.
@@ -286,11 +294,17 @@ impl CompiledQuery {
         crate::batch::BATCH
     }
 
-    /// Why loops fell back from the vectorized tier (one reason per
-    /// loop that was attempted and rejected; empty when everything
-    /// vectorized or vectorization was off).
-    pub fn batch_fallbacks(&self) -> &[String] {
+    /// Why loops fell back from the vectorized tier (deduplicated, in
+    /// first-occurrence order; empty when everything vectorized or
+    /// vectorization was off).
+    pub fn batch_fallbacks(&self) -> &[crate::instr::FallbackReason] {
         &self.program.batch_fallbacks
+    }
+
+    /// How many per-lane integer-division trap guards the compiler
+    /// dropped because range analysis proved the divisor non-zero.
+    pub fn guards_dropped(&self) -> u32 {
+        self.program.n_guards_dropped
     }
 
     /// The compiler's tier decision per loop, in compilation order
@@ -511,9 +525,61 @@ mod tests {
         let plans = compiled.loop_plans();
         assert_eq!(plans.len(), 1);
         assert_ne!(plans[0].tier, crate::instr::LoopTier::Vectorized);
-        let reason = plans[0].vectorize_fallback.as_deref().unwrap();
-        assert_eq!(compiled.batch_fallbacks(), [reason.to_string()]);
-        assert!(!reason.is_empty());
+        let reason = plans[0].vectorize_fallback.clone().unwrap();
+        assert_eq!(compiled.batch_fallbacks(), std::slice::from_ref(&reason));
+        assert!(!reason.to_string().is_empty());
+    }
+
+    #[test]
+    fn nonzero_divisor_proof_unlocks_conditional_division() {
+        // `if x % 2 == 0 { x / 2 } else { 3x + 1 }`: the division sits
+        // under a conditional, which used to refuse the whole loop
+        // ("trapping op under a conditional branch"). Range analysis
+        // proves the divisor 2 excludes zero, so the division is no
+        // longer counted as trapping, the loop vectorizes, and the
+        // per-lane zero-divisor guard is dropped.
+        let x = || Expr::var("x");
+        let collatz = Expr::if_(
+            (x() % Expr::liti(2)).eq(Expr::liti(0)),
+            x() / Expr::liti(2),
+            Expr::liti(3) * x() + Expr::liti(1),
+        );
+        let q = Query::source("ns")
+            .select(collatz, "x")
+            .sum_by(Expr::var("y"), "y")
+            .build();
+        let c = ctx();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &UdfRegistry::new()).unwrap();
+        assert_eq!(compiled.vectorized_loops(), 1, "{:?}", compiled.batch_fallbacks());
+        assert!(compiled.guards_dropped() >= 1);
+        // ns = [1..6]: collatz steps 4, 1, 10, 2, 16, 3 → 36.
+        assert_eq!(compiled.run(&c, &UdfRegistry::new()).unwrap(), Value::I64(36));
+    }
+
+    #[test]
+    fn unprovable_divisor_keeps_the_guard_and_the_refusal() {
+        // Dividing by the element itself cannot be proven non-zero, so
+        // the conditional-branch refusal still applies.
+        let x = || Expr::var("x");
+        let q = Query::source("ns")
+            .select(
+                Expr::if_(
+                    x().gt(Expr::liti(0)),
+                    Expr::liti(100) / x(),
+                    Expr::liti(0),
+                ),
+                "x",
+            )
+            .sum_by(Expr::var("y"), "y")
+            .build();
+        let c = ctx();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &UdfRegistry::new()).unwrap();
+        assert_eq!(compiled.vectorized_loops(), 0);
+        assert_eq!(compiled.guards_dropped(), 0);
+        assert_eq!(
+            compiled.batch_fallbacks(),
+            [crate::instr::FallbackReason::TrapUnderConditional]
+        );
     }
 
     #[test]

@@ -467,6 +467,61 @@ fn boolean_lane_pipelines_agree() {
     check3(&Query::source("bs").count().build(), &c, &u);
 }
 
+/// Divisions under a conditional used to refuse vectorization outright
+/// ("trapping op under a conditional branch"). When range analysis
+/// proves every divisor non-zero, the loop vectorizes with the per-lane
+/// trap guards dropped — and must still agree bit-for-bit with the
+/// scalar VM and the interpreter, including on lanes where the branch
+/// not taken by the scalar semantics also computes the division.
+#[test]
+fn proven_nonzero_divisors_vectorize_and_agree() {
+    let u = UdfRegistry::new();
+    let collatz = Expr::if_(
+        (x() % Expr::liti(2)).eq(Expr::liti(0)),
+        x() / Expr::liti(2),
+        Expr::liti(3) * x() + Expr::liti(1),
+    );
+    for &n in &[0usize, 1, 7, BATCH, BATCH + 1, 2 * BATCH + 37] {
+        let data: Vec<i64> = (0..n as i64).map(|i| i * 11 - (n as i64) * 2).collect();
+        let c = DataContext::new().with_source("ns", data);
+        let q = Query::source("ns")
+            .select(collatz.clone(), "x")
+            .sum_by(x(), "x")
+            .build();
+        let (_, vectorized) = compile_pair(&q, &c, &u);
+        assert_eq!(
+            vectorized.engine(),
+            EngineKind::Vectorized,
+            "fallbacks: {:?}",
+            vectorized.batch_fallbacks()
+        );
+        assert!(
+            vectorized.guards_dropped() >= 2,
+            "both `x % 2` and `x / 2` guards should drop: {}",
+            vectorized.guards_dropped()
+        );
+        check3(&q, &c, &u);
+    }
+
+    // Negative control: the same shape with an unprovable divisor must
+    // still refuse the batch tier and keep agreeing through fallback.
+    let risky = Expr::if_(
+        x().gt(Expr::liti(0)),
+        Expr::liti(100) / x(),
+        Expr::liti(0),
+    );
+    let data: Vec<i64> = (-40..40).collect();
+    let c = DataContext::new().with_source("ns", data);
+    let q = Query::source("ns")
+        .select(risky, "x")
+        .sum_by(x(), "x")
+        .build();
+    let (_, vectorized) = compile_pair(&q, &c, &u);
+    assert_eq!(vectorized.engine(), EngineKind::Scalar);
+    assert_eq!(vectorized.guards_dropped(), 0);
+    check3(&q, &c, &u);
+}
+
 #[test]
 fn casts_cross_lanes_bit_for_bit() {
     let u = UdfRegistry::new();

@@ -48,6 +48,11 @@ pub enum StenoError {
     /// A distributed execution failed (vertex failure, exhausted retry
     /// budget, caught vertex panic, bad root source).
     Dist(DistError),
+    /// The independent plan verifier rejected the optimized QUIL chain
+    /// — an optimizer bug was caught before it could produce a wrong
+    /// answer (only when verification is enabled, see
+    /// [`Steno::with_verify`]).
+    Verify(steno_analysis::VerifyError),
 }
 
 impl From<DistError> for StenoError {
@@ -64,6 +69,7 @@ impl fmt::Display for StenoError {
             StenoError::Vm(e) => write!(f, "{e}"),
             StenoError::Optimize(e) => write!(f, "{e}"),
             StenoError::Dist(e) => write!(f, "{e}"),
+            StenoError::Verify(e) => write!(f, "plan verification failed: {e}"),
         }
     }
 }
@@ -80,6 +86,7 @@ pub struct Steno {
     runtime: RuntimeConfig,
     options: StenoOptions,
     collector: Arc<dyn Collector>,
+    verify: bool,
 }
 
 impl Default for Steno {
@@ -89,6 +96,10 @@ impl Default for Steno {
             runtime: RuntimeConfig::default(),
             options: StenoOptions::default(),
             collector: Arc::new(NoopCollector),
+            // Debug builds (and CI, which sets the flag explicitly)
+            // cross-check every optimized plan; release builds skip the
+            // re-typecheck by default.
+            verify: cfg!(debug_assertions),
         }
     }
 }
@@ -146,6 +157,25 @@ impl Steno {
         &self.options
     }
 
+    /// Turns the independent plan verifier on or off. When on, every
+    /// fresh compilation's optimized QUIL chain is re-typechecked and
+    /// its parallel plan cross-derived by `steno-analysis` before the
+    /// query is returned; a rejection surfaces as
+    /// [`StenoError::Verify`] instead of a silently wrong plan. The
+    /// default is on in debug builds and off in release builds (cache
+    /// hits never re-verify, so the steady-state cost is zero either
+    /// way).
+    #[must_use = "with_verify returns the configured engine"]
+    pub fn with_verify(mut self, on: bool) -> Steno {
+        self.verify = on;
+        self
+    }
+
+    /// Whether this engine verifies freshly compiled plans.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify
+    }
+
     /// Executes a query AST, optimizing when possible.
     ///
     /// # Errors
@@ -162,12 +192,15 @@ impl Steno {
 
     /// Compiles through the cache, reporting hit/miss into the
     /// engine's collector (compile latency is recorded on misses).
+    /// Freshly compiled plans are checked by the independent verifier
+    /// when [`Steno::with_verify`] is on; cache hits were verified when
+    /// they were first compiled and are not re-checked.
     fn compile_metered(
         &self,
         q: &QueryExpr,
         sources: SourceTypes,
         udfs: &UdfRegistry,
-    ) -> Result<(Arc<CompiledQuery>, bool), OptimizeError> {
+    ) -> Result<(Arc<CompiledQuery>, bool), StenoError> {
         let result = self
             .cache
             .get_or_compile_tuned_traced(q, sources, udfs, self.options);
@@ -182,7 +215,12 @@ impl Steno {
                 Err(_) => self.collector.add("steno.compile.error", 1),
             }
         }
-        result
+        let (compiled, hit) = result.map_err(StenoError::Optimize)?;
+        if self.verify && !hit {
+            steno_analysis::verify(compiled.chain(), udfs).map_err(StenoError::Verify)?;
+            self.collector.add("steno.verify.passed", 1);
+        }
+        Ok((compiled, hit))
     }
 
     /// As [`Steno::execute`], also reporting which path ran.
@@ -206,7 +244,9 @@ impl Steno {
                     .map(|v| (v, ExecutionPath::Optimized))
                     .map_err(StenoError::Vm)
             }
-            Err(OptimizeError::Lower(steno_quil::LowerError::Unsupported(_))) => {
+            Err(StenoError::Optimize(OptimizeError::Lower(
+                steno_quil::LowerError::Unsupported(_),
+            ))) => {
                 // The paper's behaviour: shapes Steno does not optimize
                 // run through the stock iterator implementation.
                 self.collector.add("steno.query.fallback", 1);
@@ -215,7 +255,7 @@ impl Steno {
                     .map(|v| (v, ExecutionPath::Fallback))
                     .map_err(StenoError::Eval)
             }
-            Err(e) => Err(StenoError::Optimize(e)),
+            Err(e) => Err(e),
         }
     }
 
@@ -250,7 +290,9 @@ impl Steno {
                     })
                     .map_err(StenoError::Vm)
             }
-            Err(OptimizeError::Lower(steno_quil::LowerError::Unsupported(_))) => {
+            Err(StenoError::Optimize(OptimizeError::Lower(
+                steno_quil::LowerError::Unsupported(_),
+            ))) => {
                 self.collector.add("steno.query.fallback", 1);
                 let start = std::time::Instant::now();
                 let value = interp::execute(q, ctx, udfs).map_err(StenoError::Eval)?;
@@ -260,7 +302,7 @@ impl Steno {
                 };
                 Ok((value, ExecutionPath::Fallback, prof))
             }
-            Err(e) => Err(StenoError::Optimize(e)),
+            Err(e) => Err(e),
         }
     }
 
@@ -284,26 +326,36 @@ impl Steno {
     ) -> Result<Explain, StenoError> {
         let query = q.to_string();
         match self.compile_metered(q, sources, udfs) {
-            Ok((compiled, _hit)) => Ok(Explain {
-                query,
-                plan: ExplainPlan::Optimized {
-                    quil: compiled.quil().to_string(),
-                    engine: compiled.engine(),
-                    instr_count: compiled.instr_count(),
-                    loops: compiled.loop_plans().to_vec(),
-                    vectorized_loops: compiled.vectorized_loops(),
-                    fused_loops: compiled.fused_loops(),
-                    batch_size: compiled.batch_size(),
-                    result_ty: compiled.result_ty().to_string(),
-                },
-            }),
-            Err(OptimizeError::Lower(e @ steno_quil::LowerError::Unsupported(_))) => Ok(Explain {
+            Ok((compiled, _hit)) => {
+                let lints = steno_analysis::run_default_lints(compiled.chain(), udfs)
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect();
+                Ok(Explain {
+                    query,
+                    plan: ExplainPlan::Optimized {
+                        quil: compiled.quil().to_string(),
+                        engine: compiled.engine(),
+                        instr_count: compiled.instr_count(),
+                        loops: compiled.loop_plans().to_vec(),
+                        vectorized_loops: compiled.vectorized_loops(),
+                        fused_loops: compiled.fused_loops(),
+                        batch_size: compiled.batch_size(),
+                        result_ty: compiled.result_ty().to_string(),
+                        guards_dropped: compiled.guards_dropped(),
+                        lints,
+                    },
+                })
+            }
+            Err(StenoError::Optimize(OptimizeError::Lower(
+                e @ steno_quil::LowerError::Unsupported(_),
+            ))) => Ok(Explain {
                 query,
                 plan: ExplainPlan::Fallback {
                     reason: e.to_string(),
                 },
             }),
-            Err(e) => Err(StenoError::Optimize(e)),
+            Err(e) => Err(e),
         }
     }
 
@@ -328,7 +380,8 @@ impl Steno {
     /// # Errors
     ///
     /// Returns [`StenoError::Optimize`] when the query cannot be
-    /// optimized.
+    /// optimized, and [`StenoError::Verify`] when the plan verifier is
+    /// on and rejects the optimized chain.
     pub fn compile(
         &self,
         q: &QueryExpr,
@@ -337,7 +390,6 @@ impl Steno {
     ) -> Result<Arc<CompiledQuery>, StenoError> {
         self.compile_metered(q, sources, udfs)
             .map(|(compiled, _hit)| compiled)
-            .map_err(StenoError::Optimize)
     }
 
     /// `(hits, misses)` of the query cache.
@@ -570,7 +622,76 @@ mod tests {
         let loops = v.get("loops").and_then(|l| l.as_array()).unwrap();
         assert_eq!(
             loops[0].get("vectorize_fallback").unwrap().as_str(),
-            Some(expected_reason.as_str())
+            Some(expected_reason.to_string().as_str())
+        );
+        assert_eq!(
+            loops[0].get("fallback_code").unwrap().as_str(),
+            Some(expected_reason.code())
+        );
+    }
+
+    #[test]
+    fn verifier_accepts_fresh_compilations_when_enabled() {
+        use steno_obs::MemoryCollector;
+
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new().with_verify(true).with_collector(metrics.clone());
+        assert!(engine.verify_enabled());
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let queries = [
+            Query::source("xs").sum().build(),
+            Query::source("xs")
+                .where_(Expr::var("x").gt(Expr::litf(1.5)), "x")
+                .select(Expr::var("x") * Expr::var("x"), "x")
+                .sum()
+                .build(),
+            Query::source("xs").order_by(Expr::var("x"), "x").take(2).build(),
+        ];
+        for q in &queries {
+            engine.execute(q, &c, &udfs).unwrap();
+            // Re-execution hits the cache: no second verification.
+            engine.execute(q, &c, &udfs).unwrap();
+        }
+        assert_eq!(
+            metrics.counter_value("steno.verify.passed"),
+            queries.len() as u64
+        );
+    }
+
+    #[test]
+    fn explain_surfaces_lints_and_dropped_guards() {
+        // `where 1 > 2` is always false: the dead-filter lint must fire,
+        // and the proven-non-zero division must report its dropped guard.
+        let engine = Steno::new();
+        let c = DataContext::new().with_source("ns", vec![1i64, 2, 3, 4]);
+        let q = Query::source("ns")
+            .where_(Expr::liti(1).gt(Expr::liti(2)), "x")
+            .select(
+                Expr::if_(
+                    (Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)),
+                    Expr::var("x") / Expr::liti(2),
+                    Expr::var("x"),
+                ),
+                "x",
+            )
+            .sum_by(Expr::var("y"), "y")
+            .build();
+        let explain = engine
+            .explain(&q, SourceTypes::from(&c), &UdfRegistry::new())
+            .unwrap();
+        let text = explain.render();
+        // Two guards: `x % 2` and `x / 2` both divide by the literal 2.
+        assert!(text.contains("guards-dropped: 2"), "{text}");
+        assert!(text.contains("lint: warning[dead-filter]"), "{text}");
+        let v = steno_obs::json::parse(&explain.to_json()).unwrap();
+        assert_eq!(v.get("guards_dropped").unwrap().as_u64(), Some(2));
+        let lints = v.get("lints").and_then(|l| l.as_array()).unwrap();
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.as_str().is_some_and(|s| s.contains("dead-filter"))),
+            "{lints:?}"
         );
     }
 

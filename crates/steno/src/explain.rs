@@ -46,6 +46,12 @@ pub enum ExplainPlan {
         batch_size: usize,
         /// The query's result type.
         result_ty: String,
+        /// Per-lane trap guards dropped because range analysis proved
+        /// the divisor non-zero.
+        guards_dropped: u32,
+        /// Lint diagnostics over the QUIL chain, rendered
+        /// (`severity[lint]: message (span)`), in chain order.
+        lints: Vec<String>,
     },
     /// The query runs on the unoptimized iterator interpreter.
     Fallback {
@@ -72,6 +78,8 @@ impl Explain {
                 loops,
                 batch_size,
                 result_ty,
+                guards_dropped,
+                lints,
                 ..
             } => {
                 out.push_str(&format!("  QUIL: {quil}\n"));
@@ -87,6 +95,14 @@ impl Explain {
                         out.push_str(&format!("  vectorize-fallback: \"{reason}\""));
                     }
                     out.push('\n');
+                }
+                if *guards_dropped > 0 {
+                    out.push_str(&format!(
+                        "  guards-dropped: {guards_dropped} (divisor proven non-zero)\n"
+                    ));
+                }
+                for lint in lints {
+                    out.push_str(&format!("  lint: {lint}\n"));
                 }
             }
             ExplainPlan::Fallback { reason } => {
@@ -110,12 +126,18 @@ impl Explain {
                 fused_loops,
                 batch_size,
                 result_ty,
+                guards_dropped,
+                lints,
             } => {
                 let loops_json: Vec<String> = loops
                     .iter()
                     .map(|p| {
                         let fallback = match &p.vectorize_fallback {
-                            Some(r) => format!("\"{}\"", json::escape(r)),
+                            Some(r) => format!(
+                                "\"{}\", \"fallback_code\": \"{}\"",
+                                json::escape(&r.to_string()),
+                                r.code()
+                            ),
                             None => "null".to_string(),
                         };
                         format!(
@@ -124,15 +146,21 @@ impl Explain {
                         )
                     })
                     .collect();
+                let lints_json: Vec<String> = lints
+                    .iter()
+                    .map(|l| format!("\"{}\"", json::escape(l)))
+                    .collect();
                 format!(
                     "{{\"query\": \"{}\", \"optimized\": true, \"quil\": \"{}\", \
                      \"engine\": \"{engine}\", \"instr_count\": {instr_count}, \
                      \"vectorized_loops\": {vectorized_loops}, \"fused_loops\": {fused_loops}, \
-                     \"batch_size\": {batch_size}, \"result_ty\": \"{}\", \"loops\": [{}]}}",
+                     \"batch_size\": {batch_size}, \"result_ty\": \"{}\", \
+                     \"guards_dropped\": {guards_dropped}, \"loops\": [{}], \"lints\": [{}]}}",
                     json::escape(&self.query),
                     json::escape(quil),
                     json::escape(result_ty),
-                    loops_json.join(", ")
+                    loops_json.join(", "),
+                    lints_json.join(", ")
                 )
             }
             ExplainPlan::Fallback { reason } => format!(
@@ -161,6 +189,7 @@ impl std::fmt::Display for Explain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use steno_vm::FallbackReason;
 
     #[test]
     fn fallback_renders_reason_in_text_and_json() {
@@ -197,13 +226,15 @@ mod tests {
                     },
                     LoopPlan {
                         tier: LoopTier::Scalar,
-                        vectorize_fallback: Some("loop is \"weird\"".to_string()),
+                        vectorize_fallback: Some(FallbackReason::Shape("loop is \"weird\"")),
                     },
                 ],
                 vectorized_loops: 1,
                 fused_loops: 0,
                 batch_size: 1024,
                 result_ty: "f64".to_string(),
+                guards_dropped: 2,
+                lints: vec!["warning[dead-filter]: filter is always false (op 1)".to_string()],
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -213,11 +244,22 @@ mod tests {
             loops[1].get("vectorize_fallback").unwrap().as_str(),
             Some("loop is \"weird\"")
         );
+        assert_eq!(v.get("guards_dropped").unwrap().as_f64(), Some(2.0));
+        let lints = v.get("lints").and_then(|l| l.as_array()).unwrap();
+        assert_eq!(
+            lints[0].as_str(),
+            Some("warning[dead-filter]: filter is always false (op 1)")
+        );
         let text = e.render();
         assert!(text.contains("loop 0: tier=vectorized"), "{text}");
         assert!(
             text.contains("loop 1: tier=scalar  vectorize-fallback: \"loop is \"weird\"\""),
             "{text}"
         );
+        assert!(
+            text.contains("guards-dropped: 2 (divisor proven non-zero)"),
+            "{text}"
+        );
+        assert!(text.contains("lint: warning[dead-filter]"), "{text}");
     }
 }

@@ -72,12 +72,14 @@ pub mod prelude {
     pub use steno_query::{GroupResult, Query, QueryExpr};
     pub use steno_macros::steno;
     pub use steno_vm::{
-        CompiledQuery, EngineKind, LoopPlan, LoopTier, QueryProfile, StenoOptions,
-        VectorizationPolicy,
+        CompiledQuery, EngineKind, FallbackReason, LoopPlan, LoopTier, QueryProfile,
+        StenoOptions, VectorizationPolicy,
     };
+    pub use steno_analysis::{Diagnostic, Severity, VerifyError, VerifyReport};
 }
 
 // Re-export the component crates for direct access.
+pub use steno_analysis as analysis;
 pub use steno_cluster as cluster;
 pub use steno_obs as obs;
 pub use steno_codegen as codegen;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_backends-ce23df388afffe95.d: crates/bench/benches/ablation_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_backends-ce23df388afffe95.rmeta: crates/bench/benches/ablation_backends.rs Cargo.toml
+
+crates/bench/benches/ablation_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

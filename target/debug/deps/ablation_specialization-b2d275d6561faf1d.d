@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_specialization-b2d275d6561faf1d.d: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_specialization-b2d275d6561faf1d.rmeta: crates/bench/benches/ablation_specialization.rs Cargo.toml
+
+crates/bench/benches/ablation_specialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-212e344653af3c87.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/bench-212e344653af3c87: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/kmeans.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/prng.rs:
+crates/bench/src/workloads.rs:

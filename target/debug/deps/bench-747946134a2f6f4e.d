@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-747946134a2f6f4e.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-747946134a2f6f4e.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-747946134a2f6f4e.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/kmeans.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/prng.rs:
+crates/bench/src/workloads.rs:

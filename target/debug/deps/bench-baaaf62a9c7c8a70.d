@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-baaaf62a9c7c8a70.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/bench-baaaf62a9c7c8a70: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/kmeans.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/prng.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/break_even-126cad9758717ff5.d: crates/bench/src/bin/break_even.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbreak_even-126cad9758717ff5.rmeta: crates/bench/src/bin/break_even.rs Cargo.toml
+
+crates/bench/src/bin/break_even.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_even-99281469f170f781.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/debug/deps/break_even-99281469f170f781: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_even-c77fde15ea706653.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/debug/deps/break_even-c77fde15ea706653: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/break_even-fa0b268d95a70fd2.d: crates/bench/src/bin/break_even.rs
+
+/root/repo/target/debug/deps/break_even-fa0b268d95a70fd2: crates/bench/src/bin/break_even.rs
+
+crates/bench/src/bin/break_even.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_fault_injection-2084c96f07d4ca1b.d: crates/steno-cluster/tests/cluster_fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_fault_injection-2084c96f07d4ca1b.rmeta: crates/steno-cluster/tests/cluster_fault_injection.rs Cargo.toml
+
+crates/steno-cluster/tests/cluster_fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_fault_injection-4b11e4026bdb98a8.d: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+/root/repo/target/debug/deps/cluster_fault_injection-4b11e4026bdb98a8: crates/steno-cluster/tests/cluster_fault_injection.rs
+
+crates/steno-cluster/tests/cluster_fault_injection.rs:

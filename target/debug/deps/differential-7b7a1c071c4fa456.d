@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-7b7a1c071c4fa456.d: crates/steno-vm/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-7b7a1c071c4fa456: crates/steno-vm/tests/differential.rs
+
+crates/steno-vm/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-fba72af1c3d48d5f.d: crates/steno-vm/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-fba72af1c3d48d5f.rmeta: crates/steno-vm/tests/differential.rs Cargo.toml
+
+crates/steno-vm/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

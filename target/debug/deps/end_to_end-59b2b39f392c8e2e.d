@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-59b2b39f392c8e2e.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-59b2b39f392c8e2e: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-5b249746d0119dbd.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-5b249746d0119dbd: tests/end_to_end.rs
+
+tests/end_to_end.rs:

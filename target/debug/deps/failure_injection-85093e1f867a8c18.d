@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_injection-85093e1f867a8c18.d: crates/steno-vm/tests/failure_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_injection-85093e1f867a8c18.rmeta: crates/steno-vm/tests/failure_injection.rs Cargo.toml
+
+crates/steno-vm/tests/failure_injection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-d67108b0d3a7b2dc.d: crates/steno-vm/tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-d67108b0d3a7b2dc: crates/steno-vm/tests/failure_injection.rs
+
+crates/steno-vm/tests/failure_injection.rs:

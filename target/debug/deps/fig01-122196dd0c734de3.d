@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-122196dd0c734de3.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-122196dd0c734de3: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

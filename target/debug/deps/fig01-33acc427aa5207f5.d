@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-33acc427aa5207f5.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-33acc427aa5207f5: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01-902ed602c5f7a8b9.d: crates/bench/src/bin/fig01.rs
+
+/root/repo/target/debug/deps/fig01-902ed602c5f7a8b9: crates/bench/src/bin/fig01.rs
+
+crates/bench/src/bin/fig01.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01-b2cd8298932e2212.d: crates/bench/src/bin/fig01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01-b2cd8298932e2212.rmeta: crates/bench/src/bin/fig01.rs Cargo.toml
+
+crates/bench/src/bin/fig01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_sumsq-09717e524888e40b.d: crates/bench/benches/fig01_sumsq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_sumsq-09717e524888e40b.rmeta: crates/bench/benches/fig01_sumsq.rs Cargo.toml
+
+crates/bench/benches/fig01_sumsq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

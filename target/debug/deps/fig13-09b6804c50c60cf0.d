@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-09b6804c50c60cf0.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-09b6804c50c60cf0: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-335f2f455e8c1aa6.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-335f2f455e8c1aa6: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-f1f336fa6030bf5c.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-f1f336fa6030bf5c: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

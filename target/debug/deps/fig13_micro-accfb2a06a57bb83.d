@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_micro-accfb2a06a57bb83.d: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_micro-accfb2a06a57bb83.rmeta: crates/bench/benches/fig13_micro.rs Cargo.toml
+
+crates/bench/benches/fig13_micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-3436fae20c463440.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-3436fae20c463440: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

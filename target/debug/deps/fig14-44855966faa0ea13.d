@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-44855966faa0ea13.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-44855966faa0ea13: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

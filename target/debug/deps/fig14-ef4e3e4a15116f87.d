@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-ef4e3e4a15116f87.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-ef4e3e4a15116f87: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_kmeans-0141ef038f3c2b7c.d: crates/bench/benches/fig14_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_kmeans-0141ef038f3c2b7c.rmeta: crates/bench/benches/fig14_kmeans.rs Cargo.toml
+
+crates/bench/benches/fig14_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_vectorized-090ac152723965ee.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/debug/deps/fig_vectorized-090ac152723965ee: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

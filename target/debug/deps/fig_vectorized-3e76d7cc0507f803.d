@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_vectorized-3e76d7cc0507f803.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/debug/deps/fig_vectorized-3e76d7cc0507f803: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

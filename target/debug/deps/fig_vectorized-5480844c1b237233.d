@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_vectorized-5480844c1b237233.d: crates/bench/src/bin/fig_vectorized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_vectorized-5480844c1b237233.rmeta: crates/bench/src/bin/fig_vectorized.rs Cargo.toml
+
+crates/bench/src/bin/fig_vectorized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

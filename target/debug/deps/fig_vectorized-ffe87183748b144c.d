@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig_vectorized-ffe87183748b144c.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/debug/deps/fig_vectorized-ffe87183748b144c: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

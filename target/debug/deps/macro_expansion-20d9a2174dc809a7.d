@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_expansion-20d9a2174dc809a7.d: tests/macro_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_expansion-20d9a2174dc809a7.rmeta: tests/macro_expansion.rs Cargo.toml
+
+tests/macro_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_expansion-24b36f67e7246ac8.d: tests/macro_expansion.rs
+
+/root/repo/target/debug/deps/macro_expansion-24b36f67e7246ac8: tests/macro_expansion.rs
+
+tests/macro_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_expansion-609d5f1993aabf52.d: tests/macro_expansion.rs
+
+/root/repo/target/debug/deps/macro_expansion-609d5f1993aabf52: tests/macro_expansion.rs
+
+tests/macro_expansion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-a35239fc1cffd5a3.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-a35239fc1cffd5a3: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

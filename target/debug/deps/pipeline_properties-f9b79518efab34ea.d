@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-f9b79518efab34ea.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-f9b79518efab34ea: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno-2a2caf21c8c49796.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-2a2caf21c8c49796.rlib: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-2a2caf21c8c49796.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:

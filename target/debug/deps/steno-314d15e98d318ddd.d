@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno-314d15e98d318ddd.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno-314d15e98d318ddd.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs Cargo.toml
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno-58f7ce48610e0426.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-58f7ce48610e0426.rlib: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-58f7ce48610e0426.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno-9db37972ea87ab4d.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/steno-9db37972ea87ab4d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno-c041a8428af8290c.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-c041a8428af8290c.rlib: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+/root/repo/target/debug/deps/libsteno-c041a8428af8290c.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:

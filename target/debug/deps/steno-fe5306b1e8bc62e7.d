@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno-fe5306b1e8bc62e7.d: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno-fe5306b1e8bc62e7.rmeta: crates/steno/src/lib.rs crates/steno/src/engine.rs crates/steno/src/explain.rs crates/steno/src/rt.rs Cargo.toml
+
+crates/steno/src/lib.rs:
+crates/steno/src/engine.rs:
+crates/steno/src/explain.rs:
+crates/steno/src/rt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

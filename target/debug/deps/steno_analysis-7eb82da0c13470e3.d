@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno_analysis-7eb82da0c13470e3.d: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_analysis-7eb82da0c13470e3.rmeta: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs Cargo.toml
+
+crates/steno-analysis/src/lib.rs:
+crates/steno-analysis/src/facts.rs:
+crates/steno-analysis/src/lint.rs:
+crates/steno-analysis/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_analysis-9b71a2574f2c661c.d: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+/root/repo/target/debug/deps/libsteno_analysis-9b71a2574f2c661c.rlib: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+/root/repo/target/debug/deps/libsteno_analysis-9b71a2574f2c661c.rmeta: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+crates/steno-analysis/src/lib.rs:
+crates/steno-analysis/src/facts.rs:
+crates/steno-analysis/src/lint.rs:
+crates/steno-analysis/src/verify.rs:

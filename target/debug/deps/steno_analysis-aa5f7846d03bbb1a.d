@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_analysis-aa5f7846d03bbb1a.d: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+/root/repo/target/debug/deps/steno_analysis-aa5f7846d03bbb1a: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+crates/steno-analysis/src/lib.rs:
+crates/steno-analysis/src/facts.rs:
+crates/steno-analysis/src/lint.rs:
+crates/steno-analysis/src/verify.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/steno_cluster-aed180249054c161.d: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+/root/repo/target/debug/deps/steno_cluster-aed180249054c161: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+crates/steno-cluster/src/lib.rs:
+crates/steno-cluster/src/chain_interp.rs:
+crates/steno-cluster/src/exec.rs:
+crates/steno-cluster/src/fault.rs:
+crates/steno-cluster/src/job.rs:
+crates/steno-cluster/src/partition.rs:
+crates/steno-cluster/src/retry.rs:
+crates/steno-cluster/src/sync.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/steno_cluster-dad6d259c8e9d932.d: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_cluster-dad6d259c8e9d932.rmeta: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs Cargo.toml
+
+crates/steno-cluster/src/lib.rs:
+crates/steno-cluster/src/chain_interp.rs:
+crates/steno-cluster/src/exec.rs:
+crates/steno-cluster/src/fault.rs:
+crates/steno-cluster/src/job.rs:
+crates/steno-cluster/src/partition.rs:
+crates/steno-cluster/src/retry.rs:
+crates/steno-cluster/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

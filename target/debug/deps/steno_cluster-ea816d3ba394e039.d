@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/steno_cluster-ea816d3ba394e039.d: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+/root/repo/target/debug/deps/libsteno_cluster-ea816d3ba394e039.rlib: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+/root/repo/target/debug/deps/libsteno_cluster-ea816d3ba394e039.rmeta: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+crates/steno-cluster/src/lib.rs:
+crates/steno-cluster/src/chain_interp.rs:
+crates/steno-cluster/src/exec.rs:
+crates/steno-cluster/src/fault.rs:
+crates/steno-cluster/src/job.rs:
+crates/steno-cluster/src/partition.rs:
+crates/steno-cluster/src/retry.rs:
+crates/steno-cluster/src/sync.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steno_macros-60abfc01e2dd7a58.d: crates/steno-macros/src/lib.rs
+
+/root/repo/target/debug/deps/libsteno_macros-60abfc01e2dd7a58.so: crates/steno-macros/src/lib.rs
+
+crates/steno-macros/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-2abf58eb6645f65e.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-2abf58eb6645f65e.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-2abf58eb6645f65e.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

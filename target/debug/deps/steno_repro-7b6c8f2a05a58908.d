@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/steno_repro-7b6c8f2a05a58908.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/steno_repro-7b6c8f2a05a58908: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/steno_repro-97f9fcf2111f9629.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/steno_repro-97f9fcf2111f9629: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

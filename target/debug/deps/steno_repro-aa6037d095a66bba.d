@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-aa6037d095a66bba.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-aa6037d095a66bba.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-aa6037d095a66bba.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-d52055fada3e2cdc.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-d52055fada3e2cdc.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-d52055fada3e2cdc.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01-74ce2266832b2ed0.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/debug/deps/tab01-74ce2266832b2ed0: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

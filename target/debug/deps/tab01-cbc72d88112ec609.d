@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01-cbc72d88112ec609.d: crates/bench/src/bin/tab01.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01-cbc72d88112ec609.rmeta: crates/bench/src/bin/tab01.rs Cargo.toml
+
+crates/bench/src/bin/tab01.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

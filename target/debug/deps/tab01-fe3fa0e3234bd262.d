@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01-fe3fa0e3234bd262.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/debug/deps/tab01-fe3fa0e3234bd262: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

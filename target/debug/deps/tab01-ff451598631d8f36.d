@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01-ff451598631d8f36.d: crates/bench/src/bin/tab01.rs
+
+/root/repo/target/debug/deps/tab01-ff451598631d8f36: crates/bench/src/bin/tab01.rs
+
+crates/bench/src/bin/tab01.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vectorized_differential-6e4f0cdf08a3a777.d: crates/steno-vm/tests/vectorized_differential.rs
+
+/root/repo/target/debug/deps/vectorized_differential-6e4f0cdf08a3a777: crates/steno-vm/tests/vectorized_differential.rs
+
+crates/steno-vm/tests/vectorized_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vectorized_differential-87761dfa6d6d5000.d: crates/steno-vm/tests/vectorized_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvectorized_differential-87761dfa6d6d5000.rmeta: crates/steno-vm/tests/vectorized_differential.rs Cargo.toml
+
+crates/steno-vm/tests/vectorized_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

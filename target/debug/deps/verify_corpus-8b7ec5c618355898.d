@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_corpus-8b7ec5c618355898.d: tests/verify_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_corpus-8b7ec5c618355898.rmeta: tests/verify_corpus.rs Cargo.toml
+
+tests/verify_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_corpus-cdeb3d32a002fd4c.d: tests/verify_corpus.rs
+
+/root/repo/target/debug/deps/verify_corpus-cdeb3d32a002fd4c: tests/verify_corpus.rs
+
+tests/verify_corpus.rs:

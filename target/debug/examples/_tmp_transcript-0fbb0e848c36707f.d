@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_tmp_transcript-0fbb0e848c36707f.d: examples/_tmp_transcript.rs
+
+/root/repo/target/debug/examples/_tmp_transcript-0fbb0e848c36707f: examples/_tmp_transcript.rs
+
+examples/_tmp_transcript.rs:

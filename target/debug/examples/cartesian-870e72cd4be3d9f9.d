@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cartesian-870e72cd4be3d9f9.d: examples/cartesian.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcartesian-870e72cd4be3d9f9.rmeta: examples/cartesian.rs Cargo.toml
+
+examples/cartesian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cartesian-a282fa00ac019d64.d: examples/cartesian.rs
+
+/root/repo/target/debug/examples/cartesian-a282fa00ac019d64: examples/cartesian.rs
+
+examples/cartesian.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cartesian-bddc41f213324ae7.d: examples/cartesian.rs
+
+/root/repo/target/debug/examples/cartesian-bddc41f213324ae7: examples/cartesian.rs
+
+examples/cartesian.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_tour-a48ad99c31f90aef.d: examples/codegen_tour.rs
+
+/root/repo/target/debug/examples/codegen_tour-a48ad99c31f90aef: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

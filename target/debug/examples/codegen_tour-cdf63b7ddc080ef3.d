@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_tour-cdf63b7ddc080ef3.d: examples/codegen_tour.rs
+
+/root/repo/target/debug/examples/codegen_tour-cdf63b7ddc080ef3: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

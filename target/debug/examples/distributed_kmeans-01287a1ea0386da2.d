@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_kmeans-01287a1ea0386da2.d: examples/distributed_kmeans.rs
+
+/root/repo/target/debug/examples/distributed_kmeans-01287a1ea0386da2: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

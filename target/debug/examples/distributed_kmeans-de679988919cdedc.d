@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_kmeans-de679988919cdedc.d: examples/distributed_kmeans.rs
+
+/root/repo/target/debug/examples/distributed_kmeans-de679988919cdedc: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_profile-3c930c1ac1f6e1c9.d: examples/explain_profile.rs
+
+/root/repo/target/debug/examples/explain_profile-3c930c1ac1f6e1c9: examples/explain_profile.rs
+
+examples/explain_profile.rs:

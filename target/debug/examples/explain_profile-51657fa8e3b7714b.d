@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explain_profile-51657fa8e3b7714b.d: examples/explain_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplain_profile-51657fa8e3b7714b.rmeta: examples/explain_profile.rs Cargo.toml
+
+examples/explain_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_profile-e4eb1375dd17d307.d: examples/explain_profile.rs
+
+/root/repo/target/debug/examples/explain_profile-e4eb1375dd17d307: examples/explain_profile.rs
+
+examples/explain_profile.rs:

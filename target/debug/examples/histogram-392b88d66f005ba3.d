@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-392b88d66f005ba3.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-392b88d66f005ba3: examples/histogram.rs
+
+examples/histogram.rs:

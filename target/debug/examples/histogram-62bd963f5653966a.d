@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-62bd963f5653966a.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-62bd963f5653966a: examples/histogram.rs
+
+examples/histogram.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-361c42086cc7acb9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-361c42086cc7acb9: examples/quickstart.rs
+
+examples/quickstart.rs:

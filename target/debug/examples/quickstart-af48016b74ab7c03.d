@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-af48016b74ab7c03.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-af48016b74ab7c03: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsteno_obs.rlib: /root/repo/crates/steno-obs/src/json.rs /root/repo/crates/steno-obs/src/lib.rs /root/repo/crates/steno-obs/src/metrics.rs

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bench-5ea3584988f60bb9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-5ea3584988f60bb9.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-5ea3584988f60bb9.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/kmeans.rs crates/bench/src/micro.rs crates/bench/src/prng.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/kmeans.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/prng.rs:
+crates/bench/src/workloads.rs:

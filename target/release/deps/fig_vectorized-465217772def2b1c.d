@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_vectorized-465217772def2b1c.d: crates/bench/src/bin/fig_vectorized.rs
+
+/root/repo/target/release/deps/fig_vectorized-465217772def2b1c: crates/bench/src/bin/fig_vectorized.rs
+
+crates/bench/src/bin/fig_vectorized.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/steno_analysis-36ef545f3f744b8f.d: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+/root/repo/target/release/deps/libsteno_analysis-36ef545f3f744b8f.rlib: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+/root/repo/target/release/deps/libsteno_analysis-36ef545f3f744b8f.rmeta: crates/steno-analysis/src/lib.rs crates/steno-analysis/src/facts.rs crates/steno-analysis/src/lint.rs crates/steno-analysis/src/verify.rs
+
+crates/steno-analysis/src/lib.rs:
+crates/steno-analysis/src/facts.rs:
+crates/steno-analysis/src/lint.rs:
+crates/steno-analysis/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/steno_cluster-0b487bf866e5d4e2.d: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+/root/repo/target/release/deps/libsteno_cluster-0b487bf866e5d4e2.rlib: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+/root/repo/target/release/deps/libsteno_cluster-0b487bf866e5d4e2.rmeta: crates/steno-cluster/src/lib.rs crates/steno-cluster/src/chain_interp.rs crates/steno-cluster/src/exec.rs crates/steno-cluster/src/fault.rs crates/steno-cluster/src/job.rs crates/steno-cluster/src/partition.rs crates/steno-cluster/src/retry.rs crates/steno-cluster/src/sync.rs
+
+crates/steno-cluster/src/lib.rs:
+crates/steno-cluster/src/chain_interp.rs:
+crates/steno-cluster/src/exec.rs:
+crates/steno-cluster/src/fault.rs:
+crates/steno-cluster/src/job.rs:
+crates/steno-cluster/src/partition.rs:
+crates/steno-cluster/src/retry.rs:
+crates/steno-cluster/src/sync.rs:

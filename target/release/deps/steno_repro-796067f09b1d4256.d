@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/steno_repro-796067f09b1d4256.d: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-796067f09b1d4256.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-796067f09b1d4256.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

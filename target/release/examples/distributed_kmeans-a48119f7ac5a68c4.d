@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_kmeans-a48119f7ac5a68c4.d: examples/distributed_kmeans.rs
+
+/root/repo/target/release/examples/distributed_kmeans-a48119f7ac5a68c4: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

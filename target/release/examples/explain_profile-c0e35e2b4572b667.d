@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explain_profile-c0e35e2b4572b667.d: examples/explain_profile.rs
+
+/root/repo/target/release/examples/explain_profile-c0e35e2b4572b667: examples/explain_profile.rs
+
+examples/explain_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-78d98d85f2a978b5.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-78d98d85f2a978b5: examples/quickstart.rs
+
+examples/quickstart.rs:
