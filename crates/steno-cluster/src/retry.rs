@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use crate::fault::splitmix64;
+use crate::fault::{splitmix64, CancelToken};
 
 /// Bounds on per-vertex re-execution.
 #[derive(Clone, Debug)]
@@ -63,6 +63,17 @@ impl RetryPolicy {
     /// exponential in `retry`, clamped to [`RetryPolicy::max_backoff`],
     /// scaled by deterministic jitter.
     pub fn backoff(&self, vertex: usize, retry: u32) -> Duration {
+        self.backoff_keyed(vertex as u64, retry)
+    }
+
+    /// As [`RetryPolicy::backoff`] for an arbitrary 64-bit key. The
+    /// cluster scheduler keys on the vertex index; the service layer
+    /// keys on the request sequence number, so concurrent requests that
+    /// fail together desynchronize instead of retrying in lockstep (the
+    /// retry-storm failure mode SplitMix64 jitter exists to break).
+    /// Equal `(seed, key, retry)` always jitters identically, so a
+    /// failing schedule replays exactly.
+    pub fn backoff_keyed(&self, key: u64, retry: u32) -> Duration {
         if retry == 0 {
             return Duration::ZERO;
         }
@@ -74,12 +85,23 @@ impl RetryPolicy {
         if jitter == 0.0 {
             return exp;
         }
-        let h = splitmix64(
-            self.seed ^ (vertex as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(retry),
-        );
+        let h = splitmix64(self.seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(retry));
         let u = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
         let scale = 1.0 - jitter * u; // (1 - jitter, 1]
         exp.mul_f64(scale)
+    }
+
+    /// Sleeps out the jittered backoff before retry number `retry` of
+    /// `key`, cooperatively: the sleep polls `cancel` every millisecond
+    /// and returns `false` the moment cancellation is requested (a
+    /// cancelled request must not camp on a worker for a full backoff
+    /// window). Returns `true` when the full backoff elapsed.
+    pub fn backoff_sleep(&self, cancel: &CancelToken, key: u64, retry: u32) -> bool {
+        let pause = self.backoff_keyed(key, retry);
+        if pause.is_zero() {
+            return !cancel.is_cancelled();
+        }
+        cancel.sleep_cooperatively(pause)
     }
 }
 
@@ -218,5 +240,51 @@ mod tests {
     #[test]
     fn no_retries_policy_has_one_attempt() {
         assert_eq!(RetryPolicy::no_retries().max_attempts, 1);
+    }
+
+    #[test]
+    fn keyed_backoff_matches_vertex_backoff_and_desynchronizes_keys() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(7, 3), p.backoff_keyed(7, 3));
+        // Distinct keys should not all land on the same instant; with
+        // 50% jitter over 16 keys a full collision is astronomically
+        // unlikely, so any spread proves the desynchronization works.
+        let spread: std::collections::HashSet<Duration> =
+            (0..16u64).map(|k| p.backoff_keyed(k, 4)).collect();
+        assert!(spread.len() > 1, "jitter must separate concurrent keys");
+    }
+
+    #[test]
+    fn backoff_sleep_completes_when_uncancelled() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let cancel = CancelToken::new();
+        let start = std::time::Instant::now();
+        assert!(p.backoff_sleep(&cancel, 1, 1));
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        // Retry 0 has no pause but still reports the token's state.
+        assert!(p.backoff_sleep(&cancel, 1, 0));
+    }
+
+    #[test]
+    fn backoff_sleep_aborts_promptly_on_cancellation() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_secs(5),
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let start = std::time::Instant::now();
+        assert!(!p.backoff_sleep(&cancel, 0, 1));
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "cancelled sleep must not run out the full backoff"
+        );
+        assert!(!p.backoff_sleep(&cancel, 0, 0));
     }
 }

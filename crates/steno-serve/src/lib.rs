@@ -1,0 +1,51 @@
+//! The service front end: Steno as a shared, multi-tenant query service.
+//!
+//! The paper measures Steno inside a single process, but motivates it
+//! with services "used by millions of users" where query latency is a
+//! product constraint. This crate is that deployment shape: a
+//! [`QueryService`] owns a worker pool and a [`Steno`] engine (with its
+//! bounded plan cache) and exposes `submit` / `wait` with the contract a
+//! front end actually needs under load:
+//!
+//! * **Deadlines** — every admitted query carries one. It is enforced
+//!   *inside* the VM via [`steno_vm::Interrupt`]: a query past its
+//!   deadline aborts within one poll stride instead of holding a worker
+//!   until the data runs out.
+//! * **Cancellation** — a caller that stops caring cancels its ticket;
+//!   the cluster's `CancelToken` is bridged into the VM as a cancel
+//!   probe, and backoff sleeps observe it too.
+//! * **Admission control** — bounded per-tenant queues with per-tenant
+//!   in-flight quotas, dispatched round-robin so one tenant's flood
+//!   cannot starve another. Overflow is *shed* with an explicit
+//!   [`ServeError::Rejected`] carrying a retry hint — never an unbounded
+//!   queue, never a panic.
+//! * **Retries** — transient failures (the [`FailureClass`] taxonomy of
+//!   `steno-cluster`) are retried with deterministically jittered,
+//!   cancellation-aware backoff; deterministic failures fail fast and
+//!   are negatively cached so repeat offenders don't recompile.
+//! * **Graceful degradation** — a [`CompileBreaker`] watches compile
+//!   latency and verifier rejections; under sustained pressure it pins
+//!   new compilations to the scalar tier (cheap to compile, still
+//!   correct) and recovers automatically once compiles look healthy.
+//! * **Observability** — every decision (admit/shed/retry/degrade) and
+//!   the end-to-end latency distribution land in a
+//!   [`steno_obs::Collector`], from which [`SaturationReport`] derives
+//!   the p50/p99 SLO view.
+//!
+//! [`FailureClass`]: steno_cluster::FailureClass
+//! [`Steno`]: steno::Steno
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod breaker;
+pub mod loadgen;
+pub mod report;
+pub mod service;
+
+pub use breaker::{BreakerConfig, BreakerState, CompileBreaker};
+pub use loadgen::{SplitMix64, Zipf};
+pub use report::SaturationReport;
+pub use service::{QueryRequest, QueryService, QueryTicket, ServeConfig, ServeError};

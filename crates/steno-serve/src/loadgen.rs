@@ -1,0 +1,186 @@
+//! Deterministic load generation for saturation testing.
+//!
+//! Serving benchmarks need workloads with the statistical shape of real
+//! traffic — a few hot queries and a long cold tail — without an RNG
+//! dependency. [`SplitMix64`] is the same mixer the cluster crate uses
+//! for jitter; [`Zipf`] turns it into the skewed popularity
+//! distribution that makes plan-cache hit rates realistic (the paper's
+//! cache argument in §7.1 only pays off when queries repeat).
+
+use steno_expr::{DataContext, Expr};
+use steno_query::{Query, QueryExpr};
+
+/// A tiny deterministic PRNG (SplitMix64): passes through every 64-bit
+/// state, no external crate, identical sequences for identical seeds.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw from `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform draw from `[0, n)`; `n = 0` returns 0.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        // Multiply-shift: unbiased enough for load generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// A Zipf(s) sampler over ranks `0..n`: rank `k` is drawn with
+/// probability proportional to `1 / (k + 1)^s`. `s ≈ 1` is the classic
+/// web-traffic skew.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A sampler over `n` ranks with exponent `s` (clamped to ≥ 0; `n`
+    /// is clamped to ≥ 1).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        let n = n.max(1);
+        let s = s.max(0.0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// The number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when there is a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        // Binary search for the first cdf entry ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// `n` distinct optimizable query shapes (filter + map + sum with
+/// varying constants), the pool a load generator samples from. Distinct
+/// constants mean distinct plan-cache keys, so zipfian sampling over the
+/// pool produces a realistic hit/miss split.
+pub fn query_pool(n: usize) -> Vec<QueryExpr> {
+    (0..n.max(1))
+        .map(|i| {
+            Query::source("xs")
+                .where_(Expr::var("x").gt(Expr::litf(i as f64)), "x")
+                .select(Expr::var("x") * Expr::var("x"), "x")
+                .sum()
+                .build()
+        })
+        .collect()
+}
+
+/// A deterministic per-tenant data context of `elements` f64 values.
+pub fn tenant_context(elements: usize, seed: u64) -> DataContext {
+    let mut rng = SplitMix64::new(seed);
+    let data: Vec<f64> = (0..elements).map(|_| rng.next_f64() * 100.0).collect();
+    DataContext::new().with_source("xs", data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = SplitMix64::new(7);
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+        for _ in 0..1000 {
+            assert!(rng.next_below(10) < 10);
+        }
+        assert_eq!(rng.next_below(0), 0);
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let zipf = Zipf::new(16, 1.0);
+        let mut rng = SplitMix64::new(123);
+        let mut counts = [0u32; 16];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] && counts[0] > counts[15],
+            "rank 0 must dominate: {counts:?}"
+        );
+        // Same seed → same draws.
+        let mut r1 = SplitMix64::new(9);
+        let mut r2 = SplitMix64::new(9);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut r1), zipf.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn query_pool_entries_are_distinct() {
+        let pool = query_pool(8);
+        assert_eq!(pool.len(), 8);
+        for (i, a) in pool.iter().enumerate() {
+            for b in pool.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_context_is_deterministic() {
+        let a = tenant_context(100, 5);
+        let b = tenant_context(100, 5);
+        let q = Query::source("xs").sum().build();
+        let udfs = steno_expr::UdfRegistry::new();
+        let engine = steno::Steno::new();
+        assert_eq!(
+            engine.execute(&q, &a, &udfs).unwrap(),
+            engine.execute(&q, &b, &udfs).unwrap()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The SLO view of a serving run: throughput, tail latency, shedding.
+//!
+//! A [`SaturationReport`] is derived from the `serve.*` metrics a
+//! [`QueryService`](crate::QueryService) emits into a
+//! [`MemoryCollector`], plus the run's wall clock. It is what the load
+//! generator prints and what `BENCH_serve.json` records: queries/sec at
+//! saturation and p50/p99 end-to-end latency, next to the overload
+//! counters (shed, retries, degraded compiles) that explain *how* the
+//! service stayed up.
+
+use std::time::Duration;
+
+use steno_obs::MemoryCollector;
+
+/// Counters and quantiles summarizing one serving run.
+#[derive(Clone, Debug, Default)]
+pub struct SaturationReport {
+    /// Wall-clock length of the run, in seconds.
+    pub duration_s: f64,
+    /// Queries offered (admitted + shed).
+    pub submitted: u64,
+    /// Queries admitted past admission control.
+    pub admitted: u64,
+    /// Queries shed with `Rejected` at admission.
+    pub shed: u64,
+    /// Queries answered with a value.
+    pub completed: u64,
+    /// Queries failed (excluding deadline/cancel, counted separately).
+    pub failed: u64,
+    /// Queries that exceeded their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries cancelled by their caller.
+    pub cancelled: u64,
+    /// Transient-failure retries performed.
+    pub retries: u64,
+    /// Panics contained at the attempt boundary.
+    pub panics_contained: u64,
+    /// Compilations degraded to the scalar tier by the breaker.
+    pub degraded_compiles: u64,
+    /// Completed queries per second of wall clock.
+    pub qps: f64,
+    /// Median end-to-end latency (submit → reply), microseconds.
+    pub p50_latency_us: Option<u64>,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_latency_us: Option<u64>,
+}
+
+impl SaturationReport {
+    /// Derives the report from a collector the service reported into.
+    pub fn from_collector(metrics: &MemoryCollector, wall: Duration) -> SaturationReport {
+        let snapshot = metrics.snapshot();
+        let latency = snapshot
+            .histograms
+            .iter()
+            .find(|h| h.name == "serve.latency_ns");
+        let completed = metrics.counter_value("serve.completed");
+        let duration_s = wall.as_secs_f64();
+        SaturationReport {
+            duration_s,
+            submitted: metrics.counter_value("serve.submitted"),
+            admitted: metrics.counter_value("serve.admitted"),
+            shed: metrics.counter_value("serve.shed"),
+            completed,
+            failed: metrics.counter_value("serve.failed"),
+            deadline_exceeded: metrics.counter_value("serve.deadline_exceeded"),
+            cancelled: metrics.counter_value("serve.cancelled"),
+            retries: metrics.counter_value("serve.retries"),
+            panics_contained: metrics.counter_value("serve.panics_contained"),
+            degraded_compiles: metrics.counter_value("serve.degraded_compiles"),
+            qps: if duration_s > 0.0 {
+                completed as f64 / duration_s
+            } else {
+                0.0
+            },
+            p50_latency_us: latency.and_then(|h| h.quantile(0.5)).map(|ns| ns / 1000),
+            p99_latency_us: latency.and_then(|h| h.quantile(0.99)).map(|ns| ns / 1000),
+        }
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the build has
+    /// no serde), the `BENCH_serve.json` format.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"duration_s\": {:.3},\n  \"submitted\": {},\n  \"admitted\": {},\n  \
+             \"shed\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \
+             \"deadline_exceeded\": {},\n  \"cancelled\": {},\n  \"retries\": {},\n  \
+             \"panics_contained\": {},\n  \"degraded_compiles\": {},\n  \
+             \"qps\": {:.1},\n  \"p50_latency_us\": {},\n  \"p99_latency_us\": {}\n}}\n",
+            self.duration_s,
+            self.submitted,
+            self.admitted,
+            self.shed,
+            self.completed,
+            self.failed,
+            self.deadline_exceeded,
+            self.cancelled,
+            self.retries,
+            self.panics_contained,
+            self.degraded_compiles,
+            self.qps,
+            self.p50_latency_us
+                .map_or_else(|| "null".to_string(), |v| v.to_string()),
+            self.p99_latency_us
+                .map_or_else(|| "null".to_string(), |v| v.to_string()),
+        )
+    }
+
+    /// A one-screen human transcript of the run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "serving run: {:.2}s wall, {:.0} queries/sec completed\n",
+            self.duration_s, self.qps
+        ));
+        out.push_str(&format!(
+            "  offered {} = admitted {} + shed {}\n",
+            self.submitted, self.admitted, self.shed
+        ));
+        out.push_str(&format!(
+            "  outcomes: {} completed, {} failed, {} deadline-exceeded, {} cancelled\n",
+            self.completed, self.failed, self.deadline_exceeded, self.cancelled
+        ));
+        out.push_str(&format!(
+            "  recovery: {} retries, {} panics contained, {} degraded compiles\n",
+            self.retries, self.panics_contained, self.degraded_compiles
+        ));
+        match (self.p50_latency_us, self.p99_latency_us) {
+            (Some(p50), Some(p99)) => {
+                out.push_str(&format!("  latency: p50 {p50} us, p99 {p99} us\n"));
+            }
+            _ => out.push_str("  latency: no samples\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_obs::Collector;
+
+    #[test]
+    fn report_derives_counters_and_quantiles() {
+        let m = MemoryCollector::new();
+        m.add("serve.submitted", 10);
+        m.add("serve.admitted", 8);
+        m.add("serve.shed", 2);
+        m.add("serve.completed", 7);
+        m.add("serve.failed", 1);
+        m.add("serve.retries", 3);
+        for i in 1..=100u64 {
+            m.observe_ns("serve.latency_ns", i * 1000);
+        }
+        let r = SaturationReport::from_collector(&m, Duration::from_secs(2));
+        assert_eq!(r.submitted, 10);
+        assert_eq!(r.shed, 2);
+        assert_eq!(r.completed, 7);
+        assert!((r.qps - 3.5).abs() < 1e-9);
+        let p50 = r.p50_latency_us.unwrap();
+        let p99 = r.p99_latency_us.unwrap();
+        assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+        // Log2 bucketing is coarse, but the medians land in-range.
+        assert!(p50 >= 1 && p99 <= 200, "p50 {p50} p99 {p99}");
+    }
+
+    #[test]
+    fn json_and_transcript_render() {
+        let m = MemoryCollector::new();
+        m.add("serve.completed", 5);
+        let r = SaturationReport::from_collector(&m, Duration::from_secs(1));
+        let json = r.to_json();
+        assert!(steno_obs::json::parse(&json).is_ok(), "{json}");
+        assert!(json.contains("\"p50_latency_us\": null"));
+        let text = r.render();
+        assert!(text.contains("5 completed"), "{text}");
+    }
+}

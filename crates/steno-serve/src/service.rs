@@ -1,0 +1,1095 @@
+//! The multi-tenant query service: admission, dispatch, retries.
+//!
+//! One [`QueryService`] owns a worker pool and a [`Steno`] engine.
+//! Callers [`submit`](QueryService::submit) a [`QueryRequest`] and get a
+//! [`QueryTicket`] back immediately; the answer (or a structured
+//! [`ServeError`]) arrives through the ticket. Admission is decided at
+//! submit time against bounded per-tenant queues, so overload turns into
+//! explicit [`ServeError::Rejected`] shedding instead of unbounded
+//! memory growth — the queue either has room or the caller learns *now*
+//! that it must back off.
+//!
+//! The execution pipeline per admitted job:
+//!
+//! 1. re-check deadline and cancellation at dequeue (a job that expired
+//!    in the queue costs nothing),
+//! 2. negative-cache lookup — a query this tenant already failed
+//!    deterministically fails again without recompiling,
+//! 3. compile through the shared [`Steno`] cache, at the tier chosen by
+//!    the [`CompileBreaker`],
+//! 4. execute under an [`Interrupt`] carrying the deadline and the
+//!    caller's cancel token, inside `catch_unwind`,
+//! 5. on a *transient* failure (injected fault, contained panic), retry
+//!    with deterministically jittered, cancellation-aware backoff up to
+//!    the [`RetryPolicy`] budget; *deterministic* failures fail fast.
+//!
+//! Unsupported query shapes take the facade's iterator fallback, which
+//! has no internal poll points: the deadline is enforced before and
+//! after, not during (the same trade-off the paper accepts by leaving
+//! such queries unoptimized).
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use steno::{Steno, StenoError};
+use steno_cluster::sync::{Condvar, Mutex};
+use steno_cluster::{CancelToken, FailureClass, FaultKind, FaultPlan, RetryPolicy};
+use steno_expr::{DataContext, UdfRegistry, Value};
+use steno_query::typing::SourceTypes;
+use steno_query::QueryExpr;
+use steno_vm::{CancelProbe, CompiledQuery, Interrupt, VmError};
+
+use crate::breaker::{BreakerConfig, CompileBreaker};
+
+/// Service-level tuning. The defaults suit tests and examples; a real
+/// deployment sizes `workers` to cores and the queue bounds to its
+/// latency SLO (queue depth × mean service time ≈ worst queue wait).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads executing admitted queries.
+    pub workers: usize,
+    /// Per-tenant bound on *queued* (admitted, not yet running) jobs.
+    /// Submissions beyond it are shed with [`ServeError::Rejected`].
+    pub queue_depth: usize,
+    /// Per-tenant bound on concurrently *running* jobs — one flooding
+    /// tenant cannot occupy every worker.
+    pub max_in_flight: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Duration,
+    /// How long past the deadline [`QueryTicket::wait`] keeps listening
+    /// before giving up locally (covers reply propagation).
+    pub wait_grace: Duration,
+    /// The back-off hint returned with [`ServeError::Rejected`].
+    pub shed_retry_after: Duration,
+    /// Retry budget and backoff shape for transient failures.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection, keyed by (sequence number,
+    /// attempt) — the service-layer analogue of the cluster's vertex
+    /// fault plan. Empty in production.
+    pub faults: FaultPlan,
+    /// Compile-pressure breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Entries kept in the deterministic-failure negative cache.
+    pub negative_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 32,
+            max_in_flight: 2,
+            default_deadline: Duration::from_secs(1),
+            wait_grace: Duration::from_millis(500),
+            shed_retry_after: Duration::from_millis(25),
+            retry: RetryPolicy::default(),
+            faults: FaultPlan::none(),
+            breaker: BreakerConfig::default(),
+            negative_cache_capacity: 128,
+        }
+    }
+}
+
+/// A query submission: who is asking, what to run, against what data,
+/// and how long they are willing to wait.
+#[derive(Clone)]
+pub struct QueryRequest {
+    /// Tenant identity, the unit of admission-control isolation.
+    pub tenant: String,
+    /// The query to execute.
+    pub query: QueryExpr,
+    /// The tenant's data (`Arc`-backed columns: cloning is cheap).
+    pub ctx: DataContext,
+    /// UDFs referenced by the query.
+    pub udfs: UdfRegistry,
+    /// Latency budget; `None` takes [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A request with the default deadline.
+    pub fn new(
+        tenant: impl Into<String>,
+        query: QueryExpr,
+        ctx: DataContext,
+        udfs: UdfRegistry,
+    ) -> QueryRequest {
+        QueryRequest {
+            tenant: tenant.into(),
+            query,
+            ctx,
+            udfs,
+            deadline: None,
+        }
+    }
+
+    /// Sets an explicit latency budget.
+    #[must_use = "with_deadline returns the configured request"]
+    pub fn with_deadline(mut self, budget: Duration) -> QueryRequest {
+        self.deadline = Some(budget);
+        self
+    }
+}
+
+/// Why the service did not return a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed at admission: the tenant's queue is full. Back off for at
+    /// least `retry_after` before resubmitting.
+    Rejected {
+        /// Suggested minimum back-off.
+        retry_after: Duration,
+    },
+    /// The deadline passed before a result was produced.
+    DeadlineExceeded,
+    /// The caller cancelled the ticket.
+    Cancelled,
+    /// The query failed. `class` says whether resubmitting can help:
+    /// [`FailureClass::Transient`] failures already exhausted the retry
+    /// budget; [`FailureClass::Deterministic`] failures will fail
+    /// identically every time.
+    QueryFailed {
+        /// Human-readable cause.
+        message: String,
+        /// Retryability classification.
+        class: FailureClass,
+    },
+    /// The service is shutting down and no longer accepts or runs work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected { retry_after } => {
+                write!(f, "rejected: tenant queue full, retry after {retry_after:?}")
+            }
+            ServeError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            ServeError::Cancelled => write!(f, "query cancelled"),
+            ServeError::QueryFailed { message, class } => {
+                write!(f, "query failed ({class:?}): {message}")
+            }
+            ServeError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The caller's handle to an admitted query.
+#[derive(Debug)]
+pub struct QueryTicket {
+    seq: u64,
+    deadline: Instant,
+    grace: Duration,
+    cancel: CancelToken,
+    rx: mpsc::Receiver<Result<Value, ServeError>>,
+}
+
+impl QueryTicket {
+    /// The service-assigned sequence number (also the retry-jitter and
+    /// fault-injection key for this job).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The absolute deadline this job runs under.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+
+    /// Requests cancellation. The running query aborts at its next
+    /// interrupt poll; a queued query aborts at dequeue.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the result arrives. Bounded: if nothing arrives by
+    /// deadline + grace, the job is cancelled and
+    /// [`ServeError::DeadlineExceeded`] returned locally.
+    pub fn wait(self) -> Result<Value, ServeError> {
+        let hard = self.deadline + self.grace;
+        loop {
+            let now = Instant::now();
+            if now >= hard {
+                self.cancel.cancel();
+                return Err(ServeError::DeadlineExceeded);
+            }
+            let step = (hard - now).min(Duration::from_millis(25));
+            match self.rx.recv_timeout(step) {
+                Ok(result) => return result,
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ServeError::ShuttingDown)
+                }
+            }
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    seq: u64,
+    tenant: String,
+    query: QueryExpr,
+    ctx: DataContext,
+    udfs: UdfRegistry,
+    deadline: Instant,
+    submitted: Instant,
+    cancel: CancelToken,
+    reply: mpsc::SyncSender<Result<Value, ServeError>>,
+}
+
+#[derive(Default)]
+struct TenantState {
+    queue: VecDeque<Job>,
+    in_flight: usize,
+}
+
+/// Shared dispatch state. Invariant: a tenant name is in `rr` exactly
+/// once iff its queue is non-empty.
+#[derive(Default)]
+struct Dispatch {
+    tenants: HashMap<String, TenantState>,
+    rr: VecDeque<String>,
+    shutdown: bool,
+}
+
+impl Dispatch {
+    /// Pops the next runnable job round-robin across tenants, skipping
+    /// tenants at their in-flight quota.
+    fn take_next(&mut self, max_in_flight: usize) -> Option<Job> {
+        for _ in 0..self.rr.len() {
+            let tenant = self.rr.pop_front()?;
+            let state = self.tenants.get_mut(&tenant)?;
+            if state.in_flight >= max_in_flight {
+                self.rr.push_back(tenant);
+                continue;
+            }
+            let job = state.queue.pop_front()?;
+            state.in_flight += 1;
+            if !state.queue.is_empty() {
+                self.rr.push_back(tenant);
+            }
+            return Some(job);
+        }
+        None
+    }
+}
+
+/// Bounded FIFO of `(tenant, query) → message` for failures that are
+/// deterministic at compile time: re-submissions fail fast instead of
+/// re-running the whole compile pipeline to the same rejection.
+#[derive(Default)]
+struct NegativeCache {
+    cap: usize,
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+impl NegativeCache {
+    fn get(&self, key: &str) -> Option<String> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, message: String) {
+        if self.cap == 0 || self.map.contains_key(&key) {
+            return;
+        }
+        if self.map.len() >= self.cap {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, message);
+    }
+}
+
+struct Shared {
+    engine: Steno,
+    cfg: ServeConfig,
+    dispatch: Mutex<Dispatch>,
+    work_ready: Condvar,
+    breaker: CompileBreaker,
+    negcache: Mutex<NegativeCache>,
+    seq: AtomicU64,
+}
+
+/// The service front end. Dropping it shuts down and joins the workers.
+pub struct QueryService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts the worker pool over a configured engine. Metrics flow
+    /// into the engine's collector under `serve.*` names.
+    pub fn start(engine: Steno, cfg: ServeConfig) -> QueryService {
+        let shared = Arc::new(Shared {
+            negcache: Mutex::new(NegativeCache {
+                cap: cfg.negative_cache_capacity,
+                ..NegativeCache::default()
+            }),
+            breaker: CompileBreaker::new(cfg.breaker.clone()),
+            cfg,
+            engine,
+            dispatch: Mutex::new(Dispatch::default()),
+            work_ready: Condvar::new(),
+            seq: AtomicU64::new(0),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        QueryService { shared, workers }
+    }
+
+    /// The engine (shared plan cache, options, collector).
+    pub fn engine(&self) -> &Steno {
+        &self.shared.engine
+    }
+
+    /// The compile breaker, for observability.
+    pub fn breaker(&self) -> &CompileBreaker {
+        &self.shared.breaker
+    }
+
+    /// Admits or sheds a request. On admission the job is queued behind
+    /// the tenant's earlier jobs and the ticket returned immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when the tenant's queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, ServeError> {
+        let shared = &self.shared;
+        let collector = shared.engine.collector().clone();
+        collector.add("serve.submitted", 1);
+        let now = Instant::now();
+        let deadline = now + req.deadline.unwrap_or(shared.cfg.default_deadline);
+        let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            seq,
+            tenant: req.tenant.clone(),
+            query: req.query,
+            ctx: req.ctx,
+            udfs: req.udfs,
+            deadline,
+            submitted: now,
+            cancel: cancel.clone(),
+            reply: tx,
+        };
+
+        let mut d = shared.dispatch.lock();
+        if d.shutdown {
+            collector.add("serve.shed", 1);
+            return Err(ServeError::ShuttingDown);
+        }
+        let state = d.tenants.entry(req.tenant.clone()).or_default();
+        if state.queue.len() >= shared.cfg.queue_depth {
+            collector.add("serve.shed", 1);
+            return Err(ServeError::Rejected {
+                retry_after: shared.cfg.shed_retry_after,
+            });
+        }
+        let was_empty = state.queue.is_empty();
+        state.queue.push_back(job);
+        collector.observe_ns("serve.queue_depth", state.queue.len() as u64);
+        if was_empty {
+            d.rr.push_back(req.tenant);
+        }
+        drop(d);
+        shared.work_ready.notify_all();
+        collector.add("serve.admitted", 1);
+        Ok(QueryTicket {
+            seq,
+            deadline,
+            grace: shared.cfg.wait_grace,
+            cancel,
+            rx,
+        })
+    }
+
+    /// Submit and wait: the one-call form.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`].
+    pub fn execute_blocking(&self, req: QueryRequest) -> Result<Value, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Stops accepting work, fails every queued job with
+    /// [`ServeError::ShuttingDown`], and wakes the workers so they can
+    /// exit once in-flight jobs finish. Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        let mut d = self.shared.dispatch.lock();
+        d.shutdown = true;
+        let drained: Vec<Job> = d
+            .tenants
+            .values_mut()
+            .flat_map(|t| t.queue.drain(..))
+            .collect();
+        d.rr.clear();
+        drop(d);
+        for job in drained {
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+        }
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut d = shared.dispatch.lock();
+            loop {
+                if let Some(job) = d.take_next(shared.cfg.max_in_flight.max(1)) {
+                    break job;
+                }
+                if d.shutdown {
+                    return;
+                }
+                // Timed wait: quota-blocked tenants become runnable when
+                // a job finishes, and notify_all covers the rest; the
+                // timeout is a belt-and-braces bound, not the mechanism.
+                d = shared
+                    .work_ready
+                    .wait_timeout(d, Duration::from_millis(10));
+            }
+        };
+        let tenant = job.tenant.clone();
+        process(shared, job);
+        let mut d = shared.dispatch.lock();
+        if let Some(state) = d.tenants.get_mut(&tenant) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+        }
+        drop(d);
+        // A tenant parked at its in-flight quota may now be runnable.
+        shared.work_ready.notify_all();
+    }
+}
+
+/// Runs one job end to end and replies on its channel.
+fn process(shared: &Shared, job: Job) {
+    let collector = shared.engine.collector().clone();
+    let wait_ns = u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    collector.observe_ns("serve.queue_wait_ns", wait_ns);
+
+    let result = run_job(shared, &job);
+    match &result {
+        Ok(_) => collector.add("serve.completed", 1),
+        Err(ServeError::DeadlineExceeded) => collector.add("serve.deadline_exceeded", 1),
+        Err(ServeError::Cancelled) => collector.add("serve.cancelled", 1),
+        Err(_) => collector.add("serve.failed", 1),
+    }
+    let latency = u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    collector.observe_ns("serve.latency_ns", latency);
+    // The caller may have stopped listening; that's their prerogative.
+    let _ = job.reply.send(result);
+}
+
+/// Compile (through the breaker tier) and execute (with retries).
+fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
+    let collector = shared.engine.collector().clone();
+    if job.cancel.is_cancelled() {
+        return Err(ServeError::Cancelled);
+    }
+    if Instant::now() >= job.deadline {
+        return Err(ServeError::DeadlineExceeded);
+    }
+
+    let neg_key = format!("{}|{}", job.tenant, job.query);
+    if let Some(message) = shared.negcache.lock().get(&neg_key) {
+        collector.add("serve.negcache_hits", 1);
+        return Err(ServeError::QueryFailed {
+            message,
+            class: FailureClass::Deterministic,
+        });
+    }
+
+    let (options, degraded) = shared.breaker.plan_options(shared.engine.options());
+    if degraded {
+        collector.add("serve.degraded_compiles", 1);
+    }
+    let compile_start = Instant::now();
+    let compiled = shared.engine.compile_with_options(
+        &job.query,
+        SourceTypes::from(&job.ctx),
+        &job.udfs,
+        options,
+    );
+    let compile_took = compile_start.elapsed();
+
+    match compiled {
+        Ok(plan) => {
+            shared.breaker.record_compile(compile_took, true);
+            execute_with_retries(shared, job, Some(&plan))
+        }
+        Err(StenoError::Verify(e)) => {
+            // The independent verifier rejected the optimized plan: an
+            // optimizer bug, deterministic for this query. Remember it
+            // and count it against the breaker.
+            shared.breaker.record_verifier_failure();
+            let message = format!("plan verification failed: {e}");
+            shared.negcache.lock().insert(neg_key, message.clone());
+            Err(ServeError::QueryFailed {
+                message,
+                class: FailureClass::Deterministic,
+            })
+        }
+        Err(StenoError::Optimize(_)) => {
+            // Either an unsupported shape (the facade will run its
+            // iterator fallback) or a genuine compile failure (the
+            // facade will re-surface it, and we negative-cache below).
+            collector.add("serve.fallback_exec", 1);
+            execute_with_retries(shared, job, None)
+        }
+        Err(e) => Err(ServeError::QueryFailed {
+            message: e.to_string(),
+            class: FailureClass::Deterministic,
+        }),
+    }
+}
+
+/// The attempt/retry loop shared by the compiled and fallback paths.
+/// `plan: None` runs through `Steno::execute` (iterator fallback for
+/// unsupported shapes — no mid-run interrupt polling).
+fn execute_with_retries(
+    shared: &Shared,
+    job: &Job,
+    plan: Option<&Arc<CompiledQuery>>,
+) -> Result<Value, ServeError> {
+    let collector = shared.engine.collector().clone();
+    let cancel = job.cancel.clone();
+    let probe: CancelProbe = Arc::new(move || cancel.is_cancelled());
+    let max_attempts = shared.cfg.retry.max_attempts.max(1);
+
+    for attempt in 0..max_attempts {
+        if job.cancel.is_cancelled() {
+            return Err(ServeError::Cancelled);
+        }
+        if Instant::now() >= job.deadline {
+            return Err(ServeError::DeadlineExceeded);
+        }
+
+        let fault = shared.cfg.faults.lookup(job.seq as usize, attempt).cloned();
+        let failure = match fault {
+            Some(FaultKind::Error) => Some(format!(
+                "injected transient fault (seq {}, attempt {attempt})",
+                job.seq
+            )),
+            Some(FaultKind::Delay(d)) => {
+                if !job.cancel.sleep_cooperatively(d) {
+                    return Err(ServeError::Cancelled);
+                }
+                None
+            }
+            _ => None,
+        };
+
+        let failure = match failure {
+            Some(f) => f,
+            None => {
+                let interrupt = Interrupt::none()
+                    .with_deadline(job.deadline)
+                    .with_cancel_probe(Arc::clone(&probe));
+                let inject_panic = matches!(fault, Some(FaultKind::Panic));
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if inject_panic {
+                        // Scripted fault injection: the unwind is caught
+                        // immediately below — the containment path is
+                        // exactly what the denied lint normally guards.
+                        #[allow(clippy::panic)]
+                        std::panic::panic_any(format!(
+                            "injected panic (seq {}, attempt {attempt})",
+                            job.seq
+                        ));
+                    }
+                    run_attempt(shared, job, plan, &interrupt)
+                }));
+                match outcome {
+                    Ok(Ok(value)) => return Ok(value),
+                    Ok(Err(e)) => return Err(e),
+                    Err(payload) => {
+                        collector.add("serve.panics_contained", 1);
+                        payload_message(payload.as_ref())
+                    }
+                }
+            }
+        };
+
+        if attempt + 1 >= max_attempts {
+            return Err(ServeError::QueryFailed {
+                message: format!("{failure} (retries exhausted after {max_attempts} attempts)"),
+                class: FailureClass::Transient,
+            });
+        }
+        collector.add("serve.retries", 1);
+        if !shared
+            .cfg
+            .retry
+            .backoff_sleep(&job.cancel, job.seq, attempt + 1)
+        {
+            return Err(ServeError::Cancelled);
+        }
+    }
+    // max_attempts >= 1, so the loop always returns before this.
+    Err(ServeError::QueryFailed {
+        message: "retry budget was zero".to_string(),
+        class: FailureClass::Transient,
+    })
+}
+
+/// One execution attempt on the chosen path. All errors here are
+/// terminal for the job: transient failures only enter via fault
+/// injection and contained panics, which the retry loop sees directly.
+fn run_attempt(
+    shared: &Shared,
+    job: &Job,
+    plan: Option<&Arc<CompiledQuery>>,
+    interrupt: &Interrupt,
+) -> Result<Value, ServeError> {
+    match plan {
+        Some(compiled) => compiled
+            .run_with(&job.ctx, &job.udfs, interrupt)
+            .map_err(|e| match e {
+                VmError::Cancelled => ServeError::Cancelled,
+                VmError::DeadlineExceeded => ServeError::DeadlineExceeded,
+                // Data-dependent VM errors (division by zero and
+                // friends) are deterministic: a retry re-reads the same
+                // data. Not negative-cached — they depend on the data,
+                // which may change between submissions.
+                other => ServeError::QueryFailed {
+                    message: other.to_string(),
+                    class: FailureClass::Deterministic,
+                },
+            }),
+        None => shared
+            .engine
+            .execute(&job.query, &job.ctx, &job.udfs)
+            .map_err(|e| {
+                let message = e.to_string();
+                if matches!(e, StenoError::Optimize(_) | StenoError::Parse(_)) {
+                    // Structural failure: deterministic for this query
+                    // text, worth remembering.
+                    let key = format!("{}|{}", job.tenant, job.query);
+                    shared.negcache.lock().insert(key, message.clone());
+                }
+                ServeError::QueryFailed {
+                    message,
+                    class: FailureClass::Deterministic,
+                }
+            }),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use steno_expr::Expr;
+    use steno_obs::MemoryCollector;
+    use steno_query::Query;
+
+    fn sum_query(threshold: f64) -> QueryExpr {
+        Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(threshold)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build()
+    }
+
+    fn ctx(n: usize) -> DataContext {
+        DataContext::new().with_source("xs", (0..n).map(|i| i as f64).collect::<Vec<_>>())
+    }
+
+    fn service_with(cfg: ServeConfig) -> (QueryService, Arc<MemoryCollector>) {
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new().with_collector(metrics.clone());
+        (QueryService::start(engine, cfg), metrics)
+    }
+
+    #[test]
+    fn serves_a_query_end_to_end() {
+        let (svc, metrics) = service_with(ServeConfig::default());
+        let req = QueryRequest::new("acme", sum_query(0.5), ctx(100), UdfRegistry::new());
+        let got = svc.execute_blocking(req).unwrap();
+        let want = Steno::new()
+            .execute(&sum_query(0.5), &ctx(100), &UdfRegistry::new())
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(metrics.counter_value("serve.completed"), 1);
+        assert_eq!(metrics.counter_value("serve.shed"), 0);
+    }
+
+    #[test]
+    fn full_tenant_queue_sheds_with_rejected() {
+        let (svc, metrics) = service_with(ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            max_in_flight: 1,
+            default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        // Big enough that the single worker cannot drain a burst of
+        // instantaneous submissions.
+        let data = ctx(400_000);
+        let mut tickets = Vec::new();
+        let mut shed = 0u32;
+        for i in 0..32 {
+            let req = QueryRequest::new(
+                "flood",
+                sum_query(f64::from(i)),
+                data.clone(),
+                UdfRegistry::new(),
+            );
+            match svc.submit(req) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Rejected { retry_after }) => {
+                    assert!(retry_after > Duration::ZERO);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        assert!(shed > 0, "burst past queue capacity must shed");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        assert_eq!(metrics.counter_value("serve.shed"), u64::from(shed));
+        assert_eq!(
+            metrics.counter_value("serve.admitted") + u64::from(shed),
+            metrics.counter_value("serve.submitted"),
+        );
+    }
+
+    #[test]
+    fn expired_deadline_is_reported_in_bounded_time() {
+        let (svc, metrics) = service_with(ServeConfig::default());
+        let req = QueryRequest::new("acme", sum_query(0.0), ctx(1000), UdfRegistry::new())
+            .with_deadline(Duration::ZERO);
+        let start = Instant::now();
+        let err = svc.execute_blocking(req).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(metrics.counter_value("serve.deadline_exceeded"), 1);
+    }
+
+    #[test]
+    fn cancelled_ticket_stops_a_queued_job() {
+        let (svc, metrics) = service_with(ServeConfig {
+            workers: 1,
+            max_in_flight: 1,
+            default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let data = ctx(400_000);
+        // Occupy the worker, then cancel a queued job before it runs.
+        let busy: Vec<QueryTicket> = (0..4)
+            .map(|i| {
+                svc.submit(QueryRequest::new(
+                    "acme",
+                    sum_query(f64::from(i)),
+                    data.clone(),
+                    UdfRegistry::new(),
+                ))
+                .unwrap()
+            })
+            .collect();
+        let victim = svc
+            .submit(QueryRequest::new(
+                "acme",
+                sum_query(99.0),
+                data.clone(),
+                UdfRegistry::new(),
+            ))
+            .unwrap();
+        victim.cancel();
+        assert_eq!(victim.wait().unwrap_err(), ServeError::Cancelled);
+        for t in busy {
+            t.wait().unwrap();
+        }
+        assert_eq!(metrics.counter_value("serve.cancelled"), 1);
+    }
+
+    #[test]
+    fn injected_transient_faults_are_retried_to_success() {
+        // Seq 0, attempts 0 and 1 fail; attempt 2 runs clean.
+        let faults = FaultPlan::none()
+            .with(0, 0, FaultKind::Error)
+            .with(0, 1, FaultKind::Error);
+        let (svc, metrics) = service_with(ServeConfig {
+            faults,
+            ..ServeConfig::default()
+        });
+        let got = svc
+            .execute_blocking(QueryRequest::new(
+                "acme",
+                sum_query(0.5),
+                ctx(100),
+                UdfRegistry::new(),
+            ))
+            .unwrap();
+        let want = Steno::new()
+            .execute(&sum_query(0.5), &ctx(100), &UdfRegistry::new())
+            .unwrap();
+        assert_eq!(got, want);
+        assert_eq!(metrics.counter_value("serve.retries"), 2);
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_retried() {
+        let (svc, metrics) = service_with(ServeConfig {
+            faults: FaultPlan::panic_once(0),
+            ..ServeConfig::default()
+        });
+        let got = svc
+            .execute_blocking(QueryRequest::new(
+                "acme",
+                sum_query(0.5),
+                ctx(100),
+                UdfRegistry::new(),
+            ))
+            .unwrap();
+        assert_eq!(
+            got,
+            Steno::new()
+                .execute(&sum_query(0.5), &ctx(100), &UdfRegistry::new())
+                .unwrap()
+        );
+        assert_eq!(metrics.counter_value("serve.panics_contained"), 1);
+        assert_eq!(metrics.counter_value("serve.retries"), 1);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_transient_failure() {
+        let faults = (0..5).fold(FaultPlan::none(), |p, k| p.with(0, k, FaultKind::Error));
+        let (svc, metrics) = service_with(ServeConfig {
+            faults,
+            ..ServeConfig::default()
+        });
+        let err = svc
+            .execute_blocking(QueryRequest::new(
+                "acme",
+                sum_query(0.5),
+                ctx(100),
+                UdfRegistry::new(),
+            ))
+            .unwrap_err();
+        match err {
+            ServeError::QueryFailed { class, message } => {
+                assert_eq!(class, FailureClass::Transient);
+                assert!(message.contains("retries exhausted"), "{message}");
+            }
+            other => panic!("want QueryFailed, got {other:?}"),
+        }
+        // Default budget: 3 attempts, so 2 retries.
+        assert_eq!(metrics.counter_value("serve.retries"), 2);
+    }
+
+    #[test]
+    fn deterministic_failures_fail_fast_and_negative_cache() {
+        let (svc, metrics) = service_with(ServeConfig::default());
+        // `missing` is not a source in the context: a deterministic
+        // compile-time failure.
+        let bad = Query::source("missing").sum().build();
+        for _ in 0..2 {
+            let err = svc
+                .execute_blocking(QueryRequest::new(
+                    "acme",
+                    bad.clone(),
+                    ctx(10),
+                    UdfRegistry::new(),
+                ))
+                .unwrap_err();
+            match err {
+                ServeError::QueryFailed { class, .. } => {
+                    assert_eq!(class, FailureClass::Deterministic);
+                }
+                other => panic!("want QueryFailed, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            metrics.counter_value("serve.negcache_hits"),
+            1,
+            "second submission must hit the negative cache"
+        );
+        assert_eq!(metrics.counter_value("serve.retries"), 0);
+    }
+
+    #[test]
+    fn unsupported_shapes_run_the_fallback_path() {
+        let (svc, metrics) = service_with(ServeConfig::default());
+        let q = Query::source("xs").concat(Query::source("xs")).count().build();
+        let got = svc
+            .execute_blocking(QueryRequest::new("acme", q.clone(), ctx(8), UdfRegistry::new()))
+            .unwrap();
+        assert_eq!(got, Value::I64(16));
+        assert_eq!(metrics.counter_value("serve.fallback_exec"), 1);
+    }
+
+    #[test]
+    fn flooding_tenant_does_not_shed_a_light_tenant() {
+        let (svc, _) = service_with(ServeConfig {
+            workers: 2,
+            queue_depth: 2,
+            max_in_flight: 1,
+            default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let data = ctx(400_000);
+        // Tenant A floods far past its queue depth.
+        let mut a_tickets = Vec::new();
+        for i in 0..16 {
+            if let Ok(t) = svc.submit(QueryRequest::new(
+                "a",
+                sum_query(f64::from(i)),
+                data.clone(),
+                UdfRegistry::new(),
+            )) {
+                a_tickets.push(t);
+            }
+        }
+        // Tenant B's occasional queries are admitted and answered:
+        // admission is per-tenant, and round-robin dispatch guarantees
+        // B's turn comes up regardless of A's backlog.
+        for i in 0..3 {
+            let got = svc
+                .execute_blocking(QueryRequest::new(
+                    "b",
+                    sum_query(f64::from(i)),
+                    ctx(100),
+                    UdfRegistry::new(),
+                ))
+                .unwrap();
+            assert_eq!(
+                got,
+                Steno::new()
+                    .execute(&sum_query(f64::from(i)), &ctx(100), &UdfRegistry::new())
+                    .unwrap()
+            );
+        }
+        for t in a_tickets {
+            t.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn shutdown_fails_queued_work_and_rejects_new_submissions() {
+        let (svc, _) = service_with(ServeConfig {
+            workers: 1,
+            max_in_flight: 1,
+            default_deadline: Duration::from_secs(10),
+            ..ServeConfig::default()
+        });
+        let data = ctx(400_000);
+        let tickets: Vec<QueryTicket> = (0..6)
+            .map(|i| {
+                svc.submit(QueryRequest::new(
+                    "acme",
+                    sum_query(f64::from(i)),
+                    data.clone(),
+                    UdfRegistry::new(),
+                ))
+                .unwrap()
+            })
+            .collect();
+        svc.shutdown();
+        assert_eq!(
+            svc.submit(QueryRequest::new(
+                "acme",
+                sum_query(0.0),
+                ctx(10),
+                UdfRegistry::new()
+            ))
+            .unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        let mut shut_down = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => {}
+                Err(ServeError::ShuttingDown) => shut_down += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(shut_down > 0, "queued jobs must be failed by shutdown");
+    }
+
+    #[test]
+    fn round_robin_take_next_respects_quota_and_rotation() {
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let mk = |tenant: &str, seq: u64| Job {
+            seq,
+            tenant: tenant.to_string(),
+            query: sum_query(0.0),
+            ctx: DataContext::new(),
+            udfs: UdfRegistry::new(),
+            deadline: Instant::now() + Duration::from_secs(1),
+            submitted: Instant::now(),
+            cancel: CancelToken::new(),
+            reply: tx.clone(),
+        };
+        let mut d = Dispatch::default();
+        for (tenant, seq) in [("a", 0), ("a", 1), ("b", 2)] {
+            let state = d.tenants.entry(tenant.to_string()).or_default();
+            if state.queue.is_empty() {
+                d.rr.push_back(tenant.to_string());
+            }
+            state.queue.push_back(mk(tenant, seq));
+        }
+        // Round-robin alternates tenants; quota 1 parks tenant "a"
+        // after its first job until in_flight drops.
+        let first = d.take_next(1).unwrap();
+        assert_eq!(first.tenant, "a");
+        let second = d.take_next(1).unwrap();
+        assert_eq!(second.tenant, "b");
+        assert!(d.take_next(1).is_none(), "a is at its in-flight quota");
+        d.tenants.get_mut("a").unwrap().in_flight = 0;
+        assert_eq!(d.take_next(1).unwrap().seq, 1);
+        assert!(d.take_next(1).is_none(), "all queues drained");
+    }
+
+    #[test]
+    fn negative_cache_is_bounded_fifo() {
+        let mut nc = NegativeCache {
+            cap: 2,
+            ..NegativeCache::default()
+        };
+        nc.insert("a".into(), "1".into());
+        nc.insert("b".into(), "2".into());
+        nc.insert("c".into(), "3".into());
+        assert!(nc.get("a").is_none(), "oldest entry evicted");
+        assert_eq!(nc.get("b").as_deref(), Some("2"));
+        assert_eq!(nc.get("c").as_deref(), Some("3"));
+        assert_eq!(nc.map.len(), 2);
+    }
+}

@@ -396,6 +396,7 @@ pub fn run_batch(
     sinks: &mut [SinkRt],
     out: &mut Vec<Value>,
     mut prof: Option<&mut crate::profile::QueryProfile>,
+    interrupt: &crate::interrupt::Interrupt,
 ) -> Result<(), VmError> {
     let mut f_bank: Vec<[f64; BATCH]> = vec![[0.0; BATCH]; bp.n_f as usize];
     let mut i_bank: Vec<[i64; BATCH]> = vec![[0; BATCH]; bp.n_i as usize];
@@ -419,6 +420,10 @@ pub fn run_batch(
     let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
     let mut start = 0;
     while start < total {
+        // Batch boundaries are the vectorized tier's cooperative poll
+        // points: cancellation/deadline latency is bounded by one
+        // 1024-lane tape pass. Inert interrupts cost two Option checks.
+        interrupt.check()?;
         let len = (total - start).min(BATCH);
         // Selection state resets per chunk: dense until a Filter fires.
         let mut dense = true;
@@ -812,6 +817,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         let mut expected = 0.0;
@@ -858,6 +864,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         assert_eq!(i_accs[0], 5);
@@ -900,6 +907,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         assert_eq!(i_accs[0], 2 + 5);
@@ -925,6 +933,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         );
         assert_eq!(r, Err(VmError::DivisionByZero));
     }
@@ -971,6 +980,7 @@ mod tests {
             &mut sinks,
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         let SinkRt::GroupAggSF { entries, .. } = &sinks[0] else {
@@ -1023,6 +1033,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         assert_eq!(
@@ -1067,6 +1078,7 @@ mod tests {
             &mut empty_sinks(),
             &mut out,
             None,
+            &crate::interrupt::Interrupt::none(),
         )
         .unwrap();
         let mut expected = 0.0;

@@ -12,6 +12,7 @@ use std::fmt;
 use steno_expr::Value;
 
 use crate::instr::{Instr, Program};
+use crate::interrupt::{Interrupt, POLL_STRIDE};
 use crate::prepared::{Bindings, PreparedSource};
 use crate::instr::SKey;
 use crate::profile::QueryProfile;
@@ -35,6 +36,12 @@ pub enum VmError {
     MissingBinding(String),
     /// Execution fell off the end of the program.
     PcOutOfRange,
+    /// Execution was cooperatively cancelled via an [`Interrupt`] probe
+    /// before producing a result.
+    Cancelled,
+    /// Execution ran past the [`Interrupt`] deadline and was aborted at
+    /// the next poll point.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for VmError {
@@ -47,6 +54,8 @@ impl fmt::Display for VmError {
             VmError::Shape(msg) => write!(f, "value shape mismatch: {msg}"),
             VmError::MissingBinding(what) => write!(f, "missing binding for {what}"),
             VmError::PcOutOfRange => write!(f, "program counter out of range"),
+            VmError::Cancelled => write!(f, "query cancelled"),
+            VmError::DeadlineExceeded => write!(f, "query deadline exceeded"),
         }
     }
 }
@@ -75,7 +84,27 @@ fn idx_check(index: i64, len: usize) -> Result<usize, VmError> {
 /// hand-assembled programs).
 pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
     let mut unused = QueryProfile::default();
-    run_impl::<false>(p, bindings, &mut unused)
+    run_impl::<false>(p, bindings, &mut unused, &Interrupt::none())
+}
+
+/// As [`run_program`], polling `interrupt` cooperatively: the scalar
+/// dispatch loop checks it at loop back-edges (amortized over
+/// [`POLL_STRIDE`] elements) and the batch engine checks it at every
+/// 1024-lane batch boundary, so a cancelled or past-deadline query
+/// aborts in bounded time instead of running to completion. An inert
+/// interrupt makes this identical to [`run_program`].
+///
+/// # Errors
+///
+/// As [`run_program`], plus [`VmError::Cancelled`] and
+/// [`VmError::DeadlineExceeded`].
+pub fn run_program_with(
+    p: &Program,
+    bindings: &Bindings,
+    interrupt: &Interrupt,
+) -> Result<Value, VmError> {
+    let mut unused = QueryProfile::default();
+    run_impl::<false>(p, bindings, &mut unused, interrupt)
 }
 
 /// As [`run_program`], additionally filling a [`QueryProfile`] with
@@ -93,7 +122,7 @@ pub fn run_program_profiled(
 ) -> Result<(Value, QueryProfile), VmError> {
     let mut prof = QueryProfile::default();
     let start = std::time::Instant::now();
-    let value = run_impl::<true>(p, bindings, &mut prof)?;
+    let value = run_impl::<true>(p, bindings, &mut prof, &Interrupt::none())?;
     prof.wall = start.elapsed();
     Ok((value, prof))
 }
@@ -102,7 +131,11 @@ fn run_impl<const PROFILE: bool>(
     p: &Program,
     bindings: &Bindings,
     prof: &mut QueryProfile,
+    interrupt: &Interrupt,
 ) -> Result<Value, VmError> {
+    // Back-edge poll budget: a full interrupt check (clock read + probe
+    // call) runs once per POLL_STRIDE backward jumps.
+    let mut intr_budget: u32 = POLL_STRIDE;
     let mut fregs = vec![0.0f64; p.n_fregs as usize];
     let mut iregs = vec![0i64; p.n_iregs as usize];
     let mut vregs = vec![Value::I64(0); p.n_vregs as usize];
@@ -123,15 +156,32 @@ fn run_impl<const PROFILE: bool>(
             prof.scalar_instrs += 1;
         }
         match instr {
-            Instr::Jump(t) => pc = *t as usize,
+            Instr::Jump(t) => {
+                let target = *t as usize;
+                // Loop back-edges are the scalar tier's cooperative
+                // poll points (pc already points past this instruction,
+                // so any smaller target is a back-edge).
+                if target < pc {
+                    interrupt.poll(&mut intr_budget)?;
+                }
+                pc = target;
+            }
             Instr::JumpIfFalse(c, t) => {
                 if iregs[*c as usize] == 0 {
-                    pc = *t as usize;
+                    let target = *t as usize;
+                    if target < pc {
+                        interrupt.poll(&mut intr_budget)?;
+                    }
+                    pc = target;
                 }
             }
             Instr::JumpIfTrue(c, t) => {
                 if iregs[*c as usize] != 0 {
-                    pc = *t as usize;
+                    let target = *t as usize;
+                    if target < pc {
+                        interrupt.poll(&mut intr_budget)?;
+                    }
+                    pc = target;
                 }
             }
             Instr::ConstF(d, x) => fregs[*d as usize] = *x,
@@ -610,6 +660,10 @@ fn run_impl<const PROFILE: bool>(
             }
 
             Instr::FusedLoop(kernel) => {
+                // The fused tier runs its whole source in one call, so
+                // the check sits at loop entry; sub-loop granularity is
+                // the vectorized tier's job (per-batch, below).
+                interrupt.check()?;
                 let PreparedSource::F64(data) = &bindings.sources[kernel.src as usize] else {
                     return Err(shape("fused source is not f64"));
                 };
@@ -662,6 +716,7 @@ fn run_impl<const PROFILE: bool>(
                     &mut sinks,
                     &mut out,
                     if PROFILE { Some(prof) } else { None },
+                    interrupt,
                 )?;
                 if PROFILE {
                     prof.out_elements += (out.len() - out_before) as u64;

@@ -44,6 +44,7 @@ pub mod compile;
 pub mod fuse;
 pub mod exec;
 pub mod instr;
+pub mod interrupt;
 pub mod kernels;
 pub mod prepared;
 pub mod profile;
@@ -51,7 +52,10 @@ pub mod query;
 pub mod sink;
 
 pub use compile::{assemble, CompileError};
-pub use exec::{run_program, run_program_profiled, VmError};
+pub use exec::{run_program, run_program_profiled, run_program_with, VmError};
 pub use instr::{FallbackReason, Instr, LoopPlan, LoopTier, Program};
+pub use interrupt::{CancelProbe, Interrupt};
 pub use profile::QueryProfile;
-pub use query::{CompiledQuery, EngineKind, QueryCache, StenoOptions, VectorizationPolicy};
+pub use query::{
+    CacheStats, CompiledQuery, EngineKind, QueryCache, StenoOptions, VectorizationPolicy,
+};

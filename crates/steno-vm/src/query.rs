@@ -23,8 +23,9 @@ use steno_quil::lower::{lower_with, LowerOptions};
 use steno_quil::passes;
 
 use crate::compile::{assemble_with};
-use crate::exec::{run_program, VmError};
+use crate::exec::{run_program, run_program_with, VmError};
 use crate::instr::Program;
+use crate::interrupt::Interrupt;
 use crate::prepared::Bindings;
 
 /// An error from the optimization pipeline.
@@ -226,6 +227,25 @@ impl CompiledQuery {
         run_program(&self.program, &bindings)
     }
 
+    /// As [`CompiledQuery::run`], polling `interrupt` at loop back-edges
+    /// and batch boundaries so a cancelled or past-deadline execution
+    /// aborts in bounded time with [`VmError::Cancelled`] /
+    /// [`VmError::DeadlineExceeded`]. This is the entry point the
+    /// `steno-serve` worker pool uses to enforce per-query deadlines.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledQuery::run`], plus the two interruption errors.
+    pub fn run_with(
+        &self,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        interrupt: &Interrupt,
+    ) -> Result<Value, VmError> {
+        let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
+        run_program_with(&self.program, &bindings, interrupt)
+    }
+
     /// As [`CompiledQuery::run`], additionally returning a
     /// [`crate::profile::QueryProfile`] of where elements and time went.
     /// Runs the profiled monomorphization of the interpreter; use
@@ -315,14 +335,101 @@ impl CompiledQuery {
     }
 }
 
+/// Aggregate counters for a [`QueryCache`]: the admission-control view
+/// of the plan cache a multi-tenant service watches (hit rate, pressure
+/// via evictions, occupancy vs the cap).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that compiled fresh.
+    pub misses: u64,
+    /// Entries evicted to enforce the capacity cap.
+    pub evictions: u64,
+    /// Current number of cached plans.
+    pub len: usize,
+    /// The capacity cap, `None` for an unbounded cache.
+    pub capacity: Option<usize>,
+}
+
+/// One cached plan plus its LRU stamp.
+struct CacheEntry {
+    compiled: Arc<CompiledQuery>,
+    last_used: u64,
+}
+
+/// Map, LRU clock, and counters behind one lock, so a hit's
+/// `last_used` bump and counter increment are atomic together.
+#[derive(Default)]
+struct CacheInner {
+    entries: HashMap<String, CacheEntry>,
+    tick: u64,
+    capacity: Option<usize>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    /// Looks `key` up, stamping the entry most-recently-used on a hit.
+    fn get(&mut self, key: &str) -> Option<Arc<CompiledQuery>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits += 1;
+                Some(Arc::clone(&e.compiled))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting least-recently-used entries while the
+    /// cache is at capacity. The LRU scan is linear, which is fine at
+    /// plan-cache sizes (hundreds of distinct query texts, not
+    /// millions of rows).
+    fn insert(&mut self, key: String, compiled: Arc<CompiledQuery>) {
+        if let Some(cap) = self.capacity {
+            while self.entries.len() >= cap && !self.entries.contains_key(&key) {
+                let victim = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        self.entries.remove(&k);
+                        self.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                compiled,
+                last_used: tick,
+            },
+        );
+    }
+}
+
 /// A cache of compiled queries, keyed by their printed AST — "the query
 /// object may be cached between invocations" (§3.3; the paper points at
-/// Nectar \[18\] for a full design).
+/// Nectar \[18\] for a full design). Optionally bounded
+/// ([`QueryCache::with_capacity`]) with least-recently-used eviction,
+/// so a multi-tenant plan cache cannot grow without limit under a churn
+/// of distinct query texts.
 #[derive(Default)]
 pub struct QueryCache {
-    entries: Mutex<HashMap<String, Arc<CompiledQuery>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    inner: Mutex<CacheInner>,
 }
 
 /// Locks a mutex, recovering from poisoning: cache state is always
@@ -333,9 +440,23 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl QueryCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> QueryCache {
         QueryCache::default()
+    }
+
+    /// Creates an empty cache holding at most `capacity` plans
+    /// (clamped to at least 1); inserting past the cap evicts the
+    /// least-recently-used plan and bumps [`CacheStats::evictions`].
+    pub fn with_capacity(capacity: usize) -> QueryCache {
+        let cache = QueryCache::new();
+        lock(&cache.inner).capacity = Some(capacity.max(1));
+        cache
+    }
+
+    /// The capacity cap, `None` for an unbounded cache.
+    pub fn capacity(&self) -> Option<usize> {
+        lock(&self.inner).capacity
     }
 
     /// Returns the compiled form of `q`, compiling at most once per
@@ -351,13 +472,11 @@ impl QueryCache {
         udfs: &UdfRegistry,
     ) -> Result<Arc<CompiledQuery>, OptimizeError> {
         let key = q.to_string();
-        if let Some(hit) = lock(&self.entries).get(&key) {
-            *lock(&self.hits) += 1;
-            return Ok(Arc::clone(hit));
+        if let Some(hit) = lock(&self.inner).get(&key) {
+            return Ok(hit);
         }
-        *lock(&self.misses) += 1;
         let compiled = Arc::new(CompiledQuery::compile(q, sources, udfs)?);
-        lock(&self.entries).insert(key, Arc::clone(&compiled));
+        lock(&self.inner).insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
@@ -393,29 +512,41 @@ impl QueryCache {
         opts: StenoOptions,
     ) -> Result<(Arc<CompiledQuery>, bool), OptimizeError> {
         let key = format!("{opts:?}|{q}");
-        if let Some(hit) = lock(&self.entries).get(&key) {
-            *lock(&self.hits) += 1;
-            return Ok((Arc::clone(hit), true));
+        if let Some(hit) = lock(&self.inner).get(&key) {
+            return Ok((hit, true));
         }
-        *lock(&self.misses) += 1;
         let compiled = Arc::new(CompiledQuery::compile_tuned(q, sources, udfs, opts)?);
-        lock(&self.entries).insert(key, Arc::clone(&compiled));
+        lock(&self.inner).insert(key, Arc::clone(&compiled));
         Ok((compiled, false))
     }
 
-    /// `(hits, misses)` counters.
+    /// `(hits, misses)` counters (see [`QueryCache::detailed_stats`]
+    /// for the full set including evictions).
     pub fn stats(&self) -> (u64, u64) {
-        (*lock(&self.hits), *lock(&self.misses))
+        let inner = lock(&self.inner);
+        (inner.hits, inner.misses)
+    }
+
+    /// The full counter set: hits, misses, evictions, occupancy, cap.
+    pub fn detailed_stats(&self) -> CacheStats {
+        let inner = lock(&self.inner);
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: inner.capacity,
+        }
     }
 
     /// Number of cached queries.
     pub fn len(&self) -> usize {
-        lock(&self.entries).len()
+        lock(&self.inner).entries.len()
     }
 
     /// `true` when the cache is empty.
     pub fn is_empty(&self) -> bool {
-        lock(&self.entries).is_empty()
+        lock(&self.inner).entries.is_empty()
     }
 }
 
@@ -671,6 +802,145 @@ mod tests {
         assert_eq!(prof.src_reads, 4);
         assert!(prof.scalar_instrs > 0);
         assert_eq!(prof.batch_loops, 0);
+    }
+
+    #[test]
+    fn lru_eviction_caps_the_cache_and_counts() {
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = QueryCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let q1 = Query::source("xs").sum().build();
+        let q2 = Query::source("xs").count().build();
+        let q3 = Query::source("ns").sum().build();
+        cache.get_or_compile(&q1, (&c).into(), &udfs).unwrap();
+        cache.get_or_compile(&q2, (&c).into(), &udfs).unwrap();
+        // Touch q1 so q2 is the least recently used.
+        cache.get_or_compile(&q1, (&c).into(), &udfs).unwrap();
+        cache.get_or_compile(&q3, (&c).into(), &udfs).unwrap();
+        let stats = cache.detailed_stats();
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.capacity, Some(2));
+        // q1 survived (recently used); q2 was evicted and recompiles.
+        let (hits_before, misses_before) = cache.stats();
+        cache.get_or_compile(&q1, (&c).into(), &udfs).unwrap();
+        cache.get_or_compile(&q2, (&c).into(), &udfs).unwrap();
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, hits_before + 1, "q1 must still be cached");
+        assert_eq!(misses, misses_before + 1, "q2 must have been evicted");
+        assert_eq!(cache.detailed_stats().evictions, 2);
+    }
+
+    #[test]
+    fn reinserting_a_cached_key_does_not_evict() {
+        // Hitting an existing key at capacity must not push anything out.
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = QueryCache::with_capacity(1);
+        let q = Query::source("xs").sum().build();
+        for _ in 0..5 {
+            cache.get_or_compile(&q, (&c).into(), &udfs).unwrap();
+        }
+        let stats = cache.detailed_stats();
+        assert_eq!((stats.len, stats.evictions), (1, 0));
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn cache_lock_recovers_from_panicking_holder() {
+        // A thread panicking while holding the cache's internal lock
+        // must not wedge it: the poison-recovering `lock` helper hands
+        // the guard to the next caller and the cache state stays
+        // intact (the satellite contract for the VM cache lock).
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = std::sync::Arc::new(QueryCache::new());
+        let q = Query::source("xs").sum().build();
+        cache.get_or_compile(&q, (&c).into(), &udfs).unwrap();
+
+        let poisoner = std::sync::Arc::clone(&cache);
+        let handle = std::thread::spawn(move || {
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = lock(&poisoner.inner);
+                panic!("poison the cache lock");
+            }));
+        });
+        handle.join().ok();
+
+        // The cache still serves hits and accepts inserts.
+        let before = cache.detailed_stats();
+        assert_eq!(before.len, 1);
+        cache.get_or_compile(&q, (&c).into(), &udfs).unwrap();
+        let q2 = Query::source("ns").sum().build();
+        cache.get_or_compile(&q2, (&c).into(), &udfs).unwrap();
+        let after = cache.detailed_stats();
+        assert_eq!(after.len, 2);
+        assert_eq!(after.hits, before.hits + 1);
+    }
+
+    #[test]
+    fn run_with_honors_deadline_and_cancellation() {
+        use crate::interrupt::{CancelProbe, Interrupt};
+
+        // A large enough input that execution spans many batches.
+        let big: Vec<i64> = (1..200_000).collect();
+        let c = DataContext::new().with_source("ns", big);
+        let udfs = UdfRegistry::new();
+        let q = Query::source("ns")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum_by(Expr::var("y"), "y")
+            .build();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &udfs).unwrap();
+
+        // Inert interrupt: identical result to plain run.
+        let plain = compiled.run(&c, &udfs).unwrap();
+        let inert = compiled.run_with(&c, &udfs, &Interrupt::none()).unwrap();
+        assert_eq!(plain, inert);
+
+        // Expired deadline: aborts instead of completing.
+        let expired = Interrupt::none()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert_eq!(
+            compiled.run_with(&c, &udfs, &expired),
+            Err(VmError::DeadlineExceeded)
+        );
+
+        // Pre-fired cancellation probe: aborts with Cancelled.
+        let probe = std::sync::Arc::new(|| true) as CancelProbe;
+        let cancelled = Interrupt::none().with_cancel_probe(probe);
+        assert_eq!(
+            compiled.run_with(&c, &udfs, &cancelled),
+            Err(VmError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn scalar_tier_polls_interrupts_at_back_edges() {
+        use crate::interrupt::{CancelProbe, Interrupt};
+
+        // A UDF call forces the scalar tier; cancellation must still
+        // land via the dispatch loop's back-edge polling.
+        let mut udfs = UdfRegistry::new();
+        udfs.register("twice", vec![Ty::F64], Ty::F64, |args: &[Value]| {
+            Value::F64(args[0].as_f64().unwrap_or(0.0) * 2.0)
+        });
+        let big: Vec<f64> = (0..50_000).map(f64::from).collect();
+        let c = DataContext::new().with_source("xs", big);
+        let q = Query::source("xs")
+            .select(Expr::call("twice", vec![Expr::var("x")]), "x")
+            .sum()
+            .build();
+        let compiled = CompiledQuery::compile(&q, (&c).into(), &udfs).unwrap();
+        assert_eq!(compiled.engine(), EngineKind::Scalar);
+        let probe = std::sync::Arc::new(|| true) as CancelProbe;
+        let cancelled = Interrupt::none().with_cancel_probe(probe);
+        assert_eq!(
+            compiled.run_with(&c, &udfs, &cancelled),
+            Err(VmError::Cancelled)
+        );
     }
 
     #[test]

@@ -157,6 +157,17 @@ impl Steno {
         &self.options
     }
 
+    /// Bounds the query cache to at most `capacity` compiled plans,
+    /// evicted least-recently-used. Hit/miss/eviction counts stay
+    /// visible through [`Steno::detailed_cache_stats`]. The default
+    /// cache is unbounded, which is fine for a single application but
+    /// not for a multi-tenant service where the key space is open-ended.
+    #[must_use = "with_cache_capacity returns the configured engine"]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Steno {
+        self.cache = QueryCache::with_capacity(capacity);
+        self
+    }
+
     /// Turns the independent plan verifier on or off. When on, every
     /// fresh compilation's optimized QUIL chain is re-typechecked and
     /// its parallel plan cross-derived by `steno-analysis` before the
@@ -201,9 +212,22 @@ impl Steno {
         sources: SourceTypes,
         udfs: &UdfRegistry,
     ) -> Result<(Arc<CompiledQuery>, bool), StenoError> {
+        self.compile_metered_with(q, sources, udfs, self.options)
+    }
+
+    /// As [`Steno::compile_metered`], with explicit per-call options
+    /// (the cache keys on the options, so plans compiled under
+    /// different policies coexist).
+    fn compile_metered_with(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        options: StenoOptions,
+    ) -> Result<(Arc<CompiledQuery>, bool), StenoError> {
         let result = self
             .cache
-            .get_or_compile_tuned_traced(q, sources, udfs, self.options);
+            .get_or_compile_tuned_traced(q, sources, udfs, options);
         if self.collector.enabled() {
             match &result {
                 Ok((_, true)) => self.collector.add("steno.cache.hit", 1),
@@ -392,9 +416,36 @@ impl Steno {
             .map(|(compiled, _hit)| compiled)
     }
 
+    /// As [`Steno::compile`], with per-call [`StenoOptions`] overriding
+    /// the engine default. The cache keys on the options, so a service
+    /// layer can degrade individual compilations (e.g. pin
+    /// [`VectorizationPolicy::Off`] while a breaker is open) without
+    /// poisoning plans cached under the healthy policy. Goes through
+    /// the same metering and verifier as every other compile.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::compile`].
+    pub fn compile_with_options(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        options: StenoOptions,
+    ) -> Result<Arc<CompiledQuery>, StenoError> {
+        self.compile_metered_with(q, sources, udfs, options)
+            .map(|(compiled, _hit)| compiled)
+    }
+
     /// `(hits, misses)` of the query cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Full query-cache counters: hits, misses, evictions, live
+    /// entries, and the configured capacity (if bounded).
+    pub fn detailed_cache_stats(&self) -> steno_vm::CacheStats {
+        self.cache.detailed_stats()
     }
 
     /// Executes a query over a partitioned collection on the simulated
@@ -779,6 +830,59 @@ mod tests {
         assert_eq!(metrics.counter_value("cluster.jobs"), 1);
         assert_eq!(metrics.counter_value("cluster.input_elements"), 100);
         assert_eq!(metrics.counter_value("cluster.vertex_attempts"), 4);
+    }
+
+    #[test]
+    fn per_call_options_compile_distinct_cached_plans() {
+        use steno_vm::EngineKind;
+
+        let engine = Steno::new();
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+
+        let auto = engine.compile(&q, SourceTypes::from(&c), &udfs).unwrap();
+        assert_eq!(auto.engine(), EngineKind::Vectorized);
+
+        let degraded = StenoOptions {
+            vectorize: VectorizationPolicy::Off,
+            ..*engine.options()
+        };
+        let scalar = engine
+            .compile_with_options(&q, SourceTypes::from(&c), &udfs, degraded)
+            .unwrap();
+        assert_eq!(scalar.engine(), EngineKind::Scalar);
+
+        // Both plans live in the cache under distinct keys: recompiling
+        // under either policy is a hit, and the stored plans agree.
+        let stats = engine.detailed_cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.len, 2);
+        let again = engine
+            .compile_with_options(&q, SourceTypes::from(&c), &udfs, degraded)
+            .unwrap();
+        assert!(Arc::ptr_eq(&scalar, &again));
+        assert_eq!(engine.detailed_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_through_the_facade() {
+        let engine = Steno::new().with_cache_capacity(1);
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        engine
+            .execute(&Query::source("xs").sum().build(), &c, &udfs)
+            .unwrap();
+        engine
+            .execute(&Query::source("xs").count().build(), &c, &udfs)
+            .unwrap();
+        let stats = engine.detailed_cache_stats();
+        assert_eq!(stats.capacity, Some(1));
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.evictions, 1);
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f07186f4eb397a5b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f07186f4eb397a5b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/macro_expansion-21c1bc7d8e7a95fa.d: tests/macro_expansion.rs
+
+/root/repo/target/debug/deps/macro_expansion-21c1bc7d8e7a95fa: tests/macro_expansion.rs
+
+tests/macro_expansion.rs:

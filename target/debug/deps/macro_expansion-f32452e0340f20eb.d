@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/macro_expansion-f32452e0340f20eb.d: tests/macro_expansion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmacro_expansion-f32452e0340f20eb.rmeta: tests/macro_expansion.rs Cargo.toml
+
+tests/macro_expansion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

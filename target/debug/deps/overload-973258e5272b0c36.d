@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overload-973258e5272b0c36.d: crates/steno-serve/tests/overload.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverload-973258e5272b0c36.rmeta: crates/steno-serve/tests/overload.rs Cargo.toml
+
+crates/steno-serve/tests/overload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

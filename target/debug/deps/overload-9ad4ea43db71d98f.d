@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overload-9ad4ea43db71d98f.d: crates/steno-serve/tests/overload.rs
+
+/root/repo/target/debug/deps/overload-9ad4ea43db71d98f: crates/steno-serve/tests/overload.rs
+
+crates/steno-serve/tests/overload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-64df3aee935a571f.d: tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-64df3aee935a571f.rmeta: tests/pipeline_properties.rs Cargo.toml
+
+tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-eac31a8e2d6c9f96.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-eac31a8e2d6c9f96: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

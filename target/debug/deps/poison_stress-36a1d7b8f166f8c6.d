@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poison_stress-36a1d7b8f166f8c6.d: crates/steno-cluster/tests/poison_stress.rs
+
+/root/repo/target/debug/deps/poison_stress-36a1d7b8f166f8c6: crates/steno-cluster/tests/poison_stress.rs
+
+crates/steno-cluster/tests/poison_stress.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poison_stress-d97caa94f9c272a2.d: crates/steno-cluster/tests/poison_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoison_stress-d97caa94f9c272a2.rmeta: crates/steno-cluster/tests/poison_stress.rs Cargo.toml
+
+crates/steno-cluster/tests/poison_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

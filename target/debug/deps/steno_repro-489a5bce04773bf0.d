@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/steno_repro-489a5bce04773bf0.d: src/lib.rs src/prng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_repro-489a5bce04773bf0.rmeta: src/lib.rs src/prng.rs Cargo.toml
+
+src/lib.rs:
+src/prng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/steno_repro-8f3bd7ee028a1730.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/steno_repro-8f3bd7ee028a1730: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/steno_repro-ac028eb860e64064.d: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-ac028eb860e64064.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/debug/deps/libsteno_repro-ac028eb860e64064.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

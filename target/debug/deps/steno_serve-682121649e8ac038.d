@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steno_serve-682121649e8ac038.d: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+/root/repo/target/debug/deps/steno_serve-682121649e8ac038: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+crates/steno-serve/src/lib.rs:
+crates/steno-serve/src/breaker.rs:
+crates/steno-serve/src/loadgen.rs:
+crates/steno-serve/src/report.rs:
+crates/steno-serve/src/service.rs:

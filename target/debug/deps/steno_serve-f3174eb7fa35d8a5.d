@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/steno_serve-f3174eb7fa35d8a5.d: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+/root/repo/target/debug/deps/libsteno_serve-f3174eb7fa35d8a5.rlib: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+/root/repo/target/debug/deps/libsteno_serve-f3174eb7fa35d8a5.rmeta: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+crates/steno-serve/src/lib.rs:
+crates/steno-serve/src/breaker.rs:
+crates/steno-serve/src/loadgen.rs:
+crates/steno-serve/src/report.rs:
+crates/steno-serve/src/service.rs:

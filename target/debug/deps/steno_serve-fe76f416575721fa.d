@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/steno_serve-fe76f416575721fa.d: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteno_serve-fe76f416575721fa.rmeta: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs Cargo.toml
+
+crates/steno-serve/src/lib.rs:
+crates/steno-serve/src/breaker.rs:
+crates/steno-serve/src/loadgen.rs:
+crates/steno-serve/src/report.rs:
+crates/steno-serve/src/service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

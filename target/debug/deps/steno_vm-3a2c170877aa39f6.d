@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/steno_vm-3a2c170877aa39f6.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs Cargo.toml
+/root/repo/target/debug/deps/steno_vm-3a2c170877aa39f6.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsteno_vm-3a2c170877aa39f6.rmeta: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs Cargo.toml
+/root/repo/target/debug/deps/libsteno_vm-3a2c170877aa39f6.rmeta: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs Cargo.toml
 
 crates/steno-vm/src/lib.rs:
 crates/steno-vm/src/batch.rs:
@@ -8,6 +8,7 @@ crates/steno-vm/src/compile.rs:
 crates/steno-vm/src/fuse.rs:
 crates/steno-vm/src/exec.rs:
 crates/steno-vm/src/instr.rs:
+crates/steno-vm/src/interrupt.rs:
 crates/steno-vm/src/kernels.rs:
 crates/steno-vm/src/prepared.rs:
 crates/steno-vm/src/profile.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/steno_vm-ee59bea74c9a0e9f.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/debug/deps/steno_vm-ee59bea74c9a0e9f.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
-/root/repo/target/debug/deps/steno_vm-ee59bea74c9a0e9f: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/debug/deps/steno_vm-ee59bea74c9a0e9f: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
 crates/steno-vm/src/lib.rs:
 crates/steno-vm/src/batch.rs:
@@ -8,6 +8,7 @@ crates/steno-vm/src/compile.rs:
 crates/steno-vm/src/fuse.rs:
 crates/steno-vm/src/exec.rs:
 crates/steno-vm/src/instr.rs:
+crates/steno-vm/src/interrupt.rs:
 crates/steno-vm/src/kernels.rs:
 crates/steno-vm/src/prepared.rs:
 crates/steno-vm/src/profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_corpus-03f3907435d80622.d: tests/verify_corpus.rs
+
+/root/repo/target/debug/deps/verify_corpus-03f3907435d80622: tests/verify_corpus.rs
+
+tests/verify_corpus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_corpus-fc3a40b6ea7f87c5.d: tests/verify_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_corpus-fc3a40b6ea7f87c5.rmeta: tests/verify_corpus.rs Cargo.toml
+
+tests/verify_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

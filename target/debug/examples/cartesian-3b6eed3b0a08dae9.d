@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cartesian-3b6eed3b0a08dae9.d: examples/cartesian.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcartesian-3b6eed3b0a08dae9.rmeta: examples/cartesian.rs Cargo.toml
+
+examples/cartesian.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cartesian-a909fea45d19bc38.d: examples/cartesian.rs
+
+/root/repo/target/debug/examples/cartesian-a909fea45d19bc38: examples/cartesian.rs
+
+examples/cartesian.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/codegen_tour-93ea694486ab302a.d: examples/codegen_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcodegen_tour-93ea694486ab302a.rmeta: examples/codegen_tour.rs Cargo.toml
+
+examples/codegen_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

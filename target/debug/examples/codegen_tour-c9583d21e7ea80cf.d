@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/codegen_tour-c9583d21e7ea80cf.d: examples/codegen_tour.rs
+
+/root/repo/target/debug/examples/codegen_tour-c9583d21e7ea80cf: examples/codegen_tour.rs
+
+examples/codegen_tour.rs:

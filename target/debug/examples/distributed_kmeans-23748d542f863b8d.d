@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_kmeans-23748d542f863b8d.d: examples/distributed_kmeans.rs
+
+/root/repo/target/debug/examples/distributed_kmeans-23748d542f863b8d: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/distributed_kmeans-68146aaf07ab6c6d.d: examples/distributed_kmeans.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdistributed_kmeans-68146aaf07ab6c6d.rmeta: examples/distributed_kmeans.rs Cargo.toml
+
+examples/distributed_kmeans.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

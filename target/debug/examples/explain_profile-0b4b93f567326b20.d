@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explain_profile-0b4b93f567326b20.d: examples/explain_profile.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplain_profile-0b4b93f567326b20.rmeta: examples/explain_profile.rs Cargo.toml
+
+examples/explain_profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explain_profile-676b3ab93e30c1ba.d: examples/explain_profile.rs
+
+/root/repo/target/debug/examples/explain_profile-676b3ab93e30c1ba: examples/explain_profile.rs
+
+examples/explain_profile.rs:

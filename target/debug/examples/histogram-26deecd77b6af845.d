@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/histogram-26deecd77b6af845.d: examples/histogram.rs
+
+/root/repo/target/debug/examples/histogram-26deecd77b6af845: examples/histogram.rs
+
+examples/histogram.rs:

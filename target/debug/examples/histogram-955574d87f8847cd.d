@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/histogram-955574d87f8847cd.d: examples/histogram.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhistogram-955574d87f8847cd.rmeta: examples/histogram.rs Cargo.toml
+
+examples/histogram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1beb497748a28cba.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1beb497748a28cba: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/serve_loadgen-358b5b89f3a09e6d.d: examples/serve_loadgen.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_loadgen-358b5b89f3a09e6d.rmeta: examples/serve_loadgen.rs Cargo.toml
+
+examples/serve_loadgen.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/examples/serve_loadgen-38ac7cfd8da82145.d: examples/serve_loadgen.rs
+
+/root/repo/target/debug/examples/serve_loadgen-38ac7cfd8da82145: examples/serve_loadgen.rs
+
+examples/serve_loadgen.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/steno_repro-d2b809430de7dc60.d: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-d2b809430de7dc60.rlib: src/lib.rs src/prng.rs
+
+/root/repo/target/release/deps/libsteno_repro-d2b809430de7dc60.rmeta: src/lib.rs src/prng.rs
+
+src/lib.rs:
+src/prng.rs:

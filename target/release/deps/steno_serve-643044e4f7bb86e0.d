@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/steno_serve-643044e4f7bb86e0.d: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+/root/repo/target/release/deps/libsteno_serve-643044e4f7bb86e0.rlib: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+/root/repo/target/release/deps/libsteno_serve-643044e4f7bb86e0.rmeta: crates/steno-serve/src/lib.rs crates/steno-serve/src/breaker.rs crates/steno-serve/src/loadgen.rs crates/steno-serve/src/report.rs crates/steno-serve/src/service.rs
+
+crates/steno-serve/src/lib.rs:
+crates/steno-serve/src/breaker.rs:
+crates/steno-serve/src/loadgen.rs:
+crates/steno-serve/src/report.rs:
+crates/steno-serve/src/service.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/steno_vm-2f8a0bcccfbdb20d.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/release/deps/steno_vm-2f8a0bcccfbdb20d.d: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
-/root/repo/target/release/deps/libsteno_vm-2f8a0bcccfbdb20d.rlib: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/release/deps/libsteno_vm-2f8a0bcccfbdb20d.rlib: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
-/root/repo/target/release/deps/libsteno_vm-2f8a0bcccfbdb20d.rmeta: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
+/root/repo/target/release/deps/libsteno_vm-2f8a0bcccfbdb20d.rmeta: crates/steno-vm/src/lib.rs crates/steno-vm/src/batch.rs crates/steno-vm/src/compile.rs crates/steno-vm/src/fuse.rs crates/steno-vm/src/exec.rs crates/steno-vm/src/instr.rs crates/steno-vm/src/interrupt.rs crates/steno-vm/src/kernels.rs crates/steno-vm/src/prepared.rs crates/steno-vm/src/profile.rs crates/steno-vm/src/query.rs crates/steno-vm/src/sink.rs
 
 crates/steno-vm/src/lib.rs:
 crates/steno-vm/src/batch.rs:
@@ -10,6 +10,7 @@ crates/steno-vm/src/compile.rs:
 crates/steno-vm/src/fuse.rs:
 crates/steno-vm/src/exec.rs:
 crates/steno-vm/src/instr.rs:
+crates/steno-vm/src/interrupt.rs:
 crates/steno-vm/src/kernels.rs:
 crates/steno-vm/src/prepared.rs:
 crates/steno-vm/src/profile.rs:

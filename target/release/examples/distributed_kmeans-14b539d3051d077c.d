@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/distributed_kmeans-14b539d3051d077c.d: examples/distributed_kmeans.rs
+
+/root/repo/target/release/examples/distributed_kmeans-14b539d3051d077c: examples/distributed_kmeans.rs
+
+examples/distributed_kmeans.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explain_profile-58f35a6663a31910.d: examples/explain_profile.rs
+
+/root/repo/target/release/examples/explain_profile-58f35a6663a31910: examples/explain_profile.rs
+
+examples/explain_profile.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-85b25f0d621699c2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-85b25f0d621699c2: examples/quickstart.rs
+
+examples/quickstart.rs:

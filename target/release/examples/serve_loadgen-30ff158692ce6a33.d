@@ -1,0 +1,7 @@
+/root/repo/target/release/examples/serve_loadgen-30ff158692ce6a33.d: examples/serve_loadgen.rs
+
+/root/repo/target/release/examples/serve_loadgen-30ff158692ce6a33: examples/serve_loadgen.rs
+
+examples/serve_loadgen.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
