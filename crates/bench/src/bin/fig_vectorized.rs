@@ -14,10 +14,25 @@
 //! (workload, engine, elements, ns/elem, elements/sec). Scale the
 //! element counts with `STENO_SCALE`; set `BENCH_VM_JSON` to redirect
 //! the output path.
+//!
+//! `--smoke` runs a short deterministic mode for CI: fewer samples with
+//! min-of-samples timing (the floor is far more stable than the median
+//! on a shared runner), results written to a scratch path (the
+//! checked-in `BENCH_vm.json` is the *baseline*, not the output), and a
+//! regression gate that fails the process if any engine regresses more
+//! than 25% against that baseline, both in absolute ns/elem and
+//! normalized by each workload's `hand` row, with per-row
+//! observed-noise ceilings as the final escape hatch (see
+//! [`smoke_gate`] for why all three); a failing gate backs off and
+//! re-measures before failing, so a single scheduler burst cannot
+//! break the build. Element counts stay at full scale — shrinking them
+//! makes the streaming workloads cache-resident, which speeds `hand`
+//! up ~2x and skews the normalization against every CPU-bound engine.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use bench::harness::{median_time, write_bench_json, BenchRecord};
+use bench::harness::{best_time, median_time, write_bench_json, BenchRecord};
 use bench::workloads::{scaled, uniform_doubles};
 use steno_expr::{DataContext, Expr, UdfRegistry, Value};
 use steno_linq::Enumerable;
@@ -26,6 +41,23 @@ use steno_vm::query::StenoOptions;
 use steno_vm::{CompiledQuery, EngineKind, VectorizationPolicy};
 
 const SAMPLES: usize = 7;
+const SMOKE_SAMPLES: usize = 5;
+/// Allowed hand-normalized ratio vs the checked-in baseline before the
+/// smoke gate fails.
+const SMOKE_TOLERANCE: f64 = 1.25;
+
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Times one engine row: median-of-samples normally, min-of-samples in
+/// smoke mode (the floor is the reproducible statistic on a noisy CI
+/// runner — the median still carries scheduler bursts).
+fn bench_time<O>(routine: impl FnMut() -> O) -> Duration {
+    if SMOKE.load(Ordering::Relaxed) {
+        best_time(SMOKE_SAMPLES, routine)
+    } else {
+        median_time(SAMPLES, routine)
+    }
+}
 
 fn opts(fusion: bool, vectorize: VectorizationPolicy) -> StenoOptions {
     StenoOptions {
@@ -116,23 +148,23 @@ fn sum_of_squares(records: &mut Vec<BenchRecord>) {
     let rows = vec![
         Row {
             engine: "linq",
-            median: median_time(SAMPLES, || xs.select(|x| x * x).sum()),
+            median: bench_time(|| xs.select(|x| x * x).sum()),
         },
         Row {
             engine: "vm_scalar",
-            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| scalar.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_fused",
-            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| fused.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_vectorized",
-            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| vectorized.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "hand",
-            median: median_time(SAMPLES, || {
+            median: bench_time(|| {
                 let mut s = 0.0;
                 for &x in &data {
                     s += x * x;
@@ -175,25 +207,25 @@ fn filtered_sum(records: &mut Vec<BenchRecord>) {
     let rows = vec![
         Row {
             engine: "linq",
-            median: median_time(SAMPLES, || {
+            median: bench_time(|| {
                 xs.where_(|x| x > 0.5).select(|x| x * 2.0).sum()
             }),
         },
         Row {
             engine: "vm_scalar",
-            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| scalar.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_fused",
-            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| fused.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_vectorized",
-            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| vectorized.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "hand",
-            median: median_time(SAMPLES, || {
+            median: bench_time(|| {
                 let mut s = 0.0;
                 for &x in &data {
                     if x > 0.5 {
@@ -237,19 +269,19 @@ fn int_even_squares(records: &mut Vec<BenchRecord>) {
     let rows = vec![
         Row {
             engine: "vm_scalar",
-            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| scalar.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_fused",
-            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| fused.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_vectorized",
-            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| vectorized.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "hand",
-            median: median_time(SAMPLES, || {
+            median: bench_time(|| {
                 let mut s = 0i64;
                 for &x in &data {
                     if x % 3 == 0 {
@@ -311,19 +343,19 @@ fn guarded_div_collatz(records: &mut Vec<BenchRecord>) {
     let rows = vec![
         Row {
             engine: "vm_scalar",
-            median: median_time(SAMPLES, || scalar.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| scalar.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_fused",
-            median: median_time(SAMPLES, || fused.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| fused.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "vm_vectorized",
-            median: median_time(SAMPLES, || vectorized.run(&ctx, &udfs).expect("run")),
+            median: bench_time(|| vectorized.run(&ctx, &udfs).expect("run")),
         },
         Row {
             engine: "hand",
-            median: median_time(SAMPLES, || {
+            median: bench_time(|| {
                 let mut s = 0i64;
                 for &x in &data {
                     s = s.wrapping_add(if x % 2 == 0 {
@@ -370,13 +402,141 @@ fn profiled_acceptance_run() {
     println!("wrote metrics snapshot to {path}");
 }
 
-fn main() {
-    println!("Vectorized-vs-scalar VM ablation (BENCH_vm.json producer)");
+/// Looks up the `hand` row's ns/elem for `workload` in `records`.
+fn hand_ns(records: &[BenchRecord], workload: &str) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.workload == workload && r.engine == "hand")
+        .map(|r| r.ns_per_elem)
+}
+
+/// The `--smoke` regression gate.
+///
+/// A row passes when *either* comparison against the checked-in
+/// baseline is within [`SMOKE_TOLERANCE`]:
+///
+/// * **absolute** — the row's ns/elem vs the baseline's ns/elem. Valid
+///   when the runner is as fast as the baseline machine; over-strict
+///   when it is merely slower.
+/// * **hand-relative** — the row's cost divided by the same run's
+///   `hand` row, vs the same quotient in the baseline. The hand-written
+///   loops are reference code this crate never touches, so the quotient
+///   cancels machine speed; it skews only when the runner's compute/
+///   memory balance differs from the baseline machine's.
+///
+/// A real ≥25% code regression moves the engine row and neither
+/// reference, so it fails both comparisons.
+///
+/// One escape hatch remains: rows whose baseline carries a
+/// `ns_per_elem_noise` ceiling (the worst per-run value the *unchanged*
+/// baseline binary produced across the baseline's measurement runs)
+/// also pass when the measured value is at or below that ceiling. The
+/// baseline's `ns_per_elem` is a floor across many runs; on a shared
+/// box the scalar-interpreter rows swing ~2x between quiet and loaded
+/// phases, so "within 1.25x of the floor" is unattainable during a
+/// loaded phase even with no code change. A measurement the baseline
+/// binary itself was observed to produce is machine noise by
+/// construction, not a regression.
+///
+/// Returns the failing rows (empty on success) so the caller can
+/// re-measure once before failing the build.
+fn smoke_gate(records: &[BenchRecord]) -> Result<(), Vec<String>> {
+    let baseline_path =
+        std::env::var("BENCH_VM_BASELINE").unwrap_or_else(|_| "BENCH_vm.json".to_string());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("smoke gate needs the baseline {baseline_path}: {e}"));
+    let baseline = bench::harness::parse_bench_json(&baseline)
+        .unwrap_or_else(|e| panic!("baseline {baseline_path} must parse: {e}"));
+    println!(
+        "\n== smoke gate (tolerance {SMOKE_TOLERANCE:.2}x vs {baseline_path}, \
+         absolute or hand-relative) =="
+    );
+    let mut failures = Vec::new();
+    for r in records {
+        if r.engine == "hand" {
+            continue;
+        }
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.workload == r.workload && b.engine == r.engine)
+        else {
+            continue;
+        };
+        let (Some(rh), Some(bh)) = (hand_ns(records, &r.workload), hand_ns(&baseline, &r.workload))
+        else {
+            continue;
+        };
+        let abs_ratio = r.ns_per_elem / b.ns_per_elem;
+        let rel_ratio = (r.ns_per_elem / rh) / (b.ns_per_elem / bh);
+        let ratio = abs_ratio.min(rel_ratio);
+        let within_noise = b
+            .ns_per_elem_noise
+            .is_some_and(|ceiling| r.ns_per_elem <= ceiling);
+        let pass = ratio <= SMOKE_TOLERANCE || within_noise;
+        let verdict = if pass {
+            if ratio <= SMOKE_TOLERANCE {
+                "ok"
+            } else {
+                "ok (within baseline noise)"
+            }
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{:>20} / {:>14}  abs {abs_ratio:>5.2}x  hand-rel {rel_ratio:>5.2}x  {verdict}",
+            r.workload, r.engine
+        );
+        if !pass {
+            failures.push(format!(
+                "{}/{} regressed (abs {abs_ratio:.2}x, hand-relative {rel_ratio:.2}x, \
+                 both over {SMOKE_TOLERANCE:.2}x{})",
+                r.workload,
+                r.engine,
+                b.ns_per_elem_noise
+                    .map(|c| format!(
+                        "; {:.2} ns/elem over the {c:.2} observed-noise ceiling",
+                        r.ns_per_elem
+                    ))
+                    .unwrap_or_default()
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("smoke gate passed: no engine regressed more than 25%");
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+/// Runs all four workloads and returns their records.
+fn measure() -> Vec<BenchRecord> {
     let mut records = Vec::new();
     sum_of_squares(&mut records);
     filtered_sum(&mut records);
     int_even_squares(&mut records);
     guarded_div_collatz(&mut records);
+    records
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        SMOKE.store(true, Ordering::Relaxed);
+        // Short deterministic mode: min-of-samples timing over fewer
+        // samples, and scratch output paths so the checked-in artifacts
+        // stay the baseline. Element counts stay at full scale so the
+        // hand-normalization compares like with like (see the module
+        // docs). Explicit env settings still win.
+        if std::env::var("BENCH_VM_JSON").is_err() {
+            std::env::set_var("BENCH_VM_JSON", "target/BENCH_vm_smoke.json");
+        }
+        if std::env::var("METRICS_VM_JSON").is_err() {
+            std::env::set_var("METRICS_VM_JSON", "target/METRICS_vm_smoke.json");
+        }
+    }
+    println!("Vectorized-vs-scalar VM ablation (BENCH_vm.json producer)");
+    let records = measure();
     profiled_acceptance_run();
 
     let path = std::env::var("BENCH_VM_JSON").unwrap_or_else(|_| "BENCH_vm.json".to_string());
@@ -400,4 +560,44 @@ fn main() {
     };
     let speedup = ns("vm_scalar") / ns("vm_vectorized");
     println!("sum_of_squares: vectorized is {speedup:.2}x the scalar VM");
+
+    if smoke {
+        // Contention on a shared runner comes in multi-minute phases, so
+        // a failing gate backs off and re-measures (up to twice), gating
+        // on the per-row floor across all attempts. A floor only ever
+        // improves with more attempts, so retries can rescue a noisy
+        // run but never mask a real regression.
+        let mut merged = records;
+        for attempt in 0.. {
+            match smoke_gate(&merged) {
+                Ok(()) => break,
+                Err(failures) if attempt < 2 => {
+                    eprintln!(
+                        "smoke gate: {} row(s) over tolerance; backing off and re-measuring \
+                         (attempt {}/3)",
+                        failures.len(),
+                        attempt + 2
+                    );
+                    std::thread::sleep(Duration::from_secs(60));
+                    let retry = measure();
+                    for r in &mut merged {
+                        if let Some(t) = retry
+                            .iter()
+                            .find(|t| t.workload == r.workload && t.engine == r.engine)
+                        {
+                            if t.ns_per_elem < r.ns_per_elem {
+                                *r = t.clone();
+                            }
+                        }
+                    }
+                }
+                Err(failures) => {
+                    for f in &failures {
+                        eprintln!("smoke gate: {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }

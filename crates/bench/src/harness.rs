@@ -141,6 +141,25 @@ pub fn median_time<O>(samples: usize, mut routine: impl FnMut() -> O) -> Duratio
     times[times.len() / 2]
 }
 
+/// Measures `routine` like [`median_time`] but returns the *minimum*
+/// per-iteration time over `samples` samples.
+///
+/// Used by the `--smoke` regression gate: on a noisy shared machine the
+/// minimum is the stable estimate of a routine's floor, where the
+/// median still carries scheduler bursts.
+pub fn best_time<O>(samples: usize, mut routine: impl FnMut() -> O) -> Duration {
+    let n = samples.max(1);
+    let mut best = Duration::MAX;
+    for _ in 0..n {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        b.iter(&mut routine);
+        best = best.min(b.per_iter);
+    }
+    best
+}
+
 /// One machine-readable measurement: a workload run on one engine.
 ///
 /// Serialized (hand-rolled — the environment builds offline, so no
@@ -158,6 +177,12 @@ pub struct BenchRecord {
     pub ns_per_elem: f64,
     /// Median throughput in elements per second.
     pub elements_per_sec: f64,
+    /// Noise ceiling: the worst per-run ns/elem this row was observed to
+    /// produce while the *baseline* was collected (multi-run baselines
+    /// only; `None` for single-run records). The smoke gate treats a
+    /// measurement at or below this as machine noise, not a regression —
+    /// the unchanged binary itself has produced it.
+    pub ns_per_elem_noise: Option<f64>,
 }
 
 impl BenchRecord {
@@ -178,6 +203,7 @@ impl BenchRecord {
             elements,
             ns_per_elem,
             elements_per_sec: 1e9 / ns_per_elem,
+            ns_per_elem_noise: None,
         }
     }
 }
@@ -204,14 +230,19 @@ fn json_escape(s: &str) -> String {
 pub fn render_bench_json(records: &[BenchRecord]) -> String {
     let mut out = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let noise = r
+            .ns_per_elem_noise
+            .map(|n| format!(", \"ns_per_elem_noise\": {n:.4}"))
+            .unwrap_or_default();
         out.push_str(&format!(
             "  {{\"workload\": \"{}\", \"engine\": \"{}\", \"elements\": {}, \
-             \"ns_per_elem\": {:.4}, \"elements_per_sec\": {:.1}}}{}\n",
+             \"ns_per_elem\": {:.4}, \"elements_per_sec\": {:.1}{}}}{}\n",
             json_escape(&r.workload),
             json_escape(&r.engine),
             r.elements,
             r.ns_per_elem,
             r.elements_per_sec,
+            noise,
             if i + 1 < records.len() { "," } else { "" },
         ));
     }
@@ -259,6 +290,7 @@ pub fn parse_bench_json(input: &str) -> Result<Vec<BenchRecord>, String> {
             elements: num_field("elements")? as usize,
             ns_per_elem: num_field("ns_per_elem")?,
             elements_per_sec: num_field("elements_per_sec")?,
+            ns_per_elem_noise: obj.get("ns_per_elem_noise").and_then(|f| f.as_f64()),
         });
     }
     Ok(records)
@@ -305,6 +337,7 @@ mod tests {
                 elements: 4096,
                 ns_per_elem: 12.5,
                 elements_per_sec: 8e7,
+                ns_per_elem_noise: Some(19.75),
             },
         ];
         let json = render_bench_json(&records);
@@ -317,6 +350,10 @@ mod tests {
             // Rendering rounds to 4 (ns) / 1 (rate) decimal places.
             assert!((p.ns_per_elem - r.ns_per_elem).abs() < 1e-3);
             assert!((p.elements_per_sec - r.elements_per_sec).abs() < 1.0);
+            match (p.ns_per_elem_noise, r.ns_per_elem_noise) {
+                (Some(a), Some(b)) => assert!((a - b).abs() < 1e-3),
+                (a, b) => assert_eq!(a, b),
+            }
         }
     }
 

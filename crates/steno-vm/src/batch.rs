@@ -81,10 +81,13 @@ pub enum KeyRef {
 
 /// One vectorized tape operation.
 ///
-/// Slots are written in SSA order *per bank* (every destination is a
-/// fresh, higher slot index in its bank), which the executor exploits to
-/// split borrows. Compute ops run dense; `Div`/`Rem` on i64, folds, and
-/// effects consult the selection vector.
+/// The compiler emits slots in SSA order *per bank* (every destination a
+/// fresh slot), but [`crate::lifetimes::pack_batch_slots`] then reuses
+/// dead slots, so a destination may alias any source — including itself.
+/// The executor therefore uses the aliasing-safe `_any` kernels (see
+/// [`crate::kernels`]), which read each lane before writing it. Compute
+/// ops run dense; `Div`/`Rem` on i64, folds, and effects consult the
+/// selection vector.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum BOp {
     // -- loads ---------------------------------------------------------
@@ -309,6 +312,33 @@ pub enum BOp {
     OutI(u8),
     /// Push `b[s]` per live lane.
     OutB(u8),
+
+    // -- two-op fused kernels (see crate::fuse_kernels::peephole) ------
+    /// `f[d] = f[a] * f[b] + f[c]` in one pass (two roundings, exactly
+    /// as the unfused pair — not an FMA).
+    MulAddF(u8, u8, u8, u8),
+    /// `i[d] = i[a].wrapping_mul(i[b]).wrapping_add(i[c])` in one pass.
+    MulAddI(u8, u8, u8, u8),
+    /// `f_acc[acc] += f[a] * f[b]` per live lane, without materializing
+    /// the product column.
+    MulRedAddF {
+        /// Accumulator index.
+        acc: u8,
+        /// Left factor slot.
+        a: u8,
+        /// Right factor slot.
+        b: u8,
+    },
+    /// `i_acc[acc] = i_acc[acc].wrapping_add(i[a].wrapping_mul(i[b]))`
+    /// per live lane.
+    MulRedAddI {
+        /// Accumulator index.
+        acc: u8,
+        /// Left factor slot.
+        a: u8,
+        /// Right factor slot.
+        b: u8,
+    },
 }
 
 /// A compiled batch program: one whole fused loop, vectorized.
@@ -336,6 +366,11 @@ pub struct BatchProgram {
     pub prologue: Vec<BInit>,
     /// Per-batch operations, in statement order.
     pub tape: Vec<BOp>,
+    /// Whole-tape fused kernel, when [`crate::fuse_kernels::plan`]
+    /// recognized the loop. The tape is kept alongside it: profiled runs
+    /// and differential tests execute the kernel sequence, plain runs
+    /// take the fused single-pass loop.
+    pub fused: Option<crate::fuse_kernels::FusedTape>,
 }
 
 /// A shared batch-program handle (keeps [`crate::instr::Instr`] small).
@@ -398,6 +433,16 @@ pub fn run_batch(
     mut prof: Option<&mut crate::profile::QueryProfile>,
     interrupt: &crate::interrupt::Interrupt,
 ) -> Result<(), VmError> {
+    // Whole-tape fused kernels bypass the column banks entirely.
+    // Profiled runs take the tape so batch/selection statistics (and the
+    // differential tests built on them) still observe the kernel path.
+    if prof.is_none() {
+        if let Some(ft) = &bp.fused {
+            return crate::fuse_kernels::run_fused(
+                ft, data, f_accs, i_accs, f_params, i_params, interrupt,
+            );
+        }
+    }
     let mut f_bank: Vec<[f64; BATCH]> = vec![[0.0; BATCH]; bp.n_f as usize];
     let mut i_bank: Vec<[i64; BATCH]> = vec![[0; BATCH]; bp.n_i as usize];
     let mut b_bank: Vec<[bool; BATCH]> = vec![[false; BATCH]; bp.n_b as usize];
@@ -429,32 +474,29 @@ pub fn run_batch(
         let mut dense = true;
         sel.clear();
 
-        // Borrow-splitting helpers. SSA slot discipline per bank
-        // (dst > srcs) makes split_at_mut safe for same-bank ops;
-        // cross-bank ops need no split at all.
+        // Kernel helpers. Slot packing reuses dead slots, so a
+        // destination may alias its sources; the `_any` kernels pick a
+        // borrow strategy per aliasing pattern. Cross-bank ops (cmp,
+        // convert) can never alias and use the tight kernels directly.
         macro_rules! binf {
-            ($d:expr, $a:expr, $b:expr, $f:expr) => {{
-                let (src, dst) = f_bank.split_at_mut($d as usize);
-                kernels::map2(&mut dst[0], &src[$a as usize], &src[$b as usize], len, $f);
-            }};
+            ($d:expr, $a:expr, $b:expr, $f:expr) => {
+                kernels::map2_any(&mut f_bank, $d, $a, $b, len, $f)
+            };
         }
         macro_rules! unf {
-            ($d:expr, $a:expr, $f:expr) => {{
-                let (src, dst) = f_bank.split_at_mut($d as usize);
-                kernels::map1(&mut dst[0], &src[$a as usize], len, $f);
-            }};
+            ($d:expr, $a:expr, $f:expr) => {
+                kernels::map1_any(&mut f_bank, $d, $a, len, $f)
+            };
         }
         macro_rules! bini {
-            ($d:expr, $a:expr, $b:expr, $f:expr) => {{
-                let (src, dst) = i_bank.split_at_mut($d as usize);
-                kernels::map2(&mut dst[0], &src[$a as usize], &src[$b as usize], len, $f);
-            }};
+            ($d:expr, $a:expr, $b:expr, $f:expr) => {
+                kernels::map2_any(&mut i_bank, $d, $a, $b, len, $f)
+            };
         }
         macro_rules! uni {
-            ($d:expr, $a:expr, $f:expr) => {{
-                let (src, dst) = i_bank.split_at_mut($d as usize);
-                kernels::map1(&mut dst[0], &src[$a as usize], len, $f);
-            }};
+            ($d:expr, $a:expr, $f:expr) => {
+                kernels::map1_any(&mut i_bank, $d, $a, len, $f)
+            };
         }
         macro_rules! cmpf {
             ($d:expr, $a:expr, $b:expr, $f:expr) => {
@@ -479,10 +521,9 @@ pub fn run_batch(
             };
         }
         macro_rules! binb {
-            ($d:expr, $a:expr, $b:expr, $f:expr) => {{
-                let (src, dst) = b_bank.split_at_mut($d as usize);
-                kernels::map2(&mut dst[0], &src[$a as usize], &src[$b as usize], len, $f);
-            }};
+            ($d:expr, $a:expr, $b:expr, $f:expr) => {
+                kernels::map2_any(&mut b_bank, $d, $a, $b, len, $f)
+            };
         }
         macro_rules! sel_opt {
             () => {
@@ -536,11 +577,11 @@ pub fn run_batch(
 
                 BOp::DivI(d, a, b) => {
                     kernels::check_divisors(&i_bank[b as usize], sel_opt!(), len)?;
-                    let (src, dst) = i_bank.split_at_mut(d as usize);
-                    kernels::map2_sel(
-                        &mut dst[0],
-                        &src[a as usize],
-                        &src[b as usize],
+                    kernels::map2_sel_any(
+                        &mut i_bank,
+                        d,
+                        a,
+                        b,
                         sel_opt!(),
                         len,
                         |x: i64, y: i64| x.wrapping_div(y),
@@ -548,11 +589,11 @@ pub fn run_batch(
                 }
                 BOp::RemI(d, a, b) => {
                     kernels::check_divisors(&i_bank[b as usize], sel_opt!(), len)?;
-                    let (src, dst) = i_bank.split_at_mut(d as usize);
-                    kernels::map2_sel(
-                        &mut dst[0],
-                        &src[a as usize],
-                        &src[b as usize],
+                    kernels::map2_sel_any(
+                        &mut i_bank,
+                        d,
+                        a,
+                        b,
                         sel_opt!(),
                         len,
                         |x: i64, y: i64| x.wrapping_rem(y),
@@ -583,10 +624,7 @@ pub fn run_batch(
 
                 BOp::AndB(d, a, b) => binb!(d, a, b, |x: bool, y: bool| x & y),
                 BOp::OrB(d, a, b) => binb!(d, a, b, |x: bool, y: bool| x | y),
-                BOp::NotB(d, a) => {
-                    let (src, dst) = b_bank.split_at_mut(d as usize);
-                    kernels::map1(&mut dst[0], &src[a as usize], len, |x: bool| !x);
-                }
+                BOp::NotB(d, a) => kernels::map1_any(&mut b_bank, d, a, len, |x: bool| !x),
 
                 BOp::F2I(d, a) => {
                     kernels::convert(&mut i_bank[d as usize], &f_bank[a as usize], len, |x: f64| {
@@ -600,34 +638,13 @@ pub fn run_batch(
                 }
 
                 BOp::SelF { dst, mask, t, e } => {
-                    let (src, dstp) = f_bank.split_at_mut(dst as usize);
-                    kernels::select(
-                        &mut dstp[0],
-                        &b_bank[mask as usize],
-                        &src[t as usize],
-                        &src[e as usize],
-                        len,
-                    );
+                    kernels::select_any(&mut f_bank, dst, &b_bank[mask as usize], t, e, len);
                 }
                 BOp::SelI { dst, mask, t, e } => {
-                    let (src, dstp) = i_bank.split_at_mut(dst as usize);
-                    kernels::select(
-                        &mut dstp[0],
-                        &b_bank[mask as usize],
-                        &src[t as usize],
-                        &src[e as usize],
-                        len,
-                    );
+                    kernels::select_any(&mut i_bank, dst, &b_bank[mask as usize], t, e, len);
                 }
                 BOp::SelB { dst, mask, t, e } => {
-                    let (src, dstp) = b_bank.split_at_mut(dst as usize);
-                    kernels::select(
-                        &mut dstp[0],
-                        &src[mask as usize],
-                        &src[t as usize],
-                        &src[e as usize],
-                        len,
-                    );
+                    kernels::select_same_any(&mut b_bank, dst, mask, t, e, len);
                 }
 
                 BOp::Filter(m) => {
@@ -730,6 +747,33 @@ pub fn run_batch(
                     let v = &b_bank[s as usize];
                     for_each_live(sel_opt!(), len, |k| out.push(Value::Bool(v[k])));
                 }
+
+                BOp::MulAddF(d, a, b, c) => {
+                    kernels::map3_any(&mut f_bank, d, a, b, c, len, |x: f64, y: f64, z: f64| {
+                        x * y + z
+                    });
+                }
+                BOp::MulAddI(d, a, b, c) => {
+                    kernels::map3_any(&mut i_bank, d, a, b, c, len, |x: i64, y: i64, z: i64| {
+                        x.wrapping_mul(y).wrapping_add(z)
+                    });
+                }
+                BOp::MulRedAddF { acc, a, b } => kernels::fold2(
+                    &mut f_accs[acc as usize],
+                    &f_bank[a as usize],
+                    &f_bank[b as usize],
+                    sel_opt!(),
+                    len,
+                    |s, x, y| s + x * y,
+                ),
+                BOp::MulRedAddI { acc, a, b } => kernels::fold2(
+                    &mut i_accs[acc as usize],
+                    &i_bank[a as usize],
+                    &i_bank[b as usize],
+                    sel_opt!(),
+                    len,
+                    |s: i64, x: i64, y: i64| s.wrapping_add(x.wrapping_mul(y)),
+                ),
             }
         }
         if let Some(p) = prof.as_deref_mut() {
@@ -803,6 +847,7 @@ mod tests {
                 BOp::MulF(1, 0, 0),
                 BOp::RedAddF { acc: 0, val: 1 },
             ],
+            fused: None,
         };
         let data: Vec<f64> = (0..2500).map(|i| (i as f64) * 0.37 - 400.0).collect();
         let mut f_accs = vec![0.0];
@@ -850,6 +895,7 @@ mod tests {
                 BOp::RedAddI { acc: 0, val: 4 },
                 BOp::OutI(3),
             ],
+            fused: None,
         };
         let data: Vec<i64> = (1..=10).collect();
         let mut i_accs = vec![0];
@@ -893,6 +939,7 @@ mod tests {
                 BOp::DivI(3, 2, 0),
                 BOp::RedAddI { acc: 0, val: 3 },
             ],
+            fused: None,
         };
         let mut i_accs = vec![0];
         let mut out = Vec::new();
@@ -961,6 +1008,7 @@ mod tests {
                     val: 0,
                 },
             ],
+            fused: None,
         };
         let mut sinks = vec![SinkRt::GroupAggSF {
             index: HashMap::default(),
@@ -1021,6 +1069,7 @@ mod tests {
                 },
                 BOp::OutF(2),
             ],
+            fused: None,
         };
         let mut out = Vec::new();
         run_batch(
@@ -1062,6 +1111,7 @@ mod tests {
                 BOp::Filter(0),
                 BOp::RedAddF { acc: 0, val: 0 },
             ],
+            fused: None,
         };
         let data: Vec<f64> = (0..(BATCH * 2 + 17))
             .map(|i| if i % 3 == 0 { -1.0 } else { i as f64 })

@@ -80,6 +80,8 @@ struct Compiler<'a> {
     batch_fallbacks: Vec<FallbackReason>,
     n_guards_dropped: u32,
     loop_plans: Vec<LoopPlan>,
+    fused_kernels: Vec<String>,
+    n_slots_reused: u32,
     loops: Vec<LoopCtx>,
     fusion: bool,
     vectorize: bool,
@@ -1112,6 +1114,8 @@ pub fn assemble_with(
         batch_fallbacks: Vec::new(),
         n_guards_dropped: 0,
         loop_plans: Vec::new(),
+        fused_kernels: Vec::new(),
+        n_slots_reused: 0,
         loops: Vec::new(),
         fusion,
         vectorize,
@@ -1126,7 +1130,7 @@ pub fn assemble_with(
             Ty::seq(elem.clone())
         }
     };
-    Ok(Program {
+    let mut program = Program {
         instrs: c.instrs,
         n_fregs: c.nf,
         n_iregs: c.ni,
@@ -1137,10 +1141,22 @@ pub fn assemble_with(
         batch_fallbacks: c.batch_fallbacks,
         n_guards_dropped: c.n_guards_dropped,
         loop_plans: c.loop_plans,
+        fused_kernels: c.fused_kernels,
+        n_slots_reused: c.n_slots_reused,
+        n_hoisted: 0,
+        n_superinstrs: 0,
         source_names: c.src_names,
         udf_names: c.udf_names,
         result_ty,
-    })
+    };
+    // Backend passes over the assembled bytecode (see crate::lifetimes):
+    // pull loop-invariant constants to the entry, thread the hottest
+    // scalar pairs into superinstructions, then drop the register frame
+    // down to what the rewritten program still touches.
+    crate::lifetimes::hoist_loop_invariant_consts(&mut program);
+    crate::lifetimes::fuse_scalar_pairs(&mut program);
+    crate::lifetimes::shrink_frames(&mut program);
+    Ok(program)
 }
 
 // ---------------------------------------------------------------------
@@ -2006,7 +2022,7 @@ impl<'a> Compiler<'a> {
         let sid = self.src_id(name);
         self.n_batch += 1;
         self.n_guards_dropped += at.guards_dropped;
-        self.emit(Instr::BatchLoop(std::sync::Arc::new(BatchProgram {
+        let mut bp = BatchProgram {
             src: sid,
             src_lane,
             f_params: at.f_params,
@@ -2018,7 +2034,22 @@ impl<'a> Compiler<'a> {
             n_b: at.n_b as u8,
             prologue: at.prologue,
             tape: at.tape,
-        })));
+            fused: None,
+        };
+        // Backend passes: recognize a whole-tape fused kernel first (the
+        // planner reads the SSA tape the vectorizer emitted), then fuse
+        // adjacent kernel pairs, then pack column lifetimes. FusedTape
+        // addresses accumulators by position, so packing cannot
+        // invalidate it.
+        bp.fused = crate::fuse_kernels::plan(&bp);
+        if let Some(ft) = &bp.fused {
+            self.fused_kernels.push(ft.label());
+        }
+        for name in crate::fuse_kernels::peephole(&mut bp) {
+            self.fused_kernels.push(name.to_string());
+        }
+        self.n_slots_reused += crate::lifetimes::pack_batch_slots(&mut bp);
+        self.emit(Instr::BatchLoop(std::sync::Arc::new(bp)));
         Ok(())
     }
 

@@ -11,7 +11,7 @@ use std::fmt;
 
 use steno_expr::Value;
 
-use crate::instr::{Instr, Program};
+use crate::instr::{CmpOp, Instr, Program};
 use crate::interrupt::{Interrupt, POLL_STRIDE};
 use crate::prepared::{Bindings, PreparedSource};
 use crate::instr::SKey;
@@ -183,6 +183,70 @@ fn run_impl<const PROFILE: bool>(
                     }
                     pc = target;
                 }
+            }
+            Instr::BrCmpF {
+                op,
+                a,
+                b,
+                on_true,
+                target,
+            } => {
+                let (x, y) = (fregs[*a as usize], fregs[*b as usize]);
+                let taken = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                };
+                if taken == *on_true {
+                    let target = *target as usize;
+                    if target < pc {
+                        interrupt.poll(&mut intr_budget)?;
+                    }
+                    pc = target;
+                }
+            }
+            Instr::BrCmpI {
+                op,
+                a,
+                b,
+                on_true,
+                target,
+            } => {
+                let (x, y) = (iregs[*a as usize], iregs[*b as usize]);
+                let taken = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Gt => x > y,
+                    CmpOp::Ge => x >= y,
+                };
+                if taken == *on_true {
+                    let target = *target as usize;
+                    if target < pc {
+                        interrupt.poll(&mut intr_budget)?;
+                    }
+                    pc = target;
+                }
+            }
+            Instr::IncJump { r, target } => {
+                iregs[*r as usize] += 1;
+                let target = *target as usize;
+                if target < pc {
+                    interrupt.poll(&mut intr_budget)?;
+                }
+                pc = target;
+            }
+            Instr::MulAddF(d, a, b, c) => {
+                fregs[*d as usize] = fregs[*a as usize] * fregs[*b as usize] + fregs[*c as usize]
+            }
+            Instr::MulAddI(d, a, b, c) => {
+                iregs[*d as usize] = iregs[*a as usize]
+                    .wrapping_mul(iregs[*b as usize])
+                    .wrapping_add(iregs[*c as usize])
             }
             Instr::ConstF(d, x) => fregs[*d as usize] = *x,
             Instr::ConstI(d, x) => iregs[*d as usize] = *x,

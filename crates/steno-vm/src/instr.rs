@@ -23,6 +23,24 @@ pub type SinkId = u32;
 /// A UDF index.
 pub type UdfId = u32;
 
+/// A comparison operator carried by the fused compare-and-branch
+/// superinstructions (see [`crate::lifetimes::fuse_scalar_pairs`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
 /// A scalar grouping-key operand: which register bank holds the key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SKey {
@@ -249,6 +267,53 @@ pub enum Instr {
     /// `dst = frozen sink [idx]` (boxed).
     SinkGet(VReg, SinkId, IReg),
 
+    // ---- fused superinstructions (threaded scalar dispatch) ----
+    //
+    // The hottest instruction pairs of scalar loop bodies, fused by
+    // `crate::lifetimes::fuse_scalar_pairs` so a loop back-edge costs one
+    // dispatch instead of two or three. Semantics are exactly the pair
+    // they replace, including back-edge interrupt polling.
+    /// Compare two F registers and jump to `target` when the result
+    /// equals `on_true` (a fused `CmpF` + `JumpIf*`; the 0/1 result is
+    /// not materialized).
+    BrCmpF {
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        a: FReg,
+        /// Right operand.
+        b: FReg,
+        /// Jump on `true` (`JumpIfTrue`) or on `false` (`JumpIfFalse`).
+        on_true: bool,
+        /// Branch target.
+        target: Pc,
+    },
+    /// Compare two I registers and jump (fused `CmpI` + `JumpIf*`).
+    BrCmpI {
+        /// The comparison.
+        op: CmpOp,
+        /// Left operand.
+        a: IReg,
+        /// Right operand.
+        b: IReg,
+        /// Jump on `true` or on `false`.
+        on_true: bool,
+        /// Branch target.
+        target: Pc,
+    },
+    /// `reg += 1; jump target` — the loop back-edge pair.
+    IncJump {
+        /// The induction register.
+        r: IReg,
+        /// The loop header.
+        target: Pc,
+    },
+    /// `dst = a * b + c` with two roundings (fused `MulF` + `AddF`, not
+    /// an FMA).
+    MulAddF(FReg, FReg, FReg, FReg),
+    /// `dst = a * b + c`, wrapping (fused `MulI` + `AddI`).
+    MulAddI(IReg, IReg, IReg, IReg),
+
     // ---- output ----
     /// Append a boxed value to the output buffer.
     OutPush(VReg),
@@ -469,6 +534,16 @@ pub struct Program {
     /// Tier decision per compiled loop, in compilation order. The EXPLAIN
     /// facility renders these; counts agree with `n_fused`/`n_batch`.
     pub loop_plans: Vec<LoopPlan>,
+    /// Display names of the fused batch kernels the backend installed
+    /// (whole-tape shapes first, then peephole pairs), in loop order.
+    pub fused_kernels: Vec<String>,
+    /// Batch-column slots eliminated by lifetime-driven slot packing,
+    /// summed over all vectorized loops.
+    pub n_slots_reused: u32,
+    /// Loop-invariant constant loads hoisted out of loop bodies.
+    pub n_hoisted: u32,
+    /// Scalar instruction pairs fused into superinstructions.
+    pub n_superinstrs: u32,
     /// Source names in [`SrcId`] order.
     pub source_names: Vec<String>,
     /// UDF names in [`UdfId`] order.

@@ -198,6 +198,226 @@ pub fn fold<T: Copy>(
     }
 }
 
+// ---------------------------------------------------------------------
+// Aliasing-safe bank kernels.
+//
+// Slot packing (crate::lifetimes::pack_batch_slots) reuses dead slots,
+// so a destination may coincide with any of its sources. These `_any`
+// variants take the whole bank plus slot indices and pick a borrow
+// strategy per aliasing pattern: disjoint slots split into the tight
+// kernels above; aliased slots read every lane before writing it, which
+// is exact for lane-wise ops.
+// ---------------------------------------------------------------------
+
+/// Two disjoint mutable batches of one bank (`i != j`).
+#[inline]
+fn pair_mut<T>(bank: &mut [[T; BATCH]], i: usize, j: usize) -> (&mut [T; BATCH], &mut [T; BATCH]) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (l, r) = bank.split_at_mut(j);
+        (&mut l[i], &mut r[0])
+    } else {
+        let (l, r) = bank.split_at_mut(i);
+        (&mut r[0], &mut l[j])
+    }
+}
+
+/// `bank[d][k] = f(bank[a][k])`, destination free to alias the source.
+#[inline]
+pub fn map1_any<T: Copy>(
+    bank: &mut [[T; BATCH]],
+    d: u8,
+    a: u8,
+    len: usize,
+    f: impl Fn(T) -> T,
+) {
+    let (d, a) = (d as usize, a as usize);
+    if d == a {
+        let arr = &mut bank[d];
+        for x in arr[..len].iter_mut() {
+            *x = f(*x);
+        }
+    } else {
+        let (dst, src) = pair_mut(bank, d, a);
+        map1(dst, src, len, f);
+    }
+}
+
+/// `bank[d][k] = f(bank[a][k], bank[b][k])` under any aliasing pattern.
+#[inline]
+pub fn map2_any<T: Copy>(
+    bank: &mut [[T; BATCH]],
+    d: u8,
+    a: u8,
+    b: u8,
+    len: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    let (d, a, b) = (d as usize, a as usize, b as usize);
+    if d != a && d != b {
+        if a == b {
+            let (dst, src) = pair_mut(bank, d, a);
+            for k in 0..len {
+                dst[k] = f(src[k], src[k]);
+            }
+        } else {
+            let (left, right) = bank.split_at_mut(d);
+            let Some((dst, tail)) = right.split_first_mut() else {
+                return;
+            };
+            let src = |i: usize| if i < d { &left[i] } else { &tail[i - d - 1] };
+            map2(dst, src(a), src(b), len, f);
+        }
+    } else if d == a && d == b {
+        let arr = &mut bank[d];
+        for x in arr[..len].iter_mut() {
+            *x = f(*x, *x);
+        }
+    } else if d == a {
+        let (dst, other) = pair_mut(bank, d, b);
+        for k in 0..len {
+            dst[k] = f(dst[k], other[k]);
+        }
+    } else {
+        let (dst, other) = pair_mut(bank, d, a);
+        for k in 0..len {
+            dst[k] = f(other[k], dst[k]);
+        }
+    }
+}
+
+/// `bank[d][k] = f(bank[a][k], bank[b][k], bank[c][k])` under any
+/// aliasing pattern (the fused multiply-add kernels).
+#[inline]
+pub fn map3_any<T: Copy>(
+    bank: &mut [[T; BATCH]],
+    d: u8,
+    a: u8,
+    b: u8,
+    c: u8,
+    len: usize,
+    f: impl Fn(T, T, T) -> T,
+) {
+    let (d, a, b, c) = (d as usize, a as usize, b as usize, c as usize);
+    if d != a && d != b && d != c {
+        let (left, right) = bank.split_at_mut(d);
+        let Some((dst, tail)) = right.split_first_mut() else {
+            return;
+        };
+        let src = |i: usize| if i < d { &left[i] } else { &tail[i - d - 1] };
+        let (sa, sb, sc) = (src(a), src(b), src(c));
+        for k in 0..len {
+            dst[k] = f(sa[k], sb[k], sc[k]);
+        }
+    } else {
+        // Aliased destination: per-lane read-then-write.
+        #[allow(clippy::needless_range_loop)] // rows may alias; no iterator split
+        for k in 0..len {
+            let v = f(bank[a][k], bank[b][k], bank[c][k]);
+            bank[d][k] = v;
+        }
+    }
+}
+
+/// Selected-lane [`map2_any`] (trapping division after packing): dead
+/// lanes are untouched, aliasing handled per lane.
+#[inline]
+pub fn map2_sel_any<T: Copy>(
+    bank: &mut [[T; BATCH]],
+    d: u8,
+    a: u8,
+    b: u8,
+    sel: Option<&[u32]>,
+    len: usize,
+    f: impl Fn(T, T) -> T,
+) {
+    match sel {
+        None => map2_any(bank, d, a, b, len, f),
+        Some(sel) => {
+            let (d, a, b) = (d as usize, a as usize, b as usize);
+            for &k in sel {
+                let k = k as usize;
+                let v = f(bank[a][k], bank[b][k]);
+                bank[d][k] = v;
+            }
+        }
+    }
+}
+
+/// Lane-wise select with mask in a *different* bank; destination free to
+/// alias either branch slot.
+#[inline]
+pub fn select_any<T: Copy>(
+    bank: &mut [[T; BATCH]],
+    d: u8,
+    mask: &[bool; BATCH],
+    t: u8,
+    e: u8,
+    len: usize,
+) {
+    let (d, t, e) = (d as usize, t as usize, e as usize);
+    if d != t && d != e {
+        let (left, right) = bank.split_at_mut(d);
+        let Some((dst, tail)) = right.split_first_mut() else {
+            return;
+        };
+        let src = |i: usize| if i < d { &left[i] } else { &tail[i - d - 1] };
+        select(dst, mask, src(t), src(e), len);
+    } else {
+        for k in 0..len {
+            let v = if mask[k] { bank[t][k] } else { bank[e][k] };
+            bank[d][k] = v;
+        }
+    }
+}
+
+/// Lane-wise select where mask, branches, and destination all share the
+/// boolean bank (`SelB`): per-lane read-then-write, exact under any
+/// aliasing pattern.
+#[inline]
+pub fn select_same_any(
+    bank: &mut [[bool; BATCH]],
+    d: u8,
+    mask: u8,
+    t: u8,
+    e: u8,
+    len: usize,
+) {
+    let (d, mask, t, e) = (d as usize, mask as usize, t as usize, e as usize);
+    #[allow(clippy::needless_range_loop)] // rows may alias; no iterator split
+    for k in 0..len {
+        let v = if bank[mask][k] { bank[t][k] } else { bank[e][k] };
+        bank[d][k] = v;
+    }
+}
+
+/// Folds `f(acc, a[k], b[k])` over live lanes in ascending order — the
+/// fused multiply-reduce kernels, consuming two source columns without
+/// materializing their product.
+#[inline]
+pub fn fold2<T: Copy>(
+    acc: &mut T,
+    a: &[T; BATCH],
+    b: &[T; BATCH],
+    sel: Option<&[u32]>,
+    len: usize,
+    f: impl Fn(T, T, T) -> T,
+) {
+    match sel {
+        None => {
+            for k in 0..len {
+                *acc = f(*acc, a[k], b[k]);
+            }
+        }
+        Some(sel) => {
+            for &k in sel {
+                let k = k as usize;
+                *acc = f(*acc, a[k], b[k]);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

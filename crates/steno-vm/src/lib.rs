@@ -42,10 +42,12 @@
 pub mod batch;
 pub mod compile;
 pub mod fuse;
+pub mod fuse_kernels;
 pub mod exec;
 pub mod instr;
 pub mod interrupt;
 pub mod kernels;
+pub mod lifetimes;
 pub mod prepared;
 pub mod profile;
 pub mod query;

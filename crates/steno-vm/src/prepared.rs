@@ -128,6 +128,10 @@ mod tests {
             batch_fallbacks: vec![],
             n_guards_dropped: 0,
             loop_plans: vec![],
+            fused_kernels: vec![],
+            n_slots_reused: 0,
+            n_hoisted: 0,
+            n_superinstrs: 0,
             source_names: vec!["zzz".into()],
             udf_names: vec![],
             result_ty: Ty::F64,

@@ -333,6 +333,35 @@ impl CompiledQuery {
     pub fn loop_plans(&self) -> &[crate::instr::LoopPlan] {
         &self.program.loop_plans
     }
+
+    /// Names of the fused batch kernels the backend selected, in
+    /// compilation order: whole-tape shapes (e.g.
+    /// `"filter(x%3==0)·sum(x*x):i64"`) followed by any pairwise kernel
+    /// fusions (`"muladd:f64"`, `"mulred:i64"`). Empty when every loop
+    /// runs the plain kernel sequence.
+    pub fn fused_kernels(&self) -> &[String] {
+        &self.program.fused_kernels
+    }
+
+    /// How many batch columns the lifetime packer recycled instead of
+    /// allocating fresh (each saved column is 1024 lanes of traffic the
+    /// kernel sequence no longer touches).
+    pub fn slots_reused(&self) -> u32 {
+        self.program.n_slots_reused
+    }
+
+    /// How many loop-invariant constants the backend hoisted out of
+    /// scalar loop bodies to the program entry.
+    pub fn hoisted(&self) -> u32 {
+        self.program.n_hoisted
+    }
+
+    /// How many adjacent scalar instruction pairs the backend threaded
+    /// into superinstructions (compare→branch, increment→jump,
+    /// multiply→add).
+    pub fn superinstrs(&self) -> u32 {
+        self.program.n_superinstrs
+    }
 }
 
 /// Aggregate counters for a [`QueryCache`]: the admission-control view

@@ -1,0 +1,326 @@
+//! Differential corpus for the fused batch kernels.
+//!
+//! Every pre-monomorphized fused shape in `steno_vm::fuse_kernels` runs
+//! three ways and must agree bit-for-bit:
+//!
+//! * the fused single-pass loop (`run`, the default path when the
+//!   planner recognized the tape),
+//! * the unfused kernel sequence (`run_profiled` — profiled executions
+//!   keep taking the tape precisely so this comparison stays alive),
+//! * the scalar interpreter tier (`VectorizationPolicy::Off`).
+//!
+//! Sizes straddle the batch boundary (1023/1024/1025) so the remainder
+//! chunk, the exact-batch case, and the chunk-crossing case all run.
+//! Trap parity pins that fusion never changes *which* error a query
+//! raises, and a deadline test proves fused loops still poll the
+//! interrupt at batch boundaries.
+
+use steno_expr::{Column, DataContext, Expr, UdfRegistry};
+use steno_linq::interp;
+use steno_query::{Query, QueryExpr};
+use steno_vm::query::StenoOptions;
+use steno_vm::{CompiledQuery, Interrupt, VectorizationPolicy, VmError};
+
+const SIZES: [usize; 3] = [1023, 1024, 1025];
+
+fn x() -> Expr {
+    Expr::var("x")
+}
+
+fn scalar_opts() -> StenoOptions {
+    StenoOptions {
+        vectorize: VectorizationPolicy::Off,
+        ..StenoOptions::default()
+    }
+}
+
+/// Compiles `q` with the default options, asserts the planner attached
+/// (or refused) a whole-tape fused kernel, and checks the fused loop,
+/// the kernel sequence, and the scalar tier agree bit-for-bit with the
+/// interpreter.
+#[track_caller]
+fn check_shape(q: &QueryExpr, c: &DataContext, expect_fused: Option<&str>) {
+    let u = UdfRegistry::new();
+    let compiled =
+        CompiledQuery::compile(q, c.into(), &u).unwrap_or_else(|e| panic!("compile {q}: {e}"));
+    let whole_tape: Vec<&String> = compiled
+        .fused_kernels()
+        .iter()
+        .filter(|k| k.contains("sum("))
+        .collect();
+    match expect_fused {
+        Some(label) => assert_eq!(
+            whole_tape,
+            vec![label],
+            "expected {q} to fuse as {label}; got {:?}",
+            compiled.fused_kernels()
+        ),
+        None => assert!(
+            whole_tape.is_empty(),
+            "expected {q} to stay on the kernel path; got {whole_tape:?}"
+        ),
+    }
+    let scalar = CompiledQuery::compile_tuned(q, c.into(), &u, scalar_opts())
+        .unwrap_or_else(|e| panic!("scalar compile {q}: {e}"));
+
+    let expected = interp::execute(q, c, &u).expect("interpreter failed");
+    let fused_v = compiled.run(c, &u).expect("fused run failed");
+    let (tape_v, _) = compiled.run_profiled(c, &u).expect("tape run failed");
+    let scalar_v = scalar.run(c, &u).expect("scalar run failed");
+    assert_eq!(expected.key(), fused_v.key(), "interp vs fused for {q}");
+    assert_eq!(fused_v.key(), tape_v.key(), "fused vs kernel tape for {q}");
+    assert_eq!(fused_v.key(), scalar_v.key(), "fused vs scalar for {q}");
+}
+
+fn f64_ctx(n: usize) -> DataContext {
+    let data: Vec<f64> = (0..n)
+        .map(|i| ((i as f64) * 0.37 - (n as f64) / 3.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    DataContext::new().with_source("xs", data)
+}
+
+fn i64_ctx(n: usize) -> DataContext {
+    let data: Vec<i64> = (0..n as i64).map(|i| i * 7 - (n as i64) * 3).collect();
+    DataContext::new().with_source("ns", data)
+}
+
+// ---------------------------------------------------------------------
+// f64 shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn f64_shapes_across_batch_boundary() {
+    for &n in &SIZES {
+        let c = f64_ctx(n);
+        // map-only shapes: identity, square, const·x, x·const, const.
+        check_shape(&Query::source("xs").sum().build(), &c, Some("sum(x):f64"));
+        check_shape(
+            &Query::source("xs").select(x() * x(), "x").sum().build(),
+            &c,
+            Some("sum(x*x):f64"),
+        );
+        check_shape(
+            &Query::source("xs")
+                .select(x() * Expr::litf(2.5), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("sum(x*2.5):f64"),
+        );
+        check_shape(
+            &Query::source("xs")
+                .select(Expr::litf(2.5) * x(), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("sum(2.5*x):f64"),
+        );
+        // predicated shapes, constant on either comparison side.
+        check_shape(
+            &Query::source("xs")
+                .where_(x().gt(Expr::litf(0.5)), "x")
+                .select(x() * Expr::litf(2.0), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("filter(x>0.5)·sum(x*2):f64"),
+        );
+        check_shape(
+            &Query::source("xs")
+                .where_(Expr::litf(0.5).lt(x()), "x")
+                .select(x() * x(), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("filter(x>0.5)·sum(x*x):f64"),
+        );
+        check_shape(
+            &Query::source("xs")
+                .where_(x().le(Expr::litf(-1.0)), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("filter(x<=-1)·sum(x):f64"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// i64 shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn i64_shapes_across_batch_boundary() {
+    for &n in &SIZES {
+        let c = i64_ctx(n);
+        check_shape(&Query::source("ns").sum().build(), &c, Some("sum(x):i64"));
+        check_shape(
+            &Query::source("ns").select(x() * x(), "x").sum().build(),
+            &c,
+            Some("sum(x*x):i64"),
+        );
+        check_shape(
+            &Query::source("ns")
+                .select(x() * Expr::liti(5), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("sum(x*5):i64"),
+        );
+        check_shape(
+            &Query::source("ns")
+                .select(Expr::liti(3) * x() + Expr::liti(1), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("sum(3*x+1):i64"),
+        );
+        // Comparison predicate.
+        check_shape(
+            &Query::source("ns")
+                .where_(x().gt(Expr::liti(10)), "x")
+                .select(x() * x(), "x")
+                .sum()
+                .build(),
+            &c,
+            Some("filter(x>10)·sum(x*x):i64"),
+        );
+        // Remainder predicates: the pre-monomorphized moduli and the
+        // runtime-dispatch fallback, eq and ne both.
+        for m in [2i64, 3, 4, 5, 7] {
+            check_shape(
+                &Query::source("ns")
+                    .where_((x() % Expr::liti(m)).eq(Expr::liti(0)), "x")
+                    .select(x() * x(), "x")
+                    .sum()
+                    .build(),
+                &c,
+                Some(&format!("filter(x%{m}==0)·sum(x*x):i64")),
+            );
+            check_shape(
+                &Query::source("ns")
+                    .where_((x() % Expr::liti(m)).ne(Expr::liti(0)), "x")
+                    .sum()
+                    .build(),
+                &c,
+                Some(&format!("filter(x%{m}!=0)·sum(x):i64")),
+            );
+        }
+    }
+}
+
+/// The guarded-division select shape (`x % m == r ? x / d : a*x + b`):
+/// the pre-monomorphized (m, d) pairs and the runtime fallback.
+#[test]
+fn guarded_div_select_shapes() {
+    let collatz = |m: i64, d: i64| {
+        Query::source("ns")
+            .select(
+                Expr::if_(
+                    (x() % Expr::liti(m)).eq(Expr::liti(0)),
+                    x() / Expr::liti(d),
+                    Expr::liti(3) * x() + Expr::liti(1),
+                ),
+                "x",
+            )
+            .sum_by(Expr::var("y"), "y")
+            .build()
+    };
+    for &n in &SIZES {
+        // Positive data so range analysis proves both divisors non-zero
+        // (the admission condition for the unchecked-div tape).
+        let c = DataContext::new()
+            .with_source("ns", (1..=n as i64).collect::<Vec<i64>>());
+        for (m, d) in [(2i64, 2i64), (2, 4), (3, 3), (5, 3)] {
+            check_shape(
+                &collatz(m, d),
+                &c,
+                Some(&format!("sum(x%{m}==0 ? x/{d} : 3*x+1):i64")),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trap parity.
+// ---------------------------------------------------------------------
+
+/// Checked integer division (divisor not provably non-zero) must refuse
+/// whole-tape fusion and raise the identical `DivisionByZero` on every
+/// tier.
+#[test]
+fn checked_division_trap_parity() {
+    let u = UdfRegistry::new();
+    let data: Vec<i64> = (0..1500).map(|i| i % 5).collect();
+    let c = DataContext::new().with_source("ns", data);
+    let q = Query::source("ns")
+        .select(Expr::liti(60) / x(), "x")
+        .sum()
+        .build();
+    let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile");
+    assert!(
+        !compiled.fused_kernels().iter().any(|k| k.contains("sum(")),
+        "checked division must stay on the kernel path: {:?}",
+        compiled.fused_kernels()
+    );
+    let scalar =
+        CompiledQuery::compile_tuned(&q, (&c).into(), &u, scalar_opts()).expect("compile scalar");
+    assert_eq!(compiled.run(&c, &u), Err(VmError::DivisionByZero));
+    assert_eq!(
+        compiled.run_profiled(&c, &u).map(|(v, _)| v),
+        Err(VmError::DivisionByZero)
+    );
+    assert_eq!(scalar.run(&c, &u), Err(VmError::DivisionByZero));
+}
+
+/// Row indexing runs on the scalar tier (the vectorizer refuses it), so
+/// this pins that superinstruction threading preserves the exact
+/// out-of-bounds trap.
+#[test]
+fn index_trap_parity_under_threaded_dispatch() {
+    let u = UdfRegistry::new();
+    let c = DataContext::new().with_source(
+        "pts",
+        Column::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3),
+    );
+    let q = Query::source("pts")
+        .select(Expr::var("p").row_index(Expr::liti(9)), "p")
+        .sum()
+        .build();
+    let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile");
+    let scalar =
+        CompiledQuery::compile_tuned(&q, (&c).into(), &u, scalar_opts()).expect("compile scalar");
+    let expected = Err(VmError::IndexOutOfBounds { index: 9, len: 3 });
+    assert_eq!(compiled.run(&c, &u), expected);
+    assert_eq!(scalar.run(&c, &u), expected);
+}
+
+// ---------------------------------------------------------------------
+// Interrupt polling inside fused loops.
+// ---------------------------------------------------------------------
+
+/// A fused single-pass loop must still honor deadlines at batch
+/// boundaries — the POLL_STRIDE contract survives kernel fusion.
+#[test]
+fn fused_loop_polls_deadline() {
+    let u = UdfRegistry::new();
+    let data: Vec<f64> = (0..200_000).map(|i| i as f64 * 0.001).collect();
+    let c = DataContext::new().with_source("xs", data);
+    let q = Query::source("xs")
+        .select(x() * x(), "x")
+        .sum()
+        .build();
+    let compiled = CompiledQuery::compile(&q, (&c).into(), &u).expect("compile");
+    assert!(
+        compiled.fused_kernels().iter().any(|k| k.contains("sum(")),
+        "the workload must take the fused path for this test to bite"
+    );
+    let expired = Interrupt::none()
+        .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+    assert_eq!(
+        compiled.run_with(&c, &u, &expired),
+        Err(VmError::DeadlineExceeded)
+    );
+    // And an inert interrupt still completes.
+    compiled.run_with(&c, &u, &Interrupt::none()).expect("inert run");
+}

@@ -367,6 +367,10 @@ impl Steno {
                         batch_size: compiled.batch_size(),
                         result_ty: compiled.result_ty().to_string(),
                         guards_dropped: compiled.guards_dropped(),
+                        fused_kernels: compiled.fused_kernels().to_vec(),
+                        slots_reused: compiled.slots_reused(),
+                        hoisted: compiled.hoisted(),
+                        superinstrs: compiled.superinstrs(),
                         lints,
                     },
                 })

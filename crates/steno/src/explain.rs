@@ -49,6 +49,16 @@ pub enum ExplainPlan {
         /// Per-lane trap guards dropped because range analysis proved
         /// the divisor non-zero.
         guards_dropped: u32,
+        /// Fused batch kernels the backend selected, in compilation
+        /// order (whole-tape shapes first, then pairwise fusions).
+        fused_kernels: Vec<String>,
+        /// Batch columns recycled by lifetime packing instead of
+        /// allocated fresh.
+        slots_reused: u32,
+        /// Loop-invariant constants hoisted out of scalar loop bodies.
+        hoisted: u32,
+        /// Adjacent scalar pairs threaded into superinstructions.
+        superinstrs: u32,
         /// Lint diagnostics over the QUIL chain, rendered
         /// (`severity[lint]: message (span)`), in chain order.
         lints: Vec<String>,
@@ -79,6 +89,10 @@ impl Explain {
                 batch_size,
                 result_ty,
                 guards_dropped,
+                fused_kernels,
+                slots_reused,
+                hoisted,
+                superinstrs,
                 lints,
                 ..
             } => {
@@ -99,6 +113,22 @@ impl Explain {
                 if *guards_dropped > 0 {
                     out.push_str(&format!(
                         "  guards-dropped: {guards_dropped} (divisor proven non-zero)\n"
+                    ));
+                }
+                for kernel in fused_kernels {
+                    out.push_str(&format!("  fused-kernel: {kernel}\n"));
+                }
+                if *slots_reused > 0 {
+                    out.push_str(&format!(
+                        "  slots-reused: {slots_reused} (batch columns recycled)\n"
+                    ));
+                }
+                if *hoisted > 0 {
+                    out.push_str(&format!("  hoisted: {hoisted} (loop-invariant consts)\n"));
+                }
+                if *superinstrs > 0 {
+                    out.push_str(&format!(
+                        "  superinstrs: {superinstrs} (scalar pairs threaded)\n"
                     ));
                 }
                 for lint in lints {
@@ -127,6 +157,10 @@ impl Explain {
                 batch_size,
                 result_ty,
                 guards_dropped,
+                fused_kernels,
+                slots_reused,
+                hoisted,
+                superinstrs,
                 lints,
             } => {
                 let loops_json: Vec<String> = loops
@@ -150,15 +184,22 @@ impl Explain {
                     .iter()
                     .map(|l| format!("\"{}\"", json::escape(l)))
                     .collect();
+                let kernels_json: Vec<String> = fused_kernels
+                    .iter()
+                    .map(|k| format!("\"{}\"", json::escape(k)))
+                    .collect();
                 format!(
                     "{{\"query\": \"{}\", \"optimized\": true, \"quil\": \"{}\", \
                      \"engine\": \"{engine}\", \"instr_count\": {instr_count}, \
                      \"vectorized_loops\": {vectorized_loops}, \"fused_loops\": {fused_loops}, \
                      \"batch_size\": {batch_size}, \"result_ty\": \"{}\", \
-                     \"guards_dropped\": {guards_dropped}, \"loops\": [{}], \"lints\": [{}]}}",
+                     \"guards_dropped\": {guards_dropped}, \"fused_kernels\": [{}], \
+                     \"slots_reused\": {slots_reused}, \"hoisted\": {hoisted}, \
+                     \"superinstrs\": {superinstrs}, \"loops\": [{}], \"lints\": [{}]}}",
                     json::escape(&self.query),
                     json::escape(quil),
                     json::escape(result_ty),
+                    kernels_json.join(", "),
                     loops_json.join(", "),
                     lints_json.join(", ")
                 )
@@ -234,6 +275,10 @@ mod tests {
                 batch_size: 1024,
                 result_ty: "f64".to_string(),
                 guards_dropped: 2,
+                fused_kernels: vec!["sum(x*x):f64".to_string()],
+                slots_reused: 3,
+                hoisted: 1,
+                superinstrs: 2,
                 lints: vec!["warning[dead-filter]: filter is always false (op 1)".to_string()],
             },
         };
@@ -260,6 +305,64 @@ mod tests {
             text.contains("guards-dropped: 2 (divisor proven non-zero)"),
             "{text}"
         );
+        assert!(text.contains("fused-kernel: sum(x*x):f64"), "{text}");
+        assert!(text.contains("slots-reused: 3"), "{text}");
+        assert!(text.contains("hoisted: 1"), "{text}");
+        assert!(text.contains("superinstrs: 2"), "{text}");
         assert!(text.contains("lint: warning[dead-filter]"), "{text}");
+    }
+
+    /// Pins the machine-readable schema: every backend-optimization
+    /// field is always present (zero/empty included), so downstream
+    /// tooling can rely on the keys without probing.
+    #[test]
+    fn optimized_json_schema_includes_backend_fields() {
+        let e = Explain {
+            query: "q".to_string(),
+            plan: ExplainPlan::Optimized {
+                quil: "Src Agg[Sum] Ret".to_string(),
+                engine: EngineKind::Scalar,
+                instr_count: 3,
+                loops: vec![],
+                vectorized_loops: 0,
+                fused_loops: 0,
+                batch_size: 1024,
+                result_ty: "i64".to_string(),
+                guards_dropped: 0,
+                fused_kernels: vec![],
+                slots_reused: 0,
+                hoisted: 0,
+                superinstrs: 0,
+                lints: vec![],
+            },
+        };
+        let v = steno_obs::json::parse(&e.to_json()).unwrap();
+        for key in [
+            "query",
+            "optimized",
+            "quil",
+            "engine",
+            "instr_count",
+            "vectorized_loops",
+            "fused_loops",
+            "batch_size",
+            "result_ty",
+            "guards_dropped",
+            "fused_kernels",
+            "slots_reused",
+            "hoisted",
+            "superinstrs",
+            "loops",
+            "lints",
+        ] {
+            assert!(v.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(
+            v.get("fused_kernels").and_then(|k| k.as_array()).map(|k| k.len()),
+            Some(0)
+        );
+        assert_eq!(v.get("slots_reused").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("hoisted").unwrap().as_f64(), Some(0.0));
+        assert_eq!(v.get("superinstrs").unwrap().as_f64(), Some(0.0));
     }
 }

@@ -37,6 +37,19 @@ fn main() -> Result<(), StenoError> {
     println!("{explain}");
     println!("as JSON: {}\n", explain.to_json());
 
+    // The backend optimizer's decisions ride along in the same plan:
+    // fused batch kernels (whole-tape single-pass loops), recycled batch
+    // columns, hoisted constants, and threaded scalar pairs.
+    let q_int = Query::source("ns")
+        .where_((Expr::var("x") % Expr::liti(3)).eq(Expr::liti(0)), "x")
+        .select(Expr::var("x") * Expr::var("x"), "x")
+        .sum()
+        .build();
+    let ctx_int =
+        DataContext::new().with_source("ns", (0..10_000).collect::<Vec<i64>>());
+    let explain_int = engine.explain(&q_int, (&ctx_int).into(), &udfs)?;
+    println!("{explain_int}");
+
     // ---- 2. EXPLAIN: a UDF refuses vectorization; the plan says why. ----
     let mut with_udf = UdfRegistry::new();
     with_udf.register("clip", vec![Ty::F64], Ty::F64, |args: &[Value]| {
