@@ -259,6 +259,141 @@ pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::
     fs::write(path, render_bench_json(records))
 }
 
+/// Merges `records` into the bench JSON at `path`: rows belonging to a
+/// workload re-measured here replace that workload's old rows, while
+/// rows from other producers (`BENCH_vm.json` is shared between the
+/// `fig_*` binaries) survive untouched. A missing or unparseable file
+/// degrades to a plain write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the final write.
+pub fn merge_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut merged: Vec<BenchRecord> = fs::read_to_string(path)
+        .ok()
+        .and_then(|s| parse_bench_json(&s).ok())
+        .unwrap_or_default();
+    let ours: std::collections::HashSet<&str> =
+        records.iter().map(|r| r.workload.as_str()).collect();
+    merged.retain(|r| !ours.contains(r.workload.as_str()));
+    merged.extend(records.iter().cloned());
+    write_bench_json(path, &merged)
+}
+
+/// Looks up the `hand` row's ns/elem for `workload` in `records`.
+pub fn hand_ns(records: &[BenchRecord], workload: &str) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.workload == workload && r.engine == "hand")
+        .map(|r| r.ns_per_elem)
+}
+
+/// The `--smoke` regression gate shared by the `fig_*` binaries.
+///
+/// A row passes when *either* comparison against the checked-in
+/// baseline (`BENCH_VM_BASELINE`, default `BENCH_vm.json`) is within
+/// `tolerance`:
+///
+/// * **absolute** — the row's ns/elem vs the baseline's ns/elem. Valid
+///   when the runner is as fast as the baseline machine; over-strict
+///   when it is merely slower.
+/// * **hand-relative** — the row's cost divided by the same run's
+///   `hand` row, vs the same quotient in the baseline. The hand-written
+///   loops are reference code this crate never touches, so the quotient
+///   cancels machine speed; it skews only when the runner's compute/
+///   memory balance differs from the baseline machine's.
+///
+/// A real code regression moves the engine row and neither reference,
+/// so it fails both comparisons.
+///
+/// One escape hatch remains: rows whose baseline carries a
+/// `ns_per_elem_noise` ceiling (the worst per-run value the *unchanged*
+/// baseline binary produced across the baseline's measurement runs)
+/// also pass when the measured value is at or below that ceiling. The
+/// baseline's `ns_per_elem` is a floor across many runs; on a shared
+/// box the scalar-interpreter rows swing ~2x between quiet and loaded
+/// phases, so "within tolerance of the floor" is unattainable during a
+/// loaded phase even with no code change. A measurement the baseline
+/// binary itself was observed to produce is machine noise by
+/// construction, not a regression.
+///
+/// Baseline rows for workloads not in `records` are ignored, so each
+/// binary gates only the rows it produces.
+///
+/// # Errors
+///
+/// Returns the failing rows (empty on success) so the caller can
+/// re-measure once before failing the build.
+pub fn smoke_gate(records: &[BenchRecord], tolerance: f64) -> Result<(), Vec<String>> {
+    let baseline_path =
+        std::env::var("BENCH_VM_BASELINE").unwrap_or_else(|_| "BENCH_vm.json".to_string());
+    let baseline = fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("smoke gate needs the baseline {baseline_path}: {e}"));
+    let baseline = parse_bench_json(&baseline)
+        .unwrap_or_else(|e| panic!("baseline {baseline_path} must parse: {e}"));
+    println!(
+        "\n== smoke gate (tolerance {tolerance:.2}x vs {baseline_path}, \
+         absolute or hand-relative) =="
+    );
+    let mut failures = Vec::new();
+    for r in records {
+        if r.engine == "hand" {
+            continue;
+        }
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.workload == r.workload && b.engine == r.engine)
+        else {
+            continue;
+        };
+        let (Some(rh), Some(bh)) = (hand_ns(records, &r.workload), hand_ns(&baseline, &r.workload))
+        else {
+            continue;
+        };
+        let abs_ratio = r.ns_per_elem / b.ns_per_elem;
+        let rel_ratio = (r.ns_per_elem / rh) / (b.ns_per_elem / bh);
+        let ratio = abs_ratio.min(rel_ratio);
+        let within_noise = b
+            .ns_per_elem_noise
+            .is_some_and(|ceiling| r.ns_per_elem <= ceiling);
+        let pass = ratio <= tolerance || within_noise;
+        let verdict = if pass {
+            if ratio <= tolerance {
+                "ok"
+            } else {
+                "ok (within baseline noise)"
+            }
+        } else {
+            "FAIL"
+        };
+        println!(
+            "{:>22} / {:>14}  abs {abs_ratio:>5.2}x  hand-rel {rel_ratio:>5.2}x  {verdict}",
+            r.workload, r.engine
+        );
+        if !pass {
+            failures.push(format!(
+                "{}/{} regressed (abs {abs_ratio:.2}x, hand-relative {rel_ratio:.2}x, \
+                 both over {tolerance:.2}x{})",
+                r.workload,
+                r.engine,
+                b.ns_per_elem_noise
+                    .map(|c| format!(
+                        "; {:.2} ns/elem over the {c:.2} observed-noise ceiling",
+                        r.ns_per_elem
+                    ))
+                    .unwrap_or_default()
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("smoke gate passed: no engine regressed past tolerance");
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
 /// Parses the JSON emitted by [`render_bench_json`] back into records.
 ///
 /// The inverse guarantees `BENCH_vm.json` stays machine-readable: any
@@ -367,5 +502,30 @@ mod tests {
     #[test]
     fn empty_record_list_round_trips() {
         assert!(parse_bench_json(&render_bench_json(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_replaces_own_workloads_and_keeps_others() {
+        let dir = std::env::temp_dir().join("steno_bench_merge_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_merge.json");
+        let old = vec![
+            BenchRecord::from_wall("kept", "vm_scalar", 10, Duration::from_micros(10)),
+            BenchRecord::from_wall("replaced", "vm_scalar", 10, Duration::from_micros(50)),
+        ];
+        write_bench_json(&path, &old).unwrap();
+        let new = vec![
+            BenchRecord::from_wall("replaced", "vm_scalar", 10, Duration::from_micros(20)),
+            BenchRecord::from_wall("added", "hand", 10, Duration::from_micros(5)),
+        ];
+        merge_bench_json(&path, &new).unwrap();
+        let merged = parse_bench_json(&fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().any(|r| r.workload == "kept"));
+        let replaced: Vec<_> = merged.iter().filter(|r| r.workload == "replaced").collect();
+        assert_eq!(replaced.len(), 1);
+        assert!((replaced[0].ns_per_elem - 2000.0).abs() < 1e-6);
+        assert!(merged.iter().any(|r| r.workload == "added"));
+        fs::remove_file(&path).ok();
     }
 }

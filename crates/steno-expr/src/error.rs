@@ -59,6 +59,13 @@ pub enum EvalError {
     UnknownUdf(String),
     /// Integer division or remainder by zero.
     DivisionByZero,
+    /// Cooperative cancellation: an interrupt probe asked the evaluator
+    /// to stop. `deadline` distinguishes a deadline expiry from an
+    /// explicit cancel.
+    Interrupted {
+        /// `true` when a deadline expired rather than an explicit cancel.
+        deadline: bool,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -71,6 +78,8 @@ impl fmt::Display for EvalError {
             }
             EvalError::UnknownUdf(name) => write!(f, "unknown user-defined function `{name}`"),
             EvalError::DivisionByZero => write!(f, "integer division by zero"),
+            EvalError::Interrupted { deadline: true } => write!(f, "deadline exceeded"),
+            EvalError::Interrupted { deadline: false } => write!(f, "cancelled"),
         }
     }
 }

@@ -26,6 +26,13 @@ pub struct Udf {
     pub ret: Ty,
     /// The native implementation.
     pub imp: UdfFn,
+    /// Whether the caller vouched that the function is *pure*:
+    /// deterministic, total (never panics), and effect-free, so that
+    /// changing how often or in what order it is called is
+    /// unobservable. Defaults to `false` — an opaque native function
+    /// must be assumed effectful, which blocks algebraic rewrites from
+    /// reordering around it.
+    pub pure: bool,
 }
 
 impl fmt::Debug for Udf {
@@ -33,6 +40,7 @@ impl fmt::Debug for Udf {
         f.debug_struct("Udf")
             .field("params", &self.params)
             .field("ret", &self.ret)
+            .field("pure", &self.pure)
             .finish_non_exhaustive()
     }
 }
@@ -65,6 +73,31 @@ impl UdfRegistry {
                 params,
                 ret,
                 imp: Arc::new(imp),
+                pure: false,
+            },
+        );
+    }
+
+    /// Registers `name` as a **pure** function: deterministic, total,
+    /// and effect-free. Purity is a caller-supplied contract the
+    /// optimizer relies on to reorder or duplicate calls (e.g. pushing
+    /// a filter past a map whose body calls the function); registering
+    /// an effectful function as pure yields plans whose call counts and
+    /// call order differ from the naïve evaluation.
+    pub fn register_pure(
+        &mut self,
+        name: impl Into<String>,
+        params: Vec<Ty>,
+        ret: Ty,
+        imp: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(
+            name.into(),
+            Udf {
+                params,
+                ret,
+                imp: Arc::new(imp),
+                pure: true,
             },
         );
     }
@@ -72,6 +105,11 @@ impl UdfRegistry {
     /// Looks up a function by name.
     pub fn get(&self, name: &str) -> Option<&Udf> {
         self.funcs.get(name)
+    }
+
+    /// `true` when `name` is registered and declared pure.
+    pub fn is_pure(&self, name: &str) -> bool {
+        self.funcs.get(name).is_some_and(|u| u.pure)
     }
 
     /// The number of registered functions.
@@ -109,6 +147,19 @@ mod tests {
         let out = (f.imp)(&[Value::F64(3.0), Value::F64(4.0)]);
         assert_eq!(out, Value::F64(5.0));
         assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn purity_defaults_off_and_is_recorded() {
+        let mut reg = UdfRegistry::new();
+        reg.register("opaque", vec![Ty::F64], Ty::F64, |args| args[0].clone());
+        reg.register_pure("plus1", vec![Ty::I64], Ty::I64, |args| {
+            Value::I64(args[0].as_i64().unwrap() + 1)
+        });
+        assert!(!reg.is_pure("opaque"));
+        assert!(reg.is_pure("plus1"));
+        assert!(!reg.is_pure("missing"));
+        assert_eq!((reg.get("plus1").unwrap().imp)(&[Value::I64(4)]), Value::I64(5));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! closures (integer division by zero, row index out of range) panic, as
 //! the equivalent .NET exceptions would unwind through the iterator chain.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use steno_expr::eval::{eval, Env};
@@ -23,11 +24,94 @@ use steno_query::{AggOp, QBody, QFn, QueryExpr, SourceRef};
 
 use crate::enumerable::Enumerable;
 
+/// Why an interruptible execution was asked to stop (see
+/// [`execute_interruptible`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// A deadline expired.
+    Deadline,
+    /// The caller cancelled the query.
+    Cancelled,
+}
+
+/// A cancellation probe for the iterator executor: returns `Some` once
+/// the caller wants the query aborted. A boxed closure (rather than a
+/// concrete interrupt type) keeps this crate free of a dependency on
+/// the VM's `Interrupt` — any deadline/cancel source can drive it.
+pub type StopProbe = Arc<dyn Fn() -> Option<Stop> + Send + Sync>;
+
+/// Elements enumerated between probe calls. The interpreter costs
+/// hundreds of nanoseconds per element, so even a modest stride bounds
+/// detection latency to well under a millisecond while keeping the
+/// per-element overhead to one shared counter increment.
+const INTERP_POLL_STRIDE: u64 = 256;
+
+/// The panic payload [`Poller::tick`] throws to unwind out of the
+/// iterator chain. The interpreter's operator closures return plain
+/// values (failures panic, per this module's documented convention), so
+/// cooperative interruption rides the same unwind path and is caught —
+/// and converted back into an error — at the [`execute_interruptible`]
+/// boundary.
+struct InterruptSignal(Stop);
+
+/// Amortized interrupt polling shared by every operator closure of one
+/// execution (the tick counter is behind an `Arc` because [`Rt`] is
+/// cloned into each closure).
+#[derive(Clone)]
+struct Poller {
+    probe: StopProbe,
+    ticks: Arc<AtomicU64>,
+}
+
+impl Poller {
+    fn new(probe: StopProbe) -> Poller {
+        Poller {
+            probe,
+            ticks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Counts one element; every [`INTERP_POLL_STRIDE`]-th call asks the
+    /// probe and unwinds with [`InterruptSignal`] if it fired.
+    fn tick(&self) {
+        let n = self.ticks.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(INTERP_POLL_STRIDE) {
+            if let Some(stop) = (self.probe)() {
+                std::panic::panic_any(InterruptSignal(stop));
+            }
+        }
+    }
+}
+
 /// Shared runtime state captured by operator closures.
 #[derive(Clone)]
 struct Rt {
     ctx: Arc<DataContext>,
     udfs: Arc<UdfRegistry>,
+    /// `Some` only under [`execute_interruptible`]: sources are then
+    /// instrumented to poll for deadlines/cancellation per element.
+    interrupt: Option<Poller>,
+}
+
+impl Rt {
+    /// Wraps a source enumerable with per-element interrupt polling
+    /// when this execution is interruptible; the identity otherwise.
+    /// Instrumenting at the sources covers every chain shape — all
+    /// operators, including the eagerly-materializing ones (`GroupBy`,
+    /// `OrderBy`) and bare aggregates like `Count`, pull their elements
+    /// up from a source.
+    fn instrument(&self, src: Enumerable<Value>) -> Enumerable<Value> {
+        match &self.interrupt {
+            None => src,
+            Some(poller) => {
+                let poller = poller.clone();
+                src.select(move |v| {
+                    poller.tick();
+                    v
+                })
+            }
+        }
+    }
 }
 
 /// The "default value" conventions this reproduction uses for aggregates
@@ -90,22 +174,23 @@ fn apply_qfn(f: &QFn, arg: Value, rt: &Rt, env: &Env) -> Value {
 
 fn enumerable_of(q: &QueryExpr, rt: &Rt, env: &Env) -> Result<Enumerable<Value>, EvalError> {
     match q {
-        QueryExpr::Source(s) => match s {
-            SourceRef::Named(name) => {
-                let col = rt
-                    .ctx
-                    .source(name)
-                    .ok_or_else(|| EvalError::UnboundVariable(format!("source `{name}`")))?;
-                Ok(Enumerable::from_vec(col.to_values()))
-            }
-            SourceRef::Range { start, count } => {
-                Ok(Enumerable::range(*start, *count).select(Value::I64))
-            }
-            SourceRef::Repeat { value, count } => {
-                Ok(Enumerable::repeat(value.clone(), *count))
-            }
-            SourceRef::Expr(e) => Ok(value_to_enumerable(eval(e, env, &rt.udfs)?)),
-        },
+        QueryExpr::Source(s) => {
+            let base = match s {
+                SourceRef::Named(name) => {
+                    let col = rt
+                        .ctx
+                        .source(name)
+                        .ok_or_else(|| EvalError::UnboundVariable(format!("source `{name}`")))?;
+                    Enumerable::from_vec(col.to_values())
+                }
+                SourceRef::Range { start, count } => {
+                    Enumerable::range(*start, *count).select(Value::I64)
+                }
+                SourceRef::Repeat { value, count } => Enumerable::repeat(value.clone(), *count),
+                SourceRef::Expr(e) => value_to_enumerable(eval(e, env, &rt.udfs)?),
+            };
+            Ok(rt.instrument(base))
+        }
         QueryExpr::Select { input, f } => {
             let src = enumerable_of(input, rt, env)?;
             let f = f.clone();
@@ -378,8 +463,56 @@ pub fn execute(
     let rt = Rt {
         ctx: Arc::new(ctx.clone()),
         udfs: Arc::new(udfs.clone()),
+        interrupt: None,
     };
     execute_in(q, &rt, &Env::new())
+}
+
+/// As [`execute`], polling `probe` cooperatively so deadlines and
+/// cancellation can stop the iterator chains mid-run — the non-VM
+/// analogue of the VM's back-edge interrupt polling. Detection latency
+/// is bounded by the polling stride (a few hundred elements at
+/// interpreter speeds).
+///
+/// # Errors
+///
+/// As [`execute`], plus [`EvalError::Interrupted`] once the probe fires
+/// (`deadline: true` for [`Stop::Deadline`]). Panics raised by operator
+/// closures (the module's convention for data-dependent failures) still
+/// unwind through unchanged.
+pub fn execute_interruptible(
+    q: &QueryExpr,
+    ctx: &DataContext,
+    udfs: &UdfRegistry,
+    probe: StopProbe,
+) -> Result<Value, EvalError> {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    typing::check_with_context(q, ctx, udfs)
+        .map_err(|e| EvalError::TypeMismatch(e.to_string()))?;
+    // Check once up front so an already-expired deadline never starts
+    // the query at all.
+    if let Some(stop) = probe() {
+        return Err(EvalError::Interrupted {
+            deadline: stop == Stop::Deadline,
+        });
+    }
+    let rt = Rt {
+        ctx: Arc::new(ctx.clone()),
+        udfs: Arc::new(udfs.clone()),
+        interrupt: Some(Poller::new(probe)),
+    };
+    match catch_unwind(AssertUnwindSafe(|| execute_in(q, &rt, &Env::new()))) {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast::<InterruptSignal>() {
+            Ok(signal) => Err(EvalError::Interrupted {
+                deadline: signal.0 == Stop::Deadline,
+            }),
+            // Not ours: data-dependent failures keep their documented
+            // panic behavior.
+            Err(other) => resume_unwind(other),
+        },
+    }
 }
 
 /// Executes a query with outer-scope bindings (used for nested queries and
@@ -397,6 +530,7 @@ pub fn execute_with_env(
     let rt = Rt {
         ctx: Arc::new(ctx.clone()),
         udfs: Arc::new(udfs.clone()),
+        interrupt: None,
     };
     execute_in(q, &rt, env)
 }
@@ -640,6 +774,116 @@ mod tests {
     fn to_vec_materializes() {
         let q = Query::source("ns").to_vec().count().build();
         assert_eq!(run(&q), Value::I64(6));
+    }
+
+    #[test]
+    fn inert_probe_matches_plain_execution() {
+        let q = Query::source("ns")
+            .where_((Expr::var("x") % Expr::liti(2)).eq(Expr::liti(0)), "x")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let probe: StopProbe = Arc::new(|| None);
+        assert_eq!(
+            execute_interruptible(&q, &ctx(), &UdfRegistry::new(), probe).unwrap(),
+            run(&q)
+        );
+    }
+
+    #[test]
+    fn prefired_probe_stops_before_execution() {
+        let q = Query::source("ns").sum().build();
+        let probe: StopProbe = Arc::new(|| Some(Stop::Deadline));
+        assert_eq!(
+            execute_interruptible(&q, &ctx(), &UdfRegistry::new(), probe),
+            Err(EvalError::Interrupted { deadline: true })
+        );
+        let probe: StopProbe = Arc::new(|| Some(Stop::Cancelled));
+        assert_eq!(
+            execute_interruptible(&q, &ctx(), &UdfRegistry::new(), probe),
+            Err(EvalError::Interrupted { deadline: false })
+        );
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_the_iterator_chain() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // The probe fires on its third call: well into the enumeration
+        // of a 100k-element chain, long before it completes. The probe
+        // call count also proves the stride amortization — polling per
+        // element would have asked tens of thousands of times.
+        let calls = Arc::new(AtomicU64::new(0));
+        let probe: StopProbe = {
+            let calls = Arc::clone(&calls);
+            Arc::new(move || {
+                if calls.fetch_add(1, Ordering::Relaxed) >= 3 {
+                    Some(Stop::Cancelled)
+                } else {
+                    None
+                }
+            })
+        };
+        let big = DataContext::new()
+            .with_source("big", (0..100_000i64).collect::<Vec<_>>());
+        let q = Query::source("big")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        assert_eq!(
+            execute_interruptible(&q, &big, &UdfRegistry::new(), probe),
+            Err(EvalError::Interrupted { deadline: false })
+        );
+        let asked = calls.load(Ordering::Relaxed);
+        assert!(asked >= 4, "probe must be polled mid-run, asked {asked}");
+        assert!(asked < 100, "polling must be stride-amortized, asked {asked}");
+    }
+
+    #[test]
+    fn interruption_reaches_eager_and_aggregate_operators() {
+        // GroupBy materializes eagerly and Count never runs a per-element
+        // lambda; both must still observe cancellation because polling
+        // is instrumented at the sources they drain.
+        let big = DataContext::new()
+            .with_source("big", (0..50_000i64).collect::<Vec<_>>());
+        let fire_late = || -> StopProbe {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let calls = Arc::new(AtomicU64::new(0));
+            Arc::new(move || {
+                if calls.fetch_add(1, Ordering::Relaxed) >= 2 {
+                    Some(Stop::Deadline)
+                } else {
+                    None
+                }
+            })
+        };
+        let grouped = Query::source("big")
+            .group_by(Expr::var("x") % Expr::liti(7), "x")
+            .build();
+        assert_eq!(
+            execute_interruptible(&grouped, &big, &UdfRegistry::new(), fire_late()),
+            Err(EvalError::Interrupted { deadline: true })
+        );
+        let counted = Query::source("big").count().build();
+        assert_eq!(
+            execute_interruptible(&counted, &big, &UdfRegistry::new(), fire_late()),
+            Err(EvalError::Interrupted { deadline: true })
+        );
+    }
+
+    #[test]
+    fn foreign_panics_still_unwind_through() {
+        // Data-dependent failures keep the module's documented panic
+        // convention: only the poller's own signal is converted.
+        let q = Query::source("ns")
+            .select(Expr::var("x") / Expr::liti(0), "x")
+            .sum()
+            .build();
+        let probe: StopProbe = Arc::new(|| None);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_interruptible(&q, &ctx(), &UdfRegistry::new(), probe)
+        }));
+        assert!(outcome.is_err(), "division by zero must still panic");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The §7.1 break-even model for tier choice.
+//!
+//! The VM has three execution tiers — batch-vectorized, fused
+//! whole-tape kernels, and scalar bytecode — and historically picked
+//! between them with a *static* preference order. That order is right
+//! for large inputs (batch setup amortizes over many elements) and
+//! wrong for small ones (a few hundred elements never pay back the
+//! per-loop batch machinery). This module turns measured run facts into
+//! an explicit, explainable tier recommendation.
+
+use std::fmt;
+
+/// Observed facts about one loop, gathered by profiled runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LoopStats {
+    /// Elements flowing into the loop per run (exponentially decayed
+    /// mean when fed from a [`crate::PlanStats`]).
+    pub elements: f64,
+    /// Fraction of batch lanes surviving selection, in `[0, 1]`;
+    /// `None` when the loop has no filters or no profile exists yet.
+    pub density: Option<f64>,
+}
+
+/// The compiler-facing recommendation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TierAdvice {
+    /// Large enough input: keep the default vectorize-first order.
+    PreferVectorized,
+    /// Batch setup will not amortize; compile straight to the scalar
+    /// tier.
+    PreferScalar,
+}
+
+impl fmt::Display for TierAdvice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TierAdvice::PreferVectorized => write!(f, "vectorized"),
+            TierAdvice::PreferScalar => write!(f, "scalar"),
+        }
+    }
+}
+
+/// Below this many *batches* worth of elements, per-loop batch setup
+/// (column allocation, selection vectors, kernel dispatch) dominates
+/// the dense-kernel win and the scalar tier is faster end to end. Two
+/// batches is the measured break-even on the bench corpus: one batch
+/// never amortizes, and the gap closes quickly after that.
+const MIN_BATCHES_TO_AMORTIZE: f64 = 2.0;
+
+/// Advises a tier for a loop given its observed stats, returning the
+/// advice plus a human-readable rationale (surfaced verbatim in
+/// `EXPLAIN` as the `chosen-by:` line).
+pub fn choose_tier(stats: &LoopStats, batch: usize) -> (TierAdvice, String) {
+    let break_even = MIN_BATCHES_TO_AMORTIZE * batch as f64;
+    if stats.elements > 0.0 && stats.elements < break_even {
+        return (
+            TierAdvice::PreferScalar,
+            format!(
+                "observed ~{:.0} elements < {:.0} break-even: batch setup would not amortize",
+                stats.elements, break_even
+            ),
+        );
+    }
+    let density_note = match stats.density {
+        Some(d) => format!(", density {d:.2}"),
+        None => String::new(),
+    };
+    (
+        TierAdvice::PreferVectorized,
+        format!(
+            "observed ~{:.0} elements ≥ {:.0} break-even{density_note}",
+            stats.elements, break_even
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_inputs_prefer_scalar() {
+        let (advice, why) = choose_tier(
+            &LoopStats {
+                elements: 100.0,
+                density: None,
+            },
+            1024,
+        );
+        assert_eq!(advice, TierAdvice::PreferScalar);
+        assert!(why.contains("100"), "{why}");
+        assert!(why.contains("2048"), "{why}");
+    }
+
+    #[test]
+    fn large_inputs_prefer_vectorized() {
+        let (advice, why) = choose_tier(
+            &LoopStats {
+                elements: 1_000_000.0,
+                density: Some(0.25),
+            },
+            1024,
+        );
+        assert_eq!(advice, TierAdvice::PreferVectorized);
+        assert!(why.contains("density 0.25"), "{why}");
+    }
+
+    #[test]
+    fn zero_observation_keeps_default() {
+        // No profile yet: do not override the static order.
+        let (advice, _) = choose_tier(&LoopStats::default(), 1024);
+        assert_eq!(advice, TierAdvice::PreferVectorized);
+    }
+
+    #[test]
+    fn break_even_boundary_is_inclusive_for_vectorized() {
+        let (advice, _) = choose_tier(
+            &LoopStats {
+                elements: 2048.0,
+                density: None,
+            },
+            1024,
+        );
+        assert_eq!(advice, TierAdvice::PreferVectorized);
+    }
+}

@@ -1,0 +1,343 @@
+//! Per-plan run statistics and drift detection.
+//!
+//! A cached plan embodies assumptions: roughly how many elements flow
+//! through it, how selective its filters are, and that compilation cost
+//! has been amortized. [`PlanStats`] tracks exponentially-decayed
+//! observations of those quantities; [`PlanStats::drift`] answers "has
+//! the workload departed the plan's assumptions far enough, for long
+//! enough, that re-optimizing is worth another compile?" — with
+//! hysteresis so a noisy workload cannot flap the plan back and forth.
+
+/// One profiled execution of a cached plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObservedRun {
+    /// Elements read from sources this run.
+    pub elements: f64,
+    /// Selection density in `[0, 1]`, when the run was profiled and the
+    /// plan has filters.
+    pub density: Option<f64>,
+    /// Wall-clock execution time in nanoseconds.
+    pub exec_ns: f64,
+}
+
+/// Tuning knobs for drift detection. [`DriftConfig::default`] is
+/// deliberately conservative: re-optimization should be rare.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher weights recent runs
+    /// more.
+    pub alpha: f64,
+    /// Minimum observed runs before drift can trigger at all.
+    pub min_runs: u64,
+    /// Absolute selection-density departure (EWMA vs. assumption)
+    /// needed to trigger.
+    pub density_delta: f64,
+    /// Input-scale ratio (EWMA vs. assumption, either direction) needed
+    /// to trigger.
+    pub scale_ratio: f64,
+    /// Runs to wait after a re-optimization before another may trigger.
+    pub cooldown_runs: u64,
+    /// Hard cap on re-optimizations per cached plan.
+    pub max_reopts: u32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            alpha: 0.3,
+            min_runs: 8,
+            density_delta: 0.25,
+            scale_ratio: 4.0,
+            cooldown_runs: 8,
+            max_reopts: 4,
+        }
+    }
+}
+
+/// Exponentially-decayed statistics for one cached plan, plus the
+/// assumptions the plan was compiled under.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanStats {
+    /// Total observed runs.
+    pub runs: u64,
+    /// EWMA of elements per run.
+    pub ewma_elements: f64,
+    /// EWMA of selection density (only over runs that reported one).
+    pub ewma_density: Option<f64>,
+    /// EWMA of execution time per run, nanoseconds.
+    pub ewma_exec_ns: f64,
+    /// Total execution time across all runs, nanoseconds (for the
+    /// compile-cost break-even gate).
+    pub total_exec_ns: f64,
+    /// Element count the current plan assumes (seeded by the first
+    /// observation, rebased on re-optimization).
+    pub assumed_elements: Option<f64>,
+    /// Selection density the current plan assumes.
+    pub assumed_density: Option<f64>,
+    /// Run index at the last re-optimization (for cooldown).
+    pub last_reopt_run: u64,
+    /// Re-optimizations performed so far.
+    pub reopts: u32,
+    /// Most recent raw observation (rebase target: a re-optimized plan
+    /// was compiled against the current workload, not the decayed
+    /// average that may still be mid-transition).
+    pub last_elements: Option<f64>,
+    /// Most recent raw density observation.
+    pub last_density: Option<f64>,
+}
+
+impl PlanStats {
+    /// Fresh, assumption-free stats for a newly cached plan.
+    pub fn new() -> PlanStats {
+        PlanStats::default()
+    }
+
+    /// Folds one run into the decayed statistics. The first observation
+    /// also seeds the plan's assumptions — a plan compiled blind adopts
+    /// the first workload it actually sees.
+    pub fn observe(&mut self, run: ObservedRun, cfg: &DriftConfig) {
+        self.runs += 1;
+        self.total_exec_ns += run.exec_ns;
+        self.last_elements = Some(run.elements);
+        if run.density.is_some() {
+            self.last_density = run.density;
+        }
+        let a = cfg.alpha;
+        if self.runs == 1 {
+            self.ewma_elements = run.elements;
+            self.ewma_exec_ns = run.exec_ns;
+            self.ewma_density = run.density;
+            self.assumed_elements = Some(run.elements);
+            self.assumed_density = run.density;
+            return;
+        }
+        self.ewma_elements = a * run.elements + (1.0 - a) * self.ewma_elements;
+        self.ewma_exec_ns = a * run.exec_ns + (1.0 - a) * self.ewma_exec_ns;
+        if let Some(d) = run.density {
+            self.ewma_density = Some(match self.ewma_density {
+                Some(prev) => a * d + (1.0 - a) * prev,
+                None => d,
+            });
+        }
+    }
+
+    /// Checks whether observed behavior has drifted from the plan's
+    /// assumptions far enough to justify re-optimizing. Returns a
+    /// human-readable reason (surfaced in `EXPLAIN` `reopt:` lines), or
+    /// `None` while the plan still fits.
+    ///
+    /// Gates, in order: enough runs observed; re-opt budget left;
+    /// cooldown elapsed since the last re-opt; accumulated execution
+    /// time exceeds `compile_ns` (the §7.1 break-even — recompiling is
+    /// pointless if running has not even paid for the first compile);
+    /// and finally an actual departure in density or input scale.
+    pub fn drift(&self, cfg: &DriftConfig, compile_ns: f64) -> Option<String> {
+        if self.runs < cfg.min_runs
+            || self.reopts >= cfg.max_reopts
+            || self.runs < self.last_reopt_run + cfg.cooldown_runs
+            || self.total_exec_ns <= compile_ns
+        {
+            return None;
+        }
+        if let (Some(assumed), Some(seen)) = (self.assumed_density, self.ewma_density) {
+            if (seen - assumed).abs() > cfg.density_delta {
+                return Some(format!(
+                    "selectivity drift: assumed density {assumed:.2}, observed {seen:.2}"
+                ));
+            }
+        }
+        if let Some(assumed) = self.assumed_elements {
+            if assumed > 0.0 && self.ewma_elements > 0.0 {
+                let ratio = self.ewma_elements / assumed;
+                if ratio > cfg.scale_ratio || ratio < 1.0 / cfg.scale_ratio {
+                    return Some(format!(
+                        "input-scale drift: assumed ~{assumed:.0} elements, observed ~{:.0}",
+                        self.ewma_elements
+                    ));
+                }
+            }
+        }
+        None
+    }
+
+    /// Rebase assumptions onto the workload the re-optimized plan was
+    /// actually compiled against — the latest raw observation, not the
+    /// decayed average. A drift trigger usually fires mid-transition,
+    /// when the EWMA is still between the old and new regimes; rebasing
+    /// onto that moving average would let the EWMA's continued
+    /// convergence re-trigger the very same shift after cooldown. The
+    /// EWMA is snapped too, so both sides of the comparison restart
+    /// from the new regime. This is the hysteresis that stops flapping.
+    pub fn rebase(&mut self) {
+        if let Some(e) = self.last_elements {
+            self.ewma_elements = e;
+        }
+        if self.last_density.is_some() {
+            self.ewma_density = self.last_density;
+        }
+        self.assumed_elements = Some(self.ewma_elements);
+        self.assumed_density = self.ewma_density;
+        self.last_reopt_run = self.runs;
+        self.reopts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(elements: f64, density: f64, exec_ns: f64) -> ObservedRun {
+        ObservedRun {
+            elements,
+            density: Some(density),
+            exec_ns,
+        }
+    }
+
+    #[test]
+    fn first_observation_seeds_assumptions() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.5, 10_000.0), &cfg);
+        assert_eq!(s.assumed_elements, Some(1000.0));
+        assert_eq!(s.assumed_density, Some(0.5));
+        assert_eq!(s.runs, 1);
+    }
+
+    #[test]
+    fn stable_workload_never_drifts() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        for _ in 0..100 {
+            s.observe(run(1000.0, 0.5, 10_000.0), &cfg);
+        }
+        assert_eq!(s.drift(&cfg, 1.0), None);
+    }
+
+    #[test]
+    fn density_shift_triggers_after_min_runs() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+        for i in 1..20 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+            let d = s.drift(&cfg, 1.0);
+            if (i + 1) < cfg.min_runs {
+                assert_eq!(d, None, "run {i}: too few runs");
+            }
+        }
+        let reason = s.drift(&cfg, 1.0).expect("density drift should trigger");
+        assert!(reason.contains("selectivity drift"), "{reason}");
+    }
+
+    #[test]
+    fn scale_shift_triggers() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.5, 10_000.0), &cfg);
+        for _ in 0..30 {
+            s.observe(run(100_000.0, 0.5, 10_000.0), &cfg);
+        }
+        let reason = s.drift(&cfg, 1.0).expect("scale drift should trigger");
+        assert!(reason.contains("input-scale drift"), "{reason}");
+    }
+
+    #[test]
+    fn rebase_stops_retriggering() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+        for _ in 0..30 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+        }
+        assert!(s.drift(&cfg, 1.0).is_some());
+        s.rebase();
+        // Same workload keeps flowing: assumptions now match, no flap.
+        for _ in 0..30 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+            assert_eq!(s.drift(&cfg, 1.0), None);
+        }
+    }
+
+    #[test]
+    fn mid_transition_rebase_does_not_flap() {
+        // Drift triggers while the EWMA is still between the old and
+        // new regimes. Rebasing must adopt the NEW regime, or the
+        // EWMA's continued convergence re-triggers the same shift.
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        for _ in 0..cfg.min_runs + 2 {
+            s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+        }
+        let mut triggered = false;
+        for _ in 0..4 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+            if s.drift(&cfg, 1.0).is_some() {
+                triggered = true;
+                s.rebase();
+                break;
+            }
+        }
+        assert!(triggered, "shift must trigger mid-transition");
+        // The same sustained shift, continued far past cooldown, must
+        // never trigger again.
+        for i in 0..60 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+            assert_eq!(s.drift(&cfg, 1.0), None, "flap at post-rebase run {i}");
+        }
+        assert_eq!(s.reopts, 1);
+    }
+
+    #[test]
+    fn cooldown_blocks_immediate_retrigger() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+        for _ in 0..30 {
+            s.observe(run(1000.0, 0.05, 10_000.0), &cfg);
+        }
+        s.rebase();
+        // Drift again immediately — cooldown must hold it back even
+        // though the density has moved.
+        for i in 0..(cfg.cooldown_runs - 1) {
+            s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+            assert_eq!(s.drift(&cfg, 1.0), None, "within cooldown at +{i}");
+        }
+    }
+
+    #[test]
+    fn reopt_budget_is_a_hard_cap() {
+        let cfg = DriftConfig {
+            cooldown_runs: 1,
+            ..DriftConfig::default()
+        };
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.9, 10_000.0), &cfg);
+        let mut flips = 0u32;
+        let mut hi = false;
+        for _ in 0..400 {
+            let d = if hi { 0.9 } else { 0.05 };
+            s.observe(run(1000.0, d, 10_000.0), &cfg);
+            if s.drift(&cfg, 1.0).is_some() {
+                s.rebase();
+                flips += 1;
+                hi = !hi;
+            }
+        }
+        assert!(flips <= cfg.max_reopts, "{flips} > cap {}", cfg.max_reopts);
+    }
+
+    #[test]
+    fn compile_cost_gates_reopt() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        s.observe(run(1000.0, 0.9, 10.0), &cfg);
+        for _ in 0..30 {
+            s.observe(run(1000.0, 0.05, 10.0), &cfg);
+        }
+        // Total exec ~310ns; a compile that cost 1ms has not been paid
+        // for — recompiling again would make things worse.
+        assert_eq!(s.drift(&cfg, 1_000_000.0), None);
+        assert!(s.drift(&cfg, 1.0).is_some());
+    }
+}

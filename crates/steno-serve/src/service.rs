@@ -24,9 +24,14 @@
 //!    the [`RetryPolicy`] budget; *deterministic* failures fail fast.
 //!
 //! Unsupported query shapes take the facade's iterator fallback, which
-//! has no internal poll points: the deadline is enforced before and
-//! after, not during (the same trade-off the paper accepts by leaving
-//! such queries unoptimized).
+//! polls the same deadline/cancel interrupt per stride of elements, so
+//! even unoptimized queries stop within their latency bound.
+//!
+//! When the engine is adaptive ([`Steno::with_adaptive`]), compiled
+//! plans run through its feedback loop — profiled sampling, drift
+//! detection, bounded re-optimization — but only while the
+//! [`CompileBreaker`] is closed: a degraded service must not spend
+//! compile budget on speculative re-optimizations.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,7 +46,7 @@ use steno_cluster::{CancelToken, FailureClass, FaultKind, FaultPlan, RetryPolicy
 use steno_expr::{DataContext, UdfRegistry, Value};
 use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
-use steno_vm::{CancelProbe, CompiledQuery, Interrupt, VmError};
+use steno_vm::{CancelProbe, CompiledQuery, Interrupt, StenoOptions, VmError};
 
 use crate::breaker::{BreakerConfig, CompileBreaker};
 
@@ -542,7 +547,15 @@ fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
     match compiled {
         Ok(plan) => {
             shared.breaker.record_compile(compile_took, true);
-            execute_with_retries(shared, job, Some(&plan))
+            let exec = PlanExec {
+                compiled: &plan,
+                opts: options,
+                // Adaptive re-optimization costs a compile; a service
+                // already shedding compile load (breaker open, degraded
+                // tier) must not add speculative ones.
+                allow_reopt: !degraded,
+            };
+            execute_with_retries(shared, job, Some(&exec))
         }
         Err(StenoError::Verify(e)) => {
             // The independent verifier rejected the optimized plan: an
@@ -570,13 +583,24 @@ fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
     }
 }
 
+/// How to run a successfully compiled plan: the plan itself, the
+/// options it was compiled under (the engine's adaptive statistics key
+/// on them), and whether drift-triggered re-optimization may spend a
+/// compile right now.
+struct PlanExec<'a> {
+    compiled: &'a Arc<CompiledQuery>,
+    opts: StenoOptions,
+    allow_reopt: bool,
+}
+
 /// The attempt/retry loop shared by the compiled and fallback paths.
-/// `plan: None` runs through `Steno::execute` (iterator fallback for
-/// unsupported shapes — no mid-run interrupt polling).
+/// `plan: None` runs through the facade's interruptible entry (iterator
+/// fallback for unsupported shapes — polled per element stride, so the
+/// deadline holds mid-run too).
 fn execute_with_retries(
     shared: &Shared,
     job: &Job,
-    plan: Option<&Arc<CompiledQuery>>,
+    plan: Option<&PlanExec<'_>>,
 ) -> Result<Value, ServeError> {
     let collector = shared.engine.collector().clone();
     let cancel = job.cancel.clone();
@@ -665,15 +689,31 @@ fn execute_with_retries(
 fn run_attempt(
     shared: &Shared,
     job: &Job,
-    plan: Option<&Arc<CompiledQuery>>,
+    plan: Option<&PlanExec<'_>>,
     interrupt: &Interrupt,
 ) -> Result<Value, ServeError> {
     match plan {
-        Some(compiled) => compiled
-            .run_with(&job.ctx, &job.udfs, interrupt)
-            .map_err(|e| match e {
-                VmError::Cancelled => ServeError::Cancelled,
-                VmError::DeadlineExceeded => ServeError::DeadlineExceeded,
+        Some(exec) => {
+            let result = if exec.allow_reopt {
+                // The adaptive entry: profiled sampling and bounded
+                // drift-triggered re-optimization (a no-op unless the
+                // engine was built `with_adaptive`).
+                shared.engine.run_compiled_adaptive(
+                    &job.query,
+                    &job.ctx,
+                    &job.udfs,
+                    exec.compiled,
+                    interrupt,
+                    exec.opts,
+                )
+            } else {
+                exec.compiled
+                    .run_with(&job.ctx, &job.udfs, interrupt)
+                    .map_err(StenoError::Vm)
+            };
+            result.map_err(|e| match e {
+                StenoError::Vm(VmError::Cancelled) => ServeError::Cancelled,
+                StenoError::Vm(VmError::DeadlineExceeded) => ServeError::DeadlineExceeded,
                 // Data-dependent VM errors (division by zero and
                 // friends) are deterministic: a retry re-reads the same
                 // data. Not negative-cached — they depend on the data,
@@ -682,21 +722,27 @@ fn run_attempt(
                     message: other.to_string(),
                     class: FailureClass::Deterministic,
                 },
-            }),
+            })
+        }
         None => shared
             .engine
-            .execute(&job.query, &job.ctx, &job.udfs)
-            .map_err(|e| {
-                let message = e.to_string();
-                if matches!(e, StenoError::Optimize(_) | StenoError::Parse(_)) {
-                    // Structural failure: deterministic for this query
-                    // text, worth remembering.
-                    let key = format!("{}|{}", job.tenant, job.query);
-                    shared.negcache.lock().insert(key, message.clone());
-                }
-                ServeError::QueryFailed {
-                    message,
-                    class: FailureClass::Deterministic,
+            .execute_with_interrupt(&job.query, &job.ctx, &job.udfs, interrupt)
+            .map(|(v, _path)| v)
+            .map_err(|e| match e {
+                StenoError::Vm(VmError::Cancelled) => ServeError::Cancelled,
+                StenoError::Vm(VmError::DeadlineExceeded) => ServeError::DeadlineExceeded,
+                e => {
+                    let message = e.to_string();
+                    if matches!(e, StenoError::Optimize(_) | StenoError::Parse(_)) {
+                        // Structural failure: deterministic for this
+                        // query text, worth remembering.
+                        let key = format!("{}|{}", job.tenant, job.query);
+                        shared.negcache.lock().insert(key, message.clone());
+                    }
+                    ServeError::QueryFailed {
+                        message,
+                        class: FailureClass::Deterministic,
+                    }
                 }
             }),
     }
@@ -838,6 +884,117 @@ mod tests {
             t.wait().unwrap();
         }
         assert_eq!(metrics.counter_value("serve.cancelled"), 1);
+    }
+
+    /// `frac_above` of the `n` values are 10.0 (above the 5.0
+    /// threshold used by the adaptive tests), the rest 0.0.
+    fn density_ctx(n: usize, frac_above: f64) -> DataContext {
+        let period = (1.0 / frac_above.max(1e-9)).round() as usize;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| if i % period == 0 { 10.0 } else { 0.0 })
+            .collect();
+        DataContext::new().with_source("xs", xs)
+    }
+
+    #[test]
+    fn fallback_queries_stop_at_their_deadline_mid_run() {
+        // Concat is outside QUIL, so this runs on the iterator
+        // fallback — which now polls the interrupt per element stride
+        // instead of running to completion past the deadline.
+        let (svc, metrics) = service_with(ServeConfig::default());
+        let q = Query::source("xs")
+            .concat(Query::source("xs"))
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let req = QueryRequest::new("acme", q, ctx(1_000_000), UdfRegistry::new())
+            .with_deadline(Duration::from_millis(25));
+        let start = Instant::now();
+        let err = svc.execute_blocking(req).unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        // Well under the seconds a 2M-element interpreted run costs.
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline must interrupt the fallback mid-run"
+        );
+        assert_eq!(metrics.counter_value("serve.fallback_exec"), 1);
+        assert_eq!(metrics.counter_value("serve.deadline_exceeded"), 1);
+    }
+
+    #[test]
+    fn adaptive_engine_reoptimizes_through_the_service() {
+        // The service feeds the engine's profile→plan loop: a workload
+        // whose filter density collapses triggers one bounded
+        // re-optimization, surfaced in the engine's metrics.
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new()
+            .with_adaptive(true)
+            .with_collector(metrics.clone());
+        let svc = QueryService::start(engine, ServeConfig::default());
+        let q = sum_query(5.0);
+        let dense = density_ctx(200_000, 0.95);
+        let sparse = density_ctx(200_000, 0.02);
+        for _ in 0..12 {
+            let req = QueryRequest::new("acme", q.clone(), dense.clone(), UdfRegistry::new());
+            svc.execute_blocking(req).unwrap();
+        }
+        for _ in 0..96 {
+            let req = QueryRequest::new("acme", q.clone(), sparse.clone(), UdfRegistry::new());
+            svc.execute_blocking(req).unwrap();
+            if metrics.counter_value("steno.reopt") > 0 {
+                break;
+            }
+        }
+        assert_eq!(metrics.counter_value("steno.reopt"), 1);
+        // Settle: the sustained sparse regime must not flap the plan.
+        for _ in 0..48 {
+            let req = QueryRequest::new("acme", q.clone(), sparse.clone(), UdfRegistry::new());
+            svc.execute_blocking(req).unwrap();
+        }
+        assert_eq!(metrics.counter_value("steno.reopt"), 1);
+    }
+
+    #[test]
+    fn open_breaker_suppresses_adaptive_reoptimization() {
+        // A zero compile budget marks every compile slow: the breaker
+        // trips after the first one and every later job runs degraded.
+        // Degraded jobs must not spend compiles on re-optimization even
+        // when the workload drifts hard.
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new()
+            .with_adaptive(true)
+            .with_collector(metrics.clone());
+        let svc = QueryService::start(
+            engine,
+            ServeConfig {
+                breaker: BreakerConfig {
+                    compile_budget: Duration::ZERO,
+                    trip_threshold: 1,
+                    ..BreakerConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        );
+        let q = sum_query(5.0);
+        let dense = density_ctx(50_000, 0.95);
+        let sparse = density_ctx(50_000, 0.02);
+        for _ in 0..12 {
+            let req = QueryRequest::new("acme", q.clone(), dense.clone(), UdfRegistry::new());
+            svc.execute_blocking(req).unwrap();
+        }
+        for _ in 0..40 {
+            let req = QueryRequest::new("acme", q.clone(), sparse.clone(), UdfRegistry::new());
+            svc.execute_blocking(req).unwrap();
+        }
+        assert!(
+            metrics.counter_value("serve.degraded_compiles") > 0,
+            "breaker must have degraded the service"
+        );
+        assert_eq!(
+            metrics.counter_value("steno.reopt"),
+            0,
+            "degraded service must not re-optimize"
+        );
     }
 
     #[test]

@@ -85,6 +85,11 @@ struct Compiler<'a> {
     loops: Vec<LoopCtx>,
     fusion: bool,
     vectorize: bool,
+    /// Cost-model tier advice from profiled runs (see `steno-opt`):
+    /// `PreferScalar` skips the batch tier for every loop, with the
+    /// rationale recorded on the loop's plan. `None` keeps the static
+    /// tier order.
+    tier_hint: Option<(steno_opt::TierAdvice, String)>,
 }
 
 const PATCH: Pc = u32::MAX;
@@ -584,14 +589,22 @@ impl<'a> Compiler<'a> {
                 // Tier order: vectorized (typed batches, selection
                 // vectors) first, then the f64-only fusion tier, then the
                 // generic scalar loop. Each failed tier leaves no trace in
-                // the emitted program.
+                // the emitted program. A cost-model hint (observed element
+                // counts below the batch break-even, §7.1) overrides the
+                // static order and skips the batch tier outright.
+                let chosen_by = self.tier_hint.as_ref().map(|(_, why)| why.clone());
+                let skip_batch = matches!(
+                    self.tier_hint,
+                    Some((steno_opt::TierAdvice::PreferScalar, _))
+                );
                 let mut vectorize_fallback = None;
-                if self.vectorize {
+                if self.vectorize && !skip_batch {
                     match self.try_vectorize_loop(p, header, elem_var, *body) {
                         Ok(()) => {
                             self.loop_plans.push(LoopPlan {
                                 tier: LoopTier::Vectorized,
                                 vectorize_fallback: None,
+                                chosen_by,
                             });
                             return Ok(());
                         }
@@ -610,6 +623,7 @@ impl<'a> Compiler<'a> {
                 self.loop_plans.push(LoopPlan {
                     tier: LoopTier::Scalar,
                     vectorize_fallback,
+                    chosen_by,
                 });
                 if self.fusion && self.try_fuse_loop(p, header, elem_var, *body) {
                     self.loop_plans[plan_idx].tier = LoopTier::Fused;
@@ -1096,6 +1110,26 @@ pub fn assemble_with(
     fusion: bool,
     vectorize: bool,
 ) -> Result<Program, CompileError> {
+    assemble_hinted(p, udfs, fusion, vectorize, None)
+}
+
+/// As [`assemble_with`], additionally accepting a cost-model tier hint
+/// (observed element counts and selection density from profiled runs of
+/// a previous compilation of the same query). `PreferScalar` advice
+/// skips the batch-vectorized tier — below the break-even element count
+/// its per-loop setup costs more than it saves — and the rationale is
+/// recorded on each loop's [`LoopPlan::chosen_by`] for `EXPLAIN`.
+///
+/// # Errors
+///
+/// As [`assemble`].
+pub fn assemble_hinted(
+    p: &ImpProgram,
+    udfs: &UdfRegistry,
+    fusion: bool,
+    vectorize: bool,
+    tier_hint: Option<(steno_opt::TierAdvice, String)>,
+) -> Result<Program, CompileError> {
     let mut c = Compiler {
         instrs: Vec::new(),
         nf: 0,
@@ -1119,6 +1153,7 @@ pub fn assemble_with(
         loops: Vec::new(),
         fusion,
         vectorize,
+        tier_hint,
     };
     for s in p.flatten(p.root) {
         c.stmt(p, &s)?;

@@ -120,9 +120,24 @@ pub fn run_program_profiled(
     p: &Program,
     bindings: &Bindings,
 ) -> Result<(Value, QueryProfile), VmError> {
+    run_program_profiled_with(p, bindings, &Interrupt::none())
+}
+
+/// As [`run_program_profiled`], polling `interrupt` like
+/// [`run_program_with`] — the entry point for adaptive execution under a
+/// deadline, where the engine wants run facts *and* bounded abort.
+///
+/// # Errors
+///
+/// As [`run_program_with`].
+pub fn run_program_profiled_with(
+    p: &Program,
+    bindings: &Bindings,
+    interrupt: &Interrupt,
+) -> Result<(Value, QueryProfile), VmError> {
     let mut prof = QueryProfile::default();
     let start = std::time::Instant::now();
-    let value = run_impl::<true>(p, bindings, &mut prof, &Interrupt::none())?;
+    let value = run_impl::<true>(p, bindings, &mut prof, interrupt)?;
     prof.wall = start.elapsed();
     Ok((value, prof))
 }

@@ -201,9 +201,26 @@ pub enum PredI {
     },
 }
 
-/// A whole-loop fused kernel: filter → map → sum collapsed into one
-/// sequential pass. Only sums fuse (min/max folds stay on the kernel
-/// path); `acc` indexes the loop's accumulator snapshot.
+/// Which extremum a fused fold computes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldKind {
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+}
+
+impl FoldKind {
+    fn name(self) -> &'static str {
+        match self {
+            FoldKind::Min => "min",
+            FoldKind::Max => "max",
+        }
+    }
+}
+
+/// A whole-loop fused kernel: filter → map → reduce collapsed into one
+/// sequential pass; `acc` indexes the loop's accumulator snapshot.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FusedTape {
     /// f64: `for x { if pred(x) { acc += map(x) } }`.
@@ -220,6 +237,30 @@ pub enum FusedTape {
         /// Optional guard.
         pred: Option<PredI>,
         /// The summed expression.
+        map: MapI,
+        /// i64 accumulator index.
+        acc: u8,
+    },
+    /// f64: `for x { if pred(x) { acc = min/max(acc, map(x)) } }` — the
+    /// accumulator stays the left operand, exactly like the
+    /// [`crate::kernels::fold`] it replaces.
+    FoldF {
+        /// Min or max.
+        kind: FoldKind,
+        /// Optional `x OP c` guard.
+        pred: Option<(CmpK, ScalF)>,
+        /// The folded expression.
+        map: MapF,
+        /// f64 accumulator index.
+        acc: u8,
+    },
+    /// i64: the integer twin of [`FusedTape::FoldF`].
+    FoldI {
+        /// Min or max.
+        kind: FoldKind,
+        /// Optional guard.
+        pred: Option<PredI>,
+        /// The folded expression.
         map: MapI,
         /// i64 accumulator index.
         acc: u8,
@@ -247,42 +288,56 @@ impl FusedTape {
     /// A stable human-readable name for EXPLAIN output, e.g.
     /// `sum(x*x):f64` or `filter(x%3==0)·sum(x*x):i64`.
     pub fn label(&self) -> String {
+        fn map_f(map: &MapF) -> String {
+            match map {
+                MapF::X => "x".to_string(),
+                MapF::Sq => "x*x".to_string(),
+                MapF::MulKR(k) => format!("x*{}", k.name()),
+                MapF::MulKL(k) => format!("{}*x", k.name()),
+                MapF::K(k) => k.name(),
+            }
+        }
+        fn map_i(map: &MapI) -> String {
+            match map {
+                MapI::X => "x".to_string(),
+                MapI::Sq => "x*x".to_string(),
+                MapI::MulK(k) => format!("x*{}", k.name()),
+                MapI::Lin(a, b) => format!("{}*x+{}", a.name(), b.name()),
+                MapI::K(k) => k.name(),
+            }
+        }
+        fn with_pred_f(pred: &Option<(CmpK, ScalF)>, body: String) -> String {
+            match pred {
+                None => body,
+                Some((op, c)) => format!("filter(x{}{})·{body}", op.symbol(), c.name()),
+            }
+        }
+        fn with_pred_i(pred: &Option<PredI>, body: String) -> String {
+            match pred {
+                None => body,
+                Some(PredI::Cmp(op, c)) => {
+                    format!("filter(x{}{})·{body}", op.symbol(), c.name())
+                }
+                Some(PredI::RemCmp { m, r, ne }) => format!(
+                    "filter(x%{}{}{})·{body}",
+                    m.name(),
+                    if *ne { "!=" } else { "==" },
+                    r.name()
+                ),
+            }
+        }
         match self {
             FusedTape::SumF { pred, map, .. } => {
-                let m = match map {
-                    MapF::X => "x".to_string(),
-                    MapF::Sq => "x*x".to_string(),
-                    MapF::MulKR(k) => format!("x*{}", k.name()),
-                    MapF::MulKL(k) => format!("{}*x", k.name()),
-                    MapF::K(k) => k.name(),
-                };
-                match pred {
-                    None => format!("sum({m}):f64"),
-                    Some((op, c)) => {
-                        format!("filter(x{}{})·sum({m}):f64", op.symbol(), c.name())
-                    }
-                }
+                with_pred_f(pred, format!("sum({}):f64", map_f(map)))
             }
             FusedTape::SumI { pred, map, .. } => {
-                let m = match map {
-                    MapI::X => "x".to_string(),
-                    MapI::Sq => "x*x".to_string(),
-                    MapI::MulK(k) => format!("x*{}", k.name()),
-                    MapI::Lin(a, b) => format!("{}*x+{}", a.name(), b.name()),
-                    MapI::K(k) => k.name(),
-                };
-                match pred {
-                    None => format!("sum({m}):i64"),
-                    Some(PredI::Cmp(op, c)) => {
-                        format!("filter(x{}{})·sum({m}):i64", op.symbol(), c.name())
-                    }
-                    Some(PredI::RemCmp { m: md, r, ne }) => format!(
-                        "filter(x%{}{}{})·sum({m}):i64",
-                        md.name(),
-                        if *ne { "!=" } else { "==" },
-                        r.name()
-                    ),
-                }
+                with_pred_i(pred, format!("sum({}):i64", map_i(map)))
+            }
+            FusedTape::FoldF { kind, pred, map, .. } => {
+                with_pred_f(pred, format!("{}({}):f64", kind.name(), map_f(map)))
+            }
+            FusedTape::FoldI { kind, pred, map, .. } => {
+                with_pred_i(pred, format!("{}({}):i64", kind.name(), map_i(map)))
             }
             FusedTape::SelRemDivLinI { m, r, d, a, b, .. } => {
                 format!("sum(x%{m}=={r} ? x/{d} : {a}*x+{b}):i64")
@@ -539,13 +594,44 @@ pub fn plan(bp: &BatchProgram) -> Option<FusedTape> {
                 }
             }
 
-            // Min/max folds, grouped aggregates, and output pushes stay
-            // on the kernel path.
-            BOp::RedMinF { .. }
-            | BOp::RedMaxF { .. }
-            | BOp::RedMinI { .. }
-            | BOp::RedMaxI { .. }
-            | BOp::GroupAddF { .. }
+            BOp::RedMinF { acc, val } | BOp::RedMaxF { acc, val } => {
+                if pred_i.is_some() {
+                    return None;
+                }
+                let kind = if matches!(*op, BOp::RedMinF { .. }) {
+                    FoldKind::Min
+                } else {
+                    FoldKind::Max
+                };
+                let map = ef_as_map(ef[val as usize])?;
+                red = Some(FusedTape::FoldF {
+                    kind,
+                    pred: pred_f,
+                    map,
+                    acc,
+                });
+            }
+            BOp::RedMinI { acc, val } | BOp::RedMaxI { acc, val } => {
+                if pred_f.is_some() {
+                    return None;
+                }
+                let kind = if matches!(*op, BOp::RedMinI { .. }) {
+                    FoldKind::Min
+                } else {
+                    FoldKind::Max
+                };
+                let map = ei_as_map(ei[val as usize])?;
+                red = Some(FusedTape::FoldI {
+                    kind,
+                    pred: pred_i,
+                    map,
+                    acc,
+                });
+            }
+
+            // Grouped aggregates and output pushes stay on the kernel
+            // path.
+            BOp::GroupAddF { .. }
             | BOp::GroupAddI { .. }
             | BOp::OutF(..)
             | BOp::OutI(..)
@@ -558,12 +644,10 @@ pub fn plan(bp: &BatchProgram) -> Option<FusedTape> {
     // cross-lane reduction (e.g. a count — an i64 sum over f64 rows)
     // stays on the kernel path.
     match &red {
-        Some(FusedTape::SumF { .. }) if bp.src_lane != Lane::F => None,
-        Some(FusedTape::SumI { .. } | FusedTape::SelRemDivLinI { .. })
-            if bp.src_lane != Lane::I =>
-        {
-            None
-        }
+        Some(FusedTape::SumF { .. } | FusedTape::FoldF { .. }) if bp.src_lane != Lane::F => None,
+        Some(
+            FusedTape::SumI { .. } | FusedTape::FoldI { .. } | FusedTape::SelRemDivLinI { .. },
+        ) if bp.src_lane != Lane::I => None,
         _ => red,
     }
 }
@@ -613,10 +697,20 @@ fn sel_rdl(mask: EB, t: EI, e: EI) -> EI {
 // Fused execution.
 // ---------------------------------------------------------------------
 
-/// One fused pass: `if pred(x) { *acc += map(x) }`, polling the
+/// One fused pass of `if pred(x) { *acc += map(x) }`, polling the
 /// interrupt once per [`BATCH`] elements. Each call site monomorphizes
-/// `pred` and `map` fully, so the inner loop is branch-predictable
-/// straight-line code.
+/// `pred` and `map` fully.
+///
+/// The body is written **masked**, not branchy: every lane adds either
+/// `map(x)` or `-0.0`. Under round-to-nearest, `a + (-0.0) == a`
+/// bit-for-bit for every `a` (including `±0.0`; `+0.0` would flip a
+/// `-0.0` accumulator, which is why the identity must be negative
+/// zero), so the select is exactly the branchy loop — but it turns an
+/// unpredictable data-dependent branch into a `cmp`+`blend` that LLVM
+/// if-converts and vectorizes, which is precisely the shape a
+/// hand-written filtered sum compiles to. Evaluating `map`
+/// unconditionally is sound because fused maps are total (no trapping
+/// op survives [`plan`]).
 #[inline]
 fn loop_f(
     xs: &[f64],
@@ -625,18 +719,20 @@ fn loop_f(
     pred: impl Fn(f64) -> bool,
     map: impl Fn(f64) -> f64,
 ) -> Result<(), VmError> {
+    let mut a = *acc;
     for chunk in xs.chunks(BATCH) {
         interrupt.check()?;
         for &x in chunk {
-            if pred(x) {
-                *acc += map(x);
-            }
+            let v = map(x);
+            a += if pred(x) { v } else { -0.0 };
         }
     }
+    *acc = a;
     Ok(())
 }
 
-/// The i64 twin of [`loop_f`] (wrapping accumulation).
+/// The i64 twin of [`loop_f`] (wrapping accumulation; the masked
+/// identity is plain `0`, which is exact for wrapping addition).
 #[inline]
 fn loop_i(
     xs: &[i64],
@@ -645,14 +741,67 @@ fn loop_i(
     pred: impl Fn(i64) -> bool,
     map: impl Fn(i64) -> i64,
 ) -> Result<(), VmError> {
+    let mut a = *acc;
+    for chunk in xs.chunks(BATCH) {
+        interrupt.check()?;
+        for &x in chunk {
+            let v = map(x);
+            a = a.wrapping_add(if pred(x) { v } else { 0 });
+        }
+    }
+    *acc = a;
+    Ok(())
+}
+
+/// One fused min/max pass. Folds live lanes only, with the accumulator
+/// as the **left** operand of `fold` — exactly the order and operator
+/// ([`f64::min`]/[`f64::max`]) of the [`crate::kernels::fold`] sequence
+/// it replaces, so results stay bit-identical (including NaN
+/// propagation). Masked lanes skip the fold entirely rather than
+/// folding an identity: min/max have no universally exact identity
+/// element the way `-0.0` is for addition.
+#[inline]
+fn fold_f(
+    xs: &[f64],
+    acc: &mut f64,
+    interrupt: &Interrupt,
+    pred: impl Fn(f64) -> bool,
+    map: impl Fn(f64) -> f64,
+    fold: impl Fn(f64, f64) -> f64,
+) -> Result<(), VmError> {
+    let mut a = *acc;
     for chunk in xs.chunks(BATCH) {
         interrupt.check()?;
         for &x in chunk {
             if pred(x) {
-                *acc = acc.wrapping_add(map(x));
+                a = fold(a, map(x));
             }
         }
     }
+    *acc = a;
+    Ok(())
+}
+
+/// The i64 twin of [`fold_f`].
+#[inline]
+fn fold_i(
+    xs: &[i64],
+    acc: &mut i64,
+    interrupt: &Interrupt,
+    pred: impl Fn(i64) -> bool,
+    map: impl Fn(i64) -> i64,
+    fold: impl Fn(i64, i64) -> i64,
+) -> Result<(), VmError> {
+    let mut a = *acc;
+    for chunk in xs.chunks(BATCH) {
+        interrupt.check()?;
+        for &x in chunk {
+            if pred(x) {
+                a = fold(a, map(x));
+            }
+        }
+    }
+    *acc = a;
     Ok(())
 }
 
@@ -667,6 +816,22 @@ macro_rules! dispatch_pred_f {
             Some((CmpK::Le, c)) => loop_f($xs, $acc, $intr, move |x| x <= c, map),
             Some((CmpK::Gt, c)) => loop_f($xs, $acc, $intr, move |x| x > c, map),
             Some((CmpK::Ge, c)) => loop_f($xs, $acc, $intr, move |x| x >= c, map),
+        }
+    }};
+}
+
+macro_rules! dispatch_fold_f {
+    ($pred:expr, $xs:expr, $acc:expr, $intr:expr, $map:expr, $fold:expr) => {{
+        let map = $map;
+        let fold = $fold;
+        match $pred {
+            None => fold_f($xs, $acc, $intr, |_| true, map, fold),
+            Some((CmpK::Eq, c)) => fold_f($xs, $acc, $intr, move |x| x == c, map, fold),
+            Some((CmpK::Ne, c)) => fold_f($xs, $acc, $intr, move |x| x != c, map, fold),
+            Some((CmpK::Lt, c)) => fold_f($xs, $acc, $intr, move |x| x < c, map, fold),
+            Some((CmpK::Le, c)) => fold_f($xs, $acc, $intr, move |x| x <= c, map, fold),
+            Some((CmpK::Gt, c)) => fold_f($xs, $acc, $intr, move |x| x > c, map, fold),
+            Some((CmpK::Ge, c)) => fold_f($xs, $acc, $intr, move |x| x >= c, map, fold),
         }
     }};
 }
@@ -803,10 +968,146 @@ pub fn run_fused(
                 }),
             }
         }
+        (FusedTape::FoldF { kind, pred, map, acc }, BatchData::F(xs)) => {
+            let acc = &mut f_accs[*acc as usize];
+            let pred = pred.map(|(op, c)| (op, c.get(f_params)));
+            match kind {
+                FoldKind::Min => run_fold_f(pred, *map, xs, acc, f_params, interrupt, f64::min),
+                FoldKind::Max => run_fold_f(pred, *map, xs, acc, f_params, interrupt, f64::max),
+            }
+        }
+        (FusedTape::FoldI { kind, pred, map, acc }, BatchData::I(xs)) => {
+            let acc = &mut i_accs[*acc as usize];
+            match kind {
+                FoldKind::Min => {
+                    run_fold_i(pred, *map, xs, acc, i_params, interrupt, |a: i64, x| a.min(x))
+                }
+                FoldKind::Max => {
+                    run_fold_i(pred, *map, xs, acc, i_params, interrupt, |a: i64, x| a.max(x))
+                }
+            }
+        }
         // A lane mismatch here would mean the compiler attached a fused
         // plan to the wrong source; fall back to doing nothing is wrong,
         // so surface it as a shape error.
         _ => Err(VmError::Shape("fused kernel lane mismatch".into())),
+    }
+}
+
+/// Monomorphizes a fused f64 fold over its map, then its predicate.
+#[inline]
+fn run_fold_f(
+    pred: Option<(CmpK, f64)>,
+    map: MapF,
+    xs: &[f64],
+    acc: &mut f64,
+    f_params: &[f64],
+    interrupt: &Interrupt,
+    fold: impl Fn(f64, f64) -> f64 + Copy,
+) -> Result<(), VmError> {
+    match map {
+        MapF::X => dispatch_fold_f!(pred, xs, acc, interrupt, |x| x, fold),
+        MapF::Sq => dispatch_fold_f!(pred, xs, acc, interrupt, |x| x * x, fold),
+        MapF::MulKR(k) => {
+            let k = k.get(f_params);
+            dispatch_fold_f!(pred, xs, acc, interrupt, move |x| x * k, fold)
+        }
+        MapF::MulKL(k) => {
+            let k = k.get(f_params);
+            dispatch_fold_f!(pred, xs, acc, interrupt, move |x| k * x, fold)
+        }
+        MapF::K(k) => {
+            let k = k.get(f_params);
+            dispatch_fold_f!(pred, xs, acc, interrupt, move |_| k, fold)
+        }
+    }
+}
+
+/// Monomorphizes a fused i64 fold over its map, then its predicate.
+#[inline]
+fn run_fold_i(
+    pred: &Option<PredI>,
+    map: MapI,
+    xs: &[i64],
+    acc: &mut i64,
+    i_params: &[i64],
+    interrupt: &Interrupt,
+    fold: impl Fn(i64, i64) -> i64 + Copy,
+) -> Result<(), VmError> {
+    match map {
+        MapI::X => fold_i_pred(pred, i_params, xs, acc, interrupt, |x| x, fold),
+        MapI::Sq => fold_i_pred(
+            pred,
+            i_params,
+            xs,
+            acc,
+            interrupt,
+            |x| x.wrapping_mul(x),
+            fold,
+        ),
+        MapI::MulK(k) => {
+            let k = k.get(i_params);
+            fold_i_pred(
+                pred,
+                i_params,
+                xs,
+                acc,
+                interrupt,
+                move |x| x.wrapping_mul(k),
+                fold,
+            )
+        }
+        MapI::Lin(a, b) => {
+            let (a, b) = (a.get(i_params), b.get(i_params));
+            fold_i_pred(
+                pred,
+                i_params,
+                xs,
+                acc,
+                interrupt,
+                move |x| a.wrapping_mul(x).wrapping_add(b),
+                fold,
+            )
+        }
+        MapI::K(k) => {
+            let k = k.get(i_params);
+            fold_i_pred(pred, i_params, xs, acc, interrupt, move |_| k, fold)
+        }
+    }
+}
+
+/// Dispatches an i64 predicate around a monomorphized fold.
+#[inline]
+fn fold_i_pred(
+    pred: &Option<PredI>,
+    i_params: &[i64],
+    xs: &[i64],
+    acc: &mut i64,
+    interrupt: &Interrupt,
+    map: impl Fn(i64) -> i64 + Copy,
+    fold: impl Fn(i64, i64) -> i64 + Copy,
+) -> Result<(), VmError> {
+    match *pred {
+        None => fold_i(xs, acc, interrupt, |_| true, map, fold),
+        Some(PredI::Cmp(op, c)) => {
+            let c = c.get(i_params);
+            match op {
+                CmpK::Eq => fold_i(xs, acc, interrupt, move |x| x == c, map, fold),
+                CmpK::Ne => fold_i(xs, acc, interrupt, move |x| x != c, map, fold),
+                CmpK::Lt => fold_i(xs, acc, interrupt, move |x| x < c, map, fold),
+                CmpK::Le => fold_i(xs, acc, interrupt, move |x| x <= c, map, fold),
+                CmpK::Gt => fold_i(xs, acc, interrupt, move |x| x > c, map, fold),
+                CmpK::Ge => fold_i(xs, acc, interrupt, move |x| x >= c, map, fold),
+            }
+        }
+        Some(PredI::RemCmp { m, r, ne }) => {
+            let (m, r) = (m.get(i_params), r.get(i_params));
+            if ne {
+                fold_i(xs, acc, interrupt, move |x| x.wrapping_rem(m) != r, map, fold)
+            } else {
+                fold_i(xs, acc, interrupt, move |x| x.wrapping_rem(m) == r, map, fold)
+            }
+        }
     }
 }
 

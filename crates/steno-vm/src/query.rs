@@ -22,7 +22,12 @@ use steno_quil::ir::QuilChain;
 use steno_quil::lower::{lower_with, LowerOptions};
 use steno_quil::passes;
 
-use crate::compile::{assemble_with};
+use steno_opt::{
+    choose_tier, observe_selectivities, rewrite as rewrite_chain, DriftConfig, LoopStats,
+    ObservedRun, PlanStats, RewriteEvent,
+};
+
+use crate::compile::assemble_hinted;
 use crate::exec::{run_program, run_program_with, VmError};
 use crate::instr::Program;
 use crate::interrupt::Interrupt;
@@ -91,6 +96,12 @@ pub struct StenoOptions {
     pub fusion: bool,
     /// Whether the VM's batch-vectorization tier runs.
     pub vectorize: VectorizationPolicy,
+    /// Whether the verified algebraic rewrite pass (`steno-opt`) runs
+    /// on the lowered chain. The statically sound rules always apply;
+    /// the feedback-directed rules (filter reordering, predicate
+    /// pushdown) additionally need observed selectivities via
+    /// [`CompileFeedback::sample_ctx`].
+    pub rewrites: bool,
 }
 
 impl Default for StenoOptions {
@@ -99,9 +110,28 @@ impl Default for StenoOptions {
             lower: LowerOptions::default(),
             fusion: true,
             vectorize: VectorizationPolicy::Auto,
+            rewrites: true,
         }
     }
 }
+
+/// Run-time facts fed back into a (re)compilation — the input half of
+/// the profile→plan loop. [`CompileFeedback::default`] (no facts)
+/// reproduces a blind first compile.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CompileFeedback<'a> {
+    /// Source data to sample per-predicate selectivities from, enabling
+    /// the feedback-directed rewrite rules (filter reordering,
+    /// predicate pushdown). Sampling reads at most a few hundred
+    /// elements through the reference evaluator.
+    pub sample_ctx: Option<&'a DataContext>,
+    /// Observed per-loop element counts and selection density, driving
+    /// the §7.1 cost-based tier choice.
+    pub loop_stats: Option<LoopStats>,
+}
+
+/// Elements sampled per source when measuring predicate selectivities.
+const SELECTIVITY_SAMPLE: usize = 512;
 
 /// A Steno-optimized query, ready to run against any compatible context.
 #[derive(Clone, Debug)]
@@ -111,6 +141,7 @@ pub struct CompiledQuery {
     compile_time: Duration,
     quil: String,
     chain: QuilChain,
+    rewrites: Vec<RewriteEvent>,
 }
 
 impl CompiledQuery {
@@ -162,20 +193,62 @@ impl CompiledQuery {
         udfs: &UdfRegistry,
         opts: StenoOptions,
     ) -> Result<CompiledQuery, OptimizeError> {
+        Self::compile_tuned_feedback(q, sources, udfs, opts, CompileFeedback::default())
+    }
+
+    /// The feedback-directed entry point: as
+    /// [`CompiledQuery::compile_tuned`], additionally consuming measured
+    /// run facts. With a [`CompileFeedback::sample_ctx`] the rewrite
+    /// pass measures per-predicate selectivities and may reorder or push
+    /// down filters; with [`CompileFeedback::loop_stats`] the backend
+    /// applies the §7.1 break-even to pick loop tiers instead of the
+    /// static order.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledQuery::compile`].
+    pub fn compile_tuned_feedback(
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        opts: StenoOptions,
+        feedback: CompileFeedback<'_>,
+    ) -> Result<CompiledQuery, OptimizeError> {
         let start = Instant::now();
         let chain = lower_with(q, &sources, &TyEnv::new(), udfs, opts.lower)
             .map_err(OptimizeError::Lower)?;
         let chain = if opts.lower.specialize_group_aggregate {
-            passes::optimize(&chain)
+            passes::specialize_group_aggregate(&chain).0
         } else {
-            passes::fold_constants(&chain)
+            chain
         };
-        Self::finish_tuned(
+        // The algebraic rewrite pass runs *before* element-wise fusion:
+        // reordering has to see individual filters, not the conjunction
+        // the fuser folds them into (which then preserves the chosen
+        // order inside its short-circuit `&&`).
+        let (chain, rewrites) = if opts.rewrites {
+            let sampled = feedback
+                .sample_ctx
+                .map(|ctx| observe_selectivities(&chain, ctx, udfs, SELECTIVITY_SAMPLE));
+            let out = rewrite_chain(&chain, udfs, sampled.as_ref());
+            (out.chain, out.log)
+        } else {
+            (chain, Vec::new())
+        };
+        let chain = if opts.lower.specialize_group_aggregate {
+            passes::fuse_elementwise(&chain).0
+        } else {
+            chain
+        };
+        let chain = passes::fold_constants(&chain);
+        Self::finish_feedback(
             chain,
             udfs,
             start,
             opts.fusion,
             opts.vectorize == VectorizationPolicy::Auto,
+            rewrites,
+            feedback.loop_stats,
         )
     }
 
@@ -196,10 +269,23 @@ impl CompiledQuery {
         fusion: bool,
         vectorize: bool,
     ) -> Result<CompiledQuery, OptimizeError> {
+        Self::finish_feedback(chain, udfs, start, fusion, vectorize, Vec::new(), None)
+    }
+
+    fn finish_feedback(
+        chain: QuilChain,
+        udfs: &UdfRegistry,
+        start: Instant,
+        fusion: bool,
+        vectorize: bool,
+        rewrites: Vec<RewriteEvent>,
+        loop_stats: Option<LoopStats>,
+    ) -> Result<CompiledQuery, OptimizeError> {
         let quil = chain.to_string();
         let imp = generate(&chain).map_err(|e| OptimizeError::Gen(e.to_string()))?;
         let rust_source = render_rust(&imp);
-        let program = assemble_with(&imp, udfs, fusion, vectorize)
+        let tier_hint = loop_stats.map(|ls| choose_tier(&ls, crate::batch::BATCH));
+        let program = assemble_hinted(&imp, udfs, fusion, vectorize, tier_hint)
             .map_err(|e| OptimizeError::Gen(e.to_string()))?;
         Ok(CompiledQuery {
             program,
@@ -207,6 +293,7 @@ impl CompiledQuery {
             compile_time: start.elapsed(),
             quil,
             chain,
+            rewrites,
         })
     }
 
@@ -261,6 +348,31 @@ impl CompiledQuery {
     ) -> Result<(Value, crate::profile::QueryProfile), VmError> {
         let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
         crate::exec::run_program_profiled(&self.program, &bindings)
+    }
+
+    /// As [`CompiledQuery::run_profiled`] with cooperative interruption
+    /// (see [`CompiledQuery::run_with`]) — profiled adaptive execution
+    /// under a deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledQuery::run_with`].
+    pub fn run_profiled_with(
+        &self,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        interrupt: &Interrupt,
+    ) -> Result<(Value, crate::profile::QueryProfile), VmError> {
+        let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
+        crate::exec::run_program_profiled_with(&self.program, &bindings, interrupt)
+    }
+
+    /// The algebraic rewrite log: every rewrite the optimizer attempted
+    /// on this plan, in application order, including rewrites the plan
+    /// verifier rejected (`applied: false`). Empty when
+    /// [`StenoOptions::rewrites`] was off or nothing matched.
+    pub fn rewrite_log(&self) -> &[RewriteEvent] {
+        &self.rewrites
     }
 
     /// The generated Rust source (the paper's generated C#, Fig. 5–8).
@@ -381,10 +493,16 @@ pub struct CacheStats {
     pub capacity: Option<usize>,
 }
 
-/// One cached plan plus its LRU stamp.
+/// One cached plan plus its LRU stamp and decayed run statistics (the
+/// drift-detection state behind [`QueryCache::note_run`]).
 struct CacheEntry {
     compiled: Arc<CompiledQuery>,
     last_used: u64,
+    stats: PlanStats,
+    reopt_events: Vec<String>,
+    /// Total executions of this plan (every run, not just the profiled
+    /// ones folded into `stats`) — the adaptive sampling cadence.
+    execs: u64,
 }
 
 /// Map, LRU clock, and counters behind one lock, so a hit's
@@ -445,6 +563,9 @@ impl CacheInner {
             CacheEntry {
                 compiled,
                 last_used: tick,
+                stats: PlanStats::new(),
+                reopt_events: Vec::new(),
+                execs: 0,
             },
         );
     }
@@ -566,6 +687,107 @@ impl QueryCache {
             len: inner.entries.len(),
             capacity: inner.capacity,
         }
+    }
+
+    /// Folds one observed run into the cached plan's decayed statistics
+    /// and checks for drift, returning a human-readable reason when the
+    /// observed workload has departed the plan's assumptions far enough
+    /// (and for long enough — see [`DriftConfig`]'s hysteresis gates)
+    /// to justify re-optimizing. The caller recompiles with
+    /// [`CompiledQuery::compile_tuned_feedback`] and installs the
+    /// result via [`QueryCache::install_reoptimized`]; this method
+    /// never blocks on compilation itself. Returns `None` for uncached
+    /// queries and plans that still fit.
+    pub fn note_run(
+        &self,
+        q: &QueryExpr,
+        opts: StenoOptions,
+        run: ObservedRun,
+        cfg: &DriftConfig,
+    ) -> Option<String> {
+        let key = format!("{opts:?}|{q}");
+        let mut inner = lock(&self.inner);
+        let entry = inner.entries.get_mut(&key)?;
+        entry.stats.observe(run, cfg);
+        let compile_ns = entry.compiled.compile_time().as_nanos() as f64;
+        entry.stats.drift(cfg, compile_ns)
+    }
+
+    /// Replaces the cached plan for `q` with a re-optimized compilation,
+    /// rebasing the drift assumptions onto current observations (the
+    /// hysteresis that stops the same drift re-triggering) and recording
+    /// `reason` for `EXPLAIN`'s `reopt:` lines. A no-op when `q` is not
+    /// cached (e.g. evicted between drift detection and recompilation).
+    pub fn install_reoptimized(
+        &self,
+        q: &QueryExpr,
+        opts: StenoOptions,
+        compiled: Arc<CompiledQuery>,
+        reason: &str,
+    ) {
+        let key = format!("{opts:?}|{q}");
+        let mut inner = lock(&self.inner);
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.compiled = compiled;
+            entry.stats.rebase();
+            entry.reopt_events.push(reason.to_string());
+        }
+    }
+
+    /// The re-optimization events recorded for `q`, oldest first; empty
+    /// when the plan never drifted (or is not cached).
+    pub fn reopt_events(&self, q: &QueryExpr, opts: StenoOptions) -> Vec<String> {
+        let key = format!("{opts:?}|{q}");
+        lock(&self.inner)
+            .entries
+            .get(&key)
+            .map(|e| e.reopt_events.clone())
+            .unwrap_or_default()
+    }
+
+    /// How many observed runs have been folded into `q`'s cached plan
+    /// statistics ([`QueryCache::note_run`] calls).
+    pub fn plan_runs(&self, q: &QueryExpr, opts: StenoOptions) -> u64 {
+        let key = format!("{opts:?}|{q}");
+        lock(&self.inner)
+            .entries
+            .get(&key)
+            .map(|e| e.stats.runs)
+            .unwrap_or(0)
+    }
+
+    /// Counts one execution of `q`'s cached plan, returning the
+    /// 0-based index of this execution (0 for uncached queries). The
+    /// adaptive engine uses this as its sampling clock: *every* run
+    /// ticks it, profiled or not, unlike [`QueryCache::note_run`] which
+    /// only the profiled runs reach.
+    pub fn begin_run(&self, q: &QueryExpr, opts: StenoOptions) -> u64 {
+        let key = format!("{opts:?}|{q}");
+        let mut inner = lock(&self.inner);
+        match inner.entries.get_mut(&key) {
+            Some(e) => {
+                let n = e.execs;
+                e.execs += 1;
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// The decayed per-loop observations for `q`'s cached plan, in the
+    /// shape [`CompiledQuery::compile_tuned_feedback`] consumes; `None`
+    /// before the first observed run (or for uncached queries).
+    pub fn plan_loop_stats(&self, q: &QueryExpr, opts: StenoOptions) -> Option<LoopStats> {
+        let key = format!("{opts:?}|{q}");
+        let inner = lock(&self.inner);
+        let entry = inner.entries.get(&key)?;
+        if entry.stats.runs == 0 {
+            return None;
+        }
+        Some(LoopStats {
+            elements: entry.stats.ewma_elements,
+            density: entry.stats.ewma_density,
+        })
     }
 
     /// Number of cached queries.
@@ -987,5 +1209,200 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&plain, &tuned));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn drift_lifecycle_is_deterministic_and_does_not_flap() {
+        // The full re-optimization state machine, driven with synthetic
+        // observations so every gate (min_runs, break-even, hysteresis,
+        // cooldown) fires deterministically: no wall clocks involved.
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let cache = QueryCache::new();
+        let opts = StenoOptions::default();
+        let q = Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(0.0)), "x")
+            .sum()
+            .build();
+
+        // Uncached queries report run index 0 and no stats.
+        assert_eq!(cache.begin_run(&q, opts), 0);
+        assert_eq!(cache.plan_runs(&q, opts), 0);
+        assert!(cache.plan_loop_stats(&q, opts).is_none());
+
+        let compiled = cache
+            .get_or_compile_tuned(&q, (&c).into(), &udfs, opts)
+            .unwrap();
+        // The exec clock ticks on every begin_run, independent of
+        // profiled-run bookkeeping.
+        assert_eq!(cache.begin_run(&q, opts), 0);
+        assert_eq!(cache.begin_run(&q, opts), 1);
+        assert_eq!(cache.plan_runs(&q, opts), 0);
+
+        let cfg = DriftConfig::default();
+        // exec_ns is synthetic and enormous so the break-even gate
+        // (total execution must exceed compile cost) passes on run one.
+        let steady = ObservedRun {
+            elements: 1_000.0,
+            density: Some(0.9),
+            exec_ns: 1e12,
+        };
+        // Warmup: below min_runs nothing can trigger; at and beyond it,
+        // a steady workload must not either.
+        for i in 0..cfg.min_runs + 2 {
+            assert_eq!(cache.note_run(&q, opts, steady, &cfg), None, "run {i}");
+        }
+        assert_eq!(cache.plan_runs(&q, opts), cfg.min_runs + 2);
+        let ls = cache.plan_loop_stats(&q, opts).unwrap();
+        assert!((ls.elements - 1_000.0).abs() < 1e-6);
+        assert_eq!(ls.density, Some(0.9));
+
+        // Selectivity collapses: the decayed density must depart the
+        // plan's assumed density by more than the hysteresis band.
+        let shifted = ObservedRun {
+            density: Some(0.05),
+            ..steady
+        };
+        let mut reason = None;
+        for _ in 0..4 {
+            if let Some(r) = cache.note_run(&q, opts, shifted, &cfg) {
+                reason = Some(r);
+                break;
+            }
+        }
+        let reason = reason.expect("density collapse must trigger drift");
+        assert!(reason.contains("selectivity drift"), "got: {reason}");
+
+        // Install the re-optimized plan: entry swaps, event recorded,
+        // and rebasing resets the drift baseline.
+        let recompiled = Arc::new(
+            CompiledQuery::compile_tuned(&q, (&c).into(), &udfs, opts).unwrap(),
+        );
+        cache.install_reoptimized(&q, opts, Arc::clone(&recompiled), &reason);
+        let current = cache
+            .get_or_compile_tuned(&q, (&c).into(), &udfs, opts)
+            .unwrap();
+        assert!(Arc::ptr_eq(&current, &recompiled));
+        assert!(!Arc::ptr_eq(&current, &compiled));
+        let events = cache.reopt_events(&q, opts);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("selectivity drift"));
+
+        // Hysteresis: the same shifted workload, continued well past the
+        // cooldown window, must never re-trigger — the baseline now IS
+        // the shifted workload. This is the no-flapping guarantee.
+        for i in 0..cfg.cooldown_runs + cfg.min_runs + 8 {
+            assert_eq!(
+                cache.note_run(&q, opts, shifted, &cfg),
+                None,
+                "flap at post-reopt run {i}"
+            );
+        }
+        assert_eq!(cache.reopt_events(&q, opts).len(), 1);
+    }
+
+    #[test]
+    fn feedback_tier_choice_prefers_scalar_below_break_even() {
+        // With observed element counts far below the batch break-even,
+        // the cost model must veto the batch tier and stamp the loop
+        // with its rationale; results stay identical to the default.
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::litf(2.0), "x")
+            .sum()
+            .build();
+        let c = ctx();
+        let udfs = UdfRegistry::new();
+        let opts = StenoOptions::default();
+        let baseline = CompiledQuery::compile_tuned(&q, (&c).into(), &udfs, opts).unwrap();
+        assert_eq!(baseline.engine(), EngineKind::Vectorized);
+
+        let fb = CompileFeedback {
+            sample_ctx: None,
+            loop_stats: Some(steno_opt::LoopStats {
+                elements: 10.0,
+                density: None,
+            }),
+        };
+        let tuned =
+            CompiledQuery::compile_tuned_feedback(&q, (&c).into(), &udfs, opts, fb).unwrap();
+        let plans = tuned.loop_plans();
+        assert!(!plans.is_empty());
+        let why = plans[0].chosen_by.as_deref().expect("rationale recorded");
+        assert!(why.contains("break-even"), "got: {why}");
+        assert_ne!(plans[0].tier, crate::instr::LoopTier::Vectorized);
+        assert_eq!(
+            tuned.run(&c, &udfs).unwrap(),
+            baseline.run(&c, &udfs).unwrap()
+        );
+
+        // Counts comfortably above break-even keep the batch tier and
+        // still record why.
+        let fb = CompileFeedback {
+            sample_ctx: None,
+            loop_stats: Some(steno_opt::LoopStats {
+                elements: 1e6,
+                density: Some(0.5),
+            }),
+        };
+        let tuned =
+            CompiledQuery::compile_tuned_feedback(&q, (&c).into(), &udfs, opts, fb).unwrap();
+        let plans = tuned.loop_plans();
+        assert_eq!(plans[0].tier, crate::instr::LoopTier::Vectorized);
+        let why = plans[0].chosen_by.as_deref().expect("rationale recorded");
+        assert!(why.contains("break-even"), "got: {why}");
+    }
+
+    #[test]
+    fn feedback_sampling_records_rewrites_and_preserves_results() {
+        // A selective filter sitting after a cheap one: with a sample
+        // context the rewrite pass measures selectivities and reorders,
+        // logging the rewrite; the result is bit-identical either way.
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let c = DataContext::new().with_source("xs", xs);
+        let udfs = UdfRegistry::new();
+        let opts = StenoOptions::default();
+        let q = Query::source("xs")
+            .where_(Expr::var("x").gt(Expr::litf(-1.0)), "x") // keeps all
+            .where_(Expr::var("x").lt(Expr::litf(5.0)), "x") // keeps 5%
+            .sum()
+            .build();
+        let baseline = CompiledQuery::compile_tuned(&q, (&c).into(), &udfs, opts).unwrap();
+        let fb = CompileFeedback {
+            sample_ctx: Some(&c),
+            loop_stats: None,
+        };
+        let tuned =
+            CompiledQuery::compile_tuned_feedback(&q, (&c).into(), &udfs, opts, fb).unwrap();
+        let applied: Vec<_> = tuned
+            .rewrite_log()
+            .iter()
+            .filter(|ev| ev.applied && ev.rule == "reorder-filters")
+            .collect();
+        assert!(
+            !applied.is_empty(),
+            "expected a reorder-filters rewrite, log: {:?}",
+            tuned.rewrite_log()
+        );
+        assert_eq!(
+            tuned.run(&c, &udfs).unwrap(),
+            baseline.run(&c, &udfs).unwrap()
+        );
+
+        // Disabling rewrites suppresses the pass entirely.
+        let no_rw = StenoOptions {
+            rewrites: false,
+            ..opts
+        };
+        let fb = CompileFeedback {
+            sample_ctx: Some(&c),
+            loop_stats: None,
+        };
+        let plain =
+            CompiledQuery::compile_tuned_feedback(&q, (&c).into(), &udfs, no_rw, fb).unwrap();
+        assert!(plain.rewrite_log().is_empty());
+        assert_eq!(
+            plain.run(&c, &udfs).unwrap(),
+            baseline.run(&c, &udfs).unwrap()
+        );
     }
 }

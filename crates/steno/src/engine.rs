@@ -18,9 +18,10 @@ use steno_obs::{Collector, NoopCollector};
 use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
 use steno_syntax::ParseError;
-use steno_vm::query::OptimizeError;
+use steno_opt::{DriftConfig, ObservedRun};
+use steno_vm::query::{CompileFeedback, OptimizeError};
 use steno_vm::{
-    CompiledQuery, QueryCache, QueryProfile, StenoOptions, VectorizationPolicy, VmError,
+    CompiledQuery, Interrupt, QueryCache, QueryProfile, StenoOptions, VectorizationPolicy, VmError,
 };
 
 use crate::explain::{Explain, ExplainPlan};
@@ -87,6 +88,8 @@ pub struct Steno {
     options: StenoOptions,
     collector: Arc<dyn Collector>,
     verify: bool,
+    adaptive: bool,
+    drift: DriftConfig,
 }
 
 impl Default for Steno {
@@ -100,9 +103,19 @@ impl Default for Steno {
             // cross-check every optimized plan; release builds skip the
             // re-typecheck by default.
             verify: cfg!(debug_assertions),
+            adaptive: false,
+            drift: DriftConfig::default(),
         }
     }
 }
+
+/// Adaptive sampling cadence: the first `ADAPTIVE_WARMUP` executions of
+/// a plan run the profiled interpreter (establishing the plan's
+/// assumptions quickly), then every `ADAPTIVE_PERIOD`-th run keeps the
+/// decayed statistics fresh without paying profiling overhead on the
+/// steady state.
+const ADAPTIVE_WARMUP: u64 = 16;
+const ADAPTIVE_PERIOD: u64 = 16;
 
 impl Steno {
     /// Creates an engine with an empty query cache and the default
@@ -187,6 +200,34 @@ impl Steno {
         self.verify
     }
 
+    /// Turns feedback-directed re-optimization on or off (default off).
+    /// When on, [`Steno::execute`] samples a profiled run periodically,
+    /// folds the observed element counts / selection density / wall
+    /// time into the cached plan's decayed statistics, and — when the
+    /// workload drifts past the plan's assumptions (see [`DriftConfig`])
+    /// — recompiles with the measured facts and swaps the cached plan in
+    /// place. Re-optimized plans go through the same verifier gate as
+    /// fresh compilations; `EXPLAIN` surfaces every event as a `reopt:`
+    /// line.
+    #[must_use = "with_adaptive returns the configured engine"]
+    pub fn with_adaptive(mut self, on: bool) -> Steno {
+        self.adaptive = on;
+        self
+    }
+
+    /// Whether this engine re-optimizes drifted plans.
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive
+    }
+
+    /// Overrides the drift-detection tuning (sampling decay, hysteresis
+    /// gates, re-opt budget) used when [`Steno::with_adaptive`] is on.
+    #[must_use = "with_drift_config returns the configured engine"]
+    pub fn with_drift_config(mut self, cfg: DriftConfig) -> Steno {
+        self.drift = cfg;
+        self
+    }
+
     /// Executes a query AST, optimizing when possible.
     ///
     /// # Errors
@@ -261,12 +302,14 @@ impl Steno {
         match self.compile_metered(q, SourceTypes::from(ctx), udfs) {
             Ok((compiled, _hit)) => {
                 let span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
-                let result = compiled.run(ctx, udfs);
+                let result = if self.adaptive {
+                    self.run_adaptive(q, ctx, udfs, &compiled)
+                } else {
+                    compiled.run(ctx, udfs).map_err(StenoError::Vm)
+                };
                 drop(span);
                 self.collector.add("steno.query.executed", 1);
-                result
-                    .map(|v| (v, ExecutionPath::Optimized))
-                    .map_err(StenoError::Vm)
+                result.map(|v| (v, ExecutionPath::Optimized))
             }
             Err(StenoError::Optimize(OptimizeError::Lower(
                 steno_quil::LowerError::Unsupported(_),
@@ -278,6 +321,169 @@ impl Steno {
                 interp::execute(q, ctx, udfs)
                     .map(|v| (v, ExecutionPath::Fallback))
                     .map_err(StenoError::Eval)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The adaptive arm of [`Steno::execute_traced`]: runs the plan
+    /// (profiled on the sampling cadence — the first
+    /// [`ADAPTIVE_WARMUP`] runs and every [`ADAPTIVE_PERIOD`]-th run
+    /// after), folds the observed facts into the cached plan's decayed
+    /// statistics, and on drift recompiles with the measured feedback
+    /// and swaps the cached plan. The query's own result is never at
+    /// stake: re-optimization happens after the value is computed, and
+    /// a failed or verifier-rejected recompile only counts a metric and
+    /// leaves the current plan installed.
+    fn run_adaptive(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        compiled: &CompiledQuery,
+    ) -> Result<Value, StenoError> {
+        self.run_compiled_adaptive(q, ctx, udfs, compiled, &Interrupt::none(), self.options)
+    }
+
+    /// Runs an already-compiled plan under `interrupt`, applying the
+    /// engine's adaptive sampling and drift-triggered re-optimization
+    /// when [`Steno::with_adaptive`] is on. `opts` must be the options
+    /// the plan was compiled under — the cache keys its statistics and
+    /// any re-optimized replacement on them. This is the entry a
+    /// serving layer uses to run plans it compiled itself (e.g. under a
+    /// degraded policy) while still feeding the profile→plan loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute`]; additionally [`VmError::DeadlineExceeded`]
+    /// / [`VmError::Cancelled`] (wrapped in [`StenoError::Vm`]) once
+    /// `interrupt` fires.
+    pub fn run_compiled_adaptive(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        compiled: &CompiledQuery,
+        interrupt: &Interrupt,
+        opts: StenoOptions,
+    ) -> Result<Value, StenoError> {
+        if !self.adaptive {
+            return compiled.run_with(ctx, udfs, interrupt).map_err(StenoError::Vm);
+        }
+        let runs = self.cache.begin_run(q, opts);
+        let sample = runs < ADAPTIVE_WARMUP || runs.is_multiple_of(ADAPTIVE_PERIOD);
+        if !sample {
+            return compiled.run_with(ctx, udfs, interrupt).map_err(StenoError::Vm);
+        }
+        let (value, prof) = compiled
+            .run_profiled_with(ctx, udfs, interrupt)
+            .map_err(StenoError::Vm)?;
+        // Exactly one tier runs each loop, so summing the per-tier
+        // element counters yields the elements that flowed through.
+        let observed = ObservedRun {
+            elements: (prof.src_reads + prof.batch_elements_in + prof.fused_elements) as f64,
+            density: prof.selection_density(),
+            exec_ns: prof.wall.as_nanos() as f64,
+        };
+        if let Some(reason) = self.cache.note_run(q, opts, observed, &self.drift) {
+            self.reoptimize(q, ctx, udfs, &reason, opts);
+        }
+        Ok(value)
+    }
+
+    /// Recompiles `q` with measured feedback (sampled selectivities from
+    /// the live data, decayed loop stats from the cache) and installs
+    /// the result — but only after the independent plan verifier accepts
+    /// it, regardless of [`Steno::with_verify`]: a re-optimization
+    /// replaces a known-good plan, so it is never trusted blind.
+    fn reoptimize(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        reason: &str,
+        opts: StenoOptions,
+    ) {
+        let feedback = CompileFeedback {
+            sample_ctx: Some(ctx),
+            loop_stats: self.cache.plan_loop_stats(q, opts),
+        };
+        let recompiled = match CompiledQuery::compile_tuned_feedback(
+            q,
+            SourceTypes::from(ctx),
+            udfs,
+            opts,
+            feedback,
+        ) {
+            Ok(c) => c,
+            Err(_) => {
+                self.collector.add("steno.reopt.error", 1);
+                return;
+            }
+        };
+        if steno_analysis::verify(recompiled.chain(), udfs).is_err() {
+            self.collector.add("steno.reopt.rejected", 1);
+            return;
+        }
+        self.cache
+            .install_reoptimized(q, opts, Arc::new(recompiled), reason);
+        self.collector.add("steno.reopt", 1);
+    }
+
+    /// As [`Steno::execute_traced`], threading a deadline/cancellation
+    /// [`Interrupt`] into *both* executors: the VM polls it at loop
+    /// back-edges and batch boundaries, and the iterator fallback polls
+    /// it per stride of elements — so unsupported shapes no longer run
+    /// to completion past their deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute`]; once the interrupt fires, both paths
+    /// report [`StenoError::Vm`] with [`VmError::DeadlineExceeded`] or
+    /// [`VmError::Cancelled`].
+    pub fn execute_with_interrupt(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        interrupt: &Interrupt,
+    ) -> Result<(Value, ExecutionPath), StenoError> {
+        match self.compile_metered(q, SourceTypes::from(ctx), udfs) {
+            Ok((compiled, _hit)) => {
+                let span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let result =
+                    self.run_compiled_adaptive(q, ctx, udfs, &compiled, interrupt, self.options);
+                drop(span);
+                self.collector.add("steno.query.executed", 1);
+                result.map(|v| (v, ExecutionPath::Optimized))
+            }
+            Err(StenoError::Optimize(OptimizeError::Lower(
+                steno_quil::LowerError::Unsupported(_),
+            ))) => {
+                self.collector.add("steno.query.fallback", 1);
+                let _span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let probe: interp::StopProbe = {
+                    let interrupt = interrupt.clone();
+                    Arc::new(move || match interrupt.check() {
+                        Ok(()) => None,
+                        Err(VmError::DeadlineExceeded) => Some(interp::Stop::Deadline),
+                        Err(_) => Some(interp::Stop::Cancelled),
+                    })
+                };
+                interp::execute_interruptible(q, ctx, udfs, probe)
+                    .map(|v| (v, ExecutionPath::Fallback))
+                    .map_err(|e| match e {
+                        // Interruptions surface uniformly as VM errors,
+                        // matching the optimized path, so callers handle
+                        // one shape.
+                        EvalError::Interrupted { deadline: true } => {
+                            StenoError::Vm(VmError::DeadlineExceeded)
+                        }
+                        EvalError::Interrupted { deadline: false } => {
+                            StenoError::Vm(VmError::Cancelled)
+                        }
+                        other => StenoError::Eval(other),
+                    })
             }
             Err(e) => Err(e),
         }
@@ -372,6 +578,8 @@ impl Steno {
                         hoisted: compiled.hoisted(),
                         superinstrs: compiled.superinstrs(),
                         lints,
+                        rewrites: compiled.rewrite_log().to_vec(),
+                        reopt: self.cache.reopt_events(q, self.options),
                     },
                 })
             }
@@ -897,5 +1105,137 @@ mod tests {
         assert!(engine
             .execute_text("xs.sum() nonsense", &ctx(), &UdfRegistry::new())
             .is_err());
+    }
+
+    #[test]
+    fn interrupts_reach_the_iterator_fallback() {
+        use std::time::{Duration, Instant};
+
+        let engine = Steno::new();
+        // Concat is outside QUIL: this query always takes the iterator
+        // fallback, which previously ran to completion regardless of
+        // deadlines.
+        let big: Vec<f64> = (0..200_000).map(f64::from).collect();
+        let c = DataContext::new().with_source("xs", big);
+        let q = Query::source("xs")
+            .concat(Query::source("xs"))
+            .sum()
+            .build();
+        let udfs = UdfRegistry::new();
+
+        // Inert interrupt: identical to the plain entry, still fallback.
+        let inert = Interrupt::none();
+        let (v, path) = engine.execute_with_interrupt(&q, &c, &udfs, &inert).unwrap();
+        assert_eq!(path, ExecutionPath::Fallback);
+        assert_eq!(v, engine.execute(&q, &c, &udfs).unwrap());
+
+        // Expired deadline: the fallback aborts mid-run with the same
+        // error shape the VM path reports.
+        let expired =
+            Interrupt::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        match engine.execute_with_interrupt(&q, &c, &udfs, &expired) {
+            Err(StenoError::Vm(VmError::DeadlineExceeded)) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+
+        // Cancel probe: same, with the cancellation error.
+        let probe = Arc::new(|| true) as steno_vm::CancelProbe;
+        let cancelled = Interrupt::none().with_cancel_probe(probe);
+        match engine.execute_with_interrupt(&q, &c, &udfs, &cancelled) {
+            Err(StenoError::Vm(VmError::Cancelled)) => {}
+            other => panic!("expected cancelled error, got {other:?}"),
+        }
+
+        // The optimized path threads the same interrupt.
+        let supported = Query::source("xs").sum().build();
+        let expired =
+            Interrupt::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        match engine.execute_with_interrupt(&supported, &c, &udfs, &expired) {
+            Err(StenoError::Vm(VmError::DeadlineExceeded)) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_engine_recompiles_on_selectivity_drift_without_flapping() {
+        // End-to-end drift: the same query runs against a workload
+        // whose filter keeps ~95% of elements, then the workload shifts
+        // so it keeps ~2%. The adaptive engine must notice, recompile
+        // once, surface the event in EXPLAIN, and then settle — the
+        // sustained new regime must not keep re-triggering.
+        use steno_obs::MemoryCollector;
+
+        let metrics = Arc::new(MemoryCollector::new());
+        let engine = Steno::new()
+            .with_adaptive(true)
+            .with_collector(metrics.clone());
+        assert!(engine.adaptive_enabled());
+        let q = Query::source("xs")
+            .where_(Expr::var("x").lt(Expr::litf(1.0)), "x")
+            .sum()
+            .build();
+        let udfs = UdfRegistry::new();
+        let n = 200_000;
+        // Dense regime: 95% of values sit below the threshold. Large
+        // enough that accumulated execution dwarfs the one-off compile
+        // (the break-even gate uses real measured times).
+        let dense: Vec<f64> = (0..n).map(|i| if i % 20 == 0 { 2.0 } else { 0.5 }).collect();
+        let dense_ctx = DataContext::new().with_source("xs", dense);
+        // Sparse regime: only 2% below the threshold.
+        let sparse: Vec<f64> = (0..n).map(|i| if i % 50 == 0 { 0.5 } else { 2.0 }).collect();
+        let sparse_ctx = DataContext::new().with_source("xs", sparse);
+        let expect_dense = Value::F64(0.5 * f64::from(n / 20 * 19));
+        let expect_sparse = Value::F64(0.5 * f64::from(n / 50));
+
+        for _ in 0..12 {
+            assert_eq!(engine.execute(&q, &dense_ctx, &udfs).unwrap(), expect_dense);
+        }
+        let sources = SourceTypes::from(&dense_ctx);
+        let before = engine.explain(&q, sources.clone(), &udfs).unwrap();
+        let ExplainPlan::Optimized { reopt, .. } = &before.plan else {
+            panic!("expected optimized plan");
+        };
+        assert!(reopt.is_empty(), "no drift yet: {reopt:?}");
+
+        // Shift the workload and keep running until the engine reacts.
+        // Sampling happens on a cadence, so give it plenty of runs.
+        let mut events = Vec::new();
+        for _ in 0..128 {
+            assert_eq!(
+                engine.execute(&q, &sparse_ctx, &udfs).unwrap(),
+                expect_sparse
+            );
+            let explained = engine.explain(&q, sources.clone(), &udfs).unwrap();
+            let ExplainPlan::Optimized { reopt, .. } = &explained.plan else {
+                panic!("expected optimized plan");
+            };
+            if !reopt.is_empty() {
+                events = reopt.clone();
+                break;
+            }
+        }
+        assert_eq!(events.len(), 1, "exactly one re-opt: {events:?}");
+        assert!(
+            events[0].contains("selectivity drift"),
+            "got: {}",
+            events[0]
+        );
+
+        // Settle: the sustained sparse regime must never flap the plan.
+        for _ in 0..96 {
+            assert_eq!(
+                engine.execute(&q, &sparse_ctx, &udfs).unwrap(),
+                expect_sparse
+            );
+        }
+        let after = engine.explain(&q, sources, &udfs).unwrap();
+        let ExplainPlan::Optimized { reopt, .. } = &after.plan else {
+            panic!("expected optimized plan");
+        };
+        assert_eq!(reopt.len(), 1, "plan flapped: {reopt:?}");
+        // The counter agrees with the surfaced events.
+        assert_eq!(metrics.counter_value("steno.reopt"), 1);
+        assert_eq!(metrics.counter_value("steno.reopt.rejected"), 0);
+        assert_eq!(metrics.counter_value("steno.reopt.error"), 0);
     }
 }

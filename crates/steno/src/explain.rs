@@ -14,6 +14,7 @@
 //! byte-equal).
 
 use steno_obs::json;
+use steno_opt::RewriteEvent;
 use steno_vm::{EngineKind, LoopPlan, LoopTier};
 
 /// The explained plan for one query.
@@ -62,6 +63,14 @@ pub enum ExplainPlan {
         /// Lint diagnostics over the QUIL chain, rendered
         /// (`severity[lint]: message (span)`), in chain order.
         lints: Vec<String>,
+        /// The algebraic rewrite log: every rewrite the optimizer
+        /// attempted on this plan, in application order, including
+        /// rewrites the plan verifier rejected (`applied: false`).
+        rewrites: Vec<RewriteEvent>,
+        /// Drift-triggered re-optimization events for this query's
+        /// cached plan, oldest first (empty when the plan never
+        /// drifted).
+        reopt: Vec<String>,
     },
     /// The query runs on the unoptimized iterator interpreter.
     Fallback {
@@ -94,12 +103,17 @@ impl Explain {
                 hoisted,
                 superinstrs,
                 lints,
+                rewrites,
+                reopt,
                 ..
             } => {
                 out.push_str(&format!("  QUIL: {quil}\n"));
                 out.push_str(&format!(
                     "  engine: {engine} (batch size {batch_size}), {instr_count} instrs, result {result_ty}\n"
                 ));
+                for ev in rewrites {
+                    out.push_str(&format!("  rewrite: {ev}\n"));
+                }
                 if loops.is_empty() {
                     out.push_str("  loops: none (straight-line program)\n");
                 }
@@ -108,7 +122,13 @@ impl Explain {
                     if let Some(reason) = &plan.vectorize_fallback {
                         out.push_str(&format!("  vectorize-fallback: \"{reason}\""));
                     }
+                    if let Some(why) = &plan.chosen_by {
+                        out.push_str(&format!("  chosen-by: \"{why}\""));
+                    }
                     out.push('\n');
+                }
+                for event in reopt {
+                    out.push_str(&format!("  reopt: {event}\n"));
                 }
                 if *guards_dropped > 0 {
                     out.push_str(&format!(
@@ -162,6 +182,8 @@ impl Explain {
                 hoisted,
                 superinstrs,
                 lints,
+                rewrites,
+                reopt,
             } => {
                 let loops_json: Vec<String> = loops
                     .iter()
@@ -174,8 +196,13 @@ impl Explain {
                             ),
                             None => "null".to_string(),
                         };
+                        let chosen = match &p.chosen_by {
+                            Some(why) => format!("\"{}\"", json::escape(why)),
+                            None => "null".to_string(),
+                        };
                         format!(
-                            "{{\"tier\": \"{}\", \"vectorize_fallback\": {fallback}}}",
+                            "{{\"tier\": \"{}\", \"vectorize_fallback\": {fallback}, \
+                             \"chosen_by\": {chosen}}}",
                             tier_name(p.tier)
                         )
                     })
@@ -188,6 +215,21 @@ impl Explain {
                     .iter()
                     .map(|k| format!("\"{}\"", json::escape(k)))
                     .collect();
+                let rewrites_json: Vec<String> = rewrites
+                    .iter()
+                    .map(|ev| {
+                        format!(
+                            "{{\"rule\": \"{}\", \"detail\": \"{}\", \"applied\": {}}}",
+                            json::escape(ev.rule),
+                            json::escape(&ev.detail),
+                            ev.applied
+                        )
+                    })
+                    .collect();
+                let reopt_json: Vec<String> = reopt
+                    .iter()
+                    .map(|r| format!("\"{}\"", json::escape(r)))
+                    .collect();
                 format!(
                     "{{\"query\": \"{}\", \"optimized\": true, \"quil\": \"{}\", \
                      \"engine\": \"{engine}\", \"instr_count\": {instr_count}, \
@@ -195,13 +237,16 @@ impl Explain {
                      \"batch_size\": {batch_size}, \"result_ty\": \"{}\", \
                      \"guards_dropped\": {guards_dropped}, \"fused_kernels\": [{}], \
                      \"slots_reused\": {slots_reused}, \"hoisted\": {hoisted}, \
-                     \"superinstrs\": {superinstrs}, \"loops\": [{}], \"lints\": [{}]}}",
+                     \"superinstrs\": {superinstrs}, \"loops\": [{}], \"lints\": [{}], \
+                     \"rewrites\": [{}], \"reopt\": [{}]}}",
                     json::escape(&self.query),
                     json::escape(quil),
                     json::escape(result_ty),
                     kernels_json.join(", "),
                     loops_json.join(", "),
-                    lints_json.join(", ")
+                    lints_json.join(", "),
+                    rewrites_json.join(", "),
+                    reopt_json.join(", ")
                 )
             }
             ExplainPlan::Fallback { reason } => format!(
@@ -264,10 +309,12 @@ mod tests {
                     LoopPlan {
                         tier: LoopTier::Vectorized,
                         vectorize_fallback: None,
+                        chosen_by: None,
                     },
                     LoopPlan {
                         tier: LoopTier::Scalar,
                         vectorize_fallback: Some(FallbackReason::Shape("loop is \"weird\"")),
+                        chosen_by: Some("observed ~100 elements < 2048 break-even".to_string()),
                     },
                 ],
                 vectorized_loops: 1,
@@ -280,6 +327,21 @@ mod tests {
                 hoisted: 1,
                 superinstrs: 2,
                 lints: vec!["warning[dead-filter]: filter is always false (op 1)".to_string()],
+                rewrites: vec![
+                    RewriteEvent {
+                        rule: "reorder-filters",
+                        detail: "filter op#1 (sel≈0.05) before filter op#0 (sel≈0.90)".to_string(),
+                        applied: true,
+                    },
+                    RewriteEvent {
+                        rule: "pushdown-filter",
+                        detail: "filter op#1 pushed before map op#0".to_string(),
+                        applied: false,
+                    },
+                ],
+                reopt: vec![
+                    "selectivity drift: assumed density 0.90, observed 0.05".to_string(),
+                ],
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -289,6 +351,22 @@ mod tests {
             loops[1].get("vectorize_fallback").unwrap().as_str(),
             Some("loop is \"weird\"")
         );
+        assert_eq!(
+            loops[1].get("chosen_by").unwrap().as_str(),
+            Some("observed ~100 elements < 2048 break-even")
+        );
+        let rewrites = v.get("rewrites").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(rewrites.len(), 2);
+        assert_eq!(
+            rewrites[0].get("rule").unwrap().as_str(),
+            Some("reorder-filters")
+        );
+        assert_eq!(rewrites[0].get("applied").unwrap().as_bool(), Some(true));
+        assert_eq!(rewrites[1].get("applied").unwrap().as_bool(), Some(false));
+        let reopt = v.get("reopt").and_then(|r| r.as_array()).unwrap();
+        assert!(reopt[0]
+            .as_str()
+            .is_some_and(|s| s.contains("selectivity drift")));
         assert_eq!(v.get("guards_dropped").unwrap().as_f64(), Some(2.0));
         let lints = v.get("lints").and_then(|l| l.as_array()).unwrap();
         assert_eq!(
@@ -310,6 +388,19 @@ mod tests {
         assert!(text.contains("hoisted: 1"), "{text}");
         assert!(text.contains("superinstrs: 2"), "{text}");
         assert!(text.contains("lint: warning[dead-filter]"), "{text}");
+        assert!(
+            text.contains("rewrite: reorder-filters: filter op#1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rewrite: pushdown-filter: filter op#1 pushed before map op#0 [dropped: failed verification]"),
+            "{text}"
+        );
+        assert!(
+            text.contains("chosen-by: \"observed ~100 elements < 2048 break-even\""),
+            "{text}"
+        );
+        assert!(text.contains("reopt: selectivity drift"), "{text}");
     }
 
     /// Pins the machine-readable schema: every backend-optimization
@@ -334,6 +425,8 @@ mod tests {
                 hoisted: 0,
                 superinstrs: 0,
                 lints: vec![],
+                rewrites: vec![],
+                reopt: vec![],
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -354,6 +447,8 @@ mod tests {
             "superinstrs",
             "loops",
             "lints",
+            "rewrites",
+            "reopt",
         ] {
             assert!(v.get(key).is_some(), "missing key {key}");
         }
