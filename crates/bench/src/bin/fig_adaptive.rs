@@ -12,13 +12,17 @@
 //!   selectivities measured on a 512-element sample — moves the cheap
 //!   selective cut first. Rows: `vm_static` (rewrites off),
 //!   `vm_adaptive` (feedback-directed), `hand` (the optimal-order loop).
-//! * `adaptive_drift` — the same pipeline under a workload shift. The
-//!   plan is first optimized against a regime where the polynomial cut
-//!   is the selective one (so its filter order is correct *for that
-//!   data*), then the input drifts to a regime where the selectivities
-//!   swap. Rows: `vm_stale` (the pre-drift plan on post-drift data —
-//!   exactly what a cache serves until the drift detector fires),
-//!   `vm_reopt` (the plan the re-optimizer installs), `hand`.
+//! * `adaptive_drift` — a pipeline of the same score against an
+//!   *opposing* range cut (`x < cut`), under a workload shift. The plan
+//!   is first optimized against a regime where the polynomial score is
+//!   the selective filter and the cut drops nothing (so text order is
+//!   correct *for that data*, and the cost×selectivity rank agrees),
+//!   then the input drifts past the cut: now the score passes
+//!   everything and the one-comparison cut rejects everything — the
+//!   cached plan pays the degree-15 polynomial per element for nothing.
+//!   Rows: `vm_stale` (the pre-drift plan on post-drift data — exactly
+//!   what a cache serves until the drift detector fires), `vm_reopt`
+//!   (the plan the re-optimizer installs), `hand`.
 //!
 //! Both workloads assert the feedback-directed plan is at least 2x the
 //! pessimal one — the acceptance bar — and that the static/adaptive
@@ -101,6 +105,22 @@ fn pipeline(score_floor: f64, cut: f64) -> QueryExpr {
     Query::source("xs")
         .where_(poly_expr().gt(Expr::litf(score_floor)), "x")
         .where_(Expr::var("x").gt(Expr::litf(cut)), "x")
+        .select(Expr::call("boost", vec![Expr::var("x")]), "x")
+        .sum()
+        .build()
+}
+
+/// The drift pipeline spells the cheap cut `x < cut`. Both predicates
+/// of [`pipeline`] are monotone *increasing* in `x`, so the score
+/// filter's survivors always pass any cut below the score threshold —
+/// the conditioned selectivity estimator could never observe the second
+/// filter rejecting, and no drift could make the cached order pessimal.
+/// An opposing cut lets the input shift starve one filter while feeding
+/// the other.
+fn pipeline_lt(score_floor: f64, cut: f64) -> QueryExpr {
+    Query::source("xs")
+        .where_(poly_expr().gt(Expr::litf(score_floor)), "x")
+        .where_(Expr::var("x").lt(Expr::litf(cut)), "x")
         .select(Expr::call("boost", vec![Expr::var("x")]), "x")
         .sum()
         .build()
@@ -235,23 +255,26 @@ fn adaptive_filter_reorder(records: &mut Vec<BenchRecord>) {
 /// on post-drift data, vs the plan the re-optimizer installs.
 fn adaptive_drift(records: &mut Vec<BenchRecord>) {
     let n = scaled(1_000_000);
-    // Pre-drift regime: x in [0, 1) — the polynomial cut keeps ~2%, the
-    // range cut keeps everything, so "score first" is the right order.
-    let pre: Vec<f64> = uniform_doubles(n, 12);
-    // Post-drift regime: x in [2, 3) — the score (strictly increasing)
-    // now keeps everything and the range cut keeps ~2%: the
-    // selectivities have swapped and the cached plan is pessimal.
+    // Pre-drift regime: x in [2, 3) — the score cut keeps ~2% and the
+    // `x < 3.0` cut keeps everything, so the expensive-but-selective
+    // score filter is genuinely the right one to run first. The
+    // cost-aware rank agrees: 63/(1−0.02) ≈ 64 for the score versus
+    // 3/(1−1.0) → unbounded for a filter that drops nothing.
+    let pre: Vec<f64> = uniform_doubles(n, 12).iter().map(|x| x + 2.0).collect();
+    // Post-drift regime: x in [4, 5) — the score (strictly increasing)
+    // now keeps everything and the cut keeps nothing: the selectivities
+    // have swapped and the cached score-first plan pays the degree-15
+    // polynomial on every element before the one-comparison cut drops it.
     let post: Vec<f64> = pre.iter().map(|x| x + 2.0).collect();
     let pre_ctx = DataContext::new().with_source("xs", pre);
     let post_ctx = DataContext::new().with_source("xs", post.clone());
     let udfs = registry();
-    // Score floor p(0.98): keeps ~2% of [0, 1), all of [2, 3) — the
-    // score is strictly increasing. Range cut 2.98: keeps nothing
-    // pre-drift (where the score is already the selective filter, so
-    // text order stands) and ~2% post-drift.
-    let floor = poly_eval(0.98);
-    let range_cut = 2.98;
-    let q = pipeline(floor, range_cut);
+    // Score floor p(2.98): keeps ~2% of [2, 3), all of [4, 5) — the
+    // score is strictly increasing. Cut 3.0: keeps all of [2, 3) and
+    // nothing of [4, 5).
+    let floor = poly_eval(2.98);
+    let range_cut = 3.0;
+    let q = pipeline_lt(floor, range_cut);
 
     let stale = compile_feedback(&q, &pre_ctx, &udfs);
     let reopt = compile_feedback(&q, &post_ctx, &udfs);
@@ -269,7 +292,7 @@ fn adaptive_drift(records: &mut Vec<BenchRecord>) {
     let expect = {
         let mut s = 0.0;
         for &x in &post {
-            if x > range_cut && poly_eval(x) > floor {
+            if x < range_cut && poly_eval(x) > floor {
                 s += x * 2.0;
             }
         }
@@ -293,7 +316,7 @@ fn adaptive_drift(records: &mut Vec<BenchRecord>) {
             median: bench_time(|| {
                 let mut s = 0.0;
                 for &x in &post {
-                    if x > range_cut && poly_eval(x) > floor {
+                    if x < range_cut && poly_eval(x) > floor {
                         s += x * 2.0;
                     }
                 }

@@ -244,6 +244,69 @@ impl JobReport {
             c.observe_ns("cluster.retry_backoff_ns", ns(ev.backoff));
         }
     }
+
+    /// Records the job's phase timings as retroactive spans under
+    /// `parent`: `cluster.job` wrapping `cluster.compile` →
+    /// `cluster.map` (one `cluster.vertex` child per map vertex,
+    /// anchored at the map phase start — vertices ran concurrently) →
+    /// `cluster.reduce`. The job report only keeps phase durations, so
+    /// the spans are laid out sequentially backwards from
+    /// `tracer.now_ns()`; that preserves every duration and the parent
+    /// structure, which is what the flight-recorder dump needs. No-op
+    /// on a disabled tracer.
+    pub fn record_spans(&self, tracer: &steno_obs::Tracer, parent: Option<steno_obs::SpanId>) {
+        use steno_obs::Note;
+
+        if !tracer.enabled() {
+            return;
+        }
+        fn ns(d: Duration) -> u64 {
+            u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+        }
+        let (compile, map, reduce) = (
+            ns(self.compile_time),
+            ns(self.map_wall),
+            ns(self.reduce_wall),
+        );
+        let end = tracer.now_ns();
+        let start = end.saturating_sub(compile + map + reduce);
+        let job = tracer.record(
+            "cluster.job",
+            parent,
+            start,
+            end,
+            vec![
+                ("partitions", Note::from(self.partitions as u64)),
+                ("workers", Note::from(self.workers as u64)),
+                ("input_elements", Note::from(self.input_elements as u64)),
+                (
+                    "exchanged_elements",
+                    Note::from(self.exchanged_elements as u64),
+                ),
+                ("retries", Note::from(self.retries as u64)),
+            ],
+        );
+        let compile_end = start + compile;
+        tracer.record("cluster.compile", job, start, compile_end, Vec::new());
+        let map_end = compile_end + map;
+        let map_id = tracer.record("cluster.map", job, compile_end, map_end, Vec::new());
+        for (i, wall) in self.vertex_wall.iter().enumerate() {
+            let attempts = self.vertex_attempts.get(i).copied().unwrap_or(1);
+            let elements = self.vertex_elements.get(i).copied().unwrap_or(0);
+            tracer.record(
+                "cluster.vertex",
+                map_id,
+                compile_end,
+                compile_end + ns(*wall),
+                vec![
+                    ("vertex", Note::from(i as u64)),
+                    ("attempts", Note::from(u64::from(attempts))),
+                    ("elements", Note::from(elements as u64)),
+                ],
+            );
+        }
+        tracer.record("cluster.reduce", job, map_end, map_end + reduce, Vec::new());
+    }
 }
 
 impl fmt::Display for JobReport {

@@ -23,6 +23,16 @@
 //! * [`json`] — the minimal JSON escape/parse helpers shared by every
 //!   exporter in the workspace (bench records, EXPLAIN plans, query
 //!   profiles round-trip through it in tests).
+//! * [`trace`] — steno-trace: hierarchical per-query spans ([`Tracer`],
+//!   [`SpanGuard`]) with parent links, monotonic timestamps, key/value
+//!   annotations, and bounded per-thread span rings; plus the
+//!   [`FlightRecorder`] — a bounded ring of recent [`QueryTrace`]s that
+//!   flags anomalies (deadline exceeded, trap, verifier reject, re-opt,
+//!   slow query) and renders annotated dumps with EXPLAIN attached.
+//! * [`openmetrics`] — [`MetricsSnapshot::to_openmetrics`] text
+//!   exposition (per-tenant label families included) and the scrape
+//!   linter ([`openmetrics::lint`], [`openmetrics::counters_monotone`])
+//!   CI runs against live output.
 
 #![cfg_attr(
     not(test),
@@ -31,7 +41,13 @@
 
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
+pub mod trace;
 
 pub use metrics::{
     Collector, HistogramSnapshot, MemoryCollector, MetricsSnapshot, NoopCollector, Span,
+};
+pub use trace::{
+    Anomaly, FlightRecorder, Note, QueryTrace, SpanGuard, SpanId, SpanRecord, TraceConfig,
+    TraceMeta, Tracer,
 };

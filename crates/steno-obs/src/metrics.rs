@@ -36,6 +36,19 @@ pub trait Collector: Send + Sync {
     /// non-negative magnitude) into the histogram `name`.
     fn observe_ns(&self, name: &'static str, value: u64);
 
+    /// Increments the counter `name` within the per-tenant family keyed
+    /// by `tenant`. Sinks without label support drop the event (the
+    /// default), so instrumented code records unconditionally.
+    fn add_labeled(&self, name: &'static str, tenant: &str, delta: u64) {
+        let _ = (name, tenant, delta);
+    }
+
+    /// Records one observation into the histogram `name` within the
+    /// per-tenant family keyed by `tenant`. Default: dropped.
+    fn observe_ns_labeled(&self, name: &'static str, tenant: &str, value: u64) {
+        let _ = (name, tenant, value);
+    }
+
     /// Starts a span: the returned guard records its wall-clock lifetime
     /// into the histogram `name` on drop. On a disabled collector the
     /// guard never reads the clock.
@@ -178,6 +191,11 @@ fn write<T: ?Sized>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 pub struct MemoryCollector {
     counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Per-tenant families: name → tenant → atomic. The nested map keeps
+    /// the read path allocation-free (`BTreeMap<String, _>::get` accepts
+    /// a `&str`); the tenant string is owned once, on first use.
+    labeled_counters: RwLock<BTreeMap<&'static str, BTreeMap<String, Arc<AtomicU64>>>>,
+    labeled_histograms: RwLock<BTreeMap<&'static str, BTreeMap<String, Arc<Histogram>>>>,
 }
 
 impl MemoryCollector {
@@ -208,6 +226,48 @@ impl MemoryCollector {
         )
     }
 
+    fn labeled_counter(&self, name: &'static str, tenant: &str) -> Arc<AtomicU64> {
+        if let Some(c) = read(&self.labeled_counters)
+            .get(name)
+            .and_then(|m| m.get(tenant))
+        {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            write(&self.labeled_counters)
+                .entry(name)
+                .or_default()
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    fn labeled_histogram(&self, name: &'static str, tenant: &str) -> Arc<Histogram> {
+        if let Some(h) = read(&self.labeled_histograms)
+            .get(name)
+            .and_then(|m| m.get(tenant))
+        {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write(&self.labeled_histograms)
+                .entry(name)
+                .or_default()
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// The current value of the per-tenant counter `name` for `tenant`
+    /// (0 when never incremented).
+    pub fn labeled_counter_value(&self, name: &str, tenant: &str) -> u64 {
+        read(&self.labeled_counters)
+            .get(name)
+            .and_then(|m| m.get(tenant))
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
     /// The current value of counter `name` (0 when never incremented).
     pub fn counter_value(&self, name: &str) -> u64 {
         read(&self.counters)
@@ -227,9 +287,27 @@ impl MemoryCollector {
             .iter()
             .map(|(name, h)| h.snapshot(name))
             .collect();
+        let labeled_counters = read(&self.labeled_counters)
+            .iter()
+            .flat_map(|(name, by_tenant)| {
+                by_tenant.iter().map(|(tenant, c)| {
+                    (name.to_string(), tenant.clone(), c.load(Ordering::Relaxed))
+                })
+            })
+            .collect();
+        let labeled_histograms = read(&self.labeled_histograms)
+            .iter()
+            .flat_map(|(name, by_tenant)| {
+                by_tenant
+                    .iter()
+                    .map(|(tenant, h)| (tenant.clone(), h.snapshot(name)))
+            })
+            .collect();
         MetricsSnapshot {
             counters,
             histograms,
+            labeled_counters,
+            labeled_histograms,
         }
     }
 }
@@ -246,6 +324,15 @@ impl Collector for MemoryCollector {
     fn observe_ns(&self, name: &'static str, value: u64) {
         self.histogram(name).record(value);
     }
+
+    fn add_labeled(&self, name: &'static str, tenant: &str, delta: u64) {
+        self.labeled_counter(name, tenant)
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn observe_ns_labeled(&self, name: &'static str, tenant: &str, value: u64) {
+        self.labeled_histogram(name, tenant).record(value);
+    }
 }
 
 /// A point-in-time copy of a [`MemoryCollector`]'s state.
@@ -255,6 +342,12 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     /// Histogram snapshots, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Per-tenant counters as `(name, tenant, value)`, sorted by
+    /// `(name, tenant)`. Empty unless `add_labeled` was used.
+    pub labeled_counters: Vec<(String, String, u64)>,
+    /// Per-tenant histograms as `(tenant, snapshot)` — the snapshot's
+    /// `name` is the family name. Sorted by `(name, tenant)`.
+    pub labeled_histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 /// One histogram's state at snapshot time.
@@ -417,6 +510,116 @@ mod tests {
         assert_eq!(h.quantile(1.0), Some(10_000));
         assert!(h.quantile(0.99).is_some());
         assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn labeled_families_record_per_tenant() {
+        let c = MemoryCollector::new();
+        c.add_labeled("serve.tenant.completed", "acme", 2);
+        c.add_labeled("serve.tenant.completed", "zeta", 1);
+        c.observe_ns_labeled("serve.tenant.latency_ns", "acme", 100);
+        assert_eq!(c.labeled_counter_value("serve.tenant.completed", "acme"), 2);
+        assert_eq!(c.labeled_counter_value("serve.tenant.completed", "none"), 0);
+        let snap = c.snapshot();
+        assert_eq!(
+            snap.labeled_counters,
+            vec![
+                ("serve.tenant.completed".to_string(), "acme".to_string(), 2),
+                ("serve.tenant.completed".to_string(), "zeta".to_string(), 1),
+            ]
+        );
+        assert_eq!(snap.labeled_histograms.len(), 1);
+        let (tenant, h) = &snap.labeled_histograms[0];
+        assert_eq!(tenant, "acme");
+        assert_eq!(h.name, "serve.tenant.latency_ns");
+        assert_eq!(h.count, 1);
+        // Unlabeled metrics are untouched by labeled recording.
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty());
+        // Default trait impls drop labels silently.
+        let n = NoopCollector;
+        n.add_labeled("x", "t", 1);
+        n.observe_ns_labeled("y", "t", 1);
+    }
+
+    /// Seeded distributions through the log2 buckets: the p50/p99
+    /// estimates must land within one bucket of the true (nearest-rank)
+    /// quantiles and never undershoot them — the estimate is the upper
+    /// bound of the quantile's bucket, clamped to the observed max.
+    #[test]
+    fn percentile_estimates_land_within_one_bucket_of_truth() {
+        fn bucket_of(v: u64) -> u32 {
+            63 - v.max(1).leading_zeros()
+        }
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            // SplitMix64-style mix, deterministic across platforms.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let n = 10_000usize;
+        let uniform: Vec<u64> = (0..n).map(|_| next() % 1_000_000 + 1).collect();
+        let skewed: Vec<u64> = (0..n)
+            .map(|_| (1u64 << (next() % 20)) + next() % 16)
+            .collect();
+        let bimodal: Vec<u64> = (0..n)
+            .map(|_| if next() % 10 == 0 { 1_000_000 } else { 100 })
+            .collect();
+        for (label, values) in [
+            ("uniform", uniform),
+            ("skewed", skewed),
+            ("bimodal", bimodal),
+        ] {
+            let c = MemoryCollector::new();
+            for &v in &values {
+                c.observe_ns("dist", v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let snap = c.snapshot();
+            let h = &snap.histograms[0];
+            for q in [0.5, 0.99] {
+                let rank = ((q * n as f64).ceil() as usize).max(1);
+                let truth = sorted[rank - 1];
+                let est = h.quantile(q).unwrap();
+                assert!(
+                    est >= truth,
+                    "{label} q{q}: estimate {est} undershoots true {truth}"
+                );
+                assert!(
+                    bucket_of(est) <= bucket_of(truth) + 1,
+                    "{label} q{q}: estimate {est} (bucket {}) more than one \
+                     bucket past true {truth} (bucket {})",
+                    bucket_of(est),
+                    bucket_of(truth)
+                );
+            }
+        }
+    }
+
+    /// Bucket-boundary cases: a value exactly at a power of two must
+    /// count in the bucket it opens, and the quantile walk must not skip
+    /// or double-count at the seam.
+    #[test]
+    fn quantile_bucket_boundaries_have_no_off_by_one() {
+        let c = MemoryCollector::new();
+        // 4 observations of 1024 (opens [1024, 2048)), 4 of 1023 (tops
+        // [512, 1024)).
+        for _ in 0..4 {
+            c.observe_ns("edge", 1023);
+            c.observe_ns("edge", 1024);
+        }
+        let snap = c.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.buckets, vec![(1024, 4), (2048, 4)]);
+        // p50 rank = 4 → last of the 1023s → its bucket's upper bound.
+        assert_eq!(h.quantile(0.5), Some(1024));
+        // Just past the seam: rank 5 → first 1024 → next bucket, clamped
+        // to the observed max.
+        assert_eq!(h.quantile(0.51), Some(1024));
+        assert_eq!(h.quantile(1.0), Some(1024));
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! OpenMetrics/Prometheus text exposition and an in-tree scrape linter.
+//!
+//! [`MetricsSnapshot::to_openmetrics`] renders the snapshot in the
+//! OpenMetrics text format: one `# TYPE` line per family, counters as
+//! `<name>_total`, histograms as cumulative `_bucket{le=…}` series plus
+//! `_count`/`_sum`, per-tenant families labeled `{tenant="…"}`, and a
+//! final `# EOF`. Metric names are sanitized (`.` → `_`) to the
+//! Prometheus charset.
+//!
+//! [`lint`] is the format checker CI runs on real scrapes: every line
+//! must parse, every sample must belong to a declared family, no family
+//! may be declared twice, and the exposition must end with `# EOF`.
+//! [`counters_monotone`] cross-checks two scrapes: counters never go
+//! backwards.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Maps a dotted metric name (`serve.latency_ns`) to the Prometheus
+/// charset (`serve_latency_ns`): anything outside `[a-zA-Z0-9_:]`
+/// becomes `_`, and a leading digit gets a `_` prefix.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// One family's samples, merged from unlabeled and per-tenant series.
+enum Family<'a> {
+    Counter {
+        plain: Option<u64>,
+        by_tenant: BTreeMap<&'a str, u64>,
+    },
+    Histogram {
+        plain: Option<&'a HistogramSnapshot>,
+        by_tenant: BTreeMap<&'a str, &'a HistogramSnapshot>,
+    },
+}
+
+fn push_histogram(out: &mut String, fam: &str, label: Option<&str>, h: &HistogramSnapshot) {
+    let tenant = label
+        .map(|t| format!("tenant=\"{}\"", escape_label(t)))
+        .unwrap_or_default();
+    let sep = if tenant.is_empty() { "" } else { "," };
+    let brace = |inner: &str| {
+        if inner.is_empty() {
+            String::new()
+        } else {
+            format!("{{{inner}}}")
+        }
+    };
+    let mut cum = 0u64;
+    for &(ub, n) in &h.buckets {
+        cum += n;
+        out.push_str(&format!(
+            "{fam}_bucket{} {cum}\n",
+            brace(&format!("{tenant}{sep}le=\"{ub}\""))
+        ));
+    }
+    out.push_str(&format!(
+        "{fam}_bucket{} {}\n",
+        brace(&format!("{tenant}{sep}le=\"+Inf\"")),
+        h.count
+    ));
+    out.push_str(&format!("{fam}_count{} {}\n", brace(&tenant), h.count));
+    out.push_str(&format!("{fam}_sum{} {}\n", brace(&tenant), h.sum));
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in the OpenMetrics text exposition format.
+    /// Output is deterministic for equal snapshots: families sorted by
+    /// name, unlabeled series before labeled, tenants sorted.
+    pub fn to_openmetrics(&self) -> String {
+        let mut families: BTreeMap<String, Family<'_>> = BTreeMap::new();
+        for (name, v) in &self.counters {
+            families.insert(
+                sanitize(name),
+                Family::Counter {
+                    plain: Some(*v),
+                    by_tenant: BTreeMap::new(),
+                },
+            );
+        }
+        for (name, tenant, v) in &self.labeled_counters {
+            match families
+                .entry(sanitize(name))
+                .or_insert_with(|| Family::Counter {
+                    plain: None,
+                    by_tenant: BTreeMap::new(),
+                }) {
+                Family::Counter { by_tenant, .. } => {
+                    by_tenant.insert(tenant, *v);
+                }
+                Family::Histogram { .. } => {}
+            }
+        }
+        for h in &self.histograms {
+            families.insert(
+                sanitize(&h.name),
+                Family::Histogram {
+                    plain: Some(h),
+                    by_tenant: BTreeMap::new(),
+                },
+            );
+        }
+        for (tenant, h) in &self.labeled_histograms {
+            match families
+                .entry(sanitize(&h.name))
+                .or_insert_with(|| Family::Histogram {
+                    plain: None,
+                    by_tenant: BTreeMap::new(),
+                }) {
+                Family::Histogram { by_tenant, .. } => {
+                    by_tenant.insert(tenant, h);
+                }
+                Family::Counter { .. } => {}
+            }
+        }
+
+        let mut out = String::new();
+        for (fam, data) in &families {
+            match data {
+                Family::Counter { plain, by_tenant } => {
+                    out.push_str(&format!("# TYPE {fam} counter\n"));
+                    if let Some(v) = plain {
+                        out.push_str(&format!("{fam}_total {v}\n"));
+                    }
+                    for (tenant, v) in by_tenant {
+                        out.push_str(&format!(
+                            "{fam}_total{{tenant=\"{}\"}} {v}\n",
+                            escape_label(tenant)
+                        ));
+                    }
+                }
+                Family::Histogram { plain, by_tenant } => {
+                    out.push_str(&format!("# TYPE {fam} histogram\n"));
+                    if let Some(h) = plain {
+                        push_histogram(&mut out, fam, None, h);
+                    }
+                    for (tenant, h) in by_tenant {
+                        push_histogram(&mut out, fam, Some(tenant), h);
+                    }
+                }
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// One parsed sample line: `(name, sorted "k=v" label pairs, value)`.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses `name{k="v",…} value`; label values are quote-aware (escaped
+/// quotes and commas inside values are handled).
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = match line.find('}') {
+        Some(close) => {
+            let value = line[close + 1..].trim();
+            (&line[..close + 1], value)
+        }
+        None => {
+            let mut it = line.splitn(2, ' ');
+            let head = it.next().unwrap_or("");
+            (head, it.next().unwrap_or("").trim())
+        }
+    };
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("unparseable sample value in {line:?}"))?;
+    let (name, labels) = match head.find('{') {
+        None => (head.to_string(), Vec::new()),
+        Some(open) => {
+            if !head.ends_with('}') {
+                return Err(format!("unterminated label set in {line:?}"));
+            }
+            let name = head[..open].to_string();
+            let body = &head[open + 1..head.len() - 1];
+            let mut labels = Vec::new();
+            let mut rest = body;
+            while !rest.is_empty() {
+                let eq = rest
+                    .find('=')
+                    .ok_or_else(|| format!("label without '=' in {line:?}"))?;
+                let key = rest[..eq].to_string();
+                let after = &rest[eq + 1..];
+                if !after.starts_with('"') {
+                    return Err(format!("unquoted label value in {line:?}"));
+                }
+                // Scan to the closing quote, honoring backslash escapes.
+                let mut val = String::new();
+                let mut chars = after[1..].char_indices();
+                let mut end = None;
+                while let Some((i, ch)) = chars.next() {
+                    match ch {
+                        '\\' => {
+                            if let Some((_, esc)) = chars.next() {
+                                val.push(esc);
+                            }
+                        }
+                        '"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => val.push(ch),
+                    }
+                }
+                let end = end.ok_or_else(|| format!("unterminated label value in {line:?}"))?;
+                labels.push((key, val));
+                rest = &after[1 + end + 1..];
+                if let Some(r) = rest.strip_prefix(',') {
+                    rest = r;
+                } else if !rest.is_empty() {
+                    return Err(format!("junk after label value in {line:?}"));
+                }
+            }
+            (name, labels)
+        }
+    };
+    if !valid_name(&name) {
+        return Err(format!("invalid metric name {name:?} in {line:?}"));
+    }
+    labels.iter().try_for_each(|(k, _)| {
+        valid_name(k)
+            .then_some(())
+            .ok_or_else(|| format!("invalid label name {k:?} in {line:?}"))
+    })?;
+    let mut labels = labels;
+    labels.sort();
+    Ok((name, labels, value))
+}
+
+/// The family a sample belongs to, per its declared type's suffix rules.
+fn family_of<'a>(name: &'a str, types: &BTreeMap<String, String>) -> Option<&'a str> {
+    if let Some(fam) = name.strip_suffix("_total") {
+        if types.get(fam).map(String::as_str) == Some("counter") {
+            return Some(fam);
+        }
+    }
+    for suffix in ["_bucket", "_count", "_sum"] {
+        if let Some(fam) = name.strip_suffix(suffix) {
+            if types.get(fam).map(String::as_str) == Some("histogram") {
+                return Some(fam);
+            }
+        }
+    }
+    if types.get(name).map(String::as_str) == Some("gauge") {
+        return Some(name);
+    }
+    None
+}
+
+/// Checks one OpenMetrics exposition: every line parses, every sample
+/// belongs to a declared family, no family is declared twice, and the
+/// text ends with `# EOF`.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut saw_eof = false;
+    for line in text.lines() {
+        if saw_eof {
+            return Err(format!("content after # EOF: {line:?}"));
+        }
+        if line.is_empty() {
+            return Err("blank line in exposition".to_string());
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("EOF") => {
+                    saw_eof = true;
+                }
+                Some("TYPE") => {
+                    let fam = parts
+                        .next()
+                        .ok_or_else(|| format!("TYPE without family: {line:?}"))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| format!("TYPE without kind: {line:?}"))?;
+                    if !valid_name(fam) {
+                        return Err(format!("invalid family name in {line:?}"));
+                    }
+                    if !["counter", "histogram", "gauge"].contains(&kind) {
+                        return Err(format!("unknown metric kind in {line:?}"));
+                    }
+                    if types.insert(fam.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("duplicate family declaration: {fam}"));
+                    }
+                }
+                Some("HELP" | "UNIT") => {}
+                _ => return Err(format!("unrecognized comment line: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("malformed comment line: {line:?}"));
+        }
+        let (name, _labels, _value) = parse_sample(line)?;
+        if family_of(&name, &types).is_none() {
+            return Err(format!("sample {name:?} has no declared family"));
+        }
+    }
+    if !saw_eof {
+        return Err("exposition does not end with # EOF".to_string());
+    }
+    Ok(())
+}
+
+/// Collects every counter sample (`…_total`, including labeled series)
+/// keyed by name + label set.
+fn counter_samples(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if let Ok((name, labels, value)) = parse_sample(line) {
+            if name.ends_with("_total") {
+                let key = format!("{name}{labels:?}");
+                out.insert(key, value);
+            }
+        }
+    }
+    out
+}
+
+/// Cross-checks two scrapes of the same collector: every counter series
+/// present in `prev` must still be present in `next` with a value that
+/// did not decrease.
+pub fn counters_monotone(prev: &str, next: &str) -> Result<(), String> {
+    let before = counter_samples(prev);
+    let after = counter_samples(next);
+    for (key, v0) in &before {
+        match after.get(key) {
+            None => return Err(format!("counter series {key} disappeared")),
+            Some(v1) if v1 < v0 => {
+                return Err(format!("counter series {key} went backwards: {v0} -> {v1}"))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Collector, MemoryCollector};
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("serve.latency_ns"), "serve_latency_ns");
+        assert_eq!(sanitize("steno.cache.hit"), "steno_cache_hit");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn exposition_renders_and_lints_clean() {
+        let c = MemoryCollector::new();
+        c.add("steno.cache.hit", 3);
+        c.add("serve.submitted", 10);
+        c.observe_ns("serve.latency_ns", 100);
+        c.observe_ns("serve.latency_ns", 5000);
+        c.add_labeled("serve.tenant.completed", "acme", 2);
+        c.add_labeled("serve.tenant.completed", "zeta", 5);
+        c.observe_ns_labeled("serve.tenant.latency_ns", "acme", 250);
+        let text = c.snapshot().to_openmetrics();
+        lint(&text).unwrap();
+        assert!(text.contains("# TYPE steno_cache_hit counter\n"), "{text}");
+        assert!(text.contains("steno_cache_hit_total 3\n"), "{text}");
+        assert!(
+            text.contains("serve_tenant_completed_total{tenant=\"acme\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE serve_latency_ns histogram\n"), "{text}");
+        assert!(
+            text.contains("serve_latency_ns_bucket{le=\"+Inf\"} 2\n"),
+            "{text}"
+        );
+        assert!(text.contains("serve_latency_ns_count 2\n"), "{text}");
+        assert!(text.contains("serve_latency_ns_sum 5100\n"), "{text}");
+        assert!(
+            text.contains("serve_tenant_latency_ns_bucket{tenant=\"acme\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("# EOF\n"), "{text}");
+        // Deterministic for equal state.
+        assert_eq!(text, c.snapshot().to_openmetrics());
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let c = MemoryCollector::new();
+        for v in [1u64, 3, 3, 100] {
+            c.observe_ns("h", v);
+        }
+        let text = c.snapshot().to_openmetrics();
+        // [0,2) holds 1 → cum 1; [2,4) holds two 3s → cum 3; [64,128)
+        // holds 100 → cum 4.
+        assert!(text.contains("h_bucket{le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"4\"} 3\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"128\"} 4\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 4\n"), "{text}");
+    }
+
+    #[test]
+    fn lint_rejects_malformed_expositions() {
+        assert!(lint("x_total 1\n").is_err(), "missing EOF");
+        assert!(
+            lint("x_total 1\n# EOF\n").is_err(),
+            "sample without declared family"
+        );
+        assert!(
+            lint("# TYPE x counter\n# TYPE x counter\nx_total 1\n# EOF\n")
+                .unwrap_err()
+                .contains("duplicate"),
+        );
+        assert!(
+            lint("# TYPE x counter\nx_total banana\n# EOF\n").is_err(),
+            "unparseable value"
+        );
+        assert!(
+            lint("# TYPE x counter\nx_total 1\n# EOF\nx_total 2\n").is_err(),
+            "content after EOF"
+        );
+        assert!(
+            lint("# TYPE 1bad counter\n# EOF\n").is_err(),
+            "invalid family name"
+        );
+        assert!(
+            lint("# TYPE x counter\nx_total{tenant=unquoted} 1\n# EOF\n").is_err(),
+            "unquoted label"
+        );
+        assert!(lint("garbage line\n# EOF\n").is_err());
+        // A well-formed exposition with labels and escapes passes.
+        lint("# TYPE x counter\nx_total{tenant=\"a\\\"b,c\"} 1\n# EOF\n").unwrap();
+    }
+
+    #[test]
+    fn monotone_check_catches_regressions() {
+        let c = MemoryCollector::new();
+        c.add("queries", 1);
+        c.add_labeled("serve.tenant.completed", "acme", 1);
+        let s1 = c.snapshot().to_openmetrics();
+        c.add("queries", 2);
+        c.add_labeled("serve.tenant.completed", "acme", 1);
+        let s2 = c.snapshot().to_openmetrics();
+        counters_monotone(&s1, &s2).unwrap();
+        // Reversed order: counters went backwards.
+        let err = counters_monotone(&s2, &s1).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+        // A fresh collector lost the series entirely.
+        let empty = MemoryCollector::new().snapshot().to_openmetrics();
+        let err = counters_monotone(&s1, &empty).unwrap_err();
+        assert!(err.contains("disappeared"), "{err}");
+    }
+}

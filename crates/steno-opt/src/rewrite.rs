@@ -17,8 +17,12 @@
 //!    second body uses its parameter at most once, or the first is
 //!    trivial), but logged per pair.
 //! 4. **reorder-filters** — adjacent pure, total `Pred(p)·Pred(q)` swap
-//!    when *observed* selectivity says `q` rejects more than `p` (with a
-//!    margin, so noise cannot flap the order). The win is on the scalar
+//!    when cost × *observed* selectivity says `q` should run first: each
+//!    predicate is ranked by `cost / (1 − selectivity)` (static
+//!    expression cost over measured rejection rate — the classic rule
+//!    that minimizes expected filter work for independent predicates),
+//!    and a cheaper-per-rejection filter bubbles ahead, with a relative
+//!    margin so noise cannot flap the order. The win is on the scalar
 //!    tier, where conjoined predicates short-circuit; the batch tier
 //!    evaluates predicate columns densely and is order-insensitive.
 //! 5. **pushdown-filter** — `Trans(f)·Pred(p) → Pred(p∘f)·Trans(f)` when
@@ -85,10 +89,16 @@ pub struct RewriteOutcome {
     pub log: Vec<RewriteEvent>,
 }
 
-/// Margin below which two observed selectivities are considered equal —
+/// Relative rank margin for filter reordering: a swap only fires when
+/// the later filter's rank is below this fraction of the earlier one's —
 /// hysteresis so measurement noise cannot flip filter order back and
 /// forth across recompiles.
-const REORDER_MARGIN: f64 = 0.05;
+const RANK_MARGIN: f64 = 0.9;
+
+/// Cost weight of one UDF call relative to a primitive expression node:
+/// a registered function call (dynamic dispatch, boxed arguments) is far
+/// heavier than an inline arithmetic op.
+const CALL_COST: usize = 8;
 
 /// Pushdown only fires when the filter is observed to keep at most this
 /// fraction of elements (otherwise the duplicated map work cannot pay).
@@ -176,6 +186,30 @@ fn safe_to_reorder(body: &Expr, param: &str, elem_ty: &Ty, udfs: &UdfRegistry) -
         }
     });
     all_pure
+}
+
+/// Static per-evaluation cost of an expression: node count with UDF
+/// calls weighted [`CALL_COST`]× — the per-predicate cost estimate that
+/// lets reordering weigh cost × selectivity rather than selectivity
+/// alone.
+fn expr_cost(e: &Expr) -> f64 {
+    let mut n = 0usize;
+    e.visit(&mut |node| {
+        n += if matches!(node, Expr::Call(..)) {
+            CALL_COST
+        } else {
+            1
+        };
+    });
+    n as f64
+}
+
+/// Ordering rank for an independent predicate: expected evaluation cost
+/// per rejected element, `cost / (1 − selectivity)`. Running filters in
+/// ascending rank minimizes total expected filter work; a filter that
+/// rejects nothing (selectivity → 1) ranks unboundedly late.
+fn filter_rank(cost: f64, sel: f64) -> f64 {
+    cost / (1.0 - sel).max(1e-6)
 }
 
 /// Counts free occurrences of `name` in `e`.
@@ -378,7 +412,7 @@ fn fuse_maps(cur: &mut QuilChain, udfs: &UdfRegistry, log: &mut Vec<RewriteEvent
 }
 
 // ---------------------------------------------------------------------
-// Rule 4: selectivity-driven filter reordering.
+// Rule 4: cost × selectivity filter reordering.
 // ---------------------------------------------------------------------
 
 fn reorder_filters(
@@ -387,8 +421,8 @@ fn reorder_filters(
     sel: &HashMap<u32, f64>,
     log: &mut Vec<RewriteEvent>,
 ) {
-    // Bubble-sort adjacent filter pairs by observed selectivity; at most
-    // ops² passes, and each swap is individually verified.
+    // Bubble-sort adjacent filter pairs by rank = cost / (1 − observed
+    // selectivity); at most ops² passes, each swap individually verified.
     let mut swapped = true;
     while swapped {
         swapped = false;
@@ -418,12 +452,15 @@ fn reorder_filters(
                             continue;
                         }
                     };
-                    if sb + REORDER_MARGIN < sa
+                    let (ca, cb) = (expr_cost(ea), expr_cost(eb));
+                    let (ra, rb) = (filter_rank(ca, sa), filter_rank(cb, sb));
+                    if rb < ra * RANK_MARGIN
                         && safe_to_reorder(ea, pa, elem_ty, udfs)
                         && safe_to_reorder(eb, pb, elem_ty, udfs)
                     {
                         Some(format!(
-                            "filter {} (sel≈{sb:.2}) before filter {} (sel≈{sa:.2})",
+                            "filter {} (cost {cb:.0} × sel≈{sb:.2}, rank {rb:.1}) before \
+                             filter {} (cost {ca:.0} × sel≈{sa:.2}, rank {ra:.1})",
                             at(b),
                             at(a),
                         ))
@@ -730,6 +767,37 @@ mod tests {
         let sel = HashMap::from([(0u32, 0.50), (1u32, 0.48)]);
         let out = rewrite(&chain, &UdfRegistry::new(), Some(&sel));
         assert!(!out.log.iter().any(|e| e.rule == "reorder-filters"));
+    }
+
+    #[test]
+    fn cheap_filter_bubbles_before_expensive_one_at_equal_selectivity() {
+        // Same observed selectivity, but the first filter calls a UDF
+        // (CALL_COST-weighted) while the second is a bare comparison:
+        // rank = cost / (1 − sel) puts the cheap predicate first.
+        let mut udfs = UdfRegistry::new();
+        udfs.register_pure("score", vec![Ty::F64], Ty::Bool, |_| Value::Bool(true));
+        let q = Query::source("xs")
+            .where_(Expr::call("score", vec![Expr::var("x")]), "x") // op#0, expensive
+            .where_(Expr::var("x").lt(Expr::litf(0.1)), "x") // op#1, cheap
+            .sum()
+            .build();
+        let chain = lower_q(&q, &udfs);
+        let sel = HashMap::from([(0u32, 0.5), (1u32, 0.5)]);
+        let out = rewrite(&chain, &udfs, Some(&sel));
+        let ev = out
+            .log
+            .iter()
+            .find(|e| e.rule == "reorder-filters" && e.applied)
+            .unwrap_or_else(|| panic!("no reorder event in {:?}", out.log));
+        assert!(ev.detail.contains("rank"), "{}", ev.detail);
+        // The cheap comparison now runs first.
+        match &out.chain.ops[0] {
+            QuilOp::Pred {
+                kind: PredKind::Expr(e),
+                ..
+            } => assert!(e.to_string().contains('<'), "got {e}"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

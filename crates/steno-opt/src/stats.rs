@@ -18,6 +18,10 @@ pub struct ObservedRun {
     pub density: Option<f64>,
     /// Wall-clock execution time in nanoseconds.
     pub exec_ns: f64,
+    /// Wall time spent *inside loop instructions* this run (from the
+    /// span-timed profile), nanoseconds; `0.0` when not measured —
+    /// per-element cost then falls back to `exec_ns`.
+    pub loop_ns: f64,
 }
 
 /// Tuning knobs for drift detection. [`DriftConfig::default`] is
@@ -84,6 +88,12 @@ pub struct PlanStats {
     pub last_elements: Option<f64>,
     /// Most recent raw density observation.
     pub last_density: Option<f64>,
+    /// EWMA of measured per-element loop time, nanoseconds — the
+    /// measured-cost input to [`crate::cost::choose_tier`]. Loop-span
+    /// time when the profile reports it, whole-run time otherwise.
+    pub ewma_ns_per_elem: Option<f64>,
+    /// Most recent raw per-element measurement (rebase target).
+    pub last_ns_per_elem: Option<f64>,
 }
 
 impl PlanStats {
@@ -102,11 +112,23 @@ impl PlanStats {
         if run.density.is_some() {
             self.last_density = run.density;
         }
+        // Per-element cost: prefer the loop-span measurement (excludes
+        // bind/setup time); fall back to whole-run wall time.
+        let loop_time = if run.loop_ns > 0.0 {
+            run.loop_ns
+        } else {
+            run.exec_ns
+        };
+        let npe = (run.elements > 0.0 && loop_time > 0.0).then(|| loop_time / run.elements);
+        if npe.is_some() {
+            self.last_ns_per_elem = npe;
+        }
         let a = cfg.alpha;
         if self.runs == 1 {
             self.ewma_elements = run.elements;
             self.ewma_exec_ns = run.exec_ns;
             self.ewma_density = run.density;
+            self.ewma_ns_per_elem = npe;
             self.assumed_elements = Some(run.elements);
             self.assumed_density = run.density;
             return;
@@ -117,6 +139,12 @@ impl PlanStats {
             self.ewma_density = Some(match self.ewma_density {
                 Some(prev) => a * d + (1.0 - a) * prev,
                 None => d,
+            });
+        }
+        if let Some(n) = npe {
+            self.ewma_ns_per_elem = Some(match self.ewma_ns_per_elem {
+                Some(prev) => a * n + (1.0 - a) * prev,
+                None => n,
             });
         }
     }
@@ -175,6 +203,9 @@ impl PlanStats {
         if self.last_density.is_some() {
             self.ewma_density = self.last_density;
         }
+        if self.last_ns_per_elem.is_some() {
+            self.ewma_ns_per_elem = self.last_ns_per_elem;
+        }
         self.assumed_elements = Some(self.ewma_elements);
         self.assumed_density = self.ewma_density;
         self.last_reopt_run = self.runs;
@@ -191,7 +222,48 @@ mod tests {
             elements,
             density: Some(density),
             exec_ns,
+            loop_ns: 0.0,
         }
+    }
+
+    #[test]
+    fn ns_per_elem_tracks_loop_time_over_exec_time() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        // Loop-span time present: 2000 ns over 1000 elements → 2 ns/elem
+        // even though the whole run took 10 µs.
+        s.observe(
+            ObservedRun {
+                elements: 1000.0,
+                density: None,
+                exec_ns: 10_000.0,
+                loop_ns: 2000.0,
+            },
+            &cfg,
+        );
+        assert_eq!(s.ewma_ns_per_elem, Some(2.0));
+        // Without a loop measurement, exec time stands in.
+        let mut s2 = PlanStats::new();
+        s2.observe(run(1000.0, 0.5, 10_000.0), &cfg);
+        assert_eq!(s2.ewma_ns_per_elem, Some(10.0));
+        // Zero-element runs report nothing.
+        let mut s3 = PlanStats::new();
+        s3.observe(run(0.0, 0.5, 10_000.0), &cfg);
+        assert_eq!(s3.ewma_ns_per_elem, None);
+    }
+
+    #[test]
+    fn rebase_snaps_ns_per_elem_to_latest_raw() {
+        let cfg = DriftConfig::default();
+        let mut s = PlanStats::new();
+        for _ in 0..20 {
+            s.observe(run(1000.0, 0.5, 100_000.0), &cfg); // 100 ns/elem
+        }
+        s.observe(run(1000.0, 0.5, 1000.0), &cfg); // regime shift: 1 ns/elem
+        let ewma = s.ewma_ns_per_elem.unwrap();
+        assert!(ewma > 1.0, "EWMA still converging: {ewma}");
+        s.rebase();
+        assert_eq!(s.ewma_ns_per_elem, Some(1.0));
     }
 
     #[test]

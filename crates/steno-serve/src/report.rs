@@ -43,16 +43,26 @@ pub struct SaturationReport {
     pub p50_latency_us: Option<u64>,
     /// 99th-percentile end-to-end latency, microseconds.
     pub p99_latency_us: Option<u64>,
+    /// Median queue wait (submit → dequeue), microseconds. Kept apart
+    /// from execution time: under load the end-to-end latency is their
+    /// sum, and only the split says whether the service is slow or full.
+    pub p50_queue_wait_us: Option<u64>,
+    /// 99th-percentile queue wait, microseconds.
+    pub p99_queue_wait_us: Option<u64>,
+    /// Median execution time (dequeue → outcome), microseconds.
+    pub p50_exec_us: Option<u64>,
+    /// 99th-percentile execution time, microseconds.
+    pub p99_exec_us: Option<u64>,
 }
 
 impl SaturationReport {
     /// Derives the report from a collector the service reported into.
     pub fn from_collector(metrics: &MemoryCollector, wall: Duration) -> SaturationReport {
         let snapshot = metrics.snapshot();
-        let latency = snapshot
-            .histograms
-            .iter()
-            .find(|h| h.name == "serve.latency_ns");
+        let hist = |name: &str| snapshot.histograms.iter().find(|h| h.name == name);
+        let latency = hist("serve.latency_ns");
+        let queue_wait = hist("serve.queue_wait_ns");
+        let exec = hist("serve.exec_ns");
         let completed = metrics.counter_value("serve.completed");
         let duration_s = wall.as_secs_f64();
         SaturationReport {
@@ -74,18 +84,25 @@ impl SaturationReport {
             },
             p50_latency_us: latency.and_then(|h| h.quantile(0.5)).map(|ns| ns / 1000),
             p99_latency_us: latency.and_then(|h| h.quantile(0.99)).map(|ns| ns / 1000),
+            p50_queue_wait_us: queue_wait.and_then(|h| h.quantile(0.5)).map(|ns| ns / 1000),
+            p99_queue_wait_us: queue_wait.and_then(|h| h.quantile(0.99)).map(|ns| ns / 1000),
+            p50_exec_us: exec.and_then(|h| h.quantile(0.5)).map(|ns| ns / 1000),
+            p99_exec_us: exec.and_then(|h| h.quantile(0.99)).map(|ns| ns / 1000),
         }
     }
 
     /// Renders the report as a JSON object (hand-rolled: the build has
     /// no serde), the `BENCH_serve.json` format.
     pub fn to_json(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
         format!(
             "{{\n  \"duration_s\": {:.3},\n  \"submitted\": {},\n  \"admitted\": {},\n  \
              \"shed\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \
              \"deadline_exceeded\": {},\n  \"cancelled\": {},\n  \"retries\": {},\n  \
              \"panics_contained\": {},\n  \"degraded_compiles\": {},\n  \
-             \"qps\": {:.1},\n  \"p50_latency_us\": {},\n  \"p99_latency_us\": {}\n}}\n",
+             \"qps\": {:.1},\n  \"p50_latency_us\": {},\n  \"p99_latency_us\": {},\n  \
+             \"p50_queue_wait_us\": {},\n  \"p99_queue_wait_us\": {},\n  \
+             \"p50_exec_us\": {},\n  \"p99_exec_us\": {}\n}}\n",
             self.duration_s,
             self.submitted,
             self.admitted,
@@ -98,10 +115,12 @@ impl SaturationReport {
             self.panics_contained,
             self.degraded_compiles,
             self.qps,
-            self.p50_latency_us
-                .map_or_else(|| "null".to_string(), |v| v.to_string()),
-            self.p99_latency_us
-                .map_or_else(|| "null".to_string(), |v| v.to_string()),
+            opt(self.p50_latency_us),
+            opt(self.p99_latency_us),
+            opt(self.p50_queue_wait_us),
+            opt(self.p99_queue_wait_us),
+            opt(self.p50_exec_us),
+            opt(self.p99_exec_us),
         )
     }
 
@@ -124,12 +143,21 @@ impl SaturationReport {
             "  recovery: {} retries, {} panics contained, {} degraded compiles\n",
             self.retries, self.panics_contained, self.degraded_compiles
         ));
-        match (self.p50_latency_us, self.p99_latency_us) {
-            (Some(p50), Some(p99)) => {
-                out.push_str(&format!("  latency: p50 {p50} us, p99 {p99} us\n"));
-            }
-            _ => out.push_str("  latency: no samples\n"),
-        }
+        let quantile_line = |label: &str, p50: Option<u64>, p99: Option<u64>| match (p50, p99) {
+            (Some(p50), Some(p99)) => format!("  {label}: p50 {p50} us, p99 {p99} us\n"),
+            _ => format!("  {label}: no samples\n"),
+        };
+        out.push_str(&quantile_line(
+            "latency",
+            self.p50_latency_us,
+            self.p99_latency_us,
+        ));
+        out.push_str(&quantile_line(
+            "queue wait",
+            self.p50_queue_wait_us,
+            self.p99_queue_wait_us,
+        ));
+        out.push_str(&quantile_line("exec", self.p50_exec_us, self.p99_exec_us));
         out
     }
 }
@@ -150,6 +178,8 @@ mod tests {
         m.add("serve.retries", 3);
         for i in 1..=100u64 {
             m.observe_ns("serve.latency_ns", i * 1000);
+            m.observe_ns("serve.queue_wait_ns", i * 100);
+            m.observe_ns("serve.exec_ns", i * 900);
         }
         let r = SaturationReport::from_collector(&m, Duration::from_secs(2));
         assert_eq!(r.submitted, 10);
@@ -161,6 +191,13 @@ mod tests {
         assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
         // Log2 bucketing is coarse, but the medians land in-range.
         assert!(p50 >= 1 && p99 <= 200, "p50 {p50} p99 {p99}");
+        // Queue wait and exec time surface as their own quantiles.
+        assert!(r.p50_queue_wait_us.is_some());
+        assert!(r.p99_exec_us.is_some());
+        assert!(
+            r.p50_queue_wait_us <= r.p50_latency_us,
+            "queue wait is a component of end-to-end latency"
+        );
     }
 
     #[test]
@@ -171,7 +208,10 @@ mod tests {
         let json = r.to_json();
         assert!(steno_obs::json::parse(&json).is_ok(), "{json}");
         assert!(json.contains("\"p50_latency_us\": null"));
+        assert!(json.contains("\"p99_queue_wait_us\": null"));
+        assert!(json.contains("\"p50_exec_us\": null"));
         let text = r.render();
         assert!(text.contains("5 completed"), "{text}");
+        assert!(text.contains("queue wait: no samples"), "{text}");
     }
 }

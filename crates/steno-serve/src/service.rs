@@ -44,6 +44,7 @@ use steno::{Steno, StenoError};
 use steno_cluster::sync::{Condvar, Mutex};
 use steno_cluster::{CancelToken, FailureClass, FaultKind, FaultPlan, RetryPolicy};
 use steno_expr::{DataContext, UdfRegistry, Value};
+use steno_obs::{Anomaly, Note, SpanId, TraceMeta, Tracer};
 use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
 use steno_vm::{CancelProbe, CompiledQuery, Interrupt, StenoOptions, VmError};
@@ -377,6 +378,7 @@ impl QueryService {
         let shared = &self.shared;
         let collector = shared.engine.collector().clone();
         collector.add("serve.submitted", 1);
+        collector.add_labeled("serve.tenant.submitted", &req.tenant, 1);
         let now = Instant::now();
         let deadline = now + req.deadline.unwrap_or(shared.cfg.default_deadline);
         let seq = shared.seq.fetch_add(1, Ordering::Relaxed);
@@ -397,11 +399,13 @@ impl QueryService {
         let mut d = shared.dispatch.lock();
         if d.shutdown {
             collector.add("serve.shed", 1);
+            collector.add_labeled("serve.tenant.shed", &req.tenant, 1);
             return Err(ServeError::ShuttingDown);
         }
         let state = d.tenants.entry(req.tenant.clone()).or_default();
         if state.queue.len() >= shared.cfg.queue_depth {
             collector.add("serve.shed", 1);
+            collector.add_labeled("serve.tenant.shed", &req.tenant, 1);
             return Err(ServeError::Rejected {
                 retry_after: shared.cfg.shed_retry_after,
             });
@@ -494,26 +498,172 @@ fn worker_loop(shared: &Shared) {
 }
 
 /// Runs one job end to end and replies on its channel.
+///
+/// When the engine carries a flight recorder, a per-query tracer is
+/// opened with its clock anchored at *submission* time, so the queue
+/// wait (which happened before any worker touched the job) lands at
+/// offset zero of the trace. The `serve.request` root span is reserved
+/// up front — children link to it — and recorded retroactively once the
+/// outcome is known.
 fn process(shared: &Shared, job: Job) {
     let collector = shared.engine.collector().clone();
+    let tracer = shared
+        .engine
+        .flight_recorder()
+        .map(|r| r.begin_at(job.submitted))
+        .unwrap_or_else(Tracer::disabled);
+    let root = tracer.reserve();
+
     let wait_ns = u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
     collector.observe_ns("serve.queue_wait_ns", wait_ns);
-
-    let result = run_job(shared, &job);
-    match &result {
-        Ok(_) => collector.add("serve.completed", 1),
-        Err(ServeError::DeadlineExceeded) => collector.add("serve.deadline_exceeded", 1),
-        Err(ServeError::Cancelled) => collector.add("serve.cancelled", 1),
-        Err(_) => collector.add("serve.failed", 1),
+    collector.observe_ns_labeled("serve.tenant.queue_wait_ns", &job.tenant, wait_ns);
+    if tracer.enabled() {
+        // Admission happened inside `submit`, effectively instantaneous
+        // at the trace origin; everything since is queue wait.
+        tracer.record("serve.admit", root, 0, 0, vec![("seq", Note::U64(job.seq))]);
+        tracer.record(
+            "serve.queue",
+            root,
+            0,
+            tracer.now_ns(),
+            vec![("wait_ns", Note::U64(wait_ns))],
+        );
     }
+
+    let exec_start = Instant::now();
+    let mut used_options = None;
+    let result = {
+        let mut dspan = tracer.span("serve.dispatch", root);
+        let r = run_job(shared, &job, &tracer, dspan.id(), &mut used_options);
+        if let Err(e) = &r {
+            dspan.note("error", Note::Text(e.to_string()));
+        }
+        r
+    };
+    // Execution time (dequeue → outcome) separate from end-to-end
+    // latency: under load the two diverge by exactly the queue wait,
+    // and conflating them hides whether the service is slow or full.
+    let exec_ns = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    collector.observe_ns("serve.exec_ns", exec_ns);
+
+    let outcome = match &result {
+        Ok(_) => {
+            collector.add("serve.completed", 1);
+            collector.add_labeled("serve.tenant.completed", &job.tenant, 1);
+            "completed"
+        }
+        Err(ServeError::DeadlineExceeded) => {
+            collector.add("serve.deadline_exceeded", 1);
+            collector.add_labeled("serve.tenant.deadline_exceeded", &job.tenant, 1);
+            "deadline-exceeded"
+        }
+        Err(ServeError::Cancelled) => {
+            collector.add("serve.cancelled", 1);
+            collector.add_labeled("serve.tenant.cancelled", &job.tenant, 1);
+            "cancelled"
+        }
+        Err(_) => {
+            collector.add("serve.failed", 1);
+            collector.add_labeled("serve.tenant.failed", &job.tenant, 1);
+            "failed"
+        }
+    };
     let latency = u64::try_from(job.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
     collector.observe_ns("serve.latency_ns", latency);
+    collector.observe_ns_labeled("serve.tenant.latency_ns", &job.tenant, latency);
+
+    if tracer.enabled() {
+        finish_trace(shared, &job, &tracer, root, &result, outcome, used_options);
+    }
     // The caller may have stopped listening; that's their prerogative.
     let _ = job.reply.send(result);
 }
 
+/// Classifies the outcome as a flight-recorder anomaly, attaches the
+/// query's EXPLAIN JSON when the trace is headed for a dump, records
+/// the retroactive `serve.request` root span, and hands the finished
+/// trace to the recorder.
+fn finish_trace(
+    shared: &Shared,
+    job: &Job,
+    tracer: &Tracer,
+    root: Option<SpanId>,
+    result: &Result<Value, ServeError>,
+    outcome: &'static str,
+    options: Option<StenoOptions>,
+) {
+    let Some(recorder) = shared.engine.flight_recorder() else {
+        return;
+    };
+    let (anomaly, detail) = match result {
+        // Cancellation is the caller's choice, not a service anomaly.
+        Ok(_) | Err(ServeError::Cancelled) => (None, None),
+        Err(ServeError::DeadlineExceeded) => (Some(Anomaly::DeadlineExceeded), None),
+        Err(ServeError::QueryFailed { message, .. }) => {
+            let kind = if message.contains("plan verification failed") {
+                Anomaly::VerifierReject
+            } else {
+                Anomaly::Trap
+            };
+            (Some(kind), Some(message.clone()))
+        }
+        Err(_) => (None, None),
+    };
+    // EXPLAIN is attached only when this trace will dump: an anomaly is
+    // already known, or the wall time crossed the slow-query threshold.
+    // (A re-opt-only anomaly is derived inside the recorder; its dump
+    // goes without EXPLAIN rather than paying an explain call — albeit
+    // a cache hit — on every clean query.)
+    let slow = recorder
+        .config()
+        .slow_query
+        .is_some_and(|t| u128::from(tracer.now_ns()) >= t.as_nanos());
+    let explain_json = (anomaly.is_some() || slow)
+        .then(|| {
+            let opts = options.unwrap_or_else(|| *shared.engine.options());
+            shared
+                .engine
+                .explain_with_options(&job.query, SourceTypes::from(&job.ctx), &job.udfs, opts)
+                .ok()
+                .map(|e| e.to_json())
+        })
+        .flatten();
+    if let Some(id) = root {
+        tracer.record_reserved(
+            id,
+            "serve.request",
+            None,
+            0,
+            tracer.now_ns(),
+            vec![
+                ("tenant", Note::Text(job.tenant.clone())),
+                ("seq", Note::U64(job.seq)),
+                ("outcome", Note::Str(outcome)),
+            ],
+        );
+    }
+    recorder.finish(
+        tracer,
+        TraceMeta {
+            query: job.query.to_string(),
+            tenant: Some(job.tenant.clone()),
+            anomaly,
+            detail,
+            explain_json,
+        },
+    );
+}
+
 /// Compile (through the breaker tier) and execute (with retries).
-fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
+/// Writes the plan options actually used into `used_options` so the
+/// caller can attach a faithful EXPLAIN to the flight-recorder trace.
+fn run_job(
+    shared: &Shared,
+    job: &Job,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+    used_options: &mut Option<StenoOptions>,
+) -> Result<Value, ServeError> {
     let collector = shared.engine.collector().clone();
     if job.cancel.is_cancelled() {
         return Err(ServeError::Cancelled);
@@ -532,15 +682,18 @@ fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
     }
 
     let (options, degraded) = shared.breaker.plan_options(shared.engine.options());
+    *used_options = Some(options);
     if degraded {
         collector.add("serve.degraded_compiles", 1);
     }
     let compile_start = Instant::now();
-    let compiled = shared.engine.compile_with_options(
+    let compiled = shared.engine.compile_with_options_traced(
         &job.query,
         SourceTypes::from(&job.ctx),
         &job.udfs,
         options,
+        tracer,
+        parent,
     );
     let compile_took = compile_start.elapsed();
 
@@ -555,7 +708,7 @@ fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
                 // tier) must not add speculative ones.
                 allow_reopt: !degraded,
             };
-            execute_with_retries(shared, job, Some(&exec))
+            execute_with_retries(shared, job, Some(&exec), tracer, parent)
         }
         Err(StenoError::Verify(e)) => {
             // The independent verifier rejected the optimized plan: an
@@ -574,7 +727,7 @@ fn run_job(shared: &Shared, job: &Job) -> Result<Value, ServeError> {
             // iterator fallback) or a genuine compile failure (the
             // facade will re-surface it, and we negative-cache below).
             collector.add("serve.fallback_exec", 1);
-            execute_with_retries(shared, job, None)
+            execute_with_retries(shared, job, None, tracer, parent)
         }
         Err(e) => Err(ServeError::QueryFailed {
             message: e.to_string(),
@@ -601,6 +754,8 @@ fn execute_with_retries(
     shared: &Shared,
     job: &Job,
     plan: Option<&PlanExec<'_>>,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> Result<Value, ServeError> {
     let collector = shared.engine.collector().clone();
     let cancel = job.cancel.clone();
@@ -615,6 +770,10 @@ fn execute_with_retries(
             return Err(ServeError::DeadlineExceeded);
         }
 
+        let mut aspan = tracer.span("serve.attempt", parent);
+        aspan.note("attempt", attempt as u64);
+        let attempt_span = aspan.id();
+
         let fault = shared.cfg.faults.lookup(job.seq as usize, attempt).cloned();
         let failure = match fault {
             Some(FaultKind::Error) => Some(format!(
@@ -622,6 +781,7 @@ fn execute_with_retries(
                 job.seq
             )),
             Some(FaultKind::Delay(d)) => {
+                aspan.note("injected_delay_ns", u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
                 if !job.cancel.sleep_cooperatively(d) {
                     return Err(ServeError::Cancelled);
                 }
@@ -648,11 +808,14 @@ fn execute_with_retries(
                             job.seq
                         ));
                     }
-                    run_attempt(shared, job, plan, &interrupt)
+                    run_attempt(shared, job, plan, &interrupt, tracer, attempt_span)
                 }));
                 match outcome {
                     Ok(Ok(value)) => return Ok(value),
-                    Ok(Err(e)) => return Err(e),
+                    Ok(Err(e)) => {
+                        aspan.note("error", Note::Text(e.to_string()));
+                        return Err(e);
+                    }
                     Err(payload) => {
                         collector.add("serve.panics_contained", 1);
                         payload_message(payload.as_ref())
@@ -660,6 +823,11 @@ fn execute_with_retries(
                 }
             }
         };
+
+        // The attempt span covers the attempt itself, not the backoff
+        // sleep that may follow.
+        aspan.note("failed", Note::Text(failure.clone()));
+        drop(aspan);
 
         if attempt + 1 >= max_attempts {
             return Err(ServeError::QueryFailed {
@@ -691,21 +859,31 @@ fn run_attempt(
     job: &Job,
     plan: Option<&PlanExec<'_>>,
     interrupt: &Interrupt,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> Result<Value, ServeError> {
     match plan {
         Some(exec) => {
             let result = if exec.allow_reopt {
                 // The adaptive entry: profiled sampling and bounded
                 // drift-triggered re-optimization (a no-op unless the
-                // engine was built `with_adaptive`).
-                shared.engine.run_compiled_adaptive(
+                // engine was built `with_adaptive`). A live tracer
+                // forces the profiled run, so per-loop spans record.
+                shared.engine.run_compiled_traced(
                     &job.query,
                     &job.ctx,
                     &job.udfs,
                     exec.compiled,
                     interrupt,
                     exec.opts,
+                    tracer,
+                    parent,
                 )
+            } else if tracer.enabled() {
+                exec.compiled
+                    .run_traced(&job.ctx, &job.udfs, interrupt, tracer, parent)
+                    .map(|(value, _prof)| value)
+                    .map_err(StenoError::Vm)
             } else {
                 exec.compiled
                     .run_with(&job.ctx, &job.udfs, interrupt)
@@ -726,7 +904,7 @@ fn run_attempt(
         }
         None => shared
             .engine
-            .execute_with_interrupt(&job.query, &job.ctx, &job.udfs, interrupt)
+            .execute_with_interrupt_traced(&job.query, &job.ctx, &job.udfs, interrupt, tracer, parent)
             .map(|(v, _path)| v)
             .map_err(|e| match e {
                 StenoError::Vm(VmError::Cancelled) => ServeError::Cancelled,

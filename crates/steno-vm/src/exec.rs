@@ -10,6 +10,7 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use steno_expr::Value;
+use steno_obs::{SpanGuard, SpanId, Tracer};
 
 use crate::instr::{CmpOp, Instr, Program};
 use crate::interrupt::{Interrupt, POLL_STRIDE};
@@ -84,7 +85,7 @@ fn idx_check(index: i64, len: usize) -> Result<usize, VmError> {
 /// hand-assembled programs).
 pub fn run_program(p: &Program, bindings: &Bindings) -> Result<Value, VmError> {
     let mut unused = QueryProfile::default();
-    run_impl::<false>(p, bindings, &mut unused, &Interrupt::none())
+    run_impl::<false>(p, bindings, &mut unused, &Interrupt::none(), &Tracer::disabled(), None)
 }
 
 /// As [`run_program`], polling `interrupt` cooperatively: the scalar
@@ -104,7 +105,7 @@ pub fn run_program_with(
     interrupt: &Interrupt,
 ) -> Result<Value, VmError> {
     let mut unused = QueryProfile::default();
-    run_impl::<false>(p, bindings, &mut unused, interrupt)
+    run_impl::<false>(p, bindings, &mut unused, interrupt, &Tracer::disabled(), None)
 }
 
 /// As [`run_program`], additionally filling a [`QueryProfile`] with
@@ -135,11 +136,39 @@ pub fn run_program_profiled_with(
     bindings: &Bindings,
     interrupt: &Interrupt,
 ) -> Result<(Value, QueryProfile), VmError> {
+    run_program_traced(p, bindings, interrupt, &Tracer::disabled(), None)
+}
+
+/// As [`run_program_profiled_with`], additionally recording a `vm.run`
+/// root span plus one `vm.loop` span per `FusedLoop`/`BatchLoop`
+/// instruction into `tracer` (annotated with tier, element counts, and
+/// selection density). Loop spans open *before* the interrupt check at
+/// loop entry, so a query aborted by a deadline still records the loop
+/// it died in. With a disabled tracer this is exactly
+/// [`run_program_profiled_with`].
+///
+/// # Errors
+///
+/// As [`run_program_with`].
+pub fn run_program_traced(
+    p: &Program,
+    bindings: &Bindings,
+    interrupt: &Interrupt,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
+) -> Result<(Value, QueryProfile), VmError> {
     let mut prof = QueryProfile::default();
     let start = std::time::Instant::now();
-    let value = run_impl::<true>(p, bindings, &mut prof, interrupt)?;
+    let mut root = tracer.span("vm.run", parent);
+    let result = run_impl::<true>(p, bindings, &mut prof, interrupt, tracer, root.id());
     prof.wall = start.elapsed();
-    Ok((value, prof))
+    root.note("scalar_instrs", prof.scalar_instrs);
+    root.note("out_elements", prof.out_elements);
+    if prof.batch_loops == 0 && prof.fused_loops_run == 0 {
+        root.note("tier", "scalar");
+    }
+    drop(root);
+    Ok((result?, prof))
 }
 
 fn run_impl<const PROFILE: bool>(
@@ -147,6 +176,8 @@ fn run_impl<const PROFILE: bool>(
     bindings: &Bindings,
     prof: &mut QueryProfile,
     interrupt: &Interrupt,
+    tracer: &Tracer,
+    parent: Option<SpanId>,
 ) -> Result<Value, VmError> {
     // Back-edge poll budget: a full interrupt check (clock read + probe
     // call) runs once per POLL_STRIDE backward jumps.
@@ -739,6 +770,19 @@ fn run_impl<const PROFILE: bool>(
             }
 
             Instr::FusedLoop(kernel) => {
+                // The span opens before the interrupt check so a
+                // deadline-aborted query still records the loop it died
+                // in (the guard records partial spans on drop).
+                let mut lspan = if PROFILE {
+                    tracer.span("vm.loop", parent)
+                } else {
+                    SpanGuard::disabled()
+                };
+                let t0 = if PROFILE {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
                 // The fused tier runs its whole source in one call, so
                 // the check sits at loop entry; sub-loop granularity is
                 // the vectorized tier's job (per-batch, below).
@@ -749,6 +793,8 @@ fn run_impl<const PROFILE: bool>(
                 if PROFILE {
                     prof.fused_loops_run += 1;
                     prof.fused_elements += data.len() as u64;
+                    lspan.note("tier", "fused");
+                    lspan.note("elements", data.len() as u64);
                 }
                 // acc_values layout: [accumulators..., params...].
                 let mut acc_values =
@@ -763,6 +809,9 @@ fn run_impl<const PROFILE: bool>(
                 crate::fuse::run_kernel(kernel, &data, &mut acc_values, &mut sinks);
                 for (i, r) in kernel.accs.iter().enumerate() {
                     fregs[*r as usize] = acc_values[i];
+                }
+                if let Some(t0) = t0 {
+                    prof.loop_ns += t0.elapsed().as_nanos() as u64;
                 }
             }
             Instr::BatchLoop(bp) => {
@@ -784,8 +833,22 @@ fn run_impl<const PROFILE: bool>(
                 if PROFILE {
                     prof.batch_loops += 1;
                 }
+                // Span opens before run_batch (which polls the
+                // interrupt per batch), so aborted loops still record.
+                let mut lspan = if PROFILE {
+                    tracer.span("vm.loop", parent)
+                } else {
+                    SpanGuard::disabled()
+                };
+                let t0 = if PROFILE {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
+                let (batches0, in0, sel0) =
+                    (prof.batches, prof.batch_elements_in, prof.batch_elements_selected);
                 let out_before = out.len();
-                crate::batch::run_batch(
+                let batch_result = crate::batch::run_batch(
                     bp,
                     data,
                     &mut f_accs,
@@ -796,7 +859,23 @@ fn run_impl<const PROFILE: bool>(
                     &mut out,
                     if PROFILE { Some(prof) } else { None },
                     interrupt,
-                )?;
+                );
+                if PROFILE {
+                    let elements_in = prof.batch_elements_in - in0;
+                    let selected = prof.batch_elements_selected - sel0;
+                    lspan.note("tier", "vectorized");
+                    lspan.note("batches", prof.batches - batches0);
+                    lspan.note("elements", elements_in);
+                    lspan.note("selected", selected);
+                    if elements_in > 0 {
+                        lspan.note("density", selected as f64 / elements_in as f64);
+                    }
+                    if let Some(t0) = t0 {
+                        prof.loop_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                }
+                drop(lspan);
+                batch_result?;
                 if PROFILE {
                     prof.out_elements += (out.len() - out_before) as u64;
                 }

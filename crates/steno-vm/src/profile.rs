@@ -37,6 +37,10 @@ pub struct QueryProfile {
     pub fused_loops_run: u64,
     /// Source elements consumed by fused kernels.
     pub fused_elements: u64,
+    /// Wall time spent inside loop instructions (`FusedLoop` +
+    /// `BatchLoop` bodies), nanoseconds. Zero when the query ran purely
+    /// scalar, in which case [`QueryProfile::wall`] is the loop time.
+    pub loop_ns: u64,
     /// Wall-clock time of the run.
     pub wall: Duration,
     /// Whether compilation was served from the `QueryCache` (`None`
@@ -68,7 +72,7 @@ impl QueryProfile {
              \"sink_pushes\": {}, \"out_elements\": {}, \"batch_loops\": {}, \
              \"batches\": {}, \"batch_elements_in\": {}, \"batch_elements_selected\": {}, \
              \"selection_density\": {}, \"fused_loops_run\": {}, \"fused_elements\": {}, \
-             \"wall_ns\": {}, \"cache_hit\": {}}}",
+             \"loop_ns\": {}, \"wall_ns\": {}, \"cache_hit\": {}}}",
             self.scalar_instrs,
             self.src_reads,
             self.udf_calls,
@@ -81,6 +85,7 @@ impl QueryProfile {
             density,
             self.fused_loops_run,
             self.fused_elements,
+            self.loop_ns,
             self.wall.as_nanos(),
             cache_hit,
         )

@@ -142,6 +142,7 @@ pub struct CompiledQuery {
     quil: String,
     chain: QuilChain,
     rewrites: Vec<RewriteEvent>,
+    measured: Option<LoopStats>,
 }
 
 impl CompiledQuery {
@@ -294,6 +295,7 @@ impl CompiledQuery {
             quil,
             chain,
             rewrites,
+            measured: loop_stats,
         })
     }
 
@@ -365,6 +367,33 @@ impl CompiledQuery {
     ) -> Result<(Value, crate::profile::QueryProfile), VmError> {
         let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
         crate::exec::run_program_profiled_with(&self.program, &bindings, interrupt)
+    }
+
+    /// As [`CompiledQuery::run_profiled_with`], additionally recording
+    /// `vm.run`/`vm.loop` spans into `tracer` (see
+    /// [`crate::exec::run_program_traced`]). With a disabled tracer this
+    /// is exactly [`CompiledQuery::run_profiled_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CompiledQuery::run_with`].
+    pub fn run_traced(
+        &self,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        interrupt: &Interrupt,
+        tracer: &steno_obs::Tracer,
+        parent: Option<steno_obs::SpanId>,
+    ) -> Result<(Value, crate::profile::QueryProfile), VmError> {
+        let bindings = Bindings::resolve(&self.program, ctx, udfs)?;
+        crate::exec::run_program_traced(&self.program, &bindings, interrupt, tracer, parent)
+    }
+
+    /// The measured per-loop observations this plan was compiled
+    /// against ([`CompileFeedback::loop_stats`]); `None` for a blind
+    /// first compile. EXPLAIN surfaces this as the `measured:` line.
+    pub fn measured_stats(&self) -> Option<LoopStats> {
+        self.measured
     }
 
     /// The algebraic rewrite log: every rewrite the optimizer attempted
@@ -787,6 +816,7 @@ impl QueryCache {
         Some(LoopStats {
             elements: entry.stats.ewma_elements,
             density: entry.stats.ewma_density,
+            ns_per_elem: entry.stats.ewma_ns_per_elem,
         })
     }
 
@@ -1246,6 +1276,7 @@ mod tests {
             elements: 1_000.0,
             density: Some(0.9),
             exec_ns: 1e12,
+            loop_ns: 0.0,
         };
         // Warmup: below min_runs nothing can trigger; at and beyond it,
         // a steady workload must not either.
@@ -1321,6 +1352,7 @@ mod tests {
             loop_stats: Some(steno_opt::LoopStats {
                 elements: 10.0,
                 density: None,
+                ns_per_elem: None,
             }),
         };
         let tuned =
@@ -1342,6 +1374,7 @@ mod tests {
             loop_stats: Some(steno_opt::LoopStats {
                 elements: 1e6,
                 density: Some(0.5),
+                ns_per_elem: None,
             }),
         };
         let tuned =

@@ -14,7 +14,7 @@ use steno_cluster::exec::{DistError, RuntimeConfig};
 use steno_cluster::{ClusterSpec, DistributedCollection, JobReport, VertexEngine};
 use steno_expr::{DataContext, EvalError, UdfRegistry, Value};
 use steno_linq::interp;
-use steno_obs::{Collector, NoopCollector};
+use steno_obs::{Collector, FlightRecorder, NoopCollector, SpanId, Tracer};
 use steno_query::typing::SourceTypes;
 use steno_query::QueryExpr;
 use steno_syntax::ParseError;
@@ -87,6 +87,7 @@ pub struct Steno {
     runtime: RuntimeConfig,
     options: StenoOptions,
     collector: Arc<dyn Collector>,
+    recorder: Option<Arc<FlightRecorder>>,
     verify: bool,
     adaptive: bool,
     drift: DriftConfig,
@@ -99,6 +100,7 @@ impl Default for Steno {
             runtime: RuntimeConfig::default(),
             options: StenoOptions::default(),
             collector: Arc::new(NoopCollector),
+            recorder: None,
             // Debug builds (and CI, which sets the flag explicitly)
             // cross-check every optimized plan; release builds skip the
             // re-typecheck by default.
@@ -139,6 +141,23 @@ impl Steno {
     /// The engine's metrics collector.
     pub fn collector(&self) -> &Arc<dyn Collector> {
         &self.collector
+    }
+
+    /// Attaches a [`FlightRecorder`]: serving layers (see `steno-serve`)
+    /// open a per-query [`Tracer`] through it, thread span recording
+    /// through compile/verify/execution, and dump full annotated traces
+    /// when a query trips an anomaly. The engine itself stays passive —
+    /// without a recorder (the default) every traced entry point runs
+    /// with a disabled tracer and records nothing.
+    #[must_use = "with_flight_recorder returns the configured engine"]
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Steno {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The engine's flight recorder, when one is attached.
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Sets the fault-tolerance runtime (retry policy, straggler
@@ -266,6 +285,24 @@ impl Steno {
         udfs: &UdfRegistry,
         options: StenoOptions,
     ) -> Result<(Arc<CompiledQuery>, bool), StenoError> {
+        self.compile_metered_spanned(q, sources, udfs, options, &Tracer::disabled(), None)
+    }
+
+    /// The traced core of every compile path: records an
+    /// `engine.compile` span (annotated with cache hit and compile
+    /// time) plus an `engine.verify` span for fresh compilations when
+    /// the verifier is on. With a disabled tracer this is exactly the
+    /// metered compile.
+    fn compile_metered_spanned(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        options: StenoOptions,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<(Arc<CompiledQuery>, bool), StenoError> {
+        let mut cspan = tracer.span("engine.compile", parent);
         let result = self
             .cache
             .get_or_compile_tuned_traced(q, sources, udfs, options);
@@ -280,8 +317,18 @@ impl Steno {
                 Err(_) => self.collector.add("steno.compile.error", 1),
             }
         }
+        if let Ok((compiled, hit)) = &result {
+            cspan.note("cache_hit", u64::from(*hit));
+            if !hit {
+                let ns = u64::try_from(compiled.compile_time().as_nanos()).unwrap_or(u64::MAX);
+                cspan.note("compile_ns", ns);
+            }
+        }
+        let compile_id = cspan.id();
+        drop(cspan);
         let (compiled, hit) = result.map_err(StenoError::Optimize)?;
         if self.verify && !hit {
+            let _vspan = tracer.span("engine.verify", compile_id.or(parent));
             steno_analysis::verify(compiled.chain(), udfs).map_err(StenoError::Verify)?;
             self.collector.add("steno.verify.passed", 1);
         }
@@ -367,16 +414,47 @@ impl Steno {
         interrupt: &Interrupt,
         opts: StenoOptions,
     ) -> Result<Value, StenoError> {
+        self.run_compiled_traced(q, ctx, udfs, compiled, interrupt, opts, &Tracer::disabled(), None)
+    }
+
+    /// As [`Steno::run_compiled_adaptive`], recording `vm.run`/`vm.loop`
+    /// spans into `tracer` and an `engine.reopt` span when the run
+    /// triggers a drift recompilation. A live tracer forces the profiled
+    /// interpreter (the spans *are* the measurement), so traced runs
+    /// always feed the plan's decayed statistics; with a disabled tracer
+    /// the adaptive sampling cadence is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::run_compiled_adaptive`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_compiled_traced(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        compiled: &CompiledQuery,
+        interrupt: &Interrupt,
+        opts: StenoOptions,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<Value, StenoError> {
         if !self.adaptive {
+            if tracer.enabled() {
+                let (value, _) = compiled
+                    .run_traced(ctx, udfs, interrupt, tracer, parent)
+                    .map_err(StenoError::Vm)?;
+                return Ok(value);
+            }
             return compiled.run_with(ctx, udfs, interrupt).map_err(StenoError::Vm);
         }
         let runs = self.cache.begin_run(q, opts);
         let sample = runs < ADAPTIVE_WARMUP || runs.is_multiple_of(ADAPTIVE_PERIOD);
-        if !sample {
+        if !sample && !tracer.enabled() {
             return compiled.run_with(ctx, udfs, interrupt).map_err(StenoError::Vm);
         }
         let (value, prof) = compiled
-            .run_profiled_with(ctx, udfs, interrupt)
+            .run_traced(ctx, udfs, interrupt, tracer, parent)
             .map_err(StenoError::Vm)?;
         // Exactly one tier runs each loop, so summing the per-tier
         // element counters yields the elements that flowed through.
@@ -384,9 +462,10 @@ impl Steno {
             elements: (prof.src_reads + prof.batch_elements_in + prof.fused_elements) as f64,
             density: prof.selection_density(),
             exec_ns: prof.wall.as_nanos() as f64,
+            loop_ns: prof.loop_ns as f64,
         };
         if let Some(reason) = self.cache.note_run(q, opts, observed, &self.drift) {
-            self.reoptimize(q, ctx, udfs, &reason, opts);
+            self.reoptimize(q, ctx, udfs, &reason, opts, tracer, parent);
         }
         Ok(value)
     }
@@ -396,6 +475,7 @@ impl Steno {
     /// the result — but only after the independent plan verifier accepts
     /// it, regardless of [`Steno::with_verify`]: a re-optimization
     /// replaces a known-good plan, so it is never trusted blind.
+    #[allow(clippy::too_many_arguments)]
     fn reoptimize(
         &self,
         q: &QueryExpr,
@@ -403,7 +483,10 @@ impl Steno {
         udfs: &UdfRegistry,
         reason: &str,
         opts: StenoOptions,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
     ) {
+        let mut rspan = tracer.span("engine.reopt", parent);
         let feedback = CompileFeedback {
             sample_ctx: Some(ctx),
             loop_stats: self.cache.plan_loop_stats(q, opts),
@@ -417,16 +500,20 @@ impl Steno {
         ) {
             Ok(c) => c,
             Err(_) => {
+                rspan.note("outcome", "error");
                 self.collector.add("steno.reopt.error", 1);
                 return;
             }
         };
         if steno_analysis::verify(recompiled.chain(), udfs).is_err() {
+            rspan.note("outcome", "rejected");
             self.collector.add("steno.reopt.rejected", 1);
             return;
         }
         self.cache
             .install_reoptimized(q, opts, Arc::new(recompiled), reason);
+        rspan.note("outcome", "installed");
+        rspan.note("reason", reason.to_string());
         self.collector.add("steno.reopt", 1);
     }
 
@@ -476,6 +563,80 @@ impl Steno {
                         // Interruptions surface uniformly as VM errors,
                         // matching the optimized path, so callers handle
                         // one shape.
+                        EvalError::Interrupted { deadline: true } => {
+                            StenoError::Vm(VmError::DeadlineExceeded)
+                        }
+                        EvalError::Interrupted { deadline: false } => {
+                            StenoError::Vm(VmError::Cancelled)
+                        }
+                        other => StenoError::Eval(other),
+                    })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// As [`Steno::execute_with_interrupt`], recording the full engine
+    /// span hierarchy into `tracer`: `engine.compile` / `engine.verify`
+    /// on the compile side, `vm.run` + per-loop `vm.loop` spans on the
+    /// optimized path, `engine.fallback_exec` on the iterator fallback,
+    /// and `engine.reopt` when a traced run triggers drift
+    /// recompilation. With a disabled tracer this is exactly
+    /// [`Steno::execute_with_interrupt`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute_with_interrupt`].
+    pub fn execute_with_interrupt_traced(
+        &self,
+        q: &QueryExpr,
+        ctx: &DataContext,
+        udfs: &UdfRegistry,
+        interrupt: &Interrupt,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<(Value, ExecutionPath), StenoError> {
+        match self.compile_metered_spanned(
+            q,
+            SourceTypes::from(ctx),
+            udfs,
+            self.options,
+            tracer,
+            parent,
+        ) {
+            Ok((compiled, _hit)) => {
+                let span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let result = self.run_compiled_traced(
+                    q,
+                    ctx,
+                    udfs,
+                    &compiled,
+                    interrupt,
+                    self.options,
+                    tracer,
+                    parent,
+                );
+                drop(span);
+                self.collector.add("steno.query.executed", 1);
+                result.map(|v| (v, ExecutionPath::Optimized))
+            }
+            Err(StenoError::Optimize(OptimizeError::Lower(
+                steno_quil::LowerError::Unsupported(_),
+            ))) => {
+                self.collector.add("steno.query.fallback", 1);
+                let _span = steno_obs::Span::start(self.collector.as_ref(), "steno.exec_ns");
+                let _fspan = tracer.span("engine.fallback_exec", parent);
+                let probe: interp::StopProbe = {
+                    let interrupt = interrupt.clone();
+                    Arc::new(move || match interrupt.check() {
+                        Ok(()) => None,
+                        Err(VmError::DeadlineExceeded) => Some(interp::Stop::Deadline),
+                        Err(_) => Some(interp::Stop::Cancelled),
+                    })
+                };
+                interp::execute_interruptible(q, ctx, udfs, probe)
+                    .map(|v| (v, ExecutionPath::Fallback))
+                    .map_err(|e| match e {
                         EvalError::Interrupted { deadline: true } => {
                             StenoError::Vm(VmError::DeadlineExceeded)
                         }
@@ -554,8 +715,26 @@ impl Steno {
         sources: SourceTypes,
         udfs: &UdfRegistry,
     ) -> Result<Explain, StenoError> {
+        self.explain_with_options(q, sources, udfs, self.options)
+    }
+
+    /// As [`Steno::explain`], explaining the plan compiled under
+    /// explicit per-call options (the serving layer attaches the
+    /// EXPLAIN of the policy a query *actually* ran under — which may
+    /// be a degraded one — to flight-recorder dumps).
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::explain`].
+    pub fn explain_with_options(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        options: StenoOptions,
+    ) -> Result<Explain, StenoError> {
         let query = q.to_string();
-        match self.compile_metered(q, sources, udfs) {
+        match self.compile_metered_with(q, sources, udfs, options) {
             Ok((compiled, _hit)) => {
                 let lints = steno_analysis::run_default_lints(compiled.chain(), udfs)
                     .iter()
@@ -579,7 +758,8 @@ impl Steno {
                         superinstrs: compiled.superinstrs(),
                         lints,
                         rewrites: compiled.rewrite_log().to_vec(),
-                        reopt: self.cache.reopt_events(q, self.options),
+                        reopt: self.cache.reopt_events(q, options),
+                        measured: compiled.measured_stats().map(render_measured),
                     },
                 })
             }
@@ -649,6 +829,27 @@ impl Steno {
             .map(|(compiled, _hit)| compiled)
     }
 
+    /// As [`Steno::compile_with_options`], recording `engine.compile`
+    /// (and, on fresh compilations, `engine.verify`) spans into the
+    /// caller's per-query trace. With a disabled tracer this is exactly
+    /// `compile_with_options`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::compile`].
+    pub fn compile_with_options_traced(
+        &self,
+        q: &QueryExpr,
+        sources: SourceTypes,
+        udfs: &UdfRegistry,
+        options: StenoOptions,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<Arc<CompiledQuery>, StenoError> {
+        self.compile_metered_spanned(q, sources, udfs, options, tracer, parent)
+            .map(|(compiled, _hit)| compiled)
+    }
+
     /// `(hits, misses)` of the query cache.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
@@ -683,6 +884,39 @@ impl Steno {
         spec: &ClusterSpec,
         engine: VertexEngine,
     ) -> Result<(Value, JobReport), StenoError> {
+        self.execute_distributed_traced(
+            q,
+            input,
+            broadcast,
+            udfs,
+            spec,
+            engine,
+            &Tracer::disabled(),
+            None,
+        )
+    }
+
+    /// As [`Steno::execute_distributed`], additionally recording the
+    /// job's phase timings (`cluster.job` → compile/map/reduce, one
+    /// `cluster.vertex` span per map vertex) into `tracer` via
+    /// [`JobReport::record_spans`]. With a disabled tracer this is
+    /// exactly [`Steno::execute_distributed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Steno::execute_distributed`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_distributed_traced(
+        &self,
+        q: &QueryExpr,
+        input: &DistributedCollection,
+        broadcast: &DataContext,
+        udfs: &UdfRegistry,
+        spec: &ClusterSpec,
+        engine: VertexEngine,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<(Value, JobReport), StenoError> {
         let result = steno_cluster::execute_distributed_with(
             q,
             input,
@@ -697,9 +931,23 @@ impl Steno {
             // Unified telemetry: cluster jobs land in the same
             // collector as single-node executions.
             report.record_to(self.collector.as_ref());
+            report.record_spans(tracer, parent);
         }
         result
     }
+}
+
+/// Renders the measured loop facts a plan was compiled against for the
+/// EXPLAIN `measured:` line.
+fn render_measured(ls: steno_opt::LoopStats) -> String {
+    let mut out = format!("~{:.0} elements", ls.elements);
+    if let Some(d) = ls.density {
+        out.push_str(&format!(", density {d:.2}"));
+    }
+    if let Some(npe) = ls.ns_per_elem {
+        out.push_str(&format!(", ~{npe:.1} ns/elem"));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1045,6 +1293,59 @@ mod tests {
     }
 
     #[test]
+    fn distributed_jobs_record_phase_spans() {
+        use steno_obs::{FlightRecorder, TraceConfig, TraceMeta};
+
+        let recorder = FlightRecorder::new(TraceConfig::default());
+        let engine = Steno::new();
+        let q = Query::source("xs").sum().build();
+        let input =
+            DistributedCollection::from_f64("xs", (0..100).map(f64::from).collect(), 4);
+        let tracer = recorder.begin();
+        let root = tracer.span("serve.request", None);
+        let root_id = root.id();
+        engine
+            .execute_distributed_traced(
+                &q,
+                &input,
+                &DataContext::new(),
+                &UdfRegistry::new(),
+                &ClusterSpec { workers: 2 },
+                VertexEngine::Steno,
+                &tracer,
+                root_id,
+            )
+            .unwrap();
+        drop(root);
+        recorder.finish(
+            &tracer,
+            TraceMeta {
+                query: q.to_string(),
+                ..TraceMeta::default()
+            },
+        );
+        let traces = recorder.recent();
+        let trace = traces.last().unwrap();
+        let job = trace.span("cluster.job").unwrap();
+        assert_eq!(job.parent, root_id);
+        for phase in ["cluster.compile", "cluster.map", "cluster.reduce"] {
+            let s = trace.span(phase).unwrap();
+            assert_eq!(s.parent, Some(job.id), "{phase} parents the job span");
+        }
+        let map_id = trace.span("cluster.map").unwrap().id;
+        let vertices: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|s| s.name == "cluster.vertex")
+            .collect();
+        assert_eq!(vertices.len(), 4, "one span per map vertex");
+        assert!(vertices.iter().all(|v| v.parent == Some(map_id)));
+        assert!(vertices
+            .iter()
+            .any(|v| v.note("elements").is_some_and(|n| n.to_string() == "25")));
+    }
+
+    #[test]
     fn per_call_options_compile_distinct_cached_plans() {
         use steno_vm::EngineKind;
 
@@ -1237,5 +1538,18 @@ mod tests {
         assert_eq!(metrics.counter_value("steno.reopt"), 1);
         assert_eq!(metrics.counter_value("steno.reopt.rejected"), 0);
         assert_eq!(metrics.counter_value("steno.reopt.error"), 0);
+
+        // The re-optimized plan was compiled against measured run facts:
+        // EXPLAIN surfaces them as the `measured:` line, and the tier
+        // choice consumed the span-measured per-element time (the
+        // rationale switches from the element-count heuristic to the
+        // measured-cost rule).
+        let explained = engine
+            .explain(&q, SourceTypes::from(&sparse_ctx), &udfs)
+            .unwrap();
+        let text = explained.render();
+        assert!(text.contains("\n  measured: "), "{text}");
+        assert!(text.contains("ns/elem"), "{text}");
+        assert!(text.contains("chosen-by: \"measured-cost:"), "{text}");
     }
 }

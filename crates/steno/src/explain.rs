@@ -27,6 +27,10 @@ pub struct Explain {
 }
 
 /// The optimizer's decision for a query.
+// EXPLAIN is constructed a handful of times per process, never stored
+// in bulk; boxing the big variant would just push indirection into the
+// many call sites that pattern-match it.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ExplainPlan {
     /// The query lowered to QUIL and compiled to bytecode.
@@ -71,6 +75,10 @@ pub enum ExplainPlan {
         /// cached plan, oldest first (empty when the plan never
         /// drifted).
         reopt: Vec<String>,
+        /// The measured per-loop facts this plan was compiled against
+        /// (decayed element count, selection density, span-measured
+        /// ns/elem), rendered; `None` for a blind first compile.
+        measured: Option<String>,
     },
     /// The query runs on the unoptimized iterator interpreter.
     Fallback {
@@ -105,6 +113,7 @@ impl Explain {
                 lints,
                 rewrites,
                 reopt,
+                measured,
                 ..
             } => {
                 out.push_str(&format!("  QUIL: {quil}\n"));
@@ -129,6 +138,9 @@ impl Explain {
                 }
                 for event in reopt {
                     out.push_str(&format!("  reopt: {event}\n"));
+                }
+                if let Some(m) = measured {
+                    out.push_str(&format!("  measured: {m}\n"));
                 }
                 if *guards_dropped > 0 {
                     out.push_str(&format!(
@@ -184,6 +196,7 @@ impl Explain {
                 lints,
                 rewrites,
                 reopt,
+                measured,
             } => {
                 let loops_json: Vec<String> = loops
                     .iter()
@@ -230,6 +243,10 @@ impl Explain {
                     .iter()
                     .map(|r| format!("\"{}\"", json::escape(r)))
                     .collect();
+                let measured_json = match measured {
+                    Some(m) => format!("\"{}\"", json::escape(m)),
+                    None => "null".to_string(),
+                };
                 format!(
                     "{{\"query\": \"{}\", \"optimized\": true, \"quil\": \"{}\", \
                      \"engine\": \"{engine}\", \"instr_count\": {instr_count}, \
@@ -238,7 +255,7 @@ impl Explain {
                      \"guards_dropped\": {guards_dropped}, \"fused_kernels\": [{}], \
                      \"slots_reused\": {slots_reused}, \"hoisted\": {hoisted}, \
                      \"superinstrs\": {superinstrs}, \"loops\": [{}], \"lints\": [{}], \
-                     \"rewrites\": [{}], \"reopt\": [{}]}}",
+                     \"rewrites\": [{}], \"reopt\": [{}], \"measured\": {measured_json}}}",
                     json::escape(&self.query),
                     json::escape(quil),
                     json::escape(result_ty),
@@ -342,6 +359,9 @@ mod tests {
                 reopt: vec![
                     "selectivity drift: assumed density 0.90, observed 0.05".to_string(),
                 ],
+                measured: Some(
+                    "~100 elements, density 0.05, ~2.4 ns/elem".to_string(),
+                ),
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -401,6 +421,14 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("reopt: selectivity drift"), "{text}");
+        assert!(
+            text.contains("measured: ~100 elements, density 0.05, ~2.4 ns/elem"),
+            "{text}"
+        );
+        assert_eq!(
+            v.get("measured").unwrap().as_str(),
+            Some("~100 elements, density 0.05, ~2.4 ns/elem")
+        );
     }
 
     /// Pins the machine-readable schema: every backend-optimization
@@ -427,6 +455,7 @@ mod tests {
                 lints: vec![],
                 rewrites: vec![],
                 reopt: vec![],
+                measured: None,
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -449,6 +478,7 @@ mod tests {
             "lints",
             "rewrites",
             "reopt",
+            "measured",
         ] {
             assert!(v.get(key).is_some(), "missing key {key}");
         }

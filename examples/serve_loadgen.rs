@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use steno::Steno;
 use steno_cluster::FaultPlan;
 use steno_expr::UdfRegistry;
-use steno_obs::MemoryCollector;
+use steno_obs::{openmetrics, FlightRecorder, MemoryCollector, TraceConfig};
 use steno_serve::loadgen::{query_pool, tenant_context};
 use steno_serve::{
     QueryRequest, QueryService, SaturationReport, ServeConfig, ServeError, SplitMix64, Zipf,
@@ -56,8 +56,17 @@ fn main() {
     };
 
     let metrics = Arc::new(MemoryCollector::new());
+    // Flight recorder with an aggressive slow-query threshold: under
+    // burst load some queries will cross 1ms end-to-end (queue wait
+    // counts), so the run always leaves dumps to inspect. The ring is
+    // bounded, so tracing every query is safe.
+    let recorder = Arc::new(FlightRecorder::new(TraceConfig {
+        slow_query: Some(Duration::from_millis(1)),
+        ..TraceConfig::default()
+    }));
     let engine = Steno::new()
         .with_collector(metrics.clone())
+        .with_flight_recorder(recorder.clone())
         .with_cache_capacity(64);
     let cfg = ServeConfig {
         workers: 4,
@@ -137,6 +146,36 @@ fn main() {
     );
     println!("  breaker: opened {} times", service.breaker().times_opened());
 
+    println!(
+        "  flight recorder: {} traces, {} anomalous",
+        recorder.recorded(),
+        recorder.anomaly_count()
+    );
+    if let Some(dump) = recorder.last_dump() {
+        println!("--- flight-recorder dump (most recent anomaly) ---");
+        print!("{dump}");
+        println!("--- end dump ---");
+    }
+
+    // Two OpenMetrics scrapes with traffic in between: both must lint
+    // clean and no counter series may go backwards.
+    let scrape1 = metrics.snapshot().to_openmetrics();
+    openmetrics::lint(&scrape1).expect("first scrape must lint clean");
+    let udfs = UdfRegistry::new();
+    let tail_ctx = tenant_context(1_000, spec.seed);
+    for i in 0..8 {
+        let req = QueryRequest::new("tenant-0", pool[i % pool.len()].clone(), tail_ctx.clone(), udfs.clone());
+        let _ = service.execute_blocking(req);
+    }
+    let scrape2 = metrics.snapshot().to_openmetrics();
+    openmetrics::lint(&scrape2).expect("second scrape must lint clean");
+    openmetrics::counters_monotone(&scrape1, &scrape2)
+        .expect("counters must be monotone across scrapes");
+    println!(
+        "openmetrics: 2 scrapes linted clean, counters monotone ({} exposition lines)",
+        scrape2.lines().count()
+    );
+
     let out = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_serve.json");
     std::fs::write(&out, report.to_json()).expect("write BENCH_serve.json");
     println!("wrote {}", out.display());
@@ -150,6 +189,10 @@ fn main() {
         report.submitted,
         report.admitted + report.shed,
         "admission accounting must balance"
+    );
+    assert!(
+        recorder.anomaly_count() > 0,
+        "the 1ms slow-query threshold must flag at least one query under burst load"
     );
     if smoke {
         assert!(
