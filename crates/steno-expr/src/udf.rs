@@ -122,9 +122,17 @@ impl UdfRegistry {
         self.funcs.is_empty()
     }
 
-    /// Iterates over `(name, udf)` entries in arbitrary order.
+    /// Iterates over `(name, udf)` entries in sorted name order.
+    ///
+    /// The order is deterministic on purpose: iteration feeds
+    /// diagnostics, EXPLAIN output, and plan hashing, and the backing
+    /// `HashMap`'s arbitrary order would make those flap from run to
+    /// run.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Udf)> {
-        self.funcs.iter().map(|(k, v)| (k.as_str(), v))
+        let mut entries: Vec<(&str, &Udf)> =
+            self.funcs.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        entries.sort_by_key(|(name, _)| *name);
+        entries.into_iter()
     }
 }
 
@@ -169,5 +177,25 @@ mod tests {
         reg.register("k", vec![], Ty::I64, |_| Value::I64(2));
         assert_eq!(reg.len(), 1);
         assert_eq!((reg.get("k").unwrap().imp)(&[]), Value::I64(2));
+    }
+
+    #[test]
+    fn iter_is_sorted_regardless_of_registration_order() {
+        // Registration orders chosen to disagree with name order; a
+        // HashMap-order iterator would flap between runs (and between
+        // the two registries), a sorted one cannot.
+        let names = ["zeta", "alpha", "mid", "beta", "omega"];
+        let mut fwd = UdfRegistry::new();
+        for n in names {
+            fwd.register(n, vec![Ty::F64], Ty::F64, |args| args[0].clone());
+        }
+        let mut rev = UdfRegistry::new();
+        for n in names.iter().rev() {
+            rev.register(*n, vec![Ty::F64], Ty::F64, |args| args[0].clone());
+        }
+        let fwd_names: Vec<&str> = fwd.iter().map(|(n, _)| n).collect();
+        let rev_names: Vec<&str> = rev.iter().map(|(n, _)| n).collect();
+        assert_eq!(fwd_names, vec!["alpha", "beta", "mid", "omega", "zeta"]);
+        assert_eq!(fwd_names, rev_names);
     }
 }

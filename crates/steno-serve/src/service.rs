@@ -600,7 +600,9 @@ fn finish_trace(
         Ok(_) | Err(ServeError::Cancelled) => (None, None),
         Err(ServeError::DeadlineExceeded) => (Some(Anomaly::DeadlineExceeded), None),
         Err(ServeError::QueryFailed { message, .. }) => {
-            let kind = if message.contains("plan verification failed") {
+            let kind = if message.contains("plan verification failed")
+                || message.contains("tape verification failed")
+            {
                 Anomaly::VerifierReject
             } else {
                 Anomaly::Trap
@@ -710,12 +712,14 @@ fn run_job(
             };
             execute_with_retries(shared, job, Some(&exec), tracer, parent)
         }
-        Err(StenoError::Verify(e)) => {
-            // The independent verifier rejected the optimized plan: an
-            // optimizer bug, deterministic for this query. Remember it
-            // and count it against the breaker.
+        Err(e @ (StenoError::Verify(_) | StenoError::TapeCheck(_))) => {
+            // An independent verifier rejected the compiled query —
+            // the plan verifier caught an optimizer bug, or the tape
+            // verifier caught a backend miscompile. Either way it is
+            // deterministic for this query: remember it and count it
+            // against the breaker.
             shared.breaker.record_verifier_failure();
-            let message = format!("plan verification failed: {e}");
+            let message = e.to_string();
             shared.negcache.lock().insert(neg_key, message.clone());
             Err(ServeError::QueryFailed {
                 message,

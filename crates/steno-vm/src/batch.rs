@@ -341,6 +341,39 @@ pub enum BOp {
     },
 }
 
+/// The batch tape exactly as the vectorizer emitted it, captured before
+/// the backend passes (`fuse_kernels::plan`, `fuse_kernels::peephole`,
+/// `lifetimes::pack_batch_slots`) rewrite it. The tape verifier
+/// ([`crate::check`]) symbolically executes this against the optimized
+/// tape; execution never touches it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchShadow {
+    /// f64 slot count before packing.
+    pub n_f: u8,
+    /// i64 slot count before packing.
+    pub n_i: u8,
+    /// bool slot count before packing.
+    pub n_b: u8,
+    /// Pre-optimization loop-invariant slot fills.
+    pub prologue: Vec<BInit>,
+    /// Pre-optimization per-batch tape.
+    pub tape: Vec<BOp>,
+}
+
+/// The evidence the vectorizer recorded when it dropped a division trap
+/// guard: the divisor expression and the type environment it analyzed it
+/// under. The tape verifier re-runs `steno_analysis::analyze` on this and
+/// independently re-derives that the interval excludes zero — the record
+/// says *what* was proven, never *that* it was proven.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DivProof {
+    /// The divisor expression of the guarded division.
+    pub divisor: steno_expr::Expr,
+    /// Name→type bindings in scope at the division site, outer bindings
+    /// first (loop locals shadow outer registers, so they bind last).
+    pub env: Vec<(String, steno_expr::Ty)>,
+}
+
 /// A compiled batch program: one whole fused loop, vectorized.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchProgram {
@@ -371,6 +404,13 @@ pub struct BatchProgram {
     /// and differential tests execute the kernel sequence, plain runs
     /// take the fused single-pass loop.
     pub fused: Option<crate::fuse_kernels::FusedTape>,
+    /// Pre-optimization reference tape for translation validation, or
+    /// `None` for hand-assembled programs.
+    pub shadow: Option<Arc<BatchShadow>>,
+    /// One entry per `DivIUnchecked`/`RemIUnchecked` in the shadow tape,
+    /// in emission order: the interval evidence that licensed dropping
+    /// each trap guard.
+    pub div_proofs: Vec<DivProof>,
 }
 
 /// A shared batch-program handle (keeps [`crate::instr::Instr`] small).
@@ -848,6 +888,8 @@ mod tests {
                 BOp::RedAddF { acc: 0, val: 1 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let data: Vec<f64> = (0..2500).map(|i| (i as f64) * 0.37 - 400.0).collect();
         let mut f_accs = vec![0.0];
@@ -896,6 +938,8 @@ mod tests {
                 BOp::OutI(3),
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let data: Vec<i64> = (1..=10).collect();
         let mut i_accs = vec![0];
@@ -940,6 +984,8 @@ mod tests {
                 BOp::RedAddI { acc: 0, val: 3 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let mut i_accs = vec![0];
         let mut out = Vec::new();
@@ -1009,6 +1055,8 @@ mod tests {
                 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let mut sinks = vec![SinkRt::GroupAggSF {
             index: HashMap::default(),
@@ -1070,6 +1118,8 @@ mod tests {
                 BOp::OutF(2),
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let mut out = Vec::new();
         run_batch(
@@ -1112,6 +1162,8 @@ mod tests {
                 BOp::RedAddF { acc: 0, val: 0 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let data: Vec<f64> = (0..(BATCH * 2 + 17))
             .map(|i| if i % 3 == 0 { -1.0 } else { i as f64 })

@@ -1183,7 +1183,18 @@ pub fn assemble_hinted(
         source_names: c.src_names,
         udf_names: c.udf_names,
         result_ty,
+        shadow: None,
     };
+    // Reference tape for the tape verifier: the program exactly as
+    // assembled, before any backend pass rewrites it. The clone shares
+    // the Arc'd FusedLoop/BatchLoop payloads, so this is shallow in the
+    // loop bodies.
+    program.shadow = Some(std::sync::Arc::new(crate::instr::ScalarShadow {
+        instrs: program.instrs.clone(),
+        n_fregs: program.n_fregs,
+        n_iregs: program.n_iregs,
+        n_vregs: program.n_vregs,
+    }));
     // Backend passes over the assembled bytecode (see crate::lifetimes):
     // pull loop-invariant constants to the entry, thread the hottest
     // scalar pairs into superinstructions, then drop the register frame
@@ -1587,6 +1598,9 @@ struct VecAttempt {
     /// range analysis proved the divisor excludes zero. Tallied into
     /// `Program::n_guards_dropped` only when the attempt succeeds.
     guards_dropped: u32,
+    /// Interval evidence for each dropped guard, in emission order —
+    /// recorded on the batch program for the tape verifier to re-derive.
+    div_proofs: Vec<crate::batch::DivProof>,
     /// Yields emitted so far (at most one: a second yield per iteration
     /// interleaves per element, which batching would reorder).
     n_outs: u32,
@@ -1764,26 +1778,52 @@ impl<'a> Compiler<'a> {
     /// drop the per-lane zero-divisor guard (and, because the division
     /// then counts as non-trapping, accept loops whose divisions sit
     /// under conditionals or short-circuit operands). Conservative:
-    /// unknown types and unbounded intervals answer `false`.
-    fn divisor_excludes_zero(&self, at: &VecAttempt, e: &Expr) -> bool {
+    /// unknown types and unbounded intervals answer `None`.
+    ///
+    /// On success this returns the *evidence* — the divisor and the type
+    /// environment it was analyzed under — which is recorded on the batch
+    /// program so the tape verifier can independently re-derive the fact
+    /// rather than trusting that the compiler checked it. The environment
+    /// is name-sorted within each binding group (outer scope, then loop
+    /// locals, which shadow) so the record is byte-stable across compiles
+    /// of the same query.
+    fn divisor_proof(&self, at: &VecAttempt, e: &Expr) -> Option<crate::batch::DivProof> {
         use crate::batch::Lane;
-        let mut env = steno_expr::typecheck::TyEnv::new();
-        for (name, (_, ty)) in &self.scope {
-            if matches!(ty, Ty::F64 | Ty::I64 | Ty::Bool) {
-                env = env.with(name.clone(), ty.clone());
-            }
-        }
+        let mut bindings: Vec<(String, Ty)> = self
+            .scope
+            .iter()
+            .filter(|(_, (_, ty))| matches!(ty, Ty::F64 | Ty::I64 | Ty::Bool))
+            .map(|(name, (_, ty))| (name.clone(), ty.clone()))
+            .collect();
+        bindings.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
         // Loop locals shadow outer registers, so they bind last.
-        for (name, (lane, _)) in &at.locals {
-            let ty = match lane {
-                Lane::F => Ty::F64,
-                Lane::I => Ty::I64,
-                Lane::B => Ty::Bool,
-            };
-            env = env.with(name.clone(), ty);
+        let mut locals: Vec<(String, Ty)> = at
+            .locals
+            .iter()
+            .map(|(name, (lane, _))| {
+                let ty = match lane {
+                    Lane::F => Ty::F64,
+                    Lane::I => Ty::I64,
+                    Lane::B => Ty::Bool,
+                };
+                (name.clone(), ty)
+            })
+            .collect();
+        locals.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        bindings.extend(locals);
+        let mut env = steno_expr::typecheck::TyEnv::new();
+        for (name, ty) in &bindings {
+            env = env.with(name.clone(), ty.clone());
         }
         let facts = steno_analysis::analyze(e, &env);
-        facts.range.is_some_and(|r| r.excludes_zero())
+        if facts.range.is_some_and(|r| r.excludes_zero()) {
+            Some(crate::batch::DivProof {
+                divisor: e.clone(),
+                env: bindings,
+            })
+        } else {
+            None
+        }
     }
 
     /// Attempts to compile a loop with the vectorized tier, emitting one
@@ -1852,6 +1892,7 @@ impl<'a> Compiler<'a> {
             i_accs: Vec::new(),
             n_traps: 0,
             guards_dropped: 0,
+            div_proofs: Vec::new(),
             n_outs: 0,
             effects: false,
         };
@@ -2070,7 +2111,18 @@ impl<'a> Compiler<'a> {
             prologue: at.prologue,
             tape: at.tape,
             fused: None,
+            shadow: None,
+            div_proofs: at.div_proofs,
         };
+        // Reference tape for the tape verifier, captured before the
+        // backend passes below rewrite the slots and ops.
+        bp.shadow = Some(std::sync::Arc::new(crate::batch::BatchShadow {
+            n_f: bp.n_f,
+            n_i: bp.n_i,
+            n_b: bp.n_b,
+            prologue: bp.prologue.clone(),
+            tape: bp.tape.clone(),
+        }));
         // Backend passes: recognize a whole-tape fused kernel first (the
         // planner reads the SSA tape the vectorizer emitted), then fuse
         // adjacent kernel pairs, then pack column lifetimes. FusedTape
@@ -2206,8 +2258,9 @@ impl<'a> Compiler<'a> {
                             BinOp::Min => BOp::MinI(d, ra, rb),
                             BinOp::Max => BOp::MaxI(d, ra, rb),
                             BinOp::Div => {
-                                if self.divisor_excludes_zero(at, b) {
+                                if let Some(proof) = self.divisor_proof(at, b) {
                                     at.guards_dropped += 1;
+                                    at.div_proofs.push(proof);
                                     BOp::DivIUnchecked(d, ra, rb)
                                 } else {
                                     at.n_traps += 1;
@@ -2215,8 +2268,9 @@ impl<'a> Compiler<'a> {
                                 }
                             }
                             BinOp::Rem => {
-                                if self.divisor_excludes_zero(at, b) {
+                                if let Some(proof) = self.divisor_proof(at, b) {
                                     at.guards_dropped += 1;
+                                    at.div_proofs.push(proof);
                                     BOp::RemIUnchecked(d, ra, rb)
                                 } else {
                                     at.n_traps += 1;

@@ -511,6 +511,23 @@ pub struct LoopPlan {
     pub chosen_by: Option<String>,
 }
 
+/// The scalar tape exactly as assembled, captured before the backend
+/// optimization passes (`hoist_loop_invariant_consts`, `fuse_scalar_pairs`,
+/// `shrink_frames`) run. The tape verifier ([`crate::check`]) treats this
+/// as the reference semantics and proves the optimized tape equivalent to
+/// it; execution never touches it.
+#[derive(Clone, Debug)]
+pub struct ScalarShadow {
+    /// The pre-optimization instructions.
+    pub instrs: Vec<Instr>,
+    /// F-register frame size before `shrink_frames`.
+    pub n_fregs: u32,
+    /// I-register frame size before `shrink_frames`.
+    pub n_iregs: u32,
+    /// V-register frame size before `shrink_frames`.
+    pub n_vregs: u32,
+}
+
 /// A complete bytecode program.
 #[derive(Clone, Debug)]
 pub struct Program {
@@ -555,6 +572,10 @@ pub struct Program {
     pub udf_names: Vec<String>,
     /// Result type of the program.
     pub result_ty: Ty,
+    /// Pre-optimization reference tape for translation validation, or
+    /// `None` for hand-assembled programs (the checker then skips the
+    /// scalar-equivalence obligation and checks the tape standalone).
+    pub shadow: Option<std::sync::Arc<ScalarShadow>>,
 }
 
 impl Program {

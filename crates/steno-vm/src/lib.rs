@@ -41,6 +41,7 @@
 
 pub mod batch;
 pub mod compile;
+pub mod check;
 pub mod fuse;
 pub mod fuse_kernels;
 pub mod exec;
@@ -53,6 +54,7 @@ pub mod profile;
 pub mod query;
 pub mod sink;
 
+pub use check::{check_program, CheckError, ObligationKind, TapeReport};
 pub use compile::{assemble, CompileError};
 pub use exec::{run_program, run_program_profiled, run_program_with, VmError};
 pub use instr::{FallbackReason, Instr, LoopPlan, LoopTier, Program};

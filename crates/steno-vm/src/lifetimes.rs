@@ -405,7 +405,7 @@ pub fn pack_batch_slots(bp: &mut BatchProgram) -> u32 {
 
 /// A scalar register bank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum RegBank {
+pub(crate) enum RegBank {
     F,
     I,
     V,
@@ -414,7 +414,7 @@ enum RegBank {
 /// Visits every register an instruction touches (`is_write` marks
 /// definitions; read-modify-write registers are visited twice).
 /// Exhaustive over [`Instr`].
-fn instr_io(instr: &Instr, mut f: impl FnMut(RegBank, u32, bool)) {
+pub(crate) fn instr_io(instr: &Instr, mut f: impl FnMut(RegBank, u32, bool)) {
     use RegBank::{F, I, V};
     let skey = |k: &SKey, f: &mut dyn FnMut(RegBank, u32, bool)| match k {
         SKey::F(r) => f(F, *r, false),
@@ -1049,6 +1049,8 @@ mod tests {
                 BOp::RedAddF { acc: 0, val: 2 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let orig = bp.clone();
         let reused = pack_batch_slots(&mut bp);
@@ -1099,6 +1101,8 @@ mod tests {
                 BOp::RedAddI { acc: 0, val: 2 },
             ],
             fused: None,
+            shadow: None,
+            div_proofs: Vec::new(),
         };
         let orig = bp.clone();
         pack_batch_slots(&mut bp);
@@ -1155,6 +1159,7 @@ mod tests {
             source_names: vec![],
             udf_names: vec![],
             result_ty: Ty::I64,
+            shadow: None,
         };
         let hoisted = hoist_loop_invariant_consts(&mut p);
         assert_eq!(hoisted, 1);
@@ -1200,6 +1205,7 @@ mod tests {
             source_names: vec![],
             udf_names: vec![],
             result_ty: Ty::I64,
+            shadow: None,
         };
         let fused = fuse_scalar_pairs(&mut p);
         assert_eq!(fused, 2, "cmp+branch and inc+jump should both fuse");

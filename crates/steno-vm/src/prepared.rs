@@ -135,6 +135,7 @@ mod tests {
             source_names: vec!["zzz".into()],
             udf_names: vec![],
             result_ty: Ty::F64,
+            shadow: None,
         };
         let err = Bindings::resolve(&program, &DataContext::new(), &UdfRegistry::new());
         assert!(matches!(err, Err(VmError::MissingBinding(_))));

@@ -305,6 +305,12 @@ impl CompiledQuery {
         &self.chain
     }
 
+    /// The compiled register program — the input to the tape verifier
+    /// ([`crate::check::check_program`]).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// Executes the compiled query against a context.
     ///
     /// # Errors

@@ -54,6 +54,12 @@ pub enum StenoError {
     /// answer (only when verification is enabled, see
     /// [`Steno::with_verify`]).
     Verify(steno_analysis::VerifyError),
+    /// The tape verifier rejected a compiled bytecode program — a
+    /// backend (register-allocation, fusion, peephole, packing) bug was
+    /// caught before the tape could run (only when verification is
+    /// enabled, see [`Steno::with_verify`]; re-optimizations are always
+    /// checked).
+    TapeCheck(steno_vm::CheckError),
 }
 
 impl From<DistError> for StenoError {
@@ -71,6 +77,7 @@ impl fmt::Display for StenoError {
             StenoError::Optimize(e) => write!(f, "{e}"),
             StenoError::Dist(e) => write!(f, "{e}"),
             StenoError::Verify(e) => write!(f, "plan verification failed: {e}"),
+            StenoError::TapeCheck(e) => write!(f, "tape verification failed: {e}"),
         }
     }
 }
@@ -328,9 +335,29 @@ impl Steno {
         drop(cspan);
         let (compiled, hit) = result.map_err(StenoError::Optimize)?;
         if self.verify && !hit {
-            let _vspan = tracer.span("engine.verify", compile_id.or(parent));
-            steno_analysis::verify(compiled.chain(), udfs).map_err(StenoError::Verify)?;
-            self.collector.add("steno.verify.passed", 1);
+            {
+                let _vspan = tracer.span("engine.verify", compile_id.or(parent));
+                steno_analysis::verify(compiled.chain(), udfs).map_err(StenoError::Verify)?;
+                self.collector.add("steno.verify.passed", 1);
+            }
+            // Second, independent line of defense: the QUIL verifier
+            // above checks the *plan*; the tape verifier re-derives
+            // proof obligations over the compiled *bytecode* (dataflow,
+            // control flow, poll reachability, unchecked-division
+            // proofs, pass equivalence), so a backend miscompile is
+            // caught even when the plan was sound.
+            let mut tspan = tracer.span("engine.tapecheck", compile_id.or(parent));
+            match steno_vm::check_program(compiled.program()) {
+                Ok(report) => {
+                    tspan.note("obligations", u64::from(report.total()));
+                    self.collector.add("steno.tapecheck.passed", 1);
+                }
+                Err(e) => {
+                    tspan.note("outcome", "rejected");
+                    self.collector.add("steno.tapecheck.rejected", 1);
+                    return Err(StenoError::TapeCheck(e));
+                }
+            }
         }
         Ok((compiled, hit))
     }
@@ -510,6 +537,16 @@ impl Steno {
             self.collector.add("steno.reopt.rejected", 1);
             return;
         }
+        // A re-optimization replaces a plan that has been producing
+        // correct answers, so its tape is held to the same standard:
+        // the bytecode verifier must accept it before it is installed.
+        if steno_vm::check_program(recompiled.program()).is_err() {
+            rspan.note("outcome", "tape-rejected");
+            self.collector.add("steno.tapecheck.rejected", 1);
+            self.collector.add("steno.reopt.rejected", 1);
+            return;
+        }
+        self.collector.add("steno.tapecheck.passed", 1);
         self.cache
             .install_reoptimized(q, opts, Arc::new(recompiled), reason);
         rspan.note("outcome", "installed");
@@ -740,6 +777,14 @@ impl Steno {
                     .iter()
                     .map(|d| d.to_string())
                     .collect();
+                // EXPLAIN runs the tape verifier unconditionally (even
+                // with `with_verify` off): the obligation counts are
+                // plan facts, and a rejection here is exactly what an
+                // operator inspecting a suspect plan wants surfaced.
+                let tape_check = match steno_vm::check_program(compiled.program()) {
+                    Ok(report) => report.summary(),
+                    Err(e) => format!("rejected: {e}"),
+                };
                 Ok(Explain {
                     query,
                     plan: ExplainPlan::Optimized {
@@ -760,6 +805,7 @@ impl Steno {
                         rewrites: compiled.rewrite_log().to_vec(),
                         reopt: self.cache.reopt_events(q, options),
                         measured: compiled.measured_stats().map(render_measured),
+                        tape_check,
                     },
                 })
             }
@@ -1168,6 +1214,31 @@ mod tests {
             metrics.counter_value("steno.verify.passed"),
             queries.len() as u64
         );
+        // The tape verifier runs alongside the plan verifier on every
+        // cache-miss compile — and never on hits.
+        assert_eq!(
+            metrics.counter_value("steno.tapecheck.passed"),
+            queries.len() as u64
+        );
+        assert_eq!(metrics.counter_value("steno.tapecheck.rejected"), 0);
+    }
+
+    #[test]
+    fn explain_surfaces_tape_check_verdict() {
+        let engine = Steno::new();
+        let c = ctx();
+        let q = Query::source("xs")
+            .select(Expr::var("x") * Expr::var("x"), "x")
+            .sum()
+            .build();
+        let explain = engine
+            .explain(&q, SourceTypes::from(&c), &UdfRegistry::new())
+            .unwrap();
+        let text = explain.render();
+        assert!(text.contains("tape-check: passed (cfg "), "{text}");
+        let v = steno_obs::json::parse(&explain.to_json()).unwrap();
+        let verdict = v.get("tape_check").unwrap().as_str().unwrap();
+        assert!(verdict.starts_with("passed (cfg "), "{verdict}");
     }
 
     #[test]

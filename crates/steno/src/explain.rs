@@ -79,6 +79,10 @@ pub enum ExplainPlan {
         /// (decayed element count, selection density, span-measured
         /// ns/elem), rendered; `None` for a blind first compile.
         measured: Option<String>,
+        /// The tape verifier's verdict on the compiled bytecode:
+        /// `passed (...)` with per-obligation counts, or `rejected: ...`
+        /// with the violated proof obligation.
+        tape_check: String,
     },
     /// The query runs on the unoptimized iterator interpreter.
     Fallback {
@@ -114,6 +118,7 @@ impl Explain {
                 rewrites,
                 reopt,
                 measured,
+                tape_check,
                 ..
             } => {
                 out.push_str(&format!("  QUIL: {quil}\n"));
@@ -166,6 +171,7 @@ impl Explain {
                 for lint in lints {
                     out.push_str(&format!("  lint: {lint}\n"));
                 }
+                out.push_str(&format!("  tape-check: {tape_check}\n"));
             }
             ExplainPlan::Fallback { reason } => {
                 out.push_str("  fallback: unoptimized iterator interpreter\n");
@@ -197,6 +203,7 @@ impl Explain {
                 rewrites,
                 reopt,
                 measured,
+                tape_check,
             } => {
                 let loops_json: Vec<String> = loops
                     .iter()
@@ -255,7 +262,8 @@ impl Explain {
                      \"guards_dropped\": {guards_dropped}, \"fused_kernels\": [{}], \
                      \"slots_reused\": {slots_reused}, \"hoisted\": {hoisted}, \
                      \"superinstrs\": {superinstrs}, \"loops\": [{}], \"lints\": [{}], \
-                     \"rewrites\": [{}], \"reopt\": [{}], \"measured\": {measured_json}}}",
+                     \"rewrites\": [{}], \"reopt\": [{}], \"measured\": {measured_json}, \
+                     \"tape_check\": \"{}\"}}",
                     json::escape(&self.query),
                     json::escape(quil),
                     json::escape(result_ty),
@@ -263,7 +271,8 @@ impl Explain {
                     loops_json.join(", "),
                     lints_json.join(", "),
                     rewrites_json.join(", "),
-                    reopt_json.join(", ")
+                    reopt_json.join(", "),
+                    json::escape(tape_check)
                 )
             }
             ExplainPlan::Fallback { reason } => format!(
@@ -362,6 +371,7 @@ mod tests {
                 measured: Some(
                     "~100 elements, density 0.05, ~2.4 ns/elem".to_string(),
                 ),
+                tape_check: "passed (cfg 2, dataflow 9, polls 1, div 2, equiv 4)".to_string(),
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -429,6 +439,14 @@ mod tests {
             v.get("measured").unwrap().as_str(),
             Some("~100 elements, density 0.05, ~2.4 ns/elem")
         );
+        assert!(
+            text.contains("tape-check: passed (cfg 2, dataflow 9, polls 1, div 2, equiv 4)"),
+            "{text}"
+        );
+        assert_eq!(
+            v.get("tape_check").unwrap().as_str(),
+            Some("passed (cfg 2, dataflow 9, polls 1, div 2, equiv 4)")
+        );
     }
 
     /// Pins the machine-readable schema: every backend-optimization
@@ -456,6 +474,7 @@ mod tests {
                 rewrites: vec![],
                 reopt: vec![],
                 measured: None,
+                tape_check: "passed (cfg 1, dataflow 2, polls 0, div 0, equiv 0)".to_string(),
             },
         };
         let v = steno_obs::json::parse(&e.to_json()).unwrap();
@@ -479,6 +498,7 @@ mod tests {
             "rewrites",
             "reopt",
             "measured",
+            "tape_check",
         ] {
             assert!(v.get(key).is_some(), "missing key {key}");
         }
